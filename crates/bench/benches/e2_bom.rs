@@ -1,0 +1,59 @@
+//! **E2 — bill of materials: naive vs memoized TotalCost.**
+//!
+//! "When a given subpart is used in more than one way in the manufacture
+//! of a larger part, the total cost will be needlessly recomputed … when
+//! the parts explosion diagram is not a tree but a directed acyclic
+//! graph." Diamond-chain DAGs of depth d give Θ(2^d) naive visits vs
+//! Θ(d) memoized — the crossover should be visible almost immediately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpl_bench::diamond_dag;
+use dbpl_core::bom::{cost_and_mass, total_cost_memo, total_cost_naive, TransientFields};
+use dbpl_values::Heap;
+use std::hint::black_box;
+
+fn e2_depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_bom");
+    group.sample_size(10);
+    for depth in [4usize, 8, 12, 16] {
+        let mut heap = Heap::new();
+        let root = diamond_dag(&mut heap, depth);
+        group.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, _| {
+            b.iter(|| total_cost_naive(black_box(&heap), root).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("memoized", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut memo = TransientFields::new();
+                total_cost_memo(black_box(&heap), root, &mut memo).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e2_simultaneous(c: &mut Criterion) {
+    // The paper's actual task: cost AND mass in one traversal.
+    let mut heap = Heap::new();
+    let root = diamond_dag(&mut heap, 14);
+    c.bench_function("e2_bom/cost_and_mass_memoized_d14", |b| {
+        b.iter(|| {
+            let mut memo = TransientFields::new();
+            cost_and_mass(black_box(&heap), root, &mut memo).unwrap()
+        })
+    });
+}
+
+fn e2_warm_memo(c: &mut Criterion) {
+    // A warm memo across queries: the transient fields persist *within*
+    // the computation session even though they never persist to disk.
+    let mut heap = Heap::new();
+    let root = diamond_dag(&mut heap, 14);
+    let mut memo = TransientFields::new();
+    total_cost_memo(&heap, root, &mut memo).unwrap();
+    c.bench_function("e2_bom/warm_memo_lookup_d14", |b| {
+        b.iter(|| total_cost_memo(black_box(&heap), root, &mut memo).unwrap())
+    });
+}
+
+criterion_group!(benches, e2_depth_sweep, e2_simultaneous, e2_warm_memo);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! **E5 — type-level computation stays cheap and terminating.**
+//!
+//! "The compiler must be able to manipulate type expressions and decide
+//! if they are equivalent … there are no non-terminating computations at
+//! the level of types." Subtype and equivalence checks over record towers
+//! of growing width × depth, recursive types, and quantifier nesting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpl_bench::record_tower;
+use dbpl_types::{is_equiv, is_subtype, Type, TypeEnv};
+use std::hint::black_box;
+
+fn e5_record_towers(c: &mut Criterion) {
+    let env = TypeEnv::new();
+    let mut group = c.benchmark_group("e5_subtype/towers");
+    for (width, depth) in [(4usize, 4usize), (8, 8), (16, 16)] {
+        let sub = record_tower(width, depth, true);
+        let sup = record_tower(width, depth, false);
+        assert!(is_subtype(&sub, &sup, &env));
+        let label = format!("{width}x{depth}");
+        group.bench_with_input(BenchmarkId::new("subtype", &label), &label, |b, _| {
+            b.iter(|| is_subtype(black_box(&sub), black_box(&sup), &env))
+        });
+        group.bench_with_input(BenchmarkId::new("equiv_negative", &label), &label, |b, _| {
+            b.iter(|| is_equiv(black_box(&sub), black_box(&sup), &env))
+        });
+    }
+    group.finish();
+}
+
+fn e5_recursive_types(c: &mut Criterion) {
+    // Equi-recursive comparison through named definitions — the
+    // assumption set keeps this linear, not divergent.
+    let mut env = TypeEnv::new();
+    env.declare(
+        "PersonTree",
+        Type::record([("Name", Type::Str), ("Friends", Type::list(Type::named("PersonTree")))]),
+    )
+    .unwrap();
+    env.declare(
+        "WorkerTree",
+        Type::record([
+            ("Name", Type::Str),
+            ("Empno", Type::Int),
+            ("Friends", Type::list(Type::named("WorkerTree"))),
+        ]),
+    )
+    .unwrap();
+    let w = Type::named("WorkerTree");
+    let p = Type::named("PersonTree");
+    c.bench_function("e5_subtype/recursive_coinductive", |b| {
+        b.iter(|| is_subtype(black_box(&w), black_box(&p), &env))
+    });
+}
+
+fn e5_quantifier_nesting(c: &mut Criterion) {
+    let env = TypeEnv::new();
+    let mut group = c.benchmark_group("e5_subtype/quantifiers");
+    for depth in [2usize, 8, 32] {
+        // ∀t1 ≤ {f: Int}. … ∀tn. t1 → … → tn
+        let mut body = Type::var("t0");
+        for i in 1..depth {
+            body = Type::fun(Type::var(format!("t{i}")), body);
+        }
+        let mut ty = body;
+        for i in (0..depth).rev() {
+            ty = Type::forall(
+                format!("t{i}"),
+                Some(Type::record([("f", Type::Int)])),
+                ty,
+            );
+        }
+        let ty2 = ty.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| is_subtype(black_box(&ty), black_box(&ty2), &env))
+        });
+    }
+    group.finish();
+}
+
+fn e5_type_lattice(c: &mut Criterion) {
+    // The meet used by schema evolution, on realistic schema types.
+    let env = TypeEnv::new();
+    let a = record_tower(8, 4, true);
+    let b = record_tower(8, 4, false);
+    c.bench_function("e5_subtype/meet_8x4", |bch| {
+        bch.iter(|| dbpl_types::meet(black_box(&a), black_box(&b), &env))
+    });
+    c.bench_function("e5_subtype/join_8x4", |bch| {
+        bch.iter(|| dbpl_types::join(black_box(&a), black_box(&b), &env))
+    });
+}
+
+criterion_group!(
+    benches,
+    e5_record_towers,
+    e5_recursive_types,
+    e5_quantifier_nesting,
+    e5_type_lattice
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! **E6 — key constraints over generalized relations.**
+//!
+//! Keys "prevent comparable values (under ⊑) from coexisting in the same
+//! set". Measures keyed insertion against plain subsumption insertion,
+//! and key lookup/refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpl_core::{KeyConstraint, KeyedSet};
+use dbpl_relation::GenRelation;
+use dbpl_values::Value;
+use std::hint::black_box;
+
+fn person(i: usize, extra: bool) -> Value {
+    let mut fields = vec![("Name".to_string(), Value::str(format!("p{i}")))];
+    if extra {
+        fields.push(("Empno".to_string(), Value::Int(i as i64)));
+    }
+    Value::record(fields)
+}
+
+fn e6_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_keys/insert");
+    group.sample_size(10);
+    for n in [100usize, 400, 1_600] {
+        let values: Vec<Value> = (0..n).map(|i| person(i, i % 2 == 0)).collect();
+        group.bench_with_input(BenchmarkId::new("keyed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
+                for v in &values {
+                    let _ = s.insert(v.clone());
+                }
+                black_box(s.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("subsumption_only", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = GenRelation::new();
+                for v in &values {
+                    r.insert(v.clone());
+                }
+                black_box(r.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e6_lookup_and_refine(c: &mut Criterion) {
+    let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
+    for i in 0..1_000 {
+        s.insert(person(i, false)).unwrap();
+    }
+    c.bench_function("e6_keys/find_by_key_1k", |b| {
+        b.iter(|| s.find(black_box(&[Value::str("p500")])))
+    });
+    c.bench_function("e6_keys/refine_1k", |b| {
+        b.iter(|| {
+            let mut s2 = s.clone();
+            s2.refine(&person(500, true)).unwrap();
+            black_box(s2.len())
+        })
+    });
+}
+
+criterion_group!(benches, e6_insertion, e6_lookup_and_refine);
+criterion_main!(benches);

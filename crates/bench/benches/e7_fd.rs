@@ -1,0 +1,62 @@
+//! **E7 — functional-dependency theory.**
+//!
+//! The classical machinery [Bune86] derives from the orderings: attribute
+//! closure, candidate-key enumeration, minimal covers, the lossless-join
+//! chase and 3NF synthesis, scaled over schema width and FD count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpl_bench::fd_workload;
+use std::hint::black_box;
+
+fn e7_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fd/closure");
+    for (w, f) in [(6usize, 8usize), (10, 16), (14, 32)] {
+        let (all, fds) = fd_workload(w, f, 5);
+        let seed: dbpl_relation::Attrs = all.iter().take(2).cloned().collect();
+        let label = format!("w{w}_f{f}");
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+            b.iter(|| fds.closure(black_box(&seed)))
+        });
+    }
+    group.finish();
+}
+
+fn e7_candidate_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fd/candidate_keys");
+    group.sample_size(10);
+    for (w, f) in [(6usize, 8usize), (10, 16), (12, 24)] {
+        let (all, fds) = fd_workload(w, f, 15);
+        let label = format!("w{w}_f{f}");
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+            b.iter(|| fds.candidate_keys(black_box(&all)))
+        });
+    }
+    group.finish();
+}
+
+fn e7_minimal_cover_and_synthesis(c: &mut Criterion) {
+    let (all, fds) = fd_workload(10, 16, 25);
+    c.bench_function("e7_fd/minimal_cover_w10_f16", |b| {
+        b.iter(|| black_box(&fds).minimal_cover())
+    });
+    c.bench_function("e7_fd/synthesize_3nf_w10_f16", |b| {
+        b.iter(|| black_box(&fds).synthesize_3nf(&all))
+    });
+}
+
+fn e7_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fd/chase");
+    group.sample_size(10);
+    for (w, f) in [(8usize, 12usize), (12, 24)] {
+        let (all, fds) = fd_workload(w, f, 35);
+        let parts = fds.synthesize_3nf(&all);
+        let label = format!("w{w}_f{f}_parts{}", parts.len());
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+            b.iter(|| fds.lossless_join(black_box(&all), black_box(&parts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e7_closure, e7_candidate_keys, e7_minimal_cover_and_synthesis, e7_chase);
+criterion_main!(benches);

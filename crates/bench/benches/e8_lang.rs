@@ -1,0 +1,67 @@
+//! **E8 — the MiniDBPL pipeline** (an implementation benchmark, not a
+//! paper claim): parse / static-check / evaluate throughput on the
+//! paper-shaped programs, and the end-to-end cost of a `Get`-heavy query
+//! program against database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpl_lang::{check_program, parse_program, Session};
+use std::hint::black_box;
+
+const QUERY_PROGRAM: &str = "
+    type Person = {Name: Str}
+    type Employee = {Name: Str, Empno: Int}
+    let names = map(fn(p: Person) => p.Name, get[Person](db))
+    let rich = filter(fn(e: Employee) => e.Empno > 10, get[Employee](db))
+    len(rich)
+";
+
+const RECURSIVE_PROGRAM: &str = "
+    fun fib(n: Int): Int = if n <= 1 then n else fib(n - 1) + fib(n - 2)
+    fib(15)
+";
+
+fn e8_phases(c: &mut Criterion) {
+    let prog = parse_program(QUERY_PROGRAM).unwrap();
+    let env = dbpl_types::TypeEnv::new();
+    c.bench_function("e8_lang/parse_query_program", |b| {
+        b.iter(|| parse_program(black_box(QUERY_PROGRAM)).unwrap())
+    });
+    c.bench_function("e8_lang/check_query_program", |b| {
+        b.iter(|| check_program(black_box(&prog), &env).unwrap())
+    });
+}
+
+fn e8_eval(c: &mut Criterion) {
+    c.bench_function("e8_lang/fib15_tree_walk", |b| {
+        let mut s = Session::new().unwrap();
+        b.iter(|| {
+            s.out.clear();
+            s.run(black_box(RECURSIVE_PROGRAM)).unwrap()
+        })
+    });
+}
+
+fn e8_query_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_lang/query_vs_db_size");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 4_000] {
+        let mut s = Session::new().unwrap();
+        // Populate once through the language.
+        let mut setup = String::from("type Employee = {Name: Str, Empno: Int}\n");
+        for i in 0..n {
+            setup.push_str(&format!("put(db, dynamic {{Name = 'p{i}', Empno = {i}}})\n"));
+        }
+        s.run(&setup).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                s.out.clear();
+                s.run("len(filter(fn(e: Employee) => e.Empno > 10, get[Employee](db)))")
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e8_phases, e8_eval, e8_query_scaling);
+criterion_main!(benches);

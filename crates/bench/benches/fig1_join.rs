@@ -1,0 +1,59 @@
+//! **F1 — Figure 1**: the join of generalized relations.
+//!
+//! Benchmarks the exact published join, then scales it: synthetic
+//! cochains of n×n partial records, under both antichain reductions
+//! (the DESIGN.md §5 ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbpl_bench::gen_relation;
+use dbpl_relation::{figure1_expected, figure1_r1, figure1_r2, Reduction};
+use std::hint::black_box;
+
+fn fig1_exact(c: &mut Criterion) {
+    let r1 = figure1_r1();
+    let r2 = figure1_r2();
+    let expected = figure1_expected();
+    c.bench_function("fig1/exact_published_join", |b| {
+        b.iter(|| {
+            let j = black_box(&r1).natural_join(black_box(&r2));
+            assert_eq!(j.len(), expected.len());
+            j
+        })
+    });
+}
+
+fn fig1_scaled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/scaled");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        // Partial records (2 of 4 attributes) over a small domain: plenty
+        // of consistent pairs, plenty of clashes — the Figure 1 regime.
+        let r1 = gen_relation(n, 2, 4, 11);
+        let r2 = gen_relation(n, 2, 4, 13);
+        group.bench_with_input(BenchmarkId::new("maximal", n), &n, |b, _| {
+            b.iter(|| r1.natural_join_with(black_box(&r2), Reduction::Maximal))
+        });
+        group.bench_with_input(BenchmarkId::new("minimal", n), &n, |b, _| {
+            b.iter(|| r1.natural_join_with(black_box(&r2), Reduction::Minimal))
+        });
+    }
+    group.finish();
+}
+
+fn fig1_partiality_sweep(c: &mut Criterion) {
+    // How partiality changes the work: fully defined records behave like
+    // 1NF (few joins survive); sparser records join more freely.
+    let mut group = c.benchmark_group("fig1/partiality");
+    group.sample_size(10);
+    for defined in [1usize, 2, 3, 4] {
+        let r1 = gen_relation(64, defined, 4, 21);
+        let r2 = gen_relation(64, defined, 4, 23);
+        group.bench_with_input(BenchmarkId::from_parameter(defined), &defined, |b, _| {
+            b.iter(|| r1.natural_join(black_box(&r2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1_exact, fig1_scaled, fig1_partiality_sweep);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! Shared workload generators for the benchmark harness (experiments
+//! F1, E1–E7 in DESIGN.md/EXPERIMENTS.md) and for the `report` binary
+//! that regenerates the EXPERIMENTS.md tables.
+
+use dbpl_core::Database;
+use dbpl_relation::{GenRelation, Relation, Schema};
+use dbpl_types::{parse_type, Type};
+use dbpl_values::{Heap, Oid, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The four-level Person/Employee/Student/WorkingStudent hierarchy used
+/// throughout.
+pub fn hierarchy_env(db: &mut Database) {
+    db.declare_type("Person", parse_type("{Name: Str}").unwrap()).unwrap();
+    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+    db.declare_type("Student", parse_type("{Name: Str, Gpa: Float}").unwrap()).unwrap();
+    db.declare_type(
+        "WorkingStudent",
+        parse_type("{Name: Str, Empno: Int, Gpa: Float}").unwrap(),
+    )
+    .unwrap();
+}
+
+/// A database of `n` dynamic values spread over the hierarchy (plus ~20%
+/// unrelated `Int` noise), for experiment E1.
+pub fn populated_db(n: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    hierarchy_env(&mut db);
+    let mut r = rng(seed);
+    for i in 0..n {
+        let name = Value::str(format!("p{i}"));
+        match r.gen_range(0..5) {
+            0 => db.put(Type::named("Person"), Value::record([("Name", name)])).unwrap(),
+            1 => db
+                .put(
+                    Type::named("Employee"),
+                    Value::record([("Name", name), ("Empno", Value::Int(i as i64))]),
+                )
+                .unwrap(),
+            2 => db
+                .put(
+                    Type::named("Student"),
+                    Value::record([("Name", name), ("Gpa", Value::float(3.0))]),
+                )
+                .unwrap(),
+            3 => db
+                .put(
+                    Type::named("WorkingStudent"),
+                    Value::record([
+                        ("Name", name),
+                        ("Empno", Value::Int(i as i64)),
+                        ("Gpa", Value::float(3.5)),
+                    ]),
+                )
+                .unwrap(),
+            _ => db.put(Type::Int, Value::Int(i as i64)).unwrap(),
+        };
+    }
+    db
+}
+
+/// Maintained extents for the same database (E1's third strategy): one
+/// extent per named type, filled once.
+pub fn build_extents(db: &mut Database) {
+    db.enable_extent_cascade();
+    let env = db.env().clone();
+    for ty in ["Person", "Employee", "Student", "WorkingStudent"] {
+        db.extents_mut().create(ty, Type::named(ty), false).unwrap();
+    }
+    // Materialize: allocate each dynamic as an object, then insert at its
+    // exact type (cascade handles the supertypes). Allocate first, clone
+    // the heap once, then insert — cloning per insert would be O(n²).
+    let dynamics: Vec<(Type, Value)> =
+        db.dynamics().iter().map(|d| (d.ty.clone(), d.value.clone())).collect();
+    let mut pending: Vec<(String, dbpl_values::Oid)> = Vec::new();
+    for (ty, v) in dynamics {
+        if let Type::Named(n) = &ty {
+            let n = n.clone();
+            let oid = db.alloc(ty.clone(), v).unwrap();
+            pending.push((n, oid));
+        }
+    }
+    let heap = db.heap().clone();
+    for (n, oid) in pending {
+        db.extents_mut().insert(&n, oid, &heap, &env).unwrap();
+    }
+}
+
+/// A synthetic generalized relation of `n` partial records over a shared
+/// 4-attribute vocabulary, with `defined` attributes present per record
+/// (controls partiality and match probability), for F1-scaled and E4.
+pub fn gen_relation(n: usize, defined: usize, domain: i64, seed: u64) -> GenRelation {
+    let attrs = ["a", "b", "c", "d"];
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut picked: Vec<&str> = attrs.to_vec();
+        while picked.len() > defined {
+            let i = r.gen_range(0..picked.len());
+            picked.remove(i);
+        }
+        let fields: Vec<(String, Value)> = picked
+            .into_iter()
+            .map(|a| (a.to_string(), Value::Int(r.gen_range(0..domain))))
+            .collect();
+        out.push(Value::record(fields));
+    }
+    GenRelation::from_values(out)
+}
+
+/// A flat relation over `attrs` with `n` random rows in `0..domain`.
+pub fn flat_relation(attrs: &[&str], n: usize, domain: i64, seed: u64) -> Relation {
+    let schema = Schema::new(attrs.iter().map(|a| (a.to_string(), Type::Int))).unwrap();
+    let mut rel = Relation::new(schema);
+    let mut r = rng(seed);
+    for _ in 0..n {
+        let row = attrs
+            .iter()
+            .map(|a| (a.to_string(), Value::Int(r.gen_range(0..domain))))
+            .collect();
+        let _ = rel.insert(row);
+    }
+    rel
+}
+
+/// A diamond-chain parts DAG of the given depth: part_i uses part_{i-1}
+/// twice, so the naive traversal is Θ(2^depth) while the memoized one is
+/// Θ(depth) (experiment E2).
+pub fn diamond_dag(heap: &mut Heap, depth: usize) -> Oid {
+    let mut cur = dbpl_core::bom::base_part(heap, "leaf", 1.0, 1.0);
+    for i in 0..depth {
+        cur = dbpl_core::bom::assembly(heap, &format!("lvl{i}"), 0.5, 0.1, &[(1, cur), (1, cur)]);
+    }
+    cur
+}
+
+/// A record-tower type: `depth` levels of nesting, `width` fields per
+/// level; `extra` adds one innermost field, making the extra tower a
+/// proper subtype of the plain one (experiment E5).
+pub fn record_tower(width: usize, depth: usize, extra: bool) -> Type {
+    let mut t = if extra {
+        Type::record([("deep_extra", Type::Int)])
+    } else {
+        Type::Record(Default::default())
+    };
+    for d in 0..depth {
+        let mut fields: Vec<(String, Type)> =
+            (0..width).map(|w| (format!("f{d}_{w}"), Type::Int)).collect();
+        fields.push((format!("nest{d}"), t));
+        t = Type::record(fields);
+    }
+    t
+}
+
+/// A random FD set over `width` attributes with `n_fds` dependencies
+/// (experiment E7).
+pub fn fd_workload(
+    width: usize,
+    n_fds: usize,
+    seed: u64,
+) -> (dbpl_relation::Attrs, dbpl_relation::FdSet) {
+    let attrs: Vec<String> = (0..width).map(|i| format!("A{i}")).collect();
+    let all: dbpl_relation::Attrs = attrs.iter().cloned().collect();
+    let mut r = rng(seed);
+    let mut fds = dbpl_relation::FdSet::new();
+    for _ in 0..n_fds {
+        let lhs: std::collections::BTreeSet<String> = (0..r.gen_range(1..3usize))
+            .map(|_| attrs[r.gen_range(0..width)].clone())
+            .collect();
+        let rhs: std::collections::BTreeSet<String> = (0..r.gen_range(1..3usize))
+            .map(|_| attrs[r.gen_range(0..width)].clone())
+            .collect();
+        fds.add(dbpl_relation::Fd { lhs, rhs });
+    }
+    (all, fds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populated_db_is_deterministic() {
+        let a = populated_db(100, 7);
+        let b = populated_db(100, 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.get(&Type::named("Person")).len(), b.get(&Type::named("Person")).len());
+    }
+
+    #[test]
+    fn extents_match_scan_counts() {
+        let mut db = populated_db(200, 1);
+        let scan_person = db.get(&Type::named("Person")).len();
+        build_extents(&mut db);
+        assert_eq!(db.extents().extent("Person").unwrap().len(), scan_person);
+    }
+
+    #[test]
+    fn diamond_dag_visit_counts() {
+        let mut heap = Heap::new();
+        let root = diamond_dag(&mut heap, 10);
+        let (_, naive) = dbpl_core::bom::total_cost_naive(&heap, root).unwrap();
+        assert_eq!(naive, (1 << 11) - 1);
+    }
+
+    #[test]
+    fn record_tower_subtyping_shape() {
+        let env = dbpl_types::TypeEnv::new();
+        let narrow = record_tower(4, 4, false);
+        let wide = record_tower(4, 4, true);
+        assert!(dbpl_types::is_subtype(&wide, &narrow, &env));
+        assert!(!dbpl_types::is_subtype(&narrow, &wide, &env));
+    }
+
+    #[test]
+    fn gen_relation_defined_controls_partiality() {
+        let full = gen_relation(50, 4, 3, 3);
+        for row in full.rows() {
+            assert_eq!(row.as_record().unwrap().len(), 4);
+        }
+        let partial = gen_relation(50, 2, 100, 3);
+        assert!(partial.rows().iter().all(|r| r.as_record().unwrap().len() == 2));
+    }
+}

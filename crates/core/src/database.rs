@@ -1,0 +1,383 @@
+//! The [`Database`] facade: type, extent and persistence, separated but
+//! composed.
+//!
+//! A database here is what the paper's uniform design implies:
+//!
+//! * a [`TypeEnv`] — the schema-as-types, whose subtype hierarchy *is* the
+//!   class hierarchy;
+//! * a heterogeneous store of dynamic values (the "list of dynamic
+//!   values" the paper builds in Amber) plus an object [`Heap`] for
+//!   identity;
+//! * the generic [`Database::get`] — `Get : ∀t. Database → List[∃t' ≤ t]`
+//!   — with three interchangeable implementations (scan, maintained
+//!   extents, typed-list index) so their costs can be compared (E1);
+//! * optional maintained extents and key constraints, available but never
+//!   *required*: type, extent and persistence stay separate;
+//! * bridges to every persistence model (snapshot image capture,
+//!   replicating extern/intern, attachment to an intrinsic store).
+
+use crate::error::CoreError;
+use crate::extent::{ExtentManager, TypedListIndex};
+use crate::get::{scan_get, ExistsPkg};
+use crate::hierarchy::ClassHierarchy;
+use dbpl_persist::Image;
+use dbpl_types::{Type, TypeEnv};
+use dbpl_values::{conforms, DynValue, Heap, Mode, Oid, Value};
+use std::collections::BTreeMap;
+
+/// How [`Database::get_with`] locates the objects of a type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GetStrategy {
+    /// Traverse the whole dynamic store, checking each element's carried
+    /// type (the paper's simple, "not very efficient" solution).
+    #[default]
+    Scan,
+    /// Consult the typed-list index ("a set of statically typed lists").
+    TypedLists,
+}
+
+/// A database: types + heterogeneous values + optional extents + keys.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    env: TypeEnv,
+    heap: Heap,
+    dynamics: Vec<DynValue>,
+    index: TypedListIndex,
+    extents: ExtentManager,
+    bindings: BTreeMap<String, DynValue>,
+}
+
+impl Database {
+    /// An empty database with a structural type environment.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// An empty database over a prepared environment.
+    pub fn with_env(env: TypeEnv) -> Database {
+        Database { env, ..Default::default() }
+    }
+
+    /// The type environment.
+    pub fn env(&self) -> &TypeEnv {
+        &self.env
+    }
+
+    /// Mutable access to the type environment.
+    pub fn env_mut(&mut self) -> &mut TypeEnv {
+        &mut self.env
+    }
+
+    /// Declare a named type.
+    pub fn declare_type(&mut self, name: impl Into<String>, ty: Type) -> Result<(), CoreError> {
+        self.env.declare(name, ty)?;
+        Ok(())
+    }
+
+    /// The object heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutable access to the heap.
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Allocate an object with identity.
+    pub fn alloc(&mut self, ty: Type, value: Value) -> Result<Oid, CoreError> {
+        conforms(&value, &ty, &self.env, &self.heap, Mode::Strict)?;
+        Ok(self.heap.alloc(ty, value))
+    }
+
+    /// The extent manager.
+    pub fn extents(&self) -> &ExtentManager {
+        &self.extents
+    }
+
+    /// Mutable access to the extent manager.
+    pub fn extents_mut(&mut self) -> &mut ExtentManager {
+        &mut self.extents
+    }
+
+    /// Switch extent insertion to the cascading (Taxis/Adaplex) semantics.
+    pub fn enable_extent_cascade(&mut self) {
+        let old = std::mem::take(&mut self.extents);
+        let mut fresh = ExtentManager::with_cascade();
+        // Two passes: every extent must exist before members are
+        // re-inserted, or the cascade would miss late-created targets.
+        for e in old.iter() {
+            fresh
+                .create(e.name().to_string(), e.elem_type().clone(), e.is_transient())
+                .expect("names were unique");
+        }
+        for e in old.iter() {
+            for m in e.members() {
+                // Re-inserting under cascade re-establishes inclusions.
+                let _ = fresh.insert(e.name(), m, &self.heap, &self.env);
+            }
+        }
+        self.extents = fresh;
+    }
+
+    /// Insert a value into the heterogeneous dynamic store, checked
+    /// against its declared type. "This 'database' is completely
+    /// unconstrained: we can put any dynamic value in it."
+    pub fn put(&mut self, ty: Type, value: Value) -> Result<usize, CoreError> {
+        conforms(&value, &ty, &self.env, &self.heap, Mode::Strict)?;
+        let pos = self.dynamics.len();
+        self.index.add(ty.clone(), pos);
+        self.dynamics.push(DynValue::new(ty, value));
+        Ok(pos)
+    }
+
+    /// Insert an already-dynamic value.
+    pub fn put_dyn(&mut self, d: DynValue) -> Result<usize, CoreError> {
+        self.put(d.ty, d.value)
+    }
+
+    /// The raw dynamic store.
+    pub fn dynamics(&self) -> &[DynValue] {
+        &self.dynamics
+    }
+
+    /// Number of stored dynamic values.
+    pub fn len(&self) -> usize {
+        self.dynamics.len()
+    }
+
+    /// Is the dynamic store empty?
+    pub fn is_empty(&self) -> bool {
+        self.dynamics.is_empty()
+    }
+
+    /// `Get[t](db)`: every stored value whose type is a subtype of
+    /// `bound`, as existential packages (default scan strategy).
+    pub fn get(&self, bound: &Type) -> Vec<ExistsPkg> {
+        self.get_with(bound, GetStrategy::Scan)
+    }
+
+    /// `Get` with an explicit implementation strategy; all strategies
+    /// return the same packages (asserted by the test suite), at different
+    /// costs (measured by E1).
+    pub fn get_with(&self, bound: &Type, strategy: GetStrategy) -> Vec<ExistsPkg> {
+        match strategy {
+            GetStrategy::Scan => scan_get(&self.dynamics, bound, &self.env),
+            GetStrategy::TypedLists => self
+                .index
+                .query(bound, &self.env)
+                .into_iter()
+                .map(|i| {
+                    let d = &self.dynamics[i];
+                    ExistsPkg::seal(d.ty.clone(), d.value.clone(), bound.clone(), &self.env)
+                        .expect("index returned a subtype")
+                })
+                .collect(),
+        }
+    }
+
+    /// The class hierarchy — derived from the type hierarchy, on demand.
+    pub fn class_hierarchy(&self) -> ClassHierarchy {
+        ClassHierarchy::derive(&self.env)
+    }
+
+    /// Bind a top-level name to a dynamic value (session variables; these
+    /// are what an all-or-nothing image captures).
+    pub fn bind(&mut self, name: impl Into<String>, d: DynValue) {
+        self.bindings.insert(name.into(), d);
+    }
+
+    /// Look up a top-level binding.
+    pub fn binding(&self, name: &str) -> Option<&DynValue> {
+        self.bindings.get(name)
+    }
+
+    /// Capture an all-or-nothing [`Image`] of this database. Transient
+    /// extents are excluded (they "are not required to persist"); the
+    /// dynamic store rides along as a binding so nothing else is lost.
+    pub fn capture_image(&self) -> Image {
+        let mut bindings = self.bindings.clone();
+        // The dynamic store itself is a value: a list of dynamics.
+        bindings.insert(
+            "__dynamics".to_string(),
+            DynValue::new(
+                Type::list(Type::Dynamic),
+                Value::List(self.dynamics.iter().map(|d| Value::Dyn(Box::new(d.clone()))).collect()),
+            ),
+        );
+        Image::capture(&self.env, &self.heap, &bindings)
+    }
+
+    /// Persist this database's durable state into an intrinsic store (one
+    /// handle per concern), ready for [`Database::load_from_intrinsic`].
+    /// Transient extents are not saved; maintained extents ride along as
+    /// data. Call `store.commit()` afterwards to make it durable.
+    pub fn save_to_intrinsic(
+        &self,
+        store: &mut dbpl_persist::IntrinsicStore,
+    ) -> Result<(), CoreError> {
+        // The whole durable state is one image value: reuse the snapshot
+        // encoding as the handle payload, so principle 2 (type travels
+        // with value) holds for the database as a unit.
+        let img = self.capture_image();
+        let bytes = img.encode();
+        store.set_handle(
+            "__database_image",
+            Type::Str,
+            Value::Str(bytes.iter().map(|b| format!("{b:02x}")).collect()),
+        );
+        Ok(())
+    }
+
+    /// Load a database previously saved with
+    /// [`Database::save_to_intrinsic`].
+    pub fn load_from_intrinsic(
+        store: &dbpl_persist::IntrinsicStore,
+    ) -> Result<Database, CoreError> {
+        let (_, v) = store
+            .handle("__database_image")
+            .ok_or_else(|| CoreError::Invalid("no database image in store".into()))?;
+        let hex = v
+            .as_str()
+            .ok_or_else(|| CoreError::Invalid("database image is not a string".into()))?;
+        let bytes: Vec<u8> = (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| CoreError::Invalid("corrupt database image".into()))?;
+        let img = Image::decode(&bytes).map_err(CoreError::Persist)?;
+        Database::from_image(&img)
+    }
+
+    /// Fork a *hypothetical state*: an independent copy to "experiment
+    /// with hypothetical states of the database" (one of the paper's
+    /// motivations for multiple extents). Mutations to the fork leave the
+    /// original untouched; [`Database::adopt`] commits a hypothesis back.
+    pub fn fork(&self) -> Database {
+        self.clone()
+    }
+
+    /// Adopt a hypothetical state: replace this database's contents with
+    /// the fork's. (A deliberate whole-state commit — partial merges are
+    /// the application's business.)
+    pub fn adopt(&mut self, hypothesis: Database) {
+        *self = hypothesis;
+    }
+
+    /// Restore a database from an image.
+    pub fn from_image(img: &Image) -> Result<Database, CoreError> {
+        let (env, heap, mut bindings) = img.restore()?;
+        let mut dynamics = Vec::new();
+        if let Some(d) = bindings.remove("__dynamics") {
+            if let Value::List(xs) = d.value {
+                for x in xs {
+                    if let Value::Dyn(b) = x {
+                        dynamics.push(*b);
+                    }
+                }
+            }
+        }
+        let index = TypedListIndex::build(&dynamics);
+        Ok(Database { env, heap, dynamics, index, extents: ExtentManager::new(), bindings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpl_types::parse_type;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.declare_type("Person", parse_type("{Name: Str}").unwrap()).unwrap();
+        db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+        db.put(Type::named("Person"), Value::record([("Name", Value::str("p"))])).unwrap();
+        db.put(
+            Type::named("Employee"),
+            Value::record([("Name", Value::str("e")), ("Empno", Value::Int(1))]),
+        )
+        .unwrap();
+        db.put(Type::Int, Value::Int(7)).unwrap();
+        db
+    }
+
+    #[test]
+    fn put_is_typechecked() {
+        let mut d = db();
+        assert!(d.put(Type::named("Employee"), Value::record([("Name", Value::str("x"))])).is_err());
+        assert!(d.put(Type::named("Ghost"), Value::Unit).is_err());
+    }
+
+    #[test]
+    fn get_strategies_agree() {
+        let d = db();
+        for bound in [Type::named("Person"), Type::named("Employee"), Type::Int, Type::Top] {
+            let scan = d.get_with(&bound, GetStrategy::Scan);
+            let index = d.get_with(&bound, GetStrategy::TypedLists);
+            assert_eq!(scan, index, "strategies disagree at {bound}");
+        }
+    }
+
+    #[test]
+    fn get_respects_hierarchy() {
+        let d = db();
+        assert_eq!(d.get(&Type::named("Person")).len(), 2);
+        assert_eq!(d.get(&Type::named("Employee")).len(), 1);
+        assert_eq!(d.get(&Type::Top).len(), 3);
+    }
+
+    #[test]
+    fn alloc_is_typechecked() {
+        let mut d = db();
+        assert!(d
+            .alloc(Type::named("Person"), Value::record([("Name", Value::str("ok"))]))
+            .is_ok());
+        assert!(d.alloc(Type::named("Person"), Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_everything_durable() {
+        let mut d = db();
+        let o = d.alloc(Type::named("Person"), Value::record([("Name", Value::str("h"))])).unwrap();
+        d.bind("root", DynValue::new(Type::named("Person"), Value::Ref(o)));
+        d.extents_mut().create("memo", Type::named("Person"), true).unwrap();
+
+        let mut before_capture = d.clone();
+        before_capture.extents_mut().drop_transient();
+        let img = before_capture.capture_image();
+        let restored = Database::from_image(&img).unwrap();
+
+        assert_eq!(restored.len(), d.len());
+        assert_eq!(restored.get(&Type::named("Person")).len(), 2);
+        assert!(restored.binding("root").is_some());
+        let ro = restored.binding("root").unwrap().value.as_ref_oid().unwrap();
+        assert_eq!(
+            restored.heap().get(ro).unwrap().value.field("Name"),
+            Some(&Value::str("h"))
+        );
+        // The transient extent is gone; that was the point.
+        assert!(restored.extents().extent("memo").is_err());
+    }
+
+    #[test]
+    fn cascade_can_be_enabled_after_the_fact() {
+        let mut d = db();
+        d.extents_mut().create("persons", Type::named("Person"), false).unwrap();
+        d.extents_mut().create("employees", Type::named("Employee"), false).unwrap();
+        let e = d
+            .alloc(
+                Type::named("Employee"),
+                Value::record([("Name", Value::str("e")), ("Empno", Value::Int(2))]),
+            )
+            .unwrap();
+        // Without cascade: independent.
+        let heap = d.heap().clone();
+        let env = d.env().clone();
+        d.extents_mut().insert("employees", e, &heap, &env).unwrap();
+        assert!(!d.extents().extent("persons").unwrap().contains(e));
+        // Enabling cascade re-establishes the inclusion hierarchy.
+        d.enable_extent_cascade();
+        assert!(d.extents().extent("persons").unwrap().contains(e));
+        assert!(d.extents().check_inclusions(d.env()).is_none());
+    }
+}

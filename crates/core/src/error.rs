@@ -1,0 +1,67 @@
+//! Errors for the database facade.
+
+use dbpl_types::Type;
+use std::fmt;
+
+/// Errors raised by database, extent and key operations.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A type error.
+    Type(dbpl_types::TypeError),
+    /// A value error.
+    Value(dbpl_values::ValueError),
+    /// A persistence error.
+    Persist(dbpl_persist::PersistError),
+    /// An extent with this name already exists.
+    ExtentExists(String),
+    /// No extent with this name.
+    UnknownExtent(String),
+    /// An object was inserted into an extent whose type it does not have.
+    NotAMember {
+        /// The extent's name.
+        extent: String,
+        /// The extent's element type.
+        expected: Type,
+        /// The object's type.
+        got: Type,
+    },
+    /// A key constraint rejected an insertion.
+    KeyViolation(String),
+    /// Miscellaneous invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Type(e) => write!(f, "{e}"),
+            CoreError::Value(e) => write!(f, "{e}"),
+            CoreError::Persist(e) => write!(f, "{e}"),
+            CoreError::ExtentExists(n) => write!(f, "extent `{n}` already exists"),
+            CoreError::UnknownExtent(n) => write!(f, "unknown extent `{n}`"),
+            CoreError::NotAMember { extent, expected, got } => {
+                write!(f, "extent `{extent}` holds {expected}; object has type {got}")
+            }
+            CoreError::KeyViolation(m) => write!(f, "key violation: {m}"),
+            CoreError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<dbpl_types::TypeError> for CoreError {
+    fn from(e: dbpl_types::TypeError) -> Self {
+        CoreError::Type(e)
+    }
+}
+impl From<dbpl_values::ValueError> for CoreError {
+    fn from(e: dbpl_values::ValueError) -> Self {
+        CoreError::Value(e)
+    }
+}
+impl From<dbpl_persist::PersistError> for CoreError {
+    fn from(e: dbpl_persist::PersistError) -> Self {
+        CoreError::Persist(e)
+    }
+}

@@ -1,0 +1,258 @@
+//! The generic extraction function `Get` and its result packages.
+//!
+//! The paper's central technical move: instead of per-type functions
+//!
+//! ```text
+//! function getPersons(d: Database): PersonList;
+//! function getEmployees(d: Database): EmployeeList;
+//! ```
+//!
+//! a *single* generic function
+//!
+//! ```text
+//! Get : ∀t. Database → List[∃t' ≤ t]
+//! ```
+//!
+//! whose result elements are *existential packages*: "there exists a
+//! subtype t of Employee such that o has type t … we don't know what the
+//! type or representation of o is, all we know is that we can perform on o
+//! any operation associated with the type Employee."
+//!
+//! [`ExistsPkg`] realizes exactly that: the package carries its witness
+//! type and its value, but the value is only *usable* through the bound —
+//! [`ExistsPkg::open_at`] type-checks the opening. The static type of the
+//! whole operation ([`get_signature`]) is expressible in `dbpl-types`, so
+//! "the use of this function can be type-checked statically, even though a
+//! certain amount of dynamic type-checking may be needed in the
+//! implementation" — the dynamic part being the subtype test per scanned
+//! element.
+
+use crate::error::CoreError;
+use dbpl_types::{is_subtype, Type, TypeEnv};
+use dbpl_values::{DynValue, Value};
+
+/// An existential package `∃t' ≤ bound. t'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExistsPkg {
+    /// The package's *bound*: the type the caller asked for.
+    pub bound: Type,
+    /// The hidden witness: the value's actual (more specific) type.
+    witness: Type,
+    /// The packaged value.
+    value: Value,
+}
+
+impl ExistsPkg {
+    /// Package a value with its witness type under a bound. Fails unless
+    /// `witness ≤ bound` — packages cannot lie.
+    pub fn seal(
+        witness: Type,
+        value: Value,
+        bound: Type,
+        env: &TypeEnv,
+    ) -> Result<ExistsPkg, CoreError> {
+        if !is_subtype(&witness, &bound, env) {
+            return Err(CoreError::Invalid(format!(
+                "cannot seal: witness {witness} is not a subtype of bound {bound}"
+            )));
+        }
+        Ok(ExistsPkg { bound, witness, value })
+    }
+
+    /// The hidden witness type (inspection is allowed — Amber's `typeOf` —
+    /// but values can only be *used* through a checked opening).
+    pub fn witness(&self) -> &Type {
+        &self.witness
+    }
+
+    /// Open the package at a requested type: succeeds iff the package's
+    /// bound is a subtype of the request, so everything the requested
+    /// interface offers is supported. This is the "use at bound" rule.
+    pub fn open_at(&self, request: &Type, env: &TypeEnv) -> Result<&Value, CoreError> {
+        if is_subtype(&self.bound, request, env) {
+            Ok(&self.value)
+        } else {
+            Err(CoreError::Invalid(format!(
+                "package bound {} does not support interface {request}",
+                self.bound
+            )))
+        }
+    }
+
+    /// Open at the package's own bound (always succeeds).
+    pub fn open(&self) -> &Value {
+        &self.value
+    }
+
+    /// Re-seal at a *wider* bound (existential subsumption:
+    /// `∃t ≤ Employee. t` can be used where `∃t ≤ Person. t` is wanted if
+    /// `Employee ≤ Person`).
+    pub fn widen(&self, bound: Type, env: &TypeEnv) -> Result<ExistsPkg, CoreError> {
+        if !is_subtype(&self.bound, &bound, env) {
+            return Err(CoreError::Invalid(format!(
+                "cannot widen {} to unrelated bound {bound}",
+                self.bound
+            )));
+        }
+        Ok(ExistsPkg { bound, witness: self.witness.clone(), value: self.value.clone() })
+    }
+
+    /// Dissolve into a dynamic value carrying the witness type.
+    pub fn into_dynamic(self) -> DynValue {
+        DynValue::new(self.witness, self.value)
+    }
+}
+
+/// The static type of `Get` itself: `∀t. Database → List[∃t' ≤ t]`.
+///
+/// Writable — and hence statically checkable — in this type system, which
+/// is the paper's point: no distinguished class construct is needed.
+pub fn get_signature() -> Type {
+    Type::forall(
+        "t",
+        None,
+        Type::fun(
+            Type::named("Database"),
+            Type::list(Type::exists("u", Some(Type::var("t")), Type::var("u"))),
+        ),
+    )
+}
+
+/// Scan a list of dynamic values, extracting every element whose carried
+/// type is a subtype of `bound` — the body of `Get[t]`. This is the
+/// paper's straightforward implementation, with its acknowledged cost: "we
+/// have to traverse the whole database … we also have the overhead of
+/// having to check the structure of each value we encounter" (experiment
+/// E1 measures exactly this against maintained extents and typed lists).
+pub fn scan_get(
+    dynamics: &[DynValue],
+    bound: &Type,
+    env: &TypeEnv,
+) -> Vec<ExistsPkg> {
+    dynamics
+        .iter()
+        .filter(|d| is_subtype(&d.ty, bound, env))
+        .map(|d| ExistsPkg {
+            bound: bound.clone(),
+            witness: d.ty.clone(),
+            value: d.value.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpl_types::parse_type;
+
+    fn env() -> TypeEnv {
+        let mut e = TypeEnv::new();
+        e.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
+        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+        e.declare("Student", parse_type("{Name: Str, Gpa: Float}").unwrap()).unwrap();
+        e
+    }
+
+    fn sample() -> Vec<DynValue> {
+        vec![
+            DynValue::new(
+                Type::named("Person"),
+                Value::record([("Name", Value::str("p"))]),
+            ),
+            DynValue::new(
+                Type::named("Employee"),
+                Value::record([("Name", Value::str("e")), ("Empno", Value::Int(1))]),
+            ),
+            DynValue::new(
+                Type::named("Student"),
+                Value::record([("Name", Value::str("s")), ("Gpa", Value::float(3.9))]),
+            ),
+            DynValue::new(Type::Int, Value::Int(42)),
+        ]
+    }
+
+    #[test]
+    fn get_persons_returns_larger_list_than_get_employees() {
+        // "getPersons will always return a larger list than getEmployees"
+        let env = env();
+        let persons = scan_get(&sample(), &Type::named("Person"), &env);
+        let employees = scan_get(&sample(), &Type::named("Employee"), &env);
+        assert_eq!(persons.len(), 3);
+        assert_eq!(employees.len(), 1);
+        assert!(persons.len() > employees.len());
+    }
+
+    #[test]
+    fn packages_remember_their_witness() {
+        let env = env();
+        let persons = scan_get(&sample(), &Type::named("Person"), &env);
+        let witnesses: Vec<String> = persons.iter().map(|p| p.witness().to_string()).collect();
+        assert!(witnesses.contains(&"Employee".to_string()));
+        assert!(witnesses.contains(&"Student".to_string()));
+    }
+
+    #[test]
+    fn open_at_enforces_the_bound() {
+        let env = env();
+        let employees = scan_get(&sample(), &Type::named("Employee"), &env);
+        let pkg = &employees[0];
+        // Usable at the bound and above...
+        assert!(pkg.open_at(&Type::named("Employee"), &env).is_ok());
+        assert!(pkg.open_at(&Type::named("Person"), &env).is_ok());
+        // ...but not at an unrelated or narrower interface, even though
+        // the witness might structurally allow it: the static discipline
+        // only guarantees the bound.
+        assert!(pkg.open_at(&Type::named("Student"), &env).is_err());
+    }
+
+    #[test]
+    fn seal_rejects_lies() {
+        let env = env();
+        assert!(ExistsPkg::seal(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("p"))]),
+            Type::named("Employee"),
+            &env,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn widen_is_existential_subsumption() {
+        let env = env();
+        let employees = scan_get(&sample(), &Type::named("Employee"), &env);
+        let widened = employees[0].widen(Type::named("Person"), &env).unwrap();
+        assert_eq!(widened.bound, Type::named("Person"));
+        assert_eq!(widened.witness(), employees[0].witness());
+        assert!(employees[0].widen(Type::Int, &env).is_err());
+    }
+
+    #[test]
+    fn get_signature_is_the_papers_type() {
+        assert_eq!(
+            get_signature().to_string(),
+            "forall t. Database -> List[exists u <= t. u]"
+        );
+    }
+
+    #[test]
+    fn get_with_top_returns_everything() {
+        let env = env();
+        assert_eq!(scan_get(&sample(), &Type::Top, &env).len(), 4);
+    }
+
+    #[test]
+    fn projecting_employee_packages_appear_in_person_result() {
+        // "those records obtained by 'projecting' the Employee records
+        // returned by getEmployees will always appear in the result of
+        // getPersons" — here directly: every Employee package widens into
+        // the Person result set.
+        let env = env();
+        let persons = scan_get(&sample(), &Type::named("Person"), &env);
+        let employees = scan_get(&sample(), &Type::named("Employee"), &env);
+        for e in &employees {
+            let w = e.widen(Type::named("Person"), &env).unwrap();
+            assert!(persons.iter().any(|p| p == &w));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Deriving the class hierarchy from the type hierarchy.
+//!
+//! The paper: "the class hierarchy can be derived from the type
+//! hierarchy" — no separate declaration of classes is needed. Given a
+//! [`TypeEnv`], [`ClassHierarchy::derive`] computes the Hasse diagram of
+//! the named types under the subtype order (respecting the environment's
+//! policy, so an Adaplex-style environment yields its declared hierarchy
+//! and an Amber-style one its structural hierarchy).
+
+use dbpl_types::{is_equiv, is_proper_subtype, Name, TypeEnv};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The Hasse diagram of named types under `≤`.
+#[derive(Debug, Clone, Default)]
+pub struct ClassHierarchy {
+    /// Direct supertypes (covers) of each name.
+    parents: BTreeMap<Name, BTreeSet<Name>>,
+    /// Direct subtypes of each name.
+    children: BTreeMap<Name, BTreeSet<Name>>,
+    names: BTreeSet<Name>,
+}
+
+impl ClassHierarchy {
+    /// Compute the hierarchy for every name declared in `env`.
+    ///
+    /// Equivalent (mutually subtyped) names are treated as distinct nodes
+    /// with edges in neither direction (they are aliases, not sub-classes).
+    pub fn derive(env: &TypeEnv) -> ClassHierarchy {
+        let names: Vec<Name> = env.names().cloned().collect();
+        let named = |n: &str| dbpl_types::Type::named(n);
+        // All proper-subtype pairs (a < b), excluding equivalences.
+        let mut lt: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (i, a) in names.iter().enumerate() {
+            for (j, b) in names.iter().enumerate() {
+                if i != j
+                    && is_proper_subtype(&named(a), &named(b), env)
+                    && !is_equiv(&named(a), &named(b), env)
+                {
+                    lt.insert((i, j));
+                }
+            }
+        }
+        // Transitive reduction: keep (a,b) unless some c has a<c<b.
+        let mut parents: BTreeMap<Name, BTreeSet<Name>> = BTreeMap::new();
+        let mut children: BTreeMap<Name, BTreeSet<Name>> = BTreeMap::new();
+        for &(i, j) in &lt {
+            let covered = (0..names.len())
+                .any(|k| k != i && k != j && lt.contains(&(i, k)) && lt.contains(&(k, j)));
+            if !covered {
+                parents.entry(names[i].clone()).or_default().insert(names[j].clone());
+                children.entry(names[j].clone()).or_default().insert(names[i].clone());
+            }
+        }
+        ClassHierarchy { parents, children, names: names.into_iter().collect() }
+    }
+
+    /// Every name in the hierarchy.
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.names.iter()
+    }
+
+    /// Direct superclasses (covers).
+    pub fn parents(&self, name: &str) -> impl Iterator<Item = &Name> {
+        self.parents.get(name).into_iter().flatten()
+    }
+
+    /// Direct subclasses.
+    pub fn children(&self, name: &str) -> impl Iterator<Item = &Name> {
+        self.children.get(name).into_iter().flatten()
+    }
+
+    /// All strict ancestors.
+    pub fn ancestors(&self, name: &str) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<&Name> = self.parents(name).collect();
+        while let Some(n) = stack.pop() {
+            if out.insert(n.clone()) {
+                stack.extend(self.parents(n));
+            }
+        }
+        out
+    }
+
+    /// All strict descendants.
+    pub fn descendants(&self, name: &str) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<&Name> = self.children(name).collect();
+        while let Some(n) = stack.pop() {
+            if out.insert(n.clone()) {
+                stack.extend(self.children(n));
+            }
+        }
+        out
+    }
+
+    /// Names with no superclass.
+    pub fn roots(&self) -> Vec<&Name> {
+        self.names.iter().filter(|n| self.parents(n).next().is_none()).collect()
+    }
+
+    /// Render as Graphviz DOT (edges point from subclass to superclass).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph classes {\n  rankdir=BT;\n");
+        for n in &self.names {
+            s.push_str(&format!("  \"{n}\";\n"));
+        }
+        for (child, ps) in &self.parents {
+            for p in ps {
+                s.push_str(&format!("  \"{child}\" -> \"{p}\";\n"));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpl_types::parse_type;
+
+    fn env() -> TypeEnv {
+        let mut e = TypeEnv::new();
+        e.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
+        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+        e.declare("Student", parse_type("{Name: Str, Gpa: Float}").unwrap()).unwrap();
+        e.declare(
+            "WorkingStudent",
+            parse_type("{Name: Str, Empno: Int, Gpa: Float}").unwrap(),
+        )
+        .unwrap();
+        e.declare("Thing", parse_type("{}").unwrap()).unwrap();
+        e
+    }
+
+    #[test]
+    fn hasse_diagram_is_the_transitive_reduction() {
+        let h = ClassHierarchy::derive(&env());
+        // WorkingStudent covers are Employee and Student, NOT Person.
+        let ps: Vec<&String> = h.parents("WorkingStudent").collect();
+        assert_eq!(ps.len(), 2);
+        assert!(ps.contains(&&"Employee".to_string()));
+        assert!(ps.contains(&&"Student".to_string()));
+        // Person's direct parent is Thing (the empty record).
+        assert_eq!(h.parents("Person").collect::<Vec<_>>(), [&"Thing".to_string()]);
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_transitive() {
+        let h = ClassHierarchy::derive(&env());
+        let anc = h.ancestors("WorkingStudent");
+        assert!(anc.contains("Person") && anc.contains("Thing"));
+        let desc = h.descendants("Person");
+        assert_eq!(
+            desc,
+            ["Employee", "Student", "WorkingStudent"].iter().map(|s| s.to_string()).collect()
+        );
+    }
+
+    #[test]
+    fn roots_have_no_parents() {
+        let h = ClassHierarchy::derive(&env());
+        assert_eq!(h.roots(), [&"Thing".to_string()]);
+    }
+
+    #[test]
+    fn declared_policy_hierarchy_differs() {
+        use dbpl_types::SubtypePolicy;
+        let mut e = TypeEnv::with_policy(SubtypePolicy::Declared);
+        e.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
+        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+        e.declare("Impostor", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+        e.declare_subtype("Employee", "Person").unwrap();
+        let h = ClassHierarchy::derive(&e);
+        assert_eq!(h.parents("Employee").collect::<Vec<_>>(), [&"Person".to_string()]);
+        // Impostor is structurally identical to Employee but declared
+        // nothing: it floats free under the Adaplex discipline.
+        assert_eq!(h.parents("Impostor").count(), 0);
+    }
+
+    #[test]
+    fn aliases_produce_no_edges() {
+        let mut e = TypeEnv::new();
+        e.declare("A", parse_type("{x: Int}").unwrap()).unwrap();
+        e.declare("B", parse_type("{x: Int}").unwrap()).unwrap();
+        let h = ClassHierarchy::derive(&e);
+        assert_eq!(h.parents("A").count(), 0);
+        assert_eq!(h.parents("B").count(), 0);
+    }
+
+    #[test]
+    fn dot_output_contains_every_edge() {
+        let h = ClassHierarchy::derive(&env());
+        let dot = h.to_dot();
+        assert!(dot.contains("\"Employee\" -> \"Person\""));
+        assert!(dot.contains("\"WorkingStudent\" -> \"Student\""));
+        assert!(!dot.contains("\"WorkingStudent\" -> \"Person\""), "reduced edge absent");
+    }
+}

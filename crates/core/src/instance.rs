@@ -1,0 +1,410 @@
+//! The *instance* (is-a-kind-of) hierarchy, and moving between its levels.
+//!
+//! Distinct from the subtype hierarchy, the paper identifies the
+//! instance hierarchy (value : type :: object : class) and gives two
+//! database-design scenarios where the level of a concept shifts:
+//!
+//! 1. **The University parking lot.** Cars carry only a registration tag
+//!    and a make-and-model; "information such as the length, which is used
+//!    to derive charges and the availability of space, is *derived from*
+//!    the make-and-model" — a car is an *instance of* a make-and-model,
+//!    which common designs (separate relation, compound attribute)
+//!    obscure.
+//! 2. **The manufacturing plant.** "Products … above a certain price are
+//!    treated as individuals and have attributes such as weight and
+//!    completion date … Below that price they are treated as classes and
+//!    have weight and number-in-stock as properties of the class" — the
+//!    *level in the instance hierarchy depends on an attribute*.
+//!
+//! Both scenarios are implemented here so that level-shifting is an
+//! operation, not a remodeling.
+
+use crate::error::CoreError;
+use dbpl_values::{Heap, Oid, Value};
+use dbpl_types::Type;
+use std::collections::BTreeMap;
+
+// ---------- scenario 1: the parking lot ----------
+
+/// The University parking lot: make-and-models as one level of the
+/// instance hierarchy, cars as the level below.
+#[derive(Debug, Default)]
+pub struct ParkingLot {
+    /// make-and-model name → object holding class-level attributes.
+    models: BTreeMap<String, Oid>,
+    /// registration tag → (model name, car object).
+    cars: BTreeMap<String, (String, Oid)>,
+    /// total kerb length available, in the same unit as model lengths.
+    capacity: f64,
+}
+
+impl ParkingLot {
+    /// A lot with a given total length capacity.
+    pub fn new(capacity: f64) -> ParkingLot {
+        ParkingLot { capacity, ..Default::default() }
+    }
+
+    /// Register a make-and-model with its class-level attributes.
+    pub fn register_model(
+        &mut self,
+        heap: &mut Heap,
+        name: &str,
+        length: f64,
+        weight: f64,
+    ) -> Result<Oid, CoreError> {
+        if self.models.contains_key(name) {
+            return Err(CoreError::Invalid(format!("model `{name}` already registered")));
+        }
+        let oid = heap.alloc(
+            Type::named("MakeModel"),
+            Value::record([
+                ("Name", Value::str(name)),
+                ("Length", Value::float(length)),
+                ("Weight", Value::float(weight)),
+            ]),
+        );
+        self.models.insert(name.to_string(), oid);
+        Ok(oid)
+    }
+
+    /// Park a car: "the only information maintained on cars … is the
+    /// registration number (tag), and make-and-model". Refuses when the
+    /// model's length would exceed remaining capacity.
+    pub fn park(&mut self, heap: &mut Heap, tag: &str, model: &str) -> Result<Oid, CoreError> {
+        let model_oid = *self
+            .models
+            .get(model)
+            .ok_or_else(|| CoreError::Invalid(format!("unknown model `{model}`")))?;
+        if self.cars.contains_key(tag) {
+            return Err(CoreError::Invalid(format!("tag `{tag}` already parked")));
+        }
+        let length = self.model_length(heap, model)?;
+        if self.occupied_length(heap)? + length > self.capacity {
+            return Err(CoreError::Invalid("lot full".into()));
+        }
+        let car = heap.alloc(
+            Type::named("Car"),
+            Value::record([("Tag", Value::str(tag)), ("Model", Value::Ref(model_oid))]),
+        );
+        self.cars.insert(tag.to_string(), (model.to_string(), car));
+        Ok(car)
+    }
+
+    /// A car's length — *derived* by moving one level up the instance
+    /// hierarchy to its make-and-model.
+    pub fn car_length(&self, heap: &Heap, tag: &str) -> Result<f64, CoreError> {
+        let (model, _) = self
+            .cars
+            .get(tag)
+            .ok_or_else(|| CoreError::Invalid(format!("unknown tag `{tag}`")))?;
+        self.model_length(heap, model)
+    }
+
+    fn model_length(&self, heap: &Heap, model: &str) -> Result<f64, CoreError> {
+        let oid = self.models[model];
+        heap.get(oid)?
+            .value
+            .field("Length")
+            .and_then(Value::as_float)
+            .ok_or_else(|| CoreError::Invalid("model lacks Length".into()))
+    }
+
+    /// Total kerb length currently occupied (the charge/availability
+    /// computation of the scenario).
+    pub fn occupied_length(&self, heap: &Heap) -> Result<f64, CoreError> {
+        let mut total = 0.0;
+        for (model, _) in self.cars.values() {
+            total += self.model_length(heap, model)?;
+        }
+        Ok(total)
+    }
+
+    /// Cars of a given model currently parked. Without tags this count is
+    /// the only identity the lot has — "one could then have two identical
+    /// cars in the database".
+    pub fn cars_of_model(&self, model: &str) -> usize {
+        self.cars.values().filter(|(m, _)| m == model).count()
+    }
+
+    /// Number of parked cars.
+    pub fn parked(&self) -> usize {
+        self.cars.len()
+    }
+
+    /// A car leaves.
+    pub fn depart(&mut self, tag: &str) -> Result<(), CoreError> {
+        self.cars
+            .remove(tag)
+            .map(|_| ())
+            .ok_or_else(|| CoreError::Invalid(format!("unknown tag `{tag}`")))
+    }
+}
+
+// ---------- scenario 2: the manufacturing plant ----------
+
+/// How a product is represented, depending on its price.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProductEntry {
+    /// Above the threshold: each unit is an individual with its own
+    /// attributes.
+    Individuals {
+        /// The individual units (each a heap object with Weight and
+        /// CompletionDate).
+        units: Vec<Oid>,
+    },
+    /// Below the threshold: the product is a class; weight and
+    /// number-in-stock are properties *of the class*.
+    ClassLevel {
+        /// Unit weight (class property).
+        weight: f64,
+        /// Number in stock (class property).
+        in_stock: u64,
+    },
+}
+
+/// The catalog whose entries live at a price-dependent level of the
+/// instance hierarchy.
+#[derive(Debug, Default)]
+pub struct ProductCatalog {
+    threshold: f64,
+    entries: BTreeMap<String, (f64, ProductEntry)>,
+}
+
+impl ProductCatalog {
+    /// A catalog with the given price threshold.
+    pub fn new(threshold: f64) -> ProductCatalog {
+        ProductCatalog { threshold, ..Default::default() }
+    }
+
+    /// The representation level a price dictates.
+    pub fn level_for(&self, price: f64) -> &'static str {
+        if price >= self.threshold {
+            "individual"
+        } else {
+            "class"
+        }
+    }
+
+    /// Add a product; representation is chosen by price.
+    pub fn add_product(
+        &mut self,
+        heap: &mut Heap,
+        name: &str,
+        price: f64,
+        unit_weight: f64,
+        quantity: u64,
+    ) -> Result<(), CoreError> {
+        if self.entries.contains_key(name) {
+            return Err(CoreError::Invalid(format!("product `{name}` exists")));
+        }
+        let entry = if price >= self.threshold {
+            let units = (0..quantity)
+                .map(|i| {
+                    heap.alloc(
+                        Type::named("ProductUnit"),
+                        Value::record([
+                            ("Product", Value::str(name)),
+                            ("Serial", Value::Int(i as i64)),
+                            ("Weight", Value::float(unit_weight)),
+                            ("CompletionDate", Value::str("1986-05-28")),
+                        ]),
+                    )
+                })
+                .collect();
+            ProductEntry::Individuals { units }
+        } else {
+            ProductEntry::ClassLevel { weight: unit_weight, in_stock: quantity }
+        };
+        self.entries.insert(name.to_string(), (price, entry));
+        Ok(())
+    }
+
+    /// Look up an entry.
+    pub fn entry(&self, name: &str) -> Option<&(f64, ProductEntry)> {
+        self.entries.get(name)
+    }
+
+    /// Units in stock, regardless of representation level.
+    pub fn stock(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).map(|(_, e)| match e {
+            ProductEntry::Individuals { units } => units.len() as u64,
+            ProductEntry::ClassLevel { in_stock, .. } => *in_stock,
+        })
+    }
+
+    /// Total stock weight, summing per-unit attributes for individuals and
+    /// class-level weight × count otherwise.
+    pub fn total_weight(&self, heap: &Heap) -> Result<f64, CoreError> {
+        let mut total = 0.0;
+        for (_, entry) in self.entries.values() {
+            match entry {
+                ProductEntry::Individuals { units } => {
+                    for u in units {
+                        total += heap
+                            .get(*u)?
+                            .value
+                            .field("Weight")
+                            .and_then(Value::as_float)
+                            .unwrap_or(0.0);
+                    }
+                }
+                ProductEntry::ClassLevel { weight, in_stock } => {
+                    total += weight * *in_stock as f64;
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Re-price a product, *shifting its level* in the instance hierarchy
+    /// if it crosses the threshold — the mind-bending part of the
+    /// scenario, here a single operation.
+    pub fn reprice(
+        &mut self,
+        heap: &mut Heap,
+        name: &str,
+        new_price: f64,
+    ) -> Result<(), CoreError> {
+        let (old_price, entry) = self
+            .entries
+            .remove(name)
+            .ok_or_else(|| CoreError::Invalid(format!("unknown product `{name}`")))?;
+        let was_individual = old_price >= self.threshold;
+        let now_individual = new_price >= self.threshold;
+        let new_entry = match (entry, was_individual, now_individual) {
+            (e, a, b) if a == b => e,
+            // Demote: individuals collapse into a class with a count.
+            (ProductEntry::Individuals { units }, true, false) => {
+                let weight = units
+                    .first()
+                    .and_then(|u| heap.get(*u).ok())
+                    .and_then(|o| o.value.field("Weight").and_then(Value::as_float))
+                    .unwrap_or(0.0);
+                ProductEntry::ClassLevel { weight, in_stock: units.len() as u64 }
+            }
+            // Promote: the class explodes into individuals.
+            (ProductEntry::ClassLevel { weight, in_stock }, false, true) => {
+                let units = (0..in_stock)
+                    .map(|i| {
+                        heap.alloc(
+                            Type::named("ProductUnit"),
+                            Value::record([
+                                ("Product", Value::str(name)),
+                                ("Serial", Value::Int(i as i64)),
+                                ("Weight", Value::float(weight)),
+                                ("CompletionDate", Value::str("1986-05-28")),
+                            ]),
+                        )
+                    })
+                    .collect();
+                ProductEntry::Individuals { units }
+            }
+            (e, _, _) => e,
+        };
+        self.entries.insert(name.to_string(), (new_price, new_entry));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn car_length_is_derived_from_make_and_model() {
+        let mut heap = Heap::new();
+        let mut lot = ParkingLot::new(20.0);
+        lot.register_model(&mut heap, "Chevvy Nova", 4.5, 3000.0).unwrap();
+        lot.park(&mut heap, "PA-1234", "Chevvy Nova").unwrap();
+        assert_eq!(lot.car_length(&heap, "PA-1234").unwrap(), 4.5);
+    }
+
+    #[test]
+    fn capacity_is_enforced_via_model_length() {
+        let mut heap = Heap::new();
+        let mut lot = ParkingLot::new(10.0);
+        lot.register_model(&mut heap, "Bus", 9.0, 9000.0).unwrap();
+        lot.register_model(&mut heap, "Mini", 3.0, 700.0).unwrap();
+        lot.park(&mut heap, "B1", "Bus").unwrap();
+        assert!(lot.park(&mut heap, "M1", "Mini").is_err(), "9 + 3 > 10");
+        lot.depart("B1").unwrap();
+        assert!(lot.park(&mut heap, "M1", "Mini").is_ok());
+    }
+
+    #[test]
+    fn two_identical_cars_coexist_by_identity() {
+        // "one could then have two identical cars in the database" — with
+        // tags they differ by key; the underlying objects are distinct
+        // either way.
+        let mut heap = Heap::new();
+        let mut lot = ParkingLot::new(100.0);
+        lot.register_model(&mut heap, "Nova", 4.0, 3000.0).unwrap();
+        let a = lot.park(&mut heap, "T1", "Nova").unwrap();
+        let b = lot.park(&mut heap, "T2", "Nova").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(lot.cars_of_model("Nova"), 2);
+        assert!(lot.park(&mut heap, "T1", "Nova").is_err(), "duplicate tag");
+    }
+
+    #[test]
+    fn model_updates_propagate_to_all_instances() {
+        // Shared class-level data: correct a model's length and every
+        // car's derived length changes (the design the paper says compound
+        // attributes would obscure).
+        let mut heap = Heap::new();
+        let mut lot = ParkingLot::new(100.0);
+        let model = lot.register_model(&mut heap, "Nova", 4.0, 3000.0).unwrap();
+        lot.park(&mut heap, "T1", "Nova").unwrap();
+        lot.park(&mut heap, "T2", "Nova").unwrap();
+        let fixed = dbpl_values::extend(
+            &heap.get(model).unwrap().value,
+            [("Length", Value::float(4.2))],
+        )
+        .unwrap();
+        heap.update(model, fixed).unwrap();
+        assert_eq!(lot.car_length(&heap, "T1").unwrap(), 4.2);
+        assert_eq!(lot.car_length(&heap, "T2").unwrap(), 4.2);
+        assert!((lot.occupied_length(&heap).unwrap() - 8.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_determines_representation_level() {
+        let mut heap = Heap::new();
+        let mut cat = ProductCatalog::new(1000.0);
+        cat.add_product(&mut heap, "turbine", 50_000.0, 800.0, 3).unwrap();
+        cat.add_product(&mut heap, "washer", 0.05, 0.01, 10_000).unwrap();
+        assert!(matches!(cat.entry("turbine").unwrap().1, ProductEntry::Individuals { .. }));
+        assert!(matches!(cat.entry("washer").unwrap().1, ProductEntry::ClassLevel { .. }));
+        assert_eq!(cat.stock("turbine"), Some(3));
+        assert_eq!(cat.stock("washer"), Some(10_000));
+        assert_eq!(cat.level_for(2000.0), "individual");
+        assert_eq!(cat.level_for(2.0), "class");
+    }
+
+    #[test]
+    fn total_weight_spans_both_levels() {
+        let mut heap = Heap::new();
+        let mut cat = ProductCatalog::new(1000.0);
+        cat.add_product(&mut heap, "turbine", 50_000.0, 800.0, 2).unwrap();
+        cat.add_product(&mut heap, "washer", 0.05, 0.01, 1000).unwrap();
+        let w = cat.total_weight(&heap).unwrap();
+        assert!((w - (1600.0 + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repricing_shifts_levels_and_preserves_stock() {
+        let mut heap = Heap::new();
+        let mut cat = ProductCatalog::new(1000.0);
+        cat.add_product(&mut heap, "gadget", 2000.0, 5.0, 4).unwrap();
+        // Demote below the threshold: individuals → class.
+        cat.reprice(&mut heap, "gadget", 10.0).unwrap();
+        assert!(matches!(cat.entry("gadget").unwrap().1, ProductEntry::ClassLevel { .. }));
+        assert_eq!(cat.stock("gadget"), Some(4));
+        // Promote again: class → individuals.
+        cat.reprice(&mut heap, "gadget", 5000.0).unwrap();
+        assert!(matches!(cat.entry("gadget").unwrap().1, ProductEntry::Individuals { .. }));
+        assert_eq!(cat.stock("gadget"), Some(4));
+        let w = cat.total_weight(&heap).unwrap();
+        assert!((w - 20.0).abs() < 1e-9, "weight preserved across both shifts");
+    }
+}

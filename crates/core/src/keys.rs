@@ -1,0 +1,234 @@
+//! Key constraints and their interaction with object-level inheritance.
+//!
+//! "If we want to maintain the natural identity of tuples we usually
+//! impose natural or artificial key attributes on suitably chosen classes.
+//! Moreover the imposition of keys will also prevent comparable values
+//! (under ⊑) from coexisting in the same set. If, for example, we insist
+//! that Name is a key for Person, we cannot now place two comparable
+//! objects whose type is a subtype of Person in the database, for if they
+//! were comparable, they would necessarily have the same key."
+//!
+//! [`KeyedSet`] enforces exactly this over a generalized relation: an
+//! insertion whose key agrees with an existing member is rejected (so, in
+//! particular, any ⊑-comparable pair with defined keys is excluded), and
+//! members must *define* the key — a key constraint is a totality
+//! requirement on those paths.
+
+use crate::error::CoreError;
+use dbpl_relation::GenRelation;
+use dbpl_values::{get_path, leq, Path, Value};
+
+/// A key: a set of paths that must be defined and unique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyConstraint {
+    paths: Vec<Path>,
+}
+
+impl KeyConstraint {
+    /// A key over the given paths.
+    pub fn new<I, P>(paths: I) -> KeyConstraint
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<Path>,
+    {
+        KeyConstraint { paths: paths.into_iter().map(Into::into).collect() }
+    }
+
+    /// The key paths.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// The key value of an object: `None` if any path is undefined.
+    pub fn key_of(&self, v: &Value) -> Option<Vec<Value>> {
+        self.paths.iter().map(|p| get_path(v, p).cloned()).collect()
+    }
+}
+
+/// A set of objects governed by a key constraint.
+#[derive(Debug, Clone)]
+pub struct KeyedSet {
+    key: KeyConstraint,
+    rel: GenRelation,
+}
+
+impl KeyedSet {
+    /// An empty keyed set.
+    pub fn new(key: KeyConstraint) -> KeyedSet {
+        KeyedSet { key, rel: GenRelation::new() }
+    }
+
+    /// The key constraint.
+    pub fn key(&self) -> &KeyConstraint {
+        &self.key
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &GenRelation {
+        &self.rel
+    }
+
+    /// Members.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.rel.iter()
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Insert an object. Fails if the key is undefined on it, or if an
+    /// existing member carries the same key.
+    pub fn insert(&mut self, v: Value) -> Result<(), CoreError> {
+        let k = self.key.key_of(&v).ok_or_else(|| {
+            CoreError::KeyViolation(format!(
+                "object {v} does not define the key ({})",
+                self.key.paths.iter().map(Path::to_string).collect::<Vec<_>>().join(", ")
+            ))
+        })?;
+        for existing in self.rel.iter() {
+            if self.key.key_of(existing).as_ref() == Some(&k) {
+                return Err(CoreError::KeyViolation(format!(
+                    "key {k:?} already identifies {existing}"
+                )));
+            }
+        }
+        self.rel.insert(v);
+        Ok(())
+    }
+
+    /// *Update in place*: replace the member with key `k` by the join of
+    /// itself and `delta` (adding information to an identified object).
+    /// This is the key-respecting way to turn a Person into an Employee.
+    pub fn refine(&mut self, v: &Value) -> Result<(), CoreError> {
+        let k = self
+            .key
+            .key_of(v)
+            .ok_or_else(|| CoreError::KeyViolation("refinement must define the key".into()))?;
+        let target = self
+            .rel
+            .iter()
+            .find(|e| self.key.key_of(e).as_ref() == Some(&k))
+            .cloned()
+            .ok_or_else(|| CoreError::KeyViolation(format!("no member with key {k:?}")))?;
+        let merged = dbpl_values::join(&target, v).ok_or_else(|| {
+            CoreError::KeyViolation(format!("{v} contradicts existing member {target}"))
+        })?;
+        let remaining: Vec<Value> =
+            self.rel.iter().filter(|e| **e != target).cloned().collect();
+        let mut rel = GenRelation::from_values(remaining);
+        rel.insert(merged);
+        self.rel = rel;
+        Ok(())
+    }
+
+    /// Look up a member by key.
+    pub fn find(&self, key: &[Value]) -> Option<&Value> {
+        self.rel.iter().find(|e| self.key.key_of(e).as_deref() == Some(key))
+    }
+
+    /// The property the paper derives: no two members are ⊑-comparable.
+    pub fn no_comparable_members(&self) -> bool {
+        let rows: Vec<&Value> = self.rel.iter().collect();
+        for (i, a) in rows.iter().enumerate() {
+            for b in &rows[i + 1..] {
+                if leq(a, b) || leq(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person(name: &str) -> Value {
+        Value::record([("Name", Value::str(name))])
+    }
+    fn employee(name: &str, no: i64) -> Value {
+        Value::record([("Name", Value::str(name)), ("Empno", Value::Int(no))])
+    }
+
+    #[test]
+    fn name_key_prevents_comparable_coexistence() {
+        // The paper's exact example: Name is a key for Person; a Person
+        // and an Employee with the same name cannot both be present.
+        let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
+        s.insert(person("J Doe")).unwrap();
+        let err = s.insert(employee("J Doe", 1234));
+        assert!(matches!(err, Err(CoreError::KeyViolation(_))));
+        assert!(s.no_comparable_members());
+    }
+
+    #[test]
+    fn refine_adds_information_to_the_identified_object() {
+        let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
+        s.insert(person("J Doe")).unwrap();
+        s.refine(&employee("J Doe", 1234)).unwrap();
+        assert_eq!(s.len(), 1);
+        let member = s.find(&[Value::str("J Doe")]).unwrap();
+        assert_eq!(member.field("Empno"), Some(&Value::Int(1234)));
+    }
+
+    #[test]
+    fn refine_rejects_contradictions() {
+        let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
+        s.insert(employee("J Doe", 1)).unwrap();
+        let clash = Value::record([("Name", Value::str("J Doe")), ("Empno", Value::Int(2))]);
+        assert!(matches!(s.refine(&clash), Err(CoreError::KeyViolation(_))));
+    }
+
+    #[test]
+    fn key_must_be_defined() {
+        let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
+        let anonymous = Value::record([("Empno", Value::Int(9))]);
+        assert!(matches!(s.insert(anonymous), Err(CoreError::KeyViolation(_))));
+    }
+
+    #[test]
+    fn incomparable_objects_with_distinct_keys_coexist() {
+        let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
+        s.insert(employee("J Doe", 1)).unwrap();
+        s.insert(employee("K Smith", 2)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.no_comparable_members());
+    }
+
+    #[test]
+    fn compound_and_nested_keys() {
+        let mut s = KeyedSet::new(KeyConstraint::new(["Name", "Addr.City"]));
+        let a = Value::record([
+            ("Name", Value::str("x")),
+            ("Addr", Value::record([("City", Value::str("Austin"))])),
+        ]);
+        let b = Value::record([
+            ("Name", Value::str("x")),
+            ("Addr", Value::record([("City", Value::str("Moose"))])),
+        ]);
+        s.insert(a).unwrap();
+        s.insert(b).unwrap(); // same Name, different City: allowed
+        assert_eq!(s.len(), 2);
+        let c = Value::record([
+            ("Name", Value::str("x")),
+            ("Addr", Value::record([("City", Value::str("Austin")), ("Zip", Value::Int(1))])),
+        ]);
+        assert!(s.insert(c).is_err(), "same compound key rejected");
+    }
+
+    #[test]
+    fn find_by_key() {
+        let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
+        s.insert(employee("J Doe", 1)).unwrap();
+        assert!(s.find(&[Value::str("J Doe")]).is_some());
+        assert!(s.find(&[Value::str("Nobody")]).is_none());
+    }
+}

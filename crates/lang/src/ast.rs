@@ -1,0 +1,167 @@
+//! The abstract syntax of MiniDBPL.
+
+use dbpl_types::Type;
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `++` (string concatenation)
+    Concat,
+    /// `==`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// An expression, annotated with the byte offset of its head token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Source offset (for error messages).
+    pub at: usize,
+    /// The node itself.
+    pub node: ExprKind,
+}
+
+/// Expression constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Unit literal `()`.
+    Unit,
+    /// Variable reference.
+    Var(String),
+    /// Record literal `{l = e, ...}`.
+    Record(Vec<(String, Expr)>),
+    /// List literal `[e, ...]`.
+    List(Vec<Expr>),
+    /// Field access `e.l`.
+    Field(Box<Expr>, String),
+    /// Record extension `e with {l = e, ...}` — object-level inheritance.
+    With(Box<Expr>, Vec<(String, Expr)>),
+    /// Conditional.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `let x (: T)? = e1 in e2`.
+    Let(String, Option<Type>, Box<Expr>, Box<Expr>),
+    /// Lambda `fn(x: T) => e` (multi-parameter surface forms are curried
+    /// by the parser).
+    Lambda(String, Type, Box<Expr>),
+    /// Application `f(e)` (multi-argument calls are curried).
+    App(Box<Expr>, Box<Expr>),
+    /// Type application `f[T]`.
+    TyApp(Box<Expr>, Type),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `not e`.
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `dynamic e` — inject into `Dynamic`, carrying `e`'s static type.
+    DynamicE(Box<Expr>),
+    /// `coerce e to T` — checked projection out of `Dynamic`.
+    CoerceE(Box<Expr>, Type),
+    /// `typeof e` — the description (as a string) of a dynamic's carried
+    /// type.
+    TypeofE(Box<Expr>),
+    /// `extern(handle, e)` — replicating persistence out.
+    ExternE(Box<Expr>, Box<Expr>),
+    /// `intern(handle)` — replicating persistence in; result `Dynamic`.
+    InternE(Box<Expr>),
+    /// `tag Label e` — variant construction; infers the singleton variant
+    /// `<Label: T>`, a subtype of every wider variant carrying that arm.
+    TagE(String, Box<Expr>),
+    /// `case e of A x => e1 | B y => e2 …` — exhaustive variant analysis.
+    CaseE(Box<Expr>, Vec<(String, String, Expr)>),
+}
+
+impl Expr {
+    /// Construct with a position.
+    pub fn new(at: usize, node: ExprKind) -> Expr {
+        Expr { at, node }
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `type Name = T`.
+    TypeDecl {
+        /// Offset.
+        at: usize,
+        /// Declared name.
+        name: String,
+        /// Definition.
+        ty: Type,
+    },
+    /// `include Sub in Sup` — an Adaplex-style declared subtype edge.
+    Include {
+        /// Offset.
+        at: usize,
+        /// Subtype name.
+        sub: String,
+        /// Supertype name.
+        sup: String,
+    },
+    /// `let x (: T)? = e` at top level.
+    Let {
+        /// Offset.
+        at: usize,
+        /// Bound name.
+        name: String,
+        /// Optional annotation.
+        ann: Option<Type>,
+        /// Bound expression.
+        expr: Expr,
+    },
+    /// `fun f[t <= B, ...](x: T, ...): R = e` — sugar for a (possibly
+    /// type-)polymorphic let.
+    FunDecl {
+        /// Offset.
+        at: usize,
+        /// Function name.
+        name: String,
+        /// Type parameters with optional bounds.
+        tparams: Vec<(String, Option<Type>)>,
+        /// Value parameters.
+        params: Vec<(String, Type)>,
+        /// Declared result type.
+        result: Type,
+        /// Body.
+        body: Expr,
+    },
+    /// A bare expression statement; its value is printed.
+    Expr(Expr),
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The items, in order.
+    pub items: Vec<Item>,
+}

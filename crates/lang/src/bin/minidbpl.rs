@@ -1,0 +1,124 @@
+//! The MiniDBPL command-line driver.
+//!
+//! ```text
+//! minidbpl script.dbpl …      run scripts in one shared session
+//! minidbpl                    interactive REPL (`:quit` to exit;
+//!                             `:schema` lists declared types)
+//! minidbpl --store DIR …     put the replicating store at DIR, so
+//!                             handles survive across invocations
+//! ```
+//!
+//! Every script (and every REPL line) is a *program* in the paper's
+//! sense: variables are per-program, while the database, the schema and
+//! the externed handles persist in the session — and, with `--store`,
+//! across process invocations.
+
+use dbpl_lang::Session;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store_dir: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--store") {
+        args.remove(pos);
+        if pos < args.len() {
+            store_dir = Some(args.remove(pos));
+        } else {
+            eprintln!("--store requires a directory");
+            std::process::exit(2);
+        }
+    }
+
+    let mut session = match &store_dir {
+        Some(dir) => Session::with_store_dir(dir),
+        None => Session::new(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start session: {e}");
+        std::process::exit(2);
+    });
+
+    if args.is_empty() {
+        repl(&mut session);
+        return;
+    }
+
+    let mut failed = false;
+    for path in &args {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match session.run_pretty(&src) {
+            Ok(out) => {
+                for line in out {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn repl(session: &mut Session) {
+    println!("MiniDBPL — Buneman & Atkinson, SIGMOD 1986 (:quit to exit, :schema for types)");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("dbpl> ");
+        } else {
+            print!("  ... ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        match trimmed {
+            ":quit" | ":q" => break,
+            ":schema" => {
+                for (name, ty) in session.db.env().definitions() {
+                    println!("type {name} = {ty}");
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // A trailing backslash continues the statement on the next line.
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            buffer.push_str(stripped);
+            buffer.push('\n');
+            continue;
+        }
+        buffer.push_str(&line);
+        let src = std::mem::take(&mut buffer);
+        if src.trim().is_empty() {
+            continue;
+        }
+        match session.run_pretty(&src) {
+            Ok(out) => {
+                for l in out {
+                    println!("{l}");
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+    }
+}

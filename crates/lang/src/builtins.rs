@@ -1,0 +1,186 @@
+//! Builtin functions: their static signatures and arities.
+//!
+//! The star is `get : forall t. Database -> List[t]` — the paper's
+//! generic extraction function. (Its fully faithful type is
+//! `∀t. Database → List[∃t' ≤ t]`; MiniDBPL applies the sound
+//! "use-at-bound" rule, immediately opening every package at `t`, which is
+//! what the existential licenses. The `dbpl-core` API exposes the packages
+//! themselves.) `cons` is typed exactly as the paper's example
+//! `∀a. a → List[a] → List[a]`.
+
+use dbpl_types::Type;
+
+/// The database's abstract type name.
+pub const DATABASE: &str = "Database";
+
+/// A builtin's static description.
+pub struct BuiltinSig {
+    /// Name (also the surface identifier).
+    pub name: &'static str,
+    /// Full (possibly quantified) type.
+    pub ty: Type,
+    /// Number of *value* arguments the implementation expects.
+    pub arity: usize,
+}
+
+fn db() -> Type {
+    Type::named(DATABASE)
+}
+fn v(s: &str) -> Type {
+    Type::var(s)
+}
+fn list(t: Type) -> Type {
+    Type::list(t)
+}
+fn fun2(a: Type, b: Type, r: Type) -> Type {
+    Type::fun(a, Type::fun(b, r))
+}
+
+/// The table of builtins.
+pub fn builtins() -> Vec<BuiltinSig> {
+    vec![
+        BuiltinSig {
+            name: "print",
+            ty: Type::fun(Type::Top, Type::Unit),
+            arity: 1,
+        },
+        // Get : ∀t. Database → List[t]   (use-at-bound; see module docs)
+        BuiltinSig {
+            name: "get",
+            ty: Type::forall("t", None, Type::fun(db(), list(v("t")))),
+            arity: 1,
+        },
+        BuiltinSig {
+            name: "put",
+            ty: fun2(db(), Type::Dynamic, Type::Unit),
+            arity: 2,
+        },
+        // Cons : ∀a. a → List[a] → List[a] — the paper's example.
+        BuiltinSig {
+            name: "cons",
+            ty: Type::forall("a", None, fun2(v("a"), list(v("a")), list(v("a")))),
+            arity: 2,
+        },
+        BuiltinSig {
+            name: "head",
+            ty: Type::forall("a", None, Type::fun(list(v("a")), v("a"))),
+            arity: 1,
+        },
+        BuiltinSig {
+            name: "tail",
+            ty: Type::forall("a", None, Type::fun(list(v("a")), list(v("a")))),
+            arity: 1,
+        },
+        BuiltinSig {
+            name: "isEmpty",
+            ty: Type::forall("a", None, Type::fun(list(v("a")), Type::Bool)),
+            arity: 1,
+        },
+        BuiltinSig {
+            name: "len",
+            ty: Type::forall("a", None, Type::fun(list(v("a")), Type::Int)),
+            arity: 1,
+        },
+        BuiltinSig {
+            name: "append",
+            ty: Type::forall("a", None, fun2(list(v("a")), list(v("a")), list(v("a")))),
+            arity: 2,
+        },
+        BuiltinSig {
+            name: "map",
+            ty: Type::forall(
+                "a",
+                None,
+                Type::forall(
+                    "b",
+                    None,
+                    fun2(Type::fun(v("a"), v("b")), list(v("a")), list(v("b"))),
+                ),
+            ),
+            arity: 2,
+        },
+        BuiltinSig {
+            name: "filter",
+            ty: Type::forall(
+                "a",
+                None,
+                fun2(Type::fun(v("a"), Type::Bool), list(v("a")), list(v("a"))),
+            ),
+            arity: 2,
+        },
+        BuiltinSig {
+            name: "fold",
+            ty: Type::forall(
+                "a",
+                None,
+                Type::forall(
+                    "b",
+                    None,
+                    Type::fun(
+                        fun2(v("b"), v("a"), v("b")),
+                        fun2(v("b"), list(v("a")), v("b")),
+                    ),
+                ),
+            ),
+            arity: 3,
+        },
+        BuiltinSig {
+            name: "sum",
+            ty: Type::fun(list(Type::Float), Type::Float),
+            arity: 1,
+        },
+        BuiltinSig {
+            name: "str",
+            ty: Type::fun(Type::Top, Type::Str),
+            arity: 1,
+        },
+        BuiltinSig {
+            name: "reverse",
+            ty: Type::forall("a", None, Type::fun(list(v("a")), list(v("a")))),
+            arity: 1,
+        },
+        // Set semantics at the language level: duplicates collapse.
+        BuiltinSig {
+            name: "distinct",
+            ty: Type::forall("a", None, Type::fun(list(v("a")), list(v("a")))),
+            arity: 1,
+        },
+        BuiltinSig {
+            name: "range",
+            ty: fun2(Type::Int, Type::Int, list(Type::Int)),
+            arity: 2,
+        },
+    ]
+}
+
+/// Look up one builtin by name.
+pub fn builtin(name: &str) -> Option<BuiltinSig> {
+    builtins().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_has_the_papers_shape() {
+        let g = builtin("get").unwrap();
+        assert_eq!(g.ty.to_string(), "forall t. Database -> List[t]");
+    }
+
+    #[test]
+    fn cons_matches_cardelli_wegner() {
+        let c = builtin("cons").unwrap();
+        assert_eq!(c.ty.to_string(), "forall a. a -> List[a] -> List[a]");
+    }
+
+    #[test]
+    fn table_has_no_duplicates() {
+        let names: Vec<&str> = builtins().iter().map(|b| b.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+        assert!(builtin("nope").is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! Errors for MiniDBPL, each carrying a byte offset into the source.
+
+use std::fmt;
+
+/// Which phase produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Static type checking.
+    Check,
+    /// Evaluation.
+    Eval,
+}
+
+/// A language-processing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// The phase.
+    pub phase: Phase,
+    /// Byte offset into the source.
+    pub at: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl LangError {
+    /// A lexical error.
+    pub fn lex(at: usize, msg: impl Into<String>) -> LangError {
+        LangError { phase: Phase::Lex, at, msg: msg.into() }
+    }
+
+    /// A parse error.
+    pub fn parse(at: usize, msg: impl Into<String>) -> LangError {
+        LangError { phase: Phase::Parse, at, msg: msg.into() }
+    }
+
+    /// A type error.
+    pub fn check(at: usize, msg: impl Into<String>) -> LangError {
+        LangError { phase: Phase::Check, at, msg: msg.into() }
+    }
+
+    /// A runtime error.
+    pub fn eval(at: usize, msg: impl Into<String>) -> LangError {
+        LangError { phase: Phase::Eval, at, msg: msg.into() }
+    }
+
+    /// Render with a line/column computed against the source text.
+    pub fn render(&self, src: &str) -> String {
+        let mut line = 1usize;
+        let mut col = 1usize;
+        for (i, c) in src.char_indices() {
+            if i >= self.at {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        let phase = match self.phase {
+            Phase::Lex => "lexical",
+            Phase::Parse => "parse",
+            Phase::Check => "type",
+            Phase::Eval => "runtime",
+        };
+        format!("{phase} error at {line}:{col}: {}", self.msg)
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lexical",
+            Phase::Parse => "parse",
+            Phase::Check => "type",
+            Phase::Eval => "runtime",
+        };
+        write!(f, "{phase} error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_computes_line_and_column() {
+        let src = "line one\nline two";
+        let e = LangError::check(9, "boom");
+        assert_eq!(e.render(src), "type error at 2:1: boom");
+        let e2 = LangError::parse(2, "x");
+        assert_eq!(e2.render(src), "parse error at 1:3: x");
+    }
+}

@@ -1,0 +1,300 @@
+//! Runtime values and environments for the MiniDBPL evaluator.
+//!
+//! Runtime values extend the storable [`Value`]s of `dbpl-values` with
+//! closures and partially applied builtins, which exist only during
+//! evaluation. Conversion to [`Value`] happens at the *database
+//! boundaries* — `dynamic`, `put`, `extern` — where functions are
+//! rejected: only data persists.
+
+use crate::ast::Expr;
+use crate::error::LangError;
+use dbpl_types::Type;
+use dbpl_values::{Oid, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A lexical environment (persistent linked list, cheap to capture).
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    name: String,
+    value: RtValue,
+    next: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Extend with a binding.
+    pub fn bind(&self, name: impl Into<String>, value: RtValue) -> Env {
+        Env(Some(Rc::new(EnvNode { name: name.into(), value, next: self.clone() })))
+    }
+
+    /// Look up a name.
+    pub fn lookup(&self, name: &str) -> Option<&RtValue> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.next;
+        }
+        None
+    }
+}
+
+/// A user function (possibly recursive through `name`).
+#[derive(Debug)]
+pub struct Closure {
+    /// For recursive functions, the name under which the closure can see
+    /// itself.
+    pub name: Option<String>,
+    /// Parameter name.
+    pub param: String,
+    /// Body.
+    pub body: Expr,
+    /// Captured environment.
+    pub env: Env,
+}
+
+/// A (possibly partially applied) builtin.
+#[derive(Debug, Clone)]
+pub struct Builtin {
+    /// Builtin name (keys into the builtin table).
+    pub name: &'static str,
+    /// Collected type arguments.
+    pub tyargs: Vec<Type>,
+    /// Collected value arguments.
+    pub args: Vec<RtValue>,
+    /// Total number of value arguments required.
+    pub arity: usize,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum RtValue {
+    /// Unit.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// List.
+    List(Vec<RtValue>),
+    /// Record.
+    Record(BTreeMap<String, RtValue>),
+    /// Tagged (variant) value.
+    Tagged(String, Box<RtValue>),
+    /// Dynamic: a value carrying its type.
+    Dyn(Type, Rc<RtValue>),
+    /// An object reference (appears when database values contain them).
+    Ref(Oid),
+    /// A user function.
+    Closure(Rc<Closure>),
+    /// A builtin (possibly partially applied).
+    Builtin(Builtin),
+    /// The session database token (the value of the global `db`).
+    DbToken,
+}
+
+impl RtValue {
+    /// Convert to a storable [`Value`]; fails on functions and the
+    /// database token.
+    pub fn to_value(&self, at: usize) -> Result<Value, LangError> {
+        Ok(match self {
+            RtValue::Unit => Value::Unit,
+            RtValue::Bool(b) => Value::Bool(*b),
+            RtValue::Int(i) => Value::Int(*i),
+            RtValue::Float(x) => Value::float(*x),
+            RtValue::Str(s) => Value::Str(s.clone()),
+            RtValue::List(xs) => {
+                Value::List(xs.iter().map(|x| x.to_value(at)).collect::<Result<_, _>>()?)
+            }
+            RtValue::Record(fs) => Value::Record(
+                fs.iter()
+                    .map(|(l, v)| Ok((l.clone(), v.to_value(at)?)))
+                    .collect::<Result<_, LangError>>()?,
+            ),
+            RtValue::Tagged(l, v) => Value::Tagged(l.clone(), Box::new(v.to_value(at)?)),
+            RtValue::Dyn(t, v) => Value::dynamic(t.clone(), v.to_value(at)?),
+            RtValue::Ref(o) => Value::Ref(*o),
+            RtValue::Closure(_) | RtValue::Builtin(_) => {
+                return Err(LangError::eval(at, "functions cannot be stored as data".to_string()))
+            }
+            RtValue::DbToken => {
+                return Err(LangError::eval(at, "the database itself is not a storable value".to_string()))
+            }
+        })
+    }
+
+    /// Convert a storable value into a runtime value (always succeeds).
+    pub fn from_value(v: &Value) -> RtValue {
+        match v {
+            Value::Unit => RtValue::Unit,
+            Value::Bool(b) => RtValue::Bool(*b),
+            Value::Int(i) => RtValue::Int(*i),
+            Value::Float(x) => RtValue::Float(x.0),
+            Value::Str(s) => RtValue::Str(s.clone()),
+            Value::List(xs) => RtValue::List(xs.iter().map(RtValue::from_value).collect()),
+            Value::Set(xs) => RtValue::List(xs.iter().map(RtValue::from_value).collect()),
+            Value::Record(fs) => RtValue::Record(
+                fs.iter().map(|(l, x)| (l.clone(), RtValue::from_value(x))).collect(),
+            ),
+            Value::Tagged(l, x) => RtValue::Tagged(l.clone(), Box::new(RtValue::from_value(x))),
+            Value::Dyn(d) => RtValue::Dyn(d.ty.clone(), Rc::new(RtValue::from_value(&d.value))),
+            Value::Ref(o) => RtValue::Ref(*o),
+        }
+    }
+
+    /// Structural equality on data; functions are never equal.
+    pub fn data_eq(&self, other: &RtValue) -> Option<bool> {
+        match (self, other) {
+            (RtValue::Unit, RtValue::Unit) => Some(true),
+            (RtValue::Bool(a), RtValue::Bool(b)) => Some(a == b),
+            (RtValue::Int(a), RtValue::Int(b)) => Some(a == b),
+            (RtValue::Float(a), RtValue::Float(b)) => Some(a == b),
+            (RtValue::Int(a), RtValue::Float(b)) | (RtValue::Float(b), RtValue::Int(a)) => {
+                Some(*a as f64 == *b)
+            }
+            (RtValue::Str(a), RtValue::Str(b)) => Some(a == b),
+            (RtValue::Ref(a), RtValue::Ref(b)) => Some(a == b),
+            (RtValue::List(a), RtValue::List(b)) => {
+                if a.len() != b.len() {
+                    return Some(false);
+                }
+                for (x, y) in a.iter().zip(b) {
+                    match x.data_eq(y) {
+                        Some(true) => {}
+                        other => return other,
+                    }
+                }
+                Some(true)
+            }
+            (RtValue::Record(a), RtValue::Record(b)) => {
+                if a.len() != b.len() || !a.keys().eq(b.keys()) {
+                    return Some(false);
+                }
+                for (x, y) in a.values().zip(b.values()) {
+                    match x.data_eq(y) {
+                        Some(true) => {}
+                        other => return other,
+                    }
+                }
+                Some(true)
+            }
+            (RtValue::Tagged(la, va), RtValue::Tagged(lb, vb)) => {
+                if la != lb {
+                    return Some(false);
+                }
+                va.data_eq(vb)
+            }
+            (RtValue::Dyn(ta, va), RtValue::Dyn(tb, vb)) => {
+                if ta != tb {
+                    return Some(false);
+                }
+                va.data_eq(vb)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtValue::Unit => write!(f, "()"),
+            RtValue::Bool(b) => write!(f, "{b}"),
+            RtValue::Int(i) => write!(f, "{i}"),
+            RtValue::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            RtValue::Str(s) => write!(f, "'{s}'"),
+            RtValue::List(xs) => {
+                write!(f, "[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            RtValue::Record(fs) => {
+                write!(f, "{{")?;
+                for (i, (l, v)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l} = {v}")?;
+                }
+                write!(f, "}}")
+            }
+            RtValue::Tagged(l, v) => write!(f, "{l}({v})"),
+            RtValue::Dyn(t, v) => write!(f, "dynamic({v} : {t})"),
+            RtValue::Ref(o) => write!(f, "{o}"),
+            RtValue::Closure(_) => write!(f, "<fn>"),
+            RtValue::Builtin(b) => write!(f, "<builtin {}>", b.name),
+            RtValue::DbToken => write!(f, "<database>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_lookup_shadows() {
+        let env = Env::empty().bind("x", RtValue::Int(1)).bind("x", RtValue::Int(2));
+        assert!(matches!(env.lookup("x"), Some(RtValue::Int(2))));
+        assert!(env.lookup("y").is_none());
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::record([
+            ("a", Value::Int(1)),
+            ("b", Value::list([Value::str("x")])),
+            ("d", Value::dynamic(Type::Int, Value::Int(3))),
+        ]);
+        let rt = RtValue::from_value(&v);
+        assert_eq!(rt.to_value(0).unwrap(), v);
+    }
+
+    #[test]
+    fn functions_do_not_convert() {
+        let b = RtValue::Builtin(Builtin { name: "len", tyargs: vec![], args: vec![], arity: 1 });
+        assert!(b.to_value(0).is_err());
+        assert!(RtValue::DbToken.to_value(0).is_err());
+    }
+
+    #[test]
+    fn data_eq_numeric_widening() {
+        assert_eq!(RtValue::Int(3).data_eq(&RtValue::Float(3.0)), Some(true));
+        assert_eq!(RtValue::Int(3).data_eq(&RtValue::Float(3.5)), Some(false));
+        let f = RtValue::Builtin(Builtin { name: "len", tyargs: vec![], args: vec![], arity: 1 });
+        assert_eq!(f.data_eq(&f), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RtValue::List(vec![RtValue::Int(1)]).to_string(), "[1]");
+        assert_eq!(RtValue::Float(2.0).to_string(), "2.0");
+        let r = RtValue::Record(BTreeMap::from([("a".to_string(), RtValue::Unit)]));
+        assert_eq!(r.to_string(), "{a = ()}");
+    }
+}

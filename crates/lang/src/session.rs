@@ -1,0 +1,383 @@
+//! Sessions: running MiniDBPL programs against shared database state.
+//!
+//! A [`Session`] models what persists *between* program invocations: the
+//! database (heterogeneous dynamic store + heap + schema) and the
+//! replicating store behind `extern`/`intern`. Each call to
+//! [`Session::run`] is one "program": it starts with a fresh variable
+//! scope — precisely the paper's model, where only database structures
+//! survive from one program to the next, through handles.
+
+use crate::ast::{Expr, ExprKind, Item};
+use crate::check::check_program;
+use crate::error::LangError;
+use crate::eval::eval;
+use crate::parser::parse_program;
+use crate::rt::{Closure, Env, RtValue};
+use dbpl_core::Database;
+use dbpl_persist::ReplicatingStore;
+use std::path::Path;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A running MiniDBPL session.
+pub struct Session {
+    /// The database shared by all programs of this session.
+    pub db: Database,
+    /// The replicating store behind `extern`/`intern`.
+    pub store: ReplicatingStore,
+    /// Output produced by `print` and expression statements.
+    pub out: Vec<String>,
+}
+
+impl Session {
+    /// A session whose replicating store lives in a fresh temp directory.
+    pub fn new() -> Result<Session, LangError> {
+        let n = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("dbpl-session-{}-{n}", std::process::id()));
+        Session::with_store_dir(dir)
+    }
+
+    /// A session backed by a specific store directory — two sessions given
+    /// the same directory share their externed handles, which is how the
+    /// paper's cross-program examples run.
+    pub fn with_store_dir(dir: impl AsRef<Path>) -> Result<Session, LangError> {
+        let store = ReplicatingStore::open(dir)
+            .map_err(|e| LangError::eval(0, format!("cannot open store: {e}")))?;
+        Ok(Session { db: Database::new(), store, out: Vec::new() })
+    }
+
+    /// Parse, type-check and run one program. Returns the lines of output
+    /// it produced (also appended to [`Session::out`]).
+    pub fn run(&mut self, src: &str) -> Result<Vec<String>, LangError> {
+        let prog = parse_program(src)?;
+        let checked = check_program(&prog, self.db.env())?;
+        // The program's type declarations become part of the database's
+        // schema for subsequent programs.
+        *self.db.env_mut() = checked.env;
+
+        let out_start = self.out.len();
+        let mut env = Env::empty();
+        for item in &prog.items {
+            match item {
+                Item::TypeDecl { .. } | Item::Include { .. } => {}
+                Item::Let { name, expr, .. } => {
+                    let v = eval(expr, &env, self)?;
+                    env = env.bind(name.clone(), v);
+                }
+                Item::FunDecl { at, name, params, body, .. } => {
+                    // Curry the parameters; the outermost closure knows its
+                    // own name, enabling recursion.
+                    let mut inner = body.clone();
+                    for (x, t) in params.iter().skip(1).rev() {
+                        inner = Expr::new(
+                            *at,
+                            ExprKind::Lambda(x.clone(), t.clone(), Box::new(inner)),
+                        );
+                    }
+                    let (p0, _) = &params[0];
+                    let clo = RtValue::Closure(Rc::new(Closure {
+                        name: Some(name.clone()),
+                        param: p0.clone(),
+                        body: inner,
+                        env: env.clone(),
+                    }));
+                    env = env.bind(name.clone(), clo);
+                }
+                Item::Expr(e) => {
+                    let v = eval(e, &env, self)?;
+                    if !matches!(v, RtValue::Unit) {
+                        self.out.push(v.to_string());
+                    }
+                }
+            }
+        }
+        Ok(self.out[out_start..].to_vec())
+    }
+
+    /// Run a program, rendering any error against the source.
+    pub fn run_pretty(&mut self, src: &str) -> Result<Vec<String>, String> {
+        self.run(src).map_err(|e| e.render(src))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(src: &str) -> Vec<String> {
+        Session::new().unwrap().run(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+    }
+
+    #[test]
+    fn arithmetic_and_printing() {
+        assert_eq!(run_one("1 + 2 * 3"), vec!["7"]);
+        assert_eq!(run_one("print('hi')"), vec!["'hi'"]);
+        assert_eq!(run_one("'a' ++ 'b'"), vec!["'ab'"]);
+        assert_eq!(run_one("1.5 + 1"), vec!["2.5"]);
+    }
+
+    #[test]
+    fn records_with_and_fields() {
+        assert_eq!(
+            run_one("let p = {Name = 'J Doe'}\nlet e = p with {Empno = 1234}\ne.Empno"),
+            vec!["1234"]
+        );
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            run_one("fun fact(n: Int): Int = if n <= 1 then 1 else n * fact(n - 1)\nfact(10)"),
+            vec!["3628800"]
+        );
+        assert_eq!(run_one("fun add(a: Int, b: Int): Int = a + b\nadd(40, 2)"), vec!["42"]);
+    }
+
+    #[test]
+    fn polymorphism_runs() {
+        assert_eq!(
+            run_one(
+                "type Person = {Name: Str}\n\
+                 fun name[t <= Person](x: t): Str = x.Name\n\
+                 name[{Name: Str, Empno: Int}]({Name = 'e', Empno = 1})"
+            ),
+            vec!["'e'"]
+        );
+    }
+
+    #[test]
+    fn list_builtins() {
+        assert_eq!(run_one("len[Int]([1,2,3])"), vec!["3"]);
+        assert_eq!(run_one("sum([1, 2, 3.5])"), vec!["6.5"]);
+        assert_eq!(run_one("cons[Int](1, [2])"), vec!["[1, 2]"]);
+        assert_eq!(
+            run_one("map[Int][Int](fn(x: Int) => x * x, [1,2,3])"),
+            vec!["[1, 4, 9]"]
+        );
+        assert_eq!(
+            run_one("filter[Int](fn(x: Int) => x > 1, [1,2,3])"),
+            vec!["[2, 3]"]
+        );
+        assert_eq!(
+            run_one("fold[Int][Int](fn(a: Int, x: Int) => a + x, 0, [1,2,3])"),
+            vec!["6"]
+        );
+        assert_eq!(run_one("head[Int]([9, 8])"), vec!["9"]);
+        assert_eq!(run_one("append[Int]([1],[2])"), vec!["[1, 2]"]);
+    }
+
+    #[test]
+    fn paper_dynamic_example() {
+        // let d = dynamic 3; coerce to Int works, coerce to Str raises the
+        // run-time exception.
+        let mut s = Session::new().unwrap();
+        assert_eq!(s.run("let d = dynamic 3\ncoerce d to Int").unwrap(), vec!["3"]);
+        let err = s.run("let d = dynamic 3\ncoerce d to Str").unwrap_err();
+        assert!(err.msg.contains("coerce failed"), "{err}");
+        assert_eq!(s.run("typeof (dynamic 3)").unwrap(), vec!["'Int'"]);
+    }
+
+    #[test]
+    fn database_put_and_generic_get() {
+        let mut s = Session::new().unwrap();
+        let out = s
+            .run(
+                "type Person = {Name: Str}\n\
+                 type Employee = {Name: Str, Empno: Int}\n\
+                 put(db, dynamic {Name = 'p'})\n\
+                 put(db, dynamic {Name = 'e', Empno = 1})\n\
+                 put(db, dynamic 42)\n\
+                 print(len[Person](get[Person](db)))\n\
+                 print(len[Employee](get[Employee](db)))\n\
+                 print(len[Int](get[Int](db)))",
+            )
+            .unwrap();
+        assert_eq!(out, vec!["2", "1", "1"]);
+    }
+
+    #[test]
+    fn get_result_is_usable_at_the_bound() {
+        let mut s = Session::new().unwrap();
+        let out = s
+            .run(
+                "type Person = {Name: Str}\n\
+                 put(db, dynamic {Name = 'a', Empno = 9})\n\
+                 map[Person][Str](fn(p: Person) => p.Name, get[Person](db))",
+            )
+            .unwrap();
+        assert_eq!(out, vec!["['a']"]);
+    }
+
+    #[test]
+    fn extern_intern_across_programs() {
+        // The paper's Amber fragment, split across two program runs.
+        let mut s = Session::new().unwrap();
+        s.run(
+            "type Database = {Employees: List[{Name: Str}]}\n\
+             let d = {Employees = [{Name = 'J Doe'}]}\n\
+             extern('DBFile', dynamic d)",
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        // "to access the database in a subsequent program":
+        let out = s
+            .run(
+                "let x = intern('DBFile')\n\
+                 let d = coerce x to {Employees: List[{Name: Str}]}\n\
+                 head[{Name: Str}](d.Employees).Name",
+            )
+            .unwrap();
+        assert_eq!(out, vec!["'J Doe'"]);
+    }
+
+    #[test]
+    fn paper_reintern_discards_modifications() {
+        // var x = intern 'DBFile'; --code that modifies x--;
+        // x = intern 'DBFile'  => modifications not visible.
+        let mut s = Session::new().unwrap();
+        s.run("extern('DBFile', dynamic {N = 1})").unwrap();
+        let out = s
+            .run(
+                "let x = coerce intern('DBFile') to {N: Int}\n\
+                 let modified = x with {N = 99}\n\
+                 let again = coerce intern('DBFile') to {N: Int}\n\
+                 again.N",
+            )
+            .unwrap();
+        assert_eq!(out, vec!["1"]);
+    }
+
+    #[test]
+    fn schema_persists_across_programs_within_session() {
+        let mut s = Session::new().unwrap();
+        s.run("type Person = {Name: Str}").unwrap();
+        // Second program still knows Person.
+        assert!(s.run("let p: Person = {Name = 'x'}\np.Name").is_ok());
+    }
+
+    #[test]
+    fn type_errors_stop_execution_before_effects() {
+        let mut s = Session::new().unwrap();
+        let err = s.run("put(db, dynamic {N = 1})\nghost").unwrap_err();
+        assert_eq!(err.phase, crate::error::Phase::Check);
+        // Static failure ⇒ nothing ran.
+        assert_eq!(s.db.len(), 0);
+    }
+
+    #[test]
+    fn shadowing_and_scoping() {
+        assert_eq!(run_one("let x = 1\nlet x = x + 1\nx"), vec!["2"]);
+        // Expression-level `let … in` needs an expression position: a
+        // top-level bare `let` is always a session binding.
+        assert_eq!(run_one("(let x = 1 in (let x = 2 in x) + x)"), vec!["3"]);
+    }
+
+    #[test]
+    fn runtime_errors_carry_positions() {
+        let mut s = Session::new().unwrap();
+        let err = s.run("head[Int]([])").unwrap_err();
+        assert_eq!(err.phase, crate::error::Phase::Eval);
+        assert!(err.msg.contains("empty"));
+        let err2 = s.run("1 / 0").unwrap_err();
+        assert!(err2.msg.contains("division"));
+    }
+}
+
+#[cfg(test)]
+mod variant_tests {
+    use super::*;
+
+    fn run_one(src: &str) -> Vec<String> {
+        Session::new().unwrap().run(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+    }
+
+    #[test]
+    fn tag_and_case_roundtrip() {
+        assert_eq!(
+            run_one(
+                "type Shape = <Circle: Float | Square: Float>\n\
+                 fun area(s: Shape): Float =\n\
+                   case s of Circle r => 3.14 * r * r | Square w => w * w\n\
+                 print(area(tag Square 3.0))\n\
+                 print(area(tag Circle 1.0))"
+            ),
+            vec!["9.0", "3.14"]
+        );
+    }
+
+    #[test]
+    fn singleton_tag_subsumes_into_wider_variant() {
+        // tag Circle 1.0 : <Circle: Float> ≤ Shape by variant width.
+        assert_eq!(
+            run_one(
+                "type Shape = <Circle: Float | Square: Float>\n\
+                 let s: Shape = tag Circle 1.0\n\
+                 case s of Circle r => r | Square w => w * 2.0"
+            ),
+            vec!["1.0"]
+        );
+    }
+
+    #[test]
+    fn case_must_be_exhaustive() {
+        let mut s = Session::new().unwrap();
+        let err = s
+            .run(
+                "type Shape = <Circle: Float | Square: Float>\n\
+                 let s: Shape = tag Circle 1.0\n\
+                 case s of Circle r => r",
+            )
+            .unwrap_err();
+        assert_eq!(err.phase, crate::error::Phase::Check);
+        assert!(err.msg.contains("non-exhaustive"), "{err}");
+    }
+
+    #[test]
+    fn case_rejects_unknown_and_duplicate_arms() {
+        let mut s = Session::new().unwrap();
+        let err = s
+            .run(
+                "let v = tag Ok 1\n\
+                 case v of Ok x => x | Nope y => y",
+            )
+            .unwrap_err();
+        assert!(err.msg.contains("no arm"), "{err}");
+        let err2 = s
+            .run("case (tag Ok 1) of Ok x => x | Ok y => y")
+            .unwrap_err();
+        assert!(err2.msg.contains("twice"), "{err2}");
+    }
+
+    #[test]
+    fn case_joins_branch_types() {
+        // One branch returns an Employee-ish record, the other a
+        // Student-ish one; the case expression has their join.
+        assert_eq!(
+            run_one(
+                "let v = if true then tag A 1 else tag A 2\n\
+                 let r = case (tag B {Name = 'x', Empno = 1}) of\n\
+                   B p => p\n\
+                 r.Name"
+            ),
+            vec!["'x'"]
+        );
+    }
+
+    #[test]
+    fn variants_are_data_for_the_database() {
+        // Tagged values flow through dynamic/put/get and persistence.
+        let mut s = Session::new().unwrap();
+        let out = s
+            .run(
+                "type Event = <Hired: {Name: Str} | Fired: {Name: Str}>\n\
+                 put(db, dynamic (tag Hired {Name = 'ann'}))\n\
+                 extern('Log', dynamic (tag Fired {Name = 'bob'}))\n\
+                 let back = coerce intern('Log') to <Hired: {Name: Str} | Fired: {Name: Str}>\n\
+                 case back of Hired p => p.Name | Fired p => 'ex-' ++ p.Name",
+            )
+            .unwrap();
+        assert_eq!(out, vec!["'ex-bob'"]);
+    }
+}

@@ -1,0 +1,434 @@
+//! Tokens and the lexer for MiniDBPL.
+
+use crate::error::LangError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single-quoted, `''` escapes a quote).
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An identifier (lower- or upper-case initial).
+    Ident(String),
+
+    // keywords
+    /// `type`
+    Type,
+    /// `include`
+    Include,
+    /// `in`
+    In,
+    /// `let`
+    Let,
+    /// `fun`
+    Fun,
+    /// `fn`
+    Fn,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `dynamic`
+    Dynamic,
+    /// `coerce`
+    Coerce,
+    /// `to`
+    To,
+    /// `typeof`
+    Typeof,
+    /// `with`
+    With,
+    /// `extern`
+    Extern,
+    /// `intern`
+    Intern,
+    /// `forall`
+    Forall,
+    /// `exists`
+    Exists,
+    /// `tag`
+    Tag,
+    /// `case`
+    Case,
+    /// `of`
+    Of,
+    /// `|`
+    Pipe,
+
+    // punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `=>`
+    FatArrow,
+    /// `->`
+    Arrow,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    EqEq,
+    /// `<>`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `++`
+    PlusPlus,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Bool(b) => write!(f, "{b}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Eof => write!(f, "<eof>"),
+            other => write!(f, "{}", keyword_or_symbol(other)),
+        }
+    }
+}
+
+fn keyword_or_symbol(t: &Tok) -> &'static str {
+    match t {
+        Tok::Type => "type",
+        Tok::Include => "include",
+        Tok::In => "in",
+        Tok::Let => "let",
+        Tok::Fun => "fun",
+        Tok::Fn => "fn",
+        Tok::If => "if",
+        Tok::Then => "then",
+        Tok::Else => "else",
+        Tok::Dynamic => "dynamic",
+        Tok::Coerce => "coerce",
+        Tok::To => "to",
+        Tok::Typeof => "typeof",
+        Tok::With => "with",
+        Tok::Extern => "extern",
+        Tok::Intern => "intern",
+        Tok::Forall => "forall",
+        Tok::Exists => "exists",
+        Tok::Tag => "tag",
+        Tok::Case => "case",
+        Tok::Of => "of",
+        Tok::Pipe => "|",
+        Tok::LParen => "(",
+        Tok::RParen => ")",
+        Tok::LBrace => "{",
+        Tok::RBrace => "}",
+        Tok::LBracket => "[",
+        Tok::RBracket => "]",
+        Tok::Comma => ",",
+        Tok::Semi => ";",
+        Tok::Colon => ":",
+        Tok::Dot => ".",
+        Tok::Eq => "=",
+        Tok::FatArrow => "=>",
+        Tok::Arrow => "->",
+        Tok::Le => "<=",
+        Tok::Lt => "<",
+        Tok::Ge => ">=",
+        Tok::Gt => ">",
+        Tok::EqEq => "==",
+        Tok::Ne => "<>",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Star => "*",
+        Tok::Slash => "/",
+        Tok::PlusPlus => "++",
+        Tok::And => "and",
+        Tok::Or => "or",
+        Tok::Not => "not",
+        _ => "?",
+    }
+}
+
+/// A token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the token's first character.
+    pub at: usize,
+}
+
+/// Tokenize a program. Comments run from `--` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        // whitespace
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // comments
+        if c == b'-' && b.get(i + 1) == Some(&b'-') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let at = i;
+        // numbers
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let is_float = i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit();
+            if is_float {
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let x: f64 = text
+                    .parse()
+                    .map_err(|_| LangError::lex(at, format!("bad float literal `{text}`")))?;
+                out.push(Spanned { tok: Tok::Float(x), at });
+            } else {
+                let text = &src[start..i];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| LangError::lex(at, format!("integer literal out of range `{text}`")))?;
+                out.push(Spanned { tok: Tok::Int(n), at });
+            }
+            continue;
+        }
+        // strings
+        if c == b'\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(i) {
+                    None => return Err(LangError::lex(at, "unterminated string".to_string())),
+                    Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // Advance over a whole UTF-8 scalar.
+                        let ch = src[i..].chars().next().expect("in bounds");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            out.push(Spanned { tok: Tok::Str(s), at });
+            continue;
+        }
+        // identifiers and keywords
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "type" => Tok::Type,
+                "include" => Tok::Include,
+                "in" => Tok::In,
+                "let" => Tok::Let,
+                "fun" => Tok::Fun,
+                "fn" => Tok::Fn,
+                "if" => Tok::If,
+                "then" => Tok::Then,
+                "else" => Tok::Else,
+                "dynamic" => Tok::Dynamic,
+                "coerce" => Tok::Coerce,
+                "to" => Tok::To,
+                "typeof" => Tok::Typeof,
+                "with" => Tok::With,
+                "extern" => Tok::Extern,
+                "intern" => Tok::Intern,
+                "forall" => Tok::Forall,
+                "exists" => Tok::Exists,
+                "tag" => Tok::Tag,
+                "case" => Tok::Case,
+                "of" => Tok::Of,
+                "and" => Tok::And,
+                "or" => Tok::Or,
+                "not" => Tok::Not,
+                "true" => Tok::Bool(true),
+                "false" => Tok::Bool(false),
+                _ => Tok::Ident(word.to_string()),
+            };
+            out.push(Spanned { tok, at });
+            continue;
+        }
+        // symbols (longest first)
+        let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+        let tok2 = match two {
+            "=>" => Some(Tok::FatArrow),
+            "->" => Some(Tok::Arrow),
+            "<=" => Some(Tok::Le),
+            ">=" => Some(Tok::Ge),
+            "==" => Some(Tok::EqEq),
+            "<>" => Some(Tok::Ne),
+            "++" => Some(Tok::PlusPlus),
+            _ => None,
+        };
+        if let Some(t) = tok2 {
+            out.push(Spanned { tok: t, at });
+            i += 2;
+            continue;
+        }
+        let tok1 = match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b',' => Tok::Comma,
+            b';' => Tok::Semi,
+            b':' => Tok::Colon,
+            b'.' => Tok::Dot,
+            b'=' => Tok::Eq,
+            b'<' => Tok::Lt,
+            b'>' => Tok::Gt,
+            b'+' => Tok::Plus,
+            b'-' => Tok::Minus,
+            b'*' => Tok::Star,
+            b'/' => Tok::Slash,
+            b'|' => Tok::Pipe,
+            other => {
+                return Err(LangError::lex(at, format!("unexpected character `{}`", other as char)))
+            }
+        };
+        out.push(Spanned { tok: tok1, at });
+        i += 1;
+    }
+    out.push(Spanned { tok: Tok::Eof, at: src.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("let x = typeof d"),
+            vec![
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Typeof,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("1 2.5 10"), vec![Tok::Int(1), Tok::Float(2.5), Tok::Int(10), Tok::Eof]);
+        // A dot not followed by a digit is field access.
+        assert_eq!(toks("1.x")[0], Tok::Int(1));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'J Doe'")[0], Tok::Str("J Doe".into()));
+        assert_eq!(toks("'it''s'")[0], Tok::Str("it's".into()));
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("1 -- the rest\n2"), vec![Tok::Int(1), Tok::Int(2), Tok::Eof]);
+    }
+
+    #[test]
+    fn two_char_symbols_beat_one_char() {
+        assert_eq!(
+            toks("<= < == = => -> ++ + <>"),
+            vec![
+                Tok::Le,
+                Tok::Lt,
+                Tok::EqEq,
+                Tok::Eq,
+                Tok::FatArrow,
+                Tok::Arrow,
+                Tok::PlusPlus,
+                Tok::Plus,
+                Tok::Ne,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = lex("let  x").unwrap();
+        assert_eq!(ts[0].at, 0);
+        assert_eq!(ts[1].at, 5);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("'héllo'")[0], Tok::Str("héllo".into()));
+    }
+}

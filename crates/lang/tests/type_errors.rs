@@ -1,0 +1,160 @@
+//! Diagnostics: every class of static error is reported at the right
+//! phase with a useful message, and runtime errors carry positions that
+//! render to the correct line/column.
+
+use dbpl_lang::{Phase, Session};
+
+fn check_err(src: &str) -> dbpl_lang::LangError {
+    let err = Session::new().unwrap().run(src).expect_err("program should fail");
+    assert_eq!(err.phase, Phase::Check, "expected a static error: {err}");
+    err
+}
+
+#[test]
+fn unbound_variable() {
+    let e = check_err("ghost + 1");
+    assert!(e.msg.contains("unbound variable `ghost`"), "{e}");
+}
+
+#[test]
+fn unknown_type_in_annotation() {
+    let e = check_err("let x: Ghost = 1");
+    assert!(e.msg.contains("unknown type `Ghost`"), "{e}");
+}
+
+#[test]
+fn annotation_mismatch_mentions_both_types() {
+    let e = check_err("let x: Int = 'hello'");
+    assert!(e.msg.contains("expected Int") && e.msg.contains("found Str"), "{e}");
+}
+
+#[test]
+fn missing_field_mentions_field_and_record_type() {
+    let e = check_err("let r = {Name = 'x'}\nr.Empno");
+    assert!(e.msg.contains("Empno"), "{e}");
+}
+
+#[test]
+fn applying_a_non_function() {
+    let e = check_err("(3)(4)");
+    assert!(e.msg.contains("cannot apply"), "{e}");
+}
+
+#[test]
+fn polymorphic_under_determination_suggests_explicit() {
+    let e = check_err("get(db)");
+    assert!(e.msg.contains("explicitly"), "{e}");
+}
+
+#[test]
+fn bad_bound_instantiation() {
+    let e = check_err(
+        "type Person = {Name: Str}\n\
+         fun f[t <= Person](x: t): Str = x.Name\n\
+         f[Int]",
+    );
+    assert!(e.msg.contains("expected") || e.msg.contains("found"), "{e}");
+}
+
+#[test]
+fn body_escaping_its_bound() {
+    let e = check_err("type Person = {Name: Str}\nfun f[t <= Person](x: t): Int = x.Empno");
+    assert!(e.msg.contains("Empno"), "{e}");
+}
+
+#[test]
+fn condition_must_be_boolean() {
+    let e = check_err("if 3 then 1 else 2");
+    assert!(e.msg.contains("Bool"), "{e}");
+}
+
+#[test]
+fn arithmetic_on_strings() {
+    let e = check_err("'a' * 'b'");
+    assert!(e.msg.contains("number"), "{e}");
+}
+
+#[test]
+fn concat_on_numbers() {
+    let e = check_err("1 ++ 2");
+    assert!(e.msg.contains("expected Str"), "{e}");
+}
+
+#[test]
+fn comparing_unrelated_types() {
+    let e = check_err("1 == 'one'");
+    assert!(e.msg.contains("cannot compare"), "{e}");
+}
+
+#[test]
+fn coerce_of_non_dynamic() {
+    let e = check_err("coerce 3 to Int");
+    assert!(e.msg.contains("Dynamic"), "{e}");
+}
+
+#[test]
+fn dynamic_of_a_function() {
+    let e = check_err("dynamic (fn(x: Int) => x)");
+    assert!(e.msg.contains("functions"), "{e}");
+}
+
+#[test]
+fn non_exhaustive_case_names_the_missing_arm() {
+    let e = check_err(
+        "type R = <Ok: Int | Err: Str>\n\
+         let v: R = tag Ok 1\n\
+         case v of Ok x => x",
+    );
+    assert!(e.msg.contains("`Err`"), "{e}");
+}
+
+#[test]
+fn case_on_a_record() {
+    let e = check_err("case {a = 1} of Ok x => x");
+    assert!(e.msg.contains("variant"), "{e}");
+}
+
+#[test]
+fn include_of_incompatible_structures() {
+    let e = check_err(
+        "type Person = {Name: Str}\n\
+         type Rock = {Mass: Float}\n\
+         include Rock in Person",
+    );
+    assert!(e.msg.contains("incompatible"), "{e}");
+}
+
+#[test]
+fn conflicting_type_redeclaration() {
+    let e = check_err("type T = {A: Int}\ntype T = {A: Str}");
+    assert!(e.msg.contains("different structure"), "{e}");
+}
+
+#[test]
+fn free_type_variable_in_signature() {
+    let e = check_err("fun f(x: t): t = x");
+    assert!(e.msg.contains("type variable `t`"), "{e}");
+}
+
+#[test]
+fn positions_render_to_line_and_column() {
+    let src = "let x = 1\nlet y = ghost";
+    let err = Session::new().unwrap().run(src).unwrap_err();
+    let rendered = err.render(src);
+    assert!(rendered.starts_with("type error at 2:"), "{rendered}");
+}
+
+#[test]
+fn runtime_errors_are_the_documented_classes_only() {
+    // Each of the four documented runtime error classes, at Eval phase.
+    for (src, needle) in [
+        ("coerce (dynamic 3) to Str", "coerce failed"),
+        ("head([1])\nhead(tail([1]))", "empty"),
+        ("1 / 0", "division by zero"),
+        ("intern('NoSuchHandle')", "unknown handle"),
+    ] {
+        let err = Session::new().unwrap().run(src).unwrap_err();
+        assert_eq!(err.phase, Phase::Eval, "{src}: {err}");
+        assert!(err.msg.contains(needle), "{src}: {err}");
+    }
+}

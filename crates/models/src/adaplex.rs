@@ -1,0 +1,238 @@
+//! Adaplex (Smith–Fox–Landers 1981): entity types with declared (`include`)
+//! subtyping.
+//!
+//! "Adaplex ties the notions of type and class together in a single
+//! *entity type*"; "types with the same structure are not necessarily
+//! identical, and the subtype hierarchy has to be explicitly defined by
+//! means of `include` directives"; "the inclusion relationships among the
+//! extents associated with entity types follow directly from the explicit
+//! hierarchy of entity types. Thus creating an instance of Employee will
+//! also create a new instance of Person."
+//!
+//! The model additionally enforces the component restriction the paper
+//! notes ("limited in the types that can be assigned to their
+//! components"): entity attributes must be base-typed or references to
+//! other entity types.
+
+use crate::error::ModelError;
+use dbpl_core::ExtentManager;
+use dbpl_types::{SubtypePolicy, Type, TypeEnv};
+use dbpl_values::{conforms, Heap, Mode, Oid, Value};
+use std::collections::BTreeSet;
+
+/// An Adaplex schema: entity types under the declared policy, with
+/// extent inclusion following the include hierarchy.
+pub struct AdaplexSchema {
+    env: TypeEnv,
+    entities: BTreeSet<String>,
+    extents: ExtentManager,
+    heap: Heap,
+}
+
+impl Default for AdaplexSchema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaplexSchema {
+    /// An empty schema.
+    pub fn new() -> AdaplexSchema {
+        AdaplexSchema {
+            env: TypeEnv::with_policy(SubtypePolicy::Declared),
+            entities: BTreeSet::new(),
+            extents: ExtentManager::with_cascade(),
+            heap: Heap::new(),
+        }
+    }
+
+    /// `type Name is entity … end entity`.
+    pub fn entity_type(
+        &mut self,
+        name: &str,
+        fields: impl IntoIterator<Item = (&'static str, Type)>,
+    ) -> Result<(), ModelError> {
+        let fields: Vec<(String, Type)> =
+            fields.into_iter().map(|(l, t)| (l.to_string(), t)).collect();
+        for (l, t) in &fields {
+            let ok = t.is_base() || matches!(t, Type::Named(n) if self.entities.contains(n));
+            if !ok {
+                return Err(ModelError::Restriction(format!(
+                    "Adaplex entity component `{l}` must be base-typed or an entity reference"
+                )));
+            }
+        }
+        self.env
+            .declare(name.to_string(), Type::record(fields))
+            .map_err(|e| ModelError::Restriction(e.to_string()))?;
+        self.entities.insert(name.to_string());
+        self.extents
+            .create(name.to_string(), Type::named(name), false)
+            .map_err(|e| ModelError::Restriction(e.to_string()))?;
+        Ok(())
+    }
+
+    /// `include Sub in Sup` — the explicit subtype directive. Checked
+    /// structurally at declaration time, like the real compiler would.
+    pub fn include(&mut self, sub: &str, sup: &str) -> Result<(), ModelError> {
+        self.env
+            .declare_subtype(sub.to_string(), sup.to_string())
+            .map_err(|e| ModelError::Restriction(e.to_string()))
+    }
+
+    /// Create an entity instance; it enters its type's extent and those of
+    /// every declared supertype.
+    pub fn new_entity(&mut self, ty: &str, value: Value) -> Result<Oid, ModelError> {
+        let full = self
+            .env
+            .lookup(ty)
+            .cloned()
+            .ok_or_else(|| ModelError::Unknown(format!("entity type `{ty}`")))?;
+        conforms(&value, &full, &self.env, &self.heap, Mode::Strict)
+            .map_err(|e| ModelError::Restriction(e.to_string()))?;
+        let oid = self.heap.alloc(Type::named(ty), value);
+        self.extents
+            .insert(ty, oid, &self.heap, &self.env)
+            .map_err(|e| ModelError::Restriction(e.to_string()))?;
+        Ok(oid)
+    }
+
+    /// The extent of an entity type.
+    pub fn extent(&self, ty: &str) -> Result<Vec<Oid>, ModelError> {
+        Ok(self
+            .extents
+            .extent(ty)
+            .map_err(|e| ModelError::Unknown(e.to_string()))?
+            .members()
+            .collect())
+    }
+
+    /// Is `sub` a declared subtype of `sup`?
+    pub fn is_subtype(&self, sub: &str, sup: &str) -> bool {
+        dbpl_types::is_subtype(&Type::named(sub), &Type::named(sup), &self.env)
+    }
+
+    /// The environment (declared policy).
+    pub fn env(&self) -> &TypeEnv {
+        &self.env
+    }
+
+    /// Token storage.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> AdaplexSchema {
+        let mut s = AdaplexSchema::new();
+        // The paper's declarations:
+        // type Person is entity Name: String; Address: ... end entity
+        // type Employee is entity Empno: Integer; Department: String(...)
+        // include Employee in Person
+        s.entity_type("Person", [("Name", Type::Str), ("Address", Type::Str)]).unwrap();
+        s.entity_type(
+            "Employee",
+            [
+                ("Name", Type::Str),
+                ("Address", Type::Str),
+                ("Empno", Type::Int),
+                ("Department", Type::Str),
+            ],
+        )
+        .unwrap();
+        s.include("Employee", "Person").unwrap();
+        s
+    }
+
+    fn employee_value() -> Value {
+        Value::record([
+            ("Name", Value::str("d")),
+            ("Address", Value::str("a")),
+            ("Empno", Value::Int(1)),
+            ("Department", Value::str("S")),
+        ])
+    }
+
+    #[test]
+    fn creating_an_employee_creates_a_person() {
+        let mut s = schema();
+        let e = s.new_entity("Employee", employee_value()).unwrap();
+        assert!(s.extent("Person").unwrap().contains(&e));
+    }
+
+    #[test]
+    fn same_structure_is_not_same_type() {
+        // Structurally identical but undeclared: not subtypes.
+        let mut s = schema();
+        s.entity_type(
+            "Impostor",
+            [
+                ("Name", Type::Str),
+                ("Address", Type::Str),
+                ("Empno", Type::Int),
+                ("Department", Type::Str),
+            ],
+        )
+        .unwrap();
+        assert!(s.is_subtype("Employee", "Person"));
+        assert!(!s.is_subtype("Impostor", "Person"), "no include directive");
+        // And Impostor instances stay out of Person's extent.
+        let i = s.new_entity("Impostor", employee_value()).unwrap();
+        assert!(!s.extent("Person").unwrap().contains(&i));
+    }
+
+    #[test]
+    fn include_is_structurally_checked() {
+        let mut s = schema();
+        s.entity_type("Rock", [("Mass", Type::Float)]).unwrap();
+        assert!(matches!(s.include("Rock", "Person"), Err(ModelError::Restriction(_))));
+    }
+
+    #[test]
+    fn component_types_are_restricted() {
+        let mut s = schema();
+        // Nested records are not allowed as entity components.
+        let err = s.entity_type("Nested", [("Sub", Type::record([("x", Type::Int)]))]);
+        assert!(matches!(err, Err(ModelError::Restriction(_))));
+        // References to declared entity types are allowed.
+        s.entity_type("Dept", [("DName", Type::Str)]).unwrap();
+        s.entity_type("Desk", [("AssignedTo", Type::named("Person"))]).unwrap();
+        // References to undeclared names are not.
+        assert!(s.entity_type("Bad", [("X", Type::named("Ghost"))]).is_err());
+    }
+
+    #[test]
+    fn include_chains_cascade_transitively() {
+        let mut s = schema();
+        s.entity_type(
+            "Manager",
+            [
+                ("Name", Type::Str),
+                ("Address", Type::Str),
+                ("Empno", Type::Int),
+                ("Department", Type::Str),
+                ("Reports", Type::Int),
+            ],
+        )
+        .unwrap();
+        s.include("Manager", "Employee").unwrap();
+        let m = s
+            .new_entity(
+                "Manager",
+                Value::record([
+                    ("Name", Value::str("m")),
+                    ("Address", Value::str("a")),
+                    ("Empno", Value::Int(2)),
+                    ("Department", Value::str("S")),
+                    ("Reports", Value::Int(3)),
+                ]),
+            )
+            .unwrap();
+        assert!(s.extent("Employee").unwrap().contains(&m));
+        assert!(s.extent("Person").unwrap().contains(&m));
+    }
+}

@@ -1,0 +1,159 @@
+//! The survey, executable: which design couples what.
+//!
+//! The introduction and survey sections of the paper compare how each
+//! language ties together type, extent and persistence. This module
+//! records those claims as data; the crate's tests verify each claim
+//! *behaviourally* against the corresponding model, so the table cannot
+//! silently drift from the implementations.
+
+/// Which persistence model a design uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistenceModel {
+    /// File-style: the database variable is saved/loaded as a unit.
+    FileLike,
+    /// Replicating extern/intern of self-describing values.
+    Replicating,
+    /// Reachability-based intrinsic persistence.
+    Intrinsic,
+}
+
+/// A row of the survey.
+#[derive(Debug, Clone)]
+pub struct Capabilities {
+    /// Language name.
+    pub name: &'static str,
+    /// Are type and extent separate notions?
+    pub separates_type_extent: bool,
+    /// Can one type have several extents?
+    pub multiple_extents_per_type: bool,
+    /// Can a class/extent be built over an arbitrary type (e.g. `Int`)?
+    pub class_over_arbitrary_type: bool,
+    /// Is subtyping declared (`include`) rather than structural?
+    pub declared_subtyping: bool,
+    /// Which persistence model.
+    pub persistence: PersistenceModel,
+    /// May a value of *any* type persist?
+    pub any_value_persists: bool,
+    /// Is there a `Dynamic` type with `typeOf`/`coerce`?
+    pub has_dynamic: bool,
+    /// Is there a built-in class construct at all?
+    pub has_class_construct: bool,
+}
+
+/// The survey table.
+pub fn survey() -> Vec<Capabilities> {
+    vec![
+        Capabilities {
+            name: "Pascal/R",
+            separates_type_extent: true,
+            multiple_extents_per_type: true, // many relations over one record type
+            class_over_arbitrary_type: false, // relations of records only
+            declared_subtyping: false,        // no subtyping at all
+            persistence: PersistenceModel::FileLike,
+            any_value_persists: false, // "only relation data types"
+            has_dynamic: false,
+            has_class_construct: false, // relations, not classes
+        },
+        Capabilities {
+            name: "Taxis",
+            separates_type_extent: false, // VARIABLE_CLASS is both
+            multiple_extents_per_type: false,
+            class_over_arbitrary_type: false,
+            declared_subtyping: true, // isa declarations
+            persistence: PersistenceModel::Intrinsic,
+            any_value_persists: false,
+            has_dynamic: false,
+            has_class_construct: true,
+        },
+        Capabilities {
+            name: "Adaplex",
+            separates_type_extent: false, // entity type = type + extent
+            multiple_extents_per_type: false,
+            class_over_arbitrary_type: false, // entity components restricted
+            declared_subtyping: true,         // include directives
+            persistence: PersistenceModel::Intrinsic,
+            any_value_persists: false,
+            has_dynamic: false,
+            has_class_construct: true,
+        },
+        Capabilities {
+            name: "Galileo",
+            separates_type_extent: true, // type first, class second
+            multiple_extents_per_type: false, // "not possible to construct two extents"
+            class_over_arbitrary_type: true,  // "a class of integers"
+            declared_subtyping: false,
+            persistence: PersistenceModel::Intrinsic,
+            any_value_persists: true, // uniform persistence
+            has_dynamic: false,
+            has_class_construct: true,
+        },
+        Capabilities {
+            name: "Amber",
+            separates_type_extent: true, // no extents at all; derived
+            multiple_extents_per_type: true,
+            class_over_arbitrary_type: true, // any bound works in Get
+            declared_subtyping: false,       // structural
+            persistence: PersistenceModel::Replicating,
+            any_value_persists: true, // any dynamic value externs
+            has_dynamic: true,
+            has_class_construct: false,
+        },
+    ]
+}
+
+/// Look up one row.
+pub fn capabilities(name: &str) -> Option<Capabilities> {
+    survey().into_iter().find(|c| c.name == name)
+}
+
+/// Render the survey as a markdown table (used by the survey example).
+pub fn to_markdown() -> String {
+    let mut s = String::from(
+        "| Language | type≠extent | multi-extent | class over any type | declared ≤ | \
+         persistence | any value persists | Dynamic | class construct |\n|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for c in survey() {
+        let b = |x: bool| if x { "yes" } else { "no" };
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:?} | {} | {} | {} |\n",
+            c.name,
+            b(c.separates_type_extent),
+            b(c.multiple_extents_per_type),
+            b(c.class_over_arbitrary_type),
+            b(c.declared_subtyping),
+            c.persistence,
+            b(c.any_value_persists),
+            b(c.has_dynamic),
+            b(c.has_class_construct),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_covers_all_five_languages() {
+        let names: Vec<&str> = survey().iter().map(|c| c.name).collect();
+        assert_eq!(names, ["Pascal/R", "Taxis", "Adaplex", "Galileo", "Amber"]);
+        assert!(capabilities("Amber").is_some());
+        assert!(capabilities("SQL").is_none());
+    }
+
+    #[test]
+    fn markdown_renders_one_row_per_language() {
+        let md = to_markdown();
+        assert_eq!(md.lines().count(), 2 + 5);
+        assert!(md.contains("| Amber |"));
+    }
+
+    #[test]
+    fn only_amber_lacks_a_class_construct_and_has_dynamic() {
+        for c in survey() {
+            assert_eq!(c.has_dynamic, c.name == "Amber");
+            assert_eq!(!c.has_class_construct, c.name == "Amber" || c.name == "Pascal/R");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Errors for the language models.
+
+use std::fmt;
+
+/// Errors raised by the surveyed-language models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An operation the modelled language forbids (the restrictions are
+    /// the point of the survey).
+    Restriction(String),
+    /// An unknown name.
+    Unknown(String),
+    /// An I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Restriction(m) => write!(f, "restriction: {m}"),
+            ModelError::Unknown(m) => write!(f, "unknown {m}"),
+            ModelError::Io(m) => write!(f, "i/o: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,143 @@
+//! Galileo (Albano–Cardelli–Orsini 1985): types first, then classes.
+//!
+//! "In Galileo, one defines first a type and then uses the type to
+//! construct a class. This is less restrictive, but it does not appear to
+//! be possible to construct two extents on the same type. What is most
+//! interesting about Galileo is that the type upon which a class is based
+//! is not restricted; one may, for example, construct a class of
+//! integers."
+//!
+//! The model allows a class over *any* type (including `Int`) but rejects
+//! a second class over the same type, and — matching Galileo's uniform
+//! persistence — persists every class as part of the schema image.
+
+use crate::error::ModelError;
+use dbpl_types::{is_equiv, Type, TypeEnv};
+use dbpl_values::{conforms, Heap, Mode, Value};
+use std::collections::BTreeMap;
+
+/// One Galileo class: a named extent built over an existing type.
+#[derive(Debug, Clone)]
+pub struct GalileoClass {
+    /// The class's underlying type.
+    pub over: Type,
+    /// Its members (Galileo extents hold values).
+    pub members: Vec<Value>,
+}
+
+/// A Galileo schema: structural types plus at most one class per type.
+pub struct GalileoSchema {
+    env: TypeEnv,
+    classes: BTreeMap<String, GalileoClass>,
+    heap: Heap,
+}
+
+impl Default for GalileoSchema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GalileoSchema {
+    /// An empty schema.
+    pub fn new() -> GalileoSchema {
+        GalileoSchema { env: TypeEnv::new(), classes: BTreeMap::new(), heap: Heap::new() }
+    }
+
+    /// Define a named type (step one).
+    pub fn define_type(&mut self, name: &str, ty: Type) -> Result<(), ModelError> {
+        self.env
+            .declare(name.to_string(), ty)
+            .map_err(|e| ModelError::Restriction(e.to_string()))
+    }
+
+    /// Construct a class over a type (step two). The type is unrestricted,
+    /// but no two classes may share (an equivalent) type.
+    pub fn define_class(&mut self, name: &str, over: Type) -> Result<(), ModelError> {
+        if self.classes.contains_key(name) {
+            return Err(ModelError::Restriction(format!("class `{name}` already exists")));
+        }
+        for (existing, c) in &self.classes {
+            if is_equiv(&c.over, &over, &self.env) {
+                return Err(ModelError::Restriction(format!(
+                    "Galileo: cannot construct two extents on the same type \
+                     (class `{existing}` already covers {over})"
+                )));
+            }
+        }
+        self.classes
+            .insert(name.to_string(), GalileoClass { over, members: Vec::new() });
+        Ok(())
+    }
+
+    /// Insert a value into a class (checked against the class's type).
+    pub fn insert(&mut self, class: &str, value: Value) -> Result<(), ModelError> {
+        let over = self
+            .classes
+            .get(class)
+            .ok_or_else(|| ModelError::Unknown(format!("class `{class}`")))?
+            .over
+            .clone();
+        conforms(&value, &over, &self.env, &self.heap, Mode::Strict)
+            .map_err(|e| ModelError::Restriction(e.to_string()))?;
+        self.classes.get_mut(class).expect("checked").members.push(value);
+        Ok(())
+    }
+
+    /// The members of a class.
+    pub fn extent(&self, class: &str) -> Result<&[Value], ModelError> {
+        Ok(&self
+            .classes
+            .get(class)
+            .ok_or_else(|| ModelError::Unknown(format!("class `{class}`")))?
+            .members)
+    }
+
+    /// The type environment.
+    pub fn env(&self) -> &TypeEnv {
+        &self.env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_then_class() {
+        let mut g = GalileoSchema::new();
+        g.define_type("Person", Type::record([("Name", Type::Str)])).unwrap();
+        g.define_class("persons", Type::named("Person")).unwrap();
+        g.insert("persons", Value::record([("Name", Value::str("d"))])).unwrap();
+        assert_eq!(g.extent("persons").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn a_class_of_integers_is_legal() {
+        // "one may, for example, construct a class of integers".
+        let mut g = GalileoSchema::new();
+        g.define_class("favourites", Type::Int).unwrap();
+        g.insert("favourites", Value::Int(42)).unwrap();
+        assert_eq!(g.extent("favourites").unwrap(), &[Value::Int(42)]);
+    }
+
+    #[test]
+    fn no_two_extents_on_one_type() {
+        let mut g = GalileoSchema::new();
+        g.define_type("Person", Type::record([("Name", Type::Str)])).unwrap();
+        g.define_class("persons", Type::named("Person")).unwrap();
+        let err = g.define_class("more_persons", Type::named("Person"));
+        assert!(matches!(err, Err(ModelError::Restriction(_))));
+        // ...even via a structurally equivalent anonymous type.
+        let err2 = g.define_class("sneaky", Type::record([("Name", Type::Str)]));
+        assert!(matches!(err2, Err(ModelError::Restriction(_))));
+    }
+
+    #[test]
+    fn insertion_is_checked() {
+        let mut g = GalileoSchema::new();
+        g.define_class("ints", Type::Int).unwrap();
+        assert!(g.insert("ints", Value::str("nope")).is_err());
+        assert!(g.insert("ghost", Value::Int(1)).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # dbpl-models — the surveyed designs, executable
+//!
+//! Buneman & Atkinson survey how five database programming languages
+//! couple type, extent and persistence. Each design is modelled here as a
+//! small executable API whose *restrictions* (the interesting part of the
+//! survey) are enforced and tested:
+//!
+//! * [`pascal_r`] — relation types + `database` variables; **only
+//!   relations persist** (and only flat ones);
+//! * [`taxis`] — metaclasses (`VARIABLE_CLASS` with extents,
+//!   `AGGREGATE_CLASS` without), `isa`, the three-level instance
+//!   hierarchy;
+//! * [`adaplex`] — entity types with **declared** (`include`) subtyping
+//!   and extent inclusion; restricted component types;
+//! * [`galileo`] — type first, class second; classes over arbitrary types
+//!   (even `Int`) but **at most one extent per type**;
+//! * [`amber`] — no classes at all: structural subtyping, `Dynamic`,
+//!   derived extents, replicating persistence.
+//!
+//! [`capability`] records the comparison as data and the test suite pins
+//! every claim to model behaviour.
+
+#![warn(missing_docs)]
+
+pub mod adaplex;
+pub mod amber;
+pub mod capability;
+pub mod error;
+pub mod galileo;
+pub mod pascal_r;
+pub mod taxis;
+
+pub use adaplex::AdaplexSchema;
+pub use amber::AmberProgram;
+pub use capability::{capabilities, survey, Capabilities, PersistenceModel};
+pub use error::ModelError;
+pub use galileo::{GalileoClass, GalileoSchema};
+pub use pascal_r::PascalRDatabase;
+pub use taxis::{MetaClass, TaxisSchema};

@@ -1,0 +1,80 @@
+//! Errors for the persistence layer.
+
+use dbpl_types::Type;
+use std::fmt;
+
+/// Errors raised by storage, recovery and schema-evolution operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Ran out of bytes mid-decode.
+    UnexpectedEof,
+    /// Structurally invalid bytes.
+    Malformed(String),
+    /// A unit did not start with the `DBPL` magic.
+    BadMagic,
+    /// A unit was written by an unknown format version.
+    UnsupportedVersion(u8),
+    /// A log frame failed its CRC (bit rot / torn write mid-frame).
+    ChecksumMismatch {
+        /// Byte offset of the frame.
+        offset: u64,
+    },
+    /// The named handle does not exist.
+    UnknownHandle(String),
+    /// A handle was re-opened at an incompatible type: neither a supertype
+    /// of the stored type nor consistent with it.
+    SchemaMismatch {
+        /// Handle name.
+        handle: String,
+        /// The type stored with the value.
+        stored: Type,
+        /// The type the program expected.
+        expected: Type,
+    },
+    /// A value error bubbled up (dangling reference, conformance...).
+    Value(dbpl_values::ValueError),
+    /// The named namespace does not exist.
+    UnknownNamespace(String),
+    /// Attempt to create something that already exists.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::UnexpectedEof => write!(f, "unexpected end of input"),
+            PersistError::Malformed(m) => write!(f, "malformed data: {m}"),
+            PersistError::BadMagic => write!(f, "not a DBPL unit (bad magic)"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::ChecksumMismatch { offset } => {
+                write!(f, "checksum mismatch in log frame at offset {offset}")
+            }
+            PersistError::UnknownHandle(h) => write!(f, "unknown handle `{h}`"),
+            PersistError::SchemaMismatch { handle, stored, expected } => write!(
+                f,
+                "handle `{handle}` stores type {stored}, which is neither a subtype of nor \
+                 consistent with expected type {expected}"
+            ),
+            PersistError::Value(e) => write!(f, "{e}"),
+            PersistError::UnknownNamespace(n) => write!(f, "unknown namespace `{n}`"),
+            PersistError::AlreadyExists(n) => write!(f, "`{n}` already exists"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<dbpl_values::ValueError> for PersistError {
+    fn from(e: dbpl_values::ValueError) -> Self {
+        PersistError::Value(e)
+    }
+}

@@ -1,0 +1,538 @@
+//! The self-describing binary format.
+//!
+//! Principle (2) of the paper: "While a value persists, so should its
+//! description (type)". Every persistent unit is therefore a *dynamic*
+//! pair — a type followed by a value — and reading it back re-checks the
+//! type before the value is released into a typed context, guarding
+//! "against the possibility of writing out a data structure as one type
+//! and reading it in as another, a common cause of error in manipulating
+//! files in conventional programming languages".
+//!
+//! Encoding: a one-byte tag per constructor; `u64` as LEB128 varints;
+//! `i64` zigzag-ed; strings length-prefixed UTF-8; floats as 8 little-
+//! endian bytes; maps as a count followed by sorted key/value pairs.
+
+use crate::error::PersistError;
+use dbpl_types::{Fields, Quant, Type};
+use dbpl_values::{DynValue, Oid, Value};
+use std::collections::BTreeSet;
+
+/// Magic bytes introducing a self-describing unit.
+pub const MAGIC: &[u8; 4] = b"DBPL";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+// ---------- primitive writers ----------
+
+/// Append a LEB128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a zigzag-encoded signed integer.
+pub fn put_i64(out: &mut Vec<u8>, x: i64) {
+    put_u64(out, ((x << 1) ^ (x >> 63)) as u64);
+}
+
+/// Append a length-prefixed string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------- primitive readers ----------
+
+/// A cursor over encoded bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one raw byte.
+    pub fn byte(&mut self) -> Result<u8, PersistError> {
+        let b = *self.buf.get(self.pos).ok_or(PersistError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a varint.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        let mut x = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return Err(PersistError::Malformed("varint overflow".into()));
+            }
+            x |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a zigzag signed integer.
+    pub fn i64(&mut self) -> Result<i64, PersistError> {
+        let z = self.u64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Read a length-prefixed string.
+    pub fn str(&mut self) -> Result<String, PersistError> {
+        let n = self.u64()? as usize;
+        if n > self.remaining() {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let s = std::str::from_utf8(self.bytes(n)?)
+            .map_err(|_| PersistError::Malformed("invalid UTF-8".into()))?;
+        Ok(s.to_string())
+    }
+}
+
+// ---------- types ----------
+
+mod ttag {
+    pub const INT: u8 = 0;
+    pub const FLOAT: u8 = 1;
+    pub const BOOL: u8 = 2;
+    pub const STR: u8 = 3;
+    pub const UNIT: u8 = 4;
+    pub const TOP: u8 = 5;
+    pub const BOTTOM: u8 = 6;
+    pub const DYNAMIC: u8 = 7;
+    pub const LIST: u8 = 8;
+    pub const SET: u8 = 9;
+    pub const RECORD: u8 = 10;
+    pub const VARIANT: u8 = 11;
+    pub const FUN: u8 = 12;
+    pub const NAMED: u8 = 13;
+    pub const VAR: u8 = 14;
+    pub const FORALL: u8 = 15;
+    pub const EXISTS: u8 = 16;
+}
+
+/// Encode a type.
+pub fn put_type(out: &mut Vec<u8>, ty: &Type) {
+    use ttag::*;
+    match ty {
+        Type::Int => out.push(INT),
+        Type::Float => out.push(FLOAT),
+        Type::Bool => out.push(BOOL),
+        Type::Str => out.push(STR),
+        Type::Unit => out.push(UNIT),
+        Type::Top => out.push(TOP),
+        Type::Bottom => out.push(BOTTOM),
+        Type::Dynamic => out.push(DYNAMIC),
+        Type::List(t) => {
+            out.push(LIST);
+            put_type(out, t);
+        }
+        Type::Set(t) => {
+            out.push(SET);
+            put_type(out, t);
+        }
+        Type::Record(fs) => {
+            out.push(RECORD);
+            put_fields(out, fs);
+        }
+        Type::Variant(fs) => {
+            out.push(VARIANT);
+            put_fields(out, fs);
+        }
+        Type::Fun(a, r) => {
+            out.push(FUN);
+            put_type(out, a);
+            put_type(out, r);
+        }
+        Type::Named(n) => {
+            out.push(NAMED);
+            put_str(out, n);
+        }
+        Type::Var(v) => {
+            out.push(VAR);
+            put_str(out, v);
+        }
+        Type::Forall(q) => {
+            out.push(FORALL);
+            put_quant(out, q);
+        }
+        Type::Exists(q) => {
+            out.push(EXISTS);
+            put_quant(out, q);
+        }
+    }
+}
+
+fn put_fields(out: &mut Vec<u8>, fs: &Fields) {
+    put_u64(out, fs.len() as u64);
+    for (l, t) in fs {
+        put_str(out, l);
+        put_type(out, t);
+    }
+}
+
+fn put_quant(out: &mut Vec<u8>, q: &Quant) {
+    put_str(out, &q.var);
+    match &q.bound {
+        Some(b) => {
+            out.push(1);
+            put_type(out, b);
+        }
+        None => out.push(0),
+    }
+    put_type(out, &q.body);
+}
+
+impl<'a> Reader<'a> {
+    /// Decode a type.
+    pub fn ty(&mut self) -> Result<Type, PersistError> {
+        use ttag::*;
+        Ok(match self.byte()? {
+            INT => Type::Int,
+            FLOAT => Type::Float,
+            BOOL => Type::Bool,
+            STR => Type::Str,
+            UNIT => Type::Unit,
+            TOP => Type::Top,
+            BOTTOM => Type::Bottom,
+            DYNAMIC => Type::Dynamic,
+            LIST => Type::list(self.ty()?),
+            SET => Type::set(self.ty()?),
+            RECORD => Type::Record(self.fields()?),
+            VARIANT => Type::Variant(self.fields()?),
+            FUN => Type::fun(self.ty()?, self.ty()?),
+            NAMED => Type::Named(self.str()?),
+            VAR => Type::Var(self.str()?),
+            FORALL => {
+                let (var, bound, body) = self.quant()?;
+                Type::forall(var, bound, body)
+            }
+            EXISTS => {
+                let (var, bound, body) = self.quant()?;
+                Type::exists(var, bound, body)
+            }
+            t => return Err(PersistError::Malformed(format!("unknown type tag {t}"))),
+        })
+    }
+
+    fn fields(&mut self) -> Result<Fields, PersistError> {
+        let n = self.u64()? as usize;
+        let mut fs = Fields::new();
+        for _ in 0..n {
+            let l = self.str()?;
+            let t = self.ty()?;
+            fs.insert(l, t);
+        }
+        Ok(fs)
+    }
+
+    fn quant(&mut self) -> Result<(String, Option<Type>, Type), PersistError> {
+        let var = self.str()?;
+        let bound = match self.byte()? {
+            0 => None,
+            1 => Some(self.ty()?),
+            b => return Err(PersistError::Malformed(format!("bad bound flag {b}"))),
+        };
+        let body = self.ty()?;
+        Ok((var, bound, body))
+    }
+}
+
+// ---------- values ----------
+
+mod vtag {
+    pub const UNIT: u8 = 0;
+    pub const BOOL: u8 = 1;
+    pub const INT: u8 = 2;
+    pub const FLOAT: u8 = 3;
+    pub const STR: u8 = 4;
+    pub const LIST: u8 = 5;
+    pub const SET: u8 = 6;
+    pub const RECORD: u8 = 7;
+    pub const TAGGED: u8 = 8;
+    pub const DYN: u8 = 9;
+    pub const REF: u8 = 10;
+}
+
+/// Encode a value.
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    use vtag::*;
+    match v {
+        Value::Unit => out.push(UNIT),
+        Value::Bool(b) => {
+            out.push(BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(INT);
+            put_i64(out, *i);
+        }
+        Value::Float(x) => {
+            out.push(FLOAT);
+            out.extend_from_slice(&x.0.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(STR);
+            put_str(out, s);
+        }
+        Value::List(xs) => {
+            out.push(LIST);
+            put_u64(out, xs.len() as u64);
+            for x in xs {
+                put_value(out, x);
+            }
+        }
+        Value::Set(xs) => {
+            out.push(SET);
+            put_u64(out, xs.len() as u64);
+            for x in xs {
+                put_value(out, x);
+            }
+        }
+        Value::Record(fs) => {
+            out.push(RECORD);
+            put_u64(out, fs.len() as u64);
+            for (l, x) in fs {
+                put_str(out, l);
+                put_value(out, x);
+            }
+        }
+        Value::Tagged(l, x) => {
+            out.push(TAGGED);
+            put_str(out, l);
+            put_value(out, x);
+        }
+        Value::Dyn(d) => {
+            out.push(DYN);
+            put_type(out, &d.ty);
+            put_value(out, &d.value);
+        }
+        Value::Ref(o) => {
+            out.push(REF);
+            put_u64(out, o.0);
+        }
+    }
+}
+
+impl<'a> Reader<'a> {
+    /// Decode a value.
+    pub fn value(&mut self) -> Result<Value, PersistError> {
+        use vtag::*;
+        Ok(match self.byte()? {
+            UNIT => Value::Unit,
+            BOOL => Value::Bool(self.byte()? != 0),
+            INT => Value::Int(self.i64()?),
+            FLOAT => {
+                let b: [u8; 8] = self.bytes(8)?.try_into().expect("exactly 8");
+                Value::float(f64::from_le_bytes(b))
+            }
+            STR => Value::Str(self.str()?),
+            LIST => {
+                let n = self.u64()? as usize;
+                let mut xs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    xs.push(self.value()?);
+                }
+                Value::List(xs)
+            }
+            SET => {
+                let n = self.u64()? as usize;
+                let mut xs = BTreeSet::new();
+                for _ in 0..n {
+                    xs.insert(self.value()?);
+                }
+                Value::Set(xs)
+            }
+            RECORD => {
+                let n = self.u64()? as usize;
+                let mut fs = dbpl_values::RecordFields::new();
+                for _ in 0..n {
+                    let l = self.str()?;
+                    let v = self.value()?;
+                    fs.insert(l, v);
+                }
+                Value::Record(fs)
+            }
+            TAGGED => {
+                let l = self.str()?;
+                Value::Tagged(l, Box::new(self.value()?))
+            }
+            DYN => {
+                let ty = self.ty()?;
+                let v = self.value()?;
+                Value::dynamic(ty, v)
+            }
+            REF => Value::Ref(Oid(self.u64()?)),
+            t => return Err(PersistError::Malformed(format!("unknown value tag {t}"))),
+        })
+    }
+}
+
+// ---------- self-describing units ----------
+
+/// Encode a dynamic value as a framed, self-describing unit:
+/// `MAGIC ∥ VERSION ∥ type ∥ value`.
+pub fn encode_dyn(d: &DynValue) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_type(&mut out, &d.ty);
+    put_value(&mut out, &d.value);
+    out
+}
+
+/// Decode a self-describing unit.
+pub fn decode_dyn(buf: &[u8]) -> Result<DynValue, PersistError> {
+    let mut r = Reader::new(buf);
+    let magic = r.bytes(4)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.byte()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let ty = r.ty()?;
+    let value = r.value()?;
+    if r.remaining() != 0 {
+        return Err(PersistError::Malformed("trailing bytes after unit".into()));
+    }
+    Ok(DynValue::new(ty, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: Value) {
+        let mut out = Vec::new();
+        put_value(&mut out, &v);
+        let got = Reader::new(&out).value().unwrap();
+        assert_eq!(got, v);
+    }
+
+    fn roundtrip_type(t: Type) {
+        let mut out = Vec::new();
+        put_type(&mut out, &t);
+        let got = Reader::new(&out).ty().unwrap();
+        assert_eq!(got, t);
+    }
+
+    #[test]
+    fn varints_roundtrip_extremes() {
+        for x in [0u64, 1, 127, 128, 300, u64::MAX] {
+            let mut out = Vec::new();
+            put_u64(&mut out, x);
+            assert_eq!(Reader::new(&out).u64().unwrap(), x);
+        }
+        for x in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            let mut out = Vec::new();
+            put_i64(&mut out, x);
+            assert_eq!(Reader::new(&out).i64().unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        roundtrip_value(Value::Unit);
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Int(-42));
+        roundtrip_value(Value::float(3.25));
+        roundtrip_value(Value::str("héllo"));
+        roundtrip_value(Value::list([Value::Int(1), Value::str("x")]));
+        roundtrip_value(Value::set([Value::Int(1), Value::Int(2)]));
+        roundtrip_value(Value::record([
+            ("Name", Value::str("J Doe")),
+            ("Addr", Value::record([("City", Value::str("Austin"))])),
+        ]));
+        roundtrip_value(Value::tagged("Some", Value::Int(1)));
+        roundtrip_value(Value::dynamic(Type::Int, Value::Int(3)));
+        roundtrip_value(Value::Ref(Oid(777)));
+    }
+
+    #[test]
+    fn types_roundtrip() {
+        roundtrip_type(Type::Int);
+        roundtrip_type(Type::record([("a", Type::Str), ("b", Type::list(Type::Int))]));
+        roundtrip_type(Type::variant([("Nil", Type::Unit)]));
+        roundtrip_type(Type::fun(Type::Int, Type::Bool));
+        roundtrip_type(Type::named("Person"));
+        roundtrip_type(Type::forall(
+            "t",
+            Some(Type::named("Person")),
+            Type::fun(Type::var("t"), Type::var("t")),
+        ));
+        roundtrip_type(Type::exists("u", None, Type::var("u")));
+        roundtrip_type(Type::Dynamic);
+    }
+
+    #[test]
+    fn dyn_units_roundtrip_and_validate() {
+        let d = DynValue::new(
+            Type::record([("Name", Type::Str)]),
+            Value::record([("Name", Value::str("d"))]),
+        );
+        let bytes = encode_dyn(&d);
+        assert_eq!(decode_dyn(&bytes).unwrap(), d);
+        // Corrupt the magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_dyn(&bad), Err(PersistError::BadMagic)));
+        // Unsupported version.
+        let mut v2 = bytes.clone();
+        v2[4] = 99;
+        assert!(matches!(decode_dyn(&v2), Err(PersistError::UnsupportedVersion(99))));
+        // Trailing garbage.
+        let mut trail = bytes.clone();
+        trail.push(0);
+        assert!(decode_dyn(&trail).is_err());
+        // Truncation anywhere is detected.
+        for cut in 5..bytes.len() {
+            assert!(decode_dyn(&bytes[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn nan_floats_roundtrip() {
+        let v = Value::float(f64::NAN);
+        let mut out = Vec::new();
+        put_value(&mut out, &v);
+        let got = Reader::new(&out).value().unwrap();
+        assert_eq!(got, v, "total-order equality treats NaN = NaN");
+    }
+}

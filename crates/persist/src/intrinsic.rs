@@ -1,0 +1,497 @@
+//! Intrinsic persistence: every value is persistent; reachability decides
+//! what is retained.
+//!
+//! "Here the idea is that every value in a program is persistent, however
+//! there is no need physically to retain storage for values for which all
+//! reference is lost. In this model of persistence there is no need to
+//! replicate data or control its movement … The entire purpose of handles
+//! for this form of persistence is to maintain reference to values."
+//!
+//! PS-algol and GemStone implemented forms of this; PS-algol adds "an
+//! explicit *commit* instruction — before this instruction is called, the
+//! persistent value and the value being used by the program can diverge."
+//!
+//! [`IntrinsicStore`] realizes the model over the CRC-framed [`LogFile`]:
+//!
+//! * objects live in a working [`Heap`]; **handles** are the named roots;
+//! * [`IntrinsicStore::commit`] appends the dirty objects and handle table
+//!   changes followed by a commit marker, then makes them the new
+//!   committed state — crash recovery replays only up to the last marker;
+//! * [`IntrinsicStore::abort`] rolls the working state back to the last
+//!   commit (the divergence the paper describes is thus first-class);
+//! * [`IntrinsicStore::sweep`] reclaims objects unreachable from any
+//!   handle; [`IntrinsicStore::compact`] rewrites the log to just the live
+//!   committed state.
+//!
+//! Because objects are *referenced*, not copied, an update through one
+//! handle is visible through every other — the exact anomaly of
+//! replicating persistence does not arise (experiment E3).
+
+use crate::error::PersistError;
+use crate::format::{self, Reader};
+use crate::log::LogFile;
+use dbpl_types::Type;
+use dbpl_values::{Heap, Oid, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// The handle table: named roots with their declared types.
+pub type Handles = BTreeMap<String, (Type, Value)>;
+
+/// A log-structured persistent object store with commit/abort.
+pub struct IntrinsicStore {
+    log_path: PathBuf,
+    log: LogFile,
+    committed_heap: Heap,
+    committed_handles: Handles,
+    heap: Heap,
+    handles: Handles,
+    dirty_objects: BTreeSet<Oid>,
+    dead_objects: BTreeSet<Oid>,
+    dirty_handles: BTreeSet<String>,
+    txn: u64,
+}
+
+// Log record kinds.
+const REC_OBJECT: u8 = b'O';
+const REC_HANDLE: u8 = b'H';
+const REC_HANDLE_DEL: u8 = b'D';
+const REC_OBJECT_DEL: u8 = b'X';
+const REC_COMMIT: u8 = b'C';
+
+impl IntrinsicStore {
+    /// Open (or create) a store backed by the log at `path`, recovering
+    /// committed state. A torn tail (crash mid-commit) is truncated away.
+    pub fn open(path: impl AsRef<Path>) -> Result<IntrinsicStore, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let replay = LogFile::replay(&path)?;
+        if !replay.clean {
+            LogFile::truncate_to(&path, replay.valid_len)?;
+        }
+        let mut committed_heap = Heap::new();
+        let mut committed_handles = Handles::new();
+        let mut staging_heap: Vec<(Oid, Type, Value)> = Vec::new();
+        let mut staging_dead: Vec<Oid> = Vec::new();
+        let mut staging_handles: Vec<(String, Option<(Type, Value)>)> = Vec::new();
+        let mut txn = 0u64;
+        for rec in &replay.records {
+            let mut r = Reader::new(rec);
+            match r.byte()? {
+                REC_OBJECT => {
+                    let oid = Oid(r.u64()?);
+                    let ty = r.ty()?;
+                    let v = r.value()?;
+                    staging_heap.push((oid, ty, v));
+                }
+                REC_OBJECT_DEL => {
+                    staging_dead.push(Oid(r.u64()?));
+                }
+                REC_HANDLE => {
+                    let name = r.str()?;
+                    let ty = r.ty()?;
+                    let v = r.value()?;
+                    staging_handles.push((name, Some((ty, v))));
+                }
+                REC_HANDLE_DEL => {
+                    staging_handles.push((r.str()?, None));
+                }
+                REC_COMMIT => {
+                    txn = r.u64()?;
+                    for (oid, ty, v) in staging_heap.drain(..) {
+                        committed_heap.insert_at(oid, ty, v);
+                    }
+                    for oid in staging_dead.drain(..) {
+                        committed_heap.remove(oid);
+                    }
+                    for (name, entry) in staging_handles.drain(..) {
+                        match entry {
+                            Some(tv) => {
+                                committed_handles.insert(name, tv);
+                            }
+                            None => {
+                                committed_handles.remove(&name);
+                            }
+                        }
+                    }
+                }
+                k => return Err(PersistError::Malformed(format!("unknown log record {k}"))),
+            }
+        }
+        // Records after the last commit marker are deliberately dropped:
+        // they belong to an uncommitted transaction.
+        let log = LogFile::open(&path)?;
+        Ok(IntrinsicStore {
+            log_path: path,
+            log,
+            heap: committed_heap.clone(),
+            handles: committed_handles.clone(),
+            committed_heap,
+            committed_handles,
+            dirty_objects: BTreeSet::new(),
+            dead_objects: BTreeSet::new(),
+            dirty_handles: BTreeSet::new(),
+            txn,
+        })
+    }
+
+    /// The log path.
+    pub fn path(&self) -> &Path {
+        &self.log_path
+    }
+
+    /// Read access to the working heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The working handle table.
+    pub fn handles(&self) -> &Handles {
+        &self.handles
+    }
+
+    /// The last committed transaction number.
+    pub fn txn(&self) -> u64 {
+        self.txn
+    }
+
+    /// Allocate a new object in the working state.
+    pub fn alloc(&mut self, ty: Type, value: Value) -> Oid {
+        let oid = self.heap.alloc(ty, value);
+        self.dirty_objects.insert(oid);
+        oid
+    }
+
+    /// Update an object in the working state. Visible through *every*
+    /// reference immediately — objects are shared, not copied.
+    pub fn update(&mut self, oid: Oid, value: Value) -> Result<(), PersistError> {
+        self.heap.update(oid, value)?;
+        self.dirty_objects.insert(oid);
+        Ok(())
+    }
+
+    /// Fetch an object from the working state.
+    pub fn get(&self, oid: Oid) -> Result<&dbpl_values::HeapObject, PersistError> {
+        Ok(self.heap.get(oid)?)
+    }
+
+    /// Bind a handle (a named persistent root). "Creating this global name
+    /// is all that is required to ensure persistence."
+    pub fn set_handle(&mut self, name: impl Into<String>, ty: Type, value: Value) {
+        let name = name.into();
+        self.handles.insert(name.clone(), (ty, value));
+        self.dirty_handles.insert(name);
+    }
+
+    /// Look up a handle.
+    pub fn handle(&self, name: &str) -> Option<&(Type, Value)> {
+        self.handles.get(name)
+    }
+
+    /// Drop a handle; the objects it alone kept alive become garbage
+    /// (collect them with [`IntrinsicStore::sweep`]).
+    pub fn remove_handle(&mut self, name: &str) -> bool {
+        let existed = self.handles.remove(name).is_some();
+        if existed {
+            self.dirty_handles.insert(name.to_string());
+        }
+        existed
+    }
+
+    /// Make the working state durable: append dirty objects, handle-table
+    /// changes and a commit marker, fsync, and promote the working state to
+    /// committed.
+    pub fn commit(&mut self) -> Result<u64, PersistError> {
+        for oid in &self.dirty_objects {
+            if let Ok(obj) = self.heap.get(*oid) {
+                let mut rec = vec![REC_OBJECT];
+                format::put_u64(&mut rec, oid.0);
+                format::put_type(&mut rec, &obj.ty);
+                format::put_value(&mut rec, &obj.value);
+                self.log.append(&rec)?;
+            }
+        }
+        for oid in &self.dead_objects {
+            let mut rec = vec![REC_OBJECT_DEL];
+            format::put_u64(&mut rec, oid.0);
+            self.log.append(&rec)?;
+        }
+        for name in &self.dirty_handles {
+            match self.handles.get(name) {
+                Some((ty, v)) => {
+                    let mut rec = vec![REC_HANDLE];
+                    format::put_str(&mut rec, name);
+                    format::put_type(&mut rec, ty);
+                    format::put_value(&mut rec, v);
+                    self.log.append(&rec)?;
+                }
+                None => {
+                    let mut rec = vec![REC_HANDLE_DEL];
+                    format::put_str(&mut rec, name);
+                    self.log.append(&rec)?;
+                }
+            }
+        }
+        self.txn += 1;
+        let mut marker = vec![REC_COMMIT];
+        format::put_u64(&mut marker, self.txn);
+        self.log.append(&marker)?;
+        self.log.sync()?;
+        self.committed_heap = self.heap.clone();
+        self.committed_handles = self.handles.clone();
+        self.dirty_objects.clear();
+        self.dead_objects.clear();
+        self.dirty_handles.clear();
+        Ok(self.txn)
+    }
+
+    /// Discard uncommitted work: the working state reverts to the last
+    /// commit.
+    pub fn abort(&mut self) {
+        self.heap = self.committed_heap.clone();
+        self.handles = self.committed_handles.clone();
+        self.dirty_objects.clear();
+        self.dead_objects.clear();
+        self.dirty_handles.clear();
+    }
+
+    /// Is there uncommitted work?
+    pub fn is_dirty(&self) -> bool {
+        !(self.dirty_objects.is_empty()
+            && self.dead_objects.is_empty()
+            && self.dirty_handles.is_empty())
+    }
+
+    /// Reclaim objects unreachable from the handle table. Returns the
+    /// collected identities; deletions are logged at the next commit.
+    pub fn sweep(&mut self) -> Vec<Oid> {
+        let roots: BTreeSet<Oid> = self
+            .handles
+            .values()
+            .flat_map(|(_, v)| v.direct_refs())
+            .collect();
+        let dead = self.heap.sweep(roots);
+        for d in &dead {
+            self.dirty_objects.remove(d);
+            self.dead_objects.insert(*d);
+        }
+        dead
+    }
+
+    /// Rewrite the log to contain exactly the live committed state (one
+    /// transaction). Uncommitted work is preserved in memory.
+    pub fn compact(&mut self) -> Result<(), PersistError> {
+        let tmp = self.log_path.with_extension("compact");
+        let _ = std::fs::remove_file(&tmp);
+        {
+            let mut fresh = LogFile::open(&tmp)?;
+            for (oid, obj) in self.committed_heap.iter() {
+                let mut rec = vec![REC_OBJECT];
+                format::put_u64(&mut rec, oid.0);
+                format::put_type(&mut rec, &obj.ty);
+                format::put_value(&mut rec, &obj.value);
+                fresh.append(&rec)?;
+            }
+            for (name, (ty, v)) in &self.committed_handles {
+                let mut rec = vec![REC_HANDLE];
+                format::put_str(&mut rec, name);
+                format::put_type(&mut rec, ty);
+                format::put_value(&mut rec, v);
+                fresh.append(&rec)?;
+            }
+            let mut marker = vec![REC_COMMIT];
+            format::put_u64(&mut marker, self.txn);
+            fresh.append(&marker)?;
+            fresh.sync()?;
+        }
+        std::fs::rename(&tmp, &self.log_path)?;
+        self.log = LogFile::open(&self.log_path)?;
+        Ok(())
+    }
+
+    /// Size of the backing log in bytes.
+    pub fn stored_bytes(&self) -> Result<u64, PersistError> {
+        Ok(std::fs::metadata(&self.log_path)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbpl-intr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.log"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn commit_then_reopen_restores_state() {
+        let path = fresh("reopen");
+        {
+            let mut s = IntrinsicStore::open(&path).unwrap();
+            let o = s.alloc(Type::Int, Value::Int(5));
+            s.set_handle("root", Type::Int, Value::Ref(o));
+            s.commit().unwrap();
+        }
+        let s = IntrinsicStore::open(&path).unwrap();
+        let (_, v) = s.handle("root").unwrap();
+        let o = v.as_ref_oid().unwrap();
+        assert_eq!(s.get(o).unwrap().value, Value::Int(5));
+        assert_eq!(s.txn(), 1);
+    }
+
+    #[test]
+    fn uncommitted_work_does_not_survive_crash() {
+        let path = fresh("crash");
+        {
+            let mut s = IntrinsicStore::open(&path).unwrap();
+            let o = s.alloc(Type::Int, Value::Int(1));
+            s.set_handle("root", Type::Int, Value::Ref(o));
+            s.commit().unwrap();
+            // Uncommitted second transaction.
+            s.update(o, Value::Int(2)).unwrap();
+            // "crash": drop without commit. (Nothing was appended, but
+            // even appended-without-marker records must not apply.)
+        }
+        let s = IntrinsicStore::open(&path).unwrap();
+        let (_, v) = s.handle("root").unwrap();
+        assert_eq!(s.get(v.as_ref_oid().unwrap()).unwrap().value, Value::Int(1));
+    }
+
+    #[test]
+    fn abort_restores_last_commit() {
+        let path = fresh("abort");
+        let mut s = IntrinsicStore::open(&path).unwrap();
+        let o = s.alloc(Type::Int, Value::Int(1));
+        s.set_handle("root", Type::Int, Value::Ref(o));
+        s.commit().unwrap();
+        s.update(o, Value::Int(99)).unwrap();
+        assert!(s.is_dirty());
+        s.abort();
+        assert!(!s.is_dirty());
+        assert_eq!(s.get(o).unwrap().value, Value::Int(1));
+    }
+
+    #[test]
+    fn sharing_is_preserved_no_update_anomaly() {
+        // Two handles refer to the same object: an update through one is
+        // visible through the other — the inverse of the replicating test.
+        let path = fresh("sharing");
+        let mut s = IntrinsicStore::open(&path).unwrap();
+        let c = s.alloc(Type::Int, Value::Int(7));
+        s.set_handle("a", Type::Top, Value::record([("c", Value::Ref(c))]));
+        s.set_handle("b", Type::Top, Value::record([("c", Value::Ref(c))]));
+        s.commit().unwrap();
+        s.update(c, Value::Int(100)).unwrap();
+        s.commit().unwrap();
+        // Reopen and look through both handles.
+        drop(s);
+        let s = IntrinsicStore::open(&path).unwrap();
+        for h in ["a", "b"] {
+            let (_, v) = s.handle(h).unwrap();
+            let o = v.field("c").unwrap().as_ref_oid().unwrap();
+            assert_eq!(s.get(o).unwrap().value, Value::Int(100), "through handle {h}");
+        }
+    }
+
+    #[test]
+    fn sweep_collects_unrooted_objects() {
+        let path = fresh("sweep");
+        let mut s = IntrinsicStore::open(&path).unwrap();
+        let kept = s.alloc(Type::Int, Value::Int(1));
+        let lost = s.alloc(Type::Int, Value::Int(2));
+        s.set_handle("root", Type::Int, Value::Ref(kept));
+        s.commit().unwrap();
+        let dead = s.sweep();
+        assert_eq!(dead, vec![lost]);
+        s.commit().unwrap();
+        drop(s);
+        let s = IntrinsicStore::open(&path).unwrap();
+        assert!(s.get(kept).is_ok());
+        assert!(s.get(lost).is_err(), "deletion persisted");
+    }
+
+    #[test]
+    fn removing_a_handle_releases_its_objects() {
+        let path = fresh("unroot");
+        let mut s = IntrinsicStore::open(&path).unwrap();
+        let o = s.alloc(Type::Int, Value::Int(1));
+        s.set_handle("root", Type::Int, Value::Ref(o));
+        s.commit().unwrap();
+        assert!(s.remove_handle("root"));
+        let dead = s.sweep();
+        assert_eq!(dead, vec![o]);
+        s.commit().unwrap();
+        drop(s);
+        let s = IntrinsicStore::open(&path).unwrap();
+        assert!(s.handle("root").is_none());
+        assert_eq!(s.heap().len(), 0);
+    }
+
+    #[test]
+    fn compaction_shrinks_the_log() {
+        let path = fresh("compact");
+        let mut s = IntrinsicStore::open(&path).unwrap();
+        let o = s.alloc(Type::Str, Value::Str("v".repeat(512)));
+        s.set_handle("root", Type::Str, Value::Ref(o));
+        for i in 0..50 {
+            s.update(o, Value::Str(format!("{i}").repeat(512))).unwrap();
+            s.commit().unwrap();
+        }
+        let before = s.stored_bytes().unwrap();
+        s.compact().unwrap();
+        let after = s.stored_bytes().unwrap();
+        assert!(after < before / 10, "compaction {before} -> {after}");
+        drop(s);
+        let s = IntrinsicStore::open(&path).unwrap();
+        let (_, v) = s.handle("root").unwrap();
+        let val = &s.get(v.as_ref_oid().unwrap()).unwrap().value;
+        assert_eq!(val.as_str().unwrap().len(), 2 * 512);
+    }
+
+    #[test]
+    fn torn_log_tail_recovers_to_last_commit() {
+        let path = fresh("torn");
+        {
+            let mut s = IntrinsicStore::open(&path).unwrap();
+            let o = s.alloc(Type::Int, Value::Int(1));
+            s.set_handle("root", Type::Int, Value::Ref(o));
+            s.commit().unwrap();
+            s.update(o, Value::Int(2)).unwrap();
+            s.commit().unwrap();
+        }
+        // Corrupt the tail: chop 3 bytes off the final commit frame.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let s = IntrinsicStore::open(&path).unwrap();
+        let (_, v) = s.handle("root").unwrap();
+        assert_eq!(
+            s.get(v.as_ref_oid().unwrap()).unwrap().value,
+            Value::Int(1),
+            "second transaction's torn commit ignored"
+        );
+        assert_eq!(s.txn(), 1);
+    }
+
+    #[test]
+    fn many_transactions_replay_in_order() {
+        let path = fresh("many");
+        {
+            let mut s = IntrinsicStore::open(&path).unwrap();
+            let o = s.alloc(Type::Int, Value::Int(0));
+            s.set_handle("n", Type::Int, Value::Ref(o));
+            for i in 1..=20 {
+                s.update(o, Value::Int(i)).unwrap();
+                s.commit().unwrap();
+            }
+        }
+        let s = IntrinsicStore::open(&path).unwrap();
+        let (_, v) = s.handle("n").unwrap();
+        assert_eq!(s.get(v.as_ref_oid().unwrap()).unwrap().value, Value::Int(20));
+        assert_eq!(s.txn(), 20);
+    }
+}

@@ -1,0 +1,306 @@
+//! Replicating persistence: explicit `extern`/`intern` of self-describing
+//! dynamic values.
+//!
+//! "The second form of persistence is controlled by having program
+//! instructions that move structures in and out of secondary (persistent)
+//! storage. We shall call this *replicating* persistence since structures
+//! are replicated in secondary storage." Amber is the paper's most
+//! complete example, using dynamic types:
+//!
+//! ```text
+//! extern('DBFile', dynamic d)         -- write a copy, with its type
+//! var x = intern 'DBFile'             -- read a copy back
+//! var d = coerce x to database        -- fails if the types don't match
+//! ```
+//!
+//! Names like `DBFile` are **handles**; "the handle refers to a *copy* of
+//! the data in the program". Consequences, all reproduced and tested here:
+//!
+//! * modifications made after an `extern` "will not survive the second
+//!   intern operation" unless re-externed;
+//! * two externed values that shared a third object now refer to
+//!   "distinct copies", so updates through one are invisible through the
+//!   other — the **update anomaly** — and the shared data is stored twice
+//!   (**wasted storage**), both measured by experiment E3;
+//! * concurrency requires the extern/intern operations on a handle to be
+//!   synchronized — each handle carries a lock.
+
+use crate::error::PersistError;
+use crate::format;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dbpl_values::{DynValue, Heap};
+
+/// A directory of handle files, each holding one self-describing unit plus
+/// the replicated closure of heap objects reachable from it.
+pub struct ReplicatingStore {
+    dir: PathBuf,
+    locks: Mutex<BTreeMap<String, Arc<Mutex<()>>>>,
+}
+
+impl ReplicatingStore {
+    /// Open (creating) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ReplicatingStore, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ReplicatingStore { dir, locks: Mutex::new(BTreeMap::new()) })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn handle_path(&self, handle: &str) -> PathBuf {
+        // Encode the handle to a safe file name.
+        let safe: String = handle
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '%' })
+            .collect();
+        self.dir.join(format!("{safe}.dyn"))
+    }
+
+    fn lock_for(&self, handle: &str) -> Arc<Mutex<()>> {
+        self.locks.lock().entry(handle.to_string()).or_default().clone()
+    }
+
+    /// `extern(handle, dynamic d)`: replicate to secondary storage the
+    /// value **and everything reachable from it** in `heap`. The stored
+    /// bytes are a *copy*: later heap mutations do not affect them.
+    pub fn extern_value(
+        &self,
+        handle: &str,
+        d: &DynValue,
+        heap: &Heap,
+    ) -> Result<(), PersistError> {
+        let guard = self.lock_for(handle);
+        let _held = guard.lock();
+        // Replicate the reachable object graph into a private heap whose
+        // oids are dense from zero, then serialize (DynValue, objects).
+        let mut closure = Heap::new();
+        let rewritten = heap.replicate_into(&d.value, &mut closure)?;
+        let unit = DynValue::new(d.ty.clone(), rewritten);
+
+        let mut out = format::encode_dyn(&unit);
+        format::put_u64(&mut out, closure.len() as u64);
+        for (oid, obj) in closure.iter() {
+            format::put_u64(&mut out, oid.0);
+            format::put_type(&mut out, &obj.ty);
+            format::put_value(&mut out, &obj.value);
+        }
+        let tmp = self.handle_path(handle).with_extension("tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, self.handle_path(handle))?;
+        Ok(())
+    }
+
+    /// `intern handle`: read the stored unit back, replicating its object
+    /// closure into `heap` under **fresh identities**, and return the
+    /// dynamic value. Two interns of the same handle produce two
+    /// independent copies.
+    pub fn intern(&self, handle: &str, heap: &mut Heap) -> Result<DynValue, PersistError> {
+        let guard = self.lock_for(handle);
+        let _held = guard.lock();
+        let path = self.handle_path(handle);
+        let buf = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(PersistError::UnknownHandle(handle.to_string()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        // The unit is a prefix; objects follow. Parse manually.
+        let mut r = format::Reader::new(&buf);
+        if r.bytes(4)? != format::MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.byte()?;
+        if version != format::VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let ty = r.ty()?;
+        let value = r.value()?;
+        let n = r.u64()? as usize;
+        let mut stored = Heap::new();
+        for _ in 0..n {
+            let oid = dbpl_values::Oid(r.u64()?);
+            let t = r.ty()?;
+            let v = r.value()?;
+            stored.insert_at(oid, t, v);
+        }
+        if r.remaining() != 0 {
+            return Err(PersistError::Malformed("trailing bytes after handle unit".into()));
+        }
+        let fresh = stored.replicate_into(&value, heap)?;
+        Ok(DynValue::new(ty, fresh))
+    }
+
+    /// List the stored handles (file stems).
+    pub fn handles(&self) -> Result<Vec<String>, PersistError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let p = entry.path();
+            if p.extension().and_then(|e| e.to_str()) == Some("dyn") {
+                if let Some(stem) = p.file_stem().and_then(|s| s.to_str()) {
+                    out.push(stem.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Does a handle exist?
+    pub fn exists(&self, handle: &str) -> bool {
+        self.handle_path(handle).exists()
+    }
+
+    /// Remove a handle.
+    pub fn remove(&self, handle: &str) -> Result<(), PersistError> {
+        let guard = self.lock_for(handle);
+        let _held = guard.lock();
+        match std::fs::remove_file(self.handle_path(handle)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(PersistError::UnknownHandle(handle.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Stored size in bytes of one handle — the measure of the paper's
+    /// "wasted storage" when shared structures are replicated per handle.
+    pub fn stored_bytes(&self, handle: &str) -> Result<u64, PersistError> {
+        Ok(std::fs::metadata(self.handle_path(handle))?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpl_types::Type;
+    use dbpl_values::Value;
+
+    fn store(name: &str) -> ReplicatingStore {
+        let dir = std::env::temp_dir().join(format!("dbpl-repl-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ReplicatingStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn extern_intern_roundtrip_plain_value() {
+        let s = store("plain");
+        let heap = Heap::new();
+        let d = DynValue::new(Type::Int, Value::Int(42));
+        s.extern_value("X", &d, &heap).unwrap();
+        let mut h2 = Heap::new();
+        let back = s.intern("X", &mut h2).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(s.handles().unwrap(), vec!["X".to_string()]);
+    }
+
+    #[test]
+    fn unknown_handle_errors() {
+        let s = store("unknown");
+        let mut heap = Heap::new();
+        assert!(matches!(
+            s.intern("Ghost", &mut heap),
+            Err(PersistError::UnknownHandle(_))
+        ));
+        assert!(matches!(s.remove("Ghost"), Err(PersistError::UnknownHandle(_))));
+    }
+
+    #[test]
+    fn paper_example_modifications_do_not_survive_reintern() {
+        // var x = intern 'DBFile'; -- code that modifies x --
+        // x = intern 'DBFile';  => the modifications are gone.
+        let s = store("reintern");
+        let mut heap = Heap::new();
+        let o = heap.alloc(Type::Int, Value::Int(1));
+        let d = DynValue::new(Type::Top, Value::Ref(o));
+        s.extern_value("DBFile", &d, &heap).unwrap();
+
+        let x = s.intern("DBFile", &mut heap).unwrap();
+        let xo = x.value.as_ref_oid().unwrap();
+        heap.update(xo, Value::Int(99)).unwrap(); // modify the copy
+        let x2 = s.intern("DBFile", &mut heap).unwrap(); // re-intern
+        let xo2 = x2.value.as_ref_oid().unwrap();
+        assert_eq!(heap.get(xo2).unwrap().value, Value::Int(1), "modification lost");
+    }
+
+    #[test]
+    fn update_anomaly_shared_value_diverges() {
+        // a and b both refer to c; extern both; updates through a's copy
+        // of c are invisible through b's copy.
+        let s = store("anomaly");
+        let mut heap = Heap::new();
+        let c = heap.alloc(Type::Int, Value::Int(7));
+        let a = DynValue::new(Type::Top, Value::record([("c", Value::Ref(c))]));
+        let b = DynValue::new(Type::Top, Value::record([("c", Value::Ref(c))]));
+        s.extern_value("A", &a, &heap).unwrap();
+        s.extern_value("B", &b, &heap).unwrap();
+
+        let mut h2 = Heap::new();
+        let ia = s.intern("A", &mut h2).unwrap();
+        let ib = s.intern("B", &mut h2).unwrap();
+        let ca = ia.value.field("c").unwrap().as_ref_oid().unwrap();
+        let cb = ib.value.field("c").unwrap().as_ref_oid().unwrap();
+        assert_ne!(ca, cb, "the shared object was split into two copies");
+        h2.update(ca, Value::Int(100)).unwrap();
+        assert_eq!(h2.get(cb).unwrap().value, Value::Int(7), "update anomaly");
+    }
+
+    #[test]
+    fn wasted_storage_is_observable() {
+        // A large shared payload is stored once per handle.
+        let s = store("waste");
+        let mut heap = Heap::new();
+        let big = heap.alloc(Type::Str, Value::Str("x".repeat(10_000)));
+        let a = DynValue::new(Type::Top, Value::record([("p", Value::Ref(big))]));
+        let b = DynValue::new(Type::Top, Value::record([("p", Value::Ref(big))]));
+        s.extern_value("A", &a, &heap).unwrap();
+        s.extern_value("B", &b, &heap).unwrap();
+        let total = s.stored_bytes("A").unwrap() + s.stored_bytes("B").unwrap();
+        assert!(total > 20_000, "payload duplicated: {total} bytes");
+    }
+
+    #[test]
+    fn extern_carries_the_reachable_closure() {
+        // "it carries with it everything that is reachable from that value"
+        let s = store("closure");
+        let mut heap = Heap::new();
+        let inner = heap.alloc(Type::Int, Value::Int(5));
+        let outer = heap.alloc(Type::Top, Value::record([("inner", Value::Ref(inner))]));
+        let d = DynValue::new(Type::Top, Value::Ref(outer));
+        s.extern_value("G", &d, &heap).unwrap();
+        // A fresh program (fresh heap) sees the whole graph.
+        let mut h2 = Heap::new();
+        let g = s.intern("G", &mut h2).unwrap();
+        let o = g.value.as_ref_oid().unwrap();
+        let i = h2.get(o).unwrap().value.field("inner").unwrap().as_ref_oid().unwrap();
+        assert_eq!(h2.get(i).unwrap().value, Value::Int(5));
+    }
+
+    #[test]
+    fn extern_is_atomic_replace() {
+        let s = store("atomic");
+        let heap = Heap::new();
+        s.extern_value("H", &DynValue::new(Type::Int, Value::Int(1)), &heap).unwrap();
+        s.extern_value("H", &DynValue::new(Type::Int, Value::Int(2)), &heap).unwrap();
+        let mut h2 = Heap::new();
+        assert_eq!(s.intern("H", &mut h2).unwrap().value, Value::Int(2));
+    }
+
+    #[test]
+    fn handles_with_odd_names_are_sanitized() {
+        let s = store("odd");
+        let heap = Heap::new();
+        s.extern_value("a/b c", &DynValue::new(Type::Int, Value::Int(3)), &heap).unwrap();
+        let mut h2 = Heap::new();
+        assert_eq!(s.intern("a/b c", &mut h2).unwrap().value, Value::Int(3));
+    }
+}

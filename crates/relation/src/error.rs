@@ -1,0 +1,61 @@
+//! Errors for relational operations.
+
+use dbpl_types::{Label, Type};
+use std::fmt;
+
+/// Errors raised by flat and generalized relation operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    /// A schema attribute had a non-base type — the "well-known
+    /// first-normal-form condition on relational databases".
+    NotFirstNormalForm {
+        /// Offending attribute.
+        attr: Label,
+        /// Its (non-base) type.
+        ty: Type,
+    },
+    /// A tuple lacked a schema attribute.
+    MissingAttribute(Label),
+    /// A tuple or operation referenced an attribute the schema lacks.
+    UnknownAttribute(Label),
+    /// A tuple value had the wrong type.
+    TupleTypeMismatch {
+        /// Attribute name.
+        attr: Label,
+        /// Expected type.
+        expected: Type,
+        /// Rendered offending value.
+        got: String,
+    },
+    /// Two schemas were incompatible for the requested operation.
+    SchemaMismatch(String),
+    /// A key constraint was violated.
+    KeyViolation(String),
+    /// A generalized-relation constructor was given comparable objects.
+    NotAnAntichain,
+    /// A generalized row was not a record when one was required.
+    NotARecord(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::NotFirstNormalForm { attr, ty } => {
+                write!(f, "attribute `{attr}` has non-base type {ty}: violates 1NF")
+            }
+            RelationError::MissingAttribute(a) => write!(f, "tuple missing attribute `{a}`"),
+            RelationError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            RelationError::TupleTypeMismatch { attr, expected, got } => {
+                write!(f, "attribute `{attr}`: expected {expected}, got {got}")
+            }
+            RelationError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            RelationError::KeyViolation(m) => write!(f, "key violation: {m}"),
+            RelationError::NotAnAntichain => {
+                write!(f, "objects are ⊑-comparable: not a generalized relation")
+            }
+            RelationError::NotARecord(v) => write!(f, "value {v} is not a record"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}

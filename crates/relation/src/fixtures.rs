@@ -1,0 +1,146 @@
+//! The exact data of **Figure 1** of the paper: "A join of generalized
+//! relations". Used by the integration tests, the `generalized_join`
+//! example and the `fig1_join` benchmark.
+
+use crate::generalized::GenRelation;
+use dbpl_values::Value;
+
+fn rec<const N: usize>(pairs: [(&str, Value); N]) -> Value {
+    Value::record(pairs)
+}
+
+/// R1 of Figure 1:
+///
+/// ```text
+/// {{Name = 'J Doe', Dept = 'Sales', Addr = {City = 'Moose'}},
+///  {Name = 'M Dee', Dept = 'Manuf'},
+///  {Name = 'N Bug',                 Addr = {State = 'MT'}}}
+/// ```
+pub fn figure1_r1() -> GenRelation {
+    GenRelation::from_values([
+        rec([
+            ("Name", Value::str("J Doe")),
+            ("Dept", Value::str("Sales")),
+            ("Addr", rec([("City", Value::str("Moose"))])),
+        ]),
+        rec([("Name", Value::str("M Dee")), ("Dept", Value::str("Manuf"))]),
+        rec([
+            ("Name", Value::str("N Bug")),
+            ("Addr", rec([("State", Value::str("MT"))])),
+        ]),
+    ])
+}
+
+/// R2 of Figure 1:
+///
+/// ```text
+/// {{Dept = 'Sales', Addr = {State = 'WY'}},
+///  {Dept = 'Admin', Addr = {City = 'Billings'}},
+///  {Dept = 'Manuf', Addr = {State = 'MT'}}}
+/// ```
+pub fn figure1_r2() -> GenRelation {
+    GenRelation::from_values([
+        rec([
+            ("Dept", Value::str("Sales")),
+            ("Addr", rec([("State", Value::str("WY"))])),
+        ]),
+        rec([
+            ("Dept", Value::str("Admin")),
+            ("Addr", rec([("City", Value::str("Billings"))])),
+        ]),
+        rec([
+            ("Dept", Value::str("Manuf")),
+            ("Addr", rec([("State", Value::str("MT"))])),
+        ]),
+    ])
+}
+
+/// The published result `R1 ⋈ R2`:
+///
+/// ```text
+/// {{Name = 'J Doe', Dept = 'Sales', Addr = {City = 'Moose', State = 'WY'}},
+///  {Name = 'M Dee', Dept = 'Manuf', Addr = {State = 'MT'}},
+///  {Name = 'N Bug', Dept = 'Manuf', Addr = {State = 'MT'}},
+///  {Name = 'N Bug', Dept = 'Admin', Addr = {City = 'Billings', State = 'MT'}}}
+/// ```
+///
+/// Note the two incomparable `N Bug` objects — a non-key-constrained
+/// generalized relation happily holds both, and the pairing of
+/// `{Name='J Doe', Addr.City='Moose'}` with `{Dept='Admin',
+/// Addr.City='Billings'}` is *absent* because the two records disagree on
+/// `Addr.City` (their join does not exist).
+pub fn figure1_expected() -> GenRelation {
+    GenRelation::from_values([
+        rec([
+            ("Name", Value::str("J Doe")),
+            ("Dept", Value::str("Sales")),
+            (
+                "Addr",
+                rec([("City", Value::str("Moose")), ("State", Value::str("WY"))]),
+            ),
+        ]),
+        rec([
+            ("Name", Value::str("M Dee")),
+            ("Dept", Value::str("Manuf")),
+            ("Addr", rec([("State", Value::str("MT"))])),
+        ]),
+        rec([
+            ("Name", Value::str("N Bug")),
+            ("Dept", Value::str("Manuf")),
+            ("Addr", rec([("State", Value::str("MT"))])),
+        ]),
+        rec([
+            ("Name", Value::str("N Bug")),
+            ("Dept", Value::str("Admin")),
+            (
+                "Addr",
+                rec([("City", Value::str("Billings")), ("State", Value::str("MT"))]),
+            ),
+        ]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalized::Reduction;
+
+    #[test]
+    fn figure1_reproduces_exactly() {
+        let joined = figure1_r1().natural_join(&figure1_r2());
+        let expected = figure1_expected();
+        assert_eq!(joined.len(), 4);
+        for row in expected.rows() {
+            assert!(joined.contains(row), "missing expected row {row}");
+        }
+        for row in joined.rows() {
+            assert!(expected.contains(row), "unexpected row {row}");
+        }
+    }
+
+    #[test]
+    fn figure1_is_invariant_to_reduction_choice() {
+        // The pairwise joins of Figure 1 already form an antichain, so the
+        // maximal/minimal canonicalization choice does not matter here.
+        let maxi = figure1_r1().natural_join_with(&figure1_r2(), Reduction::Maximal);
+        let mini = figure1_r1().natural_join_with(&figure1_r2(), Reduction::Minimal);
+        assert!(maxi.equiv(&mini));
+        assert_eq!(maxi.len(), mini.len());
+    }
+
+    #[test]
+    fn figure1_join_is_upper_bound() {
+        let r1 = figure1_r1();
+        let r2 = figure1_r2();
+        let j = r1.natural_join(&r2);
+        assert!(r1.leq(&j), "R1 ⊑ R1 ⋈ R2");
+        assert!(r2.leq(&j), "R2 ⊑ R1 ⋈ R2");
+    }
+
+    #[test]
+    fn figure1_inputs_are_antichains() {
+        assert!(dbpl_values::is_antichain(figure1_r1().rows()));
+        assert!(dbpl_values::is_antichain(figure1_r2().rows()));
+        assert!(dbpl_values::is_antichain(figure1_expected().rows()));
+    }
+}

@@ -1,0 +1,467 @@
+//! Generalized (non-first-normal-form) relations.
+//!
+//! "We shall call a set of objects R a (generalized) relation if whenever
+//! o₁, o₂ ∈ R then neither o₁ ⊑ o₂ nor o₂ ⊑ o₁ hold" — a *cochain*
+//! (antichain) of partial records under the information ordering.
+//!
+//! Insertion follows the paper's subsumption rule: "we will not admit an
+//! object o into a relation R if there is already an object in R which
+//! contains as much information as o, and if it is more informative than
+//! objects already in R, we will subsume those objects in R".
+//!
+//! Relations are ordered by
+//!
+//! ```text
+//! R ⊑ R'  iff  for every object o' in R' there is an object o in R
+//!              such that o ⊑ o'
+//! ```
+//!
+//! and the corresponding join is "a generalization of the 'natural join'
+//! for 1NF relations": all pairwise object joins that exist, canonicalized
+//! (Figure 1 of the paper; reproduced in `fixtures::figure1` and verified
+//! exactly by the test suite).
+
+use crate::error::RelationError;
+use dbpl_values::{is_antichain, leq, order, reduce_maximal, reduce_minimal, Value};
+use std::fmt;
+
+/// Which canonical form a reduction keeps. The paper's insertion rule is
+/// [`Reduction::Maximal`]; the least-upper-bound characterization of the
+/// relation ordering canonicalizes with [`Reduction::Minimal`]. DESIGN.md
+/// discusses the choice; the default everywhere is `Maximal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Keep most-informative elements (subsumption).
+    #[default]
+    Maximal,
+    /// Keep least-informative elements.
+    Minimal,
+}
+
+/// A generalized relation: an antichain of (usually record) values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GenRelation {
+    rows: Vec<Value>,
+}
+
+impl GenRelation {
+    /// The empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a relation from arbitrary values, canonicalizing by
+    /// subsumption (maximal reduction).
+    pub fn from_values<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        GenRelation { rows: reduce_maximal(items.into_iter().collect()) }
+    }
+
+    /// Build from values, requiring them to *already* form an antichain.
+    pub fn from_antichain<I: IntoIterator<Item = Value>>(items: I) -> Result<Self, RelationError> {
+        let rows: Vec<Value> = items.into_iter().collect();
+        if !is_antichain(&rows) {
+            return Err(RelationError::NotAnAntichain);
+        }
+        Ok(GenRelation { rows })
+    }
+
+    /// The rows (always an antichain).
+    pub fn rows(&self) -> &[Value] {
+        &self.rows
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert with subsumption. Returns `true` if the object was admitted
+    /// (i.e. it was not already dominated by a member).
+    pub fn insert(&mut self, o: Value) -> bool {
+        if self.rows.iter().any(|r| leq(&o, r)) {
+            return false;
+        }
+        // Subsume strictly less informative members.
+        self.rows.retain(|r| !leq(r, &o));
+        self.rows.push(o);
+        true
+    }
+
+    /// Does the relation contain an object `⊒ o` (i.e. does it *entail*
+    /// the information in `o`)?
+    pub fn entails(&self, o: &Value) -> bool {
+        self.rows.iter().any(|r| leq(o, r))
+    }
+
+    /// Membership (exact).
+    pub fn contains(&self, o: &Value) -> bool {
+        self.rows.contains(o)
+    }
+
+    /// The paper's relation ordering: `self ⊑ other` iff every object of
+    /// `other` is more informative than some object of `self`.
+    pub fn leq(&self, other: &GenRelation) -> bool {
+        other.rows.iter().all(|o2| self.rows.iter().any(|o1| leq(o1, o2)))
+    }
+
+    /// Relation equivalence under the preorder (mutual `⊑`).
+    pub fn equiv(&self, other: &GenRelation) -> bool {
+        self.leq(other) && other.leq(self)
+    }
+
+    /// The "slightly different ordering on relations" the paper mentions
+    /// (from which "a projection operator can be defined"): the Hoare
+    /// lifting — `self ≤ other` iff every object of `self` is dominated
+    /// by some object of `other`. [`GenRelation::union`] is the join of
+    /// *this* ordering, [`GenRelation::natural_join`] of the other; their
+    /// interaction is what \[Bune86\] uses to derive FD theory.
+    pub fn leq_hoare(&self, other: &GenRelation) -> bool {
+        self.rows.iter().all(|o1| other.rows.iter().any(|o2| leq(o1, o2)))
+    }
+
+    /// Equivalence under the Hoare preorder.
+    pub fn equiv_hoare(&self, other: &GenRelation) -> bool {
+        self.leq_hoare(other) && other.leq_hoare(self)
+    }
+
+    /// The generalized natural join: all pairwise object joins that exist,
+    /// canonicalized by `reduction` (Figure 1).
+    ///
+    /// On flat, total records over disjoint-or-agreeing attributes this is
+    /// exactly the classical natural join (see `crate::convert` and
+    /// experiment E4).
+    pub fn natural_join(&self, other: &GenRelation) -> GenRelation {
+        self.natural_join_with(other, Reduction::Maximal)
+    }
+
+    /// [`GenRelation::natural_join`] with an explicit reduction (ablation
+    /// hook for the benchmarks).
+    pub fn natural_join_with(&self, other: &GenRelation, reduction: Reduction) -> GenRelation {
+        let mut out = Vec::new();
+        for a in &self.rows {
+            for b in &other.rows {
+                if let Some(j) = order::join(a, b) {
+                    out.push(j);
+                }
+            }
+        }
+        let rows = match reduction {
+            Reduction::Maximal => reduce_maximal(out),
+            Reduction::Minimal => reduce_minimal(out),
+        };
+        GenRelation { rows }
+    }
+
+    /// Generalized projection: restrict every object to the information at
+    /// the given paths (fields absent in an object simply do not appear —
+    /// partiality is first-class), then canonicalize by subsumption.
+    pub fn project<I>(&self, paths: I) -> GenRelation
+    where
+        I: IntoIterator<Item = dbpl_values::Path> + Clone,
+    {
+        let paths: Vec<dbpl_values::Path> = paths.into_iter().collect();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let mut proj = Value::record::<[(&str, Value); 0], &str>([]);
+            for p in &paths {
+                if let Some(v) = dbpl_values::get_path(row, p) {
+                    // Re-install at the same path, preserving nesting.
+                    dbpl_values::put_path(&mut proj, p, v.clone())
+                        .expect("projection target is a record");
+                }
+            }
+            out.push(proj);
+        }
+        GenRelation { rows: reduce_maximal(out) }
+    }
+
+    /// Select the objects satisfying a predicate. The result of filtering
+    /// an antichain is an antichain, so no reduction is needed.
+    pub fn select(&self, pred: impl Fn(&Value) -> bool) -> GenRelation {
+        GenRelation { rows: self.rows.iter().filter(|r| pred(r)).cloned().collect() }
+    }
+
+    /// Union with subsumption (the join in the *other* — Hoare — ordering
+    /// on relations; also the effect of bulk insertion).
+    pub fn union(&self, other: &GenRelation) -> GenRelation {
+        GenRelation {
+            rows: reduce_maximal(self.rows.iter().chain(&other.rows).cloned().collect()),
+        }
+    }
+
+    /// The meet in the paper's ordering: pairwise object meets,
+    /// canonicalized. Dual to [`GenRelation::natural_join`].
+    pub fn meet(&self, other: &GenRelation) -> GenRelation {
+        let mut out = Vec::new();
+        for a in &self.rows {
+            for b in &other.rows {
+                if let Some(m) = order::meet(a, b) {
+                    out.push(m);
+                }
+            }
+        }
+        GenRelation { rows: reduce_maximal(out) }
+    }
+
+    /// Iterate over the rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.rows.iter()
+    }
+
+    /// The paper's type-as-relation join: "the type `{Name: Str; Age:
+    /// Int}` can be seen as a very large relation … moreover it is
+    /// meaningful to talk about the join of this relation with a relation
+    /// R to extract all the objects in R whose type is a sub-type … This
+    /// is precisely the operation of extracting sub-classes."
+    ///
+    /// Joining with the (infinite, virtual) relation denoted by `ty`
+    /// keeps exactly the objects that conform to `ty`; nothing new can be
+    /// produced because every tuple of the type-relation is total over
+    /// `ty`'s fields and free elsewhere. `heap` resolves any
+    /// object-identity references the rows may carry (pass an empty heap
+    /// for pure-value relations).
+    pub fn restrict_to_type(
+        &self,
+        ty: &dbpl_types::Type,
+        env: &dbpl_types::TypeEnv,
+        heap: &dbpl_values::Heap,
+    ) -> GenRelation {
+        GenRelation {
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| {
+                    dbpl_values::conforms(r, ty, env, heap, dbpl_values::Mode::Strict).is_ok()
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl IntoIterator for GenRelation {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl FromIterator<Value> for GenRelation {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        GenRelation::from_values(iter)
+    }
+}
+
+impl fmt::Display for GenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for r in &self.rows {
+            writeln!(f, "  {r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pairs: &[(&str, Value)]) -> Value {
+        Value::record(pairs.iter().map(|(l, v)| (l.to_string(), v.clone())))
+    }
+
+    #[test]
+    fn insert_subsumes() {
+        let mut r = GenRelation::new();
+        let less = rec(&[("Name", Value::str("J Doe"))]);
+        let more = rec(&[("Name", Value::str("J Doe")), ("Dept", Value::str("Sales"))]);
+        assert!(r.insert(less.clone()));
+        assert!(r.insert(more.clone()), "more informative object admitted");
+        assert_eq!(r.len(), 1, "less informative object subsumed");
+        assert!(r.contains(&more));
+        assert!(!r.insert(less.clone()), "dominated object refused");
+        assert!(r.entails(&less));
+    }
+
+    #[test]
+    fn incomparable_objects_coexist() {
+        let mut r = GenRelation::new();
+        // The paper: two comparable objects may not coexist, but
+        // incomparable ones (e.g. two N Bug variants) may.
+        let a = rec(&[("Name", Value::str("N Bug")), ("Dept", Value::str("Manuf"))]);
+        let b = rec(&[("Name", Value::str("N Bug")), ("Dept", Value::str("Admin"))]);
+        assert!(r.insert(a));
+        assert!(r.insert(b));
+        assert_eq!(r.len(), 2);
+        assert!(is_antichain(r.rows()));
+    }
+
+    #[test]
+    fn relation_ordering_matches_paper_definition() {
+        let r_less = GenRelation::from_values([rec(&[("Name", Value::str("J Doe"))])]);
+        let r_more = GenRelation::from_values([
+            rec(&[("Name", Value::str("J Doe")), ("Dept", Value::str("Sales"))]),
+            rec(&[("Name", Value::str("J Doe")), ("Dept", Value::str("Manuf"))]),
+        ]);
+        // Every object of r_more refines the single object of r_less.
+        assert!(r_less.leq(&r_more));
+        assert!(!r_more.leq(&r_less));
+        // In this ordering the empty relation is vacuously above
+        // everything (no object of R' needs a witness), and below only
+        // itself.
+        assert!(r_less.leq(&GenRelation::new()));
+        assert!(!GenRelation::new().leq(&r_less));
+    }
+
+    #[test]
+    fn join_is_upper_bound_in_relation_order() {
+        let r1 = GenRelation::from_values([
+            rec(&[("A", Value::Int(1))]),
+            rec(&[("A", Value::Int(2))]),
+        ]);
+        let r2 = GenRelation::from_values([rec(&[("B", Value::Int(9))])]);
+        let j = r1.natural_join(&r2);
+        assert!(r1.leq(&j));
+        assert!(r2.leq(&j));
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn join_drops_inconsistent_pairs() {
+        let r1 = GenRelation::from_values([rec(&[("A", Value::Int(1)), ("B", Value::Int(1))])]);
+        let r2 = GenRelation::from_values([rec(&[("A", Value::Int(2)), ("C", Value::Int(3))])]);
+        assert!(r1.natural_join(&r2).is_empty(), "clash on A");
+    }
+
+    #[test]
+    fn projection_keeps_partiality() {
+        let r = GenRelation::from_values([
+            rec(&[("Name", Value::str("a")), ("Dept", Value::str("S"))]),
+            rec(&[("Name", Value::str("b"))]),
+        ]);
+        let p = r.project([dbpl_values::Path::parse("Dept")]);
+        // 'a' projects to {Dept='S'}; 'b' projects to {} which is subsumed.
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&rec(&[("Dept", Value::str("S"))])));
+    }
+
+    #[test]
+    fn projection_of_nested_paths() {
+        let r = GenRelation::from_values([rec(&[
+            ("Name", Value::str("a")),
+            ("Addr", rec(&[("City", Value::str("Moose")), ("State", Value::str("WY"))])),
+        ])]);
+        let p = r.project([dbpl_values::Path::parse("Addr.State")]);
+        assert!(p.contains(&rec(&[("Addr", rec(&[("State", Value::str("WY"))]))])));
+    }
+
+    #[test]
+    fn union_subsumes_across_sides() {
+        let less = GenRelation::from_values([rec(&[("A", Value::Int(1))])]);
+        let more = GenRelation::from_values([rec(&[("A", Value::Int(1)), ("B", Value::Int(2))])]);
+        let u = less.union(&more);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn meet_extracts_common_information() {
+        let r1 = GenRelation::from_values([rec(&[("A", Value::Int(1)), ("B", Value::Int(2))])]);
+        let r2 = GenRelation::from_values([rec(&[("A", Value::Int(1)), ("C", Value::Int(3))])]);
+        let m = r1.meet(&r2);
+        assert!(m.contains(&rec(&[("A", Value::Int(1))])));
+        // Meet is a lower bound in the relation order.
+        assert!(m.leq(&r1));
+        assert!(m.leq(&r2));
+    }
+
+    #[test]
+    fn from_antichain_validates() {
+        let a = rec(&[("A", Value::Int(1))]);
+        let b = rec(&[("A", Value::Int(1)), ("B", Value::Int(2))]);
+        assert!(GenRelation::from_antichain([a.clone(), b.clone()]).is_err());
+        assert!(GenRelation::from_antichain([b]).is_ok());
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = GenRelation::from_values([
+            rec(&[("A", Value::Int(1))]),
+            rec(&[("A", Value::Int(2))]),
+        ]);
+        let s = r.select(|v| v.field("A") == Some(&Value::Int(1)));
+        assert_eq!(s.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod type_relation_tests {
+    use super::*;
+    use dbpl_types::{parse_type, TypeEnv};
+    use dbpl_values::Heap;
+
+    fn rec(pairs: &[(&str, Value)]) -> Value {
+        Value::record(pairs.iter().map(|(l, v)| (l.to_string(), v.clone())))
+    }
+
+    fn people() -> GenRelation {
+        GenRelation::from_values([
+            rec(&[("Name", Value::str("p"))]),
+            rec(&[("Name", Value::str("e")), ("Empno", Value::Int(1))]),
+            rec(&[("Name", Value::str("s")), ("Gpa", Value::float(3.5))]),
+            rec(&[("Age", Value::Int(4))]), // not even a Person
+        ])
+    }
+
+    #[test]
+    fn type_as_relation_extracts_subclasses() {
+        let env = TypeEnv::new();
+        let heap = Heap::new();
+        let person = parse_type("{Name: Str}").unwrap();
+        let employee = parse_type("{Name: Str, Empno: Int}").unwrap();
+        let r = people();
+        assert_eq!(r.restrict_to_type(&person, &env, &heap).len(), 3);
+        assert_eq!(r.restrict_to_type(&employee, &env, &heap).len(), 1);
+        // The extraction respects the hierarchy: Employee ⊆ Person.
+        let emps = r.restrict_to_type(&employee, &env, &heap);
+        let pers = r.restrict_to_type(&person, &env, &heap);
+        for e in emps.rows() {
+            assert!(pers.contains(e));
+        }
+    }
+
+    #[test]
+    fn restriction_agrees_with_the_generic_get() {
+        // The same extraction through the type-checker path: each kept row
+        // conforms; each dropped row does not.
+        let env = TypeEnv::new();
+        let heap = Heap::new();
+        let person = parse_type("{Name: Str}").unwrap();
+        let r = people();
+        let kept = r.restrict_to_type(&person, &env, &heap);
+        for row in r.rows() {
+            let conforms =
+                dbpl_values::conforms(row, &person, &env, &heap, dbpl_values::Mode::Strict).is_ok();
+            assert_eq!(kept.contains(row), conforms, "row {row}");
+        }
+    }
+
+    #[test]
+    fn restriction_is_a_lower_set_operation() {
+        // Restriction then join == join then restriction when the type
+        // only mentions attributes preserved by the join.
+        let env = TypeEnv::new();
+        let heap = Heap::new();
+        let person = parse_type("{Name: Str}").unwrap();
+        let r = people();
+        let extra = GenRelation::from_values([rec(&[("Dept", Value::str("S"))])]);
+        let a = r.restrict_to_type(&person, &env, &heap).natural_join(&extra);
+        let b = r.natural_join(&extra).restrict_to_type(&person, &env, &heap);
+        assert!(a.equiv(&b));
+    }
+}

@@ -1,0 +1,37 @@
+//! # dbpl-relation — generalized relations and the relational baseline
+//!
+//! The relational layer of the reproduction of Buneman & Atkinson
+//! (SIGMOD 1986):
+//!
+//! * [`GenRelation`] — *generalized relations*: antichains ("cochains") of
+//!   partial records under the information ordering, with subsumption
+//!   insertion, the **generalized natural join of Figure 1**
+//!   ([`GenRelation::natural_join`]), generalized projection, and the
+//!   paper's relation ordering;
+//! * [`flat`] — classical first-normal-form relations with set semantics,
+//!   keys, and the full algebra (σ, π, ⋈, ∪, −, ∩, ρ, ×) as the baseline
+//!   the paper generalizes;
+//! * [`algebra`] — a composable relational-algebra expression language;
+//! * [`fd`] — functional-dependency theory (closure, covers, candidate
+//!   keys, the chase, BCNF/3NF), which \[Bune86\] derives from the orderings;
+//! * [`convert`] — the embedding showing the generalized join *specializes
+//!   to* the natural join on flat data (experiment E4);
+//! * [`fixtures`] — the exact relations of **Figure 1**.
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod convert;
+pub mod error;
+pub mod fd;
+pub mod fixtures;
+pub mod flat;
+pub mod generalized;
+
+pub use algebra::{Catalog, CmpOp, Pred, RelExpr};
+pub use convert::{to_flat, to_generalized};
+pub use error::RelationError;
+pub use fd::{attrs, satisfies_flat, satisfies_generalized, Attrs, Fd, FdSet};
+pub use fixtures::{figure1_expected, figure1_r1, figure1_r2};
+pub use flat::{Relation, Schema, Tuple};
+pub use generalized::{GenRelation, Reduction};

@@ -1,0 +1,102 @@
+//! Rendering and error-path coverage for the relation layer.
+
+use dbpl_relation::{
+    attrs, Catalog, CmpOp, Fd, FdSet, GenRelation, Pred, RelExpr, Relation, RelationError, Schema,
+};
+use dbpl_types::Type;
+use dbpl_values::Value;
+
+fn emp() -> Relation {
+    let mut r = Relation::new(Schema::new([("Name", Type::Str), ("Sal", Type::Int)]).unwrap());
+    r.insert_row([("Name", Value::str("ann")), ("Sal", Value::Int(10))]).unwrap();
+    r.insert_row([("Name", Value::str("bob")), ("Sal", Value::Int(20))]).unwrap();
+    r
+}
+
+#[test]
+fn flat_relation_renders_as_a_table() {
+    let s = emp().to_string();
+    assert!(s.starts_with("| Name | Sal |"), "{s}");
+    assert!(s.contains("| 'ann' | 10 |"), "{s}");
+    assert_eq!(s.lines().count(), 3);
+}
+
+#[test]
+fn generalized_relation_renders_rows() {
+    let g = GenRelation::from_values([Value::record([("A", Value::Int(1))])]);
+    let s = g.to_string();
+    assert!(s.contains("{A = 1}"), "{s}");
+}
+
+#[test]
+fn fd_display_is_readable() {
+    let fd = Fd::new(["A", "B"], ["C"]);
+    assert_eq!(fd.to_string(), "A,B -> C");
+}
+
+#[test]
+fn algebra_expressions_render() {
+    let e = RelExpr::base("Emp")
+        .select(Pred::cmp("Sal", CmpOp::Gt, 5i64))
+        .join(RelExpr::base("Dept"))
+        .project(["City"])
+        .rename("City", "Town");
+    let s = e.to_string();
+    assert!(s.contains("Emp") && s.contains("join") && s.contains("project"), "{s}");
+    assert!(s.contains("rename[City->Town]"), "{s}");
+}
+
+#[test]
+fn schema_errors_are_specific() {
+    let r = emp();
+    assert!(matches!(
+        r.project(&["Ghost"]),
+        Err(RelationError::UnknownAttribute(a)) if a == "Ghost"
+    ));
+    assert!(matches!(
+        r.rename("Ghost", "X"),
+        Err(RelationError::UnknownAttribute(_))
+    ));
+    assert!(matches!(
+        r.rename("Name", "Sal"),
+        Err(RelationError::SchemaMismatch(_))
+    ));
+    // Joining schemas that disagree on a shared attribute's type.
+    let other = Relation::new(Schema::new([("Sal", Type::Str)]).unwrap());
+    assert!(matches!(r.natural_join(&other), Err(RelationError::SchemaMismatch(_))));
+}
+
+#[test]
+fn algebra_eval_propagates_schema_errors() {
+    let cat = Catalog::from([("Emp".to_string(), emp())]);
+    let bad = RelExpr::base("Emp").project(["Nope"]);
+    assert!(bad.eval(&cat).is_err());
+    let unknown = RelExpr::base("Ghost");
+    assert!(unknown.eval(&cat).is_err());
+}
+
+#[test]
+fn fdset_display_roundtrip_via_parts() {
+    let fds = FdSet::from_fds([Fd::new(["A"], ["B"]), Fd::new(["B"], ["C"])]);
+    // Rendering every FD mentions its attributes.
+    for fd in fds.fds() {
+        let s = fd.to_string();
+        for a in fd.lhs.iter().chain(fd.rhs.iter()) {
+            assert!(s.contains(a.as_str()), "{s}");
+        }
+    }
+    // Trivial FDs detected.
+    assert!(Fd::new(["A", "B"], ["A"]).is_trivial());
+    assert!(!Fd::new(["A"], ["B"]).is_trivial());
+    // Projection to a single attribute keeps only reflexive content.
+    let p = fds.project(&attrs(["C"]));
+    assert!(p.is_empty(), "nothing nontrivial survives: {p:?}");
+}
+
+#[test]
+fn error_displays_mention_the_figure_terms() {
+    let e = RelationError::NotAnAntichain;
+    assert!(e.to_string().contains("comparable"));
+    let f = RelationError::NotFirstNormalForm { attr: "Kids".into(), ty: Type::list(Type::Str) };
+    assert!(f.to_string().contains("1NF"));
+}

@@ -1,0 +1,128 @@
+//! Pretty-printing of types, in the surface syntax accepted by
+//! [`crate::parse`]: `{Name: Str, Empno: Int}`, `List[Int]`,
+//! `forall t <= Person. t -> t`, `exists t <= Employee. t`.
+
+use crate::ty::{Quant, Type};
+use std::fmt;
+
+pub(crate) fn fmt_type(ty: &Type, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_prec(ty, f, 0)
+}
+
+/// Precedence levels: 0 = quantifiers, 1 = arrows, 2 = atoms.
+fn fmt_prec(ty: &Type, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match ty {
+        Type::Int => write!(f, "Int"),
+        Type::Float => write!(f, "Float"),
+        Type::Bool => write!(f, "Bool"),
+        Type::Str => write!(f, "Str"),
+        Type::Unit => write!(f, "Unit"),
+        Type::Top => write!(f, "Top"),
+        Type::Bottom => write!(f, "Bottom"),
+        Type::Dynamic => write!(f, "Dynamic"),
+        Type::Named(n) => write!(f, "{n}"),
+        Type::Var(v) => write!(f, "{v}"),
+        Type::List(t) => {
+            write!(f, "List[")?;
+            fmt_prec(t, f, 0)?;
+            write!(f, "]")
+        }
+        Type::Set(t) => {
+            write!(f, "Set[")?;
+            fmt_prec(t, f, 0)?;
+            write!(f, "]")
+        }
+        Type::Record(fs) => {
+            write!(f, "{{")?;
+            for (i, (l, t)) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}: ")?;
+                fmt_prec(t, f, 0)?;
+            }
+            write!(f, "}}")
+        }
+        Type::Variant(fs) => {
+            write!(f, "<")?;
+            for (i, (l, t)) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{l}: ")?;
+                fmt_prec(t, f, 0)?;
+            }
+            write!(f, ">")
+        }
+        Type::Fun(a, r) => {
+            let parens = prec > 1;
+            if parens {
+                write!(f, "(")?;
+            }
+            fmt_prec(a, f, 2)?;
+            write!(f, " -> ")?;
+            fmt_prec(r, f, 1)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Type::Forall(q) => fmt_quant(f, "forall", q, prec),
+        Type::Exists(q) => fmt_quant(f, "exists", q, prec),
+    }
+}
+
+fn fmt_quant(f: &mut fmt::Formatter<'_>, kw: &str, q: &Quant, prec: u8) -> fmt::Result {
+    let parens = prec > 0;
+    if parens {
+        write!(f, "(")?;
+    }
+    write!(f, "{kw} {}", q.var)?;
+    if let Some(b) = &q.bound {
+        write!(f, " <= ")?;
+        fmt_prec(b, f, 2)?;
+    }
+    write!(f, ". ")?;
+    fmt_prec(&q.body, f, 0)?;
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ty::Type;
+
+    #[test]
+    fn displays_are_readable() {
+        let t = Type::record([("Name", Type::Str), ("Empno", Type::Int)]);
+        assert_eq!(t.to_string(), "{Empno: Int, Name: Str}");
+        assert_eq!(Type::list(Type::Int).to_string(), "List[Int]");
+        assert_eq!(Type::fun(Type::Int, Type::fun(Type::Int, Type::Bool)).to_string(), "Int -> Int -> Bool");
+        assert_eq!(
+            Type::fun(Type::fun(Type::Int, Type::Int), Type::Bool).to_string(),
+            "(Int -> Int) -> Bool"
+        );
+    }
+
+    #[test]
+    fn get_type_displays_like_the_paper() {
+        // ∀t. Database → List[∃t' ≤ t]
+        let get = Type::forall(
+            "t",
+            None,
+            Type::fun(
+                Type::named("Database"),
+                Type::list(Type::exists("u", Some(Type::var("t")), Type::var("u"))),
+            ),
+        );
+        assert_eq!(get.to_string(), "forall t. Database -> List[exists u <= t. u]");
+    }
+
+    #[test]
+    fn variants_display() {
+        let t = Type::variant([("Nil", Type::Unit), ("Cons", Type::Int)]);
+        assert_eq!(t.to_string(), "<Cons: Int | Nil: Unit>");
+    }
+}

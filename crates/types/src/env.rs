@@ -1,0 +1,396 @@
+//! Type environments: named type definitions and declared subtype edges.
+//!
+//! The paper contrasts two disciplines for the subtype hierarchy:
+//!
+//! * **Structural** (Amber, Galileo): "type declarations ... serve only to
+//!   create names for types", and `Employee ≤ Person` is *inferred* from the
+//!   structure of the definitions.
+//! * **Declared** (Adaplex): "types with the same structure are not
+//!   necessarily identical, and the subtype hierarchy has to be explicitly
+//!   defined by means of `include` directives".
+//!
+//! A [`TypeEnv`] supports both: definitions are always structural
+//! abbreviations, but a [`SubtypePolicy`] chooses whether subtyping between
+//! *named* types is inferred or must follow declared `include` edges.
+
+use crate::error::TypeError;
+use crate::ty::{Name, Type};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which discipline governs subtyping between named types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubtypePolicy {
+    /// Amber/Galileo: names abbreviate structures; subtyping is structural
+    /// everywhere.
+    #[default]
+    Structural,
+    /// Adaplex: two named types are related only if an `include` chain
+    /// relates them (each `include` is checked structurally when declared).
+    Declared,
+}
+
+/// A collection of named type definitions plus a declared subtype graph.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    defs: BTreeMap<Name, Type>,
+    /// Direct declared supertypes: `include Employee in Person` puts
+    /// `Person` in `declared_sups["Employee"]`.
+    declared_sups: BTreeMap<Name, BTreeSet<Name>>,
+    policy: SubtypePolicy,
+}
+
+impl TypeEnv {
+    /// An empty environment with the structural policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty environment with the given policy.
+    pub fn with_policy(policy: SubtypePolicy) -> Self {
+        TypeEnv { policy, ..Self::default() }
+    }
+
+    /// The active subtype policy.
+    pub fn policy(&self) -> SubtypePolicy {
+        self.policy
+    }
+
+    /// Change the active subtype policy.
+    pub fn set_policy(&mut self, policy: SubtypePolicy) {
+        self.policy = policy;
+    }
+
+    /// Declare `name` as an abbreviation for `ty`.
+    ///
+    /// The definition may be recursive (mention `name`, directly or through
+    /// other names), but must be *contractive*: every cycle of names must
+    /// pass through a `Record`, `Variant`, `List`, `Set` or `Fun`
+    /// constructor. `type A = A` (or `type A = B; type B = A`) is rejected
+    /// because it denotes no type, keeping all type-level computation
+    /// terminating — the decidability property the paper calls "obviously
+    /// desirable".
+    pub fn declare(&mut self, name: impl Into<Name>, ty: Type) -> Result<(), TypeError> {
+        let name = name.into();
+        if self.defs.contains_key(&name) {
+            return Err(TypeError::Duplicate(name));
+        }
+        self.defs.insert(name.clone(), ty);
+        if let Err(e) = self.check_contractive(&name) {
+            self.defs.remove(&name);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Declare `name = ty` replacing any existing definition (used by schema
+    /// evolution, where re-declaration at a consistent type is the point).
+    pub fn redeclare(&mut self, name: impl Into<Name>, ty: Type) {
+        self.defs.insert(name.into(), ty);
+    }
+
+    /// Look up the definition of a name.
+    pub fn lookup(&self, name: &str) -> Option<&Type> {
+        self.defs.get(name)
+    }
+
+    /// Resolve a name, erroring when undefined.
+    pub fn resolve(&self, name: &str) -> Result<&Type, TypeError> {
+        self.defs.get(name).ok_or_else(|| TypeError::Unknown(name.to_string()))
+    }
+
+    /// Iterate over every named definition.
+    pub fn definitions(&self) -> impl Iterator<Item = (&Name, &Type)> {
+        self.defs.iter()
+    }
+
+    /// All declared names.
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.defs.keys()
+    }
+
+    /// Number of declared names.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether no names are declared.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Adaplex's `include sub in sup`: declare `sub` a subtype of `sup`.
+    ///
+    /// Regardless of policy, the declaration is *checked*: the structure of
+    /// `sub` must be a structural subtype of the structure of `sup`, so that
+    /// property (a) of the paper's introduction — any operation on a
+    /// `Person` can be performed on an `Employee` — actually holds.
+    pub fn declare_subtype(
+        &mut self,
+        sub: impl Into<Name>,
+        sup: impl Into<Name>,
+    ) -> Result<(), TypeError> {
+        let sub = sub.into();
+        let sup = sup.into();
+        if !self.defs.contains_key(&sub) {
+            return Err(TypeError::UnknownInDeclaration(sub));
+        }
+        if !self.defs.contains_key(&sup) {
+            return Err(TypeError::UnknownInDeclaration(sup));
+        }
+        let structurally_ok = {
+            // Check against a structural view of this environment.
+            let mut view = self.clone();
+            view.policy = SubtypePolicy::Structural;
+            crate::subtype::is_subtype(&Type::Named(sub.clone()), &Type::Named(sup.clone()), &view)
+        };
+        if !structurally_ok {
+            return Err(TypeError::IncompatibleDeclaration { sub, sup });
+        }
+        self.declared_sups.entry(sub.clone()).or_default().insert(sup);
+        if self.declared_cycle_from(&sub) {
+            // Roll back the edge we just added.
+            if let Some(sups) = self.declared_sups.get_mut(&sub) {
+                sups.pop_last();
+            }
+            return Err(TypeError::CyclicDeclaration(sub));
+        }
+        Ok(())
+    }
+
+    /// Is `sup` reachable from `sub` through declared edges (reflexively)?
+    pub fn declared_le(&self, sub: &str, sup: &str) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![sub.to_string()];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            if let Some(sups) = self.declared_sups.get(&n) {
+                for s in sups {
+                    if s == sup {
+                        return true;
+                    }
+                    stack.push(s.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// Direct declared supertypes of a name.
+    pub fn declared_supertypes(&self, name: &str) -> impl Iterator<Item = &Name> {
+        self.declared_sups.get(name).into_iter().flatten()
+    }
+
+    fn declared_cycle_from(&self, start: &str) -> bool {
+        // A cycle exists iff start is reachable from one of its proper
+        // supertypes.
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<Name> =
+            self.declared_sups.get(start).into_iter().flatten().cloned().collect();
+        while let Some(n) = stack.pop() {
+            if n == start {
+                return true;
+            }
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            stack.extend(self.declared_sups.get(&n).into_iter().flatten().cloned());
+        }
+        false
+    }
+
+    /// Verify that the (possibly mutually) recursive definition of `name`
+    /// is contractive and mentions only known names.
+    fn check_contractive(&self, name: &str) -> Result<(), TypeError> {
+        // Walk the definition without crossing structural constructors;
+        // if we can reach `name` again purely through name indirection the
+        // definition is non-contractive.
+        fn walk(
+            env: &TypeEnv,
+            ty: &Type,
+            target: &str,
+            visiting: &mut BTreeSet<Name>,
+        ) -> Result<(), TypeError> {
+            match ty {
+                Type::Named(n) => {
+                    if n == target {
+                        return Err(TypeError::NonContractive(target.to_string()));
+                    }
+                    if visiting.insert(n.clone()) {
+                        // Forward references are permitted (mutual recursion
+                        // is declared one name at a time); they are
+                        // re-checked by `validate`.
+                        if let Some(def) = env.lookup(n) {
+                            walk(env, def, target, visiting)?;
+                        }
+                    }
+                    Ok(())
+                }
+                // Quantifier bodies are not guarded by a structural
+                // constructor.
+                Type::Forall(q) | Type::Exists(q) => {
+                    if let Some(b) = &q.bound {
+                        walk(env, b, target, visiting)?;
+                    }
+                    walk(env, &q.body, target, visiting)
+                }
+                // Everything else guards recursion.
+                _ => Ok(()),
+            }
+        }
+        let def = self.resolve(name)?;
+        walk(self, def, name, &mut BTreeSet::new())
+    }
+
+    /// Check the whole environment: every `Named` reference resolves and
+    /// every definition is contractive. Call after a batch of mutually
+    /// recursive declarations.
+    pub fn validate(&self) -> Result<(), TypeError> {
+        for (name, def) in &self.defs {
+            for r in def.named_refs() {
+                if !self.defs.contains_key(&r) {
+                    return Err(TypeError::Unknown(r));
+                }
+            }
+            self.check_contractive(name)?;
+        }
+        Ok(())
+    }
+
+    /// Expand a top-level `Named` reference one step; other types are
+    /// returned unchanged. Errors on unknown names.
+    pub fn unfold<'a>(&'a self, ty: &'a Type) -> Result<&'a Type, TypeError> {
+        match ty {
+            Type::Named(n) => self.resolve(n),
+            _ => Ok(ty),
+        }
+    }
+
+    /// Fully expand top-level `Named` indirection (guaranteed to terminate
+    /// for validated, contractive environments).
+    pub fn head_normal<'a>(&'a self, mut ty: &'a Type) -> Result<&'a Type, TypeError> {
+        let mut steps = 0usize;
+        while let Type::Named(n) = ty {
+            ty = self.resolve(n)?;
+            steps += 1;
+            if steps > self.defs.len() + 1 {
+                return Err(TypeError::NonContractive(n.clone()));
+            }
+        }
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_resolve() {
+        let mut env = TypeEnv::new();
+        env.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
+        assert_eq!(env.resolve("Person").unwrap(), &Type::record([("Name", Type::Str)]));
+        assert!(env.resolve("Nobody").is_err());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut env = TypeEnv::new();
+        env.declare("A", Type::Int).unwrap();
+        assert_eq!(env.declare("A", Type::Bool), Err(TypeError::Duplicate("A".into())));
+    }
+
+    #[test]
+    fn recursive_definition_allowed() {
+        let mut env = TypeEnv::new();
+        // type Part = {Name: Str, Components: List[Part]}
+        env.declare(
+            "Part",
+            Type::record([
+                ("Name", Type::Str),
+                ("Components", Type::list(Type::named("Part"))),
+            ]),
+        )
+        .unwrap();
+        assert!(env.validate().is_ok());
+    }
+
+    #[test]
+    fn non_contractive_rejected() {
+        let mut env = TypeEnv::new();
+        assert_eq!(
+            env.declare("A", Type::named("A")),
+            Err(TypeError::NonContractive("A".into()))
+        );
+        // the failed declaration must not linger
+        assert!(env.lookup("A").is_none());
+    }
+
+    #[test]
+    fn mutually_non_contractive_rejected_by_validate() {
+        let mut env = TypeEnv::new();
+        env.declare("A", Type::named("B")).unwrap(); // B yet unknown: allowed
+        assert!(env.declare("B", Type::named("A")).is_err());
+    }
+
+    #[test]
+    fn head_normal_unfolds_chains() {
+        let mut env = TypeEnv::new();
+        env.declare("A", Type::Int).unwrap();
+        env.declare("B", Type::named("A")).unwrap();
+        assert_eq!(env.head_normal(&Type::named("B")).unwrap(), &Type::Int);
+    }
+
+    #[test]
+    fn declared_subtype_checked_structurally() {
+        let mut env = TypeEnv::with_policy(SubtypePolicy::Declared);
+        env.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
+        env.declare(
+            "Employee",
+            Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+        )
+        .unwrap();
+        env.declare("Rock", Type::record([("Mass", Type::Float)])).unwrap();
+        env.declare_subtype("Employee", "Person").unwrap();
+        assert!(env.declared_le("Employee", "Person"));
+        assert!(!env.declared_le("Person", "Employee"));
+        // A structurally bogus include is rejected.
+        assert!(matches!(
+            env.declare_subtype("Rock", "Person"),
+            Err(TypeError::IncompatibleDeclaration { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_le_is_transitive_and_reflexive() {
+        let mut env = TypeEnv::new();
+        env.declare("A", Type::record([("x", Type::Int), ("y", Type::Int), ("z", Type::Int)]))
+            .unwrap();
+        env.declare("B", Type::record([("x", Type::Int), ("y", Type::Int)])).unwrap();
+        env.declare("C", Type::record([("x", Type::Int)])).unwrap();
+        env.declare_subtype("A", "B").unwrap();
+        env.declare_subtype("B", "C").unwrap();
+        assert!(env.declared_le("A", "C"));
+        assert!(env.declared_le("A", "A"));
+        assert!(!env.declared_le("C", "A"));
+    }
+
+    #[test]
+    fn declared_cycles_rejected() {
+        let mut env = TypeEnv::new();
+        env.declare("A", Type::record([("x", Type::Int)])).unwrap();
+        env.declare("B", Type::record([("x", Type::Int)])).unwrap();
+        env.declare_subtype("A", "B").unwrap();
+        assert_eq!(
+            env.declare_subtype("B", "A"),
+            Err(TypeError::CyclicDeclaration("B".into()))
+        );
+        // Edge rolled back: only the A -> B edge remains.
+        assert!(env.declared_le("A", "B"));
+        assert!(!env.declared_le("B", "A"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Errors raised by type-environment operations.
+
+use crate::ty::Name;
+use std::fmt;
+
+/// Errors arising while declaring or resolving types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A `Named` reference could not be resolved.
+    Unknown(Name),
+    /// A name was declared twice.
+    Duplicate(Name),
+    /// A recursive definition never passes through a structural constructor
+    /// (e.g. `type A = A`), so it denotes no type.
+    NonContractive(Name),
+    /// A declared (`include`-style) subtype edge was asserted between types
+    /// whose structures are not in the subtype relation.
+    IncompatibleDeclaration {
+        /// The declared subtype.
+        sub: Name,
+        /// The declared supertype.
+        sup: Name,
+    },
+    /// A declared subtype edge references an undeclared name.
+    UnknownInDeclaration(Name),
+    /// The declared subclass graph acquired a cycle.
+    CyclicDeclaration(Name),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Unknown(n) => write!(f, "unknown type name `{n}`"),
+            TypeError::Duplicate(n) => write!(f, "type name `{n}` declared twice"),
+            TypeError::NonContractive(n) => {
+                write!(f, "type `{n}` is non-contractive (denotes no type)")
+            }
+            TypeError::IncompatibleDeclaration { sub, sup } => write!(
+                f,
+                "cannot declare `{sub}` a subtype of `{sup}`: structures are incompatible"
+            ),
+            TypeError::UnknownInDeclaration(n) => {
+                write!(f, "subtype declaration references unknown type `{n}`")
+            }
+            TypeError::CyclicDeclaration(n) => {
+                write!(f, "declared subtype hierarchy has a cycle through `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

@@ -1,0 +1,385 @@
+//! Decidable subtyping.
+//!
+//! The ordering `≤` is the paper's "subtype or subclass hierarchy": `S ≤ T`
+//! means every operation that can be performed on a value of type `T` can be
+//! performed on a value of type `S` (property (a) of the introduction).
+//!
+//! The algorithm is:
+//!
+//! * **structural** on records (width and depth), variants, lists, sets and
+//!   functions, in the style of Cardelli's Amber;
+//! * **equi-recursive**: named types are unfolded lazily, with an assumption
+//!   set à la Amadio–Cardelli guaranteeing termination on recursive
+//!   definitions;
+//! * **kernel-rule** on bounded quantifiers (bounds must be equivalent,
+//!   bodies compared under a fresh variable). Full F-sub, where bounds are
+//!   compared contravariantly, is undecidable; the paper explicitly wants
+//!   "no non-terminating computations at the level of types", which the
+//!   kernel rule preserves;
+//! * **policy-aware** on named types: under [`SubtypePolicy::Declared`]
+//!   (Adaplex), two named types are related only through declared `include`
+//!   edges.
+//!
+//! `Int ≤ Float` is admitted as the one base-type coercion.
+
+use crate::env::{SubtypePolicy, TypeEnv};
+use crate::ty::{Type, TyVar};
+use std::collections::{BTreeMap, HashSet};
+
+/// Is `sub` a subtype of `sup` in environment `env`?
+///
+/// Unknown named types make the judgement fail (conservatively) rather than
+/// panic; use [`TypeEnv::validate`] to surface them as errors.
+pub fn is_subtype(sub: &Type, sup: &Type, env: &TypeEnv) -> bool {
+    Subtyper::new(env).check(sub, sup)
+}
+
+/// [`is_subtype`] under an ambient context of bounded type variables —
+/// used by typecheckers whose terms mention the variables of enclosing
+/// quantifiers (e.g. inside the body of `fun f[t <= Person](x: t)...`).
+pub fn is_subtype_with(
+    sub: &Type,
+    sup: &Type,
+    env: &TypeEnv,
+    bounds: &BTreeMap<TyVar, Option<Type>>,
+) -> bool {
+    let mut s = Subtyper::new(env);
+    s.bounds = bounds.clone();
+    s.check(sub, sup)
+}
+
+/// Are the two types equivalent (`a ≤ b` and `b ≤ a`)?
+pub fn is_equiv(a: &Type, b: &Type, env: &TypeEnv) -> bool {
+    is_subtype(a, b, env) && is_subtype(b, a, env)
+}
+
+/// Is `sub` a *proper* subtype of `sup` (subtype but not equivalent)?
+pub fn is_proper_subtype(sub: &Type, sup: &Type, env: &TypeEnv) -> bool {
+    is_subtype(sub, sup, env) && !is_subtype(sup, sub, env)
+}
+
+struct Subtyper<'e> {
+    env: &'e TypeEnv,
+    /// Coinductive assumptions: pairs currently being (or already) related.
+    /// If we meet a pair again while unfolding recursive names, it holds.
+    assumptions: HashSet<(Type, Type)>,
+    /// Bounds for quantifier variables freshened during checking.
+    bounds: BTreeMap<TyVar, Option<Type>>,
+    fresh: usize,
+}
+
+impl<'e> Subtyper<'e> {
+    fn new(env: &'e TypeEnv) -> Self {
+        Subtyper { env, assumptions: HashSet::new(), bounds: BTreeMap::new(), fresh: 0 }
+    }
+
+    fn check(&mut self, sub: &Type, sup: &Type) -> bool {
+        // Reflexivity (also covers Dynamic ≤ Dynamic and Var v ≤ Var v).
+        if sub == sup {
+            return true;
+        }
+        // Top and Bottom.
+        if matches!(sup, Type::Top) || matches!(sub, Type::Bottom) {
+            return true;
+        }
+        // Recursion through names: assume-and-unfold.
+        if matches!(sub, Type::Named(_)) || matches!(sup, Type::Named(_)) {
+            return self.check_named(sub, sup);
+        }
+        match (sub, sup) {
+            // The one base coercion.
+            (Type::Int, Type::Float) => true,
+
+            // Variable promotion: X ≤ T if bound(X) ≤ T.
+            (Type::Var(v), _) => match self.bounds.get(v).cloned() {
+                Some(Some(b)) => self.check(&b, sup),
+                // Unbounded variables relate only to themselves / Top,
+                // both handled above.
+                _ => false,
+            },
+
+            (Type::List(a), Type::List(b)) | (Type::Set(a), Type::Set(b)) => self.check(a, b),
+
+            // Records: width (sub may have more fields) and depth
+            // (common fields at subtypes).
+            (Type::Record(fs), Type::Record(gs)) => gs.iter().all(|(l, g)| {
+                fs.get(l).is_some_and(|f| {
+                    let (f, g) = (f.clone(), g.clone());
+                    self.check(&f, &g)
+                })
+            }),
+
+            // Variants: dual width (sub has fewer arms), covariant depth.
+            (Type::Variant(fs), Type::Variant(gs)) => fs.iter().all(|(l, f)| {
+                gs.get(l).is_some_and(|g| {
+                    let (f, g) = (f.clone(), g.clone());
+                    self.check(&f, &g)
+                })
+            }),
+
+            // Functions: contravariant argument, covariant result.
+            (Type::Fun(a1, r1), Type::Fun(a2, r2)) => {
+                let (a1, r1, a2, r2) = (*a1.clone(), *r1.clone(), *a2.clone(), *r2.clone());
+                self.check(&a2, &a1) && self.check(&r1, &r2)
+            }
+
+            // Kernel rule for quantifiers: equivalent bounds, bodies under a
+            // shared fresh variable. ∀ and ∃ are both covariant in the body.
+            (Type::Forall(p), Type::Forall(q)) | (Type::Exists(p), Type::Exists(q)) => {
+                if !self.bounds_equiv(&p.bound, &q.bound) {
+                    return false;
+                }
+                let fresh = self.fresh_var();
+                let fb = Type::Var(fresh.clone());
+                let body_p = p.body.subst(&p.var, &fb);
+                let body_q = q.body.subst(&q.var, &fb);
+                self.bounds.insert(fresh.clone(), p.bound.as_deref().cloned());
+                let ok = self.check(&body_p, &body_q);
+                self.bounds.remove(&fresh);
+                ok
+            }
+
+            _ => false,
+        }
+    }
+
+    fn check_named(&mut self, sub: &Type, sup: &Type) -> bool {
+        let key = (sub.clone(), sup.clone());
+        if self.assumptions.contains(&key) {
+            return true;
+        }
+        if self.env.policy() == SubtypePolicy::Declared {
+            if let (Type::Named(a), Type::Named(b)) = (sub, sup) {
+                // Under the Adaplex discipline named types relate only via
+                // declared `include` chains (checked structurally when the
+                // declaration was made).
+                return self.env.declared_le(a, b);
+            }
+        }
+        // Structural policy, or a named type against an anonymous one:
+        // unfold under the coinductive assumption.
+        self.assumptions.insert(key);
+        let sub_u = match sub {
+            Type::Named(n) => match self.env.lookup(n) {
+                Some(t) => t.clone(),
+                None => return false,
+            },
+            _ => sub.clone(),
+        };
+        let sup_u = match sup {
+            Type::Named(n) => match self.env.lookup(n) {
+                Some(t) => t.clone(),
+                None => return false,
+            },
+            _ => sup.clone(),
+        };
+        self.check(&sub_u, &sup_u)
+    }
+
+    fn bounds_equiv(&mut self, a: &Option<Box<Type>>, b: &Option<Box<Type>>) -> bool {
+        let ta = a.as_deref().unwrap_or(&Type::Top).clone();
+        let tb = b.as_deref().unwrap_or(&Type::Top).clone();
+        self.check(&ta, &tb) && self.check(&tb, &ta)
+    }
+
+    fn fresh_var(&mut self) -> TyVar {
+        self.fresh += 1;
+        format!("#{}", self.fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Type;
+
+    fn env() -> TypeEnv {
+        let mut e = TypeEnv::new();
+        e.declare(
+            "Person",
+            Type::record([("Name", Type::Str), ("Address", Type::record([("City", Type::Str)]))]),
+        )
+        .unwrap();
+        e.declare(
+            "Employee",
+            Type::record([
+                ("Name", Type::Str),
+                ("Address", Type::record([("City", Type::Str)])),
+                ("Empno", Type::Int),
+                ("Dept", Type::Str),
+            ]),
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn employee_is_a_person_structurally() {
+        let e = env();
+        assert!(is_subtype(&Type::named("Employee"), &Type::named("Person"), &e));
+        assert!(!is_subtype(&Type::named("Person"), &Type::named("Employee"), &e));
+        assert!(is_proper_subtype(&Type::named("Employee"), &Type::named("Person"), &e));
+    }
+
+    #[test]
+    fn depth_subtyping_on_nested_records() {
+        let e = TypeEnv::new();
+        let wide = Type::record([(
+            "Address",
+            Type::record([("City", Type::Str), ("Zip", Type::Int)]),
+        )]);
+        let narrow = Type::record([("Address", Type::record([("City", Type::Str)]))]);
+        assert!(is_subtype(&wide, &narrow, &e));
+        assert!(!is_subtype(&narrow, &wide, &e));
+    }
+
+    #[test]
+    fn top_bottom_laws() {
+        let e = TypeEnv::new();
+        for t in [Type::Int, Type::Str, Type::record([("a", Type::Bool)]), Type::Dynamic] {
+            assert!(is_subtype(&t, &Type::Top, &e));
+            assert!(is_subtype(&Type::Bottom, &t, &e));
+        }
+    }
+
+    #[test]
+    fn int_widens_to_float_but_not_conversely() {
+        let e = TypeEnv::new();
+        assert!(is_subtype(&Type::Int, &Type::Float, &e));
+        assert!(!is_subtype(&Type::Float, &Type::Int, &e));
+        // ... and it lifts through constructors.
+        assert!(is_subtype(&Type::list(Type::Int), &Type::list(Type::Float), &e));
+    }
+
+    #[test]
+    fn dynamic_is_not_a_supertype() {
+        // Amber requires an explicit `dynamic` injection.
+        let e = TypeEnv::new();
+        assert!(!is_subtype(&Type::Int, &Type::Dynamic, &e));
+        assert!(!is_subtype(&Type::Dynamic, &Type::Int, &e));
+        assert!(is_subtype(&Type::Dynamic, &Type::Dynamic, &e));
+    }
+
+    #[test]
+    fn functions_are_contra_co() {
+        let e = env();
+        let person = Type::named("Person");
+        let employee = Type::named("Employee");
+        // Person → Int  ≤  Employee → Float
+        let f = Type::fun(person.clone(), Type::Int);
+        let g = Type::fun(employee.clone(), Type::Float);
+        assert!(is_subtype(&f, &g, &e));
+        assert!(!is_subtype(&g, &f, &e));
+    }
+
+    #[test]
+    fn variants_are_width_dual() {
+        let e = TypeEnv::new();
+        let small = Type::variant([("Ok", Type::Int)]);
+        let big = Type::variant([("Ok", Type::Int), ("Err", Type::Str)]);
+        assert!(is_subtype(&small, &big, &e));
+        assert!(!is_subtype(&big, &small, &e));
+    }
+
+    #[test]
+    fn recursive_types_compare_coinductively() {
+        let mut e = TypeEnv::new();
+        // PersonTree  = {Name: Str, Friends: List[PersonTree]}
+        // WorkerTree  = {Name: Str, Empno: Int, Friends: List[WorkerTree]}
+        e.declare(
+            "PersonTree",
+            Type::record([("Name", Type::Str), ("Friends", Type::list(Type::named("PersonTree")))]),
+        )
+        .unwrap();
+        e.declare(
+            "WorkerTree",
+            Type::record([
+                ("Name", Type::Str),
+                ("Empno", Type::Int),
+                ("Friends", Type::list(Type::named("WorkerTree"))),
+            ]),
+        )
+        .unwrap();
+        assert!(is_subtype(&Type::named("WorkerTree"), &Type::named("PersonTree"), &e));
+        assert!(!is_subtype(&Type::named("PersonTree"), &Type::named("WorkerTree"), &e));
+    }
+
+    #[test]
+    fn equi_recursive_unfolding_is_equivalence() {
+        let mut e = TypeEnv::new();
+        e.declare("IntList", Type::variant([("Nil", Type::Unit), ("Cons", Type::record([("Hd", Type::Int), ("Tl", Type::named("IntList"))]))]))
+            .unwrap();
+        // One manual unfolding of IntList is equivalent to IntList.
+        let unfolded = Type::variant([
+            ("Nil", Type::Unit),
+            (
+                "Cons",
+                Type::record([("Hd", Type::Int), ("Tl", Type::named("IntList"))]),
+            ),
+        ]);
+        assert!(is_equiv(&Type::named("IntList"), &unfolded, &e));
+    }
+
+    #[test]
+    fn declared_policy_ignores_structure() {
+        use crate::env::SubtypePolicy;
+        let mut e = TypeEnv::with_policy(SubtypePolicy::Declared);
+        e.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
+        e.declare("Employee", Type::record([("Name", Type::Str), ("Empno", Type::Int)])).unwrap();
+        e.declare("Impostor", Type::record([("Name", Type::Str), ("Empno", Type::Int)])).unwrap();
+        e.declare_subtype("Employee", "Person").unwrap();
+        // Declared edge present: subtype.
+        assert!(is_subtype(&Type::named("Employee"), &Type::named("Person"), &e));
+        // Structurally identical but undeclared: NOT a subtype (Adaplex).
+        assert!(!is_subtype(&Type::named("Impostor"), &Type::named("Person"), &e));
+        // Under the structural policy, it would be.
+        e.set_policy(SubtypePolicy::Structural);
+        assert!(is_subtype(&Type::named("Impostor"), &Type::named("Person"), &e));
+    }
+
+    #[test]
+    fn quantifiers_kernel_rule() {
+        let e = env();
+        let person = Type::named("Person");
+        // ∀t ≤ Person. t → t  vs  ∀t ≤ Person. t → Person   (covariant body)
+        let f = Type::forall("t", Some(person.clone()), Type::fun(Type::var("t"), Type::var("t")));
+        let g =
+            Type::forall("t", Some(person.clone()), Type::fun(Type::var("t"), person.clone()));
+        assert!(is_subtype(&f, &g, &e), "body result promotes through the bound");
+        assert!(!is_subtype(&g, &f, &e));
+        // Kernel rule: different bounds are unrelated even when comparable.
+        let h = Type::forall(
+            "t",
+            Some(Type::named("Employee")),
+            Type::fun(Type::var("t"), Type::var("t")),
+        );
+        assert!(!is_subtype(&f, &h, &e));
+        assert!(!is_subtype(&h, &f, &e));
+    }
+
+    #[test]
+    fn alpha_equivalent_quantifiers_are_equiv() {
+        let e = TypeEnv::new();
+        let f = Type::forall("t", None, Type::fun(Type::var("t"), Type::var("t")));
+        let g = Type::forall("u", None, Type::fun(Type::var("u"), Type::var("u")));
+        assert!(is_equiv(&f, &g, &e));
+    }
+
+    #[test]
+    fn existentials_cover_get_result_type() {
+        let e = env();
+        // ∃t ≤ Employee. t   ≤   ∃t ≤ Employee. t (refl) but bounds matter.
+        let ee = Type::exists("t", Some(Type::named("Employee")), Type::var("t"));
+        let pp = Type::exists("t", Some(Type::named("Person")), Type::var("t"));
+        assert!(is_subtype(&ee, &ee, &e));
+        // Kernel rule: ∃t ≤ Employee not ≤ ∃t ≤ Person (bounds differ).
+        assert!(!is_subtype(&ee, &pp, &e));
+    }
+
+    #[test]
+    fn unknown_named_types_fail_conservatively() {
+        let e = TypeEnv::new();
+        assert!(!is_subtype(&Type::named("Ghost"), &Type::Int, &e));
+        assert!(!is_subtype(&Type::Int, &Type::named("Ghost"), &e));
+    }
+}

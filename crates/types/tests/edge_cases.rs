@@ -1,0 +1,177 @@
+//! Edge cases for the type system: mutual recursion, quantifier capture,
+//! policy mixing, and lattice behaviour at the fringes.
+
+use dbpl_types::{
+    consistent, is_equiv, is_proper_subtype, is_subtype, join, meet, parse_type, SubtypePolicy,
+    Type, TypeEnv, TypeError,
+};
+
+#[test]
+fn mutually_recursive_types_compare() {
+    // Even/Odd-style mutual recursion through lists.
+    let mut env = TypeEnv::new();
+    env.declare(
+        "Dept",
+        parse_type("{DName: Str, Members: List[Emp]}").unwrap(),
+    )
+    .unwrap();
+    env.declare(
+        "Emp",
+        parse_type("{Name: Str, WorksIn: Dept}").unwrap(),
+    )
+    .unwrap();
+    env.validate().unwrap();
+    // A widened Emp is a subtype of Emp, coinductively through Dept.
+    let mut env2 = env.clone();
+    env2.declare(
+        "Emp2",
+        parse_type("{Name: Str, Empno: Int, WorksIn: Dept}").unwrap(),
+    )
+    .unwrap();
+    assert!(is_subtype(&Type::named("Emp2"), &Type::named("Emp"), &env2));
+    assert!(!is_subtype(&Type::named("Emp"), &Type::named("Emp2"), &env2));
+}
+
+#[test]
+fn mutual_non_contractive_cycle_is_caught_by_validate() {
+    let mut env = TypeEnv::new();
+    env.declare("A", Type::named("B")).unwrap(); // forward ref allowed
+    // B -> C -> A closes a name-only cycle; C's declaration must fail
+    // (it can see the whole cycle).
+    env.declare("B", Type::named("C")).unwrap();
+    assert!(matches!(
+        env.declare("C", Type::named("A")),
+        Err(TypeError::NonContractive(_))
+    ));
+}
+
+#[test]
+fn quantifier_bound_shadowing_and_alpha() {
+    // ∀t ≤ {x: Int}. ∀t ≤ {x: Int, y: Int}. t → t : inner t shadows.
+    let inner_bound = parse_type("{x: Int, y: Int}").unwrap();
+    let outer_bound = parse_type("{x: Int}").unwrap();
+    let shadowed = Type::forall(
+        "t",
+        Some(outer_bound.clone()),
+        Type::forall("t", Some(inner_bound.clone()), Type::fun(Type::var("t"), Type::var("t"))),
+    );
+    let renamed = Type::forall(
+        "a",
+        Some(outer_bound),
+        Type::forall("b", Some(inner_bound), Type::fun(Type::var("b"), Type::var("b"))),
+    );
+    let env = TypeEnv::new();
+    assert!(is_equiv(&shadowed, &renamed, &env), "alpha-equivalence through shadowing");
+}
+
+#[test]
+fn substitution_respects_shadowing_in_nested_quantifiers() {
+    // [u := Int] (∀u. u) leaves the bound u alone, but rewrites the bound.
+    let t = Type::forall("u", Some(Type::var("u")), Type::var("u"));
+    let s = t.subst("u", &Type::Int);
+    if let Type::Forall(q) = s {
+        assert_eq!(q.bound.as_deref(), Some(&Type::Int), "free bound occurrence rewritten");
+        assert_eq!(*q.body, Type::var("u"), "bound body occurrence untouched");
+    } else {
+        panic!("shape");
+    }
+}
+
+#[test]
+fn declared_policy_is_per_environment_not_global() {
+    // The same definitions under the two policies give different answers —
+    // and cloning an env preserves its policy.
+    let mut structural = TypeEnv::new();
+    structural.declare("P", parse_type("{x: Int}").unwrap()).unwrap();
+    structural.declare("Q", parse_type("{x: Int, y: Int}").unwrap()).unwrap();
+    let mut declared = structural.clone();
+    declared.set_policy(SubtypePolicy::Declared);
+
+    let q = Type::named("Q");
+    let p = Type::named("P");
+    assert!(is_subtype(&q, &p, &structural));
+    assert!(!is_subtype(&q, &p, &declared));
+    let declared2 = declared.clone();
+    assert!(!is_subtype(&q, &p, &declared2), "policy survives clone");
+}
+
+#[test]
+fn sets_are_covariant_lists_are_covariant() {
+    let env = TypeEnv::new();
+    let emp = parse_type("{Name: Str, Empno: Int}").unwrap();
+    let person = parse_type("{Name: Str}").unwrap();
+    assert!(is_subtype(&Type::set(emp.clone()), &Type::set(person.clone()), &env));
+    assert!(is_proper_subtype(&Type::list(emp), &Type::list(person), &env));
+}
+
+#[test]
+fn meet_of_deeply_nested_partial_overlap() {
+    let env = TypeEnv::new();
+    let a = parse_type("{Addr: {City: Str, Geo: {Lat: Float}}, Name: Str}").unwrap();
+    let b = parse_type("{Addr: {Zip: Int, Geo: {Lon: Float}}, Age: Int}").unwrap();
+    let m = meet(&a, &b, &env).unwrap();
+    assert_eq!(
+        m,
+        parse_type(
+            "{Addr: {City: Str, Zip: Int, Geo: {Lat: Float, Lon: Float}}, Name: Str, Age: Int}"
+        )
+        .unwrap()
+    );
+    assert!(is_subtype(&m, &a, &env) && is_subtype(&m, &b, &env));
+}
+
+#[test]
+fn join_through_variants_and_functions_composes() {
+    let env = TypeEnv::new();
+    let a = parse_type("<Ok: {x: Int} | Err: Str>").unwrap();
+    let b = parse_type("<Ok: {x: Int, y: Int} | Timeout: Unit>").unwrap();
+    let j = join(&a, &b, &env);
+    // Union of arms; common arm joined (losing y).
+    assert_eq!(
+        j,
+        parse_type("<Ok: {x: Int} | Err: Str | Timeout: Unit>").unwrap()
+    );
+    assert!(is_subtype(&a, &j, &env) && is_subtype(&b, &j, &env));
+}
+
+#[test]
+fn consistency_through_named_recursion() {
+    let mut env = TypeEnv::new();
+    env.declare("Tree", parse_type("{V: Int, Kids: List[Tree]}").unwrap()).unwrap();
+    // A compatible extension is consistent with the recursive type.
+    let tagged = parse_type("{V: Int, Tag: Str}").unwrap();
+    assert!(consistent(&Type::named("Tree"), &tagged, &env));
+    let clash = parse_type("{V: Str}").unwrap();
+    assert!(!consistent(&Type::named("Tree"), &clash, &env));
+}
+
+#[test]
+fn empty_record_and_empty_variant_extremes() {
+    let env = TypeEnv::new();
+    let empty_rec = parse_type("{}").unwrap();
+    // {} is the top of record types...
+    for t in [
+        parse_type("{a: Int}").unwrap(),
+        parse_type("{a: Int, b: Str}").unwrap(),
+    ] {
+        assert!(is_subtype(&t, &empty_rec, &env));
+    }
+    // ...but unrelated to non-records.
+    assert!(!is_subtype(&Type::Int, &empty_rec, &env));
+    // A single-arm variant is below any wider variant.
+    let one = parse_type("<A: Int>").unwrap();
+    let many = parse_type("<A: Int | B: Str | C: Unit>").unwrap();
+    assert!(is_proper_subtype(&one, &many, &env));
+}
+
+#[test]
+fn unknown_names_inside_structures_fail_conservatively() {
+    let env = TypeEnv::new();
+    let ghost = parse_type("{f: Ghost}").unwrap();
+    // Reflexivity by syntactic equality still holds...
+    assert!(is_subtype(&ghost, &ghost, &env));
+    // ...but any judgement that must *resolve* Ghost is refused.
+    assert!(!is_subtype(&parse_type("{f: Int, g: Int}").unwrap(), &ghost, &env));
+    assert!(!is_subtype(&ghost, &parse_type("{f: Int}").unwrap(), &env));
+    assert_eq!(meet(&ghost, &parse_type("{f: Int, g: Int}").unwrap(), &env), None);
+}

@@ -1,0 +1,255 @@
+//! Conformance: does a value inhabit a type?
+//!
+//! Two modes matter to the paper:
+//!
+//! * [`Mode::Strict`] — ordinary static typing: a record must supply every
+//!   field its type demands (it may supply more — subsumption).
+//! * [`Mode::Partial`] — the object-level view: a record may *omit* fields,
+//!   since a partial record is an approximation of a total one. This is the
+//!   mode generalized relations and schema-enriched databases live in: the
+//!   paper observes that the type `{Name: Str, Age: Int}` "can be seen as a
+//!   very large relation", and a partial record denotes the set of its
+//!   ⊒-refinements within that relation.
+//!
+//! `coerce` — the checked projection out of `Dynamic` — also lives here.
+
+use crate::error::ValueError;
+use crate::heap::Heap;
+use crate::value::{DynValue, Value};
+use dbpl_types::{is_subtype, Type, TypeEnv};
+
+/// Conformance mode: must records be total?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Every field demanded by the type must be present.
+    #[default]
+    Strict,
+    /// Fields may be missing (partial-record semantics).
+    Partial,
+}
+
+/// Check that `v` conforms to `ty`.
+pub fn conforms(
+    v: &Value,
+    ty: &Type,
+    env: &TypeEnv,
+    heap: &Heap,
+    mode: Mode,
+) -> Result<(), ValueError> {
+    let fail = |reason: String| {
+        Err(ValueError::Conform { value: clip(v), expected: ty.clone(), reason })
+    };
+    let ty = env.head_normal(ty)?;
+    match (v, ty) {
+        (_, Type::Top) => Ok(()),
+        (_, Type::Bottom) => fail("no value inhabits Bottom".into()),
+        (Value::Unit, Type::Unit) => Ok(()),
+        (Value::Bool(_), Type::Bool) => Ok(()),
+        (Value::Int(_), Type::Int) => Ok(()),
+        (Value::Int(_), Type::Float) => Ok(()), // numeric widening
+        (Value::Float(_), Type::Float) => Ok(()),
+        (Value::Str(_), Type::Str) => Ok(()),
+        (Value::Dyn(_), Type::Dynamic) => Ok(()),
+        (Value::List(xs), Type::List(elem)) => {
+            for x in xs {
+                conforms(x, elem, env, heap, mode)?;
+            }
+            Ok(())
+        }
+        (Value::Set(xs), Type::Set(elem)) => {
+            for x in xs {
+                conforms(x, elem, env, heap, mode)?;
+            }
+            Ok(())
+        }
+        (Value::Record(fs), Type::Record(want)) => {
+            for (l, ft) in want {
+                match fs.get(l) {
+                    Some(fv) => conforms(fv, ft, env, heap, mode)?,
+                    None if mode == Mode::Partial => {}
+                    None => return fail(format!("missing field `{l}`")),
+                }
+            }
+            // Extra fields are fine: width subsumption.
+            Ok(())
+        }
+        (Value::Tagged(l, payload), Type::Variant(arms)) => match arms.get(l) {
+            Some(at) => conforms(payload, at, env, heap, mode),
+            None => fail(format!("variant has no arm `{l}`")),
+        },
+        (Value::Ref(oid), want) => {
+            let obj = heap.get(*oid)?;
+            if is_subtype(&obj.ty, want, env) {
+                Ok(())
+            } else {
+                fail(format!("object {oid} has type {}, not a subtype", obj.ty))
+            }
+        }
+        // The Get result type: a value conforms to ∃t ≤ B. t iff it
+        // conforms to the bound B.
+        (_, Type::Exists(q)) => {
+            if *q.body == Type::Var(q.var.clone()) {
+                let bound = q.bound.as_deref().unwrap_or(&Type::Top);
+                conforms(v, bound, env, heap, mode)
+            } else {
+                fail("cannot check conformance to a general existential".into())
+            }
+        }
+        _ => fail("shape mismatch".into()),
+    }
+}
+
+/// Checked construction of a dynamic value: `dynamic v : T` verifies
+/// `v : T` first (strict mode).
+pub fn make_dynamic(
+    ty: Type,
+    value: Value,
+    env: &TypeEnv,
+    heap: &Heap,
+) -> Result<Value, ValueError> {
+    conforms(&value, &ty, env, heap, Mode::Strict)?;
+    Ok(Value::dynamic(ty, value))
+}
+
+/// `coerce d to T`: succeed iff the carried type is a subtype of `T`
+/// (so a dynamic `Employee` coerces to `Person`), otherwise raise the
+/// paper's run-time exception.
+pub fn coerce(d: &DynValue, want: &Type, env: &TypeEnv) -> Result<Value, ValueError> {
+    if is_subtype(&d.ty, want, env) {
+        Ok(d.value.clone())
+    } else {
+        Err(ValueError::CoerceFailed { carried: d.ty.clone(), wanted: want.clone() })
+    }
+}
+
+fn clip(v: &Value) -> String {
+    let s = v.to_string();
+    if s.len() > 120 {
+        format!("{}…", &s[..120])
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpl_types::parse_type;
+
+    fn ctx() -> (TypeEnv, Heap) {
+        let mut env = TypeEnv::new();
+        env.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
+        env.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+        (env, Heap::new())
+    }
+
+    #[test]
+    fn strict_requires_all_fields() {
+        let (env, heap) = ctx();
+        let full = Value::record([("Name", Value::str("a")), ("Empno", Value::Int(1))]);
+        let partial = Value::record([("Empno", Value::Int(1))]);
+        let t = Type::named("Employee");
+        assert!(conforms(&full, &t, &env, &heap, Mode::Strict).is_ok());
+        assert!(conforms(&partial, &t, &env, &heap, Mode::Strict).is_err());
+        assert!(conforms(&partial, &t, &env, &heap, Mode::Partial).is_ok());
+    }
+
+    #[test]
+    fn extra_fields_are_subsumption() {
+        let (env, heap) = ctx();
+        let emp = Value::record([("Name", Value::str("a")), ("Empno", Value::Int(1))]);
+        assert!(conforms(&emp, &Type::named("Person"), &env, &heap, Mode::Strict).is_ok());
+    }
+
+    #[test]
+    fn wrong_field_type_rejected() {
+        let (env, heap) = ctx();
+        let v = Value::record([("Name", Value::Int(3))]);
+        assert!(conforms(&v, &Type::named("Person"), &env, &heap, Mode::Strict).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float_in_values() {
+        let (env, heap) = ctx();
+        assert!(conforms(&Value::Int(1), &Type::Float, &env, &heap, Mode::Strict).is_ok());
+        assert!(conforms(&Value::float(1.0), &Type::Int, &env, &heap, Mode::Strict).is_err());
+    }
+
+    #[test]
+    fn paper_coerce_example() {
+        // let d = dynamic 3; coerce d to Int succeeds; coerce d to String
+        // raises a run-time exception.
+        let (env, heap) = ctx();
+        let d = make_dynamic(Type::Int, Value::Int(3), &env, &heap).unwrap();
+        let dv = d.as_dyn().unwrap();
+        assert_eq!(coerce(dv, &Type::Int, &env).unwrap(), Value::Int(3));
+        assert!(matches!(
+            coerce(dv, &Type::Str, &env),
+            Err(ValueError::CoerceFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn coerce_respects_subtyping() {
+        let (env, heap) = ctx();
+        let emp = Value::record([("Name", Value::str("a")), ("Empno", Value::Int(1))]);
+        let d = make_dynamic(Type::named("Employee"), emp.clone(), &env, &heap).unwrap();
+        let dv = d.as_dyn().unwrap();
+        // A dynamic Employee can be coerced to Person...
+        assert_eq!(coerce(dv, &Type::named("Person"), &env).unwrap(), emp);
+        // ...but a dynamic Person could not be coerced to Employee.
+        let p = make_dynamic(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("b"))]),
+            &env,
+            &heap,
+        )
+        .unwrap();
+        assert!(coerce(p.as_dyn().unwrap(), &Type::named("Employee"), &env).is_err());
+    }
+
+    #[test]
+    fn make_dynamic_is_checked() {
+        let (env, heap) = ctx();
+        assert!(make_dynamic(Type::Str, Value::Int(1), &env, &heap).is_err());
+    }
+
+    #[test]
+    fn refs_conform_by_declared_type() {
+        let (env, mut heap) = ctx();
+        let o = heap.alloc(
+            Type::named("Employee"),
+            Value::record([("Name", Value::str("a")), ("Empno", Value::Int(1))]),
+        );
+        assert!(conforms(&Value::Ref(o), &Type::named("Person"), &env, &heap, Mode::Strict).is_ok());
+        assert!(conforms(&Value::Ref(o), &Type::Int, &env, &heap, Mode::Strict).is_err());
+    }
+
+    #[test]
+    fn existential_package_conformance() {
+        let (env, heap) = ctx();
+        let emp = Value::record([("Name", Value::str("a")), ("Empno", Value::Int(1))]);
+        let ex = Type::exists("t", Some(Type::named("Person")), Type::var("t"));
+        assert!(conforms(&emp, &ex, &env, &heap, Mode::Strict).is_ok());
+        assert!(conforms(&Value::Int(1), &ex, &env, &heap, Mode::Strict).is_err());
+    }
+
+    #[test]
+    fn variant_conformance() {
+        let (env, heap) = ctx();
+        let t = parse_type("<Nil: Unit | Cons: Int>").unwrap();
+        assert!(conforms(&Value::tagged("Nil", Value::Unit), &t, &env, &heap, Mode::Strict).is_ok());
+        assert!(conforms(&Value::tagged("Oops", Value::Unit), &t, &env, &heap, Mode::Strict).is_err());
+    }
+
+    #[test]
+    fn list_and_set_conformance() {
+        let (env, heap) = ctx();
+        let t = Type::list(Type::Int);
+        assert!(conforms(&Value::list([Value::Int(1)]), &t, &env, &heap, Mode::Strict).is_ok());
+        assert!(conforms(&Value::list([Value::str("x")]), &t, &env, &heap, Mode::Strict).is_err());
+        assert!(conforms(&Value::list([]), &t, &env, &heap, Mode::Strict).is_ok());
+        let s = Type::set(Type::Str);
+        assert!(conforms(&Value::set([Value::str("a")]), &s, &env, &heap, Mode::Strict).is_ok());
+    }
+}

@@ -1,0 +1,84 @@
+//! Value pretty-printing in the paper's record notation:
+//! `{Name = 'J Doe', Address = {City = 'Austin'}}`.
+
+use crate::value::Value;
+use std::fmt;
+
+pub(crate) fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Unit => write!(f, "()"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => write!(f, "{x}"),
+        Value::Str(s) => write!(f, "'{s}'"),
+        Value::List(xs) => {
+            write!(f, "[")?;
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_value(x, f)?;
+            }
+            write!(f, "]")
+        }
+        Value::Set(xs) => {
+            write!(f, "{{|")?;
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_value(x, f)?;
+            }
+            write!(f, "|}}")
+        }
+        Value::Record(fs) => {
+            write!(f, "{{")?;
+            for (i, (l, x)) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l} = ")?;
+                fmt_value(x, f)?;
+            }
+            write!(f, "}}")
+        }
+        Value::Tagged(l, x) => {
+            write!(f, "{l}(")?;
+            fmt_value(x, f)?;
+            write!(f, ")")
+        }
+        Value::Dyn(d) => {
+            write!(f, "dynamic(")?;
+            fmt_value(&d.value, f)?;
+            write!(f, " : {})", d.ty)
+        }
+        Value::Ref(o) => write!(f, "{o}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpl_types::Type;
+
+    #[test]
+    fn paper_notation() {
+        let v = Value::record([
+            ("Name", Value::str("J Doe")),
+            ("Address", Value::record([("City", Value::str("Austin"))])),
+        ]);
+        assert_eq!(v.to_string(), "{Address = {City = 'Austin'}, Name = 'J Doe'}");
+    }
+
+    #[test]
+    fn collections_and_dyn() {
+        assert_eq!(Value::list([Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
+        assert_eq!(Value::set([Value::Int(1)]).to_string(), "{|1|}");
+        assert_eq!(
+            Value::dynamic(Type::Int, Value::Int(3)).to_string(),
+            "dynamic(3 : Int)"
+        );
+        assert_eq!(Value::tagged("Ok", Value::Unit).to_string(), "Ok(())");
+        assert_eq!(Value::float(2.0).to_string(), "2.0");
+    }
+}

@@ -1,0 +1,57 @@
+//! Errors for value-level operations.
+
+use crate::value::Oid;
+use dbpl_types::Type;
+use std::fmt;
+
+/// Errors raised while typing, conforming, or dereferencing values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueError {
+    /// A reference pointed at no live heap object.
+    DanglingRef(Oid),
+    /// A value did not conform to an expected type.
+    Conform {
+        /// Rendered form of the offending value (possibly truncated).
+        value: String,
+        /// The expected type.
+        expected: Type,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A type error bubbled up from the type environment.
+    Type(dbpl_types::TypeError),
+    /// `coerce` was applied at an incompatible type (the paper's run-time
+    /// exception when "the type associated with d is not string").
+    CoerceFailed {
+        /// Type carried by the dynamic value.
+        carried: Type,
+        /// Type demanded by the coercion.
+        wanted: Type,
+    },
+    /// Attempted an operation on the wrong shape of value.
+    Shape(String),
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::DanglingRef(o) => write!(f, "dangling reference {o}"),
+            ValueError::Conform { value, expected, reason } => {
+                write!(f, "value {value} does not conform to {expected}: {reason}")
+            }
+            ValueError::Type(e) => write!(f, "{e}"),
+            ValueError::CoerceFailed { carried, wanted } => {
+                write!(f, "coerce failed: dynamic value carries {carried}, wanted {wanted}")
+            }
+            ValueError::Shape(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl From<dbpl_types::TypeError> for ValueError {
+    fn from(e: dbpl_types::TypeError) -> Self {
+        ValueError::Type(e)
+    }
+}

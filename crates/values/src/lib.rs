@@ -1,0 +1,36 @@
+//! # dbpl-values — objects and the information ordering
+//!
+//! The value level of Buneman & Atkinson (SIGMOD 1986):
+//!
+//! * [`Value`]s: base values, lists, sets, **partial records**, variants,
+//!   Amber-style **dynamic values** (value + type description), and
+//!   [`Oid`]-based references giving genuine *object identity*;
+//! * the **information ordering** `⊑` with its partial join `⊔` and meet
+//!   `⊓` ([`order`]) — "inheritance on values";
+//! * `typeOf` ([`type_of::type_of`]) and checked `dynamic`/`coerce`
+//!   ([`conform::make_dynamic`], [`conform::coerce`]);
+//! * conformance checking in both **strict** (static-typing) and
+//!   **partial** (object/CPO) modes;
+//! * a shared object [`Heap`] with reachability tracing and graph
+//!   replication — the substrate both persistence models build on.
+
+#![warn(missing_docs)]
+
+pub mod conform;
+pub mod display;
+pub mod error;
+pub mod heap;
+pub mod order;
+pub mod partialfn;
+pub mod path;
+pub mod type_of;
+pub mod value;
+
+pub use conform::{coerce, conforms, make_dynamic, Mode};
+pub use error::ValueError;
+pub use heap::{Heap, HeapObject};
+pub use order::{comparable, compatible, is_antichain, join, leq, meet, reduce_maximal, reduce_minimal};
+pub use partialfn::{record_as_partial_fn, set_as_partial_fn, InfoOrder, PartialFn, Present};
+pub use path::{extend, get_path, put_path, without, Path};
+pub use type_of::{carried_type, type_of};
+pub use value::{DynValue, Label, Oid, RecordFields, Value, F64};

@@ -1,0 +1,125 @@
+//! Edge cases for the value layer: error paths, NaN handling, dangling
+//! references, and conformance at the fringes.
+
+use dbpl_types::{parse_type, Type, TypeEnv};
+use dbpl_values::{
+    coerce, conforms, make_dynamic, type_of, DynValue, Heap, Mode, Oid, Value, ValueError,
+};
+
+#[test]
+fn dangling_refs_error_everywhere() {
+    let env = TypeEnv::new();
+    let heap = Heap::new();
+    let dangling = Value::Ref(Oid(404));
+    assert!(matches!(
+        type_of(&dangling, &env, &heap),
+        Err(ValueError::DanglingRef(_))
+    ));
+    assert!(conforms(&dangling, &Type::Top, &env, &heap, Mode::Strict).is_ok(), "Top asks nothing");
+    assert!(conforms(&dangling, &Type::Int, &env, &heap, Mode::Strict).is_err());
+    // Replication of a value containing a dangling ref fails loudly.
+    let mut dst = Heap::new();
+    assert!(heap.replicate_into(&Value::record([("r", dangling)]), &mut dst).is_err());
+}
+
+#[test]
+fn nan_is_a_value_like_any_other() {
+    let env = TypeEnv::new();
+    let heap = Heap::new();
+    let nan = Value::float(f64::NAN);
+    assert_eq!(type_of(&nan, &env, &heap).unwrap(), Type::Float);
+    assert!(conforms(&nan, &Type::Float, &env, &heap, Mode::Strict).is_ok());
+    // Total order: NaN equals itself, so ⊑ and ⊔ behave.
+    assert!(dbpl_values::leq(&nan, &nan));
+    assert_eq!(dbpl_values::join(&nan, &nan), Some(nan.clone()));
+    // And sets containing NaN deduplicate.
+    let s = Value::set([nan.clone(), nan]);
+    assert_eq!(s.as_set().unwrap().len(), 1);
+}
+
+#[test]
+fn coerce_error_reports_both_types() {
+    let env = TypeEnv::new();
+    let d = DynValue::new(Type::Int, Value::Int(3));
+    match coerce(&d, &Type::Str, &env) {
+        Err(ValueError::CoerceFailed { carried, wanted }) => {
+            assert_eq!(carried, Type::Int);
+            assert_eq!(wanted, Type::Str);
+        }
+        other => panic!("expected CoerceFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn make_dynamic_respects_partiality_modes_indirectly() {
+    // make_dynamic is strict: a partial record is rejected at a total type.
+    let env = TypeEnv::new();
+    let heap = Heap::new();
+    let ty = parse_type("{Name: Str, Empno: Int}").unwrap();
+    let partial = Value::record([("Name", Value::str("x"))]);
+    assert!(make_dynamic(ty.clone(), partial.clone(), &env, &heap).is_err());
+    // But conformance in Partial mode accepts it (the CPO view).
+    assert!(conforms(&partial, &ty, &env, &heap, Mode::Partial).is_ok());
+}
+
+#[test]
+fn set_conformance_uses_element_subtyping() {
+    let env = TypeEnv::new();
+    let heap = Heap::new();
+    let employees = Value::set([Value::record([
+        ("Name", Value::str("a")),
+        ("Empno", Value::Int(1)),
+    ])]);
+    let person_set = parse_type("Set[{Name: Str}]").unwrap();
+    assert!(conforms(&employees, &person_set, &env, &heap, Mode::Strict).is_ok());
+    let int_set = parse_type("Set[Int]").unwrap();
+    assert!(conforms(&employees, &int_set, &env, &heap, Mode::Strict).is_err());
+}
+
+#[test]
+fn type_of_mixed_set_joins_elements() {
+    let env = TypeEnv::new();
+    let heap = Heap::new();
+    let s = Value::set([
+        Value::record([("Name", Value::str("a")), ("Empno", Value::Int(1))]),
+        Value::record([("Name", Value::str("b")), ("Gpa", Value::float(3.0))]),
+    ]);
+    assert_eq!(
+        type_of(&s, &env, &heap).unwrap(),
+        parse_type("Set[{Name: Str}]").unwrap()
+    );
+}
+
+#[test]
+fn deep_dynamic_values_nest_and_reveal_one_layer_at_a_time() {
+    let env = TypeEnv::new();
+    let heap = Heap::new();
+    // dynamic (dynamic 3): the outer carries Dynamic, the inner Int.
+    let inner = Value::dynamic(Type::Int, Value::Int(3));
+    let outer = Value::dynamic(Type::Dynamic, inner.clone());
+    assert_eq!(type_of(&outer, &env, &heap).unwrap(), Type::Dynamic);
+    let od = outer.as_dyn().unwrap();
+    let once = coerce(od, &Type::Dynamic, &env).unwrap();
+    assert_eq!(once, inner);
+    let id = once.as_dyn().unwrap();
+    assert_eq!(coerce(id, &Type::Int, &env).unwrap(), Value::Int(3));
+}
+
+#[test]
+fn replication_of_disconnected_graphs_copies_only_the_reachable_part() {
+    let mut src = Heap::new();
+    let reachable = src.alloc(Type::Int, Value::Int(1));
+    let _orphan = src.alloc(Type::Int, Value::Int(2));
+    let mut dst = Heap::new();
+    src.replicate_into(&Value::Ref(reachable), &mut dst).unwrap();
+    assert_eq!(dst.len(), 1, "orphan not copied");
+}
+
+#[test]
+fn heap_update_preserves_declared_type() {
+    let mut heap = Heap::new();
+    let ty = parse_type("{Name: Str}").unwrap();
+    let o = heap.alloc(ty.clone(), Value::record([("Name", Value::str("a"))]));
+    heap.update(o, Value::record([("Name", Value::str("b"))])).unwrap();
+    assert_eq!(heap.get(o).unwrap().ty, ty, "identity keeps its declared type");
+}

@@ -1,0 +1,75 @@
+//! Hypothetical database states — "one may want to experiment with
+//! hypothetical states of the database", one of the paper's arguments for
+//! divorcing extents from types.
+//!
+//! A payroll what-if: fork the database, apply a raise policy in the
+//! fork, inspect both states side by side, then adopt or discard.
+//!
+//! Run with `cargo run --example hypothetical`.
+
+use dbpl::core::Database;
+use dbpl::types::{parse_type, Type};
+use dbpl::values::Value;
+
+fn total_salaries(db: &Database) -> i64 {
+    db.get(&Type::named("Employee"))
+        .iter()
+        .filter_map(|p| p.open().field("Sal")?.as_int())
+        .sum()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    db.declare_type("Employee", parse_type("{Name: Str, Sal: Int, Dept: Str}")?)?;
+    for (name, sal, dept) in [("ann", 100, "S"), ("bob", 120, "M"), ("cyd", 90, "S")] {
+        db.put(
+            Type::named("Employee"),
+            Value::record([
+                ("Name", Value::str(name)),
+                ("Sal", Value::Int(sal)),
+                ("Dept", Value::str(dept)),
+            ]),
+        )?;
+    }
+    println!("actual payroll: {}", total_salaries(&db));
+
+    // ---------- hypothesis 1: 10% raise for department S ----------
+    let mut hyp = db.fork();
+    let raised: Vec<_> = hyp
+        .get(&Type::named("Employee"))
+        .iter()
+        .map(|p| {
+            let v = p.open().clone();
+            if v.field("Dept") == Some(&Value::str("S")) {
+                let sal = v.field("Sal").unwrap().as_int().unwrap();
+                dbpl::values::extend(&v, [("Sal", Value::Int(sal * 110 / 100))]).unwrap()
+            } else {
+                v
+            }
+        })
+        .collect();
+    // Rebuild the hypothetical extent (a *second* Employee extent,
+    // impossible in a one-class-per-type language).
+    let mut hyp2 = Database::new();
+    hyp2.declare_type("Employee", parse_type("{Name: Str, Sal: Int, Dept: Str}")?)?;
+    for v in raised {
+        hyp2.put(Type::named("Employee"), v)?;
+    }
+    hyp.adopt(hyp2);
+
+    println!("hypothetical payroll (S +10%): {}", total_salaries(&hyp));
+    println!("actual is untouched:          {}", total_salaries(&db));
+    assert_eq!(total_salaries(&db), 310);
+    assert_eq!(total_salaries(&hyp), 329);
+
+    // ---------- decide ----------
+    let budget = 320;
+    if total_salaries(&hyp) <= budget {
+        db.adopt(hyp);
+        println!("hypothesis adopted");
+    } else {
+        println!("hypothesis discarded (over budget {budget}); actual stays {}", total_salaries(&db));
+    }
+    assert_eq!(total_salaries(&db), 310, "discarded: original state intact");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! A tour of MiniDBPL: the paper's code sketches, runnable.
+//!
+//! Run with `cargo run --example language_tour`.
+
+use dbpl::lang::Session;
+
+fn run(s: &mut Session, title: &str, src: &str) {
+    println!("-- {title} {}", "-".repeat(50usize.saturating_sub(title.len())));
+    for line in src.lines().filter(|l| !l.trim().is_empty()) {
+        println!("   | {}", line.trim_end());
+    }
+    match s.run_pretty(src) {
+        Ok(out) => {
+            for line in out {
+                println!("   => {line}");
+            }
+        }
+        Err(e) => println!("   !! {e}"),
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new()?;
+
+    run(
+        &mut s,
+        "dynamic values (the paper's exact example)",
+        "let d = dynamic 3\n\
+         let i = coerce d to Int\n\
+         print(i + 1)\n\
+         print(typeof d)",
+    );
+
+    // And the failing coercion — the run-time exception.
+    run(
+        &mut s,
+        "coerce at the wrong type raises the run-time exception",
+        "let d = dynamic 3\ncoerce d to Str",
+    );
+
+    run(
+        &mut s,
+        "records, subtyping and object-level inheritance",
+        "type Person = {Name: Str}\n\
+         type Employee = {Name: Str, Empno: Int}\n\
+         let p = {Name = 'J Doe'}\n\
+         let e = p with {Empno = 1234}   -- adding information\n\
+         let view: Person = e            -- subsumption\n\
+         print(view.Name)\n\
+         print(e.Empno)",
+    );
+
+    run(
+        &mut s,
+        "the generic Get over a heterogeneous database",
+        "put(db, dynamic {Name = 'J Doe', Empno = 1})\n\
+         put(db, dynamic {Name = 'M Dee'})\n\
+         put(db, dynamic 42)\n\
+         print(len[Person](get[Person](db)))    -- both people\n\
+         print(len[Employee](get[Employee](db)))\n\
+         print(map[Person][Str](fn(q: Person) => q.Name, get[Person](db)))",
+    );
+
+    run(
+        &mut s,
+        "bounded polymorphism: one function for the whole hierarchy",
+        "fun greeting[t <= Person](x: t): Str = 'hello, ' ++ x.Name\n\
+         print(greeting[Employee]({Name = 'J Doe', Empno = 1}))\n\
+         print(greeting[Person]({Name = 'M Dee'}))",
+    );
+
+    run(
+        &mut s,
+        "program 1: extern a database (replicating persistence)",
+        "type DeptDB = {Depts: List[{DName: Str, Budget: Int}]}\n\
+         let d = {Depts = [{DName = 'Sales', Budget = 100}, {DName = 'Manuf', Budget = 250}]}\n\
+         extern('DBFile', dynamic d)\n\
+         print('externed')",
+    );
+
+    // A *separate program* (fresh variables) interns it back — only the
+    // store survives between programs.
+    run(
+        &mut s,
+        "program 2: intern it back in a later program",
+        "let x = intern('DBFile')\n\
+         let d = coerce x to {Depts: List[{DName: Str, Budget: Int}]}\n\
+         print(sum(map[{DName: Str, Budget: Int}][Int](fn(q: {DName: Str, Budget: Int}) => q.Budget, d.Depts)))",
+    );
+
+    run(
+        &mut s,
+        "re-interning discards unsaved modifications (copy semantics)",
+        "let x = coerce intern('DBFile') to {Depts: List[{DName: Str, Budget: Int}]}\n\
+         let modified = x with {Depts = []}\n\
+         let again = coerce intern('DBFile') to {Depts: List[{DName: Str, Budget: Int}]}\n\
+         print(len[{DName: Str, Budget: Int}](again.Depts))",
+    );
+
+    run(
+        &mut s,
+        "recursion: total cost over a components list",
+        "fun total(xs: List[{Price: Int}]): Int =\n\
+           if isEmpty[{Price: Int}](xs) then 0\n\
+           else head[{Price: Int}](xs).Price + total(tail[{Price: Int}](xs))\n\
+         print(total([{Price = 3}, {Price = 4}, {Price = 5}]))",
+    );
+
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! The instance-hierarchy scenarios: the University parking lot and the
+//! price-dependent product catalog, both "based upon actual design
+//! problems" in the paper.
+//!
+//! Run with `cargo run --example parking_lot`.
+
+use dbpl::core::instance::{ParkingLot, ProductCatalog, ProductEntry};
+use dbpl::values::{extend, Heap, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------- scenario 1: the parking lot ----------
+    // "The only information maintained on cars ... is the registration
+    // number (tag), and make-and-model. Information such as the length,
+    // which is used to derive charges and the availability of space, is
+    // derived from the make-and-model."
+    let mut heap = Heap::new();
+    let mut lot = ParkingLot::new(15.0);
+
+    // Class level: make-and-models with their attributes.
+    let nova = lot.register_model(&mut heap, "Chevvy Nova", 4.5, 3000.0)?;
+    lot.register_model(&mut heap, "Bus", 9.0, 9000.0)?;
+
+    // Instance level: cars carry only tag + make-and-model.
+    lot.park(&mut heap, "PA-0001", "Chevvy Nova")?;
+    lot.park(&mut heap, "PA-0002", "Chevvy Nova")?;
+    println!("two identical Novas parked — distinct objects, one class");
+    println!(
+        "PA-0001 length (derived from its make-and-model): {}",
+        lot.car_length(&heap, "PA-0001")?
+    );
+    println!("occupied: {} / 15.0", lot.occupied_length(&heap)?);
+
+    // Availability is enforced through class-level data: a 9m bus does not
+    // fit next to 2 × 4.5m of Novas.
+    assert!(lot.park(&mut heap, "BUS-1", "Bus").is_err());
+    println!("bus refused: capacity computed from model lengths ✓");
+
+    // "My car is a Chevvy Nova. The Chevvy Nova weighs 3,000 pounds" —
+    // correcting class-level data updates every instance's derived view.
+    let fixed = extend(&heap.get(nova)?.value, [("Length", Value::float(4.2))])?;
+    heap.update(nova, fixed)?;
+    println!(
+        "after correcting the model: PA-0002 length = {}",
+        lot.car_length(&heap, "PA-0002")?
+    );
+    assert_eq!(lot.car_length(&heap, "PA-0002")?, 4.2);
+
+    // ---------- scenario 2: the manufacturing plant ----------
+    // "Products ... above a certain price are treated as individuals ...
+    // Below that price they are treated as classes and have weight and
+    // number in stock as properties of the class."
+    let mut catalog = ProductCatalog::new(1000.0);
+    catalog.add_product(&mut heap, "turbine", 50_000.0, 800.0, 3)?;
+    catalog.add_product(&mut heap, "washer", 0.05, 0.01, 10_000)?;
+
+    for name in ["turbine", "washer"] {
+        let (price, entry) = catalog.entry(name).unwrap();
+        let level = match entry {
+            ProductEntry::Individuals { .. } => "individuals",
+            ProductEntry::ClassLevel { .. } => "class-level",
+        };
+        println!(
+            "{name}: price {price}, represented as {level}, stock {}",
+            catalog.stock(name).unwrap()
+        );
+    }
+    println!("total stock weight: {}", catalog.total_weight(&heap)?);
+
+    // The mind-bending part: re-pricing shifts the *level in the instance
+    // hierarchy*, as one operation.
+    catalog.reprice(&mut heap, "turbine", 500.0)?;
+    assert!(matches!(
+        catalog.entry("turbine").unwrap().1,
+        ProductEntry::ClassLevel { .. }
+    ));
+    println!("turbine re-priced below threshold → demoted to class level ✓");
+    catalog.reprice(&mut heap, "turbine", 80_000.0)?;
+    assert!(matches!(
+        catalog.entry("turbine").unwrap().1,
+        ProductEntry::Individuals { .. }
+    ));
+    assert_eq!(catalog.stock("turbine"), Some(3));
+    println!("...and promoted back, stock preserved ✓");
+
+    Ok(())
+}

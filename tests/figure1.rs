@@ -1,0 +1,115 @@
+//! Integration test for **Figure 1**: the join of generalized relations,
+//! reproduced exactly as published, plus the surrounding algebraic facts
+//! the paper states about it.
+
+use dbpl::relation::{figure1_expected, figure1_r1, figure1_r2, GenRelation, Reduction};
+use dbpl::values::{is_antichain, leq, Value};
+
+#[test]
+fn figure1_exact_reproduction() {
+    let joined = figure1_r1().natural_join(&figure1_r2());
+    let expected = figure1_expected();
+    assert_eq!(joined.len(), expected.len(), "row count");
+    for row in expected.rows() {
+        assert!(joined.contains(row), "missing row {row}");
+    }
+    for row in joined.rows() {
+        assert!(expected.contains(row), "unexpected row {row}");
+    }
+}
+
+#[test]
+fn figure1_rows_refine_their_sources() {
+    // Every output object is a join of one object from each input:
+    // it must dominate some object of R1 and some object of R2.
+    let joined = figure1_r1().natural_join(&figure1_r2());
+    for out in joined.rows() {
+        assert!(
+            figure1_r1().rows().iter().any(|r| leq(r, out)),
+            "{out} does not refine any R1 row"
+        );
+        assert!(
+            figure1_r2().rows().iter().any(|r| leq(r, out)),
+            "{out} does not refine any R2 row"
+        );
+    }
+}
+
+#[test]
+fn figure1_join_is_least_upper_bound_under_minimal_reduction() {
+    let r1 = figure1_r1();
+    let r2 = figure1_r2();
+    let jmin = r1.natural_join_with(&r2, Reduction::Minimal);
+    // Upper bound:
+    assert!(r1.leq(&jmin) && r2.leq(&jmin));
+    // Least: below any other upper bound we can easily construct — e.g.
+    // the maximal-reduced join.
+    let jmax = r1.natural_join_with(&r2, Reduction::Maximal);
+    assert!(jmin.leq(&jmax));
+}
+
+#[test]
+fn figure1_is_stable_under_reordering() {
+    // Join is commutative (up to equivalence) on the published data.
+    let ab = figure1_r1().natural_join(&figure1_r2());
+    let ba = figure1_r2().natural_join(&figure1_r1());
+    assert!(ab.equiv(&ba));
+    assert_eq!(ab.len(), ba.len());
+}
+
+#[test]
+fn figure1_antichain_invariants() {
+    for rel in [figure1_r1(), figure1_r2(), figure1_expected()] {
+        assert!(is_antichain(rel.rows()));
+    }
+}
+
+#[test]
+fn figure1_projection_recovers_r2ish_information() {
+    // Projecting the join onto Dept and Addr gives a relation every
+    // object of which refines an R2 object.
+    let joined = figure1_r1().natural_join(&figure1_r2());
+    let proj = joined.project([
+        dbpl::values::Path::parse("Dept"),
+        dbpl::values::Path::parse("Addr.City"),
+        dbpl::values::Path::parse("Addr.State"),
+    ]);
+    for p in proj.rows() {
+        assert!(
+            figure1_r2().rows().iter().any(|r| leq(r, p) || leq(p, r)),
+            "{p} unrelated to every R2 row"
+        );
+    }
+}
+
+#[test]
+fn keys_would_exclude_the_double_n_bug() {
+    // The figure's two N Bug rows coexist because no key is imposed.
+    // Under a Name key, the second is rejected — exactly the paper's
+    // point about keys preventing comparable (and here key-equal)
+    // coexistence.
+    use dbpl::core::{KeyConstraint, KeyedSet};
+    let joined = figure1_r1().natural_join(&figure1_r2());
+    let mut keyed = KeyedSet::new(KeyConstraint::new(["Name"]));
+    let mut rejected = 0;
+    for row in joined.rows() {
+        if keyed.insert(row.clone()).is_err() {
+            rejected += 1;
+        }
+    }
+    assert_eq!(rejected, 1, "one of the two N Bug completions is rejected");
+    assert_eq!(keyed.len(), 3);
+}
+
+#[test]
+fn empty_and_identity_cases() {
+    let r1 = figure1_r1();
+    let empty = GenRelation::new();
+    // Joining with the empty relation yields the empty relation (no
+    // pairs).
+    assert!(r1.natural_join(&empty).is_empty());
+    // Joining with the single empty record (the unit of ⊔) preserves R1.
+    let unit = GenRelation::from_values([Value::record::<[(&str, Value); 0], &str>([])]);
+    let j = r1.natural_join(&unit);
+    assert!(j.equiv(&r1));
+}

@@ -1,0 +1,195 @@
+//! End-to-end MiniDBPL programs: the paper's sketches and larger
+//! compositions run through parse → check → eval against shared session
+//! state.
+
+use dbpl::lang::{Phase, Session};
+
+fn run(src: &str) -> Vec<String> {
+    Session::new().unwrap().run(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+}
+
+#[test]
+fn paper_person_employee_database() {
+    // The Amber-style person/employee database from the paper, end to end.
+    let out = run("
+        type Person = {Name: Str, Address: {City: Str}}
+        type Employee = {Name: Str, Address: {City: Str}, Empno: Int, Dept: Str}
+
+        put(db, dynamic {Name = 'J Doe', Address = {City = 'Austin'}})
+        put(db, dynamic {Name = 'M Dee', Address = {City = 'Moose'},
+                         Empno = 1, Dept = 'Manuf'})
+        put(db, dynamic {Name = 'N Bug', Address = {City = 'Billings'},
+                         Empno = 2, Dept = 'Admin'})
+
+        -- getPersons returns a larger list than getEmployees
+        print(len[Person](get[Person](db)))
+        print(len[Employee](get[Employee](db)))
+        -- and projecting employees appears in the persons result
+        print(map[Employee][Str](fn(e: Employee) => e.Dept, get[Employee](db)))
+    ");
+    assert_eq!(out, vec!["3", "2", "['Manuf', 'Admin']"]);
+}
+
+#[test]
+fn turning_a_person_into_an_employee() {
+    // Object-level inheritance via `with`, checked against the subtype
+    // hierarchy via an annotation.
+    let out = run("
+        type Person = {Name: Str}
+        type Employee = {Name: Str, Empno: Int}
+        let o = {Name = 'J Doe'}
+        let o2: Employee = o with {Empno = 1234}
+        let back: Person = o2
+        print(back.Name)
+        print(o2.Empno)
+    ");
+    assert_eq!(out, vec!["'J Doe'", "1234"]);
+}
+
+#[test]
+fn total_cost_in_minidbpl() {
+    // The bill-of-materials recursion, written in the language (over a
+    // list-shaped explosion; the DAG-memoized version is the library's).
+    let out = run("
+        type Component = {Qty: Int, Price: Int}
+        fun totalCost(cs: List[Component]): Int =
+          if isEmpty[Component](cs) then 0
+          else head[Component](cs).Qty * head[Component](cs).Price
+               + totalCost(tail[Component](cs))
+        print(totalCost([{Qty = 4, Price = 2}, {Qty = 2, Price = 13}]))
+    ");
+    assert_eq!(out, vec!["34"]);
+}
+
+#[test]
+fn persistence_across_three_programs() {
+    let mut s = Session::new().unwrap();
+    // Program 1 creates and externs.
+    s.run("
+        type Parts = {Items: List[{Name: Str, Price: Int}]}
+        let d = {Items = [{Name = 'bolt', Price = 2}]}
+        extern('PartsFile', dynamic d)
+    ")
+    .unwrap();
+    // Program 2 interns, modifies, and re-externs.
+    s.run("
+        type Parts = {Items: List[{Name: Str, Price: Int}]}
+        let x = coerce intern('PartsFile') to Parts
+        let x2 = x with {Items = cons[{Name: Str, Price: Int}]({Name = 'nut', Price = 1}, x.Items)}
+        extern('PartsFile', dynamic x2)
+    ")
+    .unwrap();
+    // Program 3 observes the committed state.
+    let out = s
+        .run("
+        type Parts = {Items: List[{Name: Str, Price: Int}]}
+        print(len[{Name: Str, Price: Int}]((coerce intern('PartsFile') to Parts).Items))
+    ")
+        .unwrap();
+    assert_eq!(out, vec!["2"]);
+}
+
+#[test]
+fn session_type_declarations_accumulate_but_duplicate_conflicts_fail() {
+    let mut s = Session::new().unwrap();
+    s.run("type T = {A: Int}").unwrap();
+    let err = s.run("type T = {B: Str}").unwrap_err();
+    assert_eq!(err.phase, Phase::Check, "redeclaration rejected: {err}");
+}
+
+#[test]
+fn static_errors_prevent_all_effects() {
+    let mut s = Session::new().unwrap();
+    let before = s.db.len();
+    // A later line has a type error; earlier puts must not run.
+    let err = s
+        .run("put(db, dynamic {N = 1})\nlet x: Int = 'oops'")
+        .unwrap_err();
+    assert_eq!(err.phase, Phase::Check);
+    assert_eq!(s.db.len(), before, "checked-then-run discipline");
+}
+
+#[test]
+fn coerce_through_subtyping_works_like_the_paper_says() {
+    // A dynamic Employee coerces to Person but not to Student.
+    let out = run("
+        type Person = {Name: Str}
+        type Student = {Name: Str, Gpa: Float}
+        let d = dynamic {Name = 'e', Empno = 1}
+        print((coerce d to Person).Name)
+    ");
+    assert_eq!(out, vec!["'e'"]);
+    let mut s = Session::new().unwrap();
+    let err = s
+        .run("
+        type Student = {Name: Str, Gpa: Float}
+        let d = dynamic {Name = 'e', Empno = 1}
+        coerce d to Student
+    ")
+        .unwrap_err();
+    assert_eq!(err.phase, Phase::Eval, "the paper's run-time exception: {err}");
+}
+
+#[test]
+fn adaplex_style_include_works_in_the_language() {
+    let out = run("
+        type Person = {Name: Str}
+        type Employee = {Name: Str, Empno: Int}
+        include Employee in Person
+        let e: Employee = {Name = 'x', Empno = 1}
+        let p: Person = e
+        print(p.Name)
+    ");
+    assert_eq!(out, vec!["'x'"]);
+}
+
+#[test]
+fn higher_order_database_queries() {
+    let out = run("
+        type Emp = {Name: Str, Sal: Int}
+        put(db, dynamic {Name = 'ann', Sal = 10})
+        put(db, dynamic {Name = 'bob', Sal = 20})
+        put(db, dynamic {Name = 'cyd', Sal = 30})
+        fun wellPaid(threshold: Int): List[Emp] =
+          filter[Emp](fn(e: Emp) => e.Sal > threshold, get[Emp](db))
+        print(map[Emp][Str](fn(e: Emp) => e.Name, wellPaid(15)))
+        print(sum(map[Emp][Int](fn(e: Emp) => e.Sal, wellPaid(0))))
+    ");
+    assert_eq!(out, vec!["['bob', 'cyd']", "60.0"]);
+}
+
+#[test]
+fn memoization_via_transient_records() {
+    // The paper's memoizing trick at language level: compute once, carry
+    // the result in an extended record, reuse without recomputation.
+    let out = run("
+        type Part = {Name: Str, Cost: Int}
+        fun expensive(p: Part): Int = p.Cost * 1000
+        let p = {Name = 'widget', Cost = 3}
+        -- attach the transient field
+        let cached = p with {TotalCost = expensive(p)}
+        print(cached.TotalCost + cached.TotalCost)
+    ");
+    assert_eq!(out, vec!["6000"]);
+}
+
+#[test]
+fn shipped_university_script_runs() {
+    let src = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scripts/university.dbpl"),
+    )
+    .expect("script shipped with the repository");
+    let out = run(&src);
+    assert_eq!(out, vec!["4", "2", "2", "1", "['ann', 'cyd']", "210.0", "75", "-50", "2"]);
+}
+
+#[test]
+fn shipped_parts_explosion_script_runs() {
+    let src = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("examples/scripts/parts_explosion.dbpl"),
+    )
+    .expect("script shipped with the repository");
+    let out = run(&src);
+    assert_eq!(out, vec!["2", "13", "40", "40"]);
+}
