@@ -57,7 +57,9 @@ fn e3_write_paths(c: &mut Criterion) {
             BTreeMap::from([("root".to_string(), DynValue::new(Type::Top, root.clone()))]);
         group.bench_with_input(BenchmarkId::new("snapshot_save", n), &n, |b, _| {
             b.iter(|| {
-                Image::capture(&env, &heap, &bindings).save(img_dir.join("s.image")).unwrap()
+                Image::capture(&env, &heap, &bindings)
+                    .save(img_dir.join("s.image"))
+                    .unwrap()
             })
         });
 
@@ -67,7 +69,10 @@ fn e3_write_paths(c: &mut Criterion) {
         let mut istore = IntrinsicStore::open(&log).unwrap();
         let mut first = None;
         for i in 0..n {
-            let o = istore.alloc(Type::Str, Value::Str(format!("object payload number {i:051}")));
+            let o = istore.alloc(
+                Type::Str,
+                Value::Str(format!("object payload number {i:051}")),
+            );
             first.get_or_insert(o);
         }
         istore.set_handle("root", Type::Top, root);
@@ -104,7 +109,10 @@ fn e3_read_paths(c: &mut Criterion) {
         {
             let mut s = IntrinsicStore::open(&log).unwrap();
             for i in 0..n {
-                s.alloc(Type::Str, Value::Str(format!("object payload number {i:051}")));
+                s.alloc(
+                    Type::Str,
+                    Value::Str(format!("object payload number {i:051}")),
+                );
             }
             s.set_handle("root", Type::Top, root.clone());
             s.commit().unwrap();
@@ -134,5 +142,10 @@ fn e3_storage_duplication(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, e3_write_paths, e3_read_paths, e3_storage_duplication);
+criterion_group!(
+    benches,
+    e3_write_paths,
+    e3_read_paths,
+    e3_storage_duplication
+);
 criterion_main!(benches);

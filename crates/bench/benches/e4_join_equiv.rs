@@ -37,8 +37,7 @@ fn e4_algebra_pipeline(c: &mut Criterion) {
     use dbpl_relation::{Catalog, CmpOp, Pred, RelExpr};
     let emp = flat_relation(&["Eid", "Dept", "Sal"], 2_000, 50, 7);
     let dept = flat_relation(&["Dept", "City"], 50, 50, 9);
-    let catalog =
-        Catalog::from([("Emp".to_string(), emp), ("Dept".to_string(), dept)]);
+    let catalog = Catalog::from([("Emp".to_string(), emp), ("Dept".to_string(), dept)]);
     let query = RelExpr::base("Emp")
         .select(Pred::cmp("Sal", CmpOp::Gt, 25i64))
         .join(RelExpr::base("Dept"))

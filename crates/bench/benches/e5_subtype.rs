@@ -21,9 +21,11 @@ fn e5_record_towers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("subtype", &label), &label, |b, _| {
             b.iter(|| is_subtype(black_box(&sub), black_box(&sup), &env))
         });
-        group.bench_with_input(BenchmarkId::new("equiv_negative", &label), &label, |b, _| {
-            b.iter(|| is_equiv(black_box(&sub), black_box(&sup), &env))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("equiv_negative", &label),
+            &label,
+            |b, _| b.iter(|| is_equiv(black_box(&sub), black_box(&sup), &env)),
+        );
     }
     group.finish();
 }
@@ -34,7 +36,10 @@ fn e5_recursive_types(c: &mut Criterion) {
     let mut env = TypeEnv::new();
     env.declare(
         "PersonTree",
-        Type::record([("Name", Type::Str), ("Friends", Type::list(Type::named("PersonTree")))]),
+        Type::record([
+            ("Name", Type::Str),
+            ("Friends", Type::list(Type::named("PersonTree"))),
+        ]),
     )
     .unwrap();
     env.declare(
@@ -64,11 +69,7 @@ fn e5_quantifier_nesting(c: &mut Criterion) {
         }
         let mut ty = body;
         for i in (0..depth).rev() {
-            ty = Type::forall(
-                format!("t{i}"),
-                Some(Type::record([("f", Type::Int)])),
-                ty,
-            );
+            ty = Type::forall(format!("t{i}"), Some(Type::record([("f", Type::Int)])), ty);
         }
         let ty2 = ty.clone();
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {

@@ -58,5 +58,11 @@ fn e7_chase(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, e7_closure, e7_candidate_keys, e7_minimal_cover_and_synthesis, e7_chase);
+criterion_group!(
+    benches,
+    e7_closure,
+    e7_candidate_keys,
+    e7_minimal_cover_and_synthesis,
+    e7_chase
+);
 criterion_main!(benches);

@@ -49,7 +49,9 @@ fn e8_query_scaling(c: &mut Criterion) {
         // Populate once through the language.
         let mut setup = String::from("type Employee = {Name: Str, Empno: Int}\n");
         for i in 0..n {
-            setup.push_str(&format!("put(db, dynamic {{Name = 'p{i}', Empno = {i}}})\n"));
+            setup.push_str(&format!(
+                "put(db, dynamic {{Name = 'p{i}', Empno = {i}}})\n"
+            ));
         }
         s.run(&setup).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

@@ -40,7 +40,10 @@ fn main() {
     println!("| join size | {} (paper: 4) |", joined.len());
     println!("| rows match published figure exactly | {ok} |");
     let mini = figure1_r1().natural_join_with(&figure1_r2(), Reduction::Minimal);
-    println!("| maximal ≡ minimal reduction on Fig. 1 | {} |\n", mini.equiv(&joined));
+    println!(
+        "| maximal ≡ minimal reduction on Fig. 1 | {} |\n",
+        mini.equiv(&joined)
+    );
 
     // ---------- E1 ----------
     println!("## E1 — Get: scan vs typed lists vs maintained extents (µs/op)\n");
@@ -54,7 +57,14 @@ fn main() {
         let (t_scan, r1) = time(|| db.get_with(&bound, GetStrategy::Scan).len(), 20);
         let (t_idx, r2) = time(|| db.get_with(&bound, GetStrategy::TypedLists).len(), 20);
         let (t_ext, r3) = time(
-            || db_ext.extents().extent("Employee").unwrap().members().count(),
+            || {
+                db_ext
+                    .extents()
+                    .extent("Employee")
+                    .unwrap()
+                    .members()
+                    .count()
+            },
             20,
         );
         assert_eq!(r1, r2);
@@ -107,7 +117,11 @@ fn main() {
     let env = TypeEnv::new();
     let bindings = BTreeMap::from([("r".to_string(), DynValue::new(Type::Top, root.clone()))]);
     let (t_snap, _) = time(
-        || Image::capture(&env, &heap, &bindings).save(dir.join("img")).unwrap(),
+        || {
+            Image::capture(&env, &heap, &bindings)
+                .save(dir.join("img"))
+                .unwrap()
+        },
         5,
     );
     let log = dir.join("intr.log");
@@ -146,7 +160,10 @@ fn main() {
     i2.set_handle("a", Type::Top, Value::record([("c", Value::Ref(so))]));
     i2.set_handle("b", Type::Top, Value::record([("c", Value::Ref(so))]));
     i2.commit().unwrap();
-    println!("| bytes for the same via 2 intrinsic handles | {} |\n", i2.stored_bytes().unwrap());
+    println!(
+        "| bytes for the same via 2 intrinsic handles | {} |\n",
+        i2.stored_bytes().unwrap()
+    );
 
     // ---------- E4 ----------
     println!("## E4 — generalized vs classical natural join on flat data (µs)\n");
@@ -161,7 +178,10 @@ fn main() {
         let (t_flat, flat) = time(|| r.natural_join(&s).unwrap(), iters);
         let (t_gen, gen) = time(|| gr.natural_join(&gs), iters);
         assert_eq!(flat.len(), gen.len(), "E4 equivalence");
-        println!("| {n} | {t_flat:.0} | {t_gen:.0} | {:.1}x |", t_gen / t_flat.max(1e-9));
+        println!(
+            "| {n} | {t_flat:.0} | {t_gen:.0} | {:.1}x |",
+            t_gen / t_flat.max(1e-9)
+        );
     }
     println!();
 

@@ -17,9 +17,12 @@ pub fn rng(seed: u64) -> StdRng {
 /// The four-level Person/Employee/Student/WorkingStudent hierarchy used
 /// throughout.
 pub fn hierarchy_env(db: &mut Database) {
-    db.declare_type("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
-    db.declare_type("Student", parse_type("{Name: Str, Gpa: Float}").unwrap()).unwrap();
+    db.declare_type("Person", parse_type("{Name: Str}").unwrap())
+        .unwrap();
+    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+        .unwrap();
+    db.declare_type("Student", parse_type("{Name: Str, Gpa: Float}").unwrap())
+        .unwrap();
     db.declare_type(
         "WorkingStudent",
         parse_type("{Name: Str, Empno: Int, Gpa: Float}").unwrap(),
@@ -36,7 +39,9 @@ pub fn populated_db(n: usize, seed: u64) -> Database {
     for i in 0..n {
         let name = Value::str(format!("p{i}"));
         match r.gen_range(0..5) {
-            0 => db.put(Type::named("Person"), Value::record([("Name", name)])).unwrap(),
+            0 => db
+                .put(Type::named("Person"), Value::record([("Name", name)]))
+                .unwrap(),
             1 => db
                 .put(
                     Type::named("Employee"),
@@ -76,8 +81,11 @@ pub fn build_extents(db: &mut Database) {
     // Materialize: allocate each dynamic as an object, then insert at its
     // exact type (cascade handles the supertypes). Allocate first, clone
     // the heap once, then insert — cloning per insert would be O(n²).
-    let dynamics: Vec<(Type, Value)> =
-        db.dynamics().iter().map(|d| (d.ty.clone(), d.value.clone())).collect();
+    let dynamics: Vec<(Type, Value)> = db
+        .dynamics()
+        .iter()
+        .map(|d| (d.ty.clone(), d.value.clone()))
+        .collect();
     let mut pending: Vec<(String, dbpl_values::Oid)> = Vec::new();
     for (ty, v) in dynamics {
         if let Type::Named(n) = &ty {
@@ -150,8 +158,9 @@ pub fn record_tower(width: usize, depth: usize, extra: bool) -> Type {
         Type::Record(Default::default())
     };
     for d in 0..depth {
-        let mut fields: Vec<(String, Type)> =
-            (0..width).map(|w| (format!("f{d}_{w}"), Type::Int)).collect();
+        let mut fields: Vec<(String, Type)> = (0..width)
+            .map(|w| (format!("f{d}_{w}"), Type::Int))
+            .collect();
         fields.push((format!("nest{d}"), t));
         t = Type::record(fields);
     }
@@ -190,7 +199,10 @@ mod tests {
         let a = populated_db(100, 7);
         let b = populated_db(100, 7);
         assert_eq!(a.len(), b.len());
-        assert_eq!(a.get(&Type::named("Person")).len(), b.get(&Type::named("Person")).len());
+        assert_eq!(
+            a.get(&Type::named("Person")).len(),
+            b.get(&Type::named("Person")).len()
+        );
     }
 
     #[test]
@@ -225,6 +237,9 @@ mod tests {
             assert_eq!(row.as_record().unwrap().len(), 4);
         }
         let partial = gen_relation(50, 2, 100, 3);
-        assert!(partial.rows().iter().all(|r| r.as_record().unwrap().len() == 2));
+        assert!(partial
+            .rows()
+            .iter()
+            .all(|r| r.as_record().unwrap().len() == 2));
     }
 }

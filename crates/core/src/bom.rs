@@ -111,9 +111,7 @@ pub fn assembly(
 ) -> Oid {
     let comps: Vec<Value> = components
         .iter()
-        .map(|(q, sub)| {
-            Value::record([("Qty", Value::Int(*q)), ("SubPart", Value::Ref(*sub))])
-        })
+        .map(|(q, sub)| Value::record([("Qty", Value::Int(*q)), ("SubPart", Value::Ref(*sub))]))
         .collect();
     heap.alloc(
         Type::named("Part"),
@@ -133,10 +131,26 @@ type PartFields = (bool, f64, f64, f64, Vec<(i64, Oid)>);
 
 fn part_fields(heap: &Heap, p: Oid) -> Result<PartFields, CoreError> {
     let obj = heap.get(p)?;
-    let is_base = obj.value.field("IsBase").and_then(Value::as_bool).unwrap_or(false);
-    let price = obj.value.field("PurchasePrice").and_then(Value::as_float).unwrap_or(0.0);
-    let mcost = obj.value.field("ManufacturingCost").and_then(Value::as_float).unwrap_or(0.0);
-    let mass = obj.value.field("Mass").and_then(Value::as_float).unwrap_or(0.0);
+    let is_base = obj
+        .value
+        .field("IsBase")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let price = obj
+        .value
+        .field("PurchasePrice")
+        .and_then(Value::as_float)
+        .unwrap_or(0.0);
+    let mcost = obj
+        .value
+        .field("ManufacturingCost")
+        .and_then(Value::as_float)
+        .unwrap_or(0.0);
+    let mass = obj
+        .value
+        .field("Mass")
+        .and_then(Value::as_float)
+        .unwrap_or(0.0);
     let comps = obj
         .value
         .field("Components")
@@ -181,7 +195,9 @@ pub fn total_cost_memo(
     memo: &mut TransientFields,
 ) -> Result<(f64, u64), CoreError> {
     if let Some(v) = memo.get(p, "TotalCost") {
-        let c = v.as_float().ok_or_else(|| CoreError::Invalid("bad memo".into()))?;
+        let c = v
+            .as_float()
+            .ok_or_else(|| CoreError::Invalid("bad memo".into()))?;
         return Ok((c, 0));
     }
     let (is_base, price, mcost, _, comps) = part_fields(heap, p)?;
@@ -210,8 +226,12 @@ pub fn cost_and_mass(
     memo: &mut TransientFields,
 ) -> Result<(f64, f64), CoreError> {
     if let (Some(c), Some(m)) = (memo.get(p, "TotalCost"), memo.get(p, "TotalMass")) {
-        let c = c.as_float().ok_or_else(|| CoreError::Invalid("bad memo".into()))?;
-        let m = m.as_float().ok_or_else(|| CoreError::Invalid("bad memo".into()))?;
+        let c = c
+            .as_float()
+            .ok_or_else(|| CoreError::Invalid("bad memo".into()))?;
+        let m = m
+            .as_float()
+            .ok_or_else(|| CoreError::Invalid("bad memo".into()))?;
         return Ok((c, m));
     }
     let (is_base, price, mcost, own_mass, comps) = part_fields(heap, p)?;
@@ -283,7 +303,13 @@ mod tests {
         let mut cur = base_part(&mut heap, "leaf", 1.0, 1.0);
         let depth = 12;
         for i in 0..depth {
-            cur = assembly(&mut heap, &format!("lvl{i}"), 0.0, 0.0, &[(1, cur), (1, cur)]);
+            cur = assembly(
+                &mut heap,
+                &format!("lvl{i}"),
+                0.0,
+                0.0,
+                &[(1, cur), (1, cur)],
+            );
         }
         let (cost, naive_visits) = total_cost_naive(&heap, cur).unwrap();
         assert_eq!(cost, f64::from(1 << depth));
@@ -320,7 +346,10 @@ mod tests {
         let img = Image::capture(&env, &heap, &std::collections::BTreeMap::new());
         let (_, restored, _) = img.restore().unwrap();
         for (oid, obj) in restored.iter() {
-            assert!(obj.value.field("TotalCost").is_none(), "object {oid} leaked memo data");
+            assert!(
+                obj.value.field("TotalCost").is_none(),
+                "object {oid} leaked memo data"
+            );
         }
     }
 

@@ -55,7 +55,10 @@ impl Database {
 
     /// An empty database over a prepared environment.
     pub fn with_env(env: TypeEnv) -> Database {
-        Database { env, ..Default::default() }
+        Database {
+            env,
+            ..Default::default()
+        }
     }
 
     /// The type environment.
@@ -108,7 +111,11 @@ impl Database {
         // re-inserted, or the cascade would miss late-created targets.
         for e in old.iter() {
             fresh
-                .create(e.name().to_string(), e.elem_type().clone(), e.is_transient())
+                .create(
+                    e.name().to_string(),
+                    e.elem_type().clone(),
+                    e.is_transient(),
+                )
                 .expect("names were unique");
         }
         for e in old.iter() {
@@ -202,7 +209,12 @@ impl Database {
             "__dynamics".to_string(),
             DynValue::new(
                 Type::list(Type::Dynamic),
-                Value::List(self.dynamics.iter().map(|d| Value::Dyn(Box::new(d.clone()))).collect()),
+                Value::List(
+                    self.dynamics
+                        .iter()
+                        .map(|d| Value::Dyn(Box::new(d.clone())))
+                        .collect(),
+                ),
             ),
         );
         Image::capture(&self.env, &self.heap, &bindings)
@@ -278,7 +290,14 @@ impl Database {
             }
         }
         let index = TypedListIndex::build(&dynamics);
-        Ok(Database { env, heap, dynamics, index, extents: ExtentManager::new(), bindings })
+        Ok(Database {
+            env,
+            heap,
+            dynamics,
+            index,
+            extents: ExtentManager::new(),
+            bindings,
+        })
     }
 }
 
@@ -289,9 +308,15 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.declare_type("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-        db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
-        db.put(Type::named("Person"), Value::record([("Name", Value::str("p"))])).unwrap();
+        db.declare_type("Person", parse_type("{Name: Str}").unwrap())
+            .unwrap();
+        db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+            .unwrap();
+        db.put(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("p"))]),
+        )
+        .unwrap();
         db.put(
             Type::named("Employee"),
             Value::record([("Name", Value::str("e")), ("Empno", Value::Int(1))]),
@@ -304,14 +329,24 @@ mod tests {
     #[test]
     fn put_is_typechecked() {
         let mut d = db();
-        assert!(d.put(Type::named("Employee"), Value::record([("Name", Value::str("x"))])).is_err());
+        assert!(d
+            .put(
+                Type::named("Employee"),
+                Value::record([("Name", Value::str("x"))])
+            )
+            .is_err());
         assert!(d.put(Type::named("Ghost"), Value::Unit).is_err());
     }
 
     #[test]
     fn get_strategies_agree() {
         let d = db();
-        for bound in [Type::named("Person"), Type::named("Employee"), Type::Int, Type::Top] {
+        for bound in [
+            Type::named("Person"),
+            Type::named("Employee"),
+            Type::Int,
+            Type::Top,
+        ] {
             let scan = d.get_with(&bound, GetStrategy::Scan);
             let index = d.get_with(&bound, GetStrategy::TypedLists);
             assert_eq!(scan, index, "strategies disagree at {bound}");
@@ -330,7 +365,10 @@ mod tests {
     fn alloc_is_typechecked() {
         let mut d = db();
         assert!(d
-            .alloc(Type::named("Person"), Value::record([("Name", Value::str("ok"))]))
+            .alloc(
+                Type::named("Person"),
+                Value::record([("Name", Value::str("ok"))])
+            )
             .is_ok());
         assert!(d.alloc(Type::named("Person"), Value::Int(1)).is_err());
     }
@@ -338,9 +376,16 @@ mod tests {
     #[test]
     fn image_roundtrip_preserves_everything_durable() {
         let mut d = db();
-        let o = d.alloc(Type::named("Person"), Value::record([("Name", Value::str("h"))])).unwrap();
+        let o = d
+            .alloc(
+                Type::named("Person"),
+                Value::record([("Name", Value::str("h"))]),
+            )
+            .unwrap();
         d.bind("root", DynValue::new(Type::named("Person"), Value::Ref(o)));
-        d.extents_mut().create("memo", Type::named("Person"), true).unwrap();
+        d.extents_mut()
+            .create("memo", Type::named("Person"), true)
+            .unwrap();
 
         let mut before_capture = d.clone();
         before_capture.extents_mut().drop_transient();
@@ -350,7 +395,12 @@ mod tests {
         assert_eq!(restored.len(), d.len());
         assert_eq!(restored.get(&Type::named("Person")).len(), 2);
         assert!(restored.binding("root").is_some());
-        let ro = restored.binding("root").unwrap().value.as_ref_oid().unwrap();
+        let ro = restored
+            .binding("root")
+            .unwrap()
+            .value
+            .as_ref_oid()
+            .unwrap();
         assert_eq!(
             restored.heap().get(ro).unwrap().value.field("Name"),
             Some(&Value::str("h"))
@@ -362,8 +412,12 @@ mod tests {
     #[test]
     fn cascade_can_be_enabled_after_the_fact() {
         let mut d = db();
-        d.extents_mut().create("persons", Type::named("Person"), false).unwrap();
-        d.extents_mut().create("employees", Type::named("Employee"), false).unwrap();
+        d.extents_mut()
+            .create("persons", Type::named("Person"), false)
+            .unwrap();
+        d.extents_mut()
+            .create("employees", Type::named("Employee"), false)
+            .unwrap();
         let e = d
             .alloc(
                 Type::named("Employee"),

@@ -39,8 +39,15 @@ impl fmt::Display for CoreError {
             CoreError::Persist(e) => write!(f, "{e}"),
             CoreError::ExtentExists(n) => write!(f, "extent `{n}` already exists"),
             CoreError::UnknownExtent(n) => write!(f, "unknown extent `{n}`"),
-            CoreError::NotAMember { extent, expected, got } => {
-                write!(f, "extent `{extent}` holds {expected}; object has type {got}")
+            CoreError::NotAMember {
+                extent,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "extent `{extent}` holds {expected}; object has type {got}"
+                )
             }
             CoreError::KeyViolation(m) => write!(f, "key violation: {m}"),
             CoreError::Invalid(m) => write!(f, "{m}"),

@@ -88,7 +88,10 @@ impl ExtentManager {
 
     /// A manager with hierarchy-linked (cascading) extents.
     pub fn with_cascade() -> ExtentManager {
-        ExtentManager { cascade: true, ..Default::default() }
+        ExtentManager {
+            cascade: true,
+            ..Default::default()
+        }
     }
 
     /// Is cascading on?
@@ -110,7 +113,12 @@ impl ExtentManager {
         }
         self.extents.insert(
             name.clone(),
-            Extent { name, elem_ty, members: BTreeSet::new(), transient },
+            Extent {
+                name,
+                elem_ty,
+                members: BTreeSet::new(),
+                transient,
+            },
         );
         Ok(())
     }
@@ -118,12 +126,16 @@ impl ExtentManager {
     /// Drop an extent (objects survive; only the collection goes away —
     /// the whole point of separating extent from type).
     pub fn drop_extent(&mut self, name: &str) -> Result<Extent, CoreError> {
-        self.extents.remove(name).ok_or_else(|| CoreError::UnknownExtent(name.to_string()))
+        self.extents
+            .remove(name)
+            .ok_or_else(|| CoreError::UnknownExtent(name.to_string()))
     }
 
     /// Look up an extent.
     pub fn extent(&self, name: &str) -> Result<&Extent, CoreError> {
-        self.extents.get(name).ok_or_else(|| CoreError::UnknownExtent(name.to_string()))
+        self.extents
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownExtent(name.to_string()))
     }
 
     /// All extents.
@@ -154,7 +166,11 @@ impl ExtentManager {
             }
             e.elem_ty.clone()
         };
-        self.extents.get_mut(name).expect("checked").members.insert(oid);
+        self.extents
+            .get_mut(name)
+            .expect("checked")
+            .members
+            .insert(oid);
         if self.cascade {
             for e in self.extents.values_mut() {
                 if e.name != name && is_subtype(&elem_ty, &e.elem_ty, env) {
@@ -168,14 +184,14 @@ impl ExtentManager {
     /// Remove an object from an extent. With cascading on, the object also
     /// leaves every extent at a *subtype* (it cannot remain an Employee
     /// after ceasing to be a Person).
-    pub fn remove(
-        &mut self,
-        name: &str,
-        oid: Oid,
-        env: &TypeEnv,
-    ) -> Result<bool, CoreError> {
+    pub fn remove(&mut self, name: &str, oid: Oid, env: &TypeEnv) -> Result<bool, CoreError> {
         let elem_ty = self.extent(name)?.elem_ty.clone();
-        let was = self.extents.get_mut(name).expect("checked").members.remove(&oid);
+        let was = self
+            .extents
+            .get_mut(name)
+            .expect("checked")
+            .members
+            .remove(&oid);
         if self.cascade && was {
             for e in self.extents.values_mut() {
                 if e.name != name && is_subtype(&e.elem_ty, &elem_ty, env) {
@@ -266,10 +282,15 @@ mod tests {
 
     fn env() -> TypeEnv {
         let mut e = TypeEnv::new();
-        e.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
-        e.declare("Manager", parse_type("{Name: Str, Empno: Int, Reports: Int}").unwrap())
+        e.declare("Person", parse_type("{Name: Str}").unwrap())
             .unwrap();
+        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+            .unwrap();
+        e.declare(
+            "Manager",
+            parse_type("{Name: Str, Empno: Int, Reports: Int}").unwrap(),
+        )
+        .unwrap();
         e
     }
 
@@ -290,7 +311,8 @@ mod tests {
         let mut heap = Heap::new();
         let mut m = ExtentManager::with_cascade();
         m.create("persons", Type::named("Person"), false).unwrap();
-        m.create("employees", Type::named("Employee"), false).unwrap();
+        m.create("employees", Type::named("Employee"), false)
+            .unwrap();
         let e = person_obj(&mut heap, "Employee", "e1");
         m.insert("employees", e, &heap, &env).unwrap();
         // "creating an instance of EMPLOYEE will also be in the extent of
@@ -305,7 +327,8 @@ mod tests {
         let mut heap = Heap::new();
         let mut m = ExtentManager::with_cascade();
         m.create("persons", Type::named("Person"), false).unwrap();
-        m.create("employees", Type::named("Employee"), false).unwrap();
+        m.create("employees", Type::named("Employee"), false)
+            .unwrap();
         m.create("managers", Type::named("Manager"), false).unwrap();
         let boss = person_obj(&mut heap, "Manager", "m1");
         m.insert("managers", boss, &heap, &env).unwrap();
@@ -319,7 +342,8 @@ mod tests {
         let mut heap = Heap::new();
         let mut m = ExtentManager::with_cascade();
         m.create("persons", Type::named("Person"), false).unwrap();
-        m.create("employees", Type::named("Employee"), false).unwrap();
+        m.create("employees", Type::named("Employee"), false)
+            .unwrap();
         let e = person_obj(&mut heap, "Employee", "e1");
         m.insert("employees", e, &heap, &env).unwrap();
         // Removing from the superclass removes from the subclass too...
@@ -338,7 +362,8 @@ mod tests {
         let env = env();
         let mut heap = Heap::new();
         let mut m = ExtentManager::new();
-        m.create("employees", Type::named("Employee"), false).unwrap();
+        m.create("employees", Type::named("Employee"), false)
+            .unwrap();
         let p = person_obj(&mut heap, "Person", "p1");
         assert!(matches!(
             m.insert("employees", p, &heap, &env),
@@ -354,7 +379,8 @@ mod tests {
         let mut heap = Heap::new();
         let mut m = ExtentManager::new();
         m.create("persons", Type::named("Person"), false).unwrap();
-        m.create("hypothetical", Type::named("Person"), true).unwrap();
+        m.create("hypothetical", Type::named("Person"), true)
+            .unwrap();
         let p = person_obj(&mut heap, "Person", "p1");
         m.insert("persons", p, &heap, &env).unwrap();
         let q = person_obj(&mut heap, "Person", "p2");
@@ -382,8 +408,14 @@ mod tests {
     fn duplicate_extent_names_rejected() {
         let mut m = ExtentManager::new();
         m.create("e", Type::Int, false).unwrap();
-        assert!(matches!(m.create("e", Type::Int, false), Err(CoreError::ExtentExists(_))));
-        assert!(matches!(m.extent("missing"), Err(CoreError::UnknownExtent(_))));
+        assert!(matches!(
+            m.create("e", Type::Int, false),
+            Err(CoreError::ExtentExists(_))
+        ));
+        assert!(matches!(
+            m.extent("missing"),
+            Err(CoreError::UnknownExtent(_))
+        ));
     }
 
     #[test]
@@ -392,7 +424,8 @@ mod tests {
         let mut heap = Heap::new();
         let mut m = ExtentManager::new(); // no cascade
         m.create("persons", Type::named("Person"), false).unwrap();
-        m.create("employees", Type::named("Employee"), false).unwrap();
+        m.create("employees", Type::named("Employee"), false)
+            .unwrap();
         let e = person_obj(&mut heap, "Employee", "e");
         m.insert("employees", e, &heap, &env).unwrap();
         // e is an Employee but not in persons: inclusion violated — and
@@ -407,7 +440,10 @@ mod tests {
     fn typed_list_index_agrees_with_scan() {
         let env = env();
         let dynamics: Vec<DynValue> = vec![
-            DynValue::new(Type::named("Person"), Value::record([("Name", Value::str("p"))])),
+            DynValue::new(
+                Type::named("Person"),
+                Value::record([("Name", Value::str("p"))]),
+            ),
             DynValue::new(
                 Type::named("Employee"),
                 Value::record([("Name", Value::str("e")), ("Empno", Value::Int(1))]),
@@ -420,7 +456,12 @@ mod tests {
         ];
         let idx = TypedListIndex::build(&dynamics);
         assert_eq!(idx.distinct_types(), 3);
-        for bound in [Type::named("Person"), Type::named("Employee"), Type::Int, Type::Top] {
+        for bound in [
+            Type::named("Person"),
+            Type::named("Employee"),
+            Type::Int,
+            Type::Top,
+        ] {
             let via_index = idx.query(&bound, &env);
             let via_scan: Vec<usize> = dynamics
                 .iter()

@@ -56,7 +56,11 @@ impl ExistsPkg {
                 "cannot seal: witness {witness} is not a subtype of bound {bound}"
             )));
         }
-        Ok(ExistsPkg { bound, witness, value })
+        Ok(ExistsPkg {
+            bound,
+            witness,
+            value,
+        })
     }
 
     /// The hidden witness type (inspection is allowed — Amber's `typeOf` —
@@ -94,7 +98,11 @@ impl ExistsPkg {
                 self.bound
             )));
         }
-        Ok(ExistsPkg { bound, witness: self.witness.clone(), value: self.value.clone() })
+        Ok(ExistsPkg {
+            bound,
+            witness: self.witness.clone(),
+            value: self.value.clone(),
+        })
     }
 
     /// Dissolve into a dynamic value carrying the witness type.
@@ -124,11 +132,7 @@ pub fn get_signature() -> Type {
 /// have to traverse the whole database … we also have the overhead of
 /// having to check the structure of each value we encounter" (experiment
 /// E1 measures exactly this against maintained extents and typed lists).
-pub fn scan_get(
-    dynamics: &[DynValue],
-    bound: &Type,
-    env: &TypeEnv,
-) -> Vec<ExistsPkg> {
+pub fn scan_get(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<ExistsPkg> {
     dynamics
         .iter()
         .filter(|d| is_subtype(&d.ty, bound, env))
@@ -147,9 +151,12 @@ mod tests {
 
     fn env() -> TypeEnv {
         let mut e = TypeEnv::new();
-        e.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
-        e.declare("Student", parse_type("{Name: Str, Gpa: Float}").unwrap()).unwrap();
+        e.declare("Person", parse_type("{Name: Str}").unwrap())
+            .unwrap();
+        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+            .unwrap();
+        e.declare("Student", parse_type("{Name: Str, Gpa: Float}").unwrap())
+            .unwrap();
         e
     }
 

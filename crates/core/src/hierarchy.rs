@@ -47,11 +47,21 @@ impl ClassHierarchy {
             let covered = (0..names.len())
                 .any(|k| k != i && k != j && lt.contains(&(i, k)) && lt.contains(&(k, j)));
             if !covered {
-                parents.entry(names[i].clone()).or_default().insert(names[j].clone());
-                children.entry(names[j].clone()).or_default().insert(names[i].clone());
+                parents
+                    .entry(names[i].clone())
+                    .or_default()
+                    .insert(names[j].clone());
+                children
+                    .entry(names[j].clone())
+                    .or_default()
+                    .insert(names[i].clone());
             }
         }
-        ClassHierarchy { parents, children, names: names.into_iter().collect() }
+        ClassHierarchy {
+            parents,
+            children,
+            names: names.into_iter().collect(),
+        }
     }
 
     /// Every name in the hierarchy.
@@ -95,7 +105,10 @@ impl ClassHierarchy {
 
     /// Names with no superclass.
     pub fn roots(&self) -> Vec<&Name> {
-        self.names.iter().filter(|n| self.parents(n).next().is_none()).collect()
+        self.names
+            .iter()
+            .filter(|n| self.parents(n).next().is_none())
+            .collect()
     }
 
     /// Render as Graphviz DOT (edges point from subclass to superclass).
@@ -121,9 +134,12 @@ mod tests {
 
     fn env() -> TypeEnv {
         let mut e = TypeEnv::new();
-        e.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
-        e.declare("Student", parse_type("{Name: Str, Gpa: Float}").unwrap()).unwrap();
+        e.declare("Person", parse_type("{Name: Str}").unwrap())
+            .unwrap();
+        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+            .unwrap();
+        e.declare("Student", parse_type("{Name: Str, Gpa: Float}").unwrap())
+            .unwrap();
         e.declare(
             "WorkingStudent",
             parse_type("{Name: Str, Empno: Int, Gpa: Float}").unwrap(),
@@ -142,7 +158,10 @@ mod tests {
         assert!(ps.contains(&&"Employee".to_string()));
         assert!(ps.contains(&&"Student".to_string()));
         // Person's direct parent is Thing (the empty record).
-        assert_eq!(h.parents("Person").collect::<Vec<_>>(), [&"Thing".to_string()]);
+        assert_eq!(
+            h.parents("Person").collect::<Vec<_>>(),
+            [&"Thing".to_string()]
+        );
     }
 
     #[test]
@@ -153,7 +172,10 @@ mod tests {
         let desc = h.descendants("Person");
         assert_eq!(
             desc,
-            ["Employee", "Student", "WorkingStudent"].iter().map(|s| s.to_string()).collect()
+            ["Employee", "Student", "WorkingStudent"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
         );
     }
 
@@ -167,12 +189,18 @@ mod tests {
     fn declared_policy_hierarchy_differs() {
         use dbpl_types::SubtypePolicy;
         let mut e = TypeEnv::with_policy(SubtypePolicy::Declared);
-        e.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
-        e.declare("Impostor", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+        e.declare("Person", parse_type("{Name: Str}").unwrap())
+            .unwrap();
+        e.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+            .unwrap();
+        e.declare("Impostor", parse_type("{Name: Str, Empno: Int}").unwrap())
+            .unwrap();
         e.declare_subtype("Employee", "Person").unwrap();
         let h = ClassHierarchy::derive(&e);
-        assert_eq!(h.parents("Employee").collect::<Vec<_>>(), [&"Person".to_string()]);
+        assert_eq!(
+            h.parents("Employee").collect::<Vec<_>>(),
+            [&"Person".to_string()]
+        );
         // Impostor is structurally identical to Employee but declared
         // nothing: it floats free under the Adaplex discipline.
         assert_eq!(h.parents("Impostor").count(), 0);
@@ -194,6 +222,9 @@ mod tests {
         let dot = h.to_dot();
         assert!(dot.contains("\"Employee\" -> \"Person\""));
         assert!(dot.contains("\"WorkingStudent\" -> \"Student\""));
-        assert!(!dot.contains("\"WorkingStudent\" -> \"Person\""), "reduced edge absent");
+        assert!(
+            !dot.contains("\"WorkingStudent\" -> \"Person\""),
+            "reduced edge absent"
+        );
     }
 }

@@ -20,8 +20,8 @@
 //! operation, not a remodeling.
 
 use crate::error::CoreError;
-use dbpl_values::{Heap, Oid, Value};
 use dbpl_types::Type;
+use dbpl_values::{Heap, Oid, Value};
 use std::collections::BTreeMap;
 
 // ---------- scenario 1: the parking lot ----------
@@ -41,7 +41,10 @@ pub struct ParkingLot {
 impl ParkingLot {
     /// A lot with a given total length capacity.
     pub fn new(capacity: f64) -> ParkingLot {
-        ParkingLot { capacity, ..Default::default() }
+        ParkingLot {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Register a make-and-model with its class-level attributes.
@@ -53,7 +56,9 @@ impl ParkingLot {
         weight: f64,
     ) -> Result<Oid, CoreError> {
         if self.models.contains_key(name) {
-            return Err(CoreError::Invalid(format!("model `{name}` already registered")));
+            return Err(CoreError::Invalid(format!(
+                "model `{name}` already registered"
+            )));
         }
         let oid = heap.alloc(
             Type::named("MakeModel"),
@@ -173,7 +178,10 @@ pub struct ProductCatalog {
 impl ProductCatalog {
     /// A catalog with the given price threshold.
     pub fn new(threshold: f64) -> ProductCatalog {
-        ProductCatalog { threshold, ..Default::default() }
+        ProductCatalog {
+            threshold,
+            ..Default::default()
+        }
     }
 
     /// The representation level a price dictates.
@@ -213,7 +221,10 @@ impl ProductCatalog {
                 .collect();
             ProductEntry::Individuals { units }
         } else {
-            ProductEntry::ClassLevel { weight: unit_weight, in_stock: quantity }
+            ProductEntry::ClassLevel {
+                weight: unit_weight,
+                in_stock: quantity,
+            }
         };
         self.entries.insert(name.to_string(), (price, entry));
         Ok(())
@@ -280,7 +291,10 @@ impl ProductCatalog {
                     .and_then(|u| heap.get(*u).ok())
                     .and_then(|o| o.value.field("Weight").and_then(Value::as_float))
                     .unwrap_or(0.0);
-                ProductEntry::ClassLevel { weight, in_stock: units.len() as u64 }
+                ProductEntry::ClassLevel {
+                    weight,
+                    in_stock: units.len() as u64,
+                }
             }
             // Promote: the class explodes into individuals.
             (ProductEntry::ClassLevel { weight, in_stock }, false, true) => {
@@ -301,7 +315,8 @@ impl ProductCatalog {
             }
             (e, _, _) => e,
         };
-        self.entries.insert(name.to_string(), (new_price, new_entry));
+        self.entries
+            .insert(name.to_string(), (new_price, new_entry));
         Ok(())
     }
 }
@@ -314,7 +329,8 @@ mod tests {
     fn car_length_is_derived_from_make_and_model() {
         let mut heap = Heap::new();
         let mut lot = ParkingLot::new(20.0);
-        lot.register_model(&mut heap, "Chevvy Nova", 4.5, 3000.0).unwrap();
+        lot.register_model(&mut heap, "Chevvy Nova", 4.5, 3000.0)
+            .unwrap();
         lot.park(&mut heap, "PA-1234", "Chevvy Nova").unwrap();
         assert_eq!(lot.car_length(&heap, "PA-1234").unwrap(), 4.5);
     }
@@ -371,10 +387,18 @@ mod tests {
     fn price_determines_representation_level() {
         let mut heap = Heap::new();
         let mut cat = ProductCatalog::new(1000.0);
-        cat.add_product(&mut heap, "turbine", 50_000.0, 800.0, 3).unwrap();
-        cat.add_product(&mut heap, "washer", 0.05, 0.01, 10_000).unwrap();
-        assert!(matches!(cat.entry("turbine").unwrap().1, ProductEntry::Individuals { .. }));
-        assert!(matches!(cat.entry("washer").unwrap().1, ProductEntry::ClassLevel { .. }));
+        cat.add_product(&mut heap, "turbine", 50_000.0, 800.0, 3)
+            .unwrap();
+        cat.add_product(&mut heap, "washer", 0.05, 0.01, 10_000)
+            .unwrap();
+        assert!(matches!(
+            cat.entry("turbine").unwrap().1,
+            ProductEntry::Individuals { .. }
+        ));
+        assert!(matches!(
+            cat.entry("washer").unwrap().1,
+            ProductEntry::ClassLevel { .. }
+        ));
         assert_eq!(cat.stock("turbine"), Some(3));
         assert_eq!(cat.stock("washer"), Some(10_000));
         assert_eq!(cat.level_for(2000.0), "individual");
@@ -385,8 +409,10 @@ mod tests {
     fn total_weight_spans_both_levels() {
         let mut heap = Heap::new();
         let mut cat = ProductCatalog::new(1000.0);
-        cat.add_product(&mut heap, "turbine", 50_000.0, 800.0, 2).unwrap();
-        cat.add_product(&mut heap, "washer", 0.05, 0.01, 1000).unwrap();
+        cat.add_product(&mut heap, "turbine", 50_000.0, 800.0, 2)
+            .unwrap();
+        cat.add_product(&mut heap, "washer", 0.05, 0.01, 1000)
+            .unwrap();
         let w = cat.total_weight(&heap).unwrap();
         assert!((w - (1600.0 + 10.0)).abs() < 1e-9);
     }
@@ -395,16 +421,26 @@ mod tests {
     fn repricing_shifts_levels_and_preserves_stock() {
         let mut heap = Heap::new();
         let mut cat = ProductCatalog::new(1000.0);
-        cat.add_product(&mut heap, "gadget", 2000.0, 5.0, 4).unwrap();
+        cat.add_product(&mut heap, "gadget", 2000.0, 5.0, 4)
+            .unwrap();
         // Demote below the threshold: individuals → class.
         cat.reprice(&mut heap, "gadget", 10.0).unwrap();
-        assert!(matches!(cat.entry("gadget").unwrap().1, ProductEntry::ClassLevel { .. }));
+        assert!(matches!(
+            cat.entry("gadget").unwrap().1,
+            ProductEntry::ClassLevel { .. }
+        ));
         assert_eq!(cat.stock("gadget"), Some(4));
         // Promote again: class → individuals.
         cat.reprice(&mut heap, "gadget", 5000.0).unwrap();
-        assert!(matches!(cat.entry("gadget").unwrap().1, ProductEntry::Individuals { .. }));
+        assert!(matches!(
+            cat.entry("gadget").unwrap().1,
+            ProductEntry::Individuals { .. }
+        ));
         assert_eq!(cat.stock("gadget"), Some(4));
         let w = cat.total_weight(&heap).unwrap();
-        assert!((w - 20.0).abs() < 1e-9, "weight preserved across both shifts");
+        assert!(
+            (w - 20.0).abs() < 1e-9,
+            "weight preserved across both shifts"
+        );
     }
 }

@@ -31,7 +31,9 @@ impl KeyConstraint {
         I: IntoIterator<Item = P>,
         P: Into<Path>,
     {
-        KeyConstraint { paths: paths.into_iter().map(Into::into).collect() }
+        KeyConstraint {
+            paths: paths.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// The key paths.
@@ -55,7 +57,10 @@ pub struct KeyedSet {
 impl KeyedSet {
     /// An empty keyed set.
     pub fn new(key: KeyConstraint) -> KeyedSet {
-        KeyedSet { key, rel: GenRelation::new() }
+        KeyedSet {
+            key,
+            rel: GenRelation::new(),
+        }
     }
 
     /// The key constraint.
@@ -89,7 +94,12 @@ impl KeyedSet {
         let k = self.key.key_of(&v).ok_or_else(|| {
             CoreError::KeyViolation(format!(
                 "object {v} does not define the key ({})",
-                self.key.paths.iter().map(Path::to_string).collect::<Vec<_>>().join(", ")
+                self.key
+                    .paths
+                    .iter()
+                    .map(Path::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ))
         })?;
         for existing in self.rel.iter() {
@@ -120,8 +130,7 @@ impl KeyedSet {
         let merged = dbpl_values::join(&target, v).ok_or_else(|| {
             CoreError::KeyViolation(format!("{v} contradicts existing member {target}"))
         })?;
-        let remaining: Vec<Value> =
-            self.rel.iter().filter(|e| **e != target).cloned().collect();
+        let remaining: Vec<Value> = self.rel.iter().filter(|e| **e != target).cloned().collect();
         let mut rel = GenRelation::from_values(remaining);
         rel.insert(merged);
         self.rel = rel;
@@ -130,7 +139,9 @@ impl KeyedSet {
 
     /// Look up a member by key.
     pub fn find(&self, key: &[Value]) -> Option<&Value> {
-        self.rel.iter().find(|e| self.key.key_of(e).as_deref() == Some(key))
+        self.rel
+            .iter()
+            .find(|e| self.key.key_of(e).as_deref() == Some(key))
     }
 
     /// The property the paper derives: no two members are ⊑-comparable.
@@ -191,7 +202,10 @@ mod tests {
     fn key_must_be_defined() {
         let mut s = KeyedSet::new(KeyConstraint::new(["Name"]));
         let anonymous = Value::record([("Empno", Value::Int(9))]);
-        assert!(matches!(s.insert(anonymous), Err(CoreError::KeyViolation(_))));
+        assert!(matches!(
+            s.insert(anonymous),
+            Err(CoreError::KeyViolation(_))
+        ));
     }
 
     #[test]
@@ -219,7 +233,10 @@ mod tests {
         assert_eq!(s.len(), 2);
         let c = Value::record([
             ("Name", Value::str("x")),
-            ("Addr", Value::record([("City", Value::str("Austin")), ("Zip", Value::Int(1))])),
+            (
+                "Addr",
+                Value::record([("City", Value::str("Austin")), ("Zip", Value::Int(1))]),
+            ),
         ]);
         assert!(s.insert(c).is_err(), "same compound key rejected");
     }

@@ -11,9 +11,12 @@ use proptest::prelude::*;
 
 fn setup_db() -> Database {
     let mut db = Database::new();
-    db.declare_type("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
-    db.declare_type("Student", parse_type("{Name: Str, Gpa: Float}").unwrap()).unwrap();
+    db.declare_type("Person", parse_type("{Name: Str}").unwrap())
+        .unwrap();
+    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+        .unwrap();
+    db.declare_type("Student", parse_type("{Name: Str, Gpa: Float}").unwrap())
+        .unwrap();
     db.declare_type(
         "WorkingStudent",
         parse_type("{Name: Str, Empno: Int, Gpa: Float}").unwrap(),
@@ -32,7 +35,8 @@ fn populate(db: &mut Database, pop: &[(u8, String)]) {
         let name = Value::str(name.clone());
         match kind {
             0 => {
-                db.put(Type::named("Person"), Value::record([("Name", name)])).unwrap();
+                db.put(Type::named("Person"), Value::record([("Name", name)]))
+                    .unwrap();
             }
             1 => {
                 db.put(

@@ -11,7 +11,7 @@
 use crate::ast::{BinOp, Expr, ExprKind, Item, Program};
 use crate::builtins::{builtin, DATABASE};
 use crate::error::LangError;
-use dbpl_types::{is_subtype_with, join, Type, TypeEnv, TyVar};
+use dbpl_types::{is_subtype_with, join, TyVar, Type, TypeEnv};
 use std::collections::BTreeMap;
 
 /// The result of checking a program: the (possibly extended) type
@@ -49,8 +49,7 @@ pub fn check_program(prog: &Program, base_env: &TypeEnv) -> Result<Checked, Lang
                 // program of the session) is a no-op; only a *conflicting*
                 // redeclaration is an error.
                 match ck.env.lookup(name) {
-                    Some(existing)
-                        if dbpl_types::is_equiv(existing, ty, &ck.env) => {}
+                    Some(existing) if dbpl_types::is_equiv(existing, ty, &ck.env) => {}
                     Some(_) => {
                         return Err(LangError::check(
                             *at,
@@ -69,7 +68,12 @@ pub fn check_program(prog: &Program, base_env: &TypeEnv) -> Result<Checked, Lang
                     .declare_subtype(sub.clone(), sup.clone())
                     .map_err(|e| LangError::check(*at, e.to_string()))?;
             }
-            Item::Let { at, name, ann, expr } => {
+            Item::Let {
+                at,
+                name,
+                ann,
+                expr,
+            } => {
                 let inferred = ck.infer(expr)?;
                 let ty = match ann {
                     Some(want) => {
@@ -82,7 +86,14 @@ pub fn check_program(prog: &Program, base_env: &TypeEnv) -> Result<Checked, Lang
                 ck.vars.push((name.clone(), ty.clone()));
                 bindings.push((name.clone(), ty));
             }
-            Item::FunDecl { at, name, tparams, params, result, body } => {
+            Item::FunDecl {
+                at,
+                name,
+                tparams,
+                params,
+                result,
+                body,
+            } => {
                 let ty = ck.check_fun(*at, name, tparams, params, result, body)?;
                 ck.vars.push((name.clone(), ty.clone()));
                 bindings.push((name.clone(), ty));
@@ -92,12 +103,19 @@ pub fn check_program(prog: &Program, base_env: &TypeEnv) -> Result<Checked, Lang
             }
         }
     }
-    Ok(Checked { env: ck.env, bindings })
+    Ok(Checked {
+        env: ck.env,
+        bindings,
+    })
 }
 
 /// Infer the type of a standalone expression (for tests/REPL).
 pub fn infer_expr(e: &Expr, env: &TypeEnv) -> Result<Type, LangError> {
-    let mut ck = Checker { env: env.clone(), vars: Vec::new(), tyvars: BTreeMap::new() };
+    let mut ck = Checker {
+        env: env.clone(),
+        vars: Vec::new(),
+        tyvars: BTreeMap::new(),
+    };
     ck.infer(e)
 }
 
@@ -114,7 +132,10 @@ impl Checker {
         if is_subtype_with(got, want, &self.env, &self.tyvars) {
             Ok(())
         } else {
-            Err(LangError::check(at, format!("expected {want}, found {got}")))
+            Err(LangError::check(
+                at,
+                format!("expected {want}, found {got}"),
+            ))
         }
     }
 
@@ -132,7 +153,10 @@ impl Checker {
                 if self.tyvars.contains_key(v) {
                     Ok(())
                 } else {
-                    Err(LangError::check(at, format!("type variable `{v}` not in scope")))
+                    Err(LangError::check(
+                        at,
+                        format!("type variable `{v}` not in scope"),
+                    ))
                 }
             }
             Type::List(t) | Type::Set(t) => self.wf(t, at),
@@ -155,7 +179,9 @@ impl Checker {
                     vars: Vec::new(),
                     tyvars: self.tyvars.clone(),
                 };
-                inner.tyvars.insert(q.var.clone(), q.bound.as_deref().cloned());
+                inner
+                    .tyvars
+                    .insert(q.var.clone(), q.bound.as_deref().cloned());
                 inner.wf(&q.body, at)
             }
             _ => Ok(()),
@@ -185,7 +211,10 @@ impl Checker {
                 _ => return Ok(cur),
             }
         }
-        Err(LangError::check(at, "type resolution did not terminate".to_string()))
+        Err(LangError::check(
+            at,
+            "type resolution did not terminate".to_string(),
+        ))
     }
 
     fn lookup_var(&self, name: &str, at: usize) -> Result<Type, LangError> {
@@ -211,7 +240,10 @@ impl Checker {
         body: &Expr,
     ) -> Result<Type, LangError> {
         if params.is_empty() {
-            return Err(LangError::check(at, "functions need at least one parameter"));
+            return Err(LangError::check(
+                at,
+                "functions need at least one parameter",
+            ));
         }
         // Bring type parameters into scope.
         let saved_tyvars = self.tyvars.clone();
@@ -263,20 +295,16 @@ impl Checker {
     ) -> Result<(), LangError> {
         match pattern {
             Type::Var(v) if vars.contains(v) => {
-                let entry = solution
-                    .entry(v.clone())
-                    .or_insert(Type::Bottom);
+                let entry = solution.entry(v.clone()).or_insert(Type::Bottom);
                 *entry = join(entry, concrete, &self.env);
                 Ok(())
             }
-            Type::List(pe) | Type::Set(pe) => {
-                match (pattern, self.head(concrete, at)?) {
-                    (Type::List(_), Type::List(ce)) | (Type::Set(_), Type::Set(ce)) => {
-                        self.match_shape(pe, &ce, vars, solution, at)
-                    }
-                    _ => Ok(()),
+            Type::List(pe) | Type::Set(pe) => match (pattern, self.head(concrete, at)?) {
+                (Type::List(_), Type::List(ce)) | (Type::Set(_), Type::Set(ce)) => {
+                    self.match_shape(pe, &ce, vars, solution, at)
                 }
-            }
+                _ => Ok(()),
+            },
             Type::Fun(pa, pr) => {
                 if let Type::Fun(ca, cr) = self.head(concrete, at)? {
                     self.match_shape(pa, &ca, vars, solution, at)?;
@@ -344,9 +372,10 @@ impl Checker {
                         .get(l)
                         .cloned()
                         .ok_or_else(|| LangError::check(at, format!("no field `{l}` in {bt}"))),
-                    other => {
-                        Err(LangError::check(at, format!("`{other}` is not a record (field `{l}`)")))
-                    }
+                    other => Err(LangError::check(
+                        at,
+                        format!("`{other}` is not a record (field `{l}`)"),
+                    )),
                 }
             }
             ExprKind::With(base, additions) => {
@@ -359,9 +388,10 @@ impl Checker {
                         }
                         Ok(Type::Record(fs))
                     }
-                    other => {
-                        Err(LangError::check(at, format!("`with` applies to records, not {other}")))
-                    }
+                    other => Err(LangError::check(
+                        at,
+                        format!("`with` applies to records, not {other}"),
+                    )),
                 }
             }
             ExprKind::If(c, t, f) => {
@@ -461,9 +491,10 @@ impl Checker {
                         }
                         Ok(q.body.subst(&q.var, targ))
                     }
-                    other => {
-                        Err(LangError::check(at, format!("`{other}` is not polymorphic")))
-                    }
+                    other => Err(LangError::check(
+                        at,
+                        format!("`{other}` is not polymorphic"),
+                    )),
                 }
             }
             ExprKind::Bin(op, l, r) => self.infer_bin(*op, l, r, at),
@@ -532,10 +563,7 @@ impl Checker {
                 let mut result = Type::Bottom;
                 for (label, binder, body) in arms {
                     let payload_ty = variant_arms.get(label).cloned().ok_or_else(|| {
-                        LangError::check(
-                            body.at,
-                            format!("variant {st} has no arm `{label}`"),
-                        )
+                        LangError::check(body.at, format!("variant {st} has no arm `{label}`"))
                     })?;
                     if !covered.insert(label.clone()) {
                         return Err(LangError::check(
@@ -568,14 +596,21 @@ impl Checker {
             let h = ck.head(t, at)?;
             match h {
                 Type::Int | Type::Float => Ok(h),
-                other => Err(LangError::check(at, format!("expected a number, found {other}"))),
+                other => Err(LangError::check(
+                    at,
+                    format!("expected a number, found {other}"),
+                )),
             }
         };
         match op {
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
                 let a = num(self, &lt, l.at)?;
                 let b = num(self, &rt, r.at)?;
-                Ok(if a == Type::Float || b == Type::Float { Type::Float } else { Type::Int })
+                Ok(if a == Type::Float || b == Type::Float {
+                    Type::Float
+                } else {
+                    Type::Int
+                })
             }
             BinOp::Concat => {
                 self.require_subtype(&lt, &Type::Str, l.at)?;
@@ -589,11 +624,15 @@ impl Checker {
                 {
                     Ok(Type::Bool)
                 } else {
-                    Err(LangError::check(at, format!("cannot compare {lt} with {rt}")))
+                    Err(LangError::check(
+                        at,
+                        format!("cannot compare {lt} with {rt}"),
+                    ))
                 }
             }
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                let both_str = self.head(&lt, l.at)? == Type::Str && self.head(&rt, r.at)? == Type::Str;
+                let both_str =
+                    self.head(&lt, l.at)? == Type::Str && self.head(&rt, r.at)? == Type::Str;
                 if !both_str {
                     num(self, &lt, l.at)?;
                     num(self, &rt, r.at)?;
@@ -627,9 +666,13 @@ mod tests {
 
     fn env() -> TypeEnv {
         let mut e = TypeEnv::new();
-        e.declare("Person", dbpl_types::parse_type("{Name: Str}").unwrap()).unwrap();
-        e.declare("Employee", dbpl_types::parse_type("{Name: Str, Empno: Int}").unwrap())
+        e.declare("Person", dbpl_types::parse_type("{Name: Str}").unwrap())
             .unwrap();
+        e.declare(
+            "Employee",
+            dbpl_types::parse_type("{Name: Str, Empno: Int}").unwrap(),
+        )
+        .unwrap();
         e
     }
 
@@ -649,10 +692,7 @@ mod tests {
 
     #[test]
     fn records_and_fields() {
-        assert_eq!(
-            ty_of("{Name = 'd', Age = 3}.Age").unwrap(),
-            Type::Int
-        );
+        assert_eq!(ty_of("{Name = 'd', Age = 3}.Age").unwrap(), Type::Int);
         assert!(ty_of("{Name = 'd'}.Missing").is_err());
         assert!(ty_of("(3).Name").is_err());
     }
@@ -660,7 +700,10 @@ mod tests {
     #[test]
     fn with_extends_the_type() {
         let t = ty_of("{Name = 'd'} with {Empno = 1}").unwrap();
-        assert_eq!(t, dbpl_types::parse_type("{Name: Str, Empno: Int}").unwrap());
+        assert_eq!(
+            t,
+            dbpl_types::parse_type("{Name: Str, Empno: Int}").unwrap()
+        );
     }
 
     #[test]
@@ -675,18 +718,14 @@ mod tests {
     #[test]
     fn if_joins_branches() {
         // Employee-ish and Student-ish join at their common fields.
-        let t = ty_of("if true then {Name = 'a', Empno = 1} else {Name = 'b', Gpa = 3.5}")
-            .unwrap();
+        let t = ty_of("if true then {Name = 'a', Empno = 1} else {Name = 'b', Gpa = 3.5}").unwrap();
         assert_eq!(t, dbpl_types::parse_type("{Name: Str}").unwrap());
         assert!(ty_of("if 3 then 1 else 2").is_err());
     }
 
     #[test]
     fn lambdas_and_application() {
-        assert_eq!(
-            ty_of("(fn(x: Int) => x + 1)(41)").unwrap(),
-            Type::Int
-        );
+        assert_eq!(ty_of("(fn(x: Int) => x + 1)(41)").unwrap(), Type::Int);
         // Contravariance: a Person-accepting function accepts an Employee.
         assert_eq!(
             ty_of("(fn(p: Person) => p.Name)({Name = 'e', Empno = 7})").unwrap(),
@@ -707,8 +746,8 @@ mod tests {
         let checked = check_program(&p, &env()).unwrap();
         assert_eq!(checked.bindings[1].1, Type::Str);
         // Instantiating beyond the bound is rejected.
-        let bad = parse_program("fun name[t <= Person](x: t): Str = x.Name\nlet a = name[Int]")
-            .unwrap();
+        let bad =
+            parse_program("fun name[t <= Person](x: t): Str = x.Name\nlet a = name[Int]").unwrap();
         assert!(check_program(&bad, &env()).is_err());
     }
 
@@ -719,15 +758,16 @@ mod tests {
         let p = parse_program("fun f[t <= Employee](x: t): Int = x.Empno").unwrap();
         assert!(check_program(&p, &env()).is_ok());
         let bad = parse_program("fun f[t <= Person](x: t): Int = x.Empno").unwrap();
-        assert!(check_program(&bad, &env()).is_err(), "bound doesn't expose Empno");
+        assert!(
+            check_program(&bad, &env()).is_err(),
+            "bound doesn't expose Empno"
+        );
     }
 
     #[test]
     fn recursion_typechecks() {
-        let p = parse_program(
-            "fun fact(n: Int): Int = if n <= 1 then 1 else n * fact(n - 1)",
-        )
-        .unwrap();
+        let p =
+            parse_program("fun fact(n: Int): Int = if n <= 1 then 1 else n * fact(n - 1)").unwrap();
         assert!(check_program(&p, &env()).is_ok());
     }
 
@@ -738,7 +778,10 @@ mod tests {
         assert_eq!(ty_of("typeof (dynamic 3)").unwrap(), Type::Str);
         assert!(ty_of("coerce 3 to Int").is_err(), "coerce needs a Dynamic");
         assert!(ty_of("typeof 3").is_err());
-        assert!(ty_of("dynamic (fn(x: Int) => x)").is_err(), "functions not dynamic");
+        assert!(
+            ty_of("dynamic (fn(x: Int) => x)").is_err(),
+            "functions not dynamic"
+        );
     }
 
     #[test]
@@ -767,7 +810,10 @@ mod tests {
         assert_eq!(ty_of("cons(1, [2])").unwrap(), Type::list(Type::Int));
         assert_eq!(ty_of("cons(1.0, [2.5])").unwrap(), Type::list(Type::Float));
         assert!(ty_of("cons(1, [2.5])").is_err());
-        assert_eq!(ty_of("cons[Float](1, [2.5])").unwrap(), Type::list(Type::Float));
+        assert_eq!(
+            ty_of("cons[Float](1, [2.5])").unwrap(),
+            Type::list(Type::Float)
+        );
         // Two variables, solved from a function argument (curried calls).
         assert_eq!(
             ty_of("map(fn(x: Int) => 'a', [1])").unwrap(),
@@ -836,7 +882,10 @@ mod tests {
     #[test]
     fn equality_needs_related_types() {
         assert_eq!(ty_of("1 == 2").unwrap(), Type::Bool);
-        assert_eq!(ty_of("{Name = 'a'} == {Name = 'b', Empno = 1}").unwrap(), Type::Bool);
+        assert_eq!(
+            ty_of("{Name = 'a'} == {Name = 'b', Empno = 1}").unwrap(),
+            Type::Bool
+        );
         assert!(ty_of("1 == 'a'").is_err());
     }
 }

@@ -29,22 +29,38 @@ pub struct LangError {
 impl LangError {
     /// A lexical error.
     pub fn lex(at: usize, msg: impl Into<String>) -> LangError {
-        LangError { phase: Phase::Lex, at, msg: msg.into() }
+        LangError {
+            phase: Phase::Lex,
+            at,
+            msg: msg.into(),
+        }
     }
 
     /// A parse error.
     pub fn parse(at: usize, msg: impl Into<String>) -> LangError {
-        LangError { phase: Phase::Parse, at, msg: msg.into() }
+        LangError {
+            phase: Phase::Parse,
+            at,
+            msg: msg.into(),
+        }
     }
 
     /// A type error.
     pub fn check(at: usize, msg: impl Into<String>) -> LangError {
-        LangError { phase: Phase::Check, at, msg: msg.into() }
+        LangError {
+            phase: Phase::Check,
+            at,
+            msg: msg.into(),
+        }
     }
 
     /// A runtime error.
     pub fn eval(at: usize, msg: impl Into<String>) -> LangError {
-        LangError { phase: Phase::Eval, at, msg: msg.into() }
+        LangError {
+            phase: Phase::Eval,
+            at,
+            msg: msg.into(),
+        }
     }
 
     /// Render with a line/column computed against the source text.

@@ -68,12 +68,18 @@ pub fn eval(e: &Expr, env: &Env, s: &mut Session) -> Result<RtValue, LangError> 
                 }
                 Ok(RtValue::Record(fs))
             }
-            other => Err(LangError::eval(at, format!("`with` applies to records, not {other}"))),
+            other => Err(LangError::eval(
+                at,
+                format!("`with` applies to records, not {other}"),
+            )),
         },
         ExprKind::If(c, t, f) => match eval(c, env, s)? {
             RtValue::Bool(true) => eval(t, env, s),
             RtValue::Bool(false) => eval(f, env, s),
-            other => Err(LangError::eval(c.at, format!("condition was {other}, not a boolean"))),
+            other => Err(LangError::eval(
+                c.at,
+                format!("condition was {other}, not a boolean"),
+            )),
         },
         ExprKind::Let(x, _, bound, body) => {
             let v = eval(bound, env, s)?;
@@ -151,11 +157,17 @@ pub fn eval(e: &Expr, env: &Env, s: &mut Session) -> Result<RtValue, LangError> 
                     ))
                 }
             }
-            other => Err(LangError::eval(x.at, format!("coerce of non-dynamic {other}"))),
+            other => Err(LangError::eval(
+                x.at,
+                format!("coerce of non-dynamic {other}"),
+            )),
         },
         ExprKind::TypeofE(x) => match eval(x, env, s)? {
             RtValue::Dyn(t, _) => Ok(RtValue::Str(t.to_string())),
-            other => Err(LangError::eval(x.at, format!("typeof of non-dynamic {other}"))),
+            other => Err(LangError::eval(
+                x.at,
+                format!("typeof of non-dynamic {other}"),
+            )),
         },
         ExprKind::ExternE(h, v) => {
             let handle = match eval(h, env, s)? {
@@ -170,7 +182,10 @@ pub fn eval(e: &Expr, env: &Env, s: &mut Session) -> Result<RtValue, LangError> 
                         .map_err(|e| LangError::eval(at, e.to_string()))?;
                     Ok(RtValue::Unit)
                 }
-                other => Err(LangError::eval(v.at, format!("extern of non-dynamic {other}"))),
+                other => Err(LangError::eval(
+                    v.at,
+                    format!("extern of non-dynamic {other}"),
+                )),
             }
         }
         ExprKind::InternE(h) => {
@@ -196,9 +211,15 @@ pub fn eval(e: &Expr, env: &Env, s: &mut Session) -> Result<RtValue, LangError> 
                         return eval(body, &inner, s);
                     }
                 }
-                Err(LangError::eval(at, format!("no case arm for tag `{label}`")))
+                Err(LangError::eval(
+                    at,
+                    format!("no case arm for tag `{label}`"),
+                ))
             }
-            other => Err(LangError::eval(scrutinee.at, format!("`case` on non-variant {other}"))),
+            other => Err(LangError::eval(
+                scrutinee.at,
+                format!("`case` on non-variant {other}"),
+            )),
         },
     }
 }
@@ -282,9 +303,7 @@ fn bin_op(op: BinOp, l: RtValue, r: RtValue, at: usize) -> Result<RtValue, LangE
             let ord = match (&l, &r) {
                 (Str(a), Str(b)) => a.cmp(b),
                 _ => match (num(&l), num(&r)) {
-                    (Some(a), Some(b)) => {
-                        a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
-                    }
+                    (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal),
                     _ => return Err(LangError::eval(at, format!("ordering on {l} and {r}"))),
                 },
             };
@@ -302,11 +321,19 @@ fn bin_op(op: BinOp, l: RtValue, r: RtValue, at: usize) -> Result<RtValue, LangE
 }
 
 fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangError> {
-    let Builtin { name, tyargs, mut args, .. } = b;
+    let Builtin {
+        name,
+        tyargs,
+        mut args,
+        ..
+    } = b;
     let list_arg = |v: &RtValue, at: usize| -> Result<Vec<RtValue>, LangError> {
         match v {
             RtValue::List(xs) => Ok(xs.clone()),
-            other => Err(LangError::eval(at, format!("expected a list, found {other}"))),
+            other => Err(LangError::eval(
+                at,
+                format!("expected a list, found {other}"),
+            )),
         }
     };
     match name {
@@ -340,7 +367,8 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
             match value {
                 RtValue::Dyn(t, v) => {
                     let data = v.to_value(at)?;
-                    s.db.put(t, data).map_err(|e| LangError::eval(at, e.to_string()))?;
+                    s.db.put(t, data)
+                        .map_err(|e| LangError::eval(at, e.to_string()))?;
                     Ok(RtValue::Unit)
                 }
                 other => Err(LangError::eval(at, format!("put of non-dynamic {other}"))),
@@ -354,7 +382,9 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
         }
         "head" => {
             let xs = list_arg(&args[0], at)?;
-            xs.into_iter().next().ok_or_else(|| LangError::eval(at, "head of empty list"))
+            xs.into_iter()
+                .next()
+                .ok_or_else(|| LangError::eval(at, "head of empty list"))
         }
         "tail" => {
             let xs = list_arg(&args[0], at)?;
@@ -388,7 +418,10 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
                     RtValue::Bool(true) => out.push(x),
                     RtValue::Bool(false) => {}
                     other => {
-                        return Err(LangError::eval(at, format!("filter predicate returned {other}")))
+                        return Err(LangError::eval(
+                            at,
+                            format!("filter predicate returned {other}"),
+                        ))
                     }
                 }
             }

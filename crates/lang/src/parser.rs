@@ -61,14 +61,20 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(LangError::parse(self.at(), format!("expected `{want}`, found `{}`", self.peek())))
+            Err(LangError::parse(
+                self.at(),
+                format!("expected `{want}`, found `{}`", self.peek()),
+            ))
         }
     }
 
     fn ident(&mut self) -> Result<String, LangError> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(LangError::parse(self.at(), format!("expected identifier, found `{other}`"))),
+            other => Err(LangError::parse(
+                self.at(),
+                format!("expected identifier, found `{other}`"),
+            )),
         }
     }
 
@@ -102,7 +108,12 @@ impl Parser {
                 };
                 self.expect(Tok::Eq)?;
                 let expr = self.expr()?;
-                Ok(Item::Let { at, name, ann, expr })
+                Ok(Item::Let {
+                    at,
+                    name,
+                    ann,
+                    expr,
+                })
             }
             Tok::Fun => {
                 self.bump();
@@ -147,7 +158,14 @@ impl Parser {
                 let result = self.ty()?;
                 self.expect(Tok::Eq)?;
                 let body = self.expr()?;
-                Ok(Item::FunDecl { at, name, tparams, params, result, body })
+                Ok(Item::FunDecl {
+                    at,
+                    name,
+                    tparams,
+                    params,
+                    result,
+                    body,
+                })
             }
             _ => Ok(Item::Expr(self.expr()?)),
         }
@@ -228,7 +246,11 @@ impl Parser {
                     self.expect(Tok::LBracket)?;
                     let t = self.ty()?;
                     self.expect(Tok::RBracket)?;
-                    Ok(if name == "List" { Type::list(t) } else { Type::set(t) })
+                    Ok(if name == "List" {
+                        Type::list(t)
+                    } else {
+                        Type::set(t)
+                    })
                 }
                 _ => {
                     if name.as_bytes()[0].is_ascii_uppercase() {
@@ -258,7 +280,10 @@ impl Parser {
                 self.expect(Tok::Gt)?;
                 Ok(Type::Variant(arms))
             }
-            other => Err(LangError::parse(at, format!("expected a type, found `{other}`"))),
+            other => Err(LangError::parse(
+                at,
+                format!("expected a type, found `{other}`"),
+            )),
         }
     }
 
@@ -274,7 +299,10 @@ impl Parser {
                 let t = self.expr()?;
                 self.expect(Tok::Else)?;
                 let e = self.expr()?;
-                Ok(Expr::new(at, ExprKind::If(Box::new(c), Box::new(t), Box::new(e))))
+                Ok(Expr::new(
+                    at,
+                    ExprKind::If(Box::new(c), Box::new(t), Box::new(e)),
+                ))
             }
             Tok::Let => {
                 self.bump();
@@ -289,7 +317,10 @@ impl Parser {
                 let bound = self.expr()?;
                 self.expect(Tok::In)?;
                 let body = self.expr()?;
-                Ok(Expr::new(at, ExprKind::Let(x, ann, Box::new(bound), Box::new(body))))
+                Ok(Expr::new(
+                    at,
+                    ExprKind::Let(x, ann, Box::new(bound), Box::new(body)),
+                ))
             }
             Tok::Fn => {
                 self.bump();
@@ -383,7 +414,10 @@ impl Parser {
             let at = self.at();
             self.bump();
             let rhs = self.add_expr()?;
-            Ok(Expr::new(at, ExprKind::Bin(op, Box::new(lhs), Box::new(rhs))))
+            Ok(Expr::new(
+                at,
+                ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+            ))
         } else {
             Ok(lhs)
         }
@@ -716,8 +750,8 @@ mod tests {
 
     #[test]
     fn type_syntax_in_annotations() {
-        let p = parse_program("let f: {Name: Str} -> List[Int] = fn(x: {Name: Str}) => [1]")
-            .unwrap();
+        let p =
+            parse_program("let f: {Name: Str} -> List[Int] = fn(x: {Name: Str}) => [1]").unwrap();
         match &p.items[0] {
             Item::Let { ann: Some(t), .. } => {
                 assert_eq!(t.to_string(), "{Name: Str} -> List[Int]");

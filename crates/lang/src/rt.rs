@@ -33,7 +33,11 @@ impl Env {
 
     /// Extend with a binding.
     pub fn bind(&self, name: impl Into<String>, value: RtValue) -> Env {
-        Env(Some(Rc::new(EnvNode { name: name.into(), value, next: self.clone() })))
+        Env(Some(Rc::new(EnvNode {
+            name: name.into(),
+            value,
+            next: self.clone(),
+        })))
     }
 
     /// Look up a name.
@@ -117,9 +121,11 @@ impl RtValue {
             RtValue::Int(i) => Value::Int(*i),
             RtValue::Float(x) => Value::float(*x),
             RtValue::Str(s) => Value::Str(s.clone()),
-            RtValue::List(xs) => {
-                Value::List(xs.iter().map(|x| x.to_value(at)).collect::<Result<_, _>>()?)
-            }
+            RtValue::List(xs) => Value::List(
+                xs.iter()
+                    .map(|x| x.to_value(at))
+                    .collect::<Result<_, _>>()?,
+            ),
             RtValue::Record(fs) => Value::Record(
                 fs.iter()
                     .map(|(l, v)| Ok((l.clone(), v.to_value(at)?)))
@@ -129,10 +135,16 @@ impl RtValue {
             RtValue::Dyn(t, v) => Value::dynamic(t.clone(), v.to_value(at)?),
             RtValue::Ref(o) => Value::Ref(*o),
             RtValue::Closure(_) | RtValue::Builtin(_) => {
-                return Err(LangError::eval(at, "functions cannot be stored as data".to_string()))
+                return Err(LangError::eval(
+                    at,
+                    "functions cannot be stored as data".to_string(),
+                ))
             }
             RtValue::DbToken => {
-                return Err(LangError::eval(at, "the database itself is not a storable value".to_string()))
+                return Err(LangError::eval(
+                    at,
+                    "the database itself is not a storable value".to_string(),
+                ))
             }
         })
     }
@@ -148,7 +160,9 @@ impl RtValue {
             Value::List(xs) => RtValue::List(xs.iter().map(RtValue::from_value).collect()),
             Value::Set(xs) => RtValue::List(xs.iter().map(RtValue::from_value).collect()),
             Value::Record(fs) => RtValue::Record(
-                fs.iter().map(|(l, x)| (l.clone(), RtValue::from_value(x))).collect(),
+                fs.iter()
+                    .map(|(l, x)| (l.clone(), RtValue::from_value(x)))
+                    .collect(),
             ),
             Value::Tagged(l, x) => RtValue::Tagged(l.clone(), Box::new(RtValue::from_value(x))),
             Value::Dyn(d) => RtValue::Dyn(d.ty.clone(), Rc::new(RtValue::from_value(&d.value))),
@@ -259,7 +273,9 @@ mod tests {
 
     #[test]
     fn env_lookup_shadows() {
-        let env = Env::empty().bind("x", RtValue::Int(1)).bind("x", RtValue::Int(2));
+        let env = Env::empty()
+            .bind("x", RtValue::Int(1))
+            .bind("x", RtValue::Int(2));
         assert!(matches!(env.lookup("x"), Some(RtValue::Int(2))));
         assert!(env.lookup("y").is_none());
     }
@@ -277,7 +293,12 @@ mod tests {
 
     #[test]
     fn functions_do_not_convert() {
-        let b = RtValue::Builtin(Builtin { name: "len", tyargs: vec![], args: vec![], arity: 1 });
+        let b = RtValue::Builtin(Builtin {
+            name: "len",
+            tyargs: vec![],
+            args: vec![],
+            arity: 1,
+        });
         assert!(b.to_value(0).is_err());
         assert!(RtValue::DbToken.to_value(0).is_err());
     }
@@ -286,7 +307,12 @@ mod tests {
     fn data_eq_numeric_widening() {
         assert_eq!(RtValue::Int(3).data_eq(&RtValue::Float(3.0)), Some(true));
         assert_eq!(RtValue::Int(3).data_eq(&RtValue::Float(3.5)), Some(false));
-        let f = RtValue::Builtin(Builtin { name: "len", tyargs: vec![], args: vec![], arity: 1 });
+        let f = RtValue::Builtin(Builtin {
+            name: "len",
+            tyargs: vec![],
+            args: vec![],
+            arity: 1,
+        });
         assert_eq!(f.data_eq(&f), None);
     }
 

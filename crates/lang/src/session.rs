@@ -14,7 +14,7 @@ use crate::eval::eval;
 use crate::parser::parse_program;
 use crate::rt::{Closure, Env, RtValue};
 use dbpl_core::Database;
-use dbpl_persist::ReplicatingStore;
+use dbpl_persist::{IntrinsicStore, ReplicatingStore, SalvageReport};
 use std::path::Path;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,7 +27,11 @@ pub struct Session {
     pub db: Database,
     /// The replicating store behind `extern`/`intern`.
     pub store: ReplicatingStore,
-    /// Output produced by `print` and expression statements.
+    /// An intrinsic (log-structured) store, once one has been attached
+    /// with [`Session::attach_intrinsic`].
+    pub intrinsic: Option<IntrinsicStore>,
+    /// Output produced by `print` and expression statements, plus any
+    /// recovery/salvage notices from attaching an intrinsic store.
     pub out: Vec<String>,
 }
 
@@ -35,8 +39,7 @@ impl Session {
     /// A session whose replicating store lives in a fresh temp directory.
     pub fn new() -> Result<Session, LangError> {
         let n = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir()
-            .join(format!("dbpl-session-{}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("dbpl-session-{}-{n}", std::process::id()));
         Session::with_store_dir(dir)
     }
 
@@ -46,7 +49,55 @@ impl Session {
     pub fn with_store_dir(dir: impl AsRef<Path>) -> Result<Session, LangError> {
         let store = ReplicatingStore::open(dir)
             .map_err(|e| LangError::eval(0, format!("cannot open store: {e}")))?;
-        Ok(Session { db: Database::new(), store, out: Vec::new() })
+        Ok(Session {
+            db: Database::new(),
+            store,
+            intrinsic: None,
+            out: Vec::new(),
+        })
+    }
+
+    /// Attach an intrinsic store backed by the log at `path`, surfacing
+    /// crash-recovery outcomes to the user: if the log had a torn tail,
+    /// a `note:` line describing what was recovered and what was dropped
+    /// is appended to the session output.
+    pub fn attach_intrinsic(&mut self, path: impl AsRef<Path>) -> Result<(), LangError> {
+        let store = IntrinsicStore::open(path)
+            .map_err(|e| LangError::eval(0, format!("cannot open intrinsic store: {e}")))?;
+        let r = store.recovery_report();
+        if !r.clean() {
+            self.out.push(format!(
+                "note: store recovered to txn {}, dropped {} torn record(s) ({} trailing bytes discarded)",
+                r.recovered_txn, r.dropped_records, r.truncated_bytes
+            ));
+        }
+        self.intrinsic = Some(store);
+        Ok(())
+    }
+
+    /// Attach an intrinsic store in **salvage mode**: the log is opened
+    /// read-only even if normal recovery would refuse it, and a summary of
+    /// what could and could not be recovered is appended to the session
+    /// output. Returns the loss report.
+    pub fn attach_intrinsic_salvage(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<SalvageReport, LangError> {
+        let (store, report) = IntrinsicStore::open_salvage(path)
+            .map_err(|e| LangError::eval(0, format!("cannot salvage intrinsic store: {e}")))?;
+        self.out.push(format!(
+            "warning: store opened read-only in salvage mode: recovered to txn {}, \
+             applied {} record(s), skipped {} unreadable, dropped {} uncommitted, \
+             lost {} byte(s) across {} gap(s)",
+            report.recovered_txn,
+            report.applied_records,
+            report.skipped_records,
+            report.dropped_records,
+            report.lost_bytes,
+            report.gaps
+        ));
+        self.intrinsic = Some(store);
+        Ok(report)
     }
 
     /// Parse, type-check and run one program. Returns the lines of output
@@ -67,15 +118,19 @@ impl Session {
                     let v = eval(expr, &env, self)?;
                     env = env.bind(name.clone(), v);
                 }
-                Item::FunDecl { at, name, params, body, .. } => {
+                Item::FunDecl {
+                    at,
+                    name,
+                    params,
+                    body,
+                    ..
+                } => {
                     // Curry the parameters; the outermost closure knows its
                     // own name, enabling recursion.
                     let mut inner = body.clone();
                     for (x, t) in params.iter().skip(1).rev() {
-                        inner = Expr::new(
-                            *at,
-                            ExprKind::Lambda(x.clone(), t.clone(), Box::new(inner)),
-                        );
+                        inner =
+                            Expr::new(*at, ExprKind::Lambda(x.clone(), t.clone(), Box::new(inner)));
                     }
                     let (p0, _) = &params[0];
                     let clo = RtValue::Closure(Rc::new(Closure {
@@ -108,7 +163,10 @@ mod tests {
     use super::*;
 
     fn run_one(src: &str) -> Vec<String> {
-        Session::new().unwrap().run(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+        Session::new()
+            .unwrap()
+            .run(src)
+            .unwrap_or_else(|e| panic!("{}", e.render(src)))
     }
 
     #[test]
@@ -133,7 +191,10 @@ mod tests {
             run_one("fun fact(n: Int): Int = if n <= 1 then 1 else n * fact(n - 1)\nfact(10)"),
             vec!["3628800"]
         );
-        assert_eq!(run_one("fun add(a: Int, b: Int): Int = a + b\nadd(40, 2)"), vec!["42"]);
+        assert_eq!(
+            run_one("fun add(a: Int, b: Int): Int = a + b\nadd(40, 2)"),
+            vec!["42"]
+        );
     }
 
     #[test]
@@ -174,7 +235,10 @@ mod tests {
         // let d = dynamic 3; coerce to Int works, coerce to Str raises the
         // run-time exception.
         let mut s = Session::new().unwrap();
-        assert_eq!(s.run("let d = dynamic 3\ncoerce d to Int").unwrap(), vec!["3"]);
+        assert_eq!(
+            s.run("let d = dynamic 3\ncoerce d to Int").unwrap(),
+            vec!["3"]
+        );
         let err = s.run("let d = dynamic 3\ncoerce d to Str").unwrap_err();
         assert!(err.msg.contains("coerce failed"), "{err}");
         assert_eq!(s.run("typeof (dynamic 3)").unwrap(), vec!["'Int'"]);
@@ -274,6 +338,88 @@ mod tests {
         assert_eq!(run_one("(let x = 1 in (let x = 2 in x) + x)"), vec!["3"]);
     }
 
+    fn fresh_log(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbpl-sess-intr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.log"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn committed_store(path: &std::path::Path, txns: u64) {
+        use dbpl_types::Type;
+        use dbpl_values::Value;
+        let mut s = dbpl_persist::IntrinsicStore::open(path).unwrap();
+        for i in 0..txns {
+            s.set_handle(format!("h{i}"), Type::Int, Value::Int(i as i64));
+            s.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn attaching_a_clean_intrinsic_store_is_silent() {
+        let path = fresh_log("clean");
+        committed_store(&path, 2);
+        let mut s = Session::new().unwrap();
+        s.attach_intrinsic(&path).unwrap();
+        assert!(s.out.is_empty(), "no notice for a clean open: {:?}", s.out);
+        assert_eq!(s.intrinsic.as_ref().unwrap().txn(), 2);
+    }
+
+    #[test]
+    fn torn_tail_recovery_is_reported_to_the_user() {
+        let path = fresh_log("torn");
+        committed_store(&path, 3);
+        // Simulate a crash mid-append: garbage trailing bytes that cannot
+        // frame a record.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[0xFF, 0x13, 0x37, 0x00, 0x42]).unwrap();
+        drop(f);
+
+        let mut s = Session::new().unwrap();
+        s.attach_intrinsic(&path).unwrap();
+        assert_eq!(s.out.len(), 1, "exactly one notice: {:?}", s.out);
+        assert!(
+            s.out[0].starts_with("note: store recovered to txn 3"),
+            "{}",
+            s.out[0]
+        );
+        assert!(
+            s.out[0].contains("5 trailing bytes discarded"),
+            "{}",
+            s.out[0]
+        );
+    }
+
+    #[test]
+    fn salvage_attachment_reports_losses_and_is_read_only() {
+        let path = fresh_log("salvage");
+        committed_store(&path, 2);
+        // A validly framed record of an unknown kind: normal open refuses.
+        let mut log = dbpl_persist::LogFile::open(&path).unwrap();
+        log.append(b"?future record kind").unwrap();
+        log.sync().unwrap();
+        drop(log);
+
+        let mut s = Session::new().unwrap();
+        let err = s.attach_intrinsic(&path).unwrap_err();
+        assert!(err.msg.contains("cannot open intrinsic store"), "{err}");
+
+        let report = s.attach_intrinsic_salvage(&path).unwrap();
+        assert_eq!(report.recovered_txn, 2);
+        assert_eq!(report.skipped_records, 1);
+        assert!(
+            s.out.last().unwrap().contains("salvage mode"),
+            "{:?}",
+            s.out
+        );
+        assert!(s.intrinsic.as_ref().unwrap().is_read_only());
+    }
+
     #[test]
     fn runtime_errors_carry_positions() {
         let mut s = Session::new().unwrap();
@@ -290,7 +436,10 @@ mod variant_tests {
     use super::*;
 
     fn run_one(src: &str) -> Vec<String> {
-        Session::new().unwrap().run(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+        Session::new()
+            .unwrap()
+            .run(src)
+            .unwrap_or_else(|e| panic!("{}", e.render(src)))
     }
 
     #[test]

@@ -237,13 +237,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
                 let x: f64 = text
                     .parse()
                     .map_err(|_| LangError::lex(at, format!("bad float literal `{text}`")))?;
-                out.push(Spanned { tok: Tok::Float(x), at });
+                out.push(Spanned {
+                    tok: Tok::Float(x),
+                    at,
+                });
             } else {
                 let text = &src[start..i];
-                let n: i64 = text
-                    .parse()
-                    .map_err(|_| LangError::lex(at, format!("integer literal out of range `{text}`")))?;
-                out.push(Spanned { tok: Tok::Int(n), at });
+                let n: i64 = text.parse().map_err(|_| {
+                    LangError::lex(at, format!("integer literal out of range `{text}`"))
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    at,
+                });
             }
             continue;
         }
@@ -270,7 +276,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
                     }
                 }
             }
-            out.push(Spanned { tok: Tok::Str(s), at });
+            out.push(Spanned {
+                tok: Tok::Str(s),
+                at,
+            });
             continue;
         }
         // identifiers and keywords
@@ -349,13 +358,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
             b'/' => Tok::Slash,
             b'|' => Tok::Pipe,
             other => {
-                return Err(LangError::lex(at, format!("unexpected character `{}`", other as char)))
+                return Err(LangError::lex(
+                    at,
+                    format!("unexpected character `{}`", other as char),
+                ))
             }
         };
         out.push(Spanned { tok: tok1, at });
         i += 1;
     }
-    out.push(Spanned { tok: Tok::Eof, at: src.len() });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        at: src.len(),
+    });
     Ok(out)
 }
 
@@ -384,7 +399,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("1 2.5 10"), vec![Tok::Int(1), Tok::Float(2.5), Tok::Int(10), Tok::Eof]);
+        assert_eq!(
+            toks("1 2.5 10"),
+            vec![Tok::Int(1), Tok::Float(2.5), Tok::Int(10), Tok::Eof]
+        );
         // A dot not followed by a digit is field access.
         assert_eq!(toks("1.x")[0], Tok::Int(1));
     }
@@ -398,7 +416,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("1 -- the rest\n2"), vec![Tok::Int(1), Tok::Int(2), Tok::Eof]);
+        assert_eq!(
+            toks("1 -- the rest\n2"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Eof]
+        );
     }
 
     #[test]

@@ -51,8 +51,7 @@ fn gen_expr(kind: Kind) -> BoxedStrategy<String> {
             Just("false".to_string()),
             (int(depth - 1), int(depth - 1)).prop_map(|(a, b)| format!("({a} < {b})")),
             (int(depth - 1), int(depth - 1)).prop_map(|(a, b)| format!("({a} == {b})")),
-            (boolean(depth - 1), boolean(depth - 1))
-                .prop_map(|(a, b)| format!("({a} and {b})")),
+            (boolean(depth - 1), boolean(depth - 1)).prop_map(|(a, b)| format!("({a} and {b})")),
             (boolean(depth - 1), boolean(depth - 1)).prop_map(|(a, b)| format!("({a} or {b})")),
             boolean(depth - 1).prop_map(|a| format!("(not {a})")),
         ]
@@ -64,8 +63,7 @@ fn gen_expr(kind: Kind) -> BoxedStrategy<String> {
         }
         prop_oneof![
             "[a-z]{0,4}".prop_map(|s| format!("'{s}'")),
-            (string(depth - 1), string(depth - 1))
-                .prop_map(|(a, b)| format!("({a} ++ {b})")),
+            (string(depth - 1), string(depth - 1)).prop_map(|(a, b)| format!("({a} ++ {b})")),
             (boolean(depth - 1), string(depth - 1), string(depth - 1))
                 .prop_map(|(c, t, e)| format!("(if {c} then {t} else {e})")),
             string(depth - 1).prop_map(|a| format!("(typeof (dynamic {a}))")),
@@ -80,11 +78,9 @@ fn gen_expr(kind: Kind) -> BoxedStrategy<String> {
 }
 
 fn assert_sound(src: &str, kind: Kind) -> Result<(), TestCaseError> {
-    let expr = parse_expr(src)
-        .unwrap_or_else(|e| panic!("generated unparseable `{src}`: {e}"));
+    let expr = parse_expr(src).unwrap_or_else(|e| panic!("generated unparseable `{src}`: {e}"));
     let env = TypeEnv::new();
-    let ty = infer_expr(&expr, &env)
-        .unwrap_or_else(|e| panic!("generated ill-typed `{src}`: {e}"));
+    let ty = infer_expr(&expr, &env).unwrap_or_else(|e| panic!("generated ill-typed `{src}`: {e}"));
     let expected = match kind {
         Kind::Int => Type::Int,
         Kind::Bool => Type::Bool,
@@ -101,15 +97,21 @@ fn assert_sound(src: &str, kind: Kind) -> Result<(), TestCaseError> {
     match kind {
         Kind::Int => prop_assert!(
             printed.parse::<i64>().is_ok(),
-            "`{}` printed non-Int {:?}", src, printed
+            "`{}` printed non-Int {:?}",
+            src,
+            printed
         ),
         Kind::Bool => prop_assert!(
             printed == "true" || printed == "false",
-            "`{}` printed non-Bool {:?}", src, printed
+            "`{}` printed non-Bool {:?}",
+            src,
+            printed
         ),
         Kind::Str => prop_assert!(
             printed.starts_with('\''),
-            "`{}` printed non-Str {:?}", src, printed
+            "`{}` printed non-Str {:?}",
+            src,
+            printed
         ),
     }
     Ok(())

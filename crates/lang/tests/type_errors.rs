@@ -5,7 +5,10 @@
 use dbpl_lang::{Phase, Session};
 
 fn check_err(src: &str) -> dbpl_lang::LangError {
-    let err = Session::new().unwrap().run(src).expect_err("program should fail");
+    let err = Session::new()
+        .unwrap()
+        .run(src)
+        .expect_err("program should fail");
     assert_eq!(err.phase, Phase::Check, "expected a static error: {err}");
     err
 }
@@ -25,7 +28,10 @@ fn unknown_type_in_annotation() {
 #[test]
 fn annotation_mismatch_mentions_both_types() {
     let e = check_err("let x: Int = 'hello'");
-    assert!(e.msg.contains("expected Int") && e.msg.contains("found Str"), "{e}");
+    assert!(
+        e.msg.contains("expected Int") && e.msg.contains("found Str"),
+        "{e}"
+    );
 }
 
 #[test]

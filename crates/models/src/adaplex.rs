@@ -52,8 +52,10 @@ impl AdaplexSchema {
         name: &str,
         fields: impl IntoIterator<Item = (&'static str, Type)>,
     ) -> Result<(), ModelError> {
-        let fields: Vec<(String, Type)> =
-            fields.into_iter().map(|(l, t)| (l.to_string(), t)).collect();
+        let fields: Vec<(String, Type)> = fields
+            .into_iter()
+            .map(|(l, t)| (l.to_string(), t))
+            .collect();
         for (l, t) in &fields {
             let ok = t.is_base() || matches!(t, Type::Named(n) if self.entities.contains(n));
             if !ok {
@@ -133,7 +135,8 @@ mod tests {
         // type Person is entity Name: String; Address: ... end entity
         // type Employee is entity Empno: Integer; Department: String(...)
         // include Employee in Person
-        s.entity_type("Person", [("Name", Type::Str), ("Address", Type::Str)]).unwrap();
+        s.entity_type("Person", [("Name", Type::Str), ("Address", Type::Str)])
+            .unwrap();
         s.entity_type(
             "Employee",
             [
@@ -189,7 +192,10 @@ mod tests {
     fn include_is_structurally_checked() {
         let mut s = schema();
         s.entity_type("Rock", [("Mass", Type::Float)]).unwrap();
-        assert!(matches!(s.include("Rock", "Person"), Err(ModelError::Restriction(_))));
+        assert!(matches!(
+            s.include("Rock", "Person"),
+            Err(ModelError::Restriction(_))
+        ));
     }
 
     #[test]
@@ -200,7 +206,8 @@ mod tests {
         assert!(matches!(err, Err(ModelError::Restriction(_))));
         // References to declared entity types are allowed.
         s.entity_type("Dept", [("DName", Type::Str)]).unwrap();
-        s.entity_type("Desk", [("AssignedTo", Type::named("Person"))]).unwrap();
+        s.entity_type("Desk", [("AssignedTo", Type::named("Person"))])
+            .unwrap();
         // References to undeclared names are not.
         assert!(s.entity_type("Bad", [("X", Type::named("Ghost"))]).is_err());
     }

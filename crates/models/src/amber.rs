@@ -34,9 +34,13 @@ pub struct AmberProgram {
 impl AmberProgram {
     /// A program with a store rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<AmberProgram, ModelError> {
-        let store =
-            ReplicatingStore::open(dir).map_err(|e| ModelError::Io(e.to_string()))?;
-        Ok(AmberProgram { env: TypeEnv::new(), database: Vec::new(), heap: Heap::new(), store })
+        let store = ReplicatingStore::open(dir).map_err(|e| ModelError::Io(e.to_string()))?;
+        Ok(AmberProgram {
+            env: TypeEnv::new(),
+            database: Vec::new(),
+            heap: Heap::new(),
+            store,
+        })
     }
 
     /// `dynamic v : T` (checked).
@@ -81,7 +85,9 @@ impl AmberProgram {
 
     /// `intern handle` — read a copy back.
     pub fn intern(&mut self, handle: &str) -> Result<DynValue, ModelError> {
-        self.store.intern(handle, &mut self.heap).map_err(|e| ModelError::Io(e.to_string()))
+        self.store
+            .intern(handle, &mut self.heap)
+            .map_err(|e| ModelError::Io(e.to_string()))
     }
 }
 
@@ -93,9 +99,14 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dbpl-amber-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut p = AmberProgram::open(dir).unwrap();
-        p.env.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
         p.env
-            .declare("Employee", Type::record([("Name", Type::Str), ("Empno", Type::Int)]))
+            .declare("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
+        p.env
+            .declare(
+                "Employee",
+                Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+            )
             .unwrap();
         p
     }
@@ -110,7 +121,10 @@ mod tests {
             )
             .unwrap();
         let q = p
-            .dynamic(Type::named("Person"), Value::record([("Name", Value::str("p"))]))
+            .dynamic(
+                Type::named("Person"),
+                Value::record([("Name", Value::str("p"))]),
+            )
             .unwrap();
         let i = p.dynamic(Type::Int, Value::Int(3)).unwrap();
         p.add(e);
@@ -152,6 +166,8 @@ mod tests {
         let v = p.coerce(&x, &db_ty).unwrap();
         assert_eq!(v.field("Employees").unwrap().as_list().unwrap().len(), 1);
         // Coercing at the wrong type fails.
-        assert!(p.coerce(&x, &Type::record([("Departments", Type::Int)])).is_err());
+        assert!(p
+            .coerce(&x, &Type::record([("Departments", Type::Int)]))
+            .is_err());
     }
 }

@@ -48,7 +48,7 @@ pub fn survey() -> Vec<Capabilities> {
             separates_type_extent: true,
             multiple_extents_per_type: true, // many relations over one record type
             class_over_arbitrary_type: false, // relations of records only
-            declared_subtyping: false,        // no subtyping at all
+            declared_subtyping: false,       // no subtyping at all
             persistence: PersistenceModel::FileLike,
             any_value_persists: false, // "only relation data types"
             has_dynamic: false,
@@ -78,7 +78,7 @@ pub fn survey() -> Vec<Capabilities> {
         },
         Capabilities {
             name: "Galileo",
-            separates_type_extent: true, // type first, class second
+            separates_type_extent: true,      // type first, class second
             multiple_extents_per_type: false, // "not possible to construct two extents"
             class_over_arbitrary_type: true,  // "a class of integers"
             declared_subtyping: false,
@@ -153,7 +153,10 @@ mod tests {
     fn only_amber_lacks_a_class_construct_and_has_dynamic() {
         for c in survey() {
             assert_eq!(c.has_dynamic, c.name == "Amber");
-            assert_eq!(!c.has_class_construct, c.name == "Amber" || c.name == "Pascal/R");
+            assert_eq!(
+                !c.has_class_construct,
+                c.name == "Amber" || c.name == "Pascal/R"
+            );
         }
     }
 }

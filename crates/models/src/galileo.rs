@@ -41,7 +41,11 @@ impl Default for GalileoSchema {
 impl GalileoSchema {
     /// An empty schema.
     pub fn new() -> GalileoSchema {
-        GalileoSchema { env: TypeEnv::new(), classes: BTreeMap::new(), heap: Heap::new() }
+        GalileoSchema {
+            env: TypeEnv::new(),
+            classes: BTreeMap::new(),
+            heap: Heap::new(),
+        }
     }
 
     /// Define a named type (step one).
@@ -55,7 +59,9 @@ impl GalileoSchema {
     /// but no two classes may share (an equivalent) type.
     pub fn define_class(&mut self, name: &str, over: Type) -> Result<(), ModelError> {
         if self.classes.contains_key(name) {
-            return Err(ModelError::Restriction(format!("class `{name}` already exists")));
+            return Err(ModelError::Restriction(format!(
+                "class `{name}` already exists"
+            )));
         }
         for (existing, c) in &self.classes {
             if is_equiv(&c.over, &over, &self.env) {
@@ -65,8 +71,13 @@ impl GalileoSchema {
                 )));
             }
         }
-        self.classes
-            .insert(name.to_string(), GalileoClass { over, members: Vec::new() });
+        self.classes.insert(
+            name.to_string(),
+            GalileoClass {
+                over,
+                members: Vec::new(),
+            },
+        );
         Ok(())
     }
 
@@ -80,7 +91,11 @@ impl GalileoSchema {
             .clone();
         conforms(&value, &over, &self.env, &self.heap, Mode::Strict)
             .map_err(|e| ModelError::Restriction(e.to_string()))?;
-        self.classes.get_mut(class).expect("checked").members.push(value);
+        self.classes
+            .get_mut(class)
+            .expect("checked")
+            .members
+            .push(value);
         Ok(())
     }
 
@@ -106,9 +121,11 @@ mod tests {
     #[test]
     fn type_then_class() {
         let mut g = GalileoSchema::new();
-        g.define_type("Person", Type::record([("Name", Type::Str)])).unwrap();
+        g.define_type("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
         g.define_class("persons", Type::named("Person")).unwrap();
-        g.insert("persons", Value::record([("Name", Value::str("d"))])).unwrap();
+        g.insert("persons", Value::record([("Name", Value::str("d"))]))
+            .unwrap();
         assert_eq!(g.extent("persons").unwrap().len(), 1);
     }
 
@@ -124,7 +141,8 @@ mod tests {
     #[test]
     fn no_two_extents_on_one_type() {
         let mut g = GalileoSchema::new();
-        g.define_type("Person", Type::record([("Name", Type::Str)])).unwrap();
+        g.define_type("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
         g.define_class("persons", Type::named("Person")).unwrap();
         let err = g.define_class("more_persons", Type::named("Person"));
         assert!(matches!(err, Err(ModelError::Restriction(_))));

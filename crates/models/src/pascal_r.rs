@@ -30,7 +30,10 @@ impl PascalRDatabase {
     /// Open a database file (loading it if present).
     pub fn open(path: impl AsRef<Path>) -> Result<PascalRDatabase, ModelError> {
         let path = path.as_ref().to_path_buf();
-        let mut db = PascalRDatabase { path: path.clone(), relations: BTreeMap::new() };
+        let mut db = PascalRDatabase {
+            path: path.clone(),
+            relations: BTreeMap::new(),
+        };
         if path.exists() {
             db.load()?;
         }
@@ -46,7 +49,9 @@ impl PascalRDatabase {
     ) -> Result<(), ModelError> {
         let name = name.into();
         if self.relations.contains_key(&name) {
-            return Err(ModelError::Restriction(format!("relation `{name}` already declared")));
+            return Err(ModelError::Restriction(format!(
+                "relation `{name}` already declared"
+            )));
         }
         self.relations.insert(name, Relation::new(schema));
         Ok(())
@@ -88,8 +93,11 @@ impl PascalRDatabase {
         for (name, rel) in &self.relations {
             format::put_str(&mut out, name);
             // schema
-            let attrs: Vec<(&String, &dbpl_types::Type)> =
-                rel.schema().attr_names().map(|a| (a, rel.schema().attr_type(a).expect("own attr"))).collect();
+            let attrs: Vec<(&String, &dbpl_types::Type)> = rel
+                .schema()
+                .attr_names()
+                .map(|a| (a, rel.schema().attr_type(a).expect("own attr")))
+                .collect();
             format::put_u64(&mut out, attrs.len() as u64);
             for (a, t) in attrs {
                 format::put_str(&mut out, a);

@@ -73,7 +73,9 @@ impl TaxisSchema {
         fields: impl IntoIterator<Item = (&'static str, Type)>,
     ) -> Result<(), ModelError> {
         if self.meta.contains_key(name) {
-            return Err(ModelError::Restriction(format!("class `{name}` already declared")));
+            return Err(ModelError::Restriction(format!(
+                "class `{name}` already declared"
+            )));
         }
         let mut all = Fields::new();
         for s in supers {
@@ -101,7 +103,10 @@ impl TaxisSchema {
             .declare(name.to_string(), Type::Record(all))
             .map_err(|e| ModelError::Restriction(e.to_string()))?;
         self.meta.insert(name.to_string(), meta);
-        self.supers.insert(name.to_string(), supers.iter().map(|s| s.to_string()).collect());
+        self.supers.insert(
+            name.to_string(),
+            supers.iter().map(|s| s.to_string()).collect(),
+        );
         if meta == MetaClass::VariableClass {
             self.extents
                 .create(name.to_string(), Type::named(name), false)
@@ -140,10 +145,15 @@ impl TaxisSchema {
 
     /// The class of a token — the instance hierarchy downward link.
     pub fn class_of(&self, token: Oid) -> Result<String, ModelError> {
-        let obj = self.heap.get(token).map_err(|e| ModelError::Unknown(e.to_string()))?;
+        let obj = self
+            .heap
+            .get(token)
+            .map_err(|e| ModelError::Unknown(e.to_string()))?;
         match &obj.ty {
             Type::Named(n) => Ok(n.clone()),
-            other => Err(ModelError::Unknown(format!("token of anonymous type {other}"))),
+            other => Err(ModelError::Unknown(format!(
+                "token of anonymous type {other}"
+            ))),
         }
     }
 
@@ -193,7 +203,13 @@ mod tests {
 
     fn person_employee() -> TaxisSchema {
         let mut s = TaxisSchema::new();
-        s.declare_class("PERSON", MetaClass::VariableClass, &[], [("Name", Type::Str)]).unwrap();
+        s.declare_class(
+            "PERSON",
+            MetaClass::VariableClass,
+            &[],
+            [("Name", Type::Str)],
+        )
+        .unwrap();
         // The paper's declaration:
         // VARIABLE_CLASS EMPLOYEE isa PERSON with characteristics
         //   Empno: integer, ... Department: ...
@@ -242,16 +258,27 @@ mod tests {
     #[test]
     fn aggregate_classes_have_no_extent() {
         let mut s = TaxisSchema::new();
-        s.declare_class("ADDRESS", MetaClass::AggregateClass, &[], [("City", Type::Str)])
+        s.declare_class(
+            "ADDRESS",
+            MetaClass::AggregateClass,
+            &[],
+            [("City", Type::Str)],
+        )
+        .unwrap();
+        s.new_instance("ADDRESS", Value::record([("City", Value::str("x"))]))
             .unwrap();
-        s.new_instance("ADDRESS", Value::record([("City", Value::str("x"))])).unwrap();
-        assert!(matches!(s.extent("ADDRESS"), Err(ModelError::Restriction(_))));
+        assert!(matches!(
+            s.extent("ADDRESS"),
+            Err(ModelError::Restriction(_))
+        ));
     }
 
     #[test]
     fn instance_hierarchy_is_navigable() {
         let mut s = person_employee();
-        let p = s.new_instance("PERSON", Value::record([("Name", Value::str("p"))])).unwrap();
+        let p = s
+            .new_instance("PERSON", Value::record([("Name", Value::str("p"))]))
+            .unwrap();
         // token → class → metaclass: three levels.
         assert_eq!(s.class_of(p).unwrap(), "PERSON");
         assert_eq!(s.metaclass_of("PERSON").unwrap(), MetaClass::VariableClass);
@@ -284,8 +311,10 @@ mod tests {
     #[test]
     fn clashing_inherited_attributes_rejected() {
         let mut s = TaxisSchema::new();
-        s.declare_class("A", MetaClass::AggregateClass, &[], [("x", Type::Int)]).unwrap();
-        s.declare_class("B", MetaClass::AggregateClass, &[], [("x", Type::Str)]).unwrap();
+        s.declare_class("A", MetaClass::AggregateClass, &[], [("x", Type::Int)])
+            .unwrap();
+        s.declare_class("B", MetaClass::AggregateClass, &[], [("x", Type::Str)])
+            .unwrap();
         let err = s.declare_class("C", MetaClass::AggregateClass, &["A", "B"], []);
         assert!(matches!(err, Err(ModelError::Restriction(_))));
     }

@@ -39,6 +39,9 @@ pub enum PersistError {
     UnknownNamespace(String),
     /// Attempt to create something that already exists.
     AlreadyExists(String),
+    /// A mutation was attempted on a store opened read-only (salvage
+    /// mode).
+    ReadOnly(String),
 }
 
 impl fmt::Display for PersistError {
@@ -53,7 +56,11 @@ impl fmt::Display for PersistError {
                 write!(f, "checksum mismatch in log frame at offset {offset}")
             }
             PersistError::UnknownHandle(h) => write!(f, "unknown handle `{h}`"),
-            PersistError::SchemaMismatch { handle, stored, expected } => write!(
+            PersistError::SchemaMismatch {
+                handle,
+                stored,
+                expected,
+            } => write!(
                 f,
                 "handle `{handle}` stores type {stored}, which is neither a subtype of nor \
                  consistent with expected type {expected}"
@@ -61,6 +68,9 @@ impl fmt::Display for PersistError {
             PersistError::Value(e) => write!(f, "{e}"),
             PersistError::UnknownNamespace(n) => write!(f, "unknown namespace `{n}`"),
             PersistError::AlreadyExists(n) => write!(f, "`{n}` already exists"),
+            PersistError::ReadOnly(what) => {
+                write!(f, "store is read-only (salvage mode): {what}")
+            }
         }
     }
 }

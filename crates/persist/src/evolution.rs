@@ -69,7 +69,11 @@ pub fn open_handle(
     if consistent(&stored, expected, env) {
         let new = meet(&stored, expected, env).expect("consistent implies meet exists");
         store.set_handle(handle, new.clone(), value.clone());
-        return Ok(OpenOutcome::Enriched { old: stored, new, value });
+        return Ok(OpenOutcome::Enriched {
+            old: stored,
+            new,
+            value,
+        });
     }
     Err(PersistError::SchemaMismatch {
         handle: handle.to_string(),
@@ -121,10 +125,7 @@ mod tests {
     }
 
     fn db_value() -> Value {
-        Value::record([
-            ("Name", Value::str("J Doe")),
-            ("Empno", Value::Int(7)),
-        ])
+        Value::record([("Name", Value::str("J Doe")), ("Empno", Value::Int(7))])
     }
 
     #[test]
@@ -148,14 +149,21 @@ mod tests {
     fn consistent_reopen_enriches_schema() {
         let env = TypeEnv::new();
         let mut s = IntrinsicStore::open(fresh("enrich")).unwrap();
-        s.set_handle("DB", parse_type("{Name: Str, Empno: Int}").unwrap(), db_value());
+        s.set_handle(
+            "DB",
+            parse_type("{Name: Str, Empno: Int}").unwrap(),
+            db_value(),
+        );
         s.commit().unwrap();
         // New program expects an additional field: consistent, not a
         // supertype.
         let expected = parse_type("{Name: Str, Dept: Str}").unwrap();
         match open_handle(&mut s, &env, "DB", &expected).unwrap() {
             OpenOutcome::Enriched { new, .. } => {
-                assert_eq!(new, parse_type("{Name: Str, Empno: Int, Dept: Str}").unwrap());
+                assert_eq!(
+                    new,
+                    parse_type("{Name: Str, Empno: Int, Dept: Str}").unwrap()
+                );
             }
             other => panic!("expected enrichment, got {other:?}"),
         }
@@ -180,7 +188,11 @@ mod tests {
     fn contradictory_reopen_is_refused() {
         let env = TypeEnv::new();
         let mut s = IntrinsicStore::open(fresh("refuse")).unwrap();
-        s.set_handle("DB", parse_type("{Name: Str}").unwrap(), Value::record([("Name", Value::str("x"))]));
+        s.set_handle(
+            "DB",
+            parse_type("{Name: Str}").unwrap(),
+            Value::record([("Name", Value::str("x"))]),
+        );
         s.commit().unwrap();
         let expected = parse_type("{Name: Int}").unwrap(); // contradicts
         assert!(matches!(
@@ -205,7 +217,10 @@ mod tests {
         let v = Value::record([
             ("Name", Value::str("J Doe")),
             ("Empno", Value::Int(7)),
-            ("Addr", Value::record([("City", Value::str("Austin")), ("Zip", Value::Int(1))])),
+            (
+                "Addr",
+                Value::record([("City", Value::str("Austin")), ("Zip", Value::Int(1))]),
+            ),
         ]);
         let supertype = parse_type("{Name: Str, Addr: {City: Str}}").unwrap();
         let projected = project_to_type(&v, &supertype, &env);
@@ -230,7 +245,10 @@ mod tests {
             project_to_type(&v, &t, &env),
             Value::list([Value::record([("a", Value::Int(1))])])
         );
-        let tagged = Value::tagged("Ok", Value::record([("a", Value::Int(1)), ("b", Value::Int(2))]));
+        let tagged = Value::tagged(
+            "Ok",
+            Value::record([("a", Value::Int(1)), ("b", Value::Int(2))]),
+        );
         let vt = parse_type("<Ok: {a: Int}>").unwrap();
         assert_eq!(
             project_to_type(&tagged, &vt, &env),

@@ -488,7 +488,10 @@ mod tests {
     #[test]
     fn types_roundtrip() {
         roundtrip_type(Type::Int);
-        roundtrip_type(Type::record([("a", Type::Str), ("b", Type::list(Type::Int))]));
+        roundtrip_type(Type::record([
+            ("a", Type::Str),
+            ("b", Type::list(Type::Int)),
+        ]));
         roundtrip_type(Type::variant([("Nil", Type::Unit)]));
         roundtrip_type(Type::fun(Type::Int, Type::Bool));
         roundtrip_type(Type::named("Person"));
@@ -516,14 +519,20 @@ mod tests {
         // Unsupported version.
         let mut v2 = bytes.clone();
         v2[4] = 99;
-        assert!(matches!(decode_dyn(&v2), Err(PersistError::UnsupportedVersion(99))));
+        assert!(matches!(
+            decode_dyn(&v2),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
         // Trailing garbage.
         let mut trail = bytes.clone();
         trail.push(0);
         assert!(decode_dyn(&trail).is_err());
         // Truncation anywhere is detected.
         for cut in 5..bytes.len() {
-            assert!(decode_dyn(&bytes[..cut]).is_err(), "truncation at {cut} accepted");
+            assert!(
+                decode_dyn(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
         }
     }
 

@@ -23,6 +23,12 @@
 //!   handle; [`IntrinsicStore::compact`] rewrites the log to just the live
 //!   committed state.
 //!
+//! Recovery is accounted for: every `open` produces a [`RecoveryReport`]
+//! (how far recovery got, what was dropped), and a log too damaged for
+//! `open` can still be read with [`IntrinsicStore::open_salvage`] — a
+//! read-only best-effort recovery with an explicit [`SalvageReport`] of
+//! what was lost.
+//!
 //! Because objects are *referenced*, not copied, an update through one
 //! handle is visible through every other — the exact anomaly of
 //! replicating persistence does not arise (experiment E3).
@@ -30,18 +36,60 @@
 use crate::error::PersistError;
 use crate::format::{self, Reader};
 use crate::log::LogFile;
+use crate::vfs::{retry_io, StdVfs, Vfs};
 use dbpl_types::Type;
 use dbpl_values::{Heap, Oid, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The handle table: named roots with their declared types.
 pub type Handles = BTreeMap<String, (Type, Value)>;
 
+/// What recovery found and did when a store was opened normally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The transaction number recovery reached.
+    pub recovered_txn: u64,
+    /// Bytes of torn tail truncated from the log (crash mid-append).
+    pub truncated_bytes: u64,
+    /// Valid records after the last commit marker, dropped because their
+    /// transaction never committed.
+    pub dropped_records: usize,
+}
+
+impl RecoveryReport {
+    /// Did recovery find the log exactly as a clean shutdown leaves it?
+    pub fn clean(&self) -> bool {
+        self.truncated_bytes == 0 && self.dropped_records == 0
+    }
+}
+
+/// What a salvage pass recovered and what it had to give up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// The transaction number salvage reached.
+    pub recovered_txn: u64,
+    /// Records applied to the recovered state.
+    pub applied_records: usize,
+    /// Frames that decoded as no known record and were skipped.
+    pub skipped_records: usize,
+    /// Valid records after the last commit marker, dropped because their
+    /// transaction never committed.
+    pub dropped_records: usize,
+    /// Bytes inside corrupt gaps the scan had to step over.
+    pub lost_bytes: u64,
+    /// Number of distinct corrupt gaps.
+    pub gaps: usize,
+}
+
 /// A log-structured persistent object store with commit/abort.
 pub struct IntrinsicStore {
+    vfs: Arc<dyn Vfs>,
     log_path: PathBuf,
-    log: LogFile,
+    /// `None` when the store is read-only (salvage mode).
+    log: Option<LogFile>,
+    recovery: RecoveryReport,
     committed_heap: Heap,
     committed_handles: Handles,
     heap: Heap,
@@ -59,22 +107,30 @@ const REC_HANDLE_DEL: u8 = b'D';
 const REC_OBJECT_DEL: u8 = b'X';
 const REC_COMMIT: u8 = b'C';
 
-impl IntrinsicStore {
-    /// Open (or create) a store backed by the log at `path`, recovering
-    /// committed state. A torn tail (crash mid-commit) is truncated away.
-    pub fn open(path: impl AsRef<Path>) -> Result<IntrinsicStore, PersistError> {
-        let path = path.as_ref().to_path_buf();
-        let replay = LogFile::replay(&path)?;
-        if !replay.clean {
-            LogFile::truncate_to(&path, replay.valid_len)?;
-        }
-        let mut committed_heap = Heap::new();
-        let mut committed_handles = Handles::new();
-        let mut staging_heap: Vec<(Oid, Type, Value)> = Vec::new();
-        let mut staging_dead: Vec<Oid> = Vec::new();
-        let mut staging_handles: Vec<(String, Option<(Type, Value)>)> = Vec::new();
-        let mut txn = 0u64;
-        for rec in &replay.records {
+/// The committed state reconstructed from a record stream.
+struct Applied {
+    heap: Heap,
+    handles: Handles,
+    txn: u64,
+    applied_records: usize,
+    skipped_records: usize,
+    dropped_records: usize,
+}
+
+/// Replay `records` into committed state. In `strict` mode an unknown or
+/// undecodable record is fatal (the normal-open contract); otherwise it
+/// is counted and skipped (salvage).
+fn apply_records(records: &[Vec<u8>], strict: bool) -> Result<Applied, PersistError> {
+    let mut committed_heap = Heap::new();
+    let mut committed_handles = Handles::new();
+    let mut staging_heap: Vec<(Oid, Type, Value)> = Vec::new();
+    let mut staging_dead: Vec<Oid> = Vec::new();
+    let mut staging_handles: Vec<(String, Option<(Type, Value)>)> = Vec::new();
+    let mut txn = 0u64;
+    let mut applied_records = 0usize;
+    let mut skipped_records = 0usize;
+    for rec in records {
+        let decoded: Result<(), PersistError> = (|| {
             let mut r = Reader::new(rec);
             match r.byte()? {
                 REC_OBJECT => {
@@ -116,27 +172,159 @@ impl IntrinsicStore {
                 }
                 k => return Err(PersistError::Malformed(format!("unknown log record {k}"))),
             }
+            Ok(())
+        })();
+        match decoded {
+            Ok(()) => applied_records += 1,
+            Err(e) if strict => return Err(e),
+            Err(_) => skipped_records += 1,
         }
-        // Records after the last commit marker are deliberately dropped:
-        // they belong to an uncommitted transaction.
-        let log = LogFile::open(&path)?;
+    }
+    // Records after the last commit marker are deliberately dropped:
+    // they belong to an uncommitted transaction.
+    let dropped_records = staging_heap.len() + staging_dead.len() + staging_handles.len();
+    Ok(Applied {
+        heap: committed_heap,
+        handles: committed_handles,
+        txn,
+        applied_records: applied_records - dropped_records,
+        skipped_records,
+        dropped_records,
+    })
+}
+
+impl IntrinsicStore {
+    /// Open (or create) a store backed by the log at `path`, recovering
+    /// committed state. A torn tail (crash mid-commit) is truncated away.
+    pub fn open(path: impl AsRef<Path>) -> Result<IntrinsicStore, PersistError> {
+        IntrinsicStore::open_with(Arc::new(StdVfs), path)
+    }
+
+    /// Open through an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+    ) -> Result<IntrinsicStore, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let replay = LogFile::replay_with(&*vfs, &path)?;
+        let mut truncated_bytes = 0;
+        if !replay.clean {
+            // Distinguish a genuine torn tail from mid-file damage. A torn
+            // tail is a prefix cut: no complete frame can follow the bad
+            // bytes. If valid frames *resume* past the damage, truncating
+            // would destroy committed data that salvage can still recover
+            // — refuse to open instead of destroying it.
+            let buf = retry_io(|| vfs.read(&path))?;
+            let tail = LogFile::salvage_scan(&buf[replay.valid_len as usize..]);
+            if !tail.records.is_empty() {
+                return Err(PersistError::Malformed(format!(
+                    "log damaged at byte {} with {} readable record(s) after the damage; \
+                     refusing to truncate mid-file corruption — use open_salvage",
+                    replay.valid_len,
+                    tail.records.len()
+                )));
+            }
+            truncated_bytes = (buf.len() as u64).saturating_sub(replay.valid_len);
+            LogFile::truncate_to_with(&*vfs, &path, replay.valid_len)?;
+        }
+        let applied = apply_records(&replay.records, true)?;
+        let log = LogFile::open_with(&*vfs, &path)?;
+        // If the log was just created, its directory entry is not durable
+        // until the parent directory is fsynced — without this, a crash
+        // after the first commit could lose the whole file, fsynced data
+        // and all.
+        let parent = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        retry_io(|| vfs.sync_dir(&parent))?;
+        let recovery = RecoveryReport {
+            recovered_txn: applied.txn,
+            truncated_bytes,
+            dropped_records: applied.dropped_records,
+        };
         Ok(IntrinsicStore {
+            vfs,
             log_path: path,
-            log,
-            heap: committed_heap.clone(),
-            handles: committed_handles.clone(),
-            committed_heap,
-            committed_handles,
+            log: Some(log),
+            recovery,
+            heap: applied.heap.clone(),
+            handles: applied.handles.clone(),
+            committed_heap: applied.heap,
+            committed_handles: applied.handles,
             dirty_objects: BTreeSet::new(),
             dead_objects: BTreeSet::new(),
             dirty_handles: BTreeSet::new(),
-            txn,
+            txn: applied.txn,
         })
+    }
+
+    /// Best-effort, **read-only** recovery of a log that normal
+    /// [`IntrinsicStore::open`] rejects (unknown records, corruption in
+    /// the middle of the file). Every decodable committed transaction is
+    /// applied; damage is stepped over and itemized in the returned
+    /// [`SalvageReport`]. The working state can be inspected and even
+    /// mutated in memory, but [`IntrinsicStore::commit`] and
+    /// [`IntrinsicStore::compact`] refuse with [`PersistError::ReadOnly`]
+    /// — salvage never writes to the damaged log.
+    pub fn open_salvage(
+        path: impl AsRef<Path>,
+    ) -> Result<(IntrinsicStore, SalvageReport), PersistError> {
+        IntrinsicStore::open_salvage_with(Arc::new(StdVfs), path)
+    }
+
+    /// Salvage through an explicit [`Vfs`].
+    pub fn open_salvage_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+    ) -> Result<(IntrinsicStore, SalvageReport), PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let buf = match retry_io(|| vfs.read(&path)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let scan = LogFile::salvage_scan(&buf);
+        let applied = apply_records(&scan.records, false)?;
+        let report = SalvageReport {
+            recovered_txn: applied.txn,
+            applied_records: applied.applied_records,
+            skipped_records: applied.skipped_records,
+            dropped_records: applied.dropped_records,
+            lost_bytes: scan.lost_bytes,
+            gaps: scan.gaps,
+        };
+        let store = IntrinsicStore {
+            vfs,
+            log_path: path,
+            log: None,
+            recovery: RecoveryReport {
+                recovered_txn: applied.txn,
+                truncated_bytes: 0,
+                dropped_records: applied.dropped_records,
+            },
+            heap: applied.heap.clone(),
+            handles: applied.handles.clone(),
+            committed_heap: applied.heap,
+            committed_handles: applied.handles,
+            dirty_objects: BTreeSet::new(),
+            dead_objects: BTreeSet::new(),
+            dirty_handles: BTreeSet::new(),
+            txn: applied.txn,
+        };
+        Ok((store, report))
     }
 
     /// The log path.
     pub fn path(&self) -> &Path {
         &self.log_path
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Is this store read-only (opened by salvage)?
+    pub fn is_read_only(&self) -> bool {
+        self.log.is_none()
     }
 
     /// Read access to the working heap.
@@ -201,19 +389,23 @@ impl IntrinsicStore {
     /// changes and a commit marker, fsync, and promote the working state to
     /// committed.
     pub fn commit(&mut self) -> Result<u64, PersistError> {
+        let log = self
+            .log
+            .as_mut()
+            .ok_or_else(|| PersistError::ReadOnly("commit".into()))?;
         for oid in &self.dirty_objects {
             if let Ok(obj) = self.heap.get(*oid) {
                 let mut rec = vec![REC_OBJECT];
                 format::put_u64(&mut rec, oid.0);
                 format::put_type(&mut rec, &obj.ty);
                 format::put_value(&mut rec, &obj.value);
-                self.log.append(&rec)?;
+                log.append(&rec)?;
             }
         }
         for oid in &self.dead_objects {
             let mut rec = vec![REC_OBJECT_DEL];
             format::put_u64(&mut rec, oid.0);
-            self.log.append(&rec)?;
+            log.append(&rec)?;
         }
         for name in &self.dirty_handles {
             match self.handles.get(name) {
@@ -222,20 +414,22 @@ impl IntrinsicStore {
                     format::put_str(&mut rec, name);
                     format::put_type(&mut rec, ty);
                     format::put_value(&mut rec, v);
-                    self.log.append(&rec)?;
+                    log.append(&rec)?;
                 }
                 None => {
                     let mut rec = vec![REC_HANDLE_DEL];
                     format::put_str(&mut rec, name);
-                    self.log.append(&rec)?;
+                    log.append(&rec)?;
                 }
             }
         }
         self.txn += 1;
         let mut marker = vec![REC_COMMIT];
         format::put_u64(&mut marker, self.txn);
-        self.log.append(&marker)?;
-        self.log.sync()?;
+        log.append(&marker)?;
+        // The durability point: nothing above is acknowledged until the
+        // log (frames + marker) is on disk.
+        log.sync()?;
         self.committed_heap = self.heap.clone();
         self.committed_handles = self.handles.clone();
         self.dirty_objects.clear();
@@ -278,12 +472,21 @@ impl IntrinsicStore {
     }
 
     /// Rewrite the log to contain exactly the live committed state (one
-    /// transaction). Uncommitted work is preserved in memory.
+    /// transaction). Uncommitted work is preserved in memory. The rewrite
+    /// is crash-safe: the fresh log is fsynced before it atomically
+    /// replaces the old one, and the directory entry is fsynced after.
     pub fn compact(&mut self) -> Result<(), PersistError> {
+        if self.log.is_none() {
+            return Err(PersistError::ReadOnly("compact".into()));
+        }
         let tmp = self.log_path.with_extension("compact");
-        let _ = std::fs::remove_file(&tmp);
+        match retry_io(|| self.vfs.remove_file(&tmp)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         {
-            let mut fresh = LogFile::open(&tmp)?;
+            let mut fresh = LogFile::open_with(&*self.vfs, &tmp)?;
             for (oid, obj) in self.committed_heap.iter() {
                 let mut rec = vec![REC_OBJECT];
                 format::put_u64(&mut rec, oid.0);
@@ -303,14 +506,22 @@ impl IntrinsicStore {
             fresh.append(&marker)?;
             fresh.sync()?;
         }
-        std::fs::rename(&tmp, &self.log_path)?;
-        self.log = LogFile::open(&self.log_path)?;
+        // Drop the old append handle before the file under it changes.
+        self.log = None;
+        retry_io(|| self.vfs.rename(&tmp, &self.log_path))?;
+        let parent = self
+            .log_path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        retry_io(|| self.vfs.sync_dir(&parent))?;
+        self.log = Some(LogFile::open_with(&*self.vfs, &self.log_path)?);
         Ok(())
     }
 
     /// Size of the backing log in bytes.
     pub fn stored_bytes(&self) -> Result<u64, PersistError> {
-        Ok(std::fs::metadata(&self.log_path)?.len())
+        Ok(retry_io(|| self.vfs.len(&self.log_path))?)
     }
 }
 
@@ -340,6 +551,8 @@ mod tests {
         let o = v.as_ref_oid().unwrap();
         assert_eq!(s.get(o).unwrap().value, Value::Int(5));
         assert_eq!(s.txn(), 1);
+        assert!(s.recovery_report().clean());
+        assert!(!s.is_read_only());
     }
 
     #[test]
@@ -392,7 +605,11 @@ mod tests {
         for h in ["a", "b"] {
             let (_, v) = s.handle(h).unwrap();
             let o = v.field("c").unwrap().as_ref_oid().unwrap();
-            assert_eq!(s.get(o).unwrap().value, Value::Int(100), "through handle {h}");
+            assert_eq!(
+                s.get(o).unwrap().value,
+                Value::Int(100),
+                "through handle {h}"
+            );
         }
     }
 
@@ -475,6 +692,10 @@ mod tests {
             "second transaction's torn commit ignored"
         );
         assert_eq!(s.txn(), 1);
+        let rep = s.recovery_report();
+        assert!(!rep.clean());
+        assert_eq!(rep.recovered_txn, 1);
+        assert!(rep.truncated_bytes > 0);
     }
 
     #[test]
@@ -491,7 +712,113 @@ mod tests {
         }
         let s = IntrinsicStore::open(&path).unwrap();
         let (_, v) = s.handle("n").unwrap();
-        assert_eq!(s.get(v.as_ref_oid().unwrap()).unwrap().value, Value::Int(20));
+        assert_eq!(
+            s.get(v.as_ref_oid().unwrap()).unwrap().value,
+            Value::Int(20)
+        );
         assert_eq!(s.txn(), 20);
+    }
+
+    /// Build a two-transaction log, then splice an unknown-kind record
+    /// (valid framing, bogus payload) between them.
+    fn poisoned_log(name: &str) -> PathBuf {
+        let path = fresh(name);
+        {
+            let mut s = IntrinsicStore::open(&path).unwrap();
+            let o = s.alloc(Type::Int, Value::Int(1));
+            s.set_handle("root", Type::Int, Value::Ref(o));
+            s.commit().unwrap();
+            s.update(o, Value::Int(2)).unwrap();
+            s.commit().unwrap();
+        }
+        let replay = LogFile::replay(&path).unwrap();
+        // Rewrite: txn-1 frames, a poison frame, then txn-2 frames.
+        let boundary = replay
+            .records
+            .iter()
+            .position(|r| r[0] == REC_COMMIT)
+            .unwrap()
+            + 1;
+        let _ = std::fs::remove_file(&path);
+        let mut log = LogFile::open(&path).unwrap();
+        for rec in &replay.records[..boundary] {
+            log.append(rec).unwrap();
+        }
+        log.append(b"?this is not a record").unwrap();
+        for rec in &replay.records[boundary..] {
+            log.append(rec).unwrap();
+        }
+        log.sync().unwrap();
+        path
+    }
+
+    #[test]
+    fn salvage_recovers_what_normal_open_rejects() {
+        let path = poisoned_log("salvage");
+        // Normal open refuses the unknown record…
+        assert!(matches!(
+            IntrinsicStore::open(&path),
+            Err(PersistError::Malformed(_))
+        ));
+        // …salvage applies both transactions and reports the skip.
+        let (s, report) = IntrinsicStore::open_salvage(&path).unwrap();
+        assert!(s.is_read_only());
+        assert_eq!(report.recovered_txn, 2);
+        assert_eq!(report.skipped_records, 1);
+        assert_eq!(report.gaps, 0);
+        let (_, v) = s.handle("root").unwrap();
+        assert_eq!(s.get(v.as_ref_oid().unwrap()).unwrap().value, Value::Int(2));
+        // The damaged log itself is untouched by salvage.
+        assert!(matches!(
+            IntrinsicStore::open(&path),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn salvage_store_refuses_writes() {
+        let path = poisoned_log("salvage-ro");
+        let (mut s, _) = IntrinsicStore::open_salvage(&path).unwrap();
+        s.set_handle("new", Type::Int, Value::Int(9)); // in-memory only
+        assert!(matches!(s.commit(), Err(PersistError::ReadOnly(_))));
+        assert!(matches!(s.compact(), Err(PersistError::ReadOnly(_))));
+    }
+
+    #[test]
+    fn salvage_steps_over_mid_file_corruption() {
+        let path = fresh("salvage-gap");
+        {
+            let mut s = IntrinsicStore::open(&path).unwrap();
+            s.set_handle("a", Type::Int, Value::Int(1));
+            s.commit().unwrap();
+            s.set_handle("b", Type::Int, Value::Int(2));
+            s.commit().unwrap();
+        }
+        // Flip bits inside the *first* transaction's handle record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // Normal open must *refuse*, not truncate: the damage is mid-file
+        // and readable records follow it, so truncating would destroy
+        // committed data that salvage can recover.
+        match IntrinsicStore::open(&path) {
+            Err(PersistError::Malformed(msg)) => {
+                assert!(msg.contains("open_salvage"), "{msg}")
+            }
+            Err(other) => panic!("expected Malformed, got {other:?}"),
+            Ok(s) => panic!("expected refusal, opened at txn {}", s.txn()),
+        }
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            bytes,
+            "the refused open left the damaged log untouched"
+        );
+        let (s, report) = IntrinsicStore::open_salvage(&path).unwrap();
+        assert_eq!(report.recovered_txn, 2, "both commit markers found");
+        assert!(report.lost_bytes > 0);
+        assert_eq!(report.gaps, 1);
+        assert!(s.handle("a").is_none(), "record inside the gap is lost");
+        let (_, v) = s.handle("b").unwrap();
+        assert_eq!(*v, Value::Int(2));
     }
 }

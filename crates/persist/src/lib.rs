@@ -21,6 +21,13 @@
 //! re-opening handles (subtype ⇒ view; consistent ⇒ enrich; otherwise
 //! refuse), and [`namespace`] the "multiple name spaces and controlled
 //! sharing" the paper calls for in practice.
+//!
+//! Every store does its file I/O through the pluggable [`vfs::Vfs`]:
+//! production code uses [`vfs::StdVfs`], while [`vfs::SimVfs`] is an
+//! in-memory file system with power-failure semantics and deterministic
+//! fault injection. The [`sim`] module drives scripted workloads over it,
+//! crashing at every I/O boundary and checking that recovery always lands
+//! on a committed prefix of history.
 
 #![warn(missing_docs)]
 
@@ -32,13 +39,16 @@ pub mod intrinsic;
 pub mod log;
 pub mod namespace;
 pub mod replicating;
+pub mod sim;
 pub mod snapshot;
+pub mod vfs;
 
 pub use error::PersistError;
 pub use evolution::{open_handle, project_to_type, OpenOutcome};
 pub use format::{decode_dyn, encode_dyn};
-pub use intrinsic::IntrinsicStore;
+pub use intrinsic::{IntrinsicStore, RecoveryReport, SalvageReport};
 pub use log::LogFile;
 pub use namespace::{NamespaceManager, Visibility};
 pub use replicating::ReplicatingStore;
 pub use snapshot::Image;
+pub use vfs::{FaultPlan, SimVfs, StdVfs, Vfs};

@@ -3,18 +3,24 @@
 //! Frame layout: `len: u32 LE ∥ crc32(payload): u32 LE ∥ payload`.
 //! Replay stops cleanly at the first incomplete or corrupt frame — the
 //! classic crash-consistency contract: everything before a valid commit
-//! marker survives, a torn tail is ignored.
+//! marker survives, a torn tail is ignored. For logs damaged *in the
+//! middle* (bit rot, overwritten blocks), [`LogFile::salvage_scan`]
+//! resynchronizes past the damage and reports what was lost.
+//!
+//! All I/O goes through a [`Vfs`]; `open`/`replay`/`truncate_to` default
+//! to [`StdVfs`], and the `_with` variants take any implementation (the
+//! crash-simulation harness passes a fault-injecting one).
 
 use crate::crc::crc32;
 use crate::error::PersistError;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use crate::vfs::{retry_io, StdVfs, Vfs, VfsFile};
 use std::path::{Path, PathBuf};
 
 /// An open append-only log file.
 pub struct LogFile {
     path: PathBuf,
-    writer: BufWriter<File>,
+    file: Box<dyn VfsFile>,
+    buf: Vec<u8>,
 }
 
 /// The result of replaying a log.
@@ -27,12 +33,32 @@ pub struct Replay {
     pub clean: bool,
 }
 
+/// The result of a salvage scan over a damaged log.
+pub struct SalvageScan {
+    /// Payloads of every decodable frame, in file order.
+    pub records: Vec<Vec<u8>>,
+    /// Total bytes skipped inside corrupt gaps.
+    pub lost_bytes: u64,
+    /// Number of distinct corrupt gaps the scan resynchronized past.
+    pub gaps: usize,
+}
+
 impl LogFile {
-    /// Open (creating if needed) the log at `path` for appending.
+    /// Open (creating if needed) the log at `path` for appending, on the
+    /// standard file system.
     pub fn open(path: impl AsRef<Path>) -> Result<LogFile, PersistError> {
+        LogFile::open_with(&StdVfs, path)
+    }
+
+    /// Open the log through an explicit [`Vfs`].
+    pub fn open_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<LogFile, PersistError> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(LogFile { path, writer: BufWriter::new(file) })
+        let file = retry_io(|| vfs.open_append(&path))?;
+        Ok(LogFile {
+            path,
+            file,
+            buf: Vec::new(),
+        })
     }
 
     /// The log's path.
@@ -40,74 +66,145 @@ impl LogFile {
         &self.path
     }
 
-    /// Append one framed record.
+    /// Append one framed record (buffered until [`LogFile::flush`]).
     pub fn append(&mut self, payload: &[u8]) -> Result<(), PersistError> {
         let len = payload.len() as u32;
-        self.writer.write_all(&len.to_le_bytes())?;
-        self.writer.write_all(&crc32(payload).to_le_bytes())?;
-        self.writer.write_all(payload)?;
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
         Ok(())
     }
 
     /// Flush buffered frames to the OS.
     pub fn flush(&mut self) -> Result<(), PersistError> {
-        self.writer.flush()?;
+        if !self.buf.is_empty() {
+            let file = &mut self.file;
+            let buf = &self.buf;
+            retry_io(|| file.write_all(buf))?;
+            self.buf.clear();
+        }
         Ok(())
     }
 
     /// Flush and fsync — the durability point.
     pub fn sync(&mut self) -> Result<(), PersistError> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.flush()?;
+        retry_io(|| self.file.sync_data())?;
         Ok(())
     }
 
     /// Replay every valid frame from the start of the file. Corrupt or
     /// truncated tails are reported, not fatal.
     pub fn replay(path: impl AsRef<Path>) -> Result<Replay, PersistError> {
-        let mut buf = Vec::new();
-        match File::open(path.as_ref()) {
-            Ok(mut f) => {
-                f.read_to_end(&mut buf)?;
-            }
+        LogFile::replay_with(&StdVfs, path)
+    }
+
+    /// Replay through an explicit [`Vfs`].
+    pub fn replay_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Replay, PersistError> {
+        let buf = match retry_io(|| vfs.read(path.as_ref())) {
+            Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Replay { records: Vec::new(), valid_len: 0, clean: true })
+                return Ok(Replay {
+                    records: Vec::new(),
+                    valid_len: 0,
+                    clean: true,
+                })
             }
             Err(e) => return Err(e.into()),
-        }
+        };
         let mut records = Vec::new();
         let mut pos = 0usize;
         loop {
             if pos == buf.len() {
-                return Ok(Replay { records, valid_len: pos as u64, clean: true });
+                return Ok(Replay {
+                    records,
+                    valid_len: pos as u64,
+                    clean: true,
+                });
             }
-            if buf.len() - pos < 8 {
-                break; // torn header
+            match frame_at(&buf, pos) {
+                Some(payload) => {
+                    pos += 8 + payload.len();
+                    records.push(payload.to_vec());
+                }
+                None => break, // torn header, torn payload, or bit rot
             }
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            if buf.len() - pos - 8 < len {
-                break; // torn payload
-            }
-            let payload = &buf[pos + 8..pos + 8 + len];
-            if crc32(payload) != crc {
-                break; // bit rot or torn write inside the frame
-            }
-            records.push(payload.to_vec());
-            pos += 8 + len;
         }
-        Ok(Replay { records, valid_len: pos as u64, clean: false })
+        Ok(Replay {
+            records,
+            valid_len: pos as u64,
+            clean: false,
+        })
+    }
+
+    /// Scan a damaged log for every decodable frame, resynchronizing past
+    /// corrupt regions byte by byte. Unlike [`LogFile::replay`], damage in
+    /// the middle of the file does not hide everything after it — at the
+    /// cost that a gap's contents are definitively lost. Salvage only;
+    /// normal recovery must use `replay`.
+    pub fn salvage_scan(buf: &[u8]) -> SalvageScan {
+        let mut records = Vec::new();
+        let mut lost_bytes = 0u64;
+        let mut gaps = 0usize;
+        let mut pos = 0usize;
+        let mut in_gap = false;
+        while pos < buf.len() {
+            match frame_at(buf, pos) {
+                Some(payload) => {
+                    pos += 8 + payload.len();
+                    records.push(payload.to_vec());
+                    in_gap = false;
+                }
+                None => {
+                    if !in_gap {
+                        gaps += 1;
+                        in_gap = true;
+                    }
+                    lost_bytes += 1;
+                    pos += 1;
+                }
+            }
+        }
+        SalvageScan {
+            records,
+            lost_bytes,
+            gaps,
+        }
     }
 
     /// Truncate the file to its valid prefix (run after a dirty replay to
     /// drop the torn tail before appending new frames).
     pub fn truncate_to(path: impl AsRef<Path>, valid_len: u64) -> Result<(), PersistError> {
-        let f = OpenOptions::new().write(true).open(path.as_ref())?;
-        f.set_len(valid_len)?;
-        let mut f = f;
-        f.seek(SeekFrom::End(0))?;
+        LogFile::truncate_to_with(&StdVfs, path, valid_len)
+    }
+
+    /// Truncate through an explicit [`Vfs`].
+    pub fn truncate_to_with(
+        vfs: &dyn Vfs,
+        path: impl AsRef<Path>,
+        valid_len: u64,
+    ) -> Result<(), PersistError> {
+        retry_io(|| vfs.set_len(path.as_ref(), valid_len))?;
         Ok(())
     }
+}
+
+/// Decode the frame starting at `pos`, if one is complete and its CRC
+/// checks out.
+fn frame_at(buf: &[u8], pos: usize) -> Option<&[u8]> {
+    if buf.len() - pos < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    if buf.len() - pos - 8 < len {
+        return None;
+    }
+    let payload = &buf[pos + 8..pos + 8 + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some(payload)
 }
 
 #[cfg(test)]
@@ -137,7 +234,10 @@ mod tests {
         }
         let r = LogFile::replay(&path).unwrap();
         assert!(r.clean);
-        assert_eq!(r.records, vec![b"one".to_vec(), b"".to_vec(), b"three".to_vec()]);
+        assert_eq!(
+            r.records,
+            vec![b"one".to_vec(), b"".to_vec(), b"three".to_vec()]
+        );
     }
 
     #[test]
@@ -159,7 +259,7 @@ mod tests {
         }
         // Simulate a crash mid-write: chop the last 5 bytes.
         let len = std::fs::metadata(&path).unwrap().len();
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(len - 5).unwrap();
         drop(f);
 
@@ -175,7 +275,10 @@ mod tests {
         drop(log);
         let r2 = LogFile::replay(&path).unwrap();
         assert!(r2.clean);
-        assert_eq!(r2.records, vec![b"good".to_vec(), b"after-recovery".to_vec()]);
+        assert_eq!(
+            r2.records,
+            vec![b"good".to_vec(), b"after-recovery".to_vec()]
+        );
     }
 
     #[test]
@@ -194,7 +297,10 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let r = LogFile::replay(&path).unwrap();
         assert!(!r.clean);
-        assert!(r.records.is_empty(), "everything after corruption is suspect");
+        assert!(
+            r.records.is_empty(),
+            "everything after corruption is suspect"
+        );
     }
 
     #[test]
@@ -206,5 +312,47 @@ mod tests {
         log.sync().unwrap();
         let r = LogFile::replay(&path).unwrap();
         assert_eq!(r.records.len(), 1);
+    }
+
+    #[test]
+    fn salvage_scan_resyncs_past_mid_file_damage() {
+        let path = tmpdir().join("salvage.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = LogFile::open(&path).unwrap();
+            log.append(b"first-record").unwrap();
+            log.append(b"second-record").unwrap();
+            log.append(b"third-record").unwrap();
+            log.flush().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt the *second* record's payload.
+        bytes[8 + 12 + 8 + 2] ^= 0xFF;
+        // replay sees only the first record…
+        std::fs::write(&path, &bytes).unwrap();
+        let r = LogFile::replay(&path).unwrap();
+        assert_eq!(r.records, vec![b"first-record".to_vec()]);
+        // …salvage_scan also recovers the third.
+        let s = LogFile::salvage_scan(&bytes);
+        assert_eq!(
+            s.records,
+            vec![b"first-record".to_vec(), b"third-record".to_vec()]
+        );
+        assert_eq!(s.gaps, 1);
+        assert_eq!(s.lost_bytes, 8 + 13);
+    }
+
+    #[test]
+    fn works_over_the_simulated_vfs() {
+        use crate::vfs::SimVfs;
+        let vfs = SimVfs::new();
+        let path = Path::new("sim.log");
+        let mut log = LogFile::open_with(&vfs, path).unwrap();
+        log.append(b"alpha").unwrap();
+        log.append(b"beta").unwrap();
+        log.sync().unwrap();
+        let r = LogFile::replay_with(&vfs, path).unwrap();
+        assert!(r.clean);
+        assert_eq!(r.records, vec![b"alpha".to_vec(), b"beta".to_vec()]);
     }
 }

@@ -48,7 +48,11 @@ impl NamespaceManager {
                 }
             }
         }
-        Ok(NamespaceManager { root, spaces, exports: BTreeMap::new() })
+        Ok(NamespaceManager {
+            root,
+            spaces,
+            exports: BTreeMap::new(),
+        })
     }
 
     /// Create a new name space.
@@ -63,7 +67,9 @@ impl NamespaceManager {
 
     /// The store behind a name space.
     pub fn space(&self, name: &str) -> Result<&ReplicatingStore, PersistError> {
-        self.spaces.get(name).ok_or_else(|| PersistError::UnknownNamespace(name.to_string()))
+        self.spaces
+            .get(name)
+            .ok_or_else(|| PersistError::UnknownNamespace(name.to_string()))
     }
 
     /// Names of all name spaces.
@@ -72,29 +78,20 @@ impl NamespaceManager {
     }
 
     /// Publish a handle from a name space.
-    pub fn export(
-        &mut self,
-        ns: &str,
-        handle: &str,
-        vis: Visibility,
-    ) -> Result<(), PersistError> {
+    pub fn export(&mut self, ns: &str, handle: &str, vis: Visibility) -> Result<(), PersistError> {
         let space = self.space(ns)?;
         if !space.exists(handle) {
             return Err(PersistError::UnknownHandle(handle.to_string()));
         }
-        self.exports.insert((ns.to_string(), handle.to_string()), vis);
+        self.exports
+            .insert((ns.to_string(), handle.to_string()), vis);
         Ok(())
     }
 
     /// Import `handle` from `from` into `into` (as `handle`). The value is
     /// *replicated* — cross-name-space sharing has copy semantics, exactly
     /// like any other replication.
-    pub fn import(
-        &mut self,
-        from: &str,
-        handle: &str,
-        into: &str,
-    ) -> Result<(), PersistError> {
+    pub fn import(&mut self, from: &str, handle: &str, into: &str) -> Result<(), PersistError> {
         // Check visibility first.
         match self.exports.get(&(from.to_string(), handle.to_string())) {
             Some(Visibility::Public) => {}
@@ -129,7 +126,10 @@ mod tests {
         let mut m = mgr("list");
         m.create("alice").unwrap();
         m.create("bob").unwrap();
-        assert!(matches!(m.create("alice"), Err(PersistError::AlreadyExists(_))));
+        assert!(matches!(
+            m.create("alice"),
+            Err(PersistError::AlreadyExists(_))
+        ));
         assert_eq!(m.names().collect::<Vec<_>>(), ["alice", "bob"]);
         assert!(m.space("carol").is_err());
     }
@@ -149,7 +149,14 @@ mod tests {
         m.export("alice", "Shared", Visibility::Public).unwrap();
         m.import("alice", "Shared", "bob").unwrap();
         let mut h = Heap::new();
-        assert_eq!(m.space("bob").unwrap().intern("Shared", &mut h).unwrap().value, Value::Int(5));
+        assert_eq!(
+            m.space("bob")
+                .unwrap()
+                .intern("Shared", &mut h)
+                .unwrap()
+                .value,
+            Value::Int(5)
+        );
     }
 
     #[test]
@@ -163,8 +170,12 @@ mod tests {
             .unwrap()
             .extern_value("Secret", &DynValue::new(Type::Int, Value::Int(1)), &heap)
             .unwrap();
-        m.export("alice", "Secret", Visibility::Restricted(BTreeSet::from(["bob".to_string()])))
-            .unwrap();
+        m.export(
+            "alice",
+            "Secret",
+            Visibility::Restricted(BTreeSet::from(["bob".to_string()])),
+        )
+        .unwrap();
         assert!(m.import("alice", "Secret", "bob").is_ok());
         assert!(m.import("alice", "Secret", "eve").is_err());
     }

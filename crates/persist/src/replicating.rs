@@ -25,8 +25,10 @@
 //! * concurrency requires the extern/intern operations on a handle to be
 //!   synchronized — each handle carries a lock.
 
+use crate::crc::fnv1a64;
 use crate::error::PersistError;
 use crate::format;
+use crate::vfs::{retry_io, StdVfs, Vfs};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -37,16 +39,33 @@ use dbpl_values::{DynValue, Heap};
 /// A directory of handle files, each holding one self-describing unit plus
 /// the replicated closure of heap objects reachable from it.
 pub struct ReplicatingStore {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     locks: Mutex<BTreeMap<String, Arc<Mutex<()>>>>,
+}
+
+fn is_safe_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '-' || c == '_'
 }
 
 impl ReplicatingStore {
     /// Open (creating) a store rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<ReplicatingStore, PersistError> {
+        ReplicatingStore::open_with(Arc::new(StdVfs), dir)
+    }
+
+    /// Open through an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+    ) -> Result<ReplicatingStore, PersistError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        Ok(ReplicatingStore { dir, locks: Mutex::new(BTreeMap::new()) })
+        retry_io(|| vfs.create_dir_all(&dir))?;
+        Ok(ReplicatingStore {
+            vfs,
+            dir,
+            locks: Mutex::new(BTreeMap::new()),
+        })
     }
 
     /// The store's directory.
@@ -55,16 +74,30 @@ impl ReplicatingStore {
     }
 
     fn handle_path(&self, handle: &str) -> PathBuf {
-        // Encode the handle to a safe file name.
-        let safe: String = handle
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '%' })
-            .collect();
-        self.dir.join(format!("{safe}.dyn"))
+        // Encode the handle to a safe file name. Handles that are already
+        // safe map to themselves; anything else gets its unsafe characters
+        // replaced *and* an FNV-1a suffix of the original name, so that
+        // distinct handles (`a/b` vs `a.b`) can never collide on one file.
+        // The two classes stay disjoint: a sanitized stem always contains
+        // `%`, which a safe stem never does.
+        if !handle.is_empty() && handle.chars().all(is_safe_char) {
+            self.dir.join(format!("{handle}.dyn"))
+        } else {
+            let safe: String = handle
+                .chars()
+                .map(|c| if is_safe_char(c) { c } else { '%' })
+                .collect();
+            self.dir
+                .join(format!("{safe}%{:016x}.dyn", fnv1a64(handle.as_bytes())))
+        }
     }
 
     fn lock_for(&self, handle: &str) -> Arc<Mutex<()>> {
-        self.locks.lock().entry(handle.to_string()).or_default().clone()
+        self.locks
+            .lock()
+            .entry(handle.to_string())
+            .or_default()
+            .clone()
     }
 
     /// `extern(handle, dynamic d)`: replicate to secondary storage the
@@ -91,9 +124,15 @@ impl ReplicatingStore {
             format::put_type(&mut out, &obj.ty);
             format::put_value(&mut out, &obj.value);
         }
+        // Crash-safe replace: the unit is fully on disk (data fsync)
+        // before the rename makes it visible, and the directory entry is
+        // fsynced after — a crash at any point leaves either the old
+        // complete unit or the new complete unit, never a torn one.
         let tmp = self.handle_path(handle).with_extension("tmp");
-        std::fs::write(&tmp, &out)?;
-        std::fs::rename(&tmp, self.handle_path(handle))?;
+        retry_io(|| self.vfs.write(&tmp, &out))?;
+        retry_io(|| self.vfs.sync_file(&tmp))?;
+        retry_io(|| self.vfs.rename(&tmp, &self.handle_path(handle)))?;
+        retry_io(|| self.vfs.sync_dir(&self.dir))?;
         Ok(())
     }
 
@@ -105,7 +144,7 @@ impl ReplicatingStore {
         let guard = self.lock_for(handle);
         let _held = guard.lock();
         let path = self.handle_path(handle);
-        let buf = match std::fs::read(&path) {
+        let buf = match retry_io(|| self.vfs.read(&path)) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(PersistError::UnknownHandle(handle.to_string()))
@@ -132,18 +171,19 @@ impl ReplicatingStore {
             stored.insert_at(oid, t, v);
         }
         if r.remaining() != 0 {
-            return Err(PersistError::Malformed("trailing bytes after handle unit".into()));
+            return Err(PersistError::Malformed(
+                "trailing bytes after handle unit".into(),
+            ));
         }
         let fresh = stored.replicate_into(&value, heap)?;
         Ok(DynValue::new(ty, fresh))
     }
 
-    /// List the stored handles (file stems).
+    /// List the stored handles (file stems; handles whose names needed
+    /// sanitizing appear in their encoded form).
     pub fn handles(&self) -> Result<Vec<String>, PersistError> {
         let mut out = Vec::new();
-        for entry in std::fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let p = entry.path();
+        for p in retry_io(|| self.vfs.read_dir(&self.dir))? {
             if p.extension().and_then(|e| e.to_str()) == Some("dyn") {
                 if let Some(stem) = p.file_stem().and_then(|s| s.to_str()) {
                     out.push(stem.to_string());
@@ -156,15 +196,18 @@ impl ReplicatingStore {
 
     /// Does a handle exist?
     pub fn exists(&self, handle: &str) -> bool {
-        self.handle_path(handle).exists()
+        self.vfs.exists(&self.handle_path(handle))
     }
 
-    /// Remove a handle.
+    /// Remove a handle (durably: the directory entry is fsynced).
     pub fn remove(&self, handle: &str) -> Result<(), PersistError> {
         let guard = self.lock_for(handle);
         let _held = guard.lock();
-        match std::fs::remove_file(self.handle_path(handle)) {
-            Ok(()) => Ok(()),
+        match retry_io(|| self.vfs.remove_file(&self.handle_path(handle))) {
+            Ok(()) => {
+                retry_io(|| self.vfs.sync_dir(&self.dir))?;
+                Ok(())
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(PersistError::UnknownHandle(handle.to_string()))
             }
@@ -175,7 +218,7 @@ impl ReplicatingStore {
     /// Stored size in bytes of one handle — the measure of the paper's
     /// "wasted storage" when shared structures are replicated per handle.
     pub fn stored_bytes(&self, handle: &str) -> Result<u64, PersistError> {
-        Ok(std::fs::metadata(self.handle_path(handle))?.len())
+        Ok(retry_io(|| self.vfs.len(&self.handle_path(handle)))?)
     }
 }
 
@@ -211,7 +254,10 @@ mod tests {
             s.intern("Ghost", &mut heap),
             Err(PersistError::UnknownHandle(_))
         ));
-        assert!(matches!(s.remove("Ghost"), Err(PersistError::UnknownHandle(_))));
+        assert!(matches!(
+            s.remove("Ghost"),
+            Err(PersistError::UnknownHandle(_))
+        ));
     }
 
     #[test]
@@ -229,7 +275,11 @@ mod tests {
         heap.update(xo, Value::Int(99)).unwrap(); // modify the copy
         let x2 = s.intern("DBFile", &mut heap).unwrap(); // re-intern
         let xo2 = x2.value.as_ref_oid().unwrap();
-        assert_eq!(heap.get(xo2).unwrap().value, Value::Int(1), "modification lost");
+        assert_eq!(
+            heap.get(xo2).unwrap().value,
+            Value::Int(1),
+            "modification lost"
+        );
     }
 
     #[test]
@@ -281,7 +331,14 @@ mod tests {
         let mut h2 = Heap::new();
         let g = s.intern("G", &mut h2).unwrap();
         let o = g.value.as_ref_oid().unwrap();
-        let i = h2.get(o).unwrap().value.field("inner").unwrap().as_ref_oid().unwrap();
+        let i = h2
+            .get(o)
+            .unwrap()
+            .value
+            .field("inner")
+            .unwrap()
+            .as_ref_oid()
+            .unwrap();
         assert_eq!(h2.get(i).unwrap().value, Value::Int(5));
     }
 
@@ -289,8 +346,10 @@ mod tests {
     fn extern_is_atomic_replace() {
         let s = store("atomic");
         let heap = Heap::new();
-        s.extern_value("H", &DynValue::new(Type::Int, Value::Int(1)), &heap).unwrap();
-        s.extern_value("H", &DynValue::new(Type::Int, Value::Int(2)), &heap).unwrap();
+        s.extern_value("H", &DynValue::new(Type::Int, Value::Int(1)), &heap)
+            .unwrap();
+        s.extern_value("H", &DynValue::new(Type::Int, Value::Int(2)), &heap)
+            .unwrap();
         let mut h2 = Heap::new();
         assert_eq!(s.intern("H", &mut h2).unwrap().value, Value::Int(2));
     }
@@ -299,8 +358,48 @@ mod tests {
     fn handles_with_odd_names_are_sanitized() {
         let s = store("odd");
         let heap = Heap::new();
-        s.extern_value("a/b c", &DynValue::new(Type::Int, Value::Int(3)), &heap).unwrap();
+        s.extern_value("a/b c", &DynValue::new(Type::Int, Value::Int(3)), &heap)
+            .unwrap();
         let mut h2 = Heap::new();
         assert_eq!(s.intern("a/b c", &mut h2).unwrap().value, Value::Int(3));
+    }
+
+    #[test]
+    fn sanitized_names_cannot_collide() {
+        // Regression: `a/b` and `a.b` both used to sanitize to `a%b.dyn`,
+        // so externing one silently clobbered the other.
+        let s = store("collide");
+        let heap = Heap::new();
+        for (i, h) in ["a/b", "a.b", "a b", "a%b"].iter().enumerate() {
+            s.extern_value(h, &DynValue::new(Type::Int, Value::Int(i as i64)), &heap)
+                .unwrap();
+        }
+        let mut h2 = Heap::new();
+        for (i, h) in ["a/b", "a.b", "a b", "a%b"].iter().enumerate() {
+            assert_eq!(
+                s.intern(h, &mut h2).unwrap().value,
+                Value::Int(i as i64),
+                "handle {h} kept its own value"
+            );
+        }
+        assert_eq!(s.handles().unwrap().len(), 4, "four distinct files");
+        // A safe handle never collides with a sanitized one either.
+        s.extern_value("ab", &DynValue::new(Type::Int, Value::Int(9)), &heap)
+            .unwrap();
+        assert_eq!(s.intern("a/b", &mut h2).unwrap().value, Value::Int(0));
+    }
+
+    #[test]
+    fn remove_then_listing_and_exists_agree() {
+        let s = store("remove");
+        let heap = Heap::new();
+        s.extern_value("keep", &DynValue::new(Type::Int, Value::Int(1)), &heap)
+            .unwrap();
+        s.extern_value("drop", &DynValue::new(Type::Int, Value::Int(2)), &heap)
+            .unwrap();
+        assert!(s.exists("drop"));
+        s.remove("drop").unwrap();
+        assert!(!s.exists("drop"));
+        assert_eq!(s.handles().unwrap(), vec!["keep".to_string()]);
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::error::PersistError;
 use crate::format::{self, Reader};
+use crate::vfs::{retry_io, StdVfs, Vfs};
 use dbpl_types::{SubtypePolicy, Type, TypeEnv};
 use dbpl_values::{DynValue, Heap, Oid, Value};
 use std::collections::BTreeMap;
@@ -39,15 +40,20 @@ pub struct Image {
 impl Image {
     /// Capture an image from live session state.
     pub fn capture(env: &TypeEnv, heap: &Heap, bindings: &BTreeMap<String, DynValue>) -> Image {
-        let types = env.definitions().map(|(n, t)| (n.clone(), t.clone())).collect();
+        let types = env
+            .definitions()
+            .map(|(n, t)| (n.clone(), t.clone()))
+            .collect();
         let mut declared = Vec::new();
         for n in env.names() {
             for s in env.declared_supertypes(n) {
                 declared.push((n.clone(), s.clone()));
             }
         }
-        let heap_objs =
-            heap.iter().map(|(o, obj)| (o, obj.ty.clone(), obj.value.clone())).collect();
+        let heap_objs = heap
+            .iter()
+            .map(|(o, obj)| (o, obj.ty.clone(), obj.value.clone()))
+            .collect();
         Image {
             types,
             declared,
@@ -157,23 +163,44 @@ impl Image {
         if r.remaining() != 0 {
             return Err(PersistError::Malformed("trailing bytes after image".into()));
         }
-        Ok(Image { types, declared, declared_policy, heap, bindings })
+        Ok(Image {
+            types,
+            declared,
+            declared_policy,
+            heap,
+            bindings,
+        })
     }
 
-    /// Save atomically: write to a temp file, then rename over the target,
-    /// so a crash never leaves a half-written image (the whole point of
-    /// "all-or-nothing").
+    /// Save atomically: write to a temp file, fsync it, then rename over
+    /// the target and fsync the directory, so a crash never leaves a
+    /// half-written image *and* the rename itself is durable (the whole
+    /// point of "all-or-nothing").
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        self.save_with(&StdVfs, path)
+    }
+
+    /// Save through an explicit [`Vfs`].
+    pub fn save_with(&self, vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<(), PersistError> {
         let path = path.as_ref();
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.encode())?;
-        std::fs::rename(&tmp, path)?;
+        let encoded = self.encode();
+        retry_io(|| vfs.write(&tmp, &encoded))?;
+        retry_io(|| vfs.sync_file(&tmp))?;
+        retry_io(|| vfs.rename(&tmp, path))?;
+        let parent = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        retry_io(|| vfs.sync_dir(&parent))?;
         Ok(())
     }
 
     /// Load an image file.
     pub fn load(path: impl AsRef<Path>) -> Result<Image, PersistError> {
-        let buf = std::fs::read(path.as_ref())?;
+        Image::load_with(&StdVfs, path)
+    }
+
+    /// Load through an explicit [`Vfs`].
+    pub fn load_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Image, PersistError> {
+        let buf = retry_io(|| vfs.read(path.as_ref()))?;
         Image::decode(&buf)
     }
 }
@@ -184,11 +211,18 @@ mod tests {
 
     fn sample() -> Image {
         let mut env = TypeEnv::new();
-        env.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
-        env.declare("Employee", Type::record([("Name", Type::Str), ("Empno", Type::Int)]))
+        env.declare("Person", Type::record([("Name", Type::Str)]))
             .unwrap();
+        env.declare(
+            "Employee",
+            Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+        )
+        .unwrap();
         let mut heap = Heap::new();
-        let o = heap.alloc(Type::named("Person"), Value::record([("Name", Value::str("d"))]));
+        let o = heap.alloc(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("d"))]),
+        );
         let bindings = BTreeMap::from([(
             "db".to_string(),
             DynValue::new(Type::named("Person"), Value::Ref(o)),
@@ -216,7 +250,10 @@ mod tests {
         assert_eq!(heap.len(), 1);
         let d = &bindings["db"];
         let o = d.value.as_ref_oid().unwrap();
-        assert_eq!(heap.get(o).unwrap().value.field("Name"), Some(&Value::str("d")));
+        assert_eq!(
+            heap.get(o).unwrap().value.field("Name"),
+            Some(&Value::str("d"))
+        );
     }
 
     #[test]
@@ -231,11 +268,29 @@ mod tests {
     }
 
     #[test]
+    fn save_survives_a_crash_immediately_after() {
+        // save() returns only once the image is fully durable: a power
+        // failure the very next instant must not lose or tear it.
+        use crate::vfs::SimVfs;
+        let vfs = SimVfs::new();
+        let img = sample();
+        let path = Path::new("d/session.image");
+        img.save_with(&vfs, path).unwrap();
+        vfs.crash_now();
+        vfs.recover();
+        assert_eq!(Image::load_with(&vfs, path).unwrap(), img);
+    }
+
+    #[test]
     fn declared_edges_survive() {
         let mut env = TypeEnv::with_policy(SubtypePolicy::Declared);
-        env.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
-        env.declare("Employee", Type::record([("Name", Type::Str), ("Empno", Type::Int)]))
+        env.declare("Person", Type::record([("Name", Type::Str)]))
             .unwrap();
+        env.declare(
+            "Employee",
+            Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+        )
+        .unwrap();
         env.declare_subtype("Employee", "Person").unwrap();
         let img = Image::capture(&env, &Heap::new(), &BTreeMap::new());
         let (env2, _, _) = img.restore().unwrap();

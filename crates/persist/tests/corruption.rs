@@ -1,0 +1,176 @@
+//! On-disk corruption robustness: torn / truncated / bit-flipped `.dyn`
+//! unit files must surface as clean errors (never panics, never OOM), and
+//! the schema-evolution paths must degrade gracefully on damaged or
+//! read-only (salvaged) stores.
+
+use dbpl_persist::{
+    open_handle, project_to_type, IntrinsicStore, LogFile, OpenOutcome, PersistError,
+    ReplicatingStore,
+};
+use dbpl_types::{parse_type, Type, TypeEnv};
+use dbpl_values::{DynValue, Heap, Value};
+use std::path::PathBuf;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbpl-corrupt-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Extern a value with a non-trivial object closure and return the path of
+/// the single `.dyn` unit file backing it.
+fn seeded_store(name: &str) -> (ReplicatingStore, PathBuf, Vec<u8>) {
+    let dir = fresh_dir(name);
+    let store = ReplicatingStore::open(&dir).unwrap();
+    let mut heap = Heap::new();
+    let inner = heap.alloc(Type::Int, Value::Int(5));
+    let outer = heap.alloc(
+        Type::Top,
+        Value::record([
+            ("label", Value::str("payload")),
+            ("inner", Value::Ref(inner)),
+        ]),
+    );
+    let d = DynValue::new(Type::Top, Value::Ref(outer));
+    store.extern_value("unit", &d, &heap).unwrap();
+    let path = dir.join("unit.dyn");
+    let bytes = std::fs::read(&path).unwrap();
+    (store, path, bytes)
+}
+
+#[test]
+fn truncated_dyn_unit_errors_cleanly_at_every_cut_point() {
+    let (store, path, bytes) = seeded_store("truncate");
+    assert!(
+        bytes.len() > 20,
+        "want a unit with structure, got {} bytes",
+        bytes.len()
+    );
+    for cut in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let mut heap = Heap::new();
+        let got = store.intern("unit", &mut heap);
+        assert!(
+            got.is_err(),
+            "truncation to {cut}/{} bytes must not intern successfully",
+            bytes.len()
+        );
+        // The error is a decode error, not a panic and not NotFound.
+        assert!(
+            !matches!(got, Err(PersistError::UnknownHandle(_))),
+            "cut {cut}: truncated file misreported as missing handle"
+        );
+    }
+    // The intact unit still round-trips after all that abuse.
+    std::fs::write(&path, &bytes).unwrap();
+    let mut heap = Heap::new();
+    store.intern("unit", &mut heap).unwrap();
+}
+
+#[test]
+fn bit_flipped_dyn_unit_never_panics() {
+    let (store, path, bytes) = seeded_store("bitflip");
+    for i in 0..bytes.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut damaged = bytes.clone();
+            damaged[i] ^= mask;
+            std::fs::write(&path, &damaged).unwrap();
+            let mut heap = Heap::new();
+            // A flip may still decode to *some* valid unit (the format has
+            // no per-unit checksum — that is the replicating store's
+            // documented weakness); the contract under test is that intern
+            // returns, Ok or Err, instead of panicking or over-allocating.
+            let _ = store.intern("unit", &mut heap);
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_after_unit_is_rejected() {
+    let (store, path, mut bytes) = seeded_store("trailing");
+    bytes.extend_from_slice(b"debris");
+    std::fs::write(&path, &bytes).unwrap();
+    let mut heap = Heap::new();
+    assert!(matches!(
+        store.intern("unit", &mut heap),
+        Err(PersistError::Malformed(_))
+    ));
+}
+
+/// Build an intrinsic log that normal `open` rejects: one committed
+/// transaction, then a validly-framed record of an unknown kind.
+fn poisoned_log(name: &str) -> PathBuf {
+    let path = fresh_dir(name).join("store.log");
+    {
+        let mut s = IntrinsicStore::open(&path).unwrap();
+        s.set_handle(
+            "DB",
+            parse_type("{Name: Str, Empno: Int}").unwrap(),
+            db_value(),
+        );
+        s.commit().unwrap();
+    }
+    let mut log = LogFile::open(&path).unwrap();
+    log.append(b"?record from a newer format").unwrap();
+    log.sync().unwrap();
+    path
+}
+
+fn db_value() -> Value {
+    Value::record([("Name", Value::str("J Doe")), ("Empno", Value::Int(7))])
+}
+
+#[test]
+fn evolution_on_a_salvaged_store_enriches_in_memory_but_cannot_commit() {
+    let path = poisoned_log("evo-salvage");
+    assert!(
+        IntrinsicStore::open(&path).is_err(),
+        "precondition: normal open refuses"
+    );
+
+    let (mut store, report) = IntrinsicStore::open_salvage(&path).unwrap();
+    assert_eq!(report.recovered_txn, 1);
+
+    // The three-way reopen rule still works against the salvaged state…
+    let env = TypeEnv::new();
+    let expected = parse_type("{Name: Str, Dept: Str}").unwrap();
+    match open_handle(&mut store, &env, "DB", &expected).unwrap() {
+        OpenOutcome::Enriched { new, .. } => {
+            assert_eq!(
+                new,
+                parse_type("{Name: Str, Empno: Int, Dept: Str}").unwrap()
+            );
+        }
+        other => panic!("expected enrichment, got {other:?}"),
+    }
+    // …but making the enrichment durable is refused: the store is
+    // read-only until the operator repairs or replaces the log.
+    assert!(matches!(store.commit(), Err(PersistError::ReadOnly(_))));
+    assert!(matches!(store.compact(), Err(PersistError::ReadOnly(_))));
+}
+
+#[test]
+fn evolution_refusal_still_reported_on_salvaged_store() {
+    let path = poisoned_log("evo-refuse");
+    let (mut store, _) = IntrinsicStore::open_salvage(&path).unwrap();
+    let env = TypeEnv::new();
+    let contradicting = parse_type("{Name: Int}").unwrap();
+    match open_handle(&mut store, &env, "DB", &contradicting) {
+        Err(PersistError::SchemaMismatch { handle, .. }) => assert_eq!(handle, "DB"),
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+    assert!(matches!(
+        open_handle(&mut store, &env, "Ghost", &Type::Int),
+        Err(PersistError::UnknownHandle(_))
+    ));
+}
+
+#[test]
+fn projection_through_an_unresolvable_named_type_is_identity() {
+    // `project_to_type` must not lose data when the type cannot even be
+    // resolved: an unknown abbreviation projects to the value unchanged.
+    let env = TypeEnv::new();
+    let v = db_value();
+    assert_eq!(project_to_type(&v, &Type::named("Mystery"), &env), v);
+}

@@ -212,12 +212,19 @@ mod tests {
             Schema::new([("Name", Type::Str), ("Dept", Type::Str), ("Sal", Type::Int)]).unwrap(),
         );
         for (n, d, s) in [("ann", "S", 10), ("bob", "M", 20), ("cyd", "S", 30)] {
-            emp.insert_row([("Name", Value::str(n)), ("Dept", Value::str(d)), ("Sal", Value::Int(s))])
-                .unwrap();
+            emp.insert_row([
+                ("Name", Value::str(n)),
+                ("Dept", Value::str(d)),
+                ("Sal", Value::Int(s)),
+            ])
+            .unwrap();
         }
-        let mut dept = Relation::new(Schema::new([("Dept", Type::Str), ("City", Type::Str)]).unwrap());
-        dept.insert_row([("Dept", Value::str("S")), ("City", Value::str("Austin"))]).unwrap();
-        dept.insert_row([("Dept", Value::str("M")), ("City", Value::str("Moose"))]).unwrap();
+        let mut dept =
+            Relation::new(Schema::new([("Dept", Type::Str), ("City", Type::Str)]).unwrap());
+        dept.insert_row([("Dept", Value::str("S")), ("City", Value::str("Austin"))])
+            .unwrap();
+        dept.insert_row([("Dept", Value::str("M")), ("City", Value::str("Moose"))])
+            .unwrap();
         Catalog::from([("Emp".to_string(), emp), ("Dept".to_string(), dept)])
     }
 
@@ -236,9 +243,11 @@ mod tests {
     #[test]
     fn predicates_compose() {
         let cat = catalog();
-        let e = RelExpr::base("Emp").select(
-            Pred::eq("Dept", "S").and(Pred::cmp("Sal", CmpOp::Lt, 20i64)),
-        );
+        let e = RelExpr::base("Emp").select(Pred::eq("Dept", "S").and(Pred::cmp(
+            "Sal",
+            CmpOp::Lt,
+            20i64,
+        )));
         assert_eq!(e.eval(&cat).unwrap().len(), 1);
         let e2 = RelExpr::base("Emp").select(Pred::Not(Box::new(Pred::eq("Dept", "S"))));
         assert_eq!(e2.eval(&cat).unwrap().len(), 1);
@@ -249,8 +258,10 @@ mod tests {
     #[test]
     fn attr_to_attr_comparison() {
         let mut r = Relation::new(Schema::new([("A", Type::Int), ("B", Type::Int)]).unwrap());
-        r.insert_row([("A", Value::Int(1)), ("B", Value::Int(1))]).unwrap();
-        r.insert_row([("A", Value::Int(1)), ("B", Value::Int(2))]).unwrap();
+        r.insert_row([("A", Value::Int(1)), ("B", Value::Int(1))])
+            .unwrap();
+        r.insert_row([("A", Value::Int(1)), ("B", Value::Int(2))])
+            .unwrap();
         let e = RelExpr::Const(r).select(Pred::CmpAttrs("A".into(), CmpOp::Eq, "B".into()));
         assert_eq!(e.eval(&Catalog::new()).unwrap().len(), 1);
     }
@@ -265,7 +276,9 @@ mod tests {
         let cat = catalog();
         // Pairs of employees in the same department.
         let left = RelExpr::base("Emp").project(["Name", "Dept"]);
-        let right = RelExpr::base("Emp").project(["Name", "Dept"]).rename("Name", "Name2");
+        let right = RelExpr::base("Emp")
+            .project(["Name", "Dept"])
+            .rename("Name", "Name2");
         let pairs = left.join(right).select(Pred::Not(Box::new(Pred::CmpAttrs(
             "Name".into(),
             CmpOp::Eq,
@@ -283,11 +296,18 @@ mod tests {
         let m = RelExpr::base("Emp").select(Pred::eq("Dept", "M"));
         assert_eq!(s.clone().union(m.clone()).eval(&cat).unwrap().len(), 3);
         assert_eq!(
-            RelExpr::base("Emp").difference(s.clone()).eval(&cat).unwrap().len(),
+            RelExpr::base("Emp")
+                .difference(s.clone())
+                .eval(&cat)
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(
-            RelExpr::Intersect(Box::new(RelExpr::base("Emp")), Box::new(s)).eval(&cat).unwrap().len(),
+            RelExpr::Intersect(Box::new(RelExpr::base("Emp")), Box::new(s))
+                .eval(&cat)
+                .unwrap()
+                .len(),
             2
         );
     }

@@ -46,16 +46,20 @@ mod tests {
     fn emp() -> Relation {
         let schema = Schema::new([("Name", Type::Str), ("Dept", Type::Str)]).unwrap();
         let mut r = Relation::new(schema);
-        r.insert_row([("Name", Value::str("ann")), ("Dept", Value::str("S"))]).unwrap();
-        r.insert_row([("Name", Value::str("bob")), ("Dept", Value::str("M"))]).unwrap();
+        r.insert_row([("Name", Value::str("ann")), ("Dept", Value::str("S"))])
+            .unwrap();
+        r.insert_row([("Name", Value::str("bob")), ("Dept", Value::str("M"))])
+            .unwrap();
         r
     }
 
     fn dept() -> Relation {
         let schema = Schema::new([("Dept", Type::Str), ("City", Type::Str)]).unwrap();
         let mut r = Relation::new(schema);
-        r.insert_row([("Dept", Value::str("S")), ("City", Value::str("Austin"))]).unwrap();
-        r.insert_row([("Dept", Value::str("M")), ("City", Value::str("Moose"))]).unwrap();
+        r.insert_row([("Dept", Value::str("S")), ("City", Value::str("Austin"))])
+            .unwrap();
+        r.insert_row([("Dept", Value::str("M")), ("City", Value::str("Moose"))])
+            .unwrap();
         r
     }
 
@@ -87,6 +91,9 @@ mod tests {
     fn non_records_do_not_flatten() {
         let g = GenRelation::from_values([Value::Int(3)]);
         let schema = Schema::new([("A", Type::Int)]).unwrap();
-        assert!(matches!(to_flat(&g, schema), Err(RelationError::NotARecord(_))));
+        assert!(matches!(
+            to_flat(&g, schema),
+            Err(RelationError::NotARecord(_))
+        ));
     }
 }

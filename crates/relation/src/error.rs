@@ -45,7 +45,11 @@ impl fmt::Display for RelationError {
             }
             RelationError::MissingAttribute(a) => write!(f, "tuple missing attribute `{a}`"),
             RelationError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
-            RelationError::TupleTypeMismatch { attr, expected, got } => {
+            RelationError::TupleTypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute `{attr}`: expected {expected}, got {got}")
             }
             RelationError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),

@@ -40,7 +40,10 @@ impl Fd {
         lhs: impl IntoIterator<Item = S>,
         rhs: impl IntoIterator<Item = S>,
     ) -> Fd {
-        Fd { lhs: attrs(lhs), rhs: attrs(rhs) }
+        Fd {
+            lhs: attrs(lhs),
+            rhs: attrs(rhs),
+        }
     }
 
     /// Is the dependency trivial (`Y ⊆ X`, Armstrong's reflexivity)?
@@ -71,7 +74,9 @@ impl FdSet {
 
     /// From a collection of FDs.
     pub fn from_fds(fds: impl IntoIterator<Item = Fd>) -> FdSet {
-        FdSet { fds: fds.into_iter().collect() }
+        FdSet {
+            fds: fds.into_iter().collect(),
+        }
     }
 
     /// Add an FD.
@@ -142,7 +147,11 @@ impl FdSet {
     /// the search enumerates supersets of that essential core in
     /// increasing size, pruning supersets of keys already found.
     pub fn candidate_keys(&self, all: &Attrs) -> Vec<Attrs> {
-        let in_rhs: Attrs = self.fds.iter().flat_map(|f| f.rhs.iter().cloned()).collect();
+        let in_rhs: Attrs = self
+            .fds
+            .iter()
+            .flat_map(|f| f.rhs.iter().cloned())
+            .collect();
         let essential: Attrs = all.difference(&in_rhs).cloned().collect();
         let optional: Vec<&Label> = all.difference(&essential).collect();
 
@@ -152,7 +161,10 @@ impl FdSet {
         let mut keys: Vec<Attrs> = Vec::new();
         // Subset enumeration in increasing popcount order.
         let n = optional.len();
-        assert!(n < 26, "candidate-key search limited to 26 non-essential attributes");
+        assert!(
+            n < 26,
+            "candidate-key search limited to 26 non-essential attributes"
+        );
         let mut masks: Vec<u32> = (1..(1u32 << n)).collect();
         masks.sort_by_key(|m| m.count_ones());
         for m in masks {
@@ -199,7 +211,10 @@ impl FdSet {
                 }
                 let mut trial = lhs.clone();
                 trial.remove(&a);
-                if whole.implies(&Fd { lhs: trial.clone(), rhs: f.rhs.clone() }) {
+                if whole.implies(&Fd {
+                    lhs: trial.clone(),
+                    rhs: f.rhs.clone(),
+                }) {
                     lhs = trial;
                 }
             }
@@ -211,7 +226,12 @@ impl FdSet {
         let mut i = 0;
         while i < fds.len() {
             let without: FdSet = FdSet {
-                fds: fds.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, f)| f.clone()).collect(),
+                fds: fds
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, f)| f.clone())
+                    .collect(),
             };
             if without.implies(&fds[i]) {
                 fds.remove(i);
@@ -238,7 +258,11 @@ impl FdSet {
                 .map(|(_, a)| (*a).clone())
                 .collect();
             let cx = self.closure(&x);
-            let rhs: Attrs = cx.intersection(onto).filter(|a| !x.contains(*a)).cloned().collect();
+            let rhs: Attrs = cx
+                .intersection(onto)
+                .filter(|a| !x.contains(*a))
+                .cloned()
+                .collect();
             if !rhs.is_empty() {
                 out.push(Fd { lhs: x, rhs });
             }
@@ -308,7 +332,10 @@ impl FdSet {
         // Group by LHS.
         let mut groups: BTreeMap<Attrs, Attrs> = BTreeMap::new();
         for f in cover.fds() {
-            groups.entry(f.lhs.clone()).or_default().extend(f.rhs.iter().cloned());
+            groups
+                .entry(f.lhs.clone())
+                .or_default()
+                .extend(f.rhs.iter().cloned());
         }
         let mut schemas: Vec<Attrs> = groups
             .into_iter()
@@ -345,7 +372,8 @@ impl FdSet {
         // Tableau: one row per part; cell (i, A) is distinguished (0) if
         // A ∈ parts[i], else a unique symbol i+1.
         let cols: Vec<&Label> = all.iter().collect();
-        let col_idx: BTreeMap<&Label, usize> = cols.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+        let col_idx: BTreeMap<&Label, usize> =
+            cols.iter().enumerate().map(|(i, c)| (*c, i)).collect();
         let mut tab: Vec<Vec<u32>> = parts
             .iter()
             .enumerate()
@@ -359,11 +387,19 @@ impl FdSet {
         loop {
             let mut changed = false;
             for fd in &self.fds {
-                let lhs_idx: Vec<usize> = fd.lhs.iter().filter_map(|a| col_idx.get(a).copied()).collect();
+                let lhs_idx: Vec<usize> = fd
+                    .lhs
+                    .iter()
+                    .filter_map(|a| col_idx.get(a).copied())
+                    .collect();
                 if lhs_idx.len() != fd.lhs.len() {
                     continue; // FD mentions attributes outside `all`
                 }
-                let rhs_idx: Vec<usize> = fd.rhs.iter().filter_map(|a| col_idx.get(a).copied()).collect();
+                let rhs_idx: Vec<usize> = fd
+                    .rhs
+                    .iter()
+                    .filter_map(|a| col_idx.get(a).copied())
+                    .collect();
                 for i in 0..tab.len() {
                     for j in (i + 1)..tab.len() {
                         if lhs_idx.iter().all(|&c| tab[i][c] == tab[j][c]) {
@@ -530,7 +566,10 @@ mod tests {
         for p in &parts {
             assert!(fds.project(p).is_bcnf(p), "fragment {p:?} not BCNF");
         }
-        assert!(fds.lossless_join(&all, &parts), "BCNF decomposition must be lossless");
+        assert!(
+            fds.lossless_join(&all, &parts),
+            "BCNF decomposition must be lossless"
+        );
     }
 
     #[test]
@@ -575,8 +614,10 @@ mod tests {
         use dbpl_values::Value;
         let schema = crate::flat::Schema::new([("A", Type::Int), ("B", Type::Int)]).unwrap();
         let mut r = Relation::new(schema);
-        r.insert_row([("A", Value::Int(1)), ("B", Value::Int(1))]).unwrap();
-        r.insert_row([("A", Value::Int(2)), ("B", Value::Int(1))]).unwrap();
+        r.insert_row([("A", Value::Int(1)), ("B", Value::Int(1))])
+            .unwrap();
+        r.insert_row([("A", Value::Int(2)), ("B", Value::Int(1))])
+            .unwrap();
         assert!(satisfies_flat(&r, &Fd::new(["A"], ["B"])));
         assert!(satisfies_flat(&r, &Fd::new(["B"], ["B"])));
         assert!(!satisfies_flat(&r, &Fd::new(["B"], ["A"])));

@@ -94,7 +94,10 @@ pub fn figure1_expected() -> GenRelation {
             ("Dept", Value::str("Admin")),
             (
                 "Addr",
-                rec([("City", Value::str("Billings")), ("State", Value::str("MT"))]),
+                rec([
+                    ("City", Value::str("Billings")),
+                    ("State", Value::str("MT")),
+                ]),
             ),
         ]),
     ])

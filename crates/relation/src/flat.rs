@@ -28,8 +28,7 @@ impl Schema {
         I: IntoIterator<Item = (S, Type)>,
         S: Into<String>,
     {
-        let attrs: BTreeMap<Label, Type> =
-            attrs.into_iter().map(|(l, t)| (l.into(), t)).collect();
+        let attrs: BTreeMap<Label, Type> = attrs.into_iter().map(|(l, t)| (l.into(), t)).collect();
         for (l, t) in &attrs {
             if !t.is_base() {
                 return Err(RelationError::NotFirstNormalForm {
@@ -64,7 +63,11 @@ impl Schema {
     /// The attributes shared with another schema (the natural-join
     /// attributes).
     pub fn common(&self, other: &Schema) -> Vec<Label> {
-        self.attrs.keys().filter(|l| other.has(l)).cloned().collect()
+        self.attrs
+            .keys()
+            .filter(|l| other.has(l))
+            .cloned()
+            .collect()
     }
 
     /// Schema of the natural join: union of the attributes. Fails if a
@@ -107,7 +110,9 @@ impl Schema {
             return Err(RelationError::UnknownAttribute(from.to_string()));
         }
         if self.has(to) {
-            return Err(RelationError::SchemaMismatch(format!("attribute `{to}` already exists")));
+            return Err(RelationError::SchemaMismatch(format!(
+                "attribute `{to}` already exists"
+            )));
         }
         let mut attrs = self.attrs.clone();
         let t = attrs.remove(from).expect("checked");
@@ -133,7 +138,11 @@ pub struct Relation {
 impl Relation {
     /// An empty relation over the given schema.
     pub fn new(schema: Schema) -> Relation {
-        Relation { schema, tuples: BTreeSet::new(), key: None }
+        Relation {
+            schema,
+            tuples: BTreeSet::new(),
+            key: None,
+        }
     }
 
     /// Impose a key. Fails if existing tuples already violate it or the
@@ -262,7 +271,11 @@ impl Relation {
                     .collect()
             })
             .collect();
-        Ok(Relation { schema, tuples, key: None })
+        Ok(Relation {
+            schema,
+            tuples,
+            key: None,
+        })
     }
 
     /// ⋈ — the classical natural join.
@@ -281,7 +294,11 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation { schema, tuples, key: None })
+        Ok(Relation {
+            schema,
+            tuples,
+            key: None,
+        })
     }
 
     /// ∪ — union (schemas must agree).
@@ -327,7 +344,11 @@ impl Relation {
                 t
             })
             .collect();
-        Ok(Relation { schema, tuples, key: None })
+        Ok(Relation {
+            schema,
+            tuples,
+            key: None,
+        })
     }
 
     /// × — cartesian product (attribute sets must be disjoint; rename
@@ -352,7 +373,15 @@ impl Relation {
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let names: Vec<&Label> = self.schema.attr_names().collect();
-        writeln!(f, "| {} |", names.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" | "))?;
+        writeln!(
+            f,
+            "| {} |",
+            names
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        )?;
         for t in &self.tuples {
             let row: Vec<String> = names.iter().map(|n| t[*n].to_string()).collect();
             writeln!(f, "| {} |", row.join(" | "))?;
@@ -369,18 +398,28 @@ mod tests {
         let schema =
             Schema::new([("Name", Type::Str), ("Dept", Type::Str), ("Sal", Type::Int)]).unwrap();
         let mut r = Relation::new(schema);
-        r.insert_row([("Name", Value::str("ann")), ("Dept", Value::str("S")), ("Sal", Value::Int(10))])
-            .unwrap();
-        r.insert_row([("Name", Value::str("bob")), ("Dept", Value::str("M")), ("Sal", Value::Int(20))])
-            .unwrap();
+        r.insert_row([
+            ("Name", Value::str("ann")),
+            ("Dept", Value::str("S")),
+            ("Sal", Value::Int(10)),
+        ])
+        .unwrap();
+        r.insert_row([
+            ("Name", Value::str("bob")),
+            ("Dept", Value::str("M")),
+            ("Sal", Value::Int(20)),
+        ])
+        .unwrap();
         r
     }
 
     fn dept() -> Relation {
         let schema = Schema::new([("Dept", Type::Str), ("City", Type::Str)]).unwrap();
         let mut r = Relation::new(schema);
-        r.insert_row([("Dept", Value::str("S")), ("City", Value::str("Austin"))]).unwrap();
-        r.insert_row([("Dept", Value::str("M")), ("City", Value::str("Moose"))]).unwrap();
+        r.insert_row([("Dept", Value::str("S")), ("City", Value::str("Austin"))])
+            .unwrap();
+        r.insert_row([("Dept", Value::str("M")), ("City", Value::str("Moose"))])
+            .unwrap();
         r
     }
 
@@ -471,8 +510,12 @@ mod tests {
     #[test]
     fn projection_collapses_duplicates() {
         let mut r = emp();
-        r.insert_row([("Name", Value::str("cyd")), ("Dept", Value::str("S")), ("Sal", Value::Int(30))])
-            .unwrap();
+        r.insert_row([
+            ("Name", Value::str("cyd")),
+            ("Dept", Value::str("S")),
+            ("Sal", Value::Int(30)),
+        ])
+        .unwrap();
         let p = r.project(&["Dept"]).unwrap();
         assert_eq!(p.len(), 2, "two of the three rows share Dept='S'");
     }
@@ -482,8 +525,12 @@ mod tests {
         let a = emp();
         let b = {
             let mut b = emp();
-            b.insert_row([("Name", Value::str("cyd")), ("Dept", Value::str("S")), ("Sal", Value::Int(30))])
-                .unwrap();
+            b.insert_row([
+                ("Name", Value::str("cyd")),
+                ("Dept", Value::str("S")),
+                ("Sal", Value::Int(30)),
+            ])
+            .unwrap();
             b
         };
         assert_eq!(a.union(&b).unwrap().len(), 3);
@@ -504,8 +551,12 @@ mod tests {
         assert!(matches!(err, Err(RelationError::KeyViolation(_))));
         // Imposing a key retroactively checks existing data.
         let mut dup = emp();
-        dup.insert_row([("Name", Value::str("ann")), ("Dept", Value::str("Z")), ("Sal", Value::Int(1))])
-            .unwrap();
+        dup.insert_row([
+            ("Name", Value::str("ann")),
+            ("Dept", Value::str("Z")),
+            ("Sal", Value::Int(1)),
+        ])
+        .unwrap();
         assert!(dup.with_key(&["Name"]).is_err());
     }
 }

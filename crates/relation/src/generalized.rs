@@ -53,7 +53,9 @@ impl GenRelation {
     /// Build a relation from arbitrary values, canonicalizing by
     /// subsumption (maximal reduction).
     pub fn from_values<I: IntoIterator<Item = Value>>(items: I) -> Self {
-        GenRelation { rows: reduce_maximal(items.into_iter().collect()) }
+        GenRelation {
+            rows: reduce_maximal(items.into_iter().collect()),
+        }
     }
 
     /// Build from values, requiring them to *already* form an antichain.
@@ -106,7 +108,10 @@ impl GenRelation {
     /// The paper's relation ordering: `self ⊑ other` iff every object of
     /// `other` is more informative than some object of `self`.
     pub fn leq(&self, other: &GenRelation) -> bool {
-        other.rows.iter().all(|o2| self.rows.iter().any(|o1| leq(o1, o2)))
+        other
+            .rows
+            .iter()
+            .all(|o2| self.rows.iter().any(|o1| leq(o1, o2)))
     }
 
     /// Relation equivalence under the preorder (mutual `⊑`).
@@ -121,7 +126,9 @@ impl GenRelation {
     /// *this* ordering, [`GenRelation::natural_join`] of the other; their
     /// interaction is what \[Bune86\] uses to derive FD theory.
     pub fn leq_hoare(&self, other: &GenRelation) -> bool {
-        self.rows.iter().all(|o1| other.rows.iter().any(|o2| leq(o1, o2)))
+        self.rows
+            .iter()
+            .all(|o1| other.rows.iter().any(|o2| leq(o1, o2)))
     }
 
     /// Equivalence under the Hoare preorder.
@@ -177,13 +184,17 @@ impl GenRelation {
             }
             out.push(proj);
         }
-        GenRelation { rows: reduce_maximal(out) }
+        GenRelation {
+            rows: reduce_maximal(out),
+        }
     }
 
     /// Select the objects satisfying a predicate. The result of filtering
     /// an antichain is an antichain, so no reduction is needed.
     pub fn select(&self, pred: impl Fn(&Value) -> bool) -> GenRelation {
-        GenRelation { rows: self.rows.iter().filter(|r| pred(r)).cloned().collect() }
+        GenRelation {
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
     }
 
     /// Union with subsumption (the join in the *other* — Hoare — ordering
@@ -205,7 +216,9 @@ impl GenRelation {
                 }
             }
         }
-        GenRelation { rows: reduce_maximal(out) }
+        GenRelation {
+            rows: reduce_maximal(out),
+        }
     }
 
     /// Iterate over the rows.
@@ -321,10 +334,8 @@ mod tests {
 
     #[test]
     fn join_is_upper_bound_in_relation_order() {
-        let r1 = GenRelation::from_values([
-            rec(&[("A", Value::Int(1))]),
-            rec(&[("A", Value::Int(2))]),
-        ]);
+        let r1 =
+            GenRelation::from_values([rec(&[("A", Value::Int(1))]), rec(&[("A", Value::Int(2))])]);
         let r2 = GenRelation::from_values([rec(&[("B", Value::Int(9))])]);
         let j = r1.natural_join(&r2);
         assert!(r1.leq(&j));
@@ -355,7 +366,10 @@ mod tests {
     fn projection_of_nested_paths() {
         let r = GenRelation::from_values([rec(&[
             ("Name", Value::str("a")),
-            ("Addr", rec(&[("City", Value::str("Moose")), ("State", Value::str("WY"))])),
+            (
+                "Addr",
+                rec(&[("City", Value::str("Moose")), ("State", Value::str("WY"))]),
+            ),
         ])]);
         let p = r.project([dbpl_values::Path::parse("Addr.State")]);
         assert!(p.contains(&rec(&[("Addr", rec(&[("State", Value::str("WY"))]))])));
@@ -390,10 +404,8 @@ mod tests {
 
     #[test]
     fn select_filters() {
-        let r = GenRelation::from_values([
-            rec(&[("A", Value::Int(1))]),
-            rec(&[("A", Value::Int(2))]),
-        ]);
+        let r =
+            GenRelation::from_values([rec(&[("A", Value::Int(1))]), rec(&[("A", Value::Int(2))])]);
         let s = r.select(|v| v.field("A") == Some(&Value::Int(1)));
         assert_eq!(s.len(), 1);
     }
@@ -460,8 +472,12 @@ mod type_relation_tests {
         let person = parse_type("{Name: Str}").unwrap();
         let r = people();
         let extra = GenRelation::from_values([rec(&[("Dept", Value::str("S"))])]);
-        let a = r.restrict_to_type(&person, &env, &heap).natural_join(&extra);
-        let b = r.natural_join(&extra).restrict_to_type(&person, &env, &heap);
+        let a = r
+            .restrict_to_type(&person, &env, &heap)
+            .natural_join(&extra);
+        let b = r
+            .natural_join(&extra)
+            .restrict_to_type(&person, &env, &heap);
         assert!(a.equiv(&b));
     }
 }

@@ -8,8 +8,10 @@ use dbpl_values::Value;
 
 fn emp() -> Relation {
     let mut r = Relation::new(Schema::new([("Name", Type::Str), ("Sal", Type::Int)]).unwrap());
-    r.insert_row([("Name", Value::str("ann")), ("Sal", Value::Int(10))]).unwrap();
-    r.insert_row([("Name", Value::str("bob")), ("Sal", Value::Int(20))]).unwrap();
+    r.insert_row([("Name", Value::str("ann")), ("Sal", Value::Int(10))])
+        .unwrap();
+    r.insert_row([("Name", Value::str("bob")), ("Sal", Value::Int(20))])
+        .unwrap();
     r
 }
 
@@ -42,7 +44,10 @@ fn algebra_expressions_render() {
         .project(["City"])
         .rename("City", "Town");
     let s = e.to_string();
-    assert!(s.contains("Emp") && s.contains("join") && s.contains("project"), "{s}");
+    assert!(
+        s.contains("Emp") && s.contains("join") && s.contains("project"),
+        "{s}"
+    );
     assert!(s.contains("rename[City->Town]"), "{s}");
 }
 
@@ -63,7 +68,10 @@ fn schema_errors_are_specific() {
     ));
     // Joining schemas that disagree on a shared attribute's type.
     let other = Relation::new(Schema::new([("Sal", Type::Str)]).unwrap());
-    assert!(matches!(r.natural_join(&other), Err(RelationError::SchemaMismatch(_))));
+    assert!(matches!(
+        r.natural_join(&other),
+        Err(RelationError::SchemaMismatch(_))
+    ));
 }
 
 #[test]
@@ -97,6 +105,9 @@ fn fdset_display_roundtrip_via_parts() {
 fn error_displays_mention_the_figure_terms() {
     let e = RelationError::NotAnAntichain;
     assert!(e.to_string().contains("comparable"));
-    let f = RelationError::NotFirstNormalForm { attr: "Kids".into(), ty: Type::list(Type::Str) };
+    let f = RelationError::NotFirstNormalForm {
+        attr: "Kids".into(),
+        ty: Type::list(Type::Str),
+    };
     assert!(f.to_string().contains("1NF"));
 }

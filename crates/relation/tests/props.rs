@@ -15,9 +15,8 @@ use proptest::prelude::*;
 /// Partial records over a tiny attribute vocabulary with tiny domains so
 /// collisions (hence joins and subsumptions) are common.
 fn arb_partial_record() -> impl Strategy<Value = Value> {
-    prop::collection::btree_map("[abcd]", 0i64..3, 0..4).prop_map(|m| {
-        Value::Record(m.into_iter().map(|(k, v)| (k, Value::Int(v))).collect())
-    })
+    prop::collection::btree_map("[abcd]", 0i64..3, 0..4)
+        .prop_map(|m| Value::Record(m.into_iter().map(|(k, v)| (k, Value::Int(v))).collect()))
 }
 
 fn arb_gen_relation() -> impl Strategy<Value = GenRelation> {
@@ -255,13 +254,18 @@ fn maximal_join_is_not_associative() {
     let right = a.natural_join(&b.natural_join(&c));
     assert!(left.is_empty());
     assert_eq!(right.len(), 1);
-    assert!(!left.equiv(&right), "maximal reduction: associativity fails");
+    assert!(
+        !left.equiv(&right),
+        "maximal reduction: associativity fails"
+    );
 
     let lmin = a
         .natural_join_with(&b, Reduction::Minimal)
         .natural_join_with(&c, Reduction::Minimal);
-    let rmin =
-        a.natural_join_with(&b.natural_join_with(&c, Reduction::Minimal), Reduction::Minimal);
+    let rmin = a.natural_join_with(
+        &b.natural_join_with(&c, Reduction::Minimal),
+        Reduction::Minimal,
+    );
     assert!(lmin.equiv(&rmin), "minimal reduction: associativity holds");
 }
 

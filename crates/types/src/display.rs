@@ -99,7 +99,10 @@ mod tests {
         let t = Type::record([("Name", Type::Str), ("Empno", Type::Int)]);
         assert_eq!(t.to_string(), "{Empno: Int, Name: Str}");
         assert_eq!(Type::list(Type::Int).to_string(), "List[Int]");
-        assert_eq!(Type::fun(Type::Int, Type::fun(Type::Int, Type::Bool)).to_string(), "Int -> Int -> Bool");
+        assert_eq!(
+            Type::fun(Type::Int, Type::fun(Type::Int, Type::Bool)).to_string(),
+            "Int -> Int -> Bool"
+        );
         assert_eq!(
             Type::fun(Type::fun(Type::Int, Type::Int), Type::Bool).to_string(),
             "(Int -> Int) -> Bool"
@@ -117,7 +120,10 @@ mod tests {
                 Type::list(Type::exists("u", Some(Type::var("t")), Type::var("u"))),
             ),
         );
-        assert_eq!(get.to_string(), "forall t. Database -> List[exists u <= t. u]");
+        assert_eq!(
+            get.to_string(),
+            "forall t. Database -> List[exists u <= t. u]"
+        );
     }
 
     #[test]

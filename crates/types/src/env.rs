@@ -47,7 +47,10 @@ impl TypeEnv {
 
     /// An empty environment with the given policy.
     pub fn with_policy(policy: SubtypePolicy) -> Self {
-        TypeEnv { policy, ..Self::default() }
+        TypeEnv {
+            policy,
+            ..Self::default()
+        }
     }
 
     /// The active subtype policy.
@@ -95,7 +98,9 @@ impl TypeEnv {
 
     /// Resolve a name, erroring when undefined.
     pub fn resolve(&self, name: &str) -> Result<&Type, TypeError> {
-        self.defs.get(name).ok_or_else(|| TypeError::Unknown(name.to_string()))
+        self.defs
+            .get(name)
+            .ok_or_else(|| TypeError::Unknown(name.to_string()))
     }
 
     /// Iterate over every named definition.
@@ -146,7 +151,10 @@ impl TypeEnv {
         if !structurally_ok {
             return Err(TypeError::IncompatibleDeclaration { sub, sup });
         }
-        self.declared_sups.entry(sub.clone()).or_default().insert(sup);
+        self.declared_sups
+            .entry(sub.clone())
+            .or_default()
+            .insert(sup);
         if self.declared_cycle_from(&sub) {
             // Roll back the edge we just added.
             if let Some(sups) = self.declared_sups.get_mut(&sub) {
@@ -189,8 +197,13 @@ impl TypeEnv {
         // A cycle exists iff start is reachable from one of its proper
         // supertypes.
         let mut seen = BTreeSet::new();
-        let mut stack: Vec<Name> =
-            self.declared_sups.get(start).into_iter().flatten().cloned().collect();
+        let mut stack: Vec<Name> = self
+            .declared_sups
+            .get(start)
+            .into_iter()
+            .flatten()
+            .cloned()
+            .collect();
         while let Some(n) = stack.pop() {
             if n == start {
                 return true;
@@ -292,8 +305,12 @@ mod tests {
     #[test]
     fn declare_and_resolve() {
         let mut env = TypeEnv::new();
-        env.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
-        assert_eq!(env.resolve("Person").unwrap(), &Type::record([("Name", Type::Str)]));
+        env.declare("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
+        assert_eq!(
+            env.resolve("Person").unwrap(),
+            &Type::record([("Name", Type::Str)])
+        );
         assert!(env.resolve("Nobody").is_err());
     }
 
@@ -301,7 +318,10 @@ mod tests {
     fn duplicate_rejected() {
         let mut env = TypeEnv::new();
         env.declare("A", Type::Int).unwrap();
-        assert_eq!(env.declare("A", Type::Bool), Err(TypeError::Duplicate("A".into())));
+        assert_eq!(
+            env.declare("A", Type::Bool),
+            Err(TypeError::Duplicate("A".into()))
+        );
     }
 
     #[test]
@@ -348,13 +368,15 @@ mod tests {
     #[test]
     fn declared_subtype_checked_structurally() {
         let mut env = TypeEnv::with_policy(SubtypePolicy::Declared);
-        env.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
+        env.declare("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
         env.declare(
             "Employee",
             Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
         )
         .unwrap();
-        env.declare("Rock", Type::record([("Mass", Type::Float)])).unwrap();
+        env.declare("Rock", Type::record([("Mass", Type::Float)]))
+            .unwrap();
         env.declare_subtype("Employee", "Person").unwrap();
         assert!(env.declared_le("Employee", "Person"));
         assert!(!env.declared_le("Person", "Employee"));
@@ -368,9 +390,13 @@ mod tests {
     #[test]
     fn declared_le_is_transitive_and_reflexive() {
         let mut env = TypeEnv::new();
-        env.declare("A", Type::record([("x", Type::Int), ("y", Type::Int), ("z", Type::Int)]))
+        env.declare(
+            "A",
+            Type::record([("x", Type::Int), ("y", Type::Int), ("z", Type::Int)]),
+        )
+        .unwrap();
+        env.declare("B", Type::record([("x", Type::Int), ("y", Type::Int)]))
             .unwrap();
-        env.declare("B", Type::record([("x", Type::Int), ("y", Type::Int)])).unwrap();
         env.declare("C", Type::record([("x", Type::Int)])).unwrap();
         env.declare_subtype("A", "B").unwrap();
         env.declare_subtype("B", "C").unwrap();

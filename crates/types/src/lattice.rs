@@ -127,12 +127,8 @@ pub fn meet(a: &Type, b: &Type, env: &TypeEnv) -> Option<Type> {
         }
         // `List[Bottom]` and `Set[Bottom]` are inhabited (by the empty
         // list/set), so element inconsistency degrades gracefully.
-        (Type::List(x), Type::List(y)) => {
-            Some(Type::list(meet(x, y, env).unwrap_or(Type::Bottom)))
-        }
-        (Type::Set(x), Type::Set(y)) => {
-            Some(Type::set(meet(x, y, env).unwrap_or(Type::Bottom)))
-        }
+        (Type::List(x), Type::List(y)) => Some(Type::list(meet(x, y, env).unwrap_or(Type::Bottom))),
+        (Type::Set(x), Type::Set(y)) => Some(Type::set(meet(x, y, env).unwrap_or(Type::Bottom))),
         (Type::Fun(a1, r1), Type::Fun(a2, r2)) => {
             let res = meet(r1, r2, env)?;
             Some(Type::fun(join(a1, a2, env), res))
@@ -197,7 +193,11 @@ mod tests {
         let m = meet(&employee(), &student(), &e).unwrap();
         assert_eq!(
             m,
-            Type::record([("Name", Type::Str), ("Empno", Type::Int), ("Gpa", Type::Float)])
+            Type::record([
+                ("Name", Type::Str),
+                ("Empno", Type::Int),
+                ("Gpa", Type::Float)
+            ])
         );
         // The meet is below both.
         assert!(is_subtype(&m, &employee(), &e));
@@ -227,7 +227,8 @@ mod tests {
         // Stored DB type and a recompiled program's type that is neither a
         // sub- nor a supertype, but consistent: evolution allowed.
         let stored = Type::record([("Employees", Type::list(employee()))]);
-        let recompiled = Type::record([("Employees", Type::list(student())), ("Version", Type::Int)]);
+        let recompiled =
+            Type::record([("Employees", Type::list(student())), ("Version", Type::Int)]);
         assert!(consistent(&stored, &recompiled, &e));
         let m = meet(&stored, &recompiled, &e).unwrap();
         assert!(is_subtype(&m, &stored, &e));
@@ -275,7 +276,10 @@ mod tests {
             (employee(), student()),
             (Type::Int, Type::Float),
             (Type::list(employee()), Type::list(student())),
-            (Type::variant([("A", Type::Int)]), Type::variant([("B", Type::Str)])),
+            (
+                Type::variant([("A", Type::Int)]),
+                Type::variant([("B", Type::Str)]),
+            ),
         ];
         for (a, b) in cases {
             assert_eq!(join(&a, &b, &e), join(&b, &a, &e));
@@ -299,7 +303,10 @@ mod tests {
         let mut e = TypeEnv::new();
         e.declare("Person", person()).unwrap();
         e.declare("Employee", employee()).unwrap();
-        assert_eq!(join(&Type::named("Employee"), &Type::named("Person"), &e), Type::named("Person"));
+        assert_eq!(
+            join(&Type::named("Employee"), &Type::named("Person"), &e),
+            Type::named("Person")
+        );
         assert_eq!(
             meet(&Type::named("Employee"), &Type::named("Person"), &e),
             Some(Type::named("Employee"))

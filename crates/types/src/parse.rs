@@ -45,7 +45,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse a type expression.
 pub fn parse_type(input: &str) -> Result<Type, ParseError> {
-    let mut p = Parser { src: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        src: input.as_bytes(),
+        pos: 0,
+    };
     let t = p.ty()?;
     p.skip_ws();
     if p.pos != p.src.len() {
@@ -61,7 +64,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, msg: msg.into() }
+        ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -121,7 +127,11 @@ impl<'a> Parser<'a> {
                 let kw = kw.to_string();
                 let _ = self.ident();
                 let var = self.ident()?;
-                let bound = if self.eat("<=") { Some(self.atom()?) } else { None };
+                let bound = if self.eat("<=") {
+                    Some(self.atom()?)
+                } else {
+                    None
+                };
                 self.expect(".")?;
                 let body = self.ty()?;
                 Ok(if kw == "forall" {
@@ -201,9 +211,15 @@ impl<'a> Parser<'a> {
                         self.expect("[")?;
                         let t = self.ty()?;
                         self.expect("]")?;
-                        Ok(if id == "List" { Type::list(t) } else { Type::set(t) })
+                        Ok(if id == "List" {
+                            Type::list(t)
+                        } else {
+                            Type::set(t)
+                        })
                     }
-                    "forall" | "exists" => Err(self.err("quantifier not allowed here; parenthesize")),
+                    "forall" | "exists" => {
+                        Err(self.err("quantifier not allowed here; parenthesize"))
+                    }
                     _ => {
                         if id.as_bytes()[0].is_ascii_uppercase() {
                             Ok(Type::named(id))
@@ -226,7 +242,10 @@ mod tests {
         let t = parse_type(s).unwrap();
         let printed = t.to_string();
         let t2 = parse_type(&printed).unwrap();
-        assert_eq!(t, t2, "display/parse roundtrip failed for `{s}` -> `{printed}`");
+        assert_eq!(
+            t, t2,
+            "display/parse roundtrip failed for `{s}` -> `{printed}`"
+        );
     }
 
     #[test]
@@ -242,7 +261,10 @@ mod tests {
             t,
             Type::record([
                 ("Name", Type::Str),
-                ("Address", Type::record([("City", Type::Str), ("Zip", Type::Int)])),
+                (
+                    "Address",
+                    Type::record([("City", Type::Str), ("Zip", Type::Int)])
+                ),
             ])
         );
     }
@@ -287,7 +309,10 @@ mod tests {
             t,
             Type::variant([
                 ("Nil", Type::Unit),
-                ("Cons", Type::record([("Hd", Type::Int), ("Tl", Type::named("IntList"))])),
+                (
+                    "Cons",
+                    Type::record([("Hd", Type::Int), ("Tl", Type::named("IntList"))])
+                ),
             ])
         );
     }
@@ -303,7 +328,10 @@ mod tests {
         let e = parse_type("{Name: }").unwrap_err();
         assert!(e.at > 0);
         assert!(parse_type("Int Bool").is_err(), "trailing input rejected");
-        assert!(parse_type("{a: Int, a: Str}").is_err(), "duplicate field rejected");
+        assert!(
+            parse_type("{a: Int, a: Str}").is_err(),
+            "duplicate field rejected"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! `Int ≤ Float` is admitted as the one base-type coercion.
 
 use crate::env::{SubtypePolicy, TypeEnv};
-use crate::ty::{Type, TyVar};
+use crate::ty::{TyVar, Type};
 use std::collections::{BTreeMap, HashSet};
 
 /// Is `sub` a subtype of `sup` in environment `env`?
@@ -70,7 +70,12 @@ struct Subtyper<'e> {
 
 impl<'e> Subtyper<'e> {
     fn new(env: &'e TypeEnv) -> Self {
-        Subtyper { env, assumptions: HashSet::new(), bounds: BTreeMap::new(), fresh: 0 }
+        Subtyper {
+            env,
+            assumptions: HashSet::new(),
+            bounds: BTreeMap::new(),
+            fresh: 0,
+        }
     }
 
     fn check(&mut self, sub: &Type, sup: &Type) -> bool {
@@ -133,7 +138,8 @@ impl<'e> Subtyper<'e> {
                 let fb = Type::Var(fresh.clone());
                 let body_p = p.body.subst(&p.var, &fb);
                 let body_q = q.body.subst(&q.var, &fb);
-                self.bounds.insert(fresh.clone(), p.bound.as_deref().cloned());
+                self.bounds
+                    .insert(fresh.clone(), p.bound.as_deref().cloned());
                 let ok = self.check(&body_p, &body_q);
                 self.bounds.remove(&fresh);
                 ok
@@ -197,7 +203,10 @@ mod tests {
         let mut e = TypeEnv::new();
         e.declare(
             "Person",
-            Type::record([("Name", Type::Str), ("Address", Type::record([("City", Type::Str)]))]),
+            Type::record([
+                ("Name", Type::Str),
+                ("Address", Type::record([("City", Type::Str)])),
+            ]),
         )
         .unwrap();
         e.declare(
@@ -216,9 +225,21 @@ mod tests {
     #[test]
     fn employee_is_a_person_structurally() {
         let e = env();
-        assert!(is_subtype(&Type::named("Employee"), &Type::named("Person"), &e));
-        assert!(!is_subtype(&Type::named("Person"), &Type::named("Employee"), &e));
-        assert!(is_proper_subtype(&Type::named("Employee"), &Type::named("Person"), &e));
+        assert!(is_subtype(
+            &Type::named("Employee"),
+            &Type::named("Person"),
+            &e
+        ));
+        assert!(!is_subtype(
+            &Type::named("Person"),
+            &Type::named("Employee"),
+            &e
+        ));
+        assert!(is_proper_subtype(
+            &Type::named("Employee"),
+            &Type::named("Person"),
+            &e
+        ));
     }
 
     #[test]
@@ -236,7 +257,12 @@ mod tests {
     #[test]
     fn top_bottom_laws() {
         let e = TypeEnv::new();
-        for t in [Type::Int, Type::Str, Type::record([("a", Type::Bool)]), Type::Dynamic] {
+        for t in [
+            Type::Int,
+            Type::Str,
+            Type::record([("a", Type::Bool)]),
+            Type::Dynamic,
+        ] {
             assert!(is_subtype(&t, &Type::Top, &e));
             assert!(is_subtype(&Type::Bottom, &t, &e));
         }
@@ -248,7 +274,11 @@ mod tests {
         assert!(is_subtype(&Type::Int, &Type::Float, &e));
         assert!(!is_subtype(&Type::Float, &Type::Int, &e));
         // ... and it lifts through constructors.
-        assert!(is_subtype(&Type::list(Type::Int), &Type::list(Type::Float), &e));
+        assert!(is_subtype(
+            &Type::list(Type::Int),
+            &Type::list(Type::Float),
+            &e
+        ));
     }
 
     #[test]
@@ -288,7 +318,10 @@ mod tests {
         // WorkerTree  = {Name: Str, Empno: Int, Friends: List[WorkerTree]}
         e.declare(
             "PersonTree",
-            Type::record([("Name", Type::Str), ("Friends", Type::list(Type::named("PersonTree")))]),
+            Type::record([
+                ("Name", Type::Str),
+                ("Friends", Type::list(Type::named("PersonTree"))),
+            ]),
         )
         .unwrap();
         e.declare(
@@ -300,15 +333,32 @@ mod tests {
             ]),
         )
         .unwrap();
-        assert!(is_subtype(&Type::named("WorkerTree"), &Type::named("PersonTree"), &e));
-        assert!(!is_subtype(&Type::named("PersonTree"), &Type::named("WorkerTree"), &e));
+        assert!(is_subtype(
+            &Type::named("WorkerTree"),
+            &Type::named("PersonTree"),
+            &e
+        ));
+        assert!(!is_subtype(
+            &Type::named("PersonTree"),
+            &Type::named("WorkerTree"),
+            &e
+        ));
     }
 
     #[test]
     fn equi_recursive_unfolding_is_equivalence() {
         let mut e = TypeEnv::new();
-        e.declare("IntList", Type::variant([("Nil", Type::Unit), ("Cons", Type::record([("Hd", Type::Int), ("Tl", Type::named("IntList"))]))]))
-            .unwrap();
+        e.declare(
+            "IntList",
+            Type::variant([
+                ("Nil", Type::Unit),
+                (
+                    "Cons",
+                    Type::record([("Hd", Type::Int), ("Tl", Type::named("IntList"))]),
+                ),
+            ]),
+        )
+        .unwrap();
         // One manual unfolding of IntList is equivalent to IntList.
         let unfolded = Type::variant([
             ("Nil", Type::Unit),
@@ -324,17 +374,38 @@ mod tests {
     fn declared_policy_ignores_structure() {
         use crate::env::SubtypePolicy;
         let mut e = TypeEnv::with_policy(SubtypePolicy::Declared);
-        e.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
-        e.declare("Employee", Type::record([("Name", Type::Str), ("Empno", Type::Int)])).unwrap();
-        e.declare("Impostor", Type::record([("Name", Type::Str), ("Empno", Type::Int)])).unwrap();
+        e.declare("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
+        e.declare(
+            "Employee",
+            Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+        )
+        .unwrap();
+        e.declare(
+            "Impostor",
+            Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+        )
+        .unwrap();
         e.declare_subtype("Employee", "Person").unwrap();
         // Declared edge present: subtype.
-        assert!(is_subtype(&Type::named("Employee"), &Type::named("Person"), &e));
+        assert!(is_subtype(
+            &Type::named("Employee"),
+            &Type::named("Person"),
+            &e
+        ));
         // Structurally identical but undeclared: NOT a subtype (Adaplex).
-        assert!(!is_subtype(&Type::named("Impostor"), &Type::named("Person"), &e));
+        assert!(!is_subtype(
+            &Type::named("Impostor"),
+            &Type::named("Person"),
+            &e
+        ));
         // Under the structural policy, it would be.
         e.set_policy(SubtypePolicy::Structural);
-        assert!(is_subtype(&Type::named("Impostor"), &Type::named("Person"), &e));
+        assert!(is_subtype(
+            &Type::named("Impostor"),
+            &Type::named("Person"),
+            &e
+        ));
     }
 
     #[test]
@@ -342,10 +413,20 @@ mod tests {
         let e = env();
         let person = Type::named("Person");
         // ∀t ≤ Person. t → t  vs  ∀t ≤ Person. t → Person   (covariant body)
-        let f = Type::forall("t", Some(person.clone()), Type::fun(Type::var("t"), Type::var("t")));
-        let g =
-            Type::forall("t", Some(person.clone()), Type::fun(Type::var("t"), person.clone()));
-        assert!(is_subtype(&f, &g, &e), "body result promotes through the bound");
+        let f = Type::forall(
+            "t",
+            Some(person.clone()),
+            Type::fun(Type::var("t"), Type::var("t")),
+        );
+        let g = Type::forall(
+            "t",
+            Some(person.clone()),
+            Type::fun(Type::var("t"), person.clone()),
+        );
+        assert!(
+            is_subtype(&f, &g, &e),
+            "body result promotes through the bound"
+        );
         assert!(!is_subtype(&g, &f, &e));
         // Kernel rule: different bounds are unrelated even when comparable.
         let h = Type::forall(

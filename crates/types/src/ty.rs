@@ -141,17 +141,28 @@ impl Type {
 
     /// `∀v ≤ bound. body` (pass `None` for an unbounded variable).
     pub fn forall(v: impl Into<String>, bound: Option<Type>, body: Type) -> Type {
-        Type::Forall(Quant { var: v.into(), bound: bound.map(Box::new), body: Box::new(body) })
+        Type::Forall(Quant {
+            var: v.into(),
+            bound: bound.map(Box::new),
+            body: Box::new(body),
+        })
     }
 
     /// `∃v ≤ bound. body` (pass `None` for an unbounded variable).
     pub fn exists(v: impl Into<String>, bound: Option<Type>, body: Type) -> Type {
-        Type::Exists(Quant { var: v.into(), bound: bound.map(Box::new), body: Box::new(body) })
+        Type::Exists(Quant {
+            var: v.into(),
+            bound: bound.map(Box::new),
+            body: Box::new(body),
+        })
     }
 
     /// Is this one of the scalar base types?
     pub fn is_base(&self) -> bool {
-        matches!(self, Type::Int | Type::Float | Type::Bool | Type::Str | Type::Unit)
+        matches!(
+            self,
+            Type::Int | Type::Float | Type::Bool | Type::Str | Type::Unit
+        )
     }
 
     /// The set of type variables occurring free in this type.
@@ -229,14 +240,19 @@ impl Type {
             Type::Var(_) => self.clone(),
             Type::List(t) => Type::List(Box::new(t.subst(var, replacement))),
             Type::Set(t) => Type::Set(Box::new(t.subst(var, replacement))),
-            Type::Fun(a, r) => {
-                Type::Fun(Box::new(a.subst(var, replacement)), Box::new(r.subst(var, replacement)))
-            }
+            Type::Fun(a, r) => Type::Fun(
+                Box::new(a.subst(var, replacement)),
+                Box::new(r.subst(var, replacement)),
+            ),
             Type::Record(fs) => Type::Record(
-                fs.iter().map(|(l, t)| (l.clone(), t.subst(var, replacement))).collect(),
+                fs.iter()
+                    .map(|(l, t)| (l.clone(), t.subst(var, replacement)))
+                    .collect(),
             ),
             Type::Variant(fs) => Type::Variant(
-                fs.iter().map(|(l, t)| (l.clone(), t.subst(var, replacement))).collect(),
+                fs.iter()
+                    .map(|(l, t)| (l.clone(), t.subst(var, replacement)))
+                    .collect(),
             ),
             Type::Forall(q) => Type::Forall(Self::subst_quant(q, var, replacement)),
             Type::Exists(q) => Type::Exists(Self::subst_quant(q, var, replacement)),
@@ -245,10 +261,17 @@ impl Type {
     }
 
     fn subst_quant(q: &Quant, var: &str, replacement: &Type) -> Quant {
-        let bound = q.bound.as_ref().map(|b| Box::new(b.subst(var, replacement)));
+        let bound = q
+            .bound
+            .as_ref()
+            .map(|b| Box::new(b.subst(var, replacement)));
         if q.var == var {
             // The quantifier shadows `var`; only the bound is substituted.
-            return Quant { var: q.var.clone(), bound, body: q.body.clone() };
+            return Quant {
+                var: q.var.clone(),
+                bound,
+                body: q.body.clone(),
+            };
         }
         if replacement.free_vars().contains(&q.var) {
             // Rename the bound variable to avoid capture.
@@ -260,7 +283,11 @@ impl Type {
                 body: Box::new(renamed.subst(var, replacement)),
             }
         } else {
-            Quant { var: q.var.clone(), bound, body: Box::new(q.body.subst(var, replacement)) }
+            Quant {
+                var: q.var.clone(),
+                bound,
+                body: Box::new(q.body.subst(var, replacement)),
+            }
         }
     }
 
@@ -270,9 +297,7 @@ impl Type {
         match self {
             Type::List(t) | Type::Set(t) => 1 + t.size(),
             Type::Fun(a, r) => 1 + a.size() + r.size(),
-            Type::Record(fs) | Type::Variant(fs) => {
-                1 + fs.values().map(Type::size).sum::<usize>()
-            }
+            Type::Record(fs) | Type::Variant(fs) => 1 + fs.values().map(Type::size).sum::<usize>(),
             Type::Forall(q) | Type::Exists(q) => {
                 1 + q.bound.as_ref().map_or(0, |b| b.size()) + q.body.size()
             }

@@ -15,11 +15,8 @@ fn mutually_recursive_types_compare() {
         parse_type("{DName: Str, Members: List[Emp]}").unwrap(),
     )
     .unwrap();
-    env.declare(
-        "Emp",
-        parse_type("{Name: Str, WorksIn: Dept}").unwrap(),
-    )
-    .unwrap();
+    env.declare("Emp", parse_type("{Name: Str, WorksIn: Dept}").unwrap())
+        .unwrap();
     env.validate().unwrap();
     // A widened Emp is a subtype of Emp, coinductively through Dept.
     let mut env2 = env.clone();
@@ -29,15 +26,19 @@ fn mutually_recursive_types_compare() {
     )
     .unwrap();
     assert!(is_subtype(&Type::named("Emp2"), &Type::named("Emp"), &env2));
-    assert!(!is_subtype(&Type::named("Emp"), &Type::named("Emp2"), &env2));
+    assert!(!is_subtype(
+        &Type::named("Emp"),
+        &Type::named("Emp2"),
+        &env2
+    ));
 }
 
 #[test]
 fn mutual_non_contractive_cycle_is_caught_by_validate() {
     let mut env = TypeEnv::new();
     env.declare("A", Type::named("B")).unwrap(); // forward ref allowed
-    // B -> C -> A closes a name-only cycle; C's declaration must fail
-    // (it can see the whole cycle).
+                                                 // B -> C -> A closes a name-only cycle; C's declaration must fail
+                                                 // (it can see the whole cycle).
     env.declare("B", Type::named("C")).unwrap();
     assert!(matches!(
         env.declare("C", Type::named("A")),
@@ -53,15 +54,26 @@ fn quantifier_bound_shadowing_and_alpha() {
     let shadowed = Type::forall(
         "t",
         Some(outer_bound.clone()),
-        Type::forall("t", Some(inner_bound.clone()), Type::fun(Type::var("t"), Type::var("t"))),
+        Type::forall(
+            "t",
+            Some(inner_bound.clone()),
+            Type::fun(Type::var("t"), Type::var("t")),
+        ),
     );
     let renamed = Type::forall(
         "a",
         Some(outer_bound),
-        Type::forall("b", Some(inner_bound), Type::fun(Type::var("b"), Type::var("b"))),
+        Type::forall(
+            "b",
+            Some(inner_bound),
+            Type::fun(Type::var("b"), Type::var("b")),
+        ),
     );
     let env = TypeEnv::new();
-    assert!(is_equiv(&shadowed, &renamed, &env), "alpha-equivalence through shadowing");
+    assert!(
+        is_equiv(&shadowed, &renamed, &env),
+        "alpha-equivalence through shadowing"
+    );
 }
 
 #[test]
@@ -70,7 +82,11 @@ fn substitution_respects_shadowing_in_nested_quantifiers() {
     let t = Type::forall("u", Some(Type::var("u")), Type::var("u"));
     let s = t.subst("u", &Type::Int);
     if let Type::Forall(q) = s {
-        assert_eq!(q.bound.as_deref(), Some(&Type::Int), "free bound occurrence rewritten");
+        assert_eq!(
+            q.bound.as_deref(),
+            Some(&Type::Int),
+            "free bound occurrence rewritten"
+        );
         assert_eq!(*q.body, Type::var("u"), "bound body occurrence untouched");
     } else {
         panic!("shape");
@@ -82,8 +98,12 @@ fn declared_policy_is_per_environment_not_global() {
     // The same definitions under the two policies give different answers —
     // and cloning an env preserves its policy.
     let mut structural = TypeEnv::new();
-    structural.declare("P", parse_type("{x: Int}").unwrap()).unwrap();
-    structural.declare("Q", parse_type("{x: Int, y: Int}").unwrap()).unwrap();
+    structural
+        .declare("P", parse_type("{x: Int}").unwrap())
+        .unwrap();
+    structural
+        .declare("Q", parse_type("{x: Int, y: Int}").unwrap())
+        .unwrap();
     let mut declared = structural.clone();
     declared.set_policy(SubtypePolicy::Declared);
 
@@ -100,8 +120,16 @@ fn sets_are_covariant_lists_are_covariant() {
     let env = TypeEnv::new();
     let emp = parse_type("{Name: Str, Empno: Int}").unwrap();
     let person = parse_type("{Name: Str}").unwrap();
-    assert!(is_subtype(&Type::set(emp.clone()), &Type::set(person.clone()), &env));
-    assert!(is_proper_subtype(&Type::list(emp), &Type::list(person), &env));
+    assert!(is_subtype(
+        &Type::set(emp.clone()),
+        &Type::set(person.clone()),
+        &env
+    ));
+    assert!(is_proper_subtype(
+        &Type::list(emp),
+        &Type::list(person),
+        &env
+    ));
 }
 
 #[test]
@@ -137,7 +165,8 @@ fn join_through_variants_and_functions_composes() {
 #[test]
 fn consistency_through_named_recursion() {
     let mut env = TypeEnv::new();
-    env.declare("Tree", parse_type("{V: Int, Kids: List[Tree]}").unwrap()).unwrap();
+    env.declare("Tree", parse_type("{V: Int, Kids: List[Tree]}").unwrap())
+        .unwrap();
     // A compatible extension is consistent with the recursive type.
     let tagged = parse_type("{V: Int, Tag: Str}").unwrap();
     assert!(consistent(&Type::named("Tree"), &tagged, &env));
@@ -171,7 +200,14 @@ fn unknown_names_inside_structures_fail_conservatively() {
     // Reflexivity by syntactic equality still holds...
     assert!(is_subtype(&ghost, &ghost, &env));
     // ...but any judgement that must *resolve* Ghost is refused.
-    assert!(!is_subtype(&parse_type("{f: Int, g: Int}").unwrap(), &ghost, &env));
+    assert!(!is_subtype(
+        &parse_type("{f: Int, g: Int}").unwrap(),
+        &ghost,
+        &env
+    ));
     assert!(!is_subtype(&ghost, &parse_type("{f: Int}").unwrap(), &env));
-    assert_eq!(meet(&ghost, &parse_type("{f: Int, g: Int}").unwrap(), &env), None);
+    assert_eq!(
+        meet(&ghost, &parse_type("{f: Int, g: Int}").unwrap(), &env),
+        None
+    );
 }

@@ -37,7 +37,11 @@ pub fn conforms(
     mode: Mode,
 ) -> Result<(), ValueError> {
     let fail = |reason: String| {
-        Err(ValueError::Conform { value: clip(v), expected: ty.clone(), reason })
+        Err(ValueError::Conform {
+            value: clip(v),
+            expected: ty.clone(),
+            reason,
+        })
     };
     let ty = env.head_normal(ty)?;
     match (v, ty) {
@@ -118,7 +122,10 @@ pub fn coerce(d: &DynValue, want: &Type, env: &TypeEnv) -> Result<Value, ValueEr
     if is_subtype(&d.ty, want, env) {
         Ok(d.value.clone())
     } else {
-        Err(ValueError::CoerceFailed { carried: d.ty.clone(), wanted: want.clone() })
+        Err(ValueError::CoerceFailed {
+            carried: d.ty.clone(),
+            wanted: want.clone(),
+        })
     }
 }
 
@@ -138,8 +145,10 @@ mod tests {
 
     fn ctx() -> (TypeEnv, Heap) {
         let mut env = TypeEnv::new();
-        env.declare("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-        env.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
+        env.declare("Person", parse_type("{Name: Str}").unwrap())
+            .unwrap();
+        env.declare("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+            .unwrap();
         (env, Heap::new())
     }
 
@@ -221,7 +230,14 @@ mod tests {
             Type::named("Employee"),
             Value::record([("Name", Value::str("a")), ("Empno", Value::Int(1))]),
         );
-        assert!(conforms(&Value::Ref(o), &Type::named("Person"), &env, &heap, Mode::Strict).is_ok());
+        assert!(conforms(
+            &Value::Ref(o),
+            &Type::named("Person"),
+            &env,
+            &heap,
+            Mode::Strict
+        )
+        .is_ok());
         assert!(conforms(&Value::Ref(o), &Type::Int, &env, &heap, Mode::Strict).is_err());
     }
 
@@ -238,8 +254,22 @@ mod tests {
     fn variant_conformance() {
         let (env, heap) = ctx();
         let t = parse_type("<Nil: Unit | Cons: Int>").unwrap();
-        assert!(conforms(&Value::tagged("Nil", Value::Unit), &t, &env, &heap, Mode::Strict).is_ok());
-        assert!(conforms(&Value::tagged("Oops", Value::Unit), &t, &env, &heap, Mode::Strict).is_err());
+        assert!(conforms(
+            &Value::tagged("Nil", Value::Unit),
+            &t,
+            &env,
+            &heap,
+            Mode::Strict
+        )
+        .is_ok());
+        assert!(conforms(
+            &Value::tagged("Oops", Value::Unit),
+            &t,
+            &env,
+            &heap,
+            Mode::Strict
+        )
+        .is_err());
     }
 
     #[test]
@@ -247,9 +277,23 @@ mod tests {
         let (env, heap) = ctx();
         let t = Type::list(Type::Int);
         assert!(conforms(&Value::list([Value::Int(1)]), &t, &env, &heap, Mode::Strict).is_ok());
-        assert!(conforms(&Value::list([Value::str("x")]), &t, &env, &heap, Mode::Strict).is_err());
+        assert!(conforms(
+            &Value::list([Value::str("x")]),
+            &t,
+            &env,
+            &heap,
+            Mode::Strict
+        )
+        .is_err());
         assert!(conforms(&Value::list([]), &t, &env, &heap, Mode::Strict).is_ok());
         let s = Type::set(Type::Str);
-        assert!(conforms(&Value::set([Value::str("a")]), &s, &env, &heap, Mode::Strict).is_ok());
+        assert!(conforms(
+            &Value::set([Value::str("a")]),
+            &s,
+            &env,
+            &heap,
+            Mode::Strict
+        )
+        .is_ok());
     }
 }

@@ -67,12 +67,18 @@ mod tests {
             ("Name", Value::str("J Doe")),
             ("Address", Value::record([("City", Value::str("Austin"))])),
         ]);
-        assert_eq!(v.to_string(), "{Address = {City = 'Austin'}, Name = 'J Doe'}");
+        assert_eq!(
+            v.to_string(),
+            "{Address = {City = 'Austin'}, Name = 'J Doe'}"
+        );
     }
 
     #[test]
     fn collections_and_dyn() {
-        assert_eq!(Value::list([Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
+        assert_eq!(
+            Value::list([Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
         assert_eq!(Value::set([Value::Int(1)]).to_string(), "{|1|}");
         assert_eq!(
             Value::dynamic(Type::Int, Value::Int(3)).to_string(),

@@ -36,12 +36,19 @@ impl fmt::Display for ValueError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValueError::DanglingRef(o) => write!(f, "dangling reference {o}"),
-            ValueError::Conform { value, expected, reason } => {
+            ValueError::Conform {
+                value,
+                expected,
+                reason,
+            } => {
                 write!(f, "value {value} does not conform to {expected}: {reason}")
             }
             ValueError::Type(e) => write!(f, "{e}"),
             ValueError::CoerceFailed { carried, wanted } => {
-                write!(f, "coerce failed: dynamic value carries {carried}, wanted {wanted}")
+                write!(
+                    f,
+                    "coerce failed: dynamic value carries {carried}, wanted {wanted}"
+                )
             }
             ValueError::Shape(msg) => write!(f, "{msg}"),
         }

@@ -56,7 +56,9 @@ impl Heap {
 
     /// Fetch an object mutably.
     pub fn get_mut(&mut self, oid: Oid) -> Result<&mut HeapObject, ValueError> {
-        self.objects.get_mut(&oid).ok_or(ValueError::DanglingRef(oid))
+        self.objects
+            .get_mut(&oid)
+            .ok_or(ValueError::DanglingRef(oid))
     }
 
     /// Overwrite the value of an existing object (identity is preserved —
@@ -115,7 +117,12 @@ impl Heap {
     /// collected identities. This is the sweep of intrinsic persistence.
     pub fn sweep(&mut self, roots: impl IntoIterator<Item = Oid>) -> Vec<Oid> {
         let live = self.reachable(roots);
-        let dead: Vec<Oid> = self.objects.keys().copied().filter(|o| !live.contains(o)).collect();
+        let dead: Vec<Oid> = self
+            .objects
+            .keys()
+            .copied()
+            .filter(|o| !live.contains(o))
+            .collect();
         for o in &dead {
             self.objects.remove(o);
         }
@@ -129,11 +136,7 @@ impl Heap {
     /// a dynamic value is externed, it carries with it everything that is
     /// reachable from that value". Copies lose sharing with the source —
     /// deliberately, since that loss is the paper's update anomaly.
-    pub fn replicate_into(
-        &self,
-        value: &Value,
-        target: &mut Heap,
-    ) -> Result<Value, ValueError> {
+    pub fn replicate_into(&self, value: &Value, target: &mut Heap) -> Result<Value, ValueError> {
         let mut remap: BTreeMap<Oid, Oid> = BTreeMap::new();
         // First pass: allocate blanks for every reachable object so cycles
         // remap correctly.
@@ -158,12 +161,16 @@ impl Heap {
 fn rewrite_refs(value: &Value, remap: &BTreeMap<Oid, Oid>) -> Result<Value, ValueError> {
     Ok(match value {
         Value::Ref(o) => Value::Ref(*remap.get(o).ok_or(ValueError::DanglingRef(*o))?),
-        Value::List(xs) => {
-            Value::List(xs.iter().map(|v| rewrite_refs(v, remap)).collect::<Result<_, _>>()?)
-        }
-        Value::Set(xs) => {
-            Value::Set(xs.iter().map(|v| rewrite_refs(v, remap)).collect::<Result<_, _>>()?)
-        }
+        Value::List(xs) => Value::List(
+            xs.iter()
+                .map(|v| rewrite_refs(v, remap))
+                .collect::<Result<_, _>>()?,
+        ),
+        Value::Set(xs) => Value::Set(
+            xs.iter()
+                .map(|v| rewrite_refs(v, remap))
+                .collect::<Result<_, _>>()?,
+        ),
         Value::Record(fs) => Value::Record(
             fs.iter()
                 .map(|(l, v)| Ok((l.clone(), rewrite_refs(v, remap)?)))
@@ -215,7 +222,8 @@ mod tests {
         let mut h = Heap::new();
         let a = h.alloc(Type::Top, Value::Unit);
         let b = h.alloc(Type::Top, Value::record([("peer", Value::Ref(a))]));
-        h.update(a, Value::record([("peer", Value::Ref(b))])).unwrap();
+        h.update(a, Value::record([("peer", Value::Ref(b))]))
+            .unwrap();
         let live = h.reachable([a]);
         assert_eq!(live, BTreeSet::from([a, b]));
     }
@@ -271,12 +279,27 @@ mod tests {
         let mut src = Heap::new();
         let a = src.alloc(Type::Top, Value::Unit);
         let b = src.alloc(Type::Top, Value::record([("peer", Value::Ref(a))]));
-        src.update(a, Value::record([("peer", Value::Ref(b))])).unwrap();
+        src.update(a, Value::record([("peer", Value::Ref(b))]))
+            .unwrap();
         let mut dst = Heap::new();
         let v = src.replicate_into(&Value::Ref(a), &mut dst).unwrap();
         let na = v.as_ref_oid().unwrap();
-        let nb = dst.get(na).unwrap().value.field("peer").unwrap().as_ref_oid().unwrap();
-        let back = dst.get(nb).unwrap().value.field("peer").unwrap().as_ref_oid().unwrap();
+        let nb = dst
+            .get(na)
+            .unwrap()
+            .value
+            .field("peer")
+            .unwrap()
+            .as_ref_oid()
+            .unwrap();
+        let back = dst
+            .get(nb)
+            .unwrap()
+            .value
+            .field("peer")
+            .unwrap()
+            .as_ref_oid()
+            .unwrap();
         assert_eq!(back, na, "cycle reconstructed in the copy");
     }
 

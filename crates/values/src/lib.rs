@@ -29,7 +29,9 @@ pub mod value;
 pub use conform::{coerce, conforms, make_dynamic, Mode};
 pub use error::ValueError;
 pub use heap::{Heap, HeapObject};
-pub use order::{comparable, compatible, is_antichain, join, leq, meet, reduce_maximal, reduce_minimal};
+pub use order::{
+    comparable, compatible, is_antichain, join, leq, meet, reduce_maximal, reduce_minimal,
+};
 pub use partialfn::{record_as_partial_fn, set_as_partial_fn, InfoOrder, PartialFn, Present};
 pub use path::{extend, get_path, put_path, without, Path};
 pub use type_of::{carried_type, type_of};

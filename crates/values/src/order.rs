@@ -27,9 +27,9 @@ use std::collections::BTreeSet;
 /// Does `a ⊑ b` hold — is `b` at least as informative as `a`?
 pub fn leq(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Record(fa), Value::Record(fb)) => {
-            fa.iter().all(|(l, va)| fb.get(l).is_some_and(|vb| leq(va, vb)))
-        }
+        (Value::Record(fa), Value::Record(fb)) => fa
+            .iter()
+            .all(|(l, va)| fb.get(l).is_some_and(|vb| leq(va, vb))),
         (Value::Tagged(la, va), Value::Tagged(lb, vb)) => la == lb && leq(va, vb),
         (Value::List(xa), Value::List(xb)) => {
             xa.len() == xb.len() && xa.iter().zip(xb).all(|(x, y)| leq(x, y))
@@ -78,8 +78,7 @@ pub fn join(a: &Value, b: &Value) -> Option<Value> {
             if xa.len() != xb.len() {
                 return None;
             }
-            let items: Option<Vec<Value>> =
-                xa.iter().zip(xb).map(|(x, y)| join(x, y)).collect();
+            let items: Option<Vec<Value>> = xa.iter().zip(xb).map(|(x, y)| join(x, y)).collect();
             Some(Value::List(items?))
         }
         // Hoare join: union, canonicalized by dropping dominated elements.
@@ -131,8 +130,7 @@ pub fn meet(a: &Value, b: &Value) -> Option<Value> {
             if xa.len() != xb.len() {
                 return None;
             }
-            let items: Option<Vec<Value>> =
-                xa.iter().zip(xb).map(|(x, y)| meet(x, y)).collect();
+            let items: Option<Vec<Value>> = xa.iter().zip(xb).map(|(x, y)| meet(x, y)).collect();
             items.map(Value::List)
         }
         (Value::Set(xa), Value::Set(xb)) => {
@@ -258,7 +256,10 @@ mod tests {
         let b = Value::record([("Emp_no", Value::Int(1234))]);
         assert_eq!(
             join(&a, &b),
-            Some(Value::record([("Name", Value::str("J Doe")), ("Emp_no", Value::Int(1234))]))
+            Some(Value::record([
+                ("Name", Value::str("J Doe")),
+                ("Emp_no", Value::Int(1234))
+            ]))
         );
         // o2 ⊔ o3 from the paper.
         let expected = Value::record([

@@ -74,12 +74,16 @@ pub struct PartialFn<K: Ord + Clone, V: InfoOrder> {
 impl<K: Ord + Clone, V: InfoOrder> PartialFn<K, V> {
     /// The nowhere-defined function — the ⊥ of the ordering.
     pub fn empty() -> Self {
-        PartialFn { entries: BTreeMap::new() }
+        PartialFn {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// From explicit graph pairs (later duplicates overwrite).
     pub fn from_pairs(pairs: impl IntoIterator<Item = (K, V)>) -> Self {
-        PartialFn { entries: pairs.into_iter().collect() }
+        PartialFn {
+            entries: pairs.into_iter().collect(),
+        }
     }
 
     /// Defined-ness at a point.
@@ -201,7 +205,10 @@ mod tests {
     #[test]
     fn nested_records_derive_recursively() {
         let a = Value::record([("Addr", rec(&[("City", 1)]))]);
-        let b = Value::record([("Addr", rec(&[("City", 1), ("Zip", 2)])), ("N", Value::Int(3))]);
+        let b = Value::record([
+            ("Addr", rec(&[("City", 1), ("Zip", 2)])),
+            ("N", Value::Int(3)),
+        ]);
         let fa = record_as_partial_fn(&a).unwrap();
         let fb = record_as_partial_fn(&b).unwrap();
         assert!(fa.leq(&fb));

@@ -15,7 +15,12 @@ pub struct Path(pub Vec<Label>);
 impl Path {
     /// Parse `"A.B.C"` into a path.
     pub fn parse(s: &str) -> Path {
-        Path(s.split('.').filter(|p| !p.is_empty()).map(str::to_string).collect())
+        Path(
+            s.split('.')
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect(),
+        )
     }
 
     /// A single-segment path.
@@ -64,7 +69,9 @@ pub fn put_path(v: &mut Value, path: &Path, new: Value) -> Result<(), ValueError
         let fields = cur
             .as_record_mut()
             .ok_or_else(|| ValueError::Shape(format!("`{seg}`: not a record on path")))?;
-        cur = fields.entry(seg.clone()).or_insert_with(|| Value::record::<[(&str, Value); 0], &str>([]));
+        cur = fields
+            .entry(seg.clone())
+            .or_insert_with(|| Value::record::<[(&str, Value); 0], &str>([]));
     }
     let fields = cur
         .as_record_mut()
@@ -120,7 +127,10 @@ mod tests {
     #[test]
     fn get_path_navigates() {
         let p = person();
-        assert_eq!(get_path(&p, &"Address.City".into()), Some(&Value::str("Austin")));
+        assert_eq!(
+            get_path(&p, &"Address.City".into()),
+            Some(&Value::str("Austin"))
+        );
         assert_eq!(get_path(&p, &"Address.Zip".into()), None);
         assert_eq!(get_path(&p, &Path::default()), Some(&p));
     }
@@ -129,7 +139,10 @@ mod tests {
     fn put_path_refines() {
         let mut p = person();
         put_path(&mut p, &"Address.Zip".into(), Value::Int(78759)).unwrap();
-        assert_eq!(get_path(&p, &"Address.Zip".into()), Some(&Value::Int(78759)));
+        assert_eq!(
+            get_path(&p, &"Address.Zip".into()),
+            Some(&Value::Int(78759))
+        );
         assert!(leq(&person(), &p), "refinement moves up the ordering");
     }
 

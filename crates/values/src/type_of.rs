@@ -107,7 +107,10 @@ mod tests {
     fn empty_list_is_list_bottom() {
         let env = TypeEnv::new();
         let heap = Heap::new();
-        assert_eq!(type_of(&Value::list([]), &env, &heap).unwrap(), Type::list(Type::Bottom));
+        assert_eq!(
+            type_of(&Value::list([]), &env, &heap).unwrap(),
+            Type::list(Type::Bottom)
+        );
     }
 
     #[test]
@@ -131,8 +134,14 @@ mod tests {
     fn refs_use_declared_heap_type() {
         let env = TypeEnv::new();
         let mut heap = Heap::new();
-        let o = heap.alloc(Type::named("Person"), Value::record([("Name", Value::str("d"))]));
-        assert_eq!(type_of(&Value::Ref(o), &env, &heap).unwrap(), Type::named("Person"));
+        let o = heap.alloc(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("d"))]),
+        );
+        assert_eq!(
+            type_of(&Value::Ref(o), &env, &heap).unwrap(),
+            Type::named("Person")
+        );
         assert!(type_of(&Value::Ref(crate::value::Oid(404)), &env, &heap).is_err());
     }
 
@@ -141,6 +150,9 @@ mod tests {
         let env = TypeEnv::new();
         let heap = Heap::new();
         let v = Value::tagged("Cons", Value::Int(1));
-        assert_eq!(type_of(&v, &env, &heap).unwrap(), Type::variant([("Cons", Type::Int)]));
+        assert_eq!(
+            type_of(&v, &env, &heap).unwrap(),
+            Type::variant([("Cons", Type::Int)])
+        );
     }
 }

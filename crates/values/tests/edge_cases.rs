@@ -15,11 +15,16 @@ fn dangling_refs_error_everywhere() {
         type_of(&dangling, &env, &heap),
         Err(ValueError::DanglingRef(_))
     ));
-    assert!(conforms(&dangling, &Type::Top, &env, &heap, Mode::Strict).is_ok(), "Top asks nothing");
+    assert!(
+        conforms(&dangling, &Type::Top, &env, &heap, Mode::Strict).is_ok(),
+        "Top asks nothing"
+    );
     assert!(conforms(&dangling, &Type::Int, &env, &heap, Mode::Strict).is_err());
     // Replication of a value containing a dangling ref fails loudly.
     let mut dst = Heap::new();
-    assert!(heap.replicate_into(&Value::record([("r", dangling)]), &mut dst).is_err());
+    assert!(heap
+        .replicate_into(&Value::record([("r", dangling)]), &mut dst)
+        .is_err());
 }
 
 #[test]
@@ -111,7 +116,8 @@ fn replication_of_disconnected_graphs_copies_only_the_reachable_part() {
     let reachable = src.alloc(Type::Int, Value::Int(1));
     let _orphan = src.alloc(Type::Int, Value::Int(2));
     let mut dst = Heap::new();
-    src.replicate_into(&Value::Ref(reachable), &mut dst).unwrap();
+    src.replicate_into(&Value::Ref(reachable), &mut dst)
+        .unwrap();
     assert_eq!(dst.len(), 1, "orphan not copied");
 }
 
@@ -120,6 +126,11 @@ fn heap_update_preserves_declared_type() {
     let mut heap = Heap::new();
     let ty = parse_type("{Name: Str}").unwrap();
     let o = heap.alloc(ty.clone(), Value::record([("Name", Value::str("a"))]));
-    heap.update(o, Value::record([("Name", Value::str("b"))])).unwrap();
-    assert_eq!(heap.get(o).unwrap().ty, ty, "identity keeps its declared type");
+    heap.update(o, Value::record([("Name", Value::str("b"))]))
+        .unwrap();
+    assert_eq!(
+        heap.get(o).unwrap().ty,
+        ty,
+        "identity keeps its declared type"
+    );
 }

@@ -20,7 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut level = base_part(&mut heap, "rivet", 0.05, 0.01);
     let depth = 16;
     for i in 1..=depth {
-        level = assembly(&mut heap, &format!("asm-{i}"), 1.0, 0.2, &[(1, level), (1, level)]);
+        level = assembly(
+            &mut heap,
+            &format!("asm-{i}"),
+            1.0,
+            0.2,
+            &[(1, level), (1, level)],
+        );
     }
     let root = level;
 

@@ -19,14 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------- schema + extents ----------
     let mut db = Database::new();
     db.declare_type("Person", parse_type("{Name: Str}")?)?;
-    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int, Dept: Str}")?)?;
+    db.declare_type(
+        "Employee",
+        parse_type("{Name: Str, Empno: Int, Dept: Str}")?,
+    )?;
     db.enable_extent_cascade(); // Taxis/Adaplex inclusion semantics
 
-    db.extents_mut().create("persons", Type::named("Person"), false)?;
-    db.extents_mut().create("employees", Type::named("Employee"), false)?;
+    db.extents_mut()
+        .create("persons", Type::named("Person"), false)?;
+    db.extents_mut()
+        .create("employees", Type::named("Employee"), false)?;
     // A second, transient extent over the same type: impossible in a
     // single-class-construct language, trivial here.
-    db.extents_mut().create("new_hires", Type::named("Employee"), true)?;
+    db.extents_mut()
+        .create("new_hires", Type::named("Employee"), true)?;
 
     let env = db.env().clone();
     let e1 = db.alloc(
@@ -66,17 +72,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Name", Value::str("J Doe")),
         ("Empno", Value::Int(1)),
     ]))?;
-    println!("refined member: {}", persons.find(&[Value::str("J Doe")]).unwrap());
+    println!(
+        "refined member: {}",
+        persons.find(&[Value::str("J Doe")]).unwrap()
+    );
 
     // ---------- intrinsic persistence ----------
     let mut store = IntrinsicStore::open(&log)?;
-    let oid = store.alloc(
-        Type::named("Employee"),
-        db.heap().get(e1)?.value.clone(),
+    let oid = store.alloc(Type::named("Employee"), db.heap().get(e1)?.value.clone());
+    store.set_handle(
+        "EmployeeDB",
+        parse_type("{Name: Str, Empno: Int, Dept: Str}")?,
+        Value::Ref(oid),
     );
-    store.set_handle("EmployeeDB", parse_type("{Name: Str, Empno: Int, Dept: Str}")?, Value::Ref(oid));
     let txn = store.commit()?;
-    println!("committed transaction {txn} ({} bytes in the log)", store.stored_bytes()?);
+    println!(
+        "committed transaction {txn} ({} bytes in the log)",
+        store.stored_bytes()?
+    );
 
     // Uncommitted work dies with the process...
     store.update(oid, Value::record([("Name", Value::str("EVIL"))]))?;

@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.adopt(hyp);
         println!("hypothesis adopted");
     } else {
-        println!("hypothesis discarded (over budget {budget}); actual stays {}", total_salaries(&db));
+        println!(
+            "hypothesis discarded (over budget {budget}); actual stays {}",
+            total_salaries(&db)
+        );
     }
     assert_eq!(total_salaries(&db), 310, "discarded: original state intact");
     Ok(())

@@ -5,7 +5,10 @@
 use dbpl::lang::Session;
 
 fn run(s: &mut Session, title: &str, src: &str) {
-    println!("-- {title} {}", "-".repeat(50usize.saturating_sub(title.len())));
+    println!(
+        "-- {title} {}",
+        "-".repeat(50usize.saturating_sub(title.len()))
+    );
     for line in src.lines().filter(|l| !l.trim().is_empty()) {
         println!("   | {}", line.trim_end());
     }

@@ -73,13 +73,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Positions where 'cat' is NOT followed by 'sat' — difference of
     //    transient extents.
-    let cat_pos = RelExpr::base("Tokens").select(Pred::eq("Word", "cat")).project(["Pos"]);
+    let cat_pos = RelExpr::base("Tokens")
+        .select(Pred::eq("Word", "cat"))
+        .project(["Pos"]);
     let cat_sat_pos = RelExpr::base("Tokens")
         .join(RelExpr::base("Shifted"))
         .select(Pred::eq("Word", "cat").and(Pred::eq("Next", "sat")))
         .project(["Pos"]);
     let loose_cats = cat_pos.difference(cat_sat_pos).eval(&catalog)?;
-    println!("'cat' not followed by 'sat' at positions: {}", loose_cats.len());
+    println!(
+        "'cat' not followed by 'sat' at positions: {}",
+        loose_cats.len()
+    );
     assert_eq!(loose_cats.len(), 2); // "cat saw", "cat ran"
 
     // 4. A frequency histogram via repeated selection (grouping by

@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut heap = Heap::new();
     let env = TypeEnv::new();
     let o = heap.alloc(Type::Int, Value::Int(7));
-    let bindings = BTreeMap::from([(
-        "root".to_string(),
-        DynValue::new(Type::Int, Value::Ref(o)),
-    )]);
+    let bindings = BTreeMap::from([("root".to_string(), DynValue::new(Type::Int, Value::Ref(o)))]);
     let image_path = dir.join("session.image");
     Image::capture(&env, &heap, &bindings).save(&image_path)?;
     let (_, heap2, bindings2) = Image::load(&image_path)?.restore()?;

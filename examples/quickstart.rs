@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Name", Value::str("N Bug")),
         ("Address", Value::record([("City", Value::str("Billings"))])),
     ]);
-    let o2 = values::extend(&o1, [("Empno", Value::Int(7)), ("Dept", Value::str("Manuf"))])?;
+    let o2 = values::extend(
+        &o1,
+        [("Empno", Value::Int(7)), ("Dept", Value::str("Manuf"))],
+    )?;
     assert!(values::leq(&o1, &o2), "o1 ⊑ o2: information only grew");
     println!("\nobject-level inheritance:\n  {o1}\n  ⊑ {o2}");
 

@@ -4,8 +4,7 @@
 //! Run with `cargo run --example survey`.
 
 use dbpl::models::{
-    capability, AdaplexSchema, AmberProgram, GalileoSchema, MetaClass, PascalRDatabase,
-    TaxisSchema,
+    capability, AdaplexSchema, AmberProgram, GalileoSchema, MetaClass, PascalRDatabase, TaxisSchema,
 };
 use dbpl::relation::Schema;
 use dbpl::types::Type;
@@ -18,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------- Pascal/R ----------
     println!("== Pascal/R: type / extent / persistence cleanly separated");
     let mut pr = PascalRDatabase::open(dir.join("pascal_r.db"))?;
-    pr.declare_relation("Employees", Schema::new([("Name", Type::Str), ("Sal", Type::Int)])?)?;
+    pr.declare_relation(
+        "Employees",
+        Schema::new([("Name", Type::Str), ("Sal", Type::Int)])?,
+    )?;
     pr.relation_mut("Employees")?
         .insert_row([("Name", Value::str("ann")), ("Sal", Value::Int(10))])?;
     pr.save()?;
@@ -28,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------- Taxis ----------
     println!("\n== Taxis: VARIABLE_CLASS EMPLOYEE isa PERSON");
     let mut tx = TaxisSchema::new();
-    tx.declare_class("PERSON", MetaClass::VariableClass, &[], [("Name", Type::Str)])?;
+    tx.declare_class(
+        "PERSON",
+        MetaClass::VariableClass,
+        &[],
+        [("Name", Type::Str)],
+    )?;
     tx.declare_class(
         "EMPLOYEE",
         MetaClass::VariableClass,
@@ -47,8 +54,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "   instance created; in PERSON's extent too: {}",
         tx.extent("PERSON")?.contains(&e)
     );
-    tx.declare_class("ADDRESS", MetaClass::AggregateClass, &[], [("City", Type::Str)])?;
-    println!("   AGGREGATE_CLASS has no extent: {}", tx.extent("ADDRESS").unwrap_err());
+    tx.declare_class(
+        "ADDRESS",
+        MetaClass::AggregateClass,
+        &[],
+        [("City", Type::Str)],
+    )?;
+    println!(
+        "   AGGREGATE_CLASS has no extent: {}",
+        tx.extent("ADDRESS").unwrap_err()
+    );
 
     // ---------- Adaplex ----------
     println!("\n== Adaplex: include directives, not structure");
@@ -57,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ad.entity_type("Employee", [("Name", Type::Str), ("Empno", Type::Int)])?;
     ad.entity_type("Impostor", [("Name", Type::Str), ("Empno", Type::Int)])?;
     ad.include("Employee", "Person")?;
-    println!("   Employee ≤ Person (declared): {}", ad.is_subtype("Employee", "Person"));
+    println!(
+        "   Employee ≤ Person (declared): {}",
+        ad.is_subtype("Employee", "Person")
+    );
     println!(
         "   Impostor ≤ Person (same structure, no include): {}",
         ad.is_subtype("Impostor", "Person")
@@ -77,16 +95,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------- Amber ----------
     println!("\n== Amber: no classes; dynamic values and derived extents");
     let mut am = AmberProgram::open(dir.join("amber"))?;
-    am.env.declare("Person", Type::record([("Name", Type::Str)]))?;
     am.env
-        .declare("Employee", Type::record([("Name", Type::Str), ("Empno", Type::Int)]))?;
+        .declare("Person", Type::record([("Name", Type::Str)]))?;
+    am.env.declare(
+        "Employee",
+        Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+    )?;
     let d = am.dynamic(
         Type::named("Employee"),
         Value::record([("Name", Value::str("J Doe")), ("Empno", Value::Int(1))]),
     )?;
     am.add(d.clone());
     println!("   typeOf: {}", am.type_of(&d)?);
-    println!("   derived Person extent size: {}", am.extract(&Type::named("Person")).len());
+    println!(
+        "   derived Person extent size: {}",
+        am.extract(&Type::named("Person")).len()
+    );
     am.extern_value("DBFile", &d)?;
     let back = am.intern("DBFile")?;
     println!("   extern/intern roundtrip: {}", back.value);

@@ -9,9 +9,12 @@ use dbpl::values::Value;
 
 fn university_db() -> Database {
     let mut db = Database::new();
-    db.declare_type("Person", parse_type("{Name: Str}").unwrap()).unwrap();
-    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap()).unwrap();
-    db.declare_type("Student", parse_type("{Name: Str, Gpa: Float}").unwrap()).unwrap();
+    db.declare_type("Person", parse_type("{Name: Str}").unwrap())
+        .unwrap();
+    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+        .unwrap();
+    db.declare_type("Student", parse_type("{Name: Str, Gpa: Float}").unwrap())
+        .unwrap();
     db.declare_type(
         "WorkingStudent",
         parse_type("{Name: Str, Empno: Int, Gpa: Float}").unwrap(),
@@ -20,7 +23,9 @@ fn university_db() -> Database {
     for i in 0..20 {
         let name = Value::str(format!("p{i}"));
         match i % 4 {
-            0 => db.put(Type::named("Person"), Value::record([("Name", name)])).unwrap(),
+            0 => db
+                .put(Type::named("Person"), Value::record([("Name", name)]))
+                .unwrap(),
             1 => db
                 .put(
                     Type::named("Employee"),
@@ -120,8 +125,12 @@ fn hierarchy_edges_match_get_inclusions() {
 #[test]
 fn multiple_and_transient_extents_coexist() {
     let mut db = university_db();
-    db.extents_mut().create("emp_main", Type::named("Employee"), false).unwrap();
-    db.extents_mut().create("emp_hypothetical", Type::named("Employee"), true).unwrap();
+    db.extents_mut()
+        .create("emp_main", Type::named("Employee"), false)
+        .unwrap();
+    db.extents_mut()
+        .create("emp_hypothetical", Type::named("Employee"), true)
+        .unwrap();
     let env = db.env().clone();
     let e = db
         .alloc(
@@ -133,7 +142,9 @@ fn multiple_and_transient_extents_coexist() {
     db.extents_mut().insert("emp_main", e, &heap, &env).unwrap();
     // Same object, second extent, same type — no class construct would
     // allow this.
-    db.extents_mut().insert("emp_hypothetical", e, &heap, &env).unwrap();
+    db.extents_mut()
+        .insert("emp_hypothetical", e, &heap, &env)
+        .unwrap();
     assert_eq!(db.extents().extent("emp_main").unwrap().len(), 1);
     assert_eq!(db.extents().extent("emp_hypothetical").unwrap().len(), 1);
     // Dropping the transient one at persistence time:

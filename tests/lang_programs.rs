@@ -5,7 +5,10 @@
 use dbpl::lang::{Phase, Session};
 
 fn run(src: &str) -> Vec<String> {
-    Session::new().unwrap().run(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+    Session::new()
+        .unwrap()
+        .run(src)
+        .unwrap_or_else(|e| panic!("{}", e.render(src)))
 }
 
 #[test]
@@ -65,26 +68,32 @@ fn total_cost_in_minidbpl() {
 fn persistence_across_three_programs() {
     let mut s = Session::new().unwrap();
     // Program 1 creates and externs.
-    s.run("
+    s.run(
+        "
         type Parts = {Items: List[{Name: Str, Price: Int}]}
         let d = {Items = [{Name = 'bolt', Price = 2}]}
         extern('PartsFile', dynamic d)
-    ")
+    ",
+    )
     .unwrap();
     // Program 2 interns, modifies, and re-externs.
-    s.run("
+    s.run(
+        "
         type Parts = {Items: List[{Name: Str, Price: Int}]}
         let x = coerce intern('PartsFile') to Parts
         let x2 = x with {Items = cons[{Name: Str, Price: Int}]({Name = 'nut', Price = 1}, x.Items)}
         extern('PartsFile', dynamic x2)
-    ")
+    ",
+    )
     .unwrap();
     // Program 3 observes the committed state.
     let out = s
-        .run("
+        .run(
+            "
         type Parts = {Items: List[{Name: Str, Price: Int}]}
         print(len[{Name: Str, Price: Int}]((coerce intern('PartsFile') to Parts).Items))
-    ")
+    ",
+        )
         .unwrap();
     assert_eq!(out, vec!["2"]);
 }
@@ -121,13 +130,19 @@ fn coerce_through_subtyping_works_like_the_paper_says() {
     assert_eq!(out, vec!["'e'"]);
     let mut s = Session::new().unwrap();
     let err = s
-        .run("
+        .run(
+            "
         type Student = {Name: Str, Gpa: Float}
         let d = dynamic {Name = 'e', Empno = 1}
         coerce d to Student
-    ")
+    ",
+        )
         .unwrap_err();
-    assert_eq!(err.phase, Phase::Eval, "the paper's run-time exception: {err}");
+    assert_eq!(
+        err.phase,
+        Phase::Eval,
+        "the paper's run-time exception: {err}"
+    );
 }
 
 #[test]
@@ -180,7 +195,20 @@ fn shipped_university_script_runs() {
     )
     .expect("script shipped with the repository");
     let out = run(&src);
-    assert_eq!(out, vec!["4", "2", "2", "1", "['ann', 'cyd']", "210.0", "75", "-50", "2"]);
+    assert_eq!(
+        out,
+        vec![
+            "4",
+            "2",
+            "2",
+            "1",
+            "['ann', 'cyd']",
+            "210.0",
+            "75",
+            "-50",
+            "2"
+        ]
+    );
 }
 
 #[test]

@@ -23,11 +23,16 @@ fn pascal_r_claims_hold() {
     let caps = capabilities("Pascal/R").unwrap();
     let mut db = PascalRDatabase::open(tmp("pr").join("db")).unwrap();
     // separates type/extent: two relations over the same record schema.
-    db.declare_relation("A", Schema::new([("X", Type::Int)]).unwrap()).unwrap();
-    db.declare_relation("B", Schema::new([("X", Type::Int)]).unwrap()).unwrap();
+    db.declare_relation("A", Schema::new([("X", Type::Int)]).unwrap())
+        .unwrap();
+    db.declare_relation("B", Schema::new([("X", Type::Int)]).unwrap())
+        .unwrap();
     assert!(caps.multiple_extents_per_type);
     // any_value_persists = false: storing a bare value fails.
-    assert_eq!(caps.any_value_persists, db.store_value("V", Value::Int(1)).is_ok());
+    assert_eq!(
+        caps.any_value_persists,
+        db.store_value("V", Value::Int(1)).is_ok()
+    );
 }
 
 #[test]
@@ -35,9 +40,20 @@ fn taxis_claims_hold() {
     let caps = capabilities("Taxis").unwrap();
     assert!(caps.has_class_construct && caps.declared_subtyping);
     let mut tx = TaxisSchema::new();
-    tx.declare_class("PERSON", MetaClass::VariableClass, &[], [("Name", Type::Str)]).unwrap();
-    tx.declare_class("EMPLOYEE", MetaClass::VariableClass, &["PERSON"], [("Empno", Type::Int)])
-        .unwrap();
+    tx.declare_class(
+        "PERSON",
+        MetaClass::VariableClass,
+        &[],
+        [("Name", Type::Str)],
+    )
+    .unwrap();
+    tx.declare_class(
+        "EMPLOYEE",
+        MetaClass::VariableClass,
+        &["PERSON"],
+        [("Empno", Type::Int)],
+    )
+    .unwrap();
     // type = extent coupling: declaring the class *created* the extent;
     // there is no way to get a second extent for PERSON.
     assert!(!caps.separates_type_extent);
@@ -48,7 +64,10 @@ fn taxis_claims_hold() {
             Value::record([("Name", Value::str("d")), ("Empno", Value::Int(1))]),
         )
         .unwrap();
-    assert!(tx.extent("PERSON").unwrap().contains(&e), "isa implies extent inclusion");
+    assert!(
+        tx.extent("PERSON").unwrap().contains(&e),
+        "isa implies extent inclusion"
+    );
 }
 
 #[test]
@@ -70,9 +89,15 @@ fn galileo_claims_hold() {
     let caps = capabilities("Galileo").unwrap();
     let mut ga = GalileoSchema::new();
     // class over arbitrary type: a class of integers works.
-    assert_eq!(caps.class_over_arbitrary_type, ga.define_class("ints", Type::Int).is_ok());
+    assert_eq!(
+        caps.class_over_arbitrary_type,
+        ga.define_class("ints", Type::Int).is_ok()
+    );
     // multiple extents per type: a second class over Int must fail.
-    assert_eq!(caps.multiple_extents_per_type, ga.define_class("ints2", Type::Int).is_ok());
+    assert_eq!(
+        caps.multiple_extents_per_type,
+        ga.define_class("ints2", Type::Int).is_ok()
+    );
 }
 
 #[test]
@@ -80,14 +105,19 @@ fn amber_claims_hold() {
     let caps = capabilities("Amber").unwrap();
     assert!(caps.has_dynamic && !caps.has_class_construct);
     let mut am = AmberProgram::open(tmp("amber")).unwrap();
-    am.env.declare("Person", Type::record([("Name", Type::Str)])).unwrap();
+    am.env
+        .declare("Person", Type::record([("Name", Type::Str)]))
+        .unwrap();
     // any value persists: an Int externs fine.
     let d = am.dynamic(Type::Int, Value::Int(3)).unwrap();
     assert_eq!(caps.any_value_persists, am.extern_value("X", &d).is_ok());
     // multiple (derived) extents per type: extraction at any bound, any
     // number of times — nothing is registered anywhere.
     let p = am
-        .dynamic(Type::named("Person"), Value::record([("Name", Value::str("p"))]))
+        .dynamic(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("p"))]),
+        )
         .unwrap();
     am.add(p);
     assert_eq!(am.extract(&Type::named("Person")).len(), 1);

@@ -60,7 +60,11 @@ fn intrinsic_store_shares_and_survives() {
     for h in ["a", "b"] {
         let (_, v) = s.handle(h).unwrap();
         let o = v.field("c").unwrap().as_ref_oid().unwrap();
-        assert_eq!(s.get(o).unwrap().value, Value::Int(2), "no anomaly through {h}");
+        assert_eq!(
+            s.get(o).unwrap().value,
+            Value::Int(2),
+            "no anomaly through {h}"
+        );
     }
 }
 
@@ -75,7 +79,11 @@ fn type_persists_with_the_value_everywhere() {
     // Replicating.
     let store = ReplicatingStore::open(dir("principle2")).unwrap();
     store
-        .extern_value("P", &DynValue::new(person_ty.clone(), person.clone()), &Heap::new())
+        .extern_value(
+            "P",
+            &DynValue::new(person_ty.clone(), person.clone()),
+            &Heap::new(),
+        )
         .unwrap();
     let mut h = Heap::new();
     let back = store.intern("P", &mut h).unwrap();
@@ -173,7 +181,10 @@ fn all_or_nothing_is_atomic_under_partial_write() {
     img.save(&path).unwrap();
     let bytes = std::fs::read(&path).unwrap();
     for cut in 0..bytes.len() {
-        assert!(Image::decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        assert!(
+            Image::decode(&bytes[..cut]).is_err(),
+            "prefix {cut} decoded"
+        );
     }
 }
 
@@ -194,7 +205,11 @@ fn namespaces_control_sharing() {
     m.import("research", "Dataset", "teaching").unwrap();
     let mut h = Heap::new();
     assert_eq!(
-        m.space("teaching").unwrap().intern("Dataset", &mut h).unwrap().value,
+        m.space("teaching")
+            .unwrap()
+            .intern("Dataset", &mut h)
+            .unwrap()
+            .value,
         Value::Int(9)
     );
 }
@@ -205,7 +220,8 @@ fn database_persists_through_the_intrinsic_store() {
     let log = dir("db-bridge").join("db.log");
     {
         let mut db = Database::new();
-        db.declare_type("Person", parse_type("{Name: Str}").unwrap()).unwrap();
+        db.declare_type("Person", parse_type("{Name: Str}").unwrap())
+            .unwrap();
         db.put(
             parse_type("Person").unwrap(),
             Value::record([("Name", Value::str("d"))]),

@@ -1,0 +1,213 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace's
+//! benches use. It runs each benchmark a small, configurable number of
+//! times and prints the best observed time — enough to compare strategies
+//! and regenerate the EXPERIMENTS.md tables without the real crate.
+//!
+//! Iterations per sample are controlled by `DBPL_BENCH_ITERS` (default 3);
+//! passing `--test` (as `cargo test` does for bench targets) runs each
+//! routine exactly once with no timing output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best (minimum) sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            std::hint::black_box(out);
+            self.best = Some(self.best.map_or(elapsed, |b| b.min(elapsed)));
+        }
+    }
+}
+
+/// Throughput annotation (recorded, displayed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Just a parameter (for single-function groups).
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+fn env_iters(test_mode: bool) -> u64 {
+    if test_mode {
+        return 1;
+    }
+    std::env::var("DBPL_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+fn run_one(
+    label: &str,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters: env_iters(test_mode),
+        best: None,
+    };
+    f(&mut b);
+    if test_mode {
+        return;
+    }
+    match b.best {
+        Some(best) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if best.as_secs_f64() > 0.0 => {
+                    format!("  ({:.0} elem/s)", n as f64 / best.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if best.as_secs_f64() > 0.0 => {
+                    format!("  ({:.0} B/s)", n as f64 / best.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("bench {label:<48} {best:>12.3?}{rate}");
+        }
+        None => println!("bench {label:<48} (no samples)"),
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.test_mode, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    // Tie the group's lifetime to the Criterion that opened it, like the
+    // real API (prevents two live groups from interleaving output).
+    #[allow(dead_code)]
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.test_mode, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.test_mode, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` for parity with criterion.
+pub use std::hint::black_box;
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,99 @@
+//! Offline stand-in for the `parking_lot` crate, backed by `std::sync`.
+//!
+//! Only the surface the workspace uses is provided: [`Mutex`] and
+//! [`RwLock`] with non-poisoning `lock`/`read`/`write`. A panicking
+//! holder does not poison the lock — matching parking_lot semantics —
+//! because poisoned guards are recovered transparently.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion primitive (non-poisoning `lock`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex guarding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock (non-poisoning `read`/`write`).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Create a new rwlock guarding `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1]);
+        assert_eq!(l.read().len(), 1);
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+    }
+}

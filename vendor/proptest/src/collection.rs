@@ -1,0 +1,178 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// The number of elements a collection strategy generates.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.range(self.lo, self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Vectors of `size` elements drawn from `elem`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Maps with up to `size` entries (duplicate keys collapse, as in
+/// proptest).
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`btree_map`].
+#[derive(Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        // A few extra draws help hit the requested size despite key
+        // collisions, without risking nontermination on tiny key spaces.
+        let mut attempts = 0;
+        while out.len() < n && attempts < 2 * n + 8 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Sets with up to `size` elements (duplicates collapse).
+pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < n && attempts < 2 * n + 8 {
+            out.insert(self.elem.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            let v = vec(0i64..10, 0..4).generate(&mut rng);
+            assert!(v.len() < 4);
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+        let exact = vec(0i64..10, 3).generate(&mut rng);
+        assert_eq!(exact.len(), 3);
+    }
+
+    #[test]
+    fn map_respects_bounds_with_tiny_keyspace() {
+        let mut rng = TestRng::from_seed(12);
+        for _ in 0..100 {
+            // Only 2 possible keys but size up to 3: must terminate.
+            let m = btree_map("[ab]", 0i64..5, 1..4).generate(&mut rng);
+            assert!(!m.is_empty() && m.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Provides deterministic random generation (seeded per test name, or via
+//! `PROPTEST_SEED`) for the strategy combinators the test suite relies on:
+//! `Just`, ranges, `&str` regex-lite patterns, tuples, `prop_oneof!`
+//! (weighted and unweighted), `prop_map`, `prop_recursive`, `boxed`,
+//! `prop::collection::{vec, btree_map, btree_set}`, `prop::option::of`,
+//! `prop::sample::select`, and `any::<T>()` for primitives — plus the
+//! `proptest!`, `prop_assert!`, and `prop_assert_eq!`/`_ne!` macros.
+//!
+//! There is **no shrinking**: a failing case panics with the assertion
+//! message, the case number, and the seed, which is enough to reproduce
+//! deterministically.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod regex_lite;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` module facade used via `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property, failing the case (not panicking
+/// directly) if it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Assert two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config.cases,
+                    |__proptest_rng| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )+
+                        let __proptest_result: ::core::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                        __proptest_result
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}

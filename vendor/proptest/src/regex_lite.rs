@@ -1,0 +1,161 @@
+//! A tiny generator for the regex subset the test suite uses as string
+//! strategies: concatenations of atoms, where an atom is a character
+//! class `[a-z_0…]`, a literal character, or `.` (any printable ASCII),
+//! optionally followed by `{n}`, `{m,n}`, `*`, `+`, or `?`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit set of candidate characters.
+    Class(Vec<char>),
+    /// Any printable ASCII character.
+    Any,
+}
+
+fn printable() -> Vec<char> {
+    (0x20u8..0x7F).map(|b| b as char).collect()
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range {lo}-{hi} in {pattern}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern}");
+                i += 1; // consume ']'
+                Atom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in {pattern}");
+                let c = chars[i];
+                i += 1;
+                Atom::Class(vec![c])
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        // Optional repetition suffix.
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("unterminated repetition in {pattern}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("repetition lower bound"),
+                            b.trim().parse().expect("repetition upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 4)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 4)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse(pattern) {
+        let n = rng.range(lo, hi);
+        for _ in 0..n {
+            let c = match &atom {
+                Atom::Class(set) => {
+                    assert!(!set.is_empty(), "empty class in {pattern}");
+                    set[rng.below(set.len())]
+                }
+                Atom::Any => {
+                    let p = printable();
+                    p[rng.below(p.len())]
+                }
+            };
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::from_seed(9);
+        (0..200).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn classes_and_reps() {
+        for s in gen_many("[a-d]") {
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()), "{s}");
+        }
+        for s in gen_many("[A-Z][a-z]{0,4}") {
+            assert!(!s.is_empty() && s.len() <= 5, "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+        }
+        for s in gen_many("[ab]{1,2}") {
+            assert!((1..=2).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn dot_and_exact() {
+        for s in gen_many(".{0,8}") {
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii() && !c.is_ascii_control()));
+        }
+        let lens: std::collections::BTreeSet<usize> =
+            gen_many("[xyz]{3}").iter().map(|s| s.len()).collect();
+        assert_eq!(lens.into_iter().collect::<Vec<_>>(), vec![3]);
+    }
+}

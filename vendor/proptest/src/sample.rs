@@ -1,0 +1,34 @@
+//! `prop::sample::select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::sync::Arc;
+
+/// Uniformly select one element of `options`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select on an empty list");
+    Select {
+        options: Arc::new(options),
+    }
+}
+
+/// The strategy returned by [`select`].
+pub struct Select<T> {
+    options: Arc<Vec<T>>,
+}
+
+impl<T> Clone for Select<T> {
+    fn clone(&self) -> Self {
+        Select {
+            options: Arc::clone(&self.options),
+        }
+    }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic test driving: config, RNG, case loop, and failure type.
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+    /// The case asked to be discarded (kept for API parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection from a message.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator handed to strategies (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// A generator seeded from a 64-bit value.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform index in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform `usize` in `[lo, hi]`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A biased coin flip.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        (self.next_u64() % den as u64) < num as u64
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `cases` deterministic cases of `body`, panicking on the first
+/// failure with enough context to reproduce it.
+pub fn run_cases(
+    test_name: &str,
+    cases: u32,
+    mut body: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let base_seed = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v.parse::<u64>().unwrap_or_else(|_| fnv1a(v.as_bytes())),
+        Err(_) => 0xD8B1_5EED_0000_1986,
+    };
+    let seed = base_seed ^ fnv1a(test_name.as_bytes());
+    let mut rng = TestRng::from_seed(seed);
+    for case in 0..cases {
+        match body(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property `{test_name}` failed at case {case}/{cases} (seed {seed:#x}): {msg}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(1);
+        let mut b = TestRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_bounds_inclusive() {
+        let mut r = TestRng::from_seed(2);
+        for _ in 0..1000 {
+            let x = r.range(2, 5);
+            assert!((2..=5).contains(&x));
+        }
+        assert_eq!(r.range(3, 3), 3);
+    }
+}
