@@ -31,8 +31,14 @@ fn e1_strategies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
             b.iter(|| db.get_with(black_box(&bound), GetStrategy::Scan))
         });
+        group.bench_with_input(BenchmarkId::new("cached_scan", n), &n, |b, _| {
+            b.iter(|| db.get_with(black_box(&bound), GetStrategy::CachedScan))
+        });
         group.bench_with_input(BenchmarkId::new("typed_lists", n), &n, |b, _| {
             b.iter(|| db.get_with(black_box(&bound), GetStrategy::TypedLists))
+        });
+        group.bench_with_input(BenchmarkId::new("par_scan", n), &n, |b, _| {
+            b.iter(|| db.get_with(black_box(&bound), GetStrategy::ParScan))
         });
         group.bench_with_input(BenchmarkId::new("extents", n), &n, |b, _| {
             b.iter(|| {

@@ -5,8 +5,8 @@
 //! (the DESIGN.md §5 ablation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbpl_bench::gen_relation;
-use dbpl_relation::{figure1_expected, figure1_r1, figure1_r2, Reduction};
+use dbpl_bench::{gen_relation, keyed_gen_relation};
+use dbpl_relation::{figure1_expected, figure1_r1, figure1_r2, JoinStrategy, Reduction};
 use std::hint::black_box;
 
 fn fig1_exact(c: &mut Criterion) {
@@ -55,5 +55,38 @@ fn fig1_partiality_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig1_exact, fig1_scaled, fig1_partiality_sweep);
+fn fig1_strategies(c: &mut Criterion) {
+    // Nested vs hash-partitioned on the keyed (Figure-1-like) workload:
+    // nearly every row carries a ground Name, so partitioning prunes
+    // almost all cross-key pairs.
+    let mut group = c.benchmark_group("fig1/strategy");
+    group.sample_size(10);
+    for n in [256usize, 1_000] {
+        let r1 = keyed_gen_relation(n, "Dept", 11);
+        let r2 = keyed_gen_relation(n, "Phone", 13);
+        group.bench_with_input(BenchmarkId::new("nested", n), &n, |b, _| {
+            b.iter(|| {
+                r1.natural_join_strategy(black_box(&r2), Reduction::Maximal, JoinStrategy::Nested)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("partitioned", n), &n, |b, _| {
+            b.iter(|| {
+                r1.natural_join_strategy(
+                    black_box(&r2),
+                    Reduction::Maximal,
+                    JoinStrategy::Partitioned,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_exact,
+    fig1_scaled,
+    fig1_partiality_sweep,
+    fig1_strategies
+);
 criterion_main!(benches);

@@ -9,10 +9,13 @@ use dbpl_bench::*;
 use dbpl_core::bom::{total_cost_memo, total_cost_naive, TransientFields};
 use dbpl_core::GetStrategy;
 use dbpl_persist::{Image, IntrinsicStore, ReplicatingStore};
-use dbpl_relation::{figure1_expected, figure1_r1, figure1_r2, to_generalized, Reduction};
-use dbpl_types::{is_subtype, Type, TypeEnv};
+use dbpl_relation::{
+    figure1_expected, figure1_r1, figure1_r2, to_generalized, JoinStrategy, Reduction,
+};
+use dbpl_types::{is_subtype, is_subtype_uncached, Type, TypeEnv};
 use dbpl_values::{DynValue, Heap, Value};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 fn time<R>(mut f: impl FnMut() -> R, iters: u32) -> (f64, R) {
@@ -25,8 +28,130 @@ fn time<R>(mut f: impl FnMut() -> R, iters: u32) -> (f64, R) {
     (start.elapsed().as_secs_f64() / iters as f64 * 1e6, out)
 }
 
+/// The fast-path differential + timing section. Every fast path is checked
+/// for exact agreement with its naive baseline on the spot — this is what
+/// the CI `bench-smoke` job runs (at tiny sizes) to fail the build if they
+/// ever diverge. In the full run the timings are also written out as
+/// `BENCH_e1_get.json` / `BENCH_fig1_join.json` baselines.
+fn fast_paths(smoke: bool) {
+    println!("## Fast paths — memoized subtyping, indexed Get, partitioned join\n");
+
+    // --- E1 fast paths: Get strategies ---
+    let sizes: &[usize] = if smoke {
+        &[500]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
+    let iters = if smoke { 2 } else { 10 };
+    let bound = Type::named("Employee");
+    let mut e1_json = String::from("{\n  \"experiment\": \"e1_get\",\n  \"bound\": \"Employee\",\n  \"unit\": \"us_per_op\",\n  \"sizes\": [\n");
+    println!("| N | scan | cached scan | typed lists | par scan | scan/typed lists |");
+    println!("|---|---|---|---|---|---|");
+    for (si, &n) in sizes.iter().enumerate() {
+        let db = populated_db(n, 42);
+        let naive = db.get_with(&bound, GetStrategy::Scan);
+        for s in [
+            GetStrategy::CachedScan,
+            GetStrategy::TypedLists,
+            GetStrategy::ParScan,
+        ] {
+            assert_eq!(naive, db.get_with(&bound, s), "{s:?} diverged from Scan");
+        }
+        let (t_scan, _) = time(|| db.get_with(&bound, GetStrategy::Scan).len(), iters);
+        let (t_cached, _) = time(|| db.get_with(&bound, GetStrategy::CachedScan).len(), iters);
+        let (t_typed, _) = time(|| db.get_with(&bound, GetStrategy::TypedLists).len(), iters);
+        let (t_par, _) = time(|| db.get_with(&bound, GetStrategy::ParScan).len(), iters);
+        let speedup = t_scan / t_typed.max(1e-9);
+        println!(
+            "| {n} | {t_scan:.1} | {t_cached:.1} | {t_typed:.1} | {t_par:.1} | {speedup:.1}x |"
+        );
+        let _ = writeln!(
+            e1_json,
+            "    {{\"n\": {n}, \"scan\": {t_scan:.2}, \"cached_scan\": {t_cached:.2}, \"typed_lists\": {t_typed:.2}, \"par_scan\": {t_par:.2}, \"speedup_typed_vs_scan\": {speedup:.2}}}{}",
+            if si + 1 == sizes.len() { "" } else { "," }
+        );
+    }
+    e1_json.push_str("  ]\n}\n");
+    println!();
+
+    // --- F1 fast paths: join strategies on the keyed (Figure-1-like) workload ---
+    let jn: &[usize] = if smoke { &[64] } else { &[256, 1_000, 2_000] };
+    let mut f1_json = String::from("{\n  \"experiment\": \"fig1_join\",\n  \"workload\": \"keyed_gen_relation\",\n  \"unit\": \"us_per_op\",\n  \"sizes\": [\n");
+    println!("| N per side | nested ⋈ | partitioned ⋈ | speedup |");
+    println!("|---|---|---|---|");
+    for (si, &n) in jn.iter().enumerate() {
+        let r1 = keyed_gen_relation(n, "Dept", 11);
+        let r2 = keyed_gen_relation(n, "Phone", 13);
+        let nested = r1.natural_join_strategy(&r2, Reduction::Maximal, JoinStrategy::Nested);
+        let partitioned =
+            r1.natural_join_strategy(&r2, Reduction::Maximal, JoinStrategy::Partitioned);
+        assert_eq!(nested, partitioned, "join strategies diverged at n={n}");
+        let jiters = if smoke || n >= 2_000 { 2 } else { 5 };
+        let (t_nested, _) = time(
+            || {
+                r1.natural_join_strategy(&r2, Reduction::Maximal, JoinStrategy::Nested)
+                    .len()
+            },
+            jiters,
+        );
+        let (t_part, _) = time(
+            || {
+                r1.natural_join_strategy(&r2, Reduction::Maximal, JoinStrategy::Partitioned)
+                    .len()
+            },
+            jiters,
+        );
+        let speedup = t_nested / t_part.max(1e-9);
+        println!("| {n} | {t_nested:.0} | {t_part:.0} | {speedup:.1}x |");
+        let _ = writeln!(
+            f1_json,
+            "    {{\"n\": {n}, \"nested\": {t_nested:.2}, \"partitioned\": {t_part:.2}, \"speedup\": {speedup:.2}}}{}",
+            if si + 1 == jn.len() { "" } else { "," }
+        );
+    }
+    f1_json.push_str("  ]\n}\n");
+    println!();
+
+    // The published Figure 1 must come out byte-for-byte under every
+    // strategy/reduction combination.
+    for strat in [JoinStrategy::Nested, JoinStrategy::Partitioned] {
+        let j = figure1_r1().natural_join_strategy(&figure1_r2(), Reduction::Maximal, strat);
+        assert_eq!(j, figure1_expected(), "Figure 1 broken under {strat:?}");
+    }
+    println!("Figure 1 output is byte-for-byte identical under both join strategies.\n");
+
+    // --- E5 fast path: memoized subtype checks ---
+    let tenv = TypeEnv::new();
+    println!("| tower (width×depth) | structural walk | memoized |");
+    println!("|---|---|---|");
+    for (w, dep) in [(8usize, 8usize), (16, 16)] {
+        let sub = record_tower(w, dep, true);
+        let sup = record_tower(w, dep, false);
+        let (t_walk, ok) = time(|| is_subtype_uncached(&sub, &sup, &tenv), 50);
+        assert!(ok);
+        let (t_memo, _) = time(|| is_subtype(&sub, &sup, &tenv), 50);
+        println!("| {w}×{dep} | {t_walk:.1} | {t_memo:.3} |");
+    }
+    println!();
+
+    if !smoke {
+        std::fs::write("BENCH_e1_get.json", e1_json).expect("write BENCH_e1_get.json");
+        std::fs::write("BENCH_fig1_join.json", f1_json).expect("write BENCH_fig1_join.json");
+        println!("(baselines written to BENCH_e1_get.json and BENCH_fig1_join.json)\n");
+    }
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        println!("# Bench smoke — fast paths vs naive baselines (tiny sizes)\n");
+        fast_paths(true);
+        println!("bench-smoke OK: all fast paths agree with their naive baselines");
+        return;
+    }
     println!("# Experiment report (regenerates the EXPERIMENTS.md tables)\n");
+
+    fast_paths(false);
 
     // ---------- F1 ----------
     println!("## F1 — Figure 1, join of generalized relations\n");

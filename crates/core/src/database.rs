@@ -18,22 +18,33 @@
 
 use crate::error::CoreError;
 use crate::extent::{ExtentManager, TypedListIndex};
-use crate::get::{scan_get, ExistsPkg};
+use crate::get::{scan_get, scan_get_cached, scan_get_par, ExistsPkg};
 use crate::hierarchy::ClassHierarchy;
 use dbpl_persist::Image;
 use dbpl_types::{Type, TypeEnv};
 use dbpl_values::{conforms, DynValue, Heap, Mode, Oid, Value};
 use std::collections::BTreeMap;
 
-/// How [`Database::get_with`] locates the objects of a type.
+/// How [`Database::get_with`] locates the objects of a type. All
+/// strategies return element-for-element identical results (differentially
+/// tested); they differ only in cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GetStrategy {
-    /// Traverse the whole dynamic store, checking each element's carried
-    /// type (the paper's simple, "not very efficient" solution).
-    #[default]
+    /// Traverse the whole dynamic store, structurally checking each
+    /// element's carried type (the paper's simple, "not very efficient"
+    /// solution — the naive baseline, deliberately uncached).
     Scan,
-    /// Consult the typed-list index ("a set of statically typed lists").
+    /// The same traversal with memoized subtype verdicts: one structural
+    /// walk per distinct carried type, not per element.
+    CachedScan,
+    /// Consult the typed-list index ("a set of statically typed lists"):
+    /// touch only the lists whose carried type is a (cached) subtype of
+    /// the bound. The default.
+    #[default]
     TypedLists,
+    /// Chunked parallel traversal over scoped threads, sharing one memo
+    /// table; falls back to sequential below a cutoff.
+    ParScan,
 }
 
 /// A database: types + heterogeneous values + optional extents + keys.
@@ -45,6 +56,9 @@ pub struct Database {
     index: TypedListIndex,
     extents: ExtentManager,
     bindings: BTreeMap<String, DynValue>,
+    /// The strategy [`Database::get`] uses; the naive paths stay
+    /// reachable through this flag so benches can measure both.
+    get_strategy: GetStrategy,
 }
 
 impl Database {
@@ -159,9 +173,22 @@ impl Database {
     }
 
     /// `Get[t](db)`: every stored value whose type is a subtype of
-    /// `bound`, as existential packages (default scan strategy).
+    /// `bound`, as existential packages, using the database's configured
+    /// strategy (indexed typed lists unless reconfigured with
+    /// [`Database::set_get_strategy`]).
     pub fn get(&self, bound: &Type) -> Vec<ExistsPkg> {
-        self.get_with(bound, GetStrategy::Scan)
+        self.get_with(bound, self.get_strategy)
+    }
+
+    /// The strategy [`Database::get`] currently uses.
+    pub fn get_strategy(&self) -> GetStrategy {
+        self.get_strategy
+    }
+
+    /// Configure the strategy [`Database::get`] uses (e.g. switch back to
+    /// the naive scan to measure it).
+    pub fn set_get_strategy(&mut self, strategy: GetStrategy) {
+        self.get_strategy = strategy;
     }
 
     /// `Get` with an explicit implementation strategy; all strategies
@@ -170,14 +197,17 @@ impl Database {
     pub fn get_with(&self, bound: &Type, strategy: GetStrategy) -> Vec<ExistsPkg> {
         match strategy {
             GetStrategy::Scan => scan_get(&self.dynamics, bound, &self.env),
+            GetStrategy::CachedScan => scan_get_cached(&self.dynamics, bound, &self.env),
+            GetStrategy::ParScan => scan_get_par(&self.dynamics, bound, &self.env),
             GetStrategy::TypedLists => self
                 .index
                 .query(bound, &self.env)
                 .into_iter()
                 .map(|i| {
                     let d = &self.dynamics[i];
-                    ExistsPkg::seal(d.ty.clone(), d.value.clone(), bound.clone(), &self.env)
-                        .expect("index returned a subtype")
+                    // Index membership *is* the `witness ≤ bound`
+                    // judgement, so no per-element re-verification.
+                    ExistsPkg::seal_trusted(d.ty.clone(), d.value.clone(), bound.clone())
                 })
                 .collect(),
         }
@@ -297,6 +327,7 @@ impl Database {
             index,
             extents: ExtentManager::new(),
             bindings,
+            get_strategy: GetStrategy::default(),
         })
     }
 }
@@ -348,9 +379,25 @@ mod tests {
             Type::Top,
         ] {
             let scan = d.get_with(&bound, GetStrategy::Scan);
-            let index = d.get_with(&bound, GetStrategy::TypedLists);
-            assert_eq!(scan, index, "strategies disagree at {bound}");
+            for fast in [
+                GetStrategy::CachedScan,
+                GetStrategy::TypedLists,
+                GetStrategy::ParScan,
+            ] {
+                let got = d.get_with(&bound, fast);
+                assert_eq!(scan, got, "{fast:?} disagrees with scan at {bound}");
+            }
         }
+    }
+
+    #[test]
+    fn default_get_is_indexed_and_reconfigurable() {
+        let mut d = db();
+        assert_eq!(d.get_strategy(), GetStrategy::TypedLists);
+        let fast = d.get(&Type::named("Person"));
+        d.set_get_strategy(GetStrategy::Scan);
+        assert_eq!(d.get_strategy(), GetStrategy::Scan);
+        assert_eq!(d.get(&Type::named("Person")), fast);
     }
 
     #[test]

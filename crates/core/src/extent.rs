@@ -437,6 +437,34 @@ mod tests {
     }
 
     #[test]
+    fn cascading_insert_loop_does_o_types_structural_walks() {
+        // 10k cascading inserts over a 3-extent hierarchy: every subtype
+        // question is one of ≤ 9 distinct (type, type) pairs, so the memo
+        // table must bound the structural walks by the *type* count — not
+        // the insert count.
+        let env = env();
+        let mut heap = Heap::new();
+        let mut m = ExtentManager::with_cascade();
+        m.create("persons", Type::named("Person"), false).unwrap();
+        m.create("employees", Type::named("Employee"), false)
+            .unwrap();
+        m.create("managers", Type::named("Manager"), false).unwrap();
+        let misses_before = env.subtype_cache().misses();
+        for i in 0..10_000 {
+            let ty = ["Person", "Employee", "Manager"][i % 3];
+            let extent = ["persons", "employees", "managers"][i % 3];
+            let oid = person_obj(&mut heap, ty, &format!("o{i}"));
+            m.insert(extent, oid, &heap, &env).unwrap();
+        }
+        let walks = env.subtype_cache().misses() - misses_before;
+        assert!(
+            walks <= 9,
+            "expected at most one structural walk per (type, type) pair, got {walks}"
+        );
+        assert!(m.check_inclusions(&env).is_none());
+    }
+
+    #[test]
     fn typed_list_index_agrees_with_scan() {
         let env = env();
         let dynamics: Vec<DynValue> = vec![

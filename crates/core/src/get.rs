@@ -28,7 +28,7 @@
 //! element.
 
 use crate::error::CoreError;
-use dbpl_types::{is_subtype, Type, TypeEnv};
+use dbpl_types::{is_subtype, is_subtype_uncached, Type, TypeEnv};
 use dbpl_values::{DynValue, Value};
 
 /// An existential package `∃t' ≤ bound. t'`.
@@ -109,6 +109,18 @@ impl ExistsPkg {
     pub fn into_dynamic(self) -> DynValue {
         DynValue::new(self.witness, self.value)
     }
+
+    /// Package a value whose `witness ≤ bound` has *already* been
+    /// established (by the typed-list index, whose membership is exactly
+    /// that judgement). Crate-private: a public caller could seal a lie,
+    /// breaking the static discipline [`ExistsPkg::seal`] enforces.
+    pub(crate) fn seal_trusted(witness: Type, value: Value, bound: Type) -> ExistsPkg {
+        ExistsPkg {
+            bound,
+            witness,
+            value,
+        }
+    }
 }
 
 /// The static type of `Get` itself: `∀t. Database → List[∃t' ≤ t]`.
@@ -132,7 +144,27 @@ pub fn get_signature() -> Type {
 /// have to traverse the whole database … we also have the overhead of
 /// having to check the structure of each value we encounter" (experiment
 /// E1 measures exactly this against maintained extents and typed lists).
+///
+/// The structural check here is deliberately **uncached** — this function
+/// is the naive baseline every fast path is differentially tested and
+/// benchmarked against. [`scan_get_cached`] is the same traversal through
+/// the memo table.
 pub fn scan_get(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<ExistsPkg> {
+    dynamics
+        .iter()
+        .filter(|d| is_subtype_uncached(&d.ty, bound, env))
+        .map(|d| ExistsPkg {
+            bound: bound.clone(),
+            witness: d.ty.clone(),
+            value: d.value.clone(),
+        })
+        .collect()
+}
+
+/// [`scan_get`] with the per-element subtype check routed through the
+/// env's memo table: still a full traversal, but each *distinct* carried
+/// type costs one structural walk ever, not one per element.
+pub fn scan_get_cached(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<ExistsPkg> {
     dynamics
         .iter()
         .filter(|d| is_subtype(&d.ty, bound, env))
@@ -142,6 +174,37 @@ pub fn scan_get(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<Exist
             value: d.value.clone(),
         })
         .collect()
+}
+
+/// Inputs smaller than this are scanned sequentially: thread spawn and
+/// join overhead would otherwise dominate, and small `Get`s must keep
+/// their current latency.
+pub const PAR_SCAN_CUTOFF: usize = 4096;
+
+/// [`scan_get_cached`] parallelized over chunks of the store with
+/// [`std::thread::scope`]. Chunks are rejoined in order, so the result is
+/// element-for-element identical to the sequential scans (differentially
+/// tested). The shared memo table means the first chunk to meet a carried
+/// type pays its structural walk for everyone.
+pub fn scan_get_par(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<ExistsPkg> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    if dynamics.len() < PAR_SCAN_CUTOFF || workers <= 1 {
+        return scan_get_cached(dynamics, bound, env);
+    }
+    let chunk = dynamics.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = dynamics
+            .chunks(chunk)
+            .map(|c| s.spawn(move || scan_get_cached(c, bound, env)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]

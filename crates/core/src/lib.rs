@@ -33,6 +33,6 @@ pub mod keys;
 pub use database::{Database, GetStrategy};
 pub use error::CoreError;
 pub use extent::{Extent, ExtentManager, TypedListIndex};
-pub use get::{get_signature, scan_get, ExistsPkg};
+pub use get::{get_signature, scan_get, scan_get_cached, scan_get_par, ExistsPkg};
 pub use hierarchy::ClassHierarchy;
 pub use keys::{KeyConstraint, KeyedSet};

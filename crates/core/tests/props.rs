@@ -79,11 +79,18 @@ proptest! {
         populate(&mut db, &pop);
         for bound in ["Person", "Employee", "Student", "WorkingStudent"] {
             let b = Type::named(bound);
-            prop_assert_eq!(
-                db.get_with(&b, GetStrategy::Scan),
-                db.get_with(&b, GetStrategy::TypedLists),
-                "strategy mismatch at {}", bound
-            );
+            let naive = db.get_with(&b, GetStrategy::Scan);
+            for fast in [
+                GetStrategy::CachedScan,
+                GetStrategy::TypedLists,
+                GetStrategy::ParScan,
+            ] {
+                prop_assert_eq!(
+                    &naive,
+                    &db.get_with(&b, fast),
+                    "{:?} disagrees with Scan at {}", fast, bound
+                );
+            }
         }
     }
 

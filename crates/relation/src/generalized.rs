@@ -22,7 +22,10 @@
 //! exactly by the test suite).
 
 use crate::error::RelationError;
-use dbpl_values::{is_antichain, leq, order, reduce_maximal, reduce_minimal, Value};
+use dbpl_values::{
+    get_path, is_antichain, leq, order, reduce_maximal, reduce_minimal, Path, Value,
+};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Which canonical form a reduction keeps. The paper's insertion rule is
@@ -36,6 +39,26 @@ pub enum Reduction {
     Maximal,
     /// Keep least-informative elements.
     Minimal,
+}
+
+/// Which algorithm computes the pairwise object joins behind
+/// [`GenRelation::natural_join`]. Both produce byte-for-byte identical
+/// relations (differentially tested, including on the Figure 1 fixture);
+/// they differ only in how many candidate pairs they examine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Examine every pair of rows — the Figure 1 semantics transcribed
+    /// directly, O(n·m) object joins. The naive baseline, kept reachable
+    /// so benches can measure it.
+    Nested,
+    /// Hash-partition both sides by their ground values on the shared
+    /// definite paths and join within buckets; rows partial on the
+    /// partition key fall back to the nested loop. Pairs in different
+    /// buckets are provably joinless (they disagree on a shared base
+    /// field), so skipping them cannot change the result. Parallelizes
+    /// over scoped threads above a work cutoff. The default.
+    #[default]
+    Partitioned,
 }
 
 /// A generalized relation: an antichain of (usually record) values.
@@ -137,7 +160,8 @@ impl GenRelation {
     }
 
     /// The generalized natural join: all pairwise object joins that exist,
-    /// canonicalized by `reduction` (Figure 1).
+    /// canonicalized by `reduction` (Figure 1). Uses the default
+    /// (partitioned) strategy; the result is identical to the nested loop.
     ///
     /// On flat, total records over disjoint-or-agreeing attributes this is
     /// exactly the classical natural join (see `crate::convert` and
@@ -149,14 +173,22 @@ impl GenRelation {
     /// [`GenRelation::natural_join`] with an explicit reduction (ablation
     /// hook for the benchmarks).
     pub fn natural_join_with(&self, other: &GenRelation, reduction: Reduction) -> GenRelation {
-        let mut out = Vec::new();
-        for a in &self.rows {
-            for b in &other.rows {
-                if let Some(j) = order::join(a, b) {
-                    out.push(j);
-                }
-            }
-        }
+        self.natural_join_strategy(other, reduction, JoinStrategy::default())
+    }
+
+    /// [`GenRelation::natural_join`] with both knobs explicit. The
+    /// partition key (the shared-paths computation) is derived **once per
+    /// join**, before any row pair is examined — never per pair.
+    pub fn natural_join_strategy(
+        &self,
+        other: &GenRelation,
+        reduction: Reduction,
+        strategy: JoinStrategy,
+    ) -> GenRelation {
+        let out = match strategy {
+            JoinStrategy::Nested => join_pairs_nested(&self.rows, &other.rows),
+            JoinStrategy::Partitioned => join_pairs_partitioned(&self.rows, &other.rows),
+        };
         let rows = match reduction {
             Reduction::Maximal => reduce_maximal(out),
             Reduction::Minimal => reduce_minimal(out),
@@ -255,6 +287,242 @@ impl GenRelation {
                 .collect(),
         }
     }
+}
+
+/// Pair-product work threshold below which a join runs on a single
+/// thread: spawning scoped workers for tiny joins would cost more than
+/// the join itself.
+pub const PAR_JOIN_CUTOFF: usize = 1 << 16;
+
+/// At most this many paths participate in a composite partition key;
+/// beyond that the extra discrimination rarely pays for key building.
+const MAX_KEY_PATHS: usize = 4;
+
+/// Base (flat-ordered) values: joinable only with an equal value
+/// (`order::join` falls through to `a == b` for them), which is exactly
+/// what makes partitioning on them sound.
+fn is_ground(v: &Value) -> bool {
+    matches!(
+        v,
+        Value::Unit
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Str(_)
+            | Value::Ref(_)
+    )
+}
+
+/// Collect every path (through records only) at which `row` carries a
+/// ground value. A bare ground row is ground at the root path.
+fn ground_leaf_paths(row: &Value, prefix: &mut Vec<String>, out: &mut Vec<Path>) {
+    match row {
+        Value::Record(fields) => {
+            for (l, v) in fields {
+                prefix.push(l.clone());
+                ground_leaf_paths(v, prefix, out);
+                prefix.pop();
+            }
+        }
+        v if is_ground(v) => out.push(Path(prefix.clone())),
+        _ => {}
+    }
+}
+
+/// How many rows carry a ground value at each path.
+fn ground_coverage(rows: &[Value]) -> HashMap<Path, usize> {
+    let mut cov: HashMap<Path, usize> = HashMap::new();
+    let mut paths = Vec::new();
+    let mut prefix = Vec::new();
+    for r in rows {
+        ground_leaf_paths(r, &mut prefix, &mut paths);
+        for p in paths.drain(..) {
+            *cov.entry(p).or_insert(0) += 1;
+        }
+    }
+    cov
+}
+
+/// Choose the partition key for joining `a` with `b`: shared definite
+/// paths, computed **once per join**. Paths ground in *every* row of both
+/// sides form a composite key (full coverage — no fallback products at
+/// all); otherwise the single shared path with the best combined coverage
+/// is used; with no shared ground path the key is empty and the join
+/// degenerates to the full pair product.
+fn partition_key(a: &[Value], b: &[Value]) -> Vec<Path> {
+    let ca = ground_coverage(a);
+    let cb = ground_coverage(b);
+    let mut shared: Vec<(Path, usize)> = ca
+        .iter()
+        .filter_map(|(p, na)| cb.get(p).map(|nb| (p.clone(), na + nb)))
+        .collect();
+    if shared.is_empty() {
+        return Vec::new();
+    }
+    let mut full: Vec<Path> = shared
+        .iter()
+        .filter(|(p, _)| ca[p] == a.len() && cb[p] == b.len())
+        .map(|(p, _)| p.clone())
+        .collect();
+    if !full.is_empty() {
+        full.sort();
+        full.truncate(MAX_KEY_PATHS);
+        return full;
+    }
+    shared.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+    shared.truncate(1);
+    shared.into_iter().map(|(p, _)| p).collect()
+}
+
+/// A slice product: every row on the left is to be joined with every row
+/// on the right.
+type Product<'r> = (Vec<&'r Value>, Vec<&'r Value>);
+
+/// Split rows into buckets keyed by their ground values on `key`, plus
+/// the fallback rows that are partial (or non-ground) somewhere on it.
+fn bucket<'r>(
+    rows: &'r [Value],
+    key: &[Path],
+) -> (HashMap<Vec<&'r Value>, Vec<&'r Value>>, Vec<&'r Value>) {
+    let mut keyed: HashMap<Vec<&Value>, Vec<&Value>> = HashMap::new();
+    let mut partial = Vec::new();
+    'rows: for r in rows {
+        let mut k = Vec::with_capacity(key.len());
+        for p in key {
+            match get_path(r, p) {
+                Some(v) if is_ground(v) => k.push(v),
+                _ => {
+                    partial.push(r);
+                    continue 'rows;
+                }
+            }
+        }
+        keyed.entry(k).or_default().push(r);
+    }
+    (keyed, partial)
+}
+
+/// Every pair — the paper's definition, transcribed. Deliberately
+/// sequential: this is the baseline the fast path is measured against.
+fn join_pairs_nested(a: &[Value], b: &[Value]) -> Vec<Value> {
+    let mut out = Vec::new();
+    join_product(
+        &a.iter().collect::<Vec<_>>(),
+        &b.iter().collect::<Vec<_>>(),
+        &mut out,
+    );
+    out
+}
+
+/// The fast path: bucket both sides on the partition key and join within
+/// matching buckets. Two rows in different buckets are both ground at
+/// some shared path with unequal base values there, so their object join
+/// is `None` (record join recurses field-wise down to the disagreeing
+/// flat leaf) — skipping those pairs cannot change the result. Rows
+/// partial on the key may join with anything and fall back to full
+/// products: `partial_a × b` plus `keyed_a × partial_b` (the
+/// `partial × partial` pairs are covered exactly once, by the first).
+fn join_pairs_partitioned(a: &[Value], b: &[Value]) -> Vec<Value> {
+    let key = partition_key(a, b);
+    if key.is_empty() {
+        // No shared ground path: nothing can be pruned, but a large pair
+        // product still parallelizes.
+        return run_products(vec![(a.iter().collect(), b.iter().collect())]);
+    }
+    let (keyed_a, partial_a) = bucket(a, &key);
+    let (keyed_b, partial_b) = bucket(b, &key);
+    let mut products: Vec<Product> = Vec::new();
+    for (k, rows_a) in &keyed_a {
+        if let Some(rows_b) = keyed_b.get(k) {
+            products.push((rows_a.clone(), rows_b.clone()));
+        }
+    }
+    if !partial_a.is_empty() {
+        products.push((partial_a, b.iter().collect()));
+    }
+    if !partial_b.is_empty() {
+        let keyed_rows_a: Vec<&Value> = keyed_a.values().flatten().copied().collect();
+        if !keyed_rows_a.is_empty() {
+            products.push((keyed_rows_a, partial_b));
+        }
+    }
+    run_products(products)
+}
+
+/// All existing object joins of a slice product, appended to `out`.
+fn join_product(l: &[&Value], r: &[&Value], out: &mut Vec<Value>) {
+    for x in l {
+        for y in r {
+            if let Some(j) = order::join(x, y) {
+                out.push(j);
+            }
+        }
+    }
+}
+
+/// Evaluate slice products: sequentially under [`PAR_JOIN_CUTOFF`] total
+/// work, otherwise over scoped threads with oversized products split and
+/// pieces placed longest-first on the least-loaded worker. Output order
+/// varies with scheduling, which is harmless — the caller canonicalizes
+/// through a reduction that sorts first.
+fn run_products(products: Vec<Product>) -> Vec<Value> {
+    let work: usize = products.iter().map(|(l, r)| l.len() * r.len()).sum();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    if work < PAR_JOIN_CUTOFF || workers <= 1 {
+        let mut out = Vec::new();
+        for (l, r) in &products {
+            join_product(l, r, &mut out);
+        }
+        return out;
+    }
+    let target = work.div_ceil(workers).max(1);
+    let mut pieces: Vec<Product> = Vec::new();
+    for (l, r) in products {
+        if l.is_empty() || r.is_empty() {
+            continue;
+        }
+        let rows_per = (target / r.len()).max(1);
+        if l.len() <= rows_per {
+            pieces.push((l, r));
+        } else {
+            for chunk in l.chunks(rows_per) {
+                pieces.push((chunk.to_vec(), r.clone()));
+            }
+        }
+    }
+    pieces.sort_by_key(|(l, r)| std::cmp::Reverse(l.len() * r.len()));
+    let mut groups: Vec<(usize, Vec<Product>)> = vec![(0, Vec::new()); workers];
+    for piece in pieces {
+        let w = piece.0.len() * piece.1.len();
+        let g = groups
+            .iter_mut()
+            .min_by_key(|(load, _)| *load)
+            .expect("at least one worker");
+        g.0 += w;
+        g.1.push(piece);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(_, g)| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for (l, r) in &g {
+                        join_product(l, r, &mut out);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("join worker panicked"))
+            .collect()
+    })
 }
 
 impl IntoIterator for GenRelation {
@@ -408,6 +676,96 @@ mod tests {
             GenRelation::from_values([rec(&[("A", Value::Int(1))]), rec(&[("A", Value::Int(2))])]);
         let s = r.select(|v| v.field("A") == Some(&Value::Int(1)));
         assert_eq!(s.len(), 1);
+    }
+
+    fn strategies_agree(r1: &GenRelation, r2: &GenRelation) {
+        for reduction in [Reduction::Maximal, Reduction::Minimal] {
+            let nested = r1.natural_join_strategy(r2, reduction, JoinStrategy::Nested);
+            let partitioned = r1.natural_join_strategy(r2, reduction, JoinStrategy::Partitioned);
+            assert_eq!(nested, partitioned, "strategies diverged ({reduction:?})");
+        }
+    }
+
+    #[test]
+    fn partitioned_join_matches_nested_on_figure1() {
+        let r1 = crate::fixtures::figure1_r1();
+        let r2 = crate::fixtures::figure1_r2();
+        strategies_agree(&r1, &r2);
+        // And both still produce the paper's exact Figure 1 output.
+        assert_eq!(r1.natural_join(&r2), crate::fixtures::figure1_expected());
+    }
+
+    #[test]
+    fn partitioned_join_handles_rows_partial_on_the_key() {
+        // `Name` is the best shared path but not full-coverage: the
+        // keyless rows must still meet everything on the other side.
+        let r1 = GenRelation::from_values([
+            rec(&[("Name", Value::str("a")), ("Dept", Value::str("S"))]),
+            rec(&[("Name", Value::str("b")), ("Dept", Value::str("M"))]),
+            rec(&[("Office", Value::Int(7))]),
+        ]);
+        let r2 = GenRelation::from_values([
+            rec(&[("Name", Value::str("a")), ("Phone", Value::Int(1))]),
+            rec(&[("Name", Value::str("c")), ("Phone", Value::Int(2))]),
+            rec(&[("Status", Value::str("ok"))]),
+        ]);
+        strategies_agree(&r1, &r2);
+    }
+
+    #[test]
+    fn partitioned_join_partitions_on_nested_paths() {
+        let r1 = GenRelation::from_values([
+            rec(&[
+                ("Addr", rec(&[("City", Value::str("Austin"))])),
+                ("A", Value::Int(1)),
+            ]),
+            rec(&[
+                ("Addr", rec(&[("City", Value::str("Moose"))])),
+                ("A", Value::Int(2)),
+            ]),
+        ]);
+        let r2 = GenRelation::from_values([
+            rec(&[
+                ("Addr", rec(&[("City", Value::str("Austin"))])),
+                ("B", Value::Int(3)),
+            ]),
+            rec(&[
+                ("Addr", rec(&[("City", Value::str("Glen"))])),
+                ("B", Value::Int(4)),
+            ]),
+        ]);
+        strategies_agree(&r1, &r2);
+        let j = r1.natural_join(&r2);
+        assert_eq!(j.len(), 1, "only the Austin rows merge");
+    }
+
+    #[test]
+    fn partitioned_join_with_no_shared_ground_path() {
+        // Disjoint attributes: the key is empty, every pair joins.
+        let r1 =
+            GenRelation::from_values([rec(&[("A", Value::Int(1))]), rec(&[("A", Value::Int(2))])]);
+        let r2 =
+            GenRelation::from_values([rec(&[("B", Value::Int(8))]), rec(&[("B", Value::Int(9))])]);
+        strategies_agree(&r1, &r2);
+        assert_eq!(r1.natural_join(&r2).len(), 4);
+    }
+
+    #[test]
+    fn parallel_sized_join_matches_nested() {
+        // Big enough that run_products crosses PAR_JOIN_CUTOFF and fans
+        // out over scoped threads; must stay byte-for-byte identical.
+        let side = |tag: i64| {
+            GenRelation::from_values((0..600).map(|i| {
+                rec(&[
+                    ("Name", Value::Int(i % 31)),
+                    (if tag == 0 { "L" } else { "R" }, Value::Int(i)),
+                ])
+            }))
+        };
+        let r1 = side(0);
+        let r2 = side(1);
+        assert!(r1.len() * r2.len() >= PAR_JOIN_CUTOFF);
+        strategies_agree(&r1, &r2);
     }
 }
 

@@ -34,4 +34,4 @@ pub use error::RelationError;
 pub use fd::{attrs, satisfies_flat, satisfies_generalized, Attrs, Fd, FdSet};
 pub use fixtures::{figure1_expected, figure1_r1, figure1_r2};
 pub use flat::{Relation, Schema, Tuple};
-pub use generalized::{GenRelation, Reduction};
+pub use generalized::{GenRelation, JoinStrategy, Reduction, PAR_JOIN_CUTOFF};

@@ -4,7 +4,8 @@
 //! FD algorithms obey the textbook laws.
 
 use dbpl_relation::{
-    attrs, to_flat, to_generalized, Attrs, Fd, FdSet, GenRelation, Reduction, Relation, Schema,
+    attrs, to_flat, to_generalized, Attrs, Fd, FdSet, GenRelation, JoinStrategy, Reduction,
+    Relation, Schema,
 };
 use dbpl_types::Type;
 use dbpl_values::{is_antichain, Value};
@@ -21,6 +22,17 @@ fn arb_partial_record() -> impl Strategy<Value = Value> {
 
 fn arb_gen_relation() -> impl Strategy<Value = GenRelation> {
     prop::collection::vec(arb_partial_record(), 0..8).prop_map(GenRelation::from_values)
+}
+
+/// Partial records whose `n` field is itself a partial record, exercising
+/// partition keys on dotted paths.
+fn arb_nested_record() -> impl Strategy<Value = Value> {
+    (arb_partial_record(), prop::option::of(arb_partial_record())).prop_map(|(mut outer, inner)| {
+        if let (Value::Record(fields), Some(nested)) = (&mut outer, inner) {
+            fields.insert("n".to_string(), nested);
+        }
+        outer
+    })
 }
 
 /// Flat relations over a fixed 3-attribute schema with small domains.
@@ -79,6 +91,33 @@ proptest! {
             prop_assert!(b.leq(&j), "R2 not ⊑ join under {red:?}");
             prop_assert!(is_antichain(j.rows()));
         }
+    }
+
+    /// The differential test behind the fast path: the hash-partitioned
+    /// join must be byte-for-byte the nested-loop join, on random
+    /// partial-record relations (small domains make both disagreeing
+    /// ground values and rows partial on the key common) under both
+    /// reductions. The Figure 1 fixture is checked in the unit suite.
+    #[test]
+    fn partitioned_join_equals_nested_join(a in arb_gen_relation(), b in arb_gen_relation()) {
+        for red in [Reduction::Maximal, Reduction::Minimal] {
+            let nested = a.natural_join_strategy(&b, red, JoinStrategy::Nested);
+            let partitioned = a.natural_join_strategy(&b, red, JoinStrategy::Partitioned);
+            prop_assert_eq!(nested, partitioned, "strategies diverged under {:?}", red);
+        }
+    }
+
+    /// Same differential on *nested* partial records, so the partition
+    /// key must discriminate on dotted paths, not just top-level fields.
+    #[test]
+    fn partitioned_join_equals_nested_join_on_nested_records(
+        a in prop::collection::vec(arb_nested_record(), 0..8),
+        b in prop::collection::vec(arb_nested_record(), 0..8)
+    ) {
+        let (a, b) = (GenRelation::from_values(a), GenRelation::from_values(b));
+        let nested = a.natural_join_strategy(&b, Reduction::Maximal, JoinStrategy::Nested);
+        let partitioned = a.natural_join_strategy(&b, Reduction::Maximal, JoinStrategy::Partitioned);
+        prop_assert_eq!(nested, partitioned);
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //! abbreviations, but a [`SubtypePolicy`] chooses whether subtyping between
 //! *named* types is inferred or must follow declared `include` edges.
 
+use crate::cache::SubtypeCache;
 use crate::error::TypeError;
 use crate::ty::{Name, Type};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Which discipline governs subtyping between named types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +39,14 @@ pub struct TypeEnv {
     /// `Person` in `declared_sups["Employee"]`.
     declared_sups: BTreeMap<Name, BTreeSet<Name>>,
     policy: SubtypePolicy,
+    /// How many times this env has been mutated. Observability only — see
+    /// the invalidation contract in [`crate::cache`].
+    generation: u64,
+    /// Memoized subtype verdicts, valid for exactly this generation's
+    /// definitions/edges/policy. Clones share the table until one side
+    /// mutates; [`TypeEnv::touch`] swaps in a fresh one so a mutated env
+    /// can never serve (or be served) verdicts from another schema.
+    cache: Arc<SubtypeCache>,
 }
 
 impl TypeEnv {
@@ -61,6 +71,28 @@ impl TypeEnv {
     /// Change the active subtype policy.
     pub fn set_policy(&mut self, policy: SubtypePolicy) {
         self.policy = policy;
+        self.touch();
+    }
+
+    /// Invalidate memoized subtype verdicts: bump the generation and swap
+    /// in a fresh cache. Called by every mutating operation; envs that
+    /// still share the old `Arc` (pre-mutation clones) keep using it,
+    /// which is sound because their definitions did not change.
+    fn touch(&mut self) {
+        self.generation += 1;
+        self.cache = Arc::new(SubtypeCache::new());
+    }
+
+    /// The mutation generation (bumped whenever definitions, declared
+    /// edges or the policy change).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The subtype memo table for this generation (hit/miss statistics;
+    /// populated by [`crate::subtype::is_subtype`]).
+    pub fn subtype_cache(&self) -> &SubtypeCache {
+        &self.cache
     }
 
     /// Declare `name` as an abbreviation for `ty`.
@@ -82,6 +114,7 @@ impl TypeEnv {
             self.defs.remove(&name);
             return Err(e);
         }
+        self.touch();
         Ok(())
     }
 
@@ -89,6 +122,7 @@ impl TypeEnv {
     /// evolution, where re-declaration at a consistent type is the point).
     pub fn redeclare(&mut self, name: impl Into<Name>, ty: Type) {
         self.defs.insert(name.into(), ty);
+        self.touch();
     }
 
     /// Look up the definition of a name.
@@ -144,8 +178,10 @@ impl TypeEnv {
         }
         let structurally_ok = {
             // Check against a structural view of this environment.
+            // `set_policy` gives the view its own fresh memo table, so
+            // structural verdicts cannot leak into a `Declared` cache.
             let mut view = self.clone();
-            view.policy = SubtypePolicy::Structural;
+            view.set_policy(SubtypePolicy::Structural);
             crate::subtype::is_subtype(&Type::Named(sub.clone()), &Type::Named(sup.clone()), &view)
         };
         if !structurally_ok {
@@ -162,6 +198,7 @@ impl TypeEnv {
             }
             return Err(TypeError::CyclicDeclaration(sub));
         }
+        self.touch();
         Ok(())
     }
 
@@ -403,6 +440,73 @@ mod tests {
         assert!(env.declared_le("A", "C"));
         assert!(env.declared_le("A", "A"));
         assert!(!env.declared_le("C", "A"));
+    }
+
+    #[test]
+    fn mutation_bumps_generation_and_replaces_cache() {
+        use crate::subtype::is_subtype;
+        let mut env = TypeEnv::new();
+        env.declare("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
+        let g = env.generation();
+        assert!(is_subtype(&Type::named("Person"), &Type::Top, &env));
+        assert_eq!(env.subtype_cache().len(), 1);
+        // Declaring a new type invalidates: fresh cache, higher generation.
+        env.declare(
+            "Employee",
+            Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+        )
+        .unwrap();
+        assert!(env.generation() > g);
+        assert_eq!(env.subtype_cache().len(), 0);
+    }
+
+    #[test]
+    fn cached_verdicts_track_policy_switches() {
+        use crate::subtype::is_subtype;
+        let mut env = TypeEnv::new();
+        env.declare("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
+        env.declare(
+            "Impostor",
+            Type::record([("Name", Type::Str), ("X", Type::Int)]),
+        )
+        .unwrap();
+        // Structural policy: related (and the verdict is cached).
+        assert!(is_subtype(
+            &Type::named("Impostor"),
+            &Type::named("Person"),
+            &env
+        ));
+        assert!(is_subtype(
+            &Type::named("Impostor"),
+            &Type::named("Person"),
+            &env
+        ));
+        assert!(env.subtype_cache().hits() >= 1);
+        // Switching to Declared must not serve the stale structural `true`.
+        env.set_policy(SubtypePolicy::Declared);
+        assert!(!is_subtype(
+            &Type::named("Impostor"),
+            &Type::named("Person"),
+            &env
+        ));
+    }
+
+    #[test]
+    fn clones_share_verdicts_until_either_side_mutates() {
+        use crate::subtype::is_subtype;
+        let mut a = TypeEnv::new();
+        a.declare("Person", Type::record([("Name", Type::Str)]))
+            .unwrap();
+        let b = a.clone();
+        assert!(is_subtype(&Type::named("Person"), &Type::Top, &b));
+        // The clone's verdict is visible through the original (shared Arc).
+        assert_eq!(a.subtype_cache().len(), 1);
+        // Mutating `a` detaches it; `b` keeps the populated table.
+        a.declare("Other", Type::Int).unwrap();
+        assert_eq!(a.subtype_cache().len(), 0);
+        assert_eq!(b.subtype_cache().len(), 1);
     }
 
     #[test]

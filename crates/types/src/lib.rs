@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod display;
 pub mod env;
 pub mod error;
@@ -32,9 +33,10 @@ pub mod parse;
 pub mod subtype;
 pub mod ty;
 
+pub use cache::SubtypeCache;
 pub use env::{SubtypePolicy, TypeEnv};
 pub use error::TypeError;
 pub use lattice::{consistent, join, meet};
 pub use parse::{parse_type, ParseError};
-pub use subtype::{is_equiv, is_proper_subtype, is_subtype, is_subtype_with};
+pub use subtype::{is_equiv, is_proper_subtype, is_subtype, is_subtype_uncached, is_subtype_with};
 pub use ty::{Fields, Label, Name, Quant, TyVar, Type};

@@ -21,6 +21,29 @@
 //!   edges.
 //!
 //! `Int ≤ Float` is admitted as the one base-type coercion.
+//!
+//! # Memoization and the cache-invalidation contract
+//!
+//! Top-level [`is_subtype`] verdicts are memoized in the environment's
+//! [`crate::cache::SubtypeCache`], so a query engine that asks the same
+//! `(sub, sup)` question per scanned object (the generic `Get`, cascading
+//! extent insertion, conformance checks) pays for one structural walk per
+//! *distinct pair*, not per object. The contract:
+//!
+//! * **Writes**: only this module writes verdicts, and only for queries
+//!   with no ambient quantifier bounds (closed types). Verdicts computed
+//!   under a non-empty assumption set or bound context are intermediate
+//!   facts of one coinductive derivation and are never cached.
+//! * **Invalidation**: any mutation of the [`TypeEnv`] (declaring or
+//!   redeclaring a type, adding an `include` edge, switching policy)
+//!   bumps the env's generation and replaces the cache wholesale, so a
+//!   verdict can never outlive the schema it was computed against. Clones
+//!   share a cache only while their schemas are bit-identical.
+//! * **Thread safety**: the cache is a `RwLock`-guarded table; concurrent
+//!   readers over one shared env (parallel scans) are safe and share each
+//!   other's work. A racing double-compute stores the same verdict twice
+//!   — subtyping is a pure function of the env — so last-write-wins is
+//!   harmless.
 
 use crate::env::{SubtypePolicy, TypeEnv};
 use crate::ty::{TyVar, Type};
@@ -30,19 +53,42 @@ use std::collections::{BTreeMap, HashSet};
 ///
 /// Unknown named types make the judgement fail (conservatively) rather than
 /// panic; use [`TypeEnv::validate`] to surface them as errors.
+///
+/// Verdicts are memoized in the env's [`crate::cache::SubtypeCache`]; see
+/// the module docs for the invalidation contract.
 pub fn is_subtype(sub: &Type, sup: &Type, env: &TypeEnv) -> bool {
+    let cache = env.subtype_cache();
+    if let Some(v) = cache.lookup(sub, sup) {
+        return v;
+    }
+    let v = Subtyper::new(env).check(sub, sup);
+    cache.store(sub.clone(), sup.clone(), v);
+    v
+}
+
+/// [`is_subtype`] without consulting or populating the memo table — the
+/// pure structural walk. Benchmarks use this as the naive baseline; it is
+/// also the worker [`is_subtype`] calls on a cache miss.
+pub fn is_subtype_uncached(sub: &Type, sup: &Type, env: &TypeEnv) -> bool {
     Subtyper::new(env).check(sub, sup)
 }
 
 /// [`is_subtype`] under an ambient context of bounded type variables —
 /// used by typecheckers whose terms mention the variables of enclosing
 /// quantifiers (e.g. inside the body of `fun f[t <= Person](x: t)...`).
+///
+/// With an empty bound context this is exactly [`is_subtype`] (and shares
+/// its memo table); under bounds the verdict depends on the context, so
+/// it is computed structurally and never cached.
 pub fn is_subtype_with(
     sub: &Type,
     sup: &Type,
     env: &TypeEnv,
     bounds: &BTreeMap<TyVar, Option<Type>>,
 ) -> bool {
+    if bounds.is_empty() {
+        return is_subtype(sub, sup, env);
+    }
     let mut s = Subtyper::new(env);
     s.bounds = bounds.clone();
     s.check(sub, sup)
