@@ -141,17 +141,105 @@ fn fast_paths(smoke: bool) {
     }
 }
 
+/// Transaction-commit overhead guard: the same extern workload performed
+/// three ways — raw store writes, implicit per-program transactions, and
+/// one explicit transaction — must produce identical durable state, and
+/// the smoke gate fails the build if they ever diverge. The full run also
+/// records the timings as the `BENCH_txn_commit.json` baseline.
+fn txn_commit(smoke: bool) {
+    use dbpl_lang::Session;
+
+    println!("## Transaction commit overhead — staged commit vs direct run\n");
+    let dir = std::env::temp_dir().join(format!("dbpl-report-txn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let handles = if smoke { 4usize } else { 16 };
+    let iters = if smoke { 2 } else { 10 };
+    let program = |prefix: &str| -> String {
+        (0..handles)
+            .map(|i| format!("extern('{prefix}{i}', dynamic {i})\n"))
+            .collect()
+    };
+
+    // Raw store writes: no staging, no intent record, one hardened
+    // install per handle.
+    let store = ReplicatingStore::open(dir.join("raw")).unwrap();
+    let heap = Heap::new();
+    let (t_raw, _) = time(
+        || {
+            for i in 0..handles {
+                let d = DynValue::new(Type::Int, Value::Int(i as i64));
+                store.extern_value(&format!("raw{i}"), &d, &heap).unwrap();
+            }
+        },
+        iters,
+    );
+
+    // Implicit transaction: each run stages its externs and commits them
+    // through the write-ahead intent protocol.
+    let mut s_impl = Session::with_store_dir(dir.join("implicit")).unwrap();
+    let src_impl = program("h");
+    let (t_impl, _) = time(|| s_impl.run(&src_impl).unwrap().len(), iters);
+
+    // Explicit transaction around the same writes.
+    let mut s_expl = Session::with_store_dir(dir.join("explicit")).unwrap();
+    let src_expl = format!("begin\n{}commit", program("h"));
+    let (t_expl, _) = time(|| s_expl.run(&src_expl).unwrap().len(), iters);
+
+    // Differential gate: all three paths left identical durable values.
+    let mut h2 = Heap::new();
+    for i in 0..handles {
+        let raw = store.intern(&format!("raw{i}"), &mut h2).unwrap().value;
+        let imp = s_impl
+            .store
+            .intern(&format!("h{i}"), &mut h2)
+            .unwrap()
+            .value;
+        let exp = s_expl
+            .store
+            .intern(&format!("h{i}"), &mut h2)
+            .unwrap()
+            .value;
+        assert_eq!(raw, imp, "implicit txn diverged from raw store at {i}");
+        assert_eq!(imp, exp, "explicit txn diverged from implicit at {i}");
+    }
+
+    let over_impl = t_impl / t_raw.max(1e-9);
+    let over_expl = t_expl / t_raw.max(1e-9);
+    println!("| path ({handles} externs) | µs | vs raw |");
+    println!("|---|---|---|");
+    println!("| raw store writes | {t_raw:.0} | 1.0x |");
+    println!("| implicit txn (run) | {t_impl:.0} | {over_impl:.2}x |");
+    println!("| explicit begin/commit | {t_expl:.0} | {over_expl:.2}x |");
+    println!();
+
+    if !smoke {
+        let json = format!(
+            "{{\n  \"experiment\": \"txn_commit\",\n  \"unit\": \"us_per_batch\",\n  \
+             \"handles\": {handles},\n  \"raw\": {t_raw:.2},\n  \"implicit_txn\": {t_impl:.2},\n  \
+             \"explicit_txn\": {t_expl:.2},\n  \"overhead_implicit_vs_raw\": {over_impl:.2},\n  \
+             \"overhead_explicit_vs_raw\": {over_expl:.2}\n}}\n"
+        );
+        std::fs::write("BENCH_txn_commit.json", json).expect("write BENCH_txn_commit.json");
+        println!("(baseline written to BENCH_txn_commit.json)\n");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
         println!("# Bench smoke — fast paths vs naive baselines (tiny sizes)\n");
         fast_paths(true);
+        txn_commit(true);
         println!("bench-smoke OK: all fast paths agree with their naive baselines");
         return;
     }
     println!("# Experiment report (regenerates the EXPERIMENTS.md tables)\n");
 
     fast_paths(false);
+    txn_commit(false);
 
     // ---------- F1 ----------
     println!("## F1 — Figure 1, join of generalized relations\n");

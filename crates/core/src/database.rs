@@ -18,12 +18,12 @@
 
 use crate::error::CoreError;
 use crate::extent::{ExtentManager, TypedListIndex};
-use crate::get::{scan_get, scan_get_cached, scan_get_par, ExistsPkg};
+use crate::get::{conformance_sweep, scan_get, scan_get_cached, scan_get_par, ExistsPkg};
 use crate::hierarchy::ClassHierarchy;
-use dbpl_persist::Image;
+use dbpl_persist::{Image, QuarantineEntry, QuarantineReport};
 use dbpl_types::{Type, TypeEnv};
 use dbpl_values::{conforms, DynValue, Heap, Mode, Oid, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How [`Database::get_with`] locates the objects of a type. All
 /// strategies return element-for-element identical results (differentially
@@ -59,6 +59,13 @@ pub struct Database {
     /// The strategy [`Database::get`] uses; the naive paths stay
     /// reachable through this flag so benches can measure both.
     get_strategy: GetStrategy,
+    /// Damaged units and elements skipped instead of failing queries —
+    /// the per-database quarantine report.
+    quarantined: Vec<QuarantineEntry>,
+    /// Positions in `dynamics` excluded from every `Get`. Positions, not
+    /// removals: the typed-list index stores positions, so removing an
+    /// element would shift everything after it.
+    quarantined_positions: BTreeSet<usize>,
 }
 
 impl Database {
@@ -193,16 +200,26 @@ impl Database {
 
     /// `Get` with an explicit implementation strategy; all strategies
     /// return the same packages (asserted by the test suite), at different
-    /// costs (measured by E1).
+    /// costs (measured by E1). Quarantined elements are skipped by every
+    /// strategy — a damaged element degrades the result, never the query.
     pub fn get_with(&self, bound: &Type, strategy: GetStrategy) -> Vec<ExistsPkg> {
+        // Fast path: no quarantine, scan the store as-is.
+        let filtered;
+        let dynamics: &[DynValue] = if self.quarantined_positions.is_empty() {
+            &self.dynamics
+        } else {
+            filtered = self.healthy_dynamics();
+            &filtered
+        };
         match strategy {
-            GetStrategy::Scan => scan_get(&self.dynamics, bound, &self.env),
-            GetStrategy::CachedScan => scan_get_cached(&self.dynamics, bound, &self.env),
-            GetStrategy::ParScan => scan_get_par(&self.dynamics, bound, &self.env),
+            GetStrategy::Scan => scan_get(dynamics, bound, &self.env),
+            GetStrategy::CachedScan => scan_get_cached(dynamics, bound, &self.env),
+            GetStrategy::ParScan => scan_get_par(dynamics, bound, &self.env),
             GetStrategy::TypedLists => self
                 .index
                 .query(bound, &self.env)
                 .into_iter()
+                .filter(|i| !self.quarantined_positions.contains(i))
                 .map(|i| {
                     let d = &self.dynamics[i];
                     // Index membership *is* the `witness ≤ bound`
@@ -211,6 +228,60 @@ impl Database {
                 })
                 .collect(),
         }
+    }
+
+    /// The dynamic store with quarantined positions filtered out.
+    fn healthy_dynamics(&self) -> Vec<DynValue> {
+        self.dynamics
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.quarantined_positions.contains(i))
+            .map(|(_, d)| d.clone())
+            .collect()
+    }
+
+    /// Record a damaged unit skipped at a persistence boundary (e.g. an
+    /// undecodable `.dyn` package) in this database's quarantine report.
+    pub fn record_quarantine(&mut self, handle: impl Into<String>, cause: impl Into<String>) {
+        self.quarantined.push(QuarantineEntry {
+            handle: handle.into(),
+            cause: cause.into(),
+        });
+    }
+
+    /// Quarantine a position in the dynamic store: every `Get` skips it
+    /// from now on, and the report gains an entry naming it.
+    pub fn quarantine_position(&mut self, pos: usize, cause: impl Into<String>) {
+        if pos < self.dynamics.len() && self.quarantined_positions.insert(pos) {
+            self.quarantined.push(QuarantineEntry {
+                handle: format!("dynamics[{pos}]"),
+                cause: cause.into(),
+            });
+        }
+    }
+
+    /// The quarantine report: everything this database skipped instead of
+    /// failing on (count, handles, causes).
+    pub fn quarantine_report(&self) -> QuarantineReport {
+        QuarantineReport {
+            entries: self.quarantined.clone(),
+        }
+    }
+
+    /// Re-verify every stored dynamic against its carried type and
+    /// quarantine the ones that no longer conform (dangling references,
+    /// structural damage). Returns how many new positions were
+    /// quarantined. Queries keep working on the healthy remainder.
+    pub fn verify_dynamics(&mut self) -> usize {
+        let bad = conformance_sweep(&self.dynamics, &self.env, &self.heap);
+        let mut added = 0;
+        for (pos, cause) in bad {
+            if !self.quarantined_positions.contains(&pos) {
+                self.quarantine_position(pos, cause);
+                added += 1;
+            }
+        }
+        added
     }
 
     /// The class hierarchy — derived from the type hierarchy, on demand.
@@ -328,6 +399,8 @@ impl Database {
             extents: ExtentManager::new(),
             bindings,
             get_strategy: GetStrategy::default(),
+            quarantined: Vec::new(),
+            quarantined_positions: BTreeSet::new(),
         })
     }
 }
@@ -454,6 +527,47 @@ mod tests {
         );
         // The transient extent is gone; that was the point.
         assert!(restored.extents().extent("memo").is_err());
+    }
+
+    #[test]
+    fn quarantined_positions_are_skipped_by_every_strategy() {
+        let mut d = db();
+        let before = d.get(&Type::Top).len();
+        // Quarantine the Int element (position 2).
+        d.quarantine_position(2, "planted damage");
+        for strategy in [
+            GetStrategy::Scan,
+            GetStrategy::CachedScan,
+            GetStrategy::TypedLists,
+            GetStrategy::ParScan,
+        ] {
+            let got = d.get_with(&Type::Top, strategy);
+            assert_eq!(got.len(), before - 1, "{strategy:?}");
+            assert!(got.iter().all(|p| p.witness() != &Type::Int));
+        }
+        let report = d.quarantine_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.entries[0].handle, "dynamics[2]");
+        assert_eq!(report.entries[0].cause, "planted damage");
+        // Quarantining the same position twice does not duplicate.
+        d.quarantine_position(2, "again");
+        assert_eq!(d.quarantine_report().len(), 1);
+    }
+
+    #[test]
+    fn verify_dynamics_quarantines_nonconforming_elements() {
+        let mut d = db();
+        assert_eq!(d.verify_dynamics(), 0);
+        // Smuggle a dangling reference in (bypassing put's check).
+        let o = d.heap_mut().alloc(Type::Int, Value::Int(5));
+        d.put(Type::Int, Value::Ref(o)).unwrap();
+        d.heap_mut().remove(o);
+        assert_eq!(d.verify_dynamics(), 1);
+        // The damaged element is named, and queries keep working.
+        assert_eq!(d.quarantine_report().len(), 1);
+        assert_eq!(d.get(&Type::Int).len(), 1, "healthy Int still found");
+        // A second verify finds nothing new.
+        assert_eq!(d.verify_dynamics(), 0);
     }
 
     #[test]

@@ -225,6 +225,27 @@ impl ExtentManager {
     pub fn drop_transient(&mut self) {
         self.extents.retain(|_, e| !e.transient);
     }
+
+    /// Remove members whose object no longer exists in `heap`, returning
+    /// each pruned `(extent, oid)` pair. A graceful-degradation sweep: a
+    /// dangling member (left by damage or a partial recovery) would
+    /// otherwise poison every traversal of its extent.
+    pub fn prune_dangling(&mut self, heap: &Heap) -> Vec<(String, Oid)> {
+        let mut pruned = Vec::new();
+        for e in self.extents.values_mut() {
+            let dead: Vec<Oid> = e
+                .members
+                .iter()
+                .copied()
+                .filter(|oid| !heap.contains(*oid))
+                .collect();
+            for oid in dead {
+                e.members.remove(&oid);
+                pruned.push((e.name.clone(), oid));
+            }
+        }
+        pruned
+    }
 }
 
 /// An index of a dynamic store by carried type: "a set of (statically)
@@ -499,5 +520,29 @@ mod tests {
                 .collect();
             assert_eq!(via_index, via_scan, "bound {bound}");
         }
+    }
+
+    #[test]
+    fn prune_dangling_drops_members_without_objects() {
+        let env = env();
+        let mut heap = Heap::new();
+        let live = heap.alloc(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("ok"))]),
+        );
+        let doomed = heap.alloc(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("gone"))]),
+        );
+        let mut m = ExtentManager::new();
+        m.create("persons", Type::named("Person"), false).unwrap();
+        m.insert("persons", live, &heap, &env).unwrap();
+        m.insert("persons", doomed, &heap, &env).unwrap();
+        heap.remove(doomed);
+        let pruned = m.prune_dangling(&heap);
+        assert_eq!(pruned, vec![("persons".to_string(), doomed)]);
+        let e = m.extent("persons").unwrap();
+        assert!(e.contains(live) && !e.contains(doomed));
+        assert!(m.prune_dangling(&heap).is_empty());
     }
 }

@@ -29,7 +29,7 @@
 
 use crate::error::CoreError;
 use dbpl_types::{is_subtype, is_subtype_uncached, Type, TypeEnv};
-use dbpl_values::{DynValue, Value};
+use dbpl_values::{conforms, DynValue, Heap, Mode, Value};
 
 /// An existential package `∃t' ≤ bound. t'`.
 #[derive(Debug, Clone, PartialEq)]
@@ -207,6 +207,28 @@ pub fn scan_get_par(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<E
     })
 }
 
+/// Re-check every stored dynamic against its own carried type, returning
+/// `(position, cause)` for each element that no longer conforms —
+/// dangling references, structurally impossible values, damage smuggled
+/// in through a persistence boundary. The caller quarantines the
+/// positions instead of letting one rotten element fail every `Get` that
+/// reaches it.
+pub fn conformance_sweep(
+    dynamics: &[DynValue],
+    env: &TypeEnv,
+    heap: &Heap,
+) -> Vec<(usize, String)> {
+    dynamics
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, d)| {
+            conforms(&d.value, &d.ty, env, heap, Mode::Strict)
+                .err()
+                .map(|e| (pos, e.to_string()))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +325,19 @@ mod tests {
             get_signature().to_string(),
             "forall t. Database -> List[exists u <= t. u]"
         );
+    }
+
+    #[test]
+    fn conformance_sweep_flags_nonconforming_elements() {
+        let env = env();
+        let heap = Heap::new();
+        let mut dyns = sample();
+        dyns.push(DynValue::new(Type::Int, Value::str("not an int")));
+        let bad = conformance_sweep(&dyns, &env, &heap);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, dyns.len() - 1);
+        assert!(!bad[0].1.is_empty());
+        assert!(conformance_sweep(&sample(), &env, &heap).is_empty());
     }
 
     #[test]

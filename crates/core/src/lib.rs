@@ -33,6 +33,8 @@ pub mod keys;
 pub use database::{Database, GetStrategy};
 pub use error::CoreError;
 pub use extent::{Extent, ExtentManager, TypedListIndex};
-pub use get::{get_signature, scan_get, scan_get_cached, scan_get_par, ExistsPkg};
+pub use get::{
+    conformance_sweep, get_signature, scan_get, scan_get_cached, scan_get_par, ExistsPkg,
+};
 pub use hierarchy::ClassHierarchy;
 pub use keys::{KeyConstraint, KeyedSet};

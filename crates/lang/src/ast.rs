@@ -155,6 +155,24 @@ pub enum Item {
         /// Body.
         body: Expr,
     },
+    /// `begin` — open an explicit transaction; subsequent database,
+    /// extent and store mutations are staged until `commit`.
+    Begin {
+        /// Offset.
+        at: usize,
+    },
+    /// `commit` — durably apply the open explicit transaction, across
+    /// every attached store, atomically.
+    Commit {
+        /// Offset.
+        at: usize,
+    },
+    /// `abort` — discard every staged mutation of the open explicit
+    /// transaction.
+    Abort {
+        /// Offset.
+        at: usize,
+    },
     /// A bare expression statement; its value is printed.
     Expr(Expr),
 }

@@ -150,6 +150,13 @@ pub fn builtins() -> Vec<BuiltinSig> {
             ty: fun2(Type::Int, Type::Int, list(Type::Int)),
             arity: 2,
         },
+        // Unconditional failure, modelling a buggy program that unwinds.
+        // The session isolates the panic and aborts its transaction.
+        BuiltinSig {
+            name: "panic",
+            ty: Type::fun(Type::Str, Type::Unit),
+            arity: 1,
+        },
     ]
 }
 

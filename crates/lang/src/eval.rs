@@ -177,8 +177,9 @@ pub fn eval(e: &Expr, env: &Env, s: &mut Session) -> Result<RtValue, LangError> 
             match eval(v, env, s)? {
                 RtValue::Dyn(t, inner) => {
                     let d = DynValue::new(t, inner.to_value(v.at)?);
-                    s.store
-                        .extern_value(&handle, &d, s.db.heap())
+                    // Staged in the session's open transaction; durable
+                    // only once that transaction commits.
+                    s.stage_extern(&handle, &d)
                         .map_err(|e| LangError::eval(at, e.to_string()))?;
                     Ok(RtValue::Unit)
                 }
@@ -193,9 +194,11 @@ pub fn eval(e: &Expr, env: &Env, s: &mut Session) -> Result<RtValue, LangError> 
                 RtValue::Str(st) => st,
                 other => return Err(LangError::eval(h.at, format!("handle was {other}"))),
             };
+            // Reads through the open transaction's staged externs first
+            // (read-your-writes), then the store; a corrupt unit is
+            // quarantined in the session diagnostics as a side effect.
             let d = s
-                .store
-                .intern(&handle, s.db.heap_mut())
+                .intern_staged(&handle)
                 .map_err(|e| LangError::eval(at, e.to_string()))?;
             Ok(RtValue::Dyn(d.ty, Rc::new(RtValue::from_value(&d.value))))
         }
@@ -343,6 +346,13 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
             Ok(RtValue::Unit)
         }
         "str" => Ok(RtValue::Str(args.remove(0).to_string())),
+        "panic" => {
+            let msg = match args.remove(0) {
+                RtValue::Str(m) => m,
+                other => other.to_string(),
+            };
+            panic!("{msg}");
+        }
         "get" => {
             let bound = tyargs
                 .first()

@@ -167,6 +167,18 @@ impl Parser {
                     body,
                 })
             }
+            Tok::Begin => {
+                self.bump();
+                Ok(Item::Begin { at })
+            }
+            Tok::Commit => {
+                self.bump();
+                Ok(Item::Commit { at })
+            }
+            Tok::Abort => {
+                self.bump();
+                Ok(Item::Abort { at })
+            }
             _ => Ok(Item::Expr(self.expr()?)),
         }
     }

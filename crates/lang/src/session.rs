@@ -6,20 +6,59 @@
 //! [`Session::run`] is one "program": it starts with a fresh variable
 //! scope — precisely the paper's model, where only database structures
 //! survive from one program to the next, through handles.
+//!
+//! Every program runs inside a **transaction frame**. A plain [`run`]
+//! opens an implicit frame and commits it when the program completes;
+//! any failure — a run-time error or even a panic in the evaluator —
+//! aborts the frame, rolling the database (data *and* schema) back to
+//! where the program started and discarding every staged store write.
+//! `begin` / `commit` / `abort` statements (or the host-side
+//! [`Session::transaction`]) manage an explicit frame that can span
+//! several programs. Commit is crash-atomic across an attached
+//! [`IntrinsicStore`] and the replicating store's externs: both are
+//! covered by one write-ahead intent record, replayed or discarded as a
+//! unit on reopen (see `dbpl_persist::txn`).
+//!
+//! [`run`]: Session::run
 
-use crate::ast::{Expr, ExprKind, Item};
+use crate::ast::{Expr, ExprKind, Item, Program};
 use crate::check::check_program;
 use crate::error::LangError;
 use crate::eval::eval;
 use crate::parser::parse_program;
 use crate::rt::{Closure, Env, RtValue};
 use dbpl_core::Database;
-use dbpl_persist::{IntrinsicStore, ReplicatingStore, SalvageReport};
+use dbpl_persist::{
+    commit_multi, recover_pending, IntrinsicStore, PersistError, QuarantineEntry, QuarantineReport,
+    ReplicatingStore, RetryPolicy, SalvageReport,
+};
+use dbpl_values::DynValue;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An open transaction frame: the rollback state plus the staged
+/// replicating-store writes.
+struct TxnState {
+    /// `true` for a frame opened by `begin`/[`Session::transaction`] —
+    /// it stays open across programs until `commit`/`abort`. Implicit
+    /// per-program frames are `false`.
+    explicit: bool,
+    /// Snapshot of the database (heap, dynamics, extents, schema) taken
+    /// when the frame opened; restored verbatim on abort.
+    saved_db: Box<Database>,
+    /// Staged extern mutations, applied at commit: `Some(bytes)` is an
+    /// encoded unit to install, `None` a removal.
+    staged_externs: BTreeMap<String, Option<Vec<u8>>>,
+    /// Wall-clock point after which the commit refuses to start its
+    /// durability step and aborts instead.
+    deadline: Option<Instant>,
+}
 
 /// A running MiniDBPL session.
 pub struct Session {
@@ -28,11 +67,36 @@ pub struct Session {
     /// The replicating store behind `extern`/`intern`.
     pub store: ReplicatingStore,
     /// An intrinsic (log-structured) store, once one has been attached
-    /// with [`Session::attach_intrinsic`].
+    /// with [`Session::attach_intrinsic`]. Mutations staged here (via the
+    /// host API) commit atomically with the session's externs.
     pub intrinsic: Option<IntrinsicStore>,
     /// Output produced by `print` and expression statements, plus any
     /// recovery/salvage notices from attaching an intrinsic store.
+    /// Printing is an observable effect: it is *not* rolled back when a
+    /// transaction aborts.
     pub out: Vec<String>,
+    /// Wall-clock budget granted to each transaction frame; a commit
+    /// that has not reached its durability point by then aborts with a
+    /// deadline error instead of retrying forever. `None` (the default)
+    /// means only the bounded retry policy limits a commit.
+    pub txn_deadline: Option<Duration>,
+    /// The open transaction frame, if any.
+    txn: Option<TxnState>,
+    /// Corrupt store units hit by `intern` — quarantined here, at the
+    /// session level, so the record survives the enclosing transaction's
+    /// abort. Merged into [`Session::quarantine_report`].
+    quarantined: Vec<QuarantineEntry>,
+}
+
+/// Render a caught panic payload for an error message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 impl Session {
@@ -49,12 +113,40 @@ impl Session {
     pub fn with_store_dir(dir: impl AsRef<Path>) -> Result<Session, LangError> {
         let store = ReplicatingStore::open(dir)
             .map_err(|e| LangError::eval(0, format!("cannot open store: {e}")))?;
-        Ok(Session {
+        Ok(Session::from_store(store))
+    }
+
+    /// A session over a store directory opened in **salvage mode**: every
+    /// unit is probed up front, undecodable ones are quarantined rather
+    /// than surfaced as errors later, and the store is read-only. The
+    /// quarantine report is also returned directly.
+    pub fn with_store_dir_salvage(
+        dir: impl AsRef<Path>,
+    ) -> Result<(Session, QuarantineReport), LangError> {
+        let (store, report) = ReplicatingStore::open_salvage(dir)
+            .map_err(|e| LangError::eval(0, format!("cannot salvage store: {e}")))?;
+        let mut s = Session::from_store(store);
+        s.quarantined = report.entries.clone();
+        let names: Vec<&str> = report.entries.iter().map(|e| e.handle.as_str()).collect();
+        s.out.push(format!(
+            "warning: store opened read-only in salvage mode: {} unit(s) quarantined{}{}",
+            report.len(),
+            if names.is_empty() { "" } else { ": " },
+            names.join(", ")
+        ));
+        Ok((s, report))
+    }
+
+    fn from_store(store: ReplicatingStore) -> Session {
+        Session {
             db: Database::new(),
             store,
             intrinsic: None,
             out: Vec::new(),
-        })
+            txn_deadline: None,
+            txn: None,
+            quarantined: Vec::new(),
+        }
     }
 
     /// Attach an intrinsic store backed by the log at `path`, surfacing
@@ -62,7 +154,7 @@ impl Session {
     /// a `note:` line describing what was recovered and what was dropped
     /// is appended to the session output.
     pub fn attach_intrinsic(&mut self, path: impl AsRef<Path>) -> Result<(), LangError> {
-        let store = IntrinsicStore::open(path)
+        let mut store = IntrinsicStore::open(path)
             .map_err(|e| LangError::eval(0, format!("cannot open intrinsic store: {e}")))?;
         let r = store.recovery_report();
         if !r.clean() {
@@ -70,6 +162,20 @@ impl Session {
                 "note: store recovered to txn {}, dropped {} torn record(s) ({} trailing bytes discarded)",
                 r.recovered_txn, r.dropped_records, r.truncated_bytes
             ));
+        }
+        // Both store kinds are now present: finish any multi-store
+        // transaction a crash interrupted between them.
+        match recover_pending(Some(&mut store), &self.store) {
+            Ok(Some(txn_id)) => self.out.push(format!(
+                "note: completed pending transaction {txn_id} left by an interrupted commit"
+            )),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(LangError::eval(
+                    0,
+                    format!("cannot recover pending transaction: {e}"),
+                ))
+            }
         }
         self.intrinsic = Some(store);
         Ok(())
@@ -102,18 +208,91 @@ impl Session {
 
     /// Parse, type-check and run one program. Returns the lines of output
     /// it produced (also appended to [`Session::out`]).
+    ///
+    /// The program runs in a transaction frame: unless an explicit
+    /// transaction is already open, one is opened for this program and
+    /// committed when it completes. A check error leaves the session
+    /// untouched; a run-time error or a panic mid-program aborts the
+    /// frame, so no partial mutation — not even a `type` declaration —
+    /// leaks into the session.
     pub fn run(&mut self, src: &str) -> Result<Vec<String>, LangError> {
         let prog = parse_program(src)?;
         let checked = check_program(&prog, self.db.env())?;
+        if self.txn.is_none() {
+            self.begin_frame(false);
+        }
         // The program's type declarations become part of the database's
-        // schema for subsequent programs.
+        // schema for subsequent programs (rolled back if the frame
+        // aborts).
         *self.db.env_mut() = checked.env;
 
         let out_start = self.out.len();
+        // Panic isolation: a panicking program must poison nothing. The
+        // vendored lock primitives unlock on unwind rather than poison,
+        // and all session state is restored from the frame snapshot, so
+        // resuming past the unwind is sound.
+        match catch_unwind(AssertUnwindSafe(|| self.exec_items(&prog))) {
+            Ok(Ok(())) => {
+                if self.txn.as_ref().is_some_and(|t| !t.explicit) {
+                    self.commit_frame()?;
+                }
+                Ok(self.out[out_start..].to_vec())
+            }
+            Ok(Err(e)) => {
+                self.abort_frame();
+                Err(e)
+            }
+            Err(payload) => {
+                self.abort_frame();
+                Err(LangError::eval(
+                    0,
+                    format!(
+                        "program panicked: {}; transaction aborted",
+                        panic_message(&*payload)
+                    ),
+                ))
+            }
+        }
+    }
+
+    fn exec_items(&mut self, prog: &Program) -> Result<(), LangError> {
         let mut env = Env::empty();
         for item in &prog.items {
             match item {
                 Item::TypeDecl { .. } | Item::Include { .. } => {}
+                Item::Begin { at } => {
+                    if self.txn.as_ref().is_some_and(|t| t.explicit) {
+                        return Err(LangError::eval(
+                            *at,
+                            "transaction already in progress".to_string(),
+                        ));
+                    }
+                    // Settle what ran before `begin`, then snapshot here.
+                    self.commit_frame()?;
+                    self.begin_frame(true);
+                }
+                Item::Commit { at } => {
+                    if !self.txn.as_ref().is_some_and(|t| t.explicit) {
+                        return Err(LangError::eval(
+                            *at,
+                            "no transaction in progress".to_string(),
+                        ));
+                    }
+                    self.commit_frame()?;
+                    // The rest of the program runs in a fresh implicit
+                    // frame, committed when the program completes.
+                    self.begin_frame(false);
+                }
+                Item::Abort { at } => {
+                    if !self.txn.as_ref().is_some_and(|t| t.explicit) {
+                        return Err(LangError::eval(
+                            *at,
+                            "no transaction in progress".to_string(),
+                        ));
+                    }
+                    self.abort_frame();
+                    self.begin_frame(false);
+                }
                 Item::Let { name, expr, .. } => {
                     let v = eval(expr, &env, self)?;
                     env = env.bind(name.clone(), v);
@@ -149,13 +328,235 @@ impl Session {
                 }
             }
         }
-        Ok(self.out[out_start..].to_vec())
+        Ok(())
     }
 
     /// Run a program, rendering any error against the source.
     pub fn run_pretty(&mut self, src: &str) -> Result<Vec<String>, String> {
         self.run(src).map_err(|e| e.render(src))
     }
+
+    // ---------- transactions ----------
+
+    /// Run `f` inside an explicit transaction: committed if it returns
+    /// `Ok`, aborted — with every staged mutation discarded — if it
+    /// returns `Err` **or panics**. The panic is contained; the session
+    /// stays usable.
+    pub fn transaction<T>(
+        &mut self,
+        f: impl FnOnce(&mut Session) -> Result<T, LangError>,
+    ) -> Result<T, LangError> {
+        if self.txn.as_ref().is_some_and(|t| t.explicit) {
+            return Err(LangError::eval(
+                0,
+                "transaction already in progress".to_string(),
+            ));
+        }
+        self.begin_frame(true);
+        match catch_unwind(AssertUnwindSafe(|| f(self))) {
+            Ok(Ok(v)) => {
+                self.commit_frame()?;
+                Ok(v)
+            }
+            Ok(Err(e)) => {
+                self.abort_frame();
+                Err(e)
+            }
+            Err(payload) => {
+                self.abort_frame();
+                Err(LangError::eval(
+                    0,
+                    format!(
+                        "transaction panicked: {}; aborted",
+                        panic_message(&*payload)
+                    ),
+                ))
+            }
+        }
+    }
+
+    /// Whether an explicit transaction is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.as_ref().is_some_and(|t| t.explicit)
+    }
+
+    fn begin_frame(&mut self, explicit: bool) {
+        debug_assert!(self.txn.is_none(), "frames do not nest");
+        self.txn = Some(TxnState {
+            explicit,
+            saved_db: Box::new(self.db.clone()),
+            staged_externs: BTreeMap::new(),
+            deadline: self.txn_deadline.map(|budget| Instant::now() + budget),
+        });
+    }
+
+    /// Durably apply the open frame: one crash-atomic commit across the
+    /// intrinsic store (if attached and dirty) and the staged externs.
+    /// On failure the frame aborts — in-memory state rolls back to the
+    /// snapshot — and the error is surfaced.
+    fn commit_frame(&mut self) -> Result<(), LangError> {
+        let Some(frame) = self.txn.take() else {
+            return Ok(());
+        };
+        let intrinsic_dirty = self.intrinsic.as_ref().is_some_and(|s| s.is_dirty());
+        if frame.staged_externs.is_empty() && !intrinsic_dirty {
+            // Purely in-memory transaction: the database already holds
+            // the new state, nothing to make durable.
+            return Ok(());
+        }
+        let policy = match frame.deadline {
+            Some(d) => RetryPolicy::with_deadline(d),
+            None => RetryPolicy::default(),
+        };
+        match commit_multi(
+            self.intrinsic.as_mut(),
+            &self.store,
+            &frame.staged_externs,
+            &policy,
+        ) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                // Nothing became durable (the intent never published, or
+                // recovery will discard it); make memory agree.
+                self.db = *frame.saved_db;
+                if let Some(s) = self.intrinsic.as_mut() {
+                    s.abort();
+                }
+                Err(LangError::eval(
+                    0,
+                    format!("commit failed, transaction aborted: {e}"),
+                ))
+            }
+        }
+    }
+
+    /// Discard the open frame: restore the database snapshot and drop
+    /// staged mutations, including anything staged in the intrinsic
+    /// store. Session output is kept — printing already happened.
+    fn abort_frame(&mut self) {
+        if let Some(frame) = self.txn.take() {
+            self.db = *frame.saved_db;
+        }
+        if let Some(s) = self.intrinsic.as_mut() {
+            s.abort();
+        }
+    }
+
+    // ---------- staged store access ----------
+
+    /// Stage an extern: inside a transaction frame the encoded unit is
+    /// buffered and written only at commit; outside any frame it is
+    /// installed (hardened) immediately.
+    pub fn stage_extern(&mut self, handle: &str, d: &DynValue) -> Result<(), PersistError> {
+        if self.store.is_read_only() {
+            return Err(PersistError::ReadOnly("extern".to_string()));
+        }
+        let bytes = ReplicatingStore::encode_unit(d, self.db.heap())?;
+        match &mut self.txn {
+            Some(frame) => {
+                frame.staged_externs.insert(handle.to_string(), Some(bytes));
+                Ok(())
+            }
+            None => self.store.install_unit(handle, &bytes),
+        }
+    }
+
+    /// Stage a handle removal, transactionally when a frame is open.
+    pub fn stage_remove(&mut self, handle: &str) -> Result<(), PersistError> {
+        if self.store.is_read_only() {
+            return Err(PersistError::ReadOnly("remove".to_string()));
+        }
+        match &mut self.txn {
+            Some(frame) => {
+                frame.staged_externs.insert(handle.to_string(), None);
+                Ok(())
+            }
+            None => self.store.remove_quiet(handle),
+        }
+    }
+
+    /// Intern a handle with read-your-writes over the open frame's
+    /// staged externs. A unit that fails to decode (corruption) is
+    /// recorded in the session's quarantine — the error still surfaces
+    /// to the calling program, but the session itself stays healthy and
+    /// the report names the bad package.
+    pub fn intern_staged(&mut self, handle: &str) -> Result<DynValue, PersistError> {
+        let staged = self
+            .txn
+            .as_ref()
+            .and_then(|t| t.staged_externs.get(handle).cloned());
+        match staged {
+            Some(Some(bytes)) => ReplicatingStore::decode_unit(&bytes, self.db.heap_mut()),
+            Some(None) => Err(PersistError::UnknownHandle(handle.to_string())),
+            None => match self.store.intern(handle, self.db.heap_mut()) {
+                Ok(d) => Ok(d),
+                Err(e) => {
+                    if is_corruption(&e) {
+                        self.quarantine(handle, e.to_string());
+                    }
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Load every readable unit of the replicating store into the
+    /// database; undecodable units are quarantined (and noted in the
+    /// session output) instead of failing the import. Returns how many
+    /// units were imported.
+    pub fn import_store(&mut self) -> Result<usize, LangError> {
+        let (good, report) = self.store.intern_all(self.db.heap_mut());
+        let n = good.len();
+        for (_, d) in good {
+            self.db
+                .put_dyn(d)
+                .map_err(|e| LangError::eval(0, format!("import failed: {e}")))?;
+        }
+        if !report.is_empty() {
+            let names: Vec<&str> = report.entries.iter().map(|e| e.handle.as_str()).collect();
+            self.out.push(format!(
+                "note: {} corrupt unit(s) quarantined during import: {}",
+                report.len(),
+                names.join(", ")
+            ));
+        }
+        for e in report.entries {
+            self.quarantine(&e.handle, e.cause);
+        }
+        Ok(n)
+    }
+
+    // ---------- diagnostics ----------
+
+    /// Everything this session has quarantined: corrupt store units hit
+    /// by `intern`/import plus the database's own quarantined dynamics.
+    pub fn quarantine_report(&self) -> QuarantineReport {
+        let mut r = self.db.quarantine_report();
+        r.entries.extend(self.quarantined.iter().cloned());
+        r
+    }
+
+    fn quarantine(&mut self, handle: &str, cause: impl Into<String>) {
+        if !self.quarantined.iter().any(|e| e.handle == handle) {
+            self.quarantined.push(QuarantineEntry {
+                handle: handle.to_string(),
+                cause: cause.into(),
+            });
+        }
+    }
+}
+
+/// Does this error mean "the bytes on disk are bad" (quarantine-worthy),
+/// as opposed to a missing handle or an environmental failure?
+fn is_corruption(e: &PersistError) -> bool {
+    matches!(
+        e,
+        PersistError::BadMagic
+            | PersistError::Malformed(_)
+            | PersistError::UnexpectedEof
+            | PersistError::UnsupportedVersion(_)
+            | PersistError::ChecksumMismatch { .. }
+    )
 }
 
 #[cfg(test)]
@@ -515,6 +916,20 @@ mod variant_tests {
     }
 
     #[test]
+    fn externs_staged_in_a_program_are_readable_in_that_program() {
+        // Read-your-writes: `extern` then `intern` of the same handle in
+        // one program sees the staged bytes, before anything is durable.
+        let mut s = Session::new().unwrap();
+        let out = s
+            .run(
+                "extern('RYW', dynamic 11)\n\
+                 coerce intern('RYW') to Int",
+            )
+            .unwrap();
+        assert_eq!(out, vec!["11"]);
+    }
+
+    #[test]
     fn variants_are_data_for_the_database() {
         // Tagged values flow through dynamic/put/get and persistence.
         let mut s = Session::new().unwrap();
@@ -528,5 +943,315 @@ mod variant_tests {
             )
             .unwrap();
         assert_eq!(out, vec!["'ex-bob'"]);
+    }
+}
+
+#[cfg(test)]
+mod txn_tests {
+    use super::*;
+    use dbpl_types::Type;
+    use dbpl_values::Value;
+
+    fn fresh_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dbpl-sess-txn-{}-{name}-{}",
+            std::process::id(),
+            SESSION_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn failed_programs_leave_no_partial_state() {
+        // The partial-mutation leak: a program failing at statement k
+        // used to leave statements 1..k-1 applied. Now the implicit
+        // frame aborts — data *and* schema roll back.
+        let mut s = Session::new().unwrap();
+        let err = s
+            .run(
+                "type Ghost = {N: Int}\n\
+                 put(db, dynamic {N = 1})\n\
+                 head[Int]([])",
+            )
+            .unwrap_err();
+        assert_eq!(err.phase, crate::error::Phase::Eval);
+        assert_eq!(s.db.len(), 0, "the put rolled back");
+        assert!(
+            s.db.env().lookup("Ghost").is_none(),
+            "the type declaration rolled back"
+        );
+        // The session is still usable.
+        assert_eq!(
+            s.run("put(db, dynamic 7)\nlen[Int](get[Int](db))").unwrap(),
+            vec!["1"]
+        );
+    }
+
+    #[test]
+    fn panicking_program_aborts_and_poisons_nothing() {
+        let mut s = Session::new().unwrap();
+        let err = s
+            .run("put(db, dynamic 1)\npanic('boom')\nput(db, dynamic 2)")
+            .unwrap_err();
+        assert!(err.msg.contains("panicked"), "{err}");
+        assert!(err.msg.contains("boom"), "{err}");
+        assert_eq!(s.db.len(), 0, "every staged put discarded");
+        // Subsequent run and Get succeed: nothing is poisoned.
+        assert_eq!(
+            s.run("put(db, dynamic 7)\nlen[Int](get[Int](db))").unwrap(),
+            vec!["1"]
+        );
+    }
+
+    #[test]
+    fn explicit_transactions_span_programs() {
+        let mut s = Session::new().unwrap();
+        s.run("begin").unwrap();
+        assert!(s.in_transaction());
+        s.run("put(db, dynamic 1)").unwrap();
+        s.run("put(db, dynamic 2)").unwrap();
+        assert_eq!(s.db.len(), 2, "staged state is visible inside the txn");
+        s.run("abort").unwrap();
+        assert!(!s.in_transaction());
+        assert_eq!(s.db.len(), 0, "abort rolled both programs back");
+
+        s.run("begin\nput(db, dynamic 9)\ncommit").unwrap();
+        assert_eq!(s.db.len(), 1);
+    }
+
+    #[test]
+    fn commit_and_abort_require_an_open_transaction() {
+        let mut s = Session::new().unwrap();
+        let err = s.run("commit").unwrap_err();
+        assert!(err.msg.contains("no transaction"), "{err}");
+        let err = s.run("abort").unwrap_err();
+        assert!(err.msg.contains("no transaction"), "{err}");
+        let err = s.run("begin\nbegin").unwrap_err();
+        assert!(err.msg.contains("already in progress"), "{err}");
+        // The failed program aborted its frame; the session is clean.
+        assert!(!s.in_transaction());
+    }
+
+    #[test]
+    fn staged_externs_hit_disk_only_at_commit() {
+        let dir = fresh_dir("stage");
+        let mut s = Session::with_store_dir(&dir).unwrap();
+        s.run("begin\nextern('H', dynamic 5)").unwrap();
+        // Not yet durable: an independent store sees nothing.
+        let peek = ReplicatingStore::open(&dir).unwrap();
+        assert!(peek.handles().unwrap().is_empty());
+        s.run("commit").unwrap();
+        assert_eq!(peek.handles().unwrap(), vec!["H".to_string()]);
+    }
+
+    #[test]
+    fn aborted_externs_never_become_visible() {
+        let dir = fresh_dir("abort");
+        let mut s = Session::with_store_dir(&dir).unwrap();
+        s.run("begin\nextern('Doomed', dynamic 1)").unwrap();
+        // Visible inside the transaction…
+        assert_eq!(s.run("coerce intern('Doomed') to Int").unwrap(), vec!["1"]);
+        s.run("abort").unwrap();
+        // …gone after abort, in memory and on disk.
+        let err = s.run("intern('Doomed')").unwrap_err();
+        assert!(err.msg.contains("Doomed"), "{err}");
+        let peek = ReplicatingStore::open(&dir).unwrap();
+        assert!(peek.handles().unwrap().is_empty());
+    }
+
+    #[test]
+    fn transaction_closure_commits_or_aborts() {
+        let mut s = Session::new().unwrap();
+        let n = s
+            .transaction(|s| {
+                s.run("put(db, dynamic 1)")?;
+                Ok(41 + 1)
+            })
+            .unwrap();
+        assert_eq!(n, 42);
+        assert_eq!(s.db.len(), 1);
+
+        // A panic inside the closure aborts and is contained.
+        let err = s
+            .transaction(|s| -> Result<(), LangError> {
+                s.run("put(db, dynamic 2)")?;
+                panic!("kaboom");
+            })
+            .unwrap_err();
+        assert!(err.msg.contains("kaboom"), "{err}");
+        assert_eq!(s.db.len(), 1, "the second put rolled back");
+        assert!(!s.in_transaction());
+    }
+
+    #[test]
+    fn one_commit_spans_intrinsic_and_replicating_stores() {
+        let dir = fresh_dir("multi");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("intr.log");
+        let mut s = Session::with_store_dir(dir.join("repl")).unwrap();
+        s.attach_intrinsic(&log).unwrap();
+        s.transaction(|s| {
+            s.intrinsic
+                .as_mut()
+                .unwrap()
+                .set_handle("count", Type::Int, Value::Int(3));
+            s.run("extern('Pair', dynamic 4)")?;
+            Ok(())
+        })
+        .unwrap();
+
+        // A fresh session over the same storage sees both effects.
+        let mut s2 = Session::with_store_dir(dir.join("repl")).unwrap();
+        s2.attach_intrinsic(&log).unwrap();
+        assert_eq!(
+            s2.intrinsic.as_ref().unwrap().handle("count").unwrap().1,
+            Value::Int(3)
+        );
+        // No pending-transaction note: the intent record was cleared.
+        assert!(s2.out.is_empty(), "{:?}", s2.out);
+        assert_eq!(s2.run("coerce intern('Pair') to Int").unwrap(), vec!["4"]);
+    }
+
+    #[test]
+    fn aborting_discards_intrinsic_staging_too() {
+        let dir = fresh_dir("multi-abort");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("intr.log");
+        let mut s = Session::with_store_dir(dir.join("repl")).unwrap();
+        s.attach_intrinsic(&log).unwrap();
+        let err = s
+            .transaction(|s| -> Result<(), LangError> {
+                s.intrinsic
+                    .as_mut()
+                    .unwrap()
+                    .set_handle("count", Type::Int, Value::Int(3));
+                s.run("head[Int]([])")?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.msg.contains("empty"), "{err}");
+        assert!(s.intrinsic.as_ref().unwrap().handle("count").is_none());
+        assert_eq!(s.intrinsic.as_ref().unwrap().txn(), 0);
+    }
+
+    #[test]
+    fn corrupt_unit_is_quarantined_and_session_stays_usable() {
+        let dir = fresh_dir("quarantine");
+        let mut s = Session::with_store_dir(&dir).unwrap();
+        s.run("extern('Good', dynamic 1)").unwrap();
+        // Plant an undecodable unit next to the good one.
+        std::fs::write(dir.join("Evil.dyn"), b"\xFFnot a unit").unwrap();
+
+        let err = s.run("intern('Evil')").unwrap_err();
+        assert_eq!(err.phase, crate::error::Phase::Eval);
+        // Subsequent run and Get succeed; the report names the package.
+        assert_eq!(s.run("coerce intern('Good') to Int").unwrap(), vec!["1"]);
+        assert_eq!(
+            s.run("put(db, dynamic 2)\nlen[Int](get[Int](db))").unwrap(),
+            vec!["1"]
+        );
+        let report = s.quarantine_report();
+        assert!(
+            report.entries.iter().any(|e| e.handle == "Evil"),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn import_store_skips_corrupt_units() {
+        let dir = fresh_dir("import");
+        let mut s = Session::with_store_dir(&dir).unwrap();
+        s.run("extern('A', dynamic 1)\nextern('B', dynamic 2)")
+            .unwrap();
+        std::fs::write(dir.join("C.dyn"), b"garbage").unwrap();
+
+        let n = s.import_store().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(s.db.len(), 2);
+        assert!(s
+            .quarantine_report()
+            .entries
+            .iter()
+            .any(|e| e.handle == "C"));
+        assert!(
+            s.out.last().unwrap().contains("quarantined during import"),
+            "{:?}",
+            s.out
+        );
+    }
+
+    #[test]
+    fn salvage_session_is_read_only_and_reports() {
+        let dir = fresh_dir("salvage");
+        let mut s = Session::with_store_dir(&dir).unwrap();
+        s.run("extern('Keep', dynamic 1)").unwrap();
+        std::fs::write(dir.join("Bad.dyn"), b"\x00\x01\x02").unwrap();
+
+        let (mut s2, report) = Session::with_store_dir_salvage(&dir).unwrap();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.entries[0].handle, "Bad");
+        assert!(s2.out[0].contains("salvage mode"), "{:?}", s2.out);
+        assert!(s2.out[0].contains("Bad"), "{:?}", s2.out);
+        // Reads work; writes are refused but leave the session healthy.
+        assert_eq!(s2.run("coerce intern('Keep') to Int").unwrap(), vec!["1"]);
+        let err = s2.run("extern('New', dynamic 2)").unwrap_err();
+        assert!(err.msg.contains("read-only"), "{err}");
+        assert_eq!(s2.run("coerce intern('Keep') to Int").unwrap(), vec!["1"]);
+    }
+
+    #[test]
+    fn an_expired_deadline_aborts_the_commit() {
+        let dir = fresh_dir("deadline");
+        let mut s = Session::with_store_dir(&dir).unwrap();
+        s.txn_deadline = Some(Duration::ZERO);
+        let err = s.run("extern('Late', dynamic 1)").unwrap_err();
+        assert!(err.msg.contains("deadline"), "{err}");
+        assert!(err.msg.contains("aborted"), "{err}");
+        // Nothing became durable; lifting the deadline makes it work.
+        s.txn_deadline = None;
+        s.run("extern('Late', dynamic 1)").unwrap();
+        assert_eq!(s.run("coerce intern('Late') to Int").unwrap(), vec!["1"]);
+    }
+
+    #[test]
+    fn pending_intent_is_completed_when_session_reattaches() {
+        use dbpl_persist::{Intent, StdVfs, Vfs};
+        // Hand-craft the crash window: intent published, crash before the
+        // stores were touched. Attaching both stores must redo it.
+        let dir = fresh_dir("pending");
+        let repl_dir = dir.join("repl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("intr.log");
+        {
+            let s = IntrinsicStore::open(&log).unwrap();
+            drop(s);
+        }
+        let store = ReplicatingStore::open(&repl_dir).unwrap();
+        let heap = dbpl_values::Heap::new();
+        let unit =
+            ReplicatingStore::encode_unit(&DynValue::new(Type::Int, Value::Int(8)), &heap).unwrap();
+        let intent = Intent {
+            txn_id: 1,
+            intrinsic_records: Vec::new(),
+            externs: vec![("Ghosted".to_string(), Some(unit))],
+        };
+        let vfs = StdVfs;
+        dbpl_persist::log::write_intent(
+            &vfs as &dyn Vfs,
+            &repl_dir.join("txn.intent"),
+            &intent.encode(),
+        )
+        .unwrap();
+        drop(store);
+
+        let mut s = Session::with_store_dir(&repl_dir).unwrap();
+        s.attach_intrinsic(&log).unwrap();
+        assert!(
+            s.out.iter().any(|l| l.contains("pending transaction 1")),
+            "{:?}",
+            s.out
+        );
+        assert_eq!(s.run("coerce intern('Ghosted') to Int").unwrap(), vec!["8"]);
     }
 }

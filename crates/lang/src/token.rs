@@ -61,6 +61,12 @@ pub enum Tok {
     Case,
     /// `of`
     Of,
+    /// `begin`
+    Begin,
+    /// `commit`
+    Commit,
+    /// `abort`
+    Abort,
     /// `|`
     Pipe,
 
@@ -160,6 +166,9 @@ fn keyword_or_symbol(t: &Tok) -> &'static str {
         Tok::Tag => "tag",
         Tok::Case => "case",
         Tok::Of => "of",
+        Tok::Begin => "begin",
+        Tok::Commit => "commit",
+        Tok::Abort => "abort",
         Tok::Pipe => "|",
         Tok::LParen => "(",
         Tok::RParen => ")",
@@ -311,6 +320,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
                 "tag" => Tok::Tag,
                 "case" => Tok::Case,
                 "of" => Tok::Of,
+                "begin" => Tok::Begin,
+                "commit" => Tok::Commit,
+                "abort" => Tok::Abort,
                 "and" => Tok::And,
                 "or" => Tok::Or,
                 "not" => Tok::Not,

@@ -42,6 +42,9 @@ pub enum PersistError {
     /// A mutation was attempted on a store opened read-only (salvage
     /// mode).
     ReadOnly(String),
+    /// A transaction ran past its commit deadline before reaching its
+    /// durability point, and was aborted.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for PersistError {
@@ -70,6 +73,12 @@ impl fmt::Display for PersistError {
             PersistError::AlreadyExists(n) => write!(f, "`{n}` already exists"),
             PersistError::ReadOnly(what) => {
                 write!(f, "store is read-only (salvage mode): {what}")
+            }
+            PersistError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "transaction deadline exceeded before commit became durable"
+                )
             }
         }
     }

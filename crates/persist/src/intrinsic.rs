@@ -385,27 +385,26 @@ impl IntrinsicStore {
         existed
     }
 
-    /// Make the working state durable: append dirty objects, handle-table
-    /// changes and a commit marker, fsync, and promote the working state to
-    /// committed.
-    pub fn commit(&mut self) -> Result<u64, PersistError> {
-        let log = self
-            .log
-            .as_mut()
-            .ok_or_else(|| PersistError::ReadOnly("commit".into()))?;
+    /// The log records the next [`IntrinsicStore::commit`] would append
+    /// (everything except the commit marker), in append order. This is
+    /// the transaction's intrinsic half as bytes — what a multi-store
+    /// commit writes into its write-ahead intent record so a crash can
+    /// replay it.
+    pub fn staged_records(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
         for oid in &self.dirty_objects {
             if let Ok(obj) = self.heap.get(*oid) {
                 let mut rec = vec![REC_OBJECT];
                 format::put_u64(&mut rec, oid.0);
                 format::put_type(&mut rec, &obj.ty);
                 format::put_value(&mut rec, &obj.value);
-                log.append(&rec)?;
+                out.push(rec);
             }
         }
         for oid in &self.dead_objects {
             let mut rec = vec![REC_OBJECT_DEL];
             format::put_u64(&mut rec, oid.0);
-            log.append(&rec)?;
+            out.push(rec);
         }
         for name in &self.dirty_handles {
             match self.handles.get(name) {
@@ -414,14 +413,29 @@ impl IntrinsicStore {
                     format::put_str(&mut rec, name);
                     format::put_type(&mut rec, ty);
                     format::put_value(&mut rec, v);
-                    log.append(&rec)?;
+                    out.push(rec);
                 }
                 None => {
                     let mut rec = vec![REC_HANDLE_DEL];
                     format::put_str(&mut rec, name);
-                    log.append(&rec)?;
+                    out.push(rec);
                 }
             }
+        }
+        out
+    }
+
+    /// Make the working state durable: append dirty objects, handle-table
+    /// changes and a commit marker, fsync, and promote the working state to
+    /// committed.
+    pub fn commit(&mut self) -> Result<u64, PersistError> {
+        let records = self.staged_records();
+        let log = self
+            .log
+            .as_mut()
+            .ok_or_else(|| PersistError::ReadOnly("commit".into()))?;
+        for rec in &records {
+            log.append(rec)?;
         }
         self.txn += 1;
         let mut marker = vec![REC_COMMIT];
@@ -436,6 +450,53 @@ impl IntrinsicStore {
         self.dead_objects.clear();
         self.dirty_handles.clear();
         Ok(self.txn)
+    }
+
+    /// Redo a transaction from its intent record: decode `records` (as
+    /// produced by [`IntrinsicStore::staged_records`]) into the working
+    /// state, then [`IntrinsicStore::commit`]. Idempotent in effect —
+    /// records carry absolute values, so re-applying an already-committed
+    /// transaction reproduces the same state (the txn counter may advance,
+    /// but the heap and handle table are unchanged).
+    pub fn apply_records_and_commit(&mut self, records: &[Vec<u8>]) -> Result<u64, PersistError> {
+        for rec in records {
+            let mut r = Reader::new(rec);
+            match r.byte()? {
+                REC_OBJECT => {
+                    let oid = Oid(r.u64()?);
+                    let ty = r.ty()?;
+                    let v = r.value()?;
+                    self.heap.insert_at(oid, ty, v);
+                    self.dead_objects.remove(&oid);
+                    self.dirty_objects.insert(oid);
+                }
+                REC_OBJECT_DEL => {
+                    let oid = Oid(r.u64()?);
+                    self.heap.remove(oid);
+                    self.dirty_objects.remove(&oid);
+                    self.dead_objects.insert(oid);
+                }
+                REC_HANDLE => {
+                    let name = r.str()?;
+                    let ty = r.ty()?;
+                    let v = r.value()?;
+                    self.handles.insert(name.clone(), (ty, v));
+                    self.dirty_handles.insert(name);
+                }
+                REC_HANDLE_DEL => {
+                    let name = r.str()?;
+                    self.handles.remove(&name);
+                    self.dirty_handles.insert(name);
+                }
+                REC_COMMIT => {} // markers never appear in intent records
+                k => {
+                    return Err(PersistError::Malformed(format!(
+                        "unknown intent record {k}"
+                    )))
+                }
+            }
+        }
+        self.commit()
     }
 
     /// Discard uncommitted work: the working state reverts to the last

@@ -41,6 +41,7 @@ pub mod namespace;
 pub mod replicating;
 pub mod sim;
 pub mod snapshot;
+pub mod txn;
 pub mod vfs;
 
 pub use error::PersistError;
@@ -49,6 +50,7 @@ pub use format::{decode_dyn, encode_dyn};
 pub use intrinsic::{IntrinsicStore, RecoveryReport, SalvageReport};
 pub use log::LogFile;
 pub use namespace::{NamespaceManager, Visibility};
-pub use replicating::ReplicatingStore;
+pub use replicating::{QuarantineEntry, QuarantineReport, ReplicatingStore};
 pub use snapshot::Image;
-pub use vfs::{FaultPlan, SimVfs, StdVfs, Vfs};
+pub use txn::{commit_multi, recover_pending, Intent};
+pub use vfs::{FaultPlan, RetryPolicy, SimVfs, StdVfs, Vfs};

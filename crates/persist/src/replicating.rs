@@ -42,6 +42,37 @@ pub struct ReplicatingStore {
     vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     locks: Mutex<BTreeMap<String, Arc<Mutex<()>>>>,
+    read_only: bool,
+}
+
+/// One unit the store refused to serve because its bytes do not decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// The handle (file stem) of the damaged unit.
+    pub handle: String,
+    /// Human-readable decode failure.
+    pub cause: String,
+}
+
+/// What a salvage open or bulk import skipped instead of failing on:
+/// corrupt or undecodable units, quarantined so the rest of the store
+/// stays queryable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// The skipped units, in handle order.
+    pub entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineReport {
+    /// Number of quarantined units.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 fn is_safe_char(c: char) -> bool {
@@ -65,12 +96,81 @@ impl ReplicatingStore {
             vfs,
             dir,
             locks: Mutex::new(BTreeMap::new()),
+            read_only: false,
         })
+    }
+
+    /// Open the store read-only, quarantining every unit that does not
+    /// decode instead of failing. The returned report names each skipped
+    /// handle and why. Matches [`crate::IntrinsicStore::open_salvage`]:
+    /// use it to triage a damaged store; mutations error with
+    /// [`PersistError::ReadOnly`].
+    pub fn open_salvage(
+        dir: impl AsRef<Path>,
+    ) -> Result<(ReplicatingStore, QuarantineReport), PersistError> {
+        ReplicatingStore::open_salvage_with(Arc::new(StdVfs), dir)
+    }
+
+    /// Salvage-open through an explicit [`Vfs`].
+    pub fn open_salvage_with(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+    ) -> Result<(ReplicatingStore, QuarantineReport), PersistError> {
+        let mut store = ReplicatingStore::open_with(vfs, dir)?;
+        store.read_only = true;
+        let mut report = QuarantineReport::default();
+        for path in store.unit_paths()? {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let mut scratch = Heap::new();
+            let outcome = match retry_io(|| store.vfs.read(&path)) {
+                Ok(bytes) => ReplicatingStore::decode_unit(&bytes, &mut scratch).map(|_| ()),
+                Err(e) => Err(e.into()),
+            };
+            if let Err(e) = outcome {
+                report.entries.push(QuarantineEntry {
+                    handle: stem,
+                    cause: e.to_string(),
+                });
+            }
+        }
+        Ok((store, report))
     }
 
     /// The store's directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The store's VFS (for co-located bookkeeping files like the
+    /// transaction intent record).
+    pub(crate) fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
+    /// Is this store read-only (salvage mode)?
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    fn check_writable(&self, what: &str) -> Result<(), PersistError> {
+        if self.read_only {
+            Err(PersistError::ReadOnly(what.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn unit_paths(&self) -> Result<Vec<PathBuf>, PersistError> {
+        let mut out: Vec<PathBuf> = retry_io(|| self.vfs.read_dir(&self.dir))?
+            .into_iter()
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("dyn"))
+            .collect();
+        out.sort();
+        Ok(out)
     }
 
     fn handle_path(&self, handle: &str) -> PathBuf {
@@ -100,17 +200,11 @@ impl ReplicatingStore {
             .clone()
     }
 
-    /// `extern(handle, dynamic d)`: replicate to secondary storage the
-    /// value **and everything reachable from it** in `heap`. The stored
-    /// bytes are a *copy*: later heap mutations do not affect them.
-    pub fn extern_value(
-        &self,
-        handle: &str,
-        d: &DynValue,
-        heap: &Heap,
-    ) -> Result<(), PersistError> {
-        let guard = self.lock_for(handle);
-        let _held = guard.lock();
+    /// Serialize a dynamic value plus the closure of heap objects
+    /// reachable from it into one self-describing unit — the byte image
+    /// that [`ReplicatingStore::extern_value`] writes. Pure: no I/O, so
+    /// transactions can stage units long before anything touches disk.
+    pub fn encode_unit(d: &DynValue, heap: &Heap) -> Result<Vec<u8>, PersistError> {
         // Replicate the reachable object graph into a private heap whose
         // oids are dense from zero, then serialize (DynValue, objects).
         let mut closure = Heap::new();
@@ -124,35 +218,15 @@ impl ReplicatingStore {
             format::put_type(&mut out, &obj.ty);
             format::put_value(&mut out, &obj.value);
         }
-        // Crash-safe replace: the unit is fully on disk (data fsync)
-        // before the rename makes it visible, and the directory entry is
-        // fsynced after — a crash at any point leaves either the old
-        // complete unit or the new complete unit, never a torn one.
-        let tmp = self.handle_path(handle).with_extension("tmp");
-        retry_io(|| self.vfs.write(&tmp, &out))?;
-        retry_io(|| self.vfs.sync_file(&tmp))?;
-        retry_io(|| self.vfs.rename(&tmp, &self.handle_path(handle)))?;
-        retry_io(|| self.vfs.sync_dir(&self.dir))?;
-        Ok(())
+        Ok(out)
     }
 
-    /// `intern handle`: read the stored unit back, replicating its object
-    /// closure into `heap` under **fresh identities**, and return the
-    /// dynamic value. Two interns of the same handle produce two
-    /// independent copies.
-    pub fn intern(&self, handle: &str, heap: &mut Heap) -> Result<DynValue, PersistError> {
-        let guard = self.lock_for(handle);
-        let _held = guard.lock();
-        let path = self.handle_path(handle);
-        let buf = match retry_io(|| self.vfs.read(&path)) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(PersistError::UnknownHandle(handle.to_string()))
-            }
-            Err(e) => return Err(e.into()),
-        };
+    /// Decode one unit's bytes, replicating its object closure into
+    /// `heap` under fresh identities. Inverse of
+    /// [`ReplicatingStore::encode_unit`].
+    pub fn decode_unit(buf: &[u8], heap: &mut Heap) -> Result<DynValue, PersistError> {
         // The unit is a prefix; objects follow. Parse manually.
-        let mut r = format::Reader::new(&buf);
+        let mut r = format::Reader::new(buf);
         if r.bytes(4)? != format::MAGIC {
             return Err(PersistError::BadMagic);
         }
@@ -179,6 +253,99 @@ impl ReplicatingStore {
         Ok(DynValue::new(ty, fresh))
     }
 
+    /// Durably install pre-encoded unit bytes under `handle`.
+    ///
+    /// Crash-safe replace: the unit is fully on disk (data fsync) before
+    /// the rename makes it visible, and the directory entry is fsynced
+    /// after — a crash at any point leaves either the old complete unit
+    /// or the new complete unit, never a torn one. Idempotent, so a
+    /// transaction redo can safely repeat it.
+    pub fn install_unit(&self, handle: &str, bytes: &[u8]) -> Result<(), PersistError> {
+        self.check_writable("install_unit")?;
+        let guard = self.lock_for(handle);
+        let _held = guard.lock();
+        let tmp = self.handle_path(handle).with_extension("tmp");
+        retry_io(|| self.vfs.write(&tmp, bytes))?;
+        retry_io(|| self.vfs.sync_file(&tmp))?;
+        retry_io(|| self.vfs.rename(&tmp, &self.handle_path(handle)))?;
+        retry_io(|| self.vfs.sync_dir(&self.dir))?;
+        Ok(())
+    }
+
+    /// `extern(handle, dynamic d)`: replicate to secondary storage the
+    /// value **and everything reachable from it** in `heap`. The stored
+    /// bytes are a *copy*: later heap mutations do not affect them.
+    pub fn extern_value(
+        &self,
+        handle: &str,
+        d: &DynValue,
+        heap: &Heap,
+    ) -> Result<(), PersistError> {
+        self.check_writable("extern")?;
+        let bytes = ReplicatingStore::encode_unit(d, heap)?;
+        self.install_unit(handle, &bytes)
+    }
+
+    /// `intern handle`: read the stored unit back, replicating its object
+    /// closure into `heap` under **fresh identities**, and return the
+    /// dynamic value. Two interns of the same handle produce two
+    /// independent copies.
+    pub fn intern(&self, handle: &str, heap: &mut Heap) -> Result<DynValue, PersistError> {
+        let guard = self.lock_for(handle);
+        let _held = guard.lock();
+        let path = self.handle_path(handle);
+        let buf = match retry_io(|| self.vfs.read(&path)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(PersistError::UnknownHandle(handle.to_string()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        ReplicatingStore::decode_unit(&buf, heap)
+    }
+
+    /// Intern every decodable unit in the store, quarantining the rest.
+    ///
+    /// Operates at the file level (stems, which for sanitized handles are
+    /// the encoded names), so it works even for handles whose original
+    /// spelling cannot be recovered from the file name. Returns the good
+    /// `(stem, value)` pairs in stem order plus a report of everything
+    /// skipped — the graceful-degradation path: one rotten unit no longer
+    /// poisons a whole-store import.
+    pub fn intern_all(&self, heap: &mut Heap) -> (Vec<(String, DynValue)>, QuarantineReport) {
+        let mut good = Vec::new();
+        let mut report = QuarantineReport::default();
+        let paths = match self.unit_paths() {
+            Ok(p) => p,
+            Err(e) => {
+                report.entries.push(QuarantineEntry {
+                    handle: "<store directory>".to_string(),
+                    cause: e.to_string(),
+                });
+                return (good, report);
+            }
+        };
+        for path in paths {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let outcome = match retry_io(|| self.vfs.read(&path)) {
+                Ok(bytes) => ReplicatingStore::decode_unit(&bytes, heap),
+                Err(e) => Err(e.into()),
+            };
+            match outcome {
+                Ok(d) => good.push((stem, d)),
+                Err(e) => report.entries.push(QuarantineEntry {
+                    handle: stem,
+                    cause: e.to_string(),
+                }),
+            }
+        }
+        (good, report)
+    }
+
     /// List the stored handles (file stems; handles whose names needed
     /// sanitizing appear in their encoded form).
     pub fn handles(&self) -> Result<Vec<String>, PersistError> {
@@ -201,6 +368,7 @@ impl ReplicatingStore {
 
     /// Remove a handle (durably: the directory entry is fsynced).
     pub fn remove(&self, handle: &str) -> Result<(), PersistError> {
+        self.check_writable("remove")?;
         let guard = self.lock_for(handle);
         let _held = guard.lock();
         match retry_io(|| self.vfs.remove_file(&self.handle_path(handle))) {
@@ -212,6 +380,15 @@ impl ReplicatingStore {
                 Err(PersistError::UnknownHandle(handle.to_string()))
             }
             Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Remove a handle, treating "already gone" as success — the
+    /// idempotent form a transaction redo needs.
+    pub fn remove_quiet(&self, handle: &str) -> Result<(), PersistError> {
+        match self.remove(handle) {
+            Err(PersistError::UnknownHandle(_)) => Ok(()),
+            other => other,
         }
     }
 
@@ -387,6 +564,67 @@ mod tests {
         s.extern_value("ab", &DynValue::new(Type::Int, Value::Int(9)), &heap)
             .unwrap();
         assert_eq!(s.intern("a/b", &mut h2).unwrap().value, Value::Int(0));
+    }
+
+    #[test]
+    fn salvage_open_quarantines_corrupt_units_and_is_read_only() {
+        let s = store("salvage");
+        let heap = Heap::new();
+        s.extern_value("good", &DynValue::new(Type::Int, Value::Int(1)), &heap)
+            .unwrap();
+        s.extern_value("bad", &DynValue::new(Type::Int, Value::Int(2)), &heap)
+            .unwrap();
+        // Rot the second unit.
+        let bad_path = s.dir().join("bad.dyn");
+        let mut bytes = std::fs::read(&bad_path).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&bad_path, &bytes).unwrap();
+
+        let (ro, report) = ReplicatingStore::open_salvage(s.dir()).unwrap();
+        assert!(ro.is_read_only());
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.entries[0].handle, "bad");
+        assert!(!report.entries[0].cause.is_empty());
+        // The good unit still reads; mutations are refused.
+        let mut h2 = Heap::new();
+        assert_eq!(ro.intern("good", &mut h2).unwrap().value, Value::Int(1));
+        assert!(matches!(
+            ro.extern_value("x", &DynValue::new(Type::Int, Value::Int(0)), &h2),
+            Err(PersistError::ReadOnly(_))
+        ));
+        assert!(matches!(ro.remove("good"), Err(PersistError::ReadOnly(_))));
+    }
+
+    #[test]
+    fn intern_all_skips_undecodable_units() {
+        let s = store("intern-all");
+        let heap = Heap::new();
+        s.extern_value("a", &DynValue::new(Type::Int, Value::Int(10)), &heap)
+            .unwrap();
+        s.extern_value("b", &DynValue::new(Type::Int, Value::Int(20)), &heap)
+            .unwrap();
+        std::fs::write(s.dir().join("b.dyn"), b"not a unit").unwrap();
+        let mut h2 = Heap::new();
+        let (good, report) = s.intern_all(&mut h2);
+        assert_eq!(good.len(), 1);
+        assert_eq!(good[0].0, "a");
+        assert_eq!(good[0].1.value, Value::Int(10));
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.entries[0].handle, "b");
+    }
+
+    #[test]
+    fn encode_install_matches_extern_and_remove_quiet_is_idempotent() {
+        let s = store("staged");
+        let heap = Heap::new();
+        let d = DynValue::new(Type::Int, Value::Int(77));
+        let bytes = ReplicatingStore::encode_unit(&d, &heap).unwrap();
+        s.install_unit("staged", &bytes).unwrap();
+        let mut h2 = Heap::new();
+        assert_eq!(s.intern("staged", &mut h2).unwrap(), d);
+        s.remove_quiet("staged").unwrap();
+        s.remove_quiet("staged").unwrap(); // already gone: still Ok
+        assert!(!s.exists("staged"));
     }
 
     #[test]

@@ -25,8 +25,10 @@
 use crate::error::PersistError;
 use crate::intrinsic::IntrinsicStore;
 use crate::replicating::ReplicatingStore;
-use crate::vfs::{FaultPlan, SimVfs, Vfs};
-use dbpl_types::Type;
+use crate::snapshot::Image;
+use crate::txn::{commit_multi, recover_pending};
+use crate::vfs::{FaultPlan, RetryPolicy, SimVfs, Vfs};
+use dbpl_types::{Type, TypeEnv};
 use dbpl_values::{DynValue, Heap, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -380,6 +382,356 @@ pub fn transient_storm_replicating(seed: u64, writes: usize) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-store transactions (IntrinsicStore + ReplicatingStore in one commit)
+// ---------------------------------------------------------------------------
+
+const MULTI_LOG: &str = "mstore.log";
+const MULTI_DIR: &str = "mstore";
+// One deliberately unsafe name so the sweep also covers sanitized paths.
+const MULTI_EXT_HANDLES: [&str; 3] = ["left", "right", "odd name!"];
+
+/// One scripted action inside a multi-store transaction.
+enum MultiAction {
+    /// Bind an intrinsic handle to this value.
+    SetIntr(usize, i64),
+    /// Stage an extern of this value under a replicating handle.
+    SetExt(usize, i64),
+    /// Stage removal of a replicating handle.
+    DelExt(usize),
+}
+
+/// Paired model state: the intrinsic handle table and the replicating
+/// units after some number of committed transactions.
+type MultiState = (BTreeMap<String, i64>, BTreeMap<String, i64>);
+
+/// A deterministic multi-store script. Every transaction touches **both**
+/// stores (at least one intrinsic set and one extern) — the shape whose
+/// atomicity the intent record exists to protect — plus 0–2 extra
+/// actions. Values increase monotonically so states are distinguishable.
+fn multi_script(seed: u64, txns: usize) -> Vec<Vec<MultiAction>> {
+    let mut rng = ScriptRng(seed ^ 0x11_17E17);
+    let mut counter = 0i64;
+    (0..txns)
+        .map(|_| {
+            let mut actions = Vec::new();
+            counter += 1;
+            actions.push(MultiAction::SetIntr(
+                rng.below(HANDLE_NAMES.len() as u64) as usize,
+                counter,
+            ));
+            counter += 1;
+            actions.push(MultiAction::SetExt(
+                rng.below(MULTI_EXT_HANDLES.len() as u64) as usize,
+                counter,
+            ));
+            for _ in 0..rng.below(3) {
+                let h = rng.below(MULTI_EXT_HANDLES.len() as u64) as usize;
+                match rng.below(3) {
+                    0 => actions.push(MultiAction::DelExt(h)),
+                    1 => {
+                        counter += 1;
+                        actions.push(MultiAction::SetExt(h, counter));
+                    }
+                    _ => {
+                        counter += 1;
+                        actions.push(MultiAction::SetIntr(
+                            rng.below(HANDLE_NAMES.len() as u64) as usize,
+                            counter,
+                        ));
+                    }
+                }
+            }
+            actions
+        })
+        .collect()
+}
+
+/// `states[i]` is the paired state after `i` committed transactions.
+fn multi_states(script: &[Vec<MultiAction>]) -> Vec<MultiState> {
+    let mut states = vec![(BTreeMap::new(), BTreeMap::new())];
+    let mut cur: MultiState = (BTreeMap::new(), BTreeMap::new());
+    for txn in script {
+        for action in txn {
+            match action {
+                MultiAction::SetIntr(h, v) => {
+                    cur.0.insert(HANDLE_NAMES[*h].to_string(), *v);
+                }
+                MultiAction::SetExt(h, v) => {
+                    cur.1.insert(MULTI_EXT_HANDLES[*h].to_string(), *v);
+                }
+                MultiAction::DelExt(h) => {
+                    cur.1.remove(MULTI_EXT_HANDLES[*h]);
+                }
+            }
+        }
+        states.push(cur.clone());
+    }
+    states
+}
+
+/// Run the multi-store script on `vfs`: every transaction commits through
+/// [`commit_multi`], so each one is all-or-nothing across both stores.
+fn run_multi(vfs: &SimVfs, script: &[Vec<MultiAction>]) -> (usize, Option<PersistError>) {
+    let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let mut intr = match IntrinsicStore::open_with(vfs_dyn.clone(), Path::new(MULTI_LOG)) {
+        Ok(s) => s,
+        Err(e) => return (0, Some(e)),
+    };
+    let repl = match ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR)) {
+        Ok(s) => s,
+        Err(e) => return (0, Some(e)),
+    };
+    let heap = Heap::new();
+    let mut acked = 0;
+    for txn in script {
+        let mut externs: BTreeMap<String, Option<Vec<u8>>> = BTreeMap::new();
+        for action in txn {
+            match action {
+                MultiAction::SetIntr(h, v) => {
+                    intr.set_handle(HANDLE_NAMES[*h], Type::Int, Value::Int(*v));
+                }
+                MultiAction::SetExt(h, v) => {
+                    let d = DynValue::new(Type::Int, Value::Int(*v));
+                    match ReplicatingStore::encode_unit(&d, &heap) {
+                        Ok(bytes) => {
+                            externs.insert(MULTI_EXT_HANDLES[*h].to_string(), Some(bytes));
+                        }
+                        Err(e) => return (acked, Some(e)),
+                    }
+                }
+                MultiAction::DelExt(h) => {
+                    externs.insert(MULTI_EXT_HANDLES[*h].to_string(), None);
+                }
+            }
+        }
+        // Transaction-level bounded retry on top of the VFS-level one: a
+        // commit that fails on a transient fault is safe to repeat — if
+        // the intent never became durable the transaction left no trace,
+        // and if it did, re-running redoes it idempotently. This is the
+        // layering a real application would use under a fault storm.
+        let mut attempts = 0;
+        loop {
+            match commit_multi(Some(&mut intr), &repl, &externs, &RetryPolicy::default()) {
+                Ok(_) => {
+                    acked += 1;
+                    break;
+                }
+                Err(PersistError::Io(e))
+                    if e.kind() == std::io::ErrorKind::Interrupted && attempts < 4 =>
+                {
+                    attempts += 1;
+                }
+                Err(e) => return (acked, Some(e)),
+            }
+        }
+    }
+    (acked, None)
+}
+
+/// Read the recovered pair of stores back as a model state. Any decode
+/// error other than `UnknownHandle` is surfaced corruption — a violation.
+fn multi_canonical(intr: &IntrinsicStore, repl: &ReplicatingStore, context: &str) -> MultiState {
+    let intr_state: BTreeMap<String, i64> = intr
+        .handles()
+        .iter()
+        .map(|(name, (_, v))| match v {
+            Value::Int(i) => (name.clone(), *i),
+            other => panic!("{context}: intrinsic handle {name} holds garbage {other:?}"),
+        })
+        .collect();
+    let mut ext_state = BTreeMap::new();
+    for name in MULTI_EXT_HANDLES {
+        let mut heap = Heap::new();
+        match repl.intern(name, &mut heap) {
+            Ok(d) => match d.value {
+                Value::Int(v) => {
+                    ext_state.insert(name.to_string(), v);
+                }
+                other => panic!("{context}: handle {name} interned garbage {other:?}"),
+            },
+            Err(PersistError::UnknownHandle(_)) => {}
+            Err(e) => panic!("{context}: handle {name} surfaced corruption after recovery: {e}"),
+        }
+    }
+    (intr_state, ext_state)
+}
+
+/// Exhaustive crash sweep over transactions spanning **both** store
+/// kinds: the seeded script is killed once at every I/O operation of
+/// every commit; after each simulated power failure the pair of stores is
+/// reopened, [`recover_pending`] replays or discards any half-applied
+/// transaction from the intent record, and the **paired** recovered state
+/// must equal the model state after `acked` or `acked + 1` transactions.
+/// Pairing is the point: an intrinsic state from one history index
+/// combined with an extern state from another would be the torn commit
+/// this layer exists to rule out. Panics (with seed and crash op) on any
+/// violation.
+pub fn crash_sweep_multi_store(seed: u64, txns: usize) -> SweepReport {
+    let script = multi_script(seed, txns);
+    let states = multi_states(&script);
+
+    let reference = SimVfs::new();
+    let (acked, err) = run_multi(&reference, &script);
+    assert!(err.is_none(), "seed {seed}: fault-free run failed: {err:?}");
+    assert_eq!(acked, txns);
+    let total_ops = reference.ops();
+    assert!(total_ops > 0);
+
+    for crash_at in 1..=total_ops {
+        let vfs = SimVfs::with_plan(FaultPlan {
+            seed,
+            crash_at_op: Some(crash_at),
+            transient_one_in: None,
+        });
+        let (acked, err) = run_multi(&vfs, &script);
+        assert!(
+            err.is_some(),
+            "seed {seed}: planned crash at op {crash_at}/{total_ops} never hit"
+        );
+        vfs.recover();
+        let context = format!("seed {seed}, crash at op {crash_at}");
+        let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let mut intr = IntrinsicStore::open_with(vfs_dyn.clone(), Path::new(MULTI_LOG))
+            .unwrap_or_else(|e| panic!("{context}: intrinsic recovery failed: {e}"));
+        let repl = ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR))
+            .unwrap_or_else(|e| panic!("{context}: replicating reopen failed: {e}"));
+        recover_pending(Some(&mut intr), &repl)
+            .unwrap_or_else(|e| panic!("{context}: intent recovery failed: {e}"));
+        let got = multi_canonical(&intr, &repl, &context);
+        let in_flight = states.get(acked + 1);
+        assert!(
+            got == states[acked] || Some(&got) == in_flight,
+            "{context}: recovered {got:?}, expected paired state {acked} \
+             ({:?}) or the in-flight {in_flight:?}",
+            states[acked],
+        );
+    }
+    SweepReport {
+        crash_points: total_ops,
+        committed: txns,
+    }
+}
+
+/// Transient-fault storm over the multi-store workload: with retryable
+/// faults injected but no crash, every transaction must commit and the
+/// final paired state must match the model exactly.
+pub fn transient_storm_multi_store(seed: u64, txns: usize) {
+    transient_storm_multi_store_at(seed, txns, 6)
+}
+
+/// [`transient_storm_multi_store`] at an explicit fault rate (roughly one
+/// in `one_in` operations fails once) — the nightly retry matrix runs
+/// several rates.
+pub fn transient_storm_multi_store_at(seed: u64, txns: usize, one_in: u64) {
+    let script = multi_script(seed, txns);
+    let states = multi_states(&script);
+    let vfs = SimVfs::with_plan(FaultPlan {
+        seed,
+        crash_at_op: None,
+        transient_one_in: Some(one_in),
+    });
+    let (acked, err) = run_multi(&vfs, &script);
+    assert!(
+        err.is_none(),
+        "seed {seed}: transient faults leaked through retry: {err:?}"
+    );
+    assert_eq!(acked, txns);
+    let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let intr = IntrinsicStore::open_with(vfs_dyn.clone(), Path::new(MULTI_LOG)).unwrap();
+    let repl = ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR)).unwrap();
+    let got = multi_canonical(&intr, &repl, &format!("seed {seed}, storm"));
+    assert_eq!(got, *states.last().unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot images (all-or-nothing persistence)
+// ---------------------------------------------------------------------------
+
+const SNAP_PATH: &str = "session.image";
+
+/// A sequence of distinguishable images: image `i` binds `n` to `i`.
+fn snapshot_images(saves: usize) -> Vec<Image> {
+    (1..=saves)
+        .map(|i| {
+            let env = TypeEnv::new();
+            let mut heap = Heap::new();
+            let o = heap.alloc(Type::Int, Value::Int(i as i64));
+            let mut bindings = BTreeMap::new();
+            bindings.insert("n".to_string(), DynValue::new(Type::Int, Value::Ref(o)));
+            Image::capture(&env, &heap, &bindings)
+        })
+        .collect()
+}
+
+/// Save each image in turn over the previous one. Returns how many saves
+/// were acknowledged.
+fn run_snapshot(vfs: &SimVfs, images: &[Image]) -> (usize, Option<PersistError>) {
+    let mut acked = 0;
+    for img in images {
+        match img.save_with(vfs, Path::new(SNAP_PATH)) {
+            Ok(()) => acked += 1,
+            Err(e) => return (acked, Some(e)),
+        }
+    }
+    (acked, None)
+}
+
+/// Exhaustive crash sweep over [`Image::save_with`]: a sequence of saves
+/// to one path is killed at every I/O operation; after each simulated
+/// power failure [`Image::load_with`] must return the last acknowledged
+/// image or the one in flight, never a torn or undecodable file, and a
+/// missing file is legal only before the first save was acknowledged.
+pub fn crash_sweep_snapshot(seed: u64, saves: usize) -> SweepReport {
+    let images = snapshot_images(saves);
+
+    let reference = SimVfs::new();
+    let (acked, err) = run_snapshot(&reference, &images);
+    assert!(err.is_none(), "seed {seed}: fault-free run failed: {err:?}");
+    assert_eq!(acked, saves);
+    let total_ops = reference.ops();
+    assert!(total_ops > 0);
+
+    for crash_at in 1..=total_ops {
+        let vfs = SimVfs::with_plan(FaultPlan {
+            seed,
+            crash_at_op: Some(crash_at),
+            transient_one_in: None,
+        });
+        let (acked, err) = run_snapshot(&vfs, &images);
+        assert!(
+            err.is_some(),
+            "seed {seed}: planned crash at op {crash_at}/{total_ops} never hit"
+        );
+        vfs.recover();
+        match Image::load_with(&vfs, Path::new(SNAP_PATH)) {
+            Ok(img) => {
+                let last_acked = acked.checked_sub(1).map(|i| &images[i]);
+                let in_flight = images.get(acked);
+                assert!(
+                    Some(&img) == last_acked || Some(&img) == in_flight,
+                    "seed {seed}, crash at op {crash_at}: loaded image is neither \
+                     the last acknowledged save ({acked}) nor the one in flight"
+                );
+            }
+            Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                assert_eq!(
+                    acked, 0,
+                    "seed {seed}, crash at op {crash_at}: acknowledged image lost"
+                );
+            }
+            Err(e) => panic!(
+                "seed {seed}, crash at op {crash_at}: snapshot surfaced corruption \
+                 after recovery: {e}"
+            ),
+        }
+    }
+    SweepReport {
+        crash_points: total_ops,
+        committed: saves,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,5 +759,20 @@ mod tests {
     fn transient_storms_smoke() {
         transient_storm_intrinsic(0xD2, 3);
         transient_storm_replicating(0xD3, 4);
+        transient_storm_multi_store(0xD4, 3);
+    }
+
+    #[test]
+    fn multi_store_sweep_smoke() {
+        let report = crash_sweep_multi_store(0xD5, 2);
+        assert!(report.crash_points > 10, "got {}", report.crash_points);
+        assert_eq!(report.committed, 2);
+    }
+
+    #[test]
+    fn snapshot_sweep_smoke() {
+        let report = crash_sweep_snapshot(0xD6, 3);
+        assert!(report.crash_points >= 9, "got {}", report.crash_points);
+        assert_eq!(report.committed, 3);
     }
 }

@@ -1,0 +1,347 @@
+//! Crash-atomic commits spanning two stores.
+//!
+//! A transaction can touch both an [`IntrinsicStore`] (handles + heap in
+//! one log) and a [`ReplicatingStore`] (one file per externed unit). Each
+//! store commits atomically on its own, but a crash *between* the two
+//! would leave the pair inconsistent. The fix is a classic write-ahead
+//! intent record:
+//!
+//! 1. encode everything the transaction will do — the intrinsic store's
+//!    staged log records and the full bytes of every extern/remove — into
+//!    one [`Intent`];
+//! 2. durably publish it (tmp-write → fsync → rename → dir-fsync) at
+//!    `<replicating dir>/txn.intent` — **the durability point**: from here
+//!    the transaction must roll forward;
+//! 3. commit the intrinsic store, install/remove the externed units;
+//! 4. delete the intent.
+//!
+//! On reopen, [`recover_pending`] consults the intent file. Absent (or
+//! not fully durable — the frame CRC fails): the crash happened before
+//! the durability point and the transaction simply never happened; both
+//! stores are at their previous committed state. Present: the crash
+//! happened mid-apply, and the whole transaction is **redone** from the
+//! intent. Both redo halves are idempotent — log records carry absolute
+//! values and unit installs are atomic whole-file replaces — so a crash
+//! during recovery itself is also safe: the next recovery redoes again.
+
+use crate::error::PersistError;
+use crate::format::{self, Reader};
+use crate::intrinsic::IntrinsicStore;
+use crate::log;
+use crate::replicating::ReplicatingStore;
+use crate::vfs::RetryPolicy;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// File name of the write-ahead intent record, co-located with the
+/// replicating store's units.
+pub const INTENT_FILE: &str = "txn.intent";
+
+/// Everything a multi-store transaction will apply, encoded before any
+/// store is touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Intent {
+    /// The transaction number the intrinsic store will commit as (0 when
+    /// no intrinsic store participates).
+    pub txn_id: u64,
+    /// The intrinsic store's staged log records
+    /// ([`IntrinsicStore::staged_records`]).
+    pub intrinsic_records: Vec<Vec<u8>>,
+    /// Per-handle extern effects: `Some(bytes)` installs the encoded
+    /// unit, `None` removes the handle.
+    pub externs: Vec<(String, Option<Vec<u8>>)>,
+}
+
+impl Intent {
+    /// Serialize for the intent file.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        format::put_u64(&mut out, self.txn_id);
+        format::put_u64(&mut out, self.intrinsic_records.len() as u64);
+        for rec in &self.intrinsic_records {
+            format::put_u64(&mut out, rec.len() as u64);
+            out.extend_from_slice(rec);
+        }
+        format::put_u64(&mut out, self.externs.len() as u64);
+        for (handle, unit) in &self.externs {
+            format::put_str(&mut out, handle);
+            match unit {
+                Some(bytes) => {
+                    out.push(1);
+                    format::put_u64(&mut out, bytes.len() as u64);
+                    out.extend_from_slice(bytes);
+                }
+                None => out.push(0),
+            }
+        }
+        out
+    }
+
+    /// Decode an intent file payload.
+    pub fn decode(buf: &[u8]) -> Result<Intent, PersistError> {
+        let mut r = Reader::new(buf);
+        let txn_id = r.u64()?;
+        let n = r.u64()? as usize;
+        let mut intrinsic_records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.u64()? as usize;
+            intrinsic_records.push(r.bytes(len)?.to_vec());
+        }
+        let m = r.u64()? as usize;
+        let mut externs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let handle = r.str()?;
+            let unit = match r.byte()? {
+                0 => None,
+                1 => {
+                    let len = r.u64()? as usize;
+                    Some(r.bytes(len)?.to_vec())
+                }
+                k => {
+                    return Err(PersistError::Malformed(format!(
+                        "bad extern tag {k} in intent"
+                    )))
+                }
+            };
+            externs.push((handle, unit));
+        }
+        if r.remaining() != 0 {
+            return Err(PersistError::Malformed("trailing bytes in intent".into()));
+        }
+        Ok(Intent {
+            txn_id,
+            intrinsic_records,
+            externs,
+        })
+    }
+}
+
+fn intent_path(store: &ReplicatingStore) -> PathBuf {
+    store.dir().join(INTENT_FILE)
+}
+
+/// Unwrap a [`PersistError`] back to its I/O error (preserving the kind,
+/// so an outer [`RetryPolicy`] still recognizes transient faults).
+fn to_io(e: PersistError) -> std::io::Error {
+    match e {
+        PersistError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    }
+}
+
+/// Commit one transaction across both store kinds atomically.
+///
+/// `externs` maps handle → `Some(encoded unit)` to install or `None` to
+/// remove. The `policy`'s deadline is honored only *before* the intent
+/// becomes durable — past that point the transaction must roll forward,
+/// deadline or not, or recovery would observe half a transaction.
+///
+/// Returns the committed transaction number (0 if only externs were
+/// staged), or `Ok(0)` as a no-op when nothing is staged at all.
+pub fn commit_multi(
+    mut intrinsic: Option<&mut IntrinsicStore>,
+    store: &ReplicatingStore,
+    externs: &BTreeMap<String, Option<Vec<u8>>>,
+    policy: &RetryPolicy,
+) -> Result<u64, PersistError> {
+    if store.is_read_only() {
+        return Err(PersistError::ReadOnly("commit_multi".into()));
+    }
+    let intrinsic_records = intrinsic
+        .as_ref()
+        .map(|s| s.staged_records())
+        .unwrap_or_default();
+    let intrinsic_dirty = intrinsic.as_ref().is_some_and(|s| s.is_dirty());
+    if !intrinsic_dirty && externs.is_empty() {
+        return Ok(0);
+    }
+    if policy.expired() {
+        return Err(PersistError::DeadlineExceeded);
+    }
+    let intent = Intent {
+        txn_id: intrinsic.as_ref().map(|s| s.txn() + 1).unwrap_or(0),
+        intrinsic_records,
+        externs: externs
+            .iter()
+            .map(|(h, u)| (h.clone(), u.clone()))
+            .collect(),
+    };
+    let path = intent_path(store);
+    // The intent write runs under the caller's policy: transient faults
+    // that survive the VFS-level retries get another bounded round here,
+    // and the deadline is re-checked between attempts — so a fault storm
+    // cannot stall the commit past its deadline. Once write_intent
+    // returns, we are past the durability point and must finish.
+    let encoded = intent.encode();
+    match policy.run(|| log::write_intent(&**store.vfs(), &path, &encoded).map_err(to_io)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+            return Err(PersistError::DeadlineExceeded)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    // --- durability point: roll forward from here, no deadline checks ---
+    let txn = match intrinsic.as_mut() {
+        Some(s) if intrinsic_dirty => s.commit()?,
+        _ => 0,
+    };
+    for (handle, unit) in externs {
+        match unit {
+            Some(bytes) => store.install_unit(handle, bytes)?,
+            None => store.remove_quiet(handle)?,
+        }
+    }
+    log::clear_intent(&**store.vfs(), &path)?;
+    Ok(txn)
+}
+
+/// Finish (redo) a transaction interrupted after its durability point.
+///
+/// Call on reopen, after both stores are constructed. Returns
+/// `Ok(Some(txn_id))` when a pending intent was found and re-applied,
+/// `Ok(None)` when there was nothing to do. An intent file that is not a
+/// single CRC-clean frame never became durable and is discarded.
+pub fn recover_pending(
+    mut intrinsic: Option<&mut IntrinsicStore>,
+    store: &ReplicatingStore,
+) -> Result<Option<u64>, PersistError> {
+    let path = intent_path(store);
+    let payload = match log::read_intent(&**store.vfs(), &path)? {
+        Some(p) => p,
+        None => {
+            // Remove a torn/invalid leftover, if any, so it cannot be
+            // misread later. Harmless when the file is simply absent.
+            log::clear_intent(&**store.vfs(), &path)?;
+            return Ok(None);
+        }
+    };
+    let intent = Intent::decode(&payload)?;
+    if let Some(s) = intrinsic.as_mut() {
+        // Redo only if the intrinsic half did not already commit: if the
+        // recovered txn counter has reached the intent's, its log sync
+        // completed before the crash.
+        if s.txn() < intent.txn_id {
+            s.apply_records_and_commit(&intent.intrinsic_records)?;
+        }
+    }
+    for (handle, unit) in &intent.externs {
+        match unit {
+            Some(bytes) => store.install_unit(handle, bytes)?,
+            None => store.remove_quiet(handle)?,
+        }
+    }
+    log::clear_intent(&**store.vfs(), &path)?;
+    Ok(Some(intent.txn_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpl_types::Type;
+    use dbpl_values::{DynValue, Heap, Value};
+
+    fn fresh(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbpl-txn-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn intent_roundtrip() {
+        let i = Intent {
+            txn_id: 7,
+            intrinsic_records: vec![b"abc".to_vec(), b"".to_vec()],
+            externs: vec![
+                ("alpha".into(), Some(b"unit-bytes".to_vec())),
+                ("gone".into(), None),
+            ],
+        };
+        assert_eq!(Intent::decode(&i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn commit_multi_applies_both_stores_and_clears_intent() {
+        let dir = fresh("both");
+        let mut intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
+        let repl = ReplicatingStore::open(dir.join("units")).unwrap();
+        intr.set_handle("h", Type::Int, Value::Int(1));
+        let heap = Heap::new();
+        let unit =
+            ReplicatingStore::encode_unit(&DynValue::new(Type::Int, Value::Int(2)), &heap).unwrap();
+        let mut externs = BTreeMap::new();
+        externs.insert("u".to_string(), Some(unit));
+        let txn = commit_multi(Some(&mut intr), &repl, &externs, &RetryPolicy::default()).unwrap();
+        assert_eq!(txn, 1);
+        assert!(!repl.vfs().exists(&repl.dir().join(INTENT_FILE)));
+        assert_eq!(intr.handle("h").unwrap().1, Value::Int(1));
+        let mut h2 = Heap::new();
+        assert_eq!(repl.intern("u", &mut h2).unwrap().value, Value::Int(2));
+        // Nothing pending on reopen.
+        drop(intr);
+        let mut intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
+        assert_eq!(recover_pending(Some(&mut intr), &repl).unwrap(), None);
+    }
+
+    #[test]
+    fn pending_intent_is_redone_on_recovery() {
+        let dir = fresh("redo");
+        let mut intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
+        let repl = ReplicatingStore::open(dir.join("units")).unwrap();
+        intr.set_handle("h", Type::Int, Value::Int(5));
+        let heap = Heap::new();
+        let unit =
+            ReplicatingStore::encode_unit(&DynValue::new(Type::Int, Value::Int(6)), &heap).unwrap();
+        // Simulate a crash right after the durability point: write the
+        // intent by hand, apply nothing.
+        let intent = Intent {
+            txn_id: intr.txn() + 1,
+            intrinsic_records: intr.staged_records(),
+            externs: vec![("u".into(), Some(unit))],
+        };
+        log::write_intent(
+            &**repl.vfs(),
+            &repl.dir().join(INTENT_FILE),
+            &intent.encode(),
+        )
+        .unwrap();
+        // "Crash": drop the dirty store and reopen.
+        drop(intr);
+        let mut intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
+        assert!(intr.handle("h").is_none(), "nothing committed yet");
+        let redone = recover_pending(Some(&mut intr), &repl).unwrap();
+        assert_eq!(redone, Some(1));
+        assert_eq!(intr.handle("h").unwrap().1, Value::Int(5));
+        let mut h2 = Heap::new();
+        assert_eq!(repl.intern("u", &mut h2).unwrap().value, Value::Int(6));
+        // Recovery is idempotent: a second pass finds nothing.
+        assert_eq!(recover_pending(Some(&mut intr), &repl).unwrap(), None);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_durability() {
+        let dir = fresh("deadline");
+        let mut intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
+        let repl = ReplicatingStore::open(dir.join("units")).unwrap();
+        intr.set_handle("h", Type::Int, Value::Int(1));
+        let policy = RetryPolicy::with_deadline(std::time::Instant::now());
+        let err = commit_multi(Some(&mut intr), &repl, &BTreeMap::new(), &policy);
+        assert!(matches!(err, Err(PersistError::DeadlineExceeded)));
+        // Nothing became durable.
+        assert!(!repl.vfs().exists(&repl.dir().join(INTENT_FILE)));
+        drop(intr);
+        let intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
+        assert!(intr.handle("h").is_none());
+    }
+
+    #[test]
+    fn empty_transaction_is_a_noop() {
+        let dir = fresh("noop");
+        let repl = ReplicatingStore::open(dir.join("units")).unwrap();
+        assert_eq!(
+            commit_multi(None, &repl, &BTreeMap::new(), &RetryPolicy::default()).unwrap(),
+            0
+        );
+        assert!(!repl.vfs().exists(&repl.dir().join(INTENT_FILE)));
+    }
+}

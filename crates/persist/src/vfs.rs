@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// An open file handle for appending.
 pub trait VfsFile: Send {
@@ -66,22 +66,78 @@ pub trait Vfs: Send + Sync {
     fn len(&self, path: &Path) -> io::Result<u64>;
 }
 
+/// A bounded retry/backoff policy for transient I/O faults, optionally
+/// bounded by a wall-clock deadline (the per-transaction commit deadline).
+///
+/// `Interrupted` errors are retried up to `max_attempts` times with
+/// exponential backoff from `base_delay`; anything else is returned
+/// immediately. When a `deadline` is set, the policy stops retrying — and
+/// [`RetryPolicy::expired`] reports true — once the deadline has passed,
+/// so a commit stuck behind a fault storm fails in bounded time instead
+/// of hanging.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub base_delay: Duration,
+    /// Give up (and stop starting new retries) past this instant.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(50),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy bounded by a deadline.
+    pub fn with_deadline(deadline: Instant) -> RetryPolicy {
+        RetryPolicy {
+            deadline: Some(deadline),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Run `f` under this policy.
+    pub fn run<T>(&self, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut delay = self.base_delay;
+        for _ in 1..self.max_attempts {
+            if self.expired() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "transaction deadline exceeded",
+                ));
+            }
+            match f() {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    std::thread::sleep(delay);
+                    delay *= 2;
+                }
+                other => return other,
+            }
+        }
+        f()
+    }
+}
+
 /// Retry `f` a bounded number of times on transient (`Interrupted`)
 /// errors, with exponential backoff. Any other outcome is returned
 /// immediately. This is the layer that absorbs the "short read / failed
 /// fsync once" class of fault without compromising on real errors.
-pub fn retry_io<T>(mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
-    let mut delay = Duration::from_micros(50);
-    for _ in 0..4 {
-        match f() {
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
-                std::thread::sleep(delay);
-                delay *= 2;
-            }
-            other => return other,
-        }
-    }
-    f()
+/// Shorthand for running under [`RetryPolicy::default`].
+pub fn retry_io<T>(f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    RetryPolicy::default().run(f)
 }
 
 // ---------------------------------------------------------------------------

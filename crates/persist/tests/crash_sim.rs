@@ -9,7 +9,8 @@
 //! the salvage-mode contract on a log normal `open` rejects.
 
 use dbpl_persist::sim::{
-    crash_sweep_intrinsic, crash_sweep_replicating, transient_storm_intrinsic,
+    crash_sweep_intrinsic, crash_sweep_multi_store, crash_sweep_replicating, crash_sweep_snapshot,
+    transient_storm_intrinsic, transient_storm_multi_store, transient_storm_multi_store_at,
     transient_storm_replicating,
 };
 use dbpl_persist::{IntrinsicStore, LogFile, PersistError};
@@ -17,6 +18,26 @@ use dbpl_types::Type;
 use dbpl_values::Value;
 
 const SEEDS: [u64; 3] = [1986, 0xBADC_0FFE, 42];
+
+/// The nightly sweep's expanded seed set (≥16 seeds, SEEDS included).
+const NIGHTLY_SEEDS: [u64; 16] = [
+    1986,
+    0xBADC_0FFE,
+    42,
+    7,
+    0xDEAD_BEEF,
+    0x5EED_0001,
+    0x5EED_0002,
+    0x5EED_0003,
+    0x5EED_0004,
+    0x5EED_0005,
+    0xCAFE_F00D,
+    0x0123_4567_89AB_CDEF,
+    0xFFFF_FFFF,
+    1_000_003,
+    2_718_281_828,
+    3_141_592_653,
+];
 
 #[test]
 fn intrinsic_recovers_committed_prefix_at_every_crash_point() {
@@ -48,10 +69,80 @@ fn replicating_recovers_committed_prefix_at_every_crash_point() {
 }
 
 #[test]
+fn multi_store_transactions_are_atomic_at_every_crash_point() {
+    // The tentpole acceptance criterion: for every injected crash point
+    // in a transaction spanning both store kinds, reopening (plus intent
+    // recovery) yields either the full transaction or none of it.
+    for &seed in &SEEDS {
+        let report = crash_sweep_multi_store(seed, 4);
+        assert!(
+            report.crash_points >= 30,
+            "seed {seed}: suspiciously few crash points ({})",
+            report.crash_points
+        );
+        assert_eq!(report.committed, 4);
+    }
+}
+
+#[test]
+fn snapshot_saves_are_atomic_at_every_crash_point() {
+    for &seed in &SEEDS {
+        let report = crash_sweep_snapshot(seed, 4);
+        // Each hardened save is four ops (write tmp, fsync, rename,
+        // fsync dir).
+        assert!(
+            report.crash_points >= 16,
+            "seed {seed}: suspiciously few crash points ({})",
+            report.crash_points
+        );
+        assert_eq!(report.committed, 4);
+    }
+}
+
+#[test]
 fn transient_fault_storms_are_absorbed_by_bounded_retry() {
     for &seed in &SEEDS {
         transient_storm_intrinsic(seed, 5);
         transient_storm_replicating(seed, 6);
+        transient_storm_multi_store(seed, 4);
+    }
+}
+
+// --- Nightly-only expanded sweeps ------------------------------------------
+//
+// Run with `cargo test -p dbpl-persist --release --test crash_sim --
+// --ignored` (the nightly CI job does). Same invariants as above, over an
+// expanded seed set and a matrix of transient-fault rates.
+
+#[test]
+#[ignore = "expanded nightly sweep; run with --ignored"]
+fn nightly_multi_store_sweep_expanded_seeds() {
+    for &seed in &NIGHTLY_SEEDS {
+        let report = crash_sweep_multi_store(seed, 5);
+        assert_eq!(report.committed, 5, "seed {seed}");
+    }
+}
+
+#[test]
+#[ignore = "expanded nightly sweep; run with --ignored"]
+fn nightly_single_store_sweeps_expanded_seeds() {
+    for &seed in &NIGHTLY_SEEDS {
+        crash_sweep_intrinsic(seed, 6);
+        crash_sweep_replicating(seed, 8);
+        crash_sweep_snapshot(seed, 5);
+    }
+}
+
+#[test]
+#[ignore = "expanded nightly sweep; run with --ignored"]
+fn nightly_transient_retry_matrix() {
+    // Fault rates from brutal (one in 3 ops) to mild: the layered
+    // bounded retries (VFS-level plus transaction-level) must absorb all
+    // of them at every seed.
+    for &one_in in &[3u64, 6, 12] {
+        for &seed in &NIGHTLY_SEEDS {
+            transient_storm_multi_store_at(seed, 4, one_in);
+        }
     }
 }
 
