@@ -11,10 +11,14 @@
 //! opens an implicit frame and commits it when the program completes;
 //! any failure — a run-time error or even a panic in the evaluator —
 //! aborts the frame, rolling the database (data *and* schema) back to
-//! where the program started and discarding every staged store write.
+//! where the frame opened and discarding every staged store write.
 //! `begin` / `commit` / `abort` statements (or the host-side
 //! [`Session::transaction`]) manage an explicit frame that can span
-//! several programs. Commit is crash-atomic across an attached
+//! several programs. A mid-program `begin` or `commit` is a **commit
+//! point**: it first settles (commits) the frame covering the statements
+//! before it, so a later failure in the same program rolls back only to
+//! that point — not to the start of the program. Commit is crash-atomic
+//! across an attached
 //! [`IntrinsicStore`] and the replicating store's externs: both are
 //! covered by one write-ahead intent record, replayed or discarded as a
 //! unit on reopen (see `dbpl_persist::txn`).
@@ -29,8 +33,8 @@ use crate::parser::parse_program;
 use crate::rt::{Closure, Env, RtValue};
 use dbpl_core::Database;
 use dbpl_persist::{
-    commit_multi, recover_pending, IntrinsicStore, PersistError, QuarantineEntry, QuarantineReport,
-    ReplicatingStore, RetryPolicy, SalvageReport,
+    commit_multi, pending_intent, recover_pending, IntrinsicStore, PersistError, QuarantineEntry,
+    QuarantineReport, ReplicatingStore, RetryPolicy, SalvageReport,
 };
 use dbpl_values::DynValue;
 use std::collections::BTreeMap;
@@ -86,6 +90,13 @@ pub struct Session {
     /// session level, so the record survives the enclosing transaction's
     /// abort. Merged into [`Session::quarantine_report`].
     quarantined: Vec<QuarantineEntry>,
+    /// A durable pending transaction that could not be recovered yet
+    /// (its intent carries intrinsic-store records and no intrinsic store
+    /// is attached, or an in-doubt commit's immediate roll-forward
+    /// failed). Holds the pending transaction number. While set, durable
+    /// commits and direct store writes are refused — a fresh intent would
+    /// overwrite the pending one and lose its writes.
+    pending_recovery: Option<u64>,
 }
 
 /// Render a caught panic payload for an error message.
@@ -113,7 +124,7 @@ impl Session {
     pub fn with_store_dir(dir: impl AsRef<Path>) -> Result<Session, LangError> {
         let store = ReplicatingStore::open(dir)
             .map_err(|e| LangError::eval(0, format!("cannot open store: {e}")))?;
-        Ok(Session::from_store(store))
+        Session::from_store(store)
     }
 
     /// A session over a store directory opened in **salvage mode**: every
@@ -125,7 +136,7 @@ impl Session {
     ) -> Result<(Session, QuarantineReport), LangError> {
         let (store, report) = ReplicatingStore::open_salvage(dir)
             .map_err(|e| LangError::eval(0, format!("cannot salvage store: {e}")))?;
-        let mut s = Session::from_store(store);
+        let mut s = Session::from_store(store)?;
         s.quarantined = report.entries.clone();
         let names: Vec<&str> = report.entries.iter().map(|e| e.handle.as_str()).collect();
         s.out.push(format!(
@@ -137,8 +148,15 @@ impl Session {
         Ok((s, report))
     }
 
-    fn from_store(store: ReplicatingStore) -> Session {
-        Session {
+    /// Build the session over an opened store and finish any transaction
+    /// a crash left pending at its intent record. Most sessions never
+    /// attach an intrinsic store, so this is where their crash recovery
+    /// happens: an extern-only intent is rolled forward immediately; an
+    /// intent that also carries intrinsic-store records is left in place
+    /// — with commits blocked — until [`Session::attach_intrinsic`] can
+    /// recover both halves as a unit.
+    fn from_store(store: ReplicatingStore) -> Result<Session, LangError> {
+        let mut s = Session {
             db: Database::new(),
             store,
             intrinsic: None,
@@ -146,7 +164,39 @@ impl Session {
             txn_deadline: None,
             txn: None,
             quarantined: Vec::new(),
+            pending_recovery: None,
+        };
+        if s.store.is_read_only() {
+            // Salvage mode cannot write, so a pending intent (if any) is
+            // left for a read-write open to complete; just surface it.
+            if let Ok(Some(intent)) = pending_intent(&s.store) {
+                s.out.push(format!(
+                    "warning: pending transaction {} left unrecovered (store is read-only)",
+                    intent.txn_id
+                ));
+            }
+            return Ok(s);
         }
+        match recover_pending(None, &s.store) {
+            Ok(Some(txn_id)) => s.out.push(format!(
+                "note: completed pending transaction {txn_id} left by an interrupted commit"
+            )),
+            Ok(None) => {}
+            Err(PersistError::RecoveryPending { txn_id }) => {
+                s.pending_recovery = Some(txn_id);
+                s.out.push(format!(
+                    "note: pending transaction {txn_id} involves an intrinsic store; attach \
+                     it to finish recovery (commits are blocked until then)"
+                ));
+            }
+            Err(e) => {
+                return Err(LangError::eval(
+                    0,
+                    format!("cannot recover pending transaction: {e}"),
+                ))
+            }
+        }
+        Ok(s)
     }
 
     /// Attach an intrinsic store backed by the log at `path`, surfacing
@@ -177,6 +227,9 @@ impl Session {
                 ))
             }
         }
+        // Recovery deferred at open (the intent needed this store) is now
+        // done: commits may resume.
+        self.pending_recovery = None;
         self.intrinsic = Some(store);
         Ok(())
     }
@@ -214,7 +267,10 @@ impl Session {
     /// committed when it completes. A check error leaves the session
     /// untouched; a run-time error or a panic mid-program aborts the
     /// frame, so no partial mutation — not even a `type` declaration —
-    /// leaks into the session.
+    /// leaks into the session. The one qualification: `begin` and
+    /// `commit` statements are commit points that settle the preceding
+    /// statements, so in a program that uses them the abort rolls back
+    /// to the most recent commit point rather than the program's start.
     pub fn run(&mut self, src: &str) -> Result<Vec<String>, LangError> {
         let prog = parse_program(src)?;
         let checked = check_program(&prog, self.db.env())?;
@@ -404,6 +460,28 @@ impl Session {
             // the new state, nothing to make durable.
             return Ok(());
         }
+        if let Some(txn_id) = self.pending_recovery {
+            // An earlier transaction's intent is still durably pending;
+            // publishing a new intent would overwrite it and lose its
+            // writes. Try once more to finish it (both stores may be
+            // available now), and refuse this commit if that fails.
+            match recover_pending(self.intrinsic.as_mut(), &self.store) {
+                Ok(_) => self.pending_recovery = None,
+                Err(e) => {
+                    self.db = *frame.saved_db;
+                    if let Some(s) = self.intrinsic.as_mut() {
+                        s.abort();
+                    }
+                    return Err(LangError::eval(
+                        0,
+                        format!(
+                            "commit blocked by pending transaction {txn_id} ({e}); \
+                             transaction aborted"
+                        ),
+                    ));
+                }
+            }
+        }
         let policy = match frame.deadline {
             Some(d) => RetryPolicy::with_deadline(d),
             None => RetryPolicy::default(),
@@ -415,9 +493,31 @@ impl Session {
             &policy,
         ) {
             Ok(_) => Ok(()),
+            Err(PersistError::InDoubt { txn_id, cause }) => {
+                // Past the durability point: the transaction is NOT
+                // aborted — its intent is durable and it must roll
+                // forward. Try to finish it right now; the in-memory
+                // state already reflects the committed outcome, so on
+                // success this commit simply succeeded.
+                match recover_pending(self.intrinsic.as_mut(), &self.store) {
+                    Ok(_) => Ok(()),
+                    Err(e) => {
+                        self.pending_recovery = Some(txn_id);
+                        Err(LangError::eval(
+                            0,
+                            format!(
+                                "commit is in doubt, not aborted: durably logged as \
+                                 transaction {txn_id} but applying it failed ({cause}; \
+                                 recovery retry: {e}); it will be completed on recovery — \
+                                 commits are blocked until then"
+                            ),
+                        ))
+                    }
+                }
+            }
             Err(e) => {
-                // Nothing became durable (the intent never published, or
-                // recovery will discard it); make memory agree.
+                // Pre-durability failure: the intent never published, so
+                // nothing became durable; make memory agree.
                 self.db = *frame.saved_db;
                 if let Some(s) = self.intrinsic.as_mut() {
                     s.abort();
@@ -457,7 +557,15 @@ impl Session {
                 frame.staged_externs.insert(handle.to_string(), Some(bytes));
                 Ok(())
             }
-            None => self.store.install_unit(handle, &bytes),
+            None => {
+                // An unrecovered pending transaction may still have this
+                // handle's install outstanding; writing around it could
+                // be silently undone by the eventual redo.
+                if let Some(txn_id) = self.pending_recovery {
+                    return Err(PersistError::RecoveryPending { txn_id });
+                }
+                self.store.install_unit(handle, &bytes)
+            }
         }
     }
 
@@ -471,7 +579,12 @@ impl Session {
                 frame.staged_externs.insert(handle.to_string(), None);
                 Ok(())
             }
-            None => self.store.remove_quiet(handle),
+            None => {
+                if let Some(txn_id) = self.pending_recovery {
+                    return Err(PersistError::RecoveryPending { txn_id });
+                }
+                self.store.remove_quiet(handle)
+            }
         }
     }
 
@@ -1253,5 +1366,123 @@ mod txn_tests {
             s.out
         );
         assert_eq!(s.run("coerce intern('Ghosted') to Int").unwrap(), vec!["8"]);
+    }
+
+    #[test]
+    fn replicating_only_session_recovers_pending_externs_on_open() {
+        use dbpl_persist::{Intent, StdVfs, Vfs};
+        // The default session shape: no intrinsic store is ever attached,
+        // yet a crash between extern installs must still be rolled
+        // forward when the session reopens over the store directory.
+        let dir = fresh_dir("pending-repl-only");
+        let repl_dir = dir.join("repl");
+        let store = ReplicatingStore::open(&repl_dir).unwrap();
+        let heap = dbpl_values::Heap::new();
+        let unit_a =
+            ReplicatingStore::encode_unit(&DynValue::new(Type::Int, Value::Int(1)), &heap).unwrap();
+        let unit_b =
+            ReplicatingStore::encode_unit(&DynValue::new(Type::Int, Value::Int(2)), &heap).unwrap();
+        let intent = Intent {
+            txn_id: 0,
+            intrinsic_records: Vec::new(),
+            externs: vec![
+                ("TornA".to_string(), Some(unit_a)),
+                ("TornB".to_string(), Some(unit_b)),
+            ],
+        };
+        let vfs = StdVfs;
+        dbpl_persist::log::write_intent(
+            &vfs as &dyn Vfs,
+            &repl_dir.join("txn.intent"),
+            &intent.encode(),
+        )
+        .unwrap();
+        drop(store);
+
+        // No attach_intrinsic: Session::with_store_dir alone must finish
+        // the transaction.
+        let mut s = Session::with_store_dir(&repl_dir).unwrap();
+        assert!(
+            s.out
+                .iter()
+                .any(|l| l.contains("completed pending transaction 0")),
+            "{:?}",
+            s.out
+        );
+        assert_eq!(s.run("coerce intern('TornA') to Int").unwrap(), vec!["1"]);
+        assert_eq!(s.run("coerce intern('TornB') to Int").unwrap(), vec!["2"]);
+        // The intent was consumed: a second open is silent.
+        let s2 = Session::with_store_dir(&repl_dir).unwrap();
+        assert!(s2.out.is_empty(), "{:?}", s2.out);
+    }
+
+    #[test]
+    fn intrinsic_bearing_intent_defers_recovery_and_blocks_commits() {
+        use dbpl_persist::{Intent, StdVfs, Vfs};
+        // A crash left an intent that spans both stores. A
+        // replicating-only reopen must NOT recover just the extern half
+        // (that would lose the intrinsic writes) — it defers, blocks
+        // durable commits, and attach_intrinsic completes the whole
+        // transaction.
+        let dir = fresh_dir("pending-deferred");
+        let repl_dir = dir.join("repl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("intr.log");
+        let mut intr = IntrinsicStore::open(&log).unwrap();
+        intr.set_handle("count", Type::Int, Value::Int(5));
+        let store = ReplicatingStore::open(&repl_dir).unwrap();
+        let heap = dbpl_values::Heap::new();
+        let unit =
+            ReplicatingStore::encode_unit(&DynValue::new(Type::Int, Value::Int(6)), &heap).unwrap();
+        let intent = Intent {
+            txn_id: intr.txn() + 1,
+            intrinsic_records: intr.staged_records(),
+            externs: vec![("Paired".to_string(), Some(unit))],
+        };
+        let vfs = StdVfs;
+        dbpl_persist::log::write_intent(
+            &vfs as &dyn Vfs,
+            &repl_dir.join("txn.intent"),
+            &intent.encode(),
+        )
+        .unwrap();
+        // "Crash" before either store was touched.
+        drop(intr);
+        drop(store);
+
+        let mut s = Session::with_store_dir(&repl_dir).unwrap();
+        assert!(
+            s.out
+                .iter()
+                .any(|l| l.contains("pending transaction 1") && l.contains("blocked")),
+            "{:?}",
+            s.out
+        );
+        // Purely in-memory programs still work…
+        assert_eq!(s.run("1 + 1").unwrap(), vec!["2"]);
+        // …but durable commits are refused, and the pending intent (with
+        // the extern half un-applied) is preserved.
+        let err = s.run("extern('New', dynamic 9)").unwrap_err();
+        assert!(err.msg.contains("pending transaction 1"), "{err}");
+        let peek = ReplicatingStore::open(&repl_dir).unwrap();
+        assert!(peek.handles().unwrap().is_empty(), "no half-recovery");
+
+        // Attaching the intrinsic store completes the transaction whole.
+        s.attach_intrinsic(&log).unwrap();
+        assert!(
+            s.out
+                .iter()
+                .any(|l| l.contains("completed pending transaction 1")),
+            "{:?}",
+            s.out
+        );
+        assert_eq!(
+            s.intrinsic.as_ref().unwrap().handle("count").unwrap().1,
+            Value::Int(5)
+        );
+        assert_eq!(s.run("coerce intern('Paired') to Int").unwrap(), vec!["6"]);
+        // Commits flow again.
+        s.run("extern('New', dynamic 9)").unwrap();
+        assert_eq!(s.run("coerce intern('New') to Int").unwrap(), vec!["9"]);
     }
 }

@@ -45,6 +45,24 @@ pub enum PersistError {
     /// A transaction ran past its commit deadline before reaching its
     /// durability point, and was aborted.
     DeadlineExceeded,
+    /// A multi-store commit failed *after* its durability point: the
+    /// intent record is durable, so the transaction is **not** aborted —
+    /// it must and will be rolled forward by `recover_pending` (now or on
+    /// the next reopen).
+    InDoubt {
+        /// The transaction number the pending intent commits as.
+        txn_id: u64,
+        /// The failure that interrupted the apply phase.
+        cause: Box<PersistError>,
+    },
+    /// A durable pending intent carries intrinsic-store records, but no
+    /// intrinsic store was available to recover into. The intent is left
+    /// in place; commits must wait until the intrinsic store is attached
+    /// and recovery completes.
+    RecoveryPending {
+        /// The transaction number of the pending intent.
+        txn_id: u64,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -78,6 +96,19 @@ impl fmt::Display for PersistError {
                 write!(
                     f,
                     "transaction deadline exceeded before commit became durable"
+                )
+            }
+            PersistError::InDoubt { txn_id, cause } => {
+                write!(
+                    f,
+                    "transaction {txn_id} is in doubt: its intent is durable but applying it \
+                     failed ({cause}); recovery will roll it forward"
+                )
+            }
+            PersistError::RecoveryPending { txn_id } => {
+                write!(
+                    f,
+                    "pending transaction {txn_id} needs the intrinsic store to finish recovery"
                 )
             }
         }

@@ -98,6 +98,11 @@ pub struct IntrinsicStore {
     dead_objects: BTreeSet<Oid>,
     dirty_handles: BTreeSet<String>,
     txn: u64,
+    /// The last transaction whose commit marker is known to be durably
+    /// synced — unlike `txn`, it never advances before `log.sync()`
+    /// succeeds, so recovery can trust it on a live store whose commit
+    /// failed mid-sync.
+    durable_txn: u64,
 }
 
 // Log record kinds.
@@ -253,6 +258,7 @@ impl IntrinsicStore {
             dead_objects: BTreeSet::new(),
             dirty_handles: BTreeSet::new(),
             txn: applied.txn,
+            durable_txn: applied.txn,
         })
     }
 
@@ -308,6 +314,7 @@ impl IntrinsicStore {
             dead_objects: BTreeSet::new(),
             dirty_handles: BTreeSet::new(),
             txn: applied.txn,
+            durable_txn: applied.txn,
         };
         Ok((store, report))
     }
@@ -340,6 +347,14 @@ impl IntrinsicStore {
     /// The last committed transaction number.
     pub fn txn(&self) -> u64 {
         self.txn
+    }
+
+    /// The last transaction whose commit marker is known durably synced.
+    /// Trails [`IntrinsicStore::txn`] on a live store whose commit failed
+    /// between the counter bump and the log sync — exactly the window
+    /// multi-store intent recovery must see through.
+    pub fn durable_txn(&self) -> u64 {
+        self.durable_txn
     }
 
     /// Allocate a new object in the working state.
@@ -444,6 +459,7 @@ impl IntrinsicStore {
         // The durability point: nothing above is acknowledged until the
         // log (frames + marker) is on disk.
         log.sync()?;
+        self.durable_txn = self.txn;
         self.committed_heap = self.heap.clone();
         self.committed_handles = self.handles.clone();
         self.dirty_objects.clear();

@@ -52,5 +52,5 @@ pub use log::LogFile;
 pub use namespace::{NamespaceManager, Visibility};
 pub use replicating::{QuarantineEntry, QuarantineReport, ReplicatingStore};
 pub use snapshot::Image;
-pub use txn::{commit_multi, recover_pending, Intent};
+pub use txn::{commit_multi, pending_intent, recover_pending, Intent};
 pub use vfs::{FaultPlan, RetryPolicy, SimVfs, StdVfs, Vfs};

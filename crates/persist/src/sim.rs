@@ -505,11 +505,14 @@ fn run_multi(vfs: &SimVfs, script: &[Vec<MultiAction>]) -> (usize, Option<Persis
                 }
             }
         }
-        // Transaction-level bounded retry on top of the VFS-level one: a
-        // commit that fails on a transient fault is safe to repeat — if
-        // the intent never became durable the transaction left no trace,
-        // and if it did, re-running redoes it idempotently. This is the
-        // layering a real application would use under a fault storm.
+        // Transaction-level bounded retry on top of the VFS-level one,
+        // split at the durability point: a pre-durability transient fault
+        // left no trace, so the whole commit is safe to repeat; an
+        // in-doubt failure means the intent is durable and the only
+        // correct move is to roll the SAME transaction forward via
+        // recovery — re-running the commit would write a fresh intent
+        // over the pending one. This is the layering a real application
+        // would use under a fault storm.
         let mut attempts = 0;
         loop {
             match commit_multi(Some(&mut intr), &repl, &externs, &RetryPolicy::default()) {
@@ -521,6 +524,23 @@ fn run_multi(vfs: &SimVfs, script: &[Vec<MultiAction>]) -> (usize, Option<Persis
                     if e.kind() == std::io::ErrorKind::Interrupted && attempts < 4 =>
                 {
                     attempts += 1;
+                }
+                Err(PersistError::InDoubt { .. }) => {
+                    let mut rec_attempts = 0;
+                    loop {
+                        match recover_pending(Some(&mut intr), &repl) {
+                            Ok(_) => break,
+                            Err(PersistError::Io(e))
+                                if e.kind() == std::io::ErrorKind::Interrupted
+                                    && rec_attempts < 4 =>
+                            {
+                                rec_attempts += 1;
+                            }
+                            Err(e) => return (acked, Some(e)),
+                        }
+                    }
+                    acked += 1;
+                    break;
                 }
                 Err(e) => return (acked, Some(e)),
             }
@@ -605,6 +625,169 @@ pub fn crash_sweep_multi_store(seed: u64, txns: usize) -> SweepReport {
             "{context}: recovered {got:?}, expected paired state {acked} \
              ({:?}) or the in-flight {in_flight:?}",
             states[acked],
+        );
+    }
+    SweepReport {
+        crash_points: total_ops,
+        committed: txns,
+    }
+}
+
+/// An extern-only script: the shape of the default replicating-only
+/// session (no intrinsic store attached), where every transaction's
+/// intent carries only extern effects.
+fn extern_only_script(seed: u64, txns: usize) -> Vec<Vec<MultiAction>> {
+    let mut rng = ScriptRng(seed ^ 0xE0_57E5);
+    let mut counter = 0i64;
+    (0..txns)
+        .map(|_| {
+            let mut actions = Vec::new();
+            counter += 1;
+            actions.push(MultiAction::SetExt(
+                rng.below(MULTI_EXT_HANDLES.len() as u64) as usize,
+                counter,
+            ));
+            for _ in 0..rng.below(3) {
+                let h = rng.below(MULTI_EXT_HANDLES.len() as u64) as usize;
+                if rng.below(3) == 0 {
+                    actions.push(MultiAction::DelExt(h));
+                } else {
+                    counter += 1;
+                    actions.push(MultiAction::SetExt(h, counter));
+                }
+            }
+            actions
+        })
+        .collect()
+}
+
+/// Run an extern-only script: every transaction commits through
+/// [`commit_multi`] with **no intrinsic store**, exactly as a default
+/// `Session` does.
+fn run_extern_only(vfs: &SimVfs, script: &[Vec<MultiAction>]) -> (usize, Option<PersistError>) {
+    let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let repl = match ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR)) {
+        Ok(s) => s,
+        Err(e) => return (0, Some(e)),
+    };
+    let heap = Heap::new();
+    let mut acked = 0;
+    for txn in script {
+        let mut externs: BTreeMap<String, Option<Vec<u8>>> = BTreeMap::new();
+        for action in txn {
+            match action {
+                MultiAction::SetExt(h, v) => {
+                    let d = DynValue::new(Type::Int, Value::Int(*v));
+                    match ReplicatingStore::encode_unit(&d, &heap) {
+                        Ok(bytes) => {
+                            externs.insert(MULTI_EXT_HANDLES[*h].to_string(), Some(bytes));
+                        }
+                        Err(e) => return (acked, Some(e)),
+                    }
+                }
+                MultiAction::DelExt(h) => {
+                    externs.insert(MULTI_EXT_HANDLES[*h].to_string(), None);
+                }
+                MultiAction::SetIntr(..) => unreachable!("extern-only script"),
+            }
+        }
+        let mut attempts = 0;
+        loop {
+            match commit_multi(None, &repl, &externs, &RetryPolicy::default()) {
+                Ok(_) => {
+                    acked += 1;
+                    break;
+                }
+                Err(PersistError::Io(e))
+                    if e.kind() == std::io::ErrorKind::Interrupted && attempts < 4 =>
+                {
+                    attempts += 1;
+                }
+                Err(PersistError::InDoubt { .. }) => {
+                    let mut rec_attempts = 0;
+                    loop {
+                        match recover_pending(None, &repl) {
+                            Ok(_) => break,
+                            Err(PersistError::Io(e))
+                                if e.kind() == std::io::ErrorKind::Interrupted
+                                    && rec_attempts < 4 =>
+                            {
+                                rec_attempts += 1;
+                            }
+                            Err(e) => return (acked, Some(e)),
+                        }
+                    }
+                    acked += 1;
+                    break;
+                }
+                Err(e) => return (acked, Some(e)),
+            }
+        }
+    }
+    (acked, None)
+}
+
+/// Read the recovered replicating store back as a model state.
+fn extern_canonical(repl: &ReplicatingStore, context: &str) -> BTreeMap<String, i64> {
+    let mut ext_state = BTreeMap::new();
+    for name in MULTI_EXT_HANDLES {
+        let mut heap = Heap::new();
+        match repl.intern(name, &mut heap) {
+            Ok(d) => match d.value {
+                Value::Int(v) => {
+                    ext_state.insert(name.to_string(), v);
+                }
+                other => panic!("{context}: handle {name} interned garbage {other:?}"),
+            },
+            Err(PersistError::UnknownHandle(_)) => {}
+            Err(e) => panic!("{context}: handle {name} surfaced corruption after recovery: {e}"),
+        }
+    }
+    ext_state
+}
+
+/// [`crash_sweep_multi_store`]'s replicating-only variant: transactions
+/// commit through the same intent protocol but with **no intrinsic store
+/// attached** — the default `Session` shape — and recovery after every
+/// crash runs with `intrinsic = None`, proving a replicating-only reopen
+/// rolls a torn multi-extern transaction forward on its own. Panics (with
+/// seed and crash op) on any violation.
+pub fn crash_sweep_extern_only(seed: u64, txns: usize) -> SweepReport {
+    let script = extern_only_script(seed, txns);
+    let states = multi_states(&script);
+
+    let reference = SimVfs::new();
+    let (acked, err) = run_extern_only(&reference, &script);
+    assert!(err.is_none(), "seed {seed}: fault-free run failed: {err:?}");
+    assert_eq!(acked, txns);
+    let total_ops = reference.ops();
+    assert!(total_ops > 0);
+
+    for crash_at in 1..=total_ops {
+        let vfs = SimVfs::with_plan(FaultPlan {
+            seed,
+            crash_at_op: Some(crash_at),
+            transient_one_in: None,
+        });
+        let (acked, err) = run_extern_only(&vfs, &script);
+        assert!(
+            err.is_some(),
+            "seed {seed}: planned crash at op {crash_at}/{total_ops} never hit"
+        );
+        vfs.recover();
+        let context = format!("seed {seed}, crash at op {crash_at} (extern-only)");
+        let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let repl = ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR))
+            .unwrap_or_else(|e| panic!("{context}: replicating reopen failed: {e}"));
+        recover_pending(None, &repl)
+            .unwrap_or_else(|e| panic!("{context}: replicating-only intent recovery failed: {e}"));
+        let got = extern_canonical(&repl, &context);
+        let in_flight = states.get(acked + 1).map(|s| &s.1);
+        assert!(
+            got == states[acked].1 || Some(&got) == in_flight,
+            "{context}: recovered {got:?}, expected state {acked} ({:?}) or the \
+             in-flight {in_flight:?}",
+            states[acked].1,
         );
     }
     SweepReport {
@@ -766,6 +949,13 @@ mod tests {
     fn multi_store_sweep_smoke() {
         let report = crash_sweep_multi_store(0xD5, 2);
         assert!(report.crash_points > 10, "got {}", report.crash_points);
+        assert_eq!(report.committed, 2);
+    }
+
+    #[test]
+    fn extern_only_sweep_smoke() {
+        let report = crash_sweep_extern_only(0xD7, 2);
+        assert!(report.crash_points > 5, "got {}", report.crash_points);
         assert_eq!(report.committed, 2);
     }
 

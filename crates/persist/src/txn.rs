@@ -31,7 +31,7 @@ use crate::log;
 use crate::replicating::ReplicatingStore;
 use crate::vfs::RetryPolicy;
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// File name of the write-ahead intent record, co-located with the
 /// replicating store's units.
@@ -138,8 +138,14 @@ fn to_io(e: PersistError) -> std::io::Error {
 ///
 /// Returns the committed transaction number (0 if only externs were
 /// staged), or `Ok(0)` as a no-op when nothing is staged at all.
+///
+/// Errors split at the durability point: before it, the transaction never
+/// happened and the error means *aborted*; after it (the intent is
+/// durable), failures surface as [`PersistError::InDoubt`] — the
+/// transaction is **not** aborted and [`recover_pending`] (now, or on the
+/// next reopen) will roll it forward.
 pub fn commit_multi(
-    mut intrinsic: Option<&mut IntrinsicStore>,
+    intrinsic: Option<&mut IntrinsicStore>,
     store: &ReplicatingStore,
     externs: &BTreeMap<String, Option<Vec<u8>>>,
     policy: &RetryPolicy,
@@ -181,6 +187,26 @@ pub fn commit_multi(
         Err(e) => return Err(e.into()),
     }
     // --- durability point: roll forward from here, no deadline checks ---
+    // A failure past this point does NOT abort the transaction — the
+    // intent is durable and recovery will redo it — so it is reported as
+    // `InDoubt`, never as a plain error a caller could mistake for a
+    // pre-durability abort.
+    apply_intent_effects(intrinsic, intrinsic_dirty, store, externs, &path).map_err(|cause| {
+        PersistError::InDoubt {
+            txn_id: intent.txn_id,
+            cause: Box::new(cause),
+        }
+    })
+}
+
+/// The apply phase of a commit, after its intent became durable.
+fn apply_intent_effects(
+    mut intrinsic: Option<&mut IntrinsicStore>,
+    intrinsic_dirty: bool,
+    store: &ReplicatingStore,
+    externs: &BTreeMap<String, Option<Vec<u8>>>,
+    path: &Path,
+) -> Result<u64, PersistError> {
     let txn = match intrinsic.as_mut() {
         Some(s) if intrinsic_dirty => s.commit()?,
         _ => 0,
@@ -191,8 +217,19 @@ pub fn commit_multi(
             None => store.remove_quiet(handle)?,
         }
     }
-    log::clear_intent(&**store.vfs(), &path)?;
+    log::clear_intent(&**store.vfs(), path)?;
     Ok(txn)
+}
+
+/// Peek at the pending intent, if a durable one exists — without applying
+/// or clearing anything. Lets a caller that only has the replicating
+/// store decide whether recovery can run now ([`recover_pending`] with
+/// `intrinsic = None`) or must wait for the intrinsic store.
+pub fn pending_intent(store: &ReplicatingStore) -> Result<Option<Intent>, PersistError> {
+    match log::read_intent(&**store.vfs(), &intent_path(store))? {
+        Some(payload) => Ok(Some(Intent::decode(&payload)?)),
+        None => Ok(None),
+    }
 }
 
 /// Finish (redo) a transaction interrupted after its durability point.
@@ -201,6 +238,12 @@ pub fn commit_multi(
 /// `Ok(Some(txn_id))` when a pending intent was found and re-applied,
 /// `Ok(None)` when there was nothing to do. An intent file that is not a
 /// single CRC-clean frame never became durable and is discarded.
+///
+/// With `intrinsic = None` (a replicating-only caller), an intent that
+/// carries intrinsic-store records is refused with
+/// [`PersistError::RecoveryPending`] and **left in place** — recovering
+/// just its extern half would silently lose the intrinsic writes. Rerun
+/// once the intrinsic store is open.
 pub fn recover_pending(
     mut intrinsic: Option<&mut IntrinsicStore>,
     store: &ReplicatingStore,
@@ -216,11 +259,22 @@ pub fn recover_pending(
         }
     };
     let intent = Intent::decode(&payload)?;
+    if intrinsic.is_none() && !intent.intrinsic_records.is_empty() {
+        // Applying only the extern half and clearing the intent would
+        // silently discard the committed intrinsic writes. Leave the
+        // intent exactly where it is: recovery must rerun once the
+        // intrinsic store is available.
+        return Err(PersistError::RecoveryPending {
+            txn_id: intent.txn_id,
+        });
+    }
     if let Some(s) = intrinsic.as_mut() {
-        // Redo only if the intrinsic half did not already commit: if the
-        // recovered txn counter has reached the intent's, its log sync
-        // completed before the crash.
-        if s.txn() < intent.txn_id {
+        // Redo unless the intrinsic half already committed durably. The
+        // *durable* counter is the right signal: on a freshly opened
+        // store it equals the recovered txn, and on a live store handed
+        // in after an in-doubt commit it has not advanced if the log sync
+        // never completed — even though `txn()` may have.
+        if s.durable_txn() < intent.txn_id {
             s.apply_records_and_commit(&intent.intrinsic_records)?;
         }
     }
@@ -332,6 +386,111 @@ mod tests {
         drop(intr);
         let intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
         assert!(intr.handle("h").is_none());
+    }
+
+    #[test]
+    fn replicating_only_recovery_refuses_intrinsic_bearing_intents() {
+        let dir = fresh("needs-intr");
+        let mut intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
+        let repl = ReplicatingStore::open(dir.join("units")).unwrap();
+        intr.set_handle("h", Type::Int, Value::Int(9));
+        let intent = Intent {
+            txn_id: intr.txn() + 1,
+            intrinsic_records: intr.staged_records(),
+            externs: vec![("u".into(), None)],
+        };
+        log::write_intent(
+            &**repl.vfs(),
+            &repl.dir().join(INTENT_FILE),
+            &intent.encode(),
+        )
+        .unwrap();
+        drop(intr);
+
+        // Without the intrinsic store the intent must be refused — and
+        // left untouched, so nothing is lost.
+        let err = recover_pending(None, &repl).unwrap_err();
+        assert!(
+            matches!(err, PersistError::RecoveryPending { txn_id: 1 }),
+            "{err}"
+        );
+        assert!(repl.vfs().exists(&repl.dir().join(INTENT_FILE)));
+        assert_eq!(pending_intent(&repl).unwrap(), Some(intent));
+
+        // With it, the same recovery completes and consumes the intent.
+        let mut intr = IntrinsicStore::open(dir.join("store.log")).unwrap();
+        assert_eq!(recover_pending(Some(&mut intr), &repl).unwrap(), Some(1));
+        assert_eq!(intr.handle("h").unwrap().1, Value::Int(9));
+        assert_eq!(pending_intent(&repl).unwrap(), None);
+    }
+
+    #[test]
+    fn extern_only_intents_recover_without_an_intrinsic_store() {
+        let dir = fresh("ext-only");
+        let repl = ReplicatingStore::open(dir.join("units")).unwrap();
+        let heap = Heap::new();
+        let unit =
+            ReplicatingStore::encode_unit(&DynValue::new(Type::Int, Value::Int(4)), &heap).unwrap();
+        let intent = Intent {
+            txn_id: 0,
+            intrinsic_records: Vec::new(),
+            externs: vec![("u".into(), Some(unit))],
+        };
+        log::write_intent(
+            &**repl.vfs(),
+            &repl.dir().join(INTENT_FILE),
+            &intent.encode(),
+        )
+        .unwrap();
+        assert_eq!(recover_pending(None, &repl).unwrap(), Some(0));
+        let mut h = Heap::new();
+        assert_eq!(repl.intern("u", &mut h).unwrap().value, Value::Int(4));
+        assert!(!repl.vfs().exists(&repl.dir().join(INTENT_FILE)));
+    }
+
+    #[test]
+    fn post_durability_failures_surface_as_in_doubt_and_roll_forward() {
+        use crate::vfs::{FaultPlan, SimVfs, Vfs};
+        use std::sync::Arc;
+
+        // Count the ops of a fault-free multi-store commit…
+        let commit_once = |vfs: &SimVfs| -> Result<u64, PersistError> {
+            let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+            let mut intr = IntrinsicStore::open_with(vfs_dyn.clone(), Path::new("s.log"))?;
+            let repl = ReplicatingStore::open_with(vfs_dyn, Path::new("units"))?;
+            intr.set_handle("h", Type::Int, Value::Int(1));
+            let heap = Heap::new();
+            let unit =
+                ReplicatingStore::encode_unit(&DynValue::new(Type::Int, Value::Int(2)), &heap)?;
+            let mut externs = BTreeMap::new();
+            externs.insert("u".to_string(), Some(unit));
+            commit_multi(Some(&mut intr), &repl, &externs, &RetryPolicy::default())
+        };
+        let reference = SimVfs::new();
+        commit_once(&reference).unwrap();
+        let total_ops = reference.ops();
+
+        // …then crash on the very last one (clearing the intent): well
+        // past the durability point, so the error must be InDoubt, and
+        // recovery after reboot must complete the transaction.
+        let vfs = SimVfs::with_plan(FaultPlan {
+            seed: 1,
+            crash_at_op: Some(total_ops),
+            transient_one_in: None,
+        });
+        let err = commit_once(&vfs).unwrap_err();
+        assert!(
+            matches!(err, PersistError::InDoubt { txn_id: 1, .. }),
+            "{err}"
+        );
+        vfs.recover();
+        let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let mut intr = IntrinsicStore::open_with(vfs_dyn.clone(), Path::new("s.log")).unwrap();
+        let repl = ReplicatingStore::open_with(vfs_dyn, Path::new("units")).unwrap();
+        recover_pending(Some(&mut intr), &repl).unwrap();
+        assert_eq!(intr.handle("h").unwrap().1, Value::Int(1));
+        let mut h = Heap::new();
+        assert_eq!(repl.intern("u", &mut h).unwrap().value, Value::Int(2));
     }
 
     #[test]

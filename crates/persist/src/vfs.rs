@@ -127,6 +127,15 @@ impl RetryPolicy {
                 other => return other,
             }
         }
+        // The final attempt honors the deadline too: a commit must not
+        // start its durability write after the transaction's budget ran
+        // out just because the retry loop happened to be on its last lap.
+        if self.expired() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "transaction deadline exceeded",
+            ));
+        }
         f()
     }
 }
@@ -701,6 +710,30 @@ mod tests {
         for i in 0..20 {
             assert_eq!(retry_io(|| vfs.read(&p(&format!("f{i}")))).unwrap(), b"v");
         }
+    }
+
+    #[test]
+    fn expired_deadline_blocks_every_attempt_including_the_last() {
+        // An already-expired deadline must prevent `f` from running at
+        // all — the trailing attempt after the retry loop included.
+        let policy = RetryPolicy::with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut calls = 0;
+        let err = policy
+            .run(|| -> io::Result<()> {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(calls, 0, "no attempt may start past the deadline");
+
+        // Same for a policy whose loop never runs (single attempt).
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::with_deadline(Instant::now() - Duration::from_millis(1))
+        };
+        let err = policy.run(|| -> io::Result<()> { Ok(()) }).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

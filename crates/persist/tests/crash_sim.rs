@@ -9,9 +9,9 @@
 //! the salvage-mode contract on a log normal `open` rejects.
 
 use dbpl_persist::sim::{
-    crash_sweep_intrinsic, crash_sweep_multi_store, crash_sweep_replicating, crash_sweep_snapshot,
-    transient_storm_intrinsic, transient_storm_multi_store, transient_storm_multi_store_at,
-    transient_storm_replicating,
+    crash_sweep_extern_only, crash_sweep_intrinsic, crash_sweep_multi_store,
+    crash_sweep_replicating, crash_sweep_snapshot, transient_storm_intrinsic,
+    transient_storm_multi_store, transient_storm_multi_store_at, transient_storm_replicating,
 };
 use dbpl_persist::{IntrinsicStore, LogFile, PersistError};
 use dbpl_types::Type;
@@ -85,6 +85,23 @@ fn multi_store_transactions_are_atomic_at_every_crash_point() {
 }
 
 #[test]
+fn extern_only_transactions_recover_without_an_intrinsic_store() {
+    // The replicating-only session shape (no intrinsic store ever
+    // attached): a crash at any I/O boundary of a multi-extern commit
+    // must be rolled forward — or discarded whole — by a reopen that has
+    // only the replicating store in hand.
+    for &seed in &SEEDS {
+        let report = crash_sweep_extern_only(seed, 4);
+        assert!(
+            report.crash_points >= 15,
+            "seed {seed}: suspiciously few crash points ({})",
+            report.crash_points
+        );
+        assert_eq!(report.committed, 4);
+    }
+}
+
+#[test]
 fn snapshot_saves_are_atomic_at_every_crash_point() {
     for &seed in &SEEDS {
         let report = crash_sweep_snapshot(seed, 4);
@@ -120,6 +137,8 @@ fn nightly_multi_store_sweep_expanded_seeds() {
     for &seed in &NIGHTLY_SEEDS {
         let report = crash_sweep_multi_store(seed, 5);
         assert_eq!(report.committed, 5, "seed {seed}");
+        let report = crash_sweep_extern_only(seed, 5);
+        assert_eq!(report.committed, 5, "seed {seed} (extern-only)");
     }
 }
 
