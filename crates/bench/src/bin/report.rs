@@ -227,19 +227,58 @@ fn txn_commit(smoke: bool) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// One `--stats-out` JSONL line: the counter/histogram deltas a named
+/// report phase moved in the global metrics registry.
+fn stats_line(phase: &str, delta: &dbpl_obs::StatsSnapshot) -> String {
+    // Splice the phase name into the snapshot's own JSON object.
+    let json = delta.to_json();
+    format!(
+        "{{\"phase\":\"{}\",{}",
+        dbpl_obs::json_escape(phase),
+        &json[1..]
+    )
+}
+
+/// Run `f` as a named phase, appending its metric deltas to `lines` when
+/// `--stats-out` collection is active.
+fn phase(name: &str, lines: &mut Option<Vec<String>>, f: impl FnOnce()) {
+    let before = dbpl_obs::global().snapshot();
+    f();
+    if let Some(lines) = lines.as_mut() {
+        let delta = dbpl_obs::global().snapshot().delta_since(&before);
+        lines.push(stats_line(name, &delta));
+    }
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let stats_out = args
+        .iter()
+        .position(|a| a == "--stats-out")
+        .map(|i| args.get(i + 1).expect("--stats-out needs a path").clone());
+    let mut stats: Option<Vec<String>> = stats_out.as_ref().map(|_| Vec::new());
+    let write_stats = |stats: &Option<Vec<String>>| {
+        if let (Some(path), Some(lines)) = (&stats_out, stats) {
+            let mut body = lines.join("\n");
+            body.push('\n');
+            std::fs::write(path, body).expect("write --stats-out");
+            println!("(per-phase metric deltas written to {path})");
+        }
+    };
     if smoke {
         println!("# Bench smoke — fast paths vs naive baselines (tiny sizes)\n");
-        fast_paths(true);
-        txn_commit(true);
+        phase("fast_paths", &mut stats, || fast_paths(true));
+        phase("txn_commit", &mut stats, || txn_commit(true));
+        write_stats(&stats);
         println!("bench-smoke OK: all fast paths agree with their naive baselines");
         return;
     }
     println!("# Experiment report (regenerates the EXPERIMENTS.md tables)\n");
 
-    fast_paths(false);
-    txn_commit(false);
+    phase("fast_paths", &mut stats, || fast_paths(false));
+    phase("txn_commit", &mut stats, || txn_commit(false));
+    let tail_before = dbpl_obs::global().snapshot();
 
     // ---------- F1 ----------
     println!("## F1 — Figure 1, join of generalized relations\n");
@@ -459,5 +498,10 @@ fn main() {
         let (t_syn, _) = time(|| fds.synthesize_3nf(&all), 10);
         println!("| {w}, {f} | {t_cl:.1} | {t_keys:.0} | {t_syn:.0} |");
     }
+    if let Some(lines) = stats.as_mut() {
+        let delta = dbpl_obs::global().snapshot().delta_since(&tail_before);
+        lines.push(stats_line("experiments", &delta));
+    }
+    write_stats(&stats);
     println!("\n(regenerate with `cargo run -p dbpl-bench --release --bin report`)");
 }

@@ -203,6 +203,7 @@ impl Database {
     /// costs (measured by E1). Quarantined elements are skipped by every
     /// strategy — a damaged element degrades the result, never the query.
     pub fn get_with(&self, bound: &Type, strategy: GetStrategy) -> Vec<ExistsPkg> {
+        crate::metrics::strategy_counter(strategy).inc();
         // Fast path: no quarantine, scan the store as-is.
         let filtered;
         let dynamics: &[DynValue] = if self.quarantined_positions.is_empty() {
@@ -211,7 +212,7 @@ impl Database {
             filtered = self.healthy_dynamics();
             &filtered
         };
-        match strategy {
+        let out = match strategy {
             GetStrategy::Scan => scan_get(dynamics, bound, &self.env),
             GetStrategy::CachedScan => scan_get_cached(dynamics, bound, &self.env),
             GetStrategy::ParScan => scan_get_par(dynamics, bound, &self.env),
@@ -227,7 +228,9 @@ impl Database {
                     ExistsPkg::seal_trusted(d.ty.clone(), d.value.clone(), bound.clone())
                 })
                 .collect(),
-        }
+        };
+        crate::metrics::rows_sealed().add(out.len() as u64);
+        out
     }
 
     /// The dynamic store with quarantined positions filtered out.
@@ -243,20 +246,30 @@ impl Database {
     /// Record a damaged unit skipped at a persistence boundary (e.g. an
     /// undecodable `.dyn` package) in this database's quarantine report.
     pub fn record_quarantine(&mut self, handle: impl Into<String>, cause: impl Into<String>) {
-        self.quarantined.push(QuarantineEntry {
+        let entry = QuarantineEntry {
             handle: handle.into(),
             cause: cause.into(),
+        };
+        dbpl_obs::emit(dbpl_obs::Event::Quarantine {
+            handle: entry.handle.clone(),
+            reason: entry.cause.clone(),
         });
+        self.quarantined.push(entry);
     }
 
     /// Quarantine a position in the dynamic store: every `Get` skips it
     /// from now on, and the report gains an entry naming it.
     pub fn quarantine_position(&mut self, pos: usize, cause: impl Into<String>) {
         if pos < self.dynamics.len() && self.quarantined_positions.insert(pos) {
-            self.quarantined.push(QuarantineEntry {
+            let entry = QuarantineEntry {
                 handle: format!("dynamics[{pos}]"),
                 cause: cause.into(),
+            };
+            dbpl_obs::emit(dbpl_obs::Event::Quarantine {
+                handle: entry.handle.clone(),
+                reason: entry.cause.clone(),
             });
+            self.quarantined.push(entry);
         }
     }
 

@@ -150,6 +150,7 @@ pub fn get_signature() -> Type {
 /// benchmarked against. [`scan_get_cached`] is the same traversal through
 /// the memo table.
 pub fn scan_get(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<ExistsPkg> {
+    crate::metrics::rows_scanned().add(dynamics.len() as u64);
     dynamics
         .iter()
         .filter(|d| is_subtype_uncached(&d.ty, bound, env))
@@ -165,6 +166,9 @@ pub fn scan_get(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<Exist
 /// env's memo table: still a full traversal, but each *distinct* carried
 /// type costs one structural walk ever, not one per element.
 pub fn scan_get_cached(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<ExistsPkg> {
+    // One aggregate add per call (not per element): each ParScan worker
+    // chunk lands here, so the chunk adds sum to the full input length.
+    crate::metrics::rows_scanned().add(dynamics.len() as u64);
     dynamics
         .iter()
         .filter(|d| is_subtype(&d.ty, bound, env))
@@ -344,6 +348,27 @@ mod tests {
     fn get_with_top_returns_everything() {
         let env = env();
         assert_eq!(scan_get(&sample(), &Type::Top, &env).len(), 4);
+    }
+
+    #[test]
+    fn par_scan_counts_rows_losslessly_across_workers() {
+        // Above the cutoff the scan fans out over scoped threads, each
+        // worker adding its chunk length to the shared counter; the
+        // aggregate must cover every row. Other tests in this binary hit
+        // the same global counter concurrently, so assert with >=.
+        let env = env();
+        let n = PAR_SCAN_CUTOFF * 2;
+        let dynamics: Vec<DynValue> = (0..n)
+            .map(|i| DynValue::new(Type::Int, Value::Int(i as i64)))
+            .collect();
+        let c = dbpl_obs::global().counter("get.rows_scanned");
+        let before = c.get();
+        let got = scan_get_par(&dynamics, &Type::Int, &env);
+        assert_eq!(got.len(), n);
+        assert!(
+            c.get() - before >= n as u64,
+            "every worker chunk's rows must be counted"
+        );
     }
 
     #[test]

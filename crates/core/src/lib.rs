@@ -29,6 +29,7 @@ pub mod get;
 pub mod hierarchy;
 pub mod instance;
 pub mod keys;
+mod metrics;
 
 pub use database::{Database, GetStrategy};
 pub use error::CoreError;

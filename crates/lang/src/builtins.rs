@@ -157,6 +157,23 @@ pub fn builtins() -> Vec<BuiltinSig> {
             ty: Type::fun(Type::Str, Type::Unit),
             arity: 1,
         },
+        // Query-plan introspection: run Get at the bound and describe the
+        // strategy that executed it plus the counters it moved.
+        BuiltinSig {
+            name: "explain",
+            ty: Type::forall("t", None, Type::fun(db(), Type::Str)),
+            arity: 1,
+        },
+        // The same for the generalized natural join of two object lists.
+        BuiltinSig {
+            name: "explainJoin",
+            ty: Type::forall(
+                "a",
+                None,
+                Type::forall("b", None, fun2(list(v("a")), list(v("b")), Type::Str)),
+            ),
+            arity: 2,
+        },
     ]
 }
 

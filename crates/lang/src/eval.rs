@@ -482,7 +482,73 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
             }
             Ok(RtValue::Float(total))
         }
+        "explain" => {
+            let bound = tyargs
+                .first()
+                .cloned()
+                .ok_or_else(|| LangError::eval(at, "explain needs a type argument".to_string()))?;
+            match args.remove(0) {
+                RtValue::DbToken => {
+                    let strategy = s.db.get_strategy();
+                    let before = dbpl_obs::global().snapshot();
+                    let pkgs = s.db.get(&bound);
+                    let delta = dbpl_obs::global().snapshot().delta_since(&before);
+                    Ok(RtValue::Str(format!(
+                        "get[{bound}]: strategy={} matches={} rows_scanned={} rows_sealed={} \
+                         subtype_cache_hits={} subtype_cache_misses={}",
+                        strategy_name(strategy),
+                        pkgs.len(),
+                        delta.counter("get.rows_scanned"),
+                        delta.counter("get.rows_sealed"),
+                        delta.counter("subtype.cache.hits"),
+                        delta.counter("subtype.cache.misses"),
+                    )))
+                }
+                other => Err(LangError::eval(
+                    at,
+                    format!("explain on non-database {other}"),
+                )),
+            }
+        }
+        "explainJoin" => {
+            let rhs = list_arg(&args[1], at)?;
+            let lhs = list_arg(&args[0], at)?;
+            let mut lvals = Vec::with_capacity(lhs.len());
+            for x in &lhs {
+                lvals.push(x.to_value(at)?);
+            }
+            let mut rvals = Vec::with_capacity(rhs.len());
+            for x in &rhs {
+                rvals.push(x.to_value(at)?);
+            }
+            let a = dbpl_relation::GenRelation::from_values(lvals);
+            let b = dbpl_relation::GenRelation::from_values(rvals);
+            let before = dbpl_obs::global().snapshot();
+            let joined = a.natural_join(&b);
+            let delta = dbpl_obs::global().snapshot().delta_since(&before);
+            Ok(RtValue::Str(format!(
+                "join: strategy=partitioned left={} right={} out={} buckets={} fallback_rows={} \
+                 products_serial={} products_parallel={}",
+                a.len(),
+                b.len(),
+                joined.len(),
+                delta.counter("join.partitioned.buckets"),
+                delta.counter("join.partitioned.fallback_rows"),
+                delta.counter("join.products.serial"),
+                delta.counter("join.products.parallel"),
+            )))
+        }
         other => Err(LangError::eval(at, format!("unknown builtin `{other}`"))),
+    }
+}
+
+/// The surface name of a Get strategy, as reported by `explain`.
+fn strategy_name(s: dbpl_core::GetStrategy) -> &'static str {
+    match s {
+        dbpl_core::GetStrategy::Scan => "scan",
+        dbpl_core::GetStrategy::CachedScan => "cached_scan",
+        dbpl_core::GetStrategy::TypedLists => "typed_lists",
+        dbpl_core::GetStrategy::ParScan => "par_scan",
     }
 }
 

@@ -138,6 +138,10 @@ impl Session {
             .map_err(|e| LangError::eval(0, format!("cannot salvage store: {e}")))?;
         let mut s = Session::from_store(store)?;
         s.quarantined = report.entries.clone();
+        dbpl_obs::emit(dbpl_obs::Event::Salvage {
+            loaded: s.store.handles().map(|h| h.len()).unwrap_or(0) as u64,
+            skipped: report.len() as u64,
+        });
         let names: Vec<&str> = report.entries.iter().map(|e| e.handle.as_str()).collect();
         s.out.push(format!(
             "warning: store opened read-only in salvage mode: {} unit(s) quarantined{}{}",
@@ -244,6 +248,10 @@ impl Session {
     ) -> Result<SalvageReport, LangError> {
         let (store, report) = IntrinsicStore::open_salvage(path)
             .map_err(|e| LangError::eval(0, format!("cannot salvage intrinsic store: {e}")))?;
+        dbpl_obs::emit(dbpl_obs::Event::Salvage {
+            loaded: report.applied_records as u64,
+            skipped: (report.skipped_records + report.dropped_records) as u64,
+        });
         self.out.push(format!(
             "warning: store opened read-only in salvage mode: recovered to txn {}, \
              applied {} record(s), skipped {} unreadable, dropped {} uncommitted, \
@@ -438,6 +446,7 @@ impl Session {
 
     fn begin_frame(&mut self, explicit: bool) {
         debug_assert!(self.txn.is_none(), "frames do not nest");
+        dbpl_obs::emit(dbpl_obs::Event::TxnBegin { explicit });
         self.txn = Some(TxnState {
             explicit,
             saved_db: Box::new(self.db.clone()),
@@ -522,6 +531,9 @@ impl Session {
                 if let Some(s) = self.intrinsic.as_mut() {
                     s.abort();
                 }
+                dbpl_obs::emit(dbpl_obs::Event::TxnAbort {
+                    reason: format!("commit failed: {e}"),
+                });
                 Err(LangError::eval(
                     0,
                     format!("commit failed, transaction aborted: {e}"),
@@ -536,6 +548,13 @@ impl Session {
     fn abort_frame(&mut self) {
         if let Some(frame) = self.txn.take() {
             self.db = *frame.saved_db;
+            dbpl_obs::emit(dbpl_obs::Event::TxnAbort {
+                reason: if frame.explicit {
+                    "explicit".to_string()
+                } else {
+                    "program failure".to_string()
+                },
+            });
         }
         if let Some(s) = self.intrinsic.as_mut() {
             s.abort();
@@ -649,12 +668,31 @@ impl Session {
         r
     }
 
+    /// A read-only snapshot of every counter and histogram in the global
+    /// metrics registry: query-strategy selections, rows scanned, VFS
+    /// traffic, retries, and transaction lifecycle counts. The registry is
+    /// process-global, so in a multi-session process the numbers aggregate
+    /// over all sessions; diff two snapshots
+    /// ([`dbpl_obs::StatsSnapshot::delta_since`]) to isolate a workload.
+    pub fn stats(&self) -> dbpl_obs::StatsSnapshot {
+        dbpl_obs::global().snapshot()
+    }
+
+    /// Record a corrupt unit and announce it: the quarantine event fires
+    /// *at quarantine time*, so an attached [`dbpl_obs::EventSink`] hears
+    /// about the corruption when it happens rather than only when someone
+    /// pulls [`Session::quarantine_report`].
     fn quarantine(&mut self, handle: &str, cause: impl Into<String>) {
         if !self.quarantined.iter().any(|e| e.handle == handle) {
-            self.quarantined.push(QuarantineEntry {
+            let entry = QuarantineEntry {
                 handle: handle.to_string(),
                 cause: cause.into(),
+            };
+            dbpl_obs::emit(dbpl_obs::Event::Quarantine {
+                handle: entry.handle.clone(),
+                reason: entry.cause.clone(),
             });
+            self.quarantined.push(entry);
         }
     }
 }
@@ -1056,6 +1094,95 @@ mod variant_tests {
             )
             .unwrap();
         assert_eq!(out, vec!["'ex-bob'"]);
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    // The global metrics registry is shared by every test thread in this
+    // binary, so all counter assertions here use `>=` deltas — another
+    // test may add to the same counters concurrently.
+
+    #[test]
+    fn explain_reports_get_strategy_and_match_count() {
+        let mut s = Session::new().unwrap();
+        let out = s
+            .run(
+                "type Person = {Name: Str}\n\
+                 put(db, dynamic {Name = 'a'})\n\
+                 put(db, dynamic {Name = 'b'})\n\
+                 put(db, dynamic 42)\n\
+                 explain[Person](db)",
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("strategy=typed_lists"), "{}", out[0]);
+        assert!(out[0].contains("matches=2"), "{}", out[0]);
+        assert!(out[0].contains("rows_sealed="), "{}", out[0]);
+    }
+
+    #[test]
+    fn explain_follows_the_configured_strategy() {
+        let mut s = Session::new().unwrap();
+        s.db.set_get_strategy(dbpl_core::GetStrategy::Scan);
+        let out = s.run("put(db, dynamic 7)\nexplain[Int](db)").unwrap();
+        assert!(out[0].contains("strategy=scan"), "{}", out[0]);
+        assert!(out[0].contains("matches=1"), "{}", out[0]);
+    }
+
+    #[test]
+    fn explain_join_reports_strategy_and_sizes() {
+        let mut s = Session::new().unwrap();
+        let out = s
+            .run(
+                "explainJoin[{A: Int, B: Int}][{B: Int, C: Int}](\n\
+                   [{A = 1, B = 1}, {A = 2, B = 2}],\n\
+                   [{B = 1, C = 9}])",
+            )
+            .unwrap();
+        assert!(out[0].contains("strategy=partitioned"), "{}", out[0]);
+        assert!(out[0].contains("left=2"), "{}", out[0]);
+        assert!(out[0].contains("right=1"), "{}", out[0]);
+        assert!(out[0].contains("out=1"), "{}", out[0]);
+    }
+
+    #[test]
+    fn stats_show_txn_and_storage_counters_after_durable_work() {
+        let dir = std::env::temp_dir().join(format!(
+            "dbpl-sess-obs-{}-{}",
+            std::process::id(),
+            SESSION_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Session::with_store_dir(&dir).unwrap();
+        let before = s.stats();
+        s.run("begin\nextern('Watched', dynamic 1)\ncommit")
+            .unwrap();
+        let delta = s.stats().delta_since(&before);
+        assert!(delta.counter("events.txn_begin") >= 1, "{delta:?}");
+        assert!(delta.counter("events.txn_commit") >= 1, "{delta:?}");
+        assert!(delta.counter("vfs.writes") >= 1, "{delta:?}");
+        assert!(delta.counter("vfs.fsyncs") >= 1, "{delta:?}");
+    }
+
+    #[test]
+    fn aborts_and_quarantines_surface_as_events() {
+        let dir = std::env::temp_dir().join(format!(
+            "dbpl-sess-obs-{}-{}",
+            std::process::id(),
+            SESSION_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Session::with_store_dir(&dir).unwrap();
+        let before = s.stats();
+        s.run("begin\nput(db, dynamic 1)\nabort").unwrap();
+        std::fs::write(dir.join("Evil.dyn"), b"\xFFnot a unit").unwrap();
+        let _ = s.run("intern('Evil')").unwrap_err();
+        let delta = s.stats().delta_since(&before);
+        assert!(delta.counter("events.txn_abort") >= 1, "{delta:?}");
+        assert!(delta.counter("events.quarantine") >= 1, "{delta:?}");
     }
 }
 

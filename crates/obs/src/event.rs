@@ -1,0 +1,325 @@
+//! Structured events and the pluggable sink they stream through.
+
+use crate::json_escape;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A structured observability event. The JSONL rendering of every
+/// variant is a stable, golden-tested schema: the `event` field names
+/// the variant in snake_case, and the remaining fields are fixed per
+/// variant — sinks may rely on field names and types not drifting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A transaction frame opened (implicit per-program or explicit
+    /// `begin`).
+    TxnBegin {
+        /// `true` for an explicit `begin`, `false` for the implicit
+        /// per-program frame.
+        explicit: bool,
+    },
+    /// A transaction committed durably.
+    TxnCommit {
+        /// The store's monotonically increasing transaction id.
+        txn_id: u64,
+        /// Number of extern handles written or removed by the commit.
+        externs: u64,
+        /// Whether the commit also carried intrinsic-store records.
+        intrinsic: bool,
+    },
+    /// A transaction frame rolled back (explicit `abort`, a failing
+    /// program, or a panic).
+    TxnAbort {
+        /// Why the frame was abandoned.
+        reason: String,
+    },
+    /// A commit passed its durability point but failed while applying
+    /// effects; the intent record will be rolled forward.
+    TxnInDoubt {
+        /// The in-doubt transaction id.
+        txn_id: u64,
+        /// The apply-phase error.
+        cause: String,
+    },
+    /// A pending intent was rolled forward to completion.
+    TxnRecovered {
+        /// The recovered transaction id.
+        txn_id: u64,
+    },
+    /// A damaged `.dyn` unit (or undecodable store position) was fenced
+    /// off rather than aborting the session.
+    Quarantine {
+        /// The handle or position that was quarantined.
+        handle: String,
+        /// The corruption error that triggered it.
+        reason: String,
+    },
+    /// A salvage-mode open skipped undecodable data and continued.
+    Salvage {
+        /// Units successfully loaded.
+        loaded: u64,
+        /// Units skipped as undecodable.
+        skipped: u64,
+    },
+    /// A transient I/O error was retried.
+    Retry {
+        /// The operation being retried.
+        op: String,
+        /// 1-based attempt number that failed.
+        attempt: u64,
+    },
+    /// The simulated VFS injected a fault (tests and crash sweeps).
+    FaultInjected {
+        /// The faulted operation.
+        op: String,
+        /// The fault kind (`"transient"` or `"crash"`).
+        kind: String,
+    },
+}
+
+impl Event {
+    /// The snake_case variant name used as the JSONL `event` field and
+    /// the `events.<kind>` counter suffix.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TxnBegin { .. } => "txn_begin",
+            Event::TxnCommit { .. } => "txn_commit",
+            Event::TxnAbort { .. } => "txn_abort",
+            Event::TxnInDoubt { .. } => "txn_in_doubt",
+            Event::TxnRecovered { .. } => "txn_recovered",
+            Event::Quarantine { .. } => "quarantine",
+            Event::Salvage { .. } => "salvage",
+            Event::Retry { .. } => "retry",
+            Event::FaultInjected { .. } => "fault_injected",
+        }
+    }
+
+    /// Render as one JSONL line (no trailing newline). Field order is
+    /// fixed: `event` first, then the variant's fields in declaration
+    /// order.
+    pub fn to_jsonl(&self) -> String {
+        let kind = self.kind();
+        match self {
+            Event::TxnBegin { explicit } => {
+                format!("{{\"event\":\"{kind}\",\"explicit\":{explicit}}}")
+            }
+            Event::TxnCommit {
+                txn_id,
+                externs,
+                intrinsic,
+            } => format!(
+                "{{\"event\":\"{kind}\",\"txn_id\":{txn_id},\"externs\":{externs},\"intrinsic\":{intrinsic}}}"
+            ),
+            Event::TxnAbort { reason } => format!(
+                "{{\"event\":\"{kind}\",\"reason\":\"{}\"}}",
+                json_escape(reason)
+            ),
+            Event::TxnInDoubt { txn_id, cause } => format!(
+                "{{\"event\":\"{kind}\",\"txn_id\":{txn_id},\"cause\":\"{}\"}}",
+                json_escape(cause)
+            ),
+            Event::TxnRecovered { txn_id } => {
+                format!("{{\"event\":\"{kind}\",\"txn_id\":{txn_id}}}")
+            }
+            Event::Quarantine { handle, reason } => format!(
+                "{{\"event\":\"{kind}\",\"handle\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(handle),
+                json_escape(reason)
+            ),
+            Event::Salvage { loaded, skipped } => format!(
+                "{{\"event\":\"{kind}\",\"loaded\":{loaded},\"skipped\":{skipped}}}"
+            ),
+            Event::Retry { op, attempt } => format!(
+                "{{\"event\":\"{kind}\",\"op\":\"{}\",\"attempt\":{attempt}}}",
+                json_escape(op)
+            ),
+            Event::FaultInjected { op, kind: fk } => format!(
+                "{{\"event\":\"{kind}\",\"op\":\"{}\",\"kind\":\"{}\"}}",
+                json_escape(op),
+                json_escape(fk)
+            ),
+        }
+    }
+}
+
+/// Where emitted events go. Implementations must be cheap and must not
+/// call back into [`emit`].
+pub trait EventSink: Send + Sync {
+    /// Receive one event.
+    fn emit(&self, event: &Event);
+}
+
+/// An in-memory sink that records every event it receives (tests,
+/// examples).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything received so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drop everything received so far.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+static SINK_ATTACHED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn EventSink>>> = RwLock::new(None);
+
+/// Attach the process-wide event sink (replacing any previous one).
+pub fn set_sink(sink: Arc<dyn EventSink>) {
+    *SINK.write() = Some(sink);
+    SINK_ATTACHED.store(true, Ordering::Release);
+}
+
+/// Detach the process-wide event sink.
+pub fn clear_sink() {
+    SINK_ATTACHED.store(false, Ordering::Release);
+    *SINK.write() = None;
+}
+
+/// Whether a sink is currently attached (fast relaxed load).
+pub fn sink_attached() -> bool {
+    SINK_ATTACHED.load(Ordering::Relaxed)
+}
+
+/// Emit one event: always bumps the `events.<kind>` counter in the
+/// [`global`](crate::global) registry, and forwards to the attached
+/// sink if there is one. With no sink attached this is one relaxed
+/// atomic load plus one counter increment.
+pub fn emit(event: Event) {
+    crate::global()
+        .counter(&format!("events.{}", event.kind()))
+        .inc();
+    if !SINK_ATTACHED.load(Ordering::Acquire) {
+        return;
+    }
+    if let Some(sink) = SINK.read().as_ref() {
+        sink.emit(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the process-wide sink (the test
+    /// binary runs tests on parallel threads).
+    static SINK_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn golden_jsonl_schema() {
+        // These exact strings are the contract with external sinks; a
+        // failure here means the event schema drifted.
+        let cases: Vec<(Event, &str)> = vec![
+            (
+                Event::TxnBegin { explicit: true },
+                r#"{"event":"txn_begin","explicit":true}"#,
+            ),
+            (
+                Event::TxnCommit {
+                    txn_id: 7,
+                    externs: 2,
+                    intrinsic: false,
+                },
+                r#"{"event":"txn_commit","txn_id":7,"externs":2,"intrinsic":false}"#,
+            ),
+            (
+                Event::TxnAbort {
+                    reason: "panic: \"boom\"".into(),
+                },
+                r#"{"event":"txn_abort","reason":"panic: \"boom\""}"#,
+            ),
+            (
+                Event::TxnInDoubt {
+                    txn_id: 9,
+                    cause: "apply failed".into(),
+                },
+                r#"{"event":"txn_in_doubt","txn_id":9,"cause":"apply failed"}"#,
+            ),
+            (
+                Event::TxnRecovered { txn_id: 9 },
+                r#"{"event":"txn_recovered","txn_id":9}"#,
+            ),
+            (
+                Event::Quarantine {
+                    handle: "H".into(),
+                    reason: "checksum mismatch".into(),
+                },
+                r#"{"event":"quarantine","handle":"H","reason":"checksum mismatch"}"#,
+            ),
+            (
+                Event::Salvage {
+                    loaded: 3,
+                    skipped: 1,
+                },
+                r#"{"event":"salvage","loaded":3,"skipped":1}"#,
+            ),
+            (
+                Event::Retry {
+                    op: "write_intent".into(),
+                    attempt: 2,
+                },
+                r#"{"event":"retry","op":"write_intent","attempt":2}"#,
+            ),
+            (
+                Event::FaultInjected {
+                    op: "sync_file".into(),
+                    kind: "transient".into(),
+                },
+                r#"{"event":"fault_injected","op":"sync_file","kind":"transient"}"#,
+            ),
+        ];
+        for (event, expected) in cases {
+            assert_eq!(event.to_jsonl(), expected, "schema drift for {event:?}");
+            let kind = event.kind();
+            assert!(
+                expected.contains(&format!("\"event\":\"{kind}\"")),
+                "kind/jsonl mismatch for {event:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn emit_reaches_sink_and_counts() {
+        let _guard = SINK_TEST_LOCK.lock().unwrap();
+        let sink = Arc::new(MemorySink::new());
+        set_sink(sink.clone());
+        let before = crate::global().counter("events.salvage").get();
+        emit(Event::Salvage {
+            loaded: 1,
+            skipped: 0,
+        });
+        clear_sink();
+        assert!(!sink_attached());
+        let got = sink.events();
+        assert!(got.contains(&Event::Salvage {
+            loaded: 1,
+            skipped: 0
+        }));
+        assert!(crate::global().counter("events.salvage").get() > before);
+        // After clearing, emits still count but do not reach the sink.
+        sink.clear();
+        emit(Event::Salvage {
+            loaded: 2,
+            skipped: 0,
+        });
+        assert!(sink.events().is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! # dbpl-obs — unified observability for the dbpl stack
+//!
+//! A zero-heavy-dependency observability layer shared by every crate in
+//! the workspace:
+//!
+//! * [`MetricsRegistry`] — named, relaxed-atomic [`Counter`]s and
+//!   fixed-bucket latency [`Histogram`]s, with a process-wide instance
+//!   behind [`global()`]. Hot paths cache their `Arc<Counter>` handle in
+//!   a `OnceLock` so steady-state cost is one relaxed atomic add.
+//! * [`span!`] — lightweight span timing: the returned guard records the
+//!   elapsed wall time into the `span.<name>` histogram when dropped.
+//! * [`Event`] / [`EventSink`] — structured events (transaction
+//!   lifecycle, quarantine, salvage, retries, injected faults) rendered
+//!   as stable JSONL. With no sink attached, [`emit`] costs one relaxed
+//!   atomic load plus one counter bump; attach a sink with [`set_sink`]
+//!   to stream events out of the process.
+//!
+//! The metric catalogue and the event schema are documented in
+//! `docs/OBSERVABILITY.md`; the JSONL field names and types are pinned
+//! by golden tests in this crate.
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod span;
+
+pub use event::{clear_sink, emit, set_sink, sink_attached, Event, EventSink, MemorySink};
+pub use metrics::{global, Counter, Histogram, HistogramSnapshot, MetricsRegistry, StatsSnapshot};
+pub use span::SpanGuard;
+
+/// Escape a string for inclusion in a JSON document (used by the
+/// hand-rolled JSON writers here and in the crates that serialize
+/// snapshots; the workspace deliberately carries no serde).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,76 @@
+//! Lightweight span timing: a drop guard that records elapsed wall time
+//! into a latency histogram.
+
+use crate::metrics::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A timing guard. Created by [`SpanGuard::enter`] (or the [`span!`]
+/// macro); records the elapsed microseconds into the `span.<name>`
+/// histogram of the global registry when dropped.
+///
+/// [`span!`]: crate::span!
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Start timing the span `name` against the global registry.
+    pub fn enter(name: &str) -> SpanGuard {
+        SpanGuard {
+            hist: crate::global().histogram(&format!("span.{name}")),
+            start: Instant::now(),
+        }
+    }
+
+    /// Start timing against an explicit histogram (tests).
+    pub fn with_histogram(hist: Arc<Histogram>) -> SpanGuard {
+        SpanGuard {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.hist.record_us(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// Time the enclosing scope: `let _span = span!("join.partition");`
+/// records into the `span.join.partition` histogram when the guard
+/// drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _g = SpanGuard::with_histogram(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_macro_hits_global_histogram() {
+        let name = "obs.test.span_macro";
+        let h = crate::global().histogram(&format!("span.{name}"));
+        let before = h.count();
+        {
+            let _g = span!(name);
+        }
+        assert_eq!(h.count(), before + 1);
+    }
+}

@@ -36,7 +36,7 @@
 use crate::error::PersistError;
 use crate::format::{self, Reader};
 use crate::log::LogFile;
-use crate::vfs::{retry_io, StdVfs, Vfs};
+use crate::vfs::{retry_io, CountingVfs, StdVfs, Vfs};
 use dbpl_types::Type;
 use dbpl_values::{Heap, Oid, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -202,7 +202,7 @@ impl IntrinsicStore {
     /// Open (or create) a store backed by the log at `path`, recovering
     /// committed state. A torn tail (crash mid-commit) is truncated away.
     pub fn open(path: impl AsRef<Path>) -> Result<IntrinsicStore, PersistError> {
-        IntrinsicStore::open_with(Arc::new(StdVfs), path)
+        IntrinsicStore::open_with(Arc::new(CountingVfs::new(StdVfs)), path)
     }
 
     /// Open through an explicit [`Vfs`].
@@ -273,7 +273,7 @@ impl IntrinsicStore {
     pub fn open_salvage(
         path: impl AsRef<Path>,
     ) -> Result<(IntrinsicStore, SalvageReport), PersistError> {
-        IntrinsicStore::open_salvage_with(Arc::new(StdVfs), path)
+        IntrinsicStore::open_salvage_with(Arc::new(CountingVfs::new(StdVfs)), path)
     }
 
     /// Salvage through an explicit [`Vfs`].

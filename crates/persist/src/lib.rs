@@ -37,6 +37,7 @@ pub mod evolution;
 pub mod format;
 pub mod intrinsic;
 pub mod log;
+mod metrics;
 pub mod namespace;
 pub mod replicating;
 pub mod sim;
@@ -53,4 +54,4 @@ pub use namespace::{NamespaceManager, Visibility};
 pub use replicating::{QuarantineEntry, QuarantineReport, ReplicatingStore};
 pub use snapshot::Image;
 pub use txn::{commit_multi, pending_intent, recover_pending, Intent};
-pub use vfs::{FaultPlan, RetryPolicy, SimVfs, StdVfs, Vfs};
+pub use vfs::{CountingVfs, FaultPlan, RetryPolicy, SimVfs, StdVfs, Vfs};

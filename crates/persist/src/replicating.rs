@@ -28,7 +28,7 @@
 use crate::crc::fnv1a64;
 use crate::error::PersistError;
 use crate::format;
-use crate::vfs::{retry_io, StdVfs, Vfs};
+use crate::vfs::{retry_io, CountingVfs, StdVfs, Vfs};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -82,7 +82,7 @@ fn is_safe_char(c: char) -> bool {
 impl ReplicatingStore {
     /// Open (creating) a store rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<ReplicatingStore, PersistError> {
-        ReplicatingStore::open_with(Arc::new(StdVfs), dir)
+        ReplicatingStore::open_with(Arc::new(CountingVfs::new(StdVfs)), dir)
     }
 
     /// Open through an explicit [`Vfs`].
@@ -108,7 +108,7 @@ impl ReplicatingStore {
     pub fn open_salvage(
         dir: impl AsRef<Path>,
     ) -> Result<(ReplicatingStore, QuarantineReport), PersistError> {
-        ReplicatingStore::open_salvage_with(Arc::new(StdVfs), dir)
+        ReplicatingStore::open_salvage_with(Arc::new(CountingVfs::new(StdVfs)), dir)
     }
 
     /// Salvage-open through an explicit [`Vfs`].

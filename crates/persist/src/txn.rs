@@ -179,7 +179,9 @@ pub fn commit_multi(
     // cannot stall the commit past its deadline. Once write_intent
     // returns, we are past the durability point and must finish.
     let encoded = intent.encode();
-    match policy.run(|| log::write_intent(&**store.vfs(), &path, &encoded).map_err(to_io)) {
+    match policy.run_named("write_intent", || {
+        log::write_intent(&**store.vfs(), &path, &encoded).map_err(to_io)
+    }) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
             return Err(PersistError::DeadlineExceeded)
@@ -191,12 +193,26 @@ pub fn commit_multi(
     // intent is durable and recovery will redo it — so it is reported as
     // `InDoubt`, never as a plain error a caller could mistake for a
     // pre-durability abort.
-    apply_intent_effects(intrinsic, intrinsic_dirty, store, externs, &path).map_err(|cause| {
-        PersistError::InDoubt {
-            txn_id: intent.txn_id,
-            cause: Box::new(cause),
+    match apply_intent_effects(intrinsic, intrinsic_dirty, store, externs, &path) {
+        Ok(txn) => {
+            dbpl_obs::emit(dbpl_obs::Event::TxnCommit {
+                txn_id: intent.txn_id,
+                externs: externs.len() as u64,
+                intrinsic: intrinsic_dirty,
+            });
+            Ok(txn)
         }
-    })
+        Err(cause) => {
+            dbpl_obs::emit(dbpl_obs::Event::TxnInDoubt {
+                txn_id: intent.txn_id,
+                cause: cause.to_string(),
+            });
+            Err(PersistError::InDoubt {
+                txn_id: intent.txn_id,
+                cause: Box::new(cause),
+            })
+        }
+    }
 }
 
 /// The apply phase of a commit, after its intent became durable.
@@ -285,6 +301,9 @@ pub fn recover_pending(
         }
     }
     log::clear_intent(&**store.vfs(), &path)?;
+    dbpl_obs::emit(dbpl_obs::Event::TxnRecovered {
+        txn_id: intent.txn_id,
+    });
     Ok(Some(intent.txn_id))
 }
 

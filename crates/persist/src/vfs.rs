@@ -109,10 +109,19 @@ impl RetryPolicy {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
-    /// Run `f` under this policy.
-    pub fn run<T>(&self, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    /// Run `f` under this policy. Retries count into `io.retries` and
+    /// emit a generic `retry` event (op `"io"`); use
+    /// [`RetryPolicy::run_named`] where a meaningful operation name is
+    /// available.
+    pub fn run<T>(&self, f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        self.run_named("io", f)
+    }
+
+    /// [`RetryPolicy::run`] with an operation name attached to the
+    /// retry events it emits.
+    pub fn run_named<T>(&self, op: &str, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
         let mut delay = self.base_delay;
-        for _ in 1..self.max_attempts {
+        for attempt in 1..self.max_attempts {
             if self.expired() {
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
@@ -121,6 +130,11 @@ impl RetryPolicy {
             }
             match f() {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    crate::metrics::io_retries().inc();
+                    dbpl_obs::emit(dbpl_obs::Event::Retry {
+                        op: op.to_string(),
+                        attempt: attempt as u64,
+                    });
                     std::thread::sleep(delay);
                     delay *= 2;
                 }
@@ -246,6 +260,98 @@ impl Vfs for StdVfs {
 }
 
 // ---------------------------------------------------------------------------
+// CountingVfs
+// ---------------------------------------------------------------------------
+
+/// A [`Vfs`] wrapper that counts operations into the global
+/// [`dbpl_obs`] registry — `vfs.reads` / `vfs.writes` / `vfs.fsyncs`
+/// (file and directory syncs) / `vfs.renames` — then delegates to the
+/// wrapped implementation. Cheap enough for production: one relaxed
+/// atomic add per counted operation, nothing on the uncounted ones.
+/// The default store opens wrap [`StdVfs`] in this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingVfs<V: Vfs = StdVfs> {
+    inner: V,
+}
+
+impl<V: Vfs> CountingVfs<V> {
+    /// Wrap `inner`, counting its operations.
+    pub fn new(inner: V) -> CountingVfs<V> {
+        CountingVfs { inner }
+    }
+}
+
+/// A file handle whose writes and data syncs are counted.
+struct CountingFile(Box<dyn VfsFile>);
+
+impl VfsFile for CountingFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        crate::metrics::vfs_writes().inc();
+        self.0.write_all(data)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        crate::metrics::vfs_fsyncs().inc();
+        self.0.sync_data()
+    }
+}
+
+impl<V: Vfs> Vfs for CountingVfs<V> {
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(CountingFile(self.inner.open_append(path)?)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        crate::metrics::vfs_reads().inc();
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        crate::metrics::vfs_writes().inc();
+        self.inner.write(path, data)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        crate::metrics::vfs_fsyncs().inc();
+        self.inner.sync_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        crate::metrics::vfs_fsyncs().inc();
+        self.inner.sync_dir(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        crate::metrics::vfs_renames().inc();
+        self.inner.rename(from, to)
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.set_len(path, len)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.read_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.len(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Deterministic fault injection
 // ---------------------------------------------------------------------------
 
@@ -317,19 +423,33 @@ impl SimState {
     /// Account for one operation; inject planned faults. Returns
     /// `Ok(torn_len)` where `torn_len` is `Some(prefix)` if this very
     /// operation is a write that must tear before the crash.
-    fn enter_op(&mut self, write_len: Option<usize>) -> io::Result<Option<usize>> {
+    fn enter_op(
+        &mut self,
+        op: &'static str,
+        write_len: Option<usize>,
+    ) -> io::Result<Option<usize>> {
         if self.crashed {
             return Err(err_crashed());
         }
         self.ops += 1;
         if let Some(n) = self.plan.transient_one_in {
             if n > 0 && splitmix64(self.plan.seed ^ self.ops).is_multiple_of(n) {
+                crate::metrics::faults_injected().inc();
+                dbpl_obs::emit(dbpl_obs::Event::FaultInjected {
+                    op: op.to_string(),
+                    kind: "transient".to_string(),
+                });
                 // Fails before any side effect: retrying is always safe.
                 return Err(err_transient());
             }
         }
         if self.plan.crash_at_op == Some(self.ops) {
             self.crashed = true;
+            crate::metrics::faults_injected().inc();
+            dbpl_obs::emit(dbpl_obs::Event::FaultInjected {
+                op: op.to_string(),
+                kind: "crash".to_string(),
+            });
             if let Some(len) = write_len {
                 // Tear the in-flight write: an arbitrary, seed-chosen
                 // prefix of it reaches the disk cache.
@@ -432,7 +552,7 @@ struct SimFile {
 impl VfsFile for SimFile {
     fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
         let mut s = self.state.lock();
-        match s.enter_op(Some(data.len()))? {
+        match s.enter_op("append", Some(data.len()))? {
             Some(keep) => {
                 let inode = self.inode;
                 s.inodes[inode].bytes.extend_from_slice(&data[..keep]);
@@ -451,7 +571,7 @@ impl VfsFile for SimFile {
 
     fn sync_data(&mut self) -> io::Result<()> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("sync_data", None)?;
         let inode = self.inode;
         s.inodes[inode].synced = s.inodes[inode].bytes.clone();
         Ok(())
@@ -465,7 +585,7 @@ fn parent_of(path: &Path) -> PathBuf {
 impl Vfs for SimVfs {
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("open_append", None)?;
         let inode = s.inode_for(path);
         Ok(Box::new(SimFile {
             state: Arc::clone(&self.state),
@@ -475,7 +595,7 @@ impl Vfs for SimVfs {
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("read", None)?;
         match s.current.get(path) {
             Some(&i) => Ok(s.inodes[i].bytes.clone()),
             None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
@@ -484,7 +604,7 @@ impl Vfs for SimVfs {
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         let mut s = self.state.lock();
-        match s.enter_op(Some(data.len()))? {
+        match s.enter_op("write", Some(data.len()))? {
             Some(keep) => {
                 let inode = s.inode_for(path);
                 s.inodes[inode].bytes = data[..keep].to_vec();
@@ -503,7 +623,7 @@ impl Vfs for SimVfs {
 
     fn sync_file(&self, path: &Path) -> io::Result<()> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("sync_file", None)?;
         match s.current.get(path).copied() {
             Some(i) => {
                 s.inodes[i].synced = s.inodes[i].bytes.clone();
@@ -515,7 +635,7 @@ impl Vfs for SimVfs {
 
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("sync_dir", None)?;
         // Promote this directory's slice of the namespace to durable:
         // creates, renames and removes under it now survive a crash.
         let in_dir: Vec<(PathBuf, usize)> = s
@@ -531,7 +651,7 @@ impl Vfs for SimVfs {
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("rename", None)?;
         match s.current.remove(from) {
             Some(i) => {
                 s.current.insert(to.to_path_buf(), i);
@@ -546,7 +666,7 @@ impl Vfs for SimVfs {
 
     fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("set_len", None)?;
         match s.current.get(path).copied() {
             Some(i) => {
                 s.inodes[i].bytes.resize(len as usize, 0);
@@ -558,7 +678,7 @@ impl Vfs for SimVfs {
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("remove_file", None)?;
         match s.current.remove(path) {
             Some(_) => Ok(()),
             None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
@@ -567,7 +687,7 @@ impl Vfs for SimVfs {
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("create_dir_all", None)?;
         // Directory creation is modelled as immediately durable; the
         // interesting crash windows are all on files within.
         s.dirs.insert(path.to_path_buf());
@@ -576,7 +696,7 @@ impl Vfs for SimVfs {
 
     fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("read_dir", None)?;
         Ok(s.current
             .keys()
             .filter(|p| parent_of(p) == *path)
@@ -591,7 +711,7 @@ impl Vfs for SimVfs {
 
     fn len(&self, path: &Path) -> io::Result<u64> {
         let mut s = self.state.lock();
-        s.enter_op(None)?;
+        s.enter_op("len", None)?;
         match s.current.get(path) {
             Some(&i) => Ok(s.inodes[i].bytes.len() as u64),
             None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),

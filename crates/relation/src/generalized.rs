@@ -186,8 +186,14 @@ impl GenRelation {
         strategy: JoinStrategy,
     ) -> GenRelation {
         let out = match strategy {
-            JoinStrategy::Nested => join_pairs_nested(&self.rows, &other.rows),
-            JoinStrategy::Partitioned => join_pairs_partitioned(&self.rows, &other.rows),
+            JoinStrategy::Nested => {
+                crate::metrics::strategy_nested().inc();
+                join_pairs_nested(&self.rows, &other.rows)
+            }
+            JoinStrategy::Partitioned => {
+                crate::metrics::strategy_partitioned().inc();
+                join_pairs_partitioned(&self.rows, &other.rows)
+            }
         };
         let rows = match reduction {
             Reduction::Maximal => reduce_maximal(out),
@@ -423,14 +429,18 @@ fn join_pairs_nested(a: &[Value], b: &[Value]) -> Vec<Value> {
 /// products: `partial_a × b` plus `keyed_a × partial_b` (the
 /// `partial × partial` pairs are covered exactly once, by the first).
 fn join_pairs_partitioned(a: &[Value], b: &[Value]) -> Vec<Value> {
+    let _span = dbpl_obs::span!("join.partition");
     let key = partition_key(a, b);
     if key.is_empty() {
         // No shared ground path: nothing can be pruned, but a large pair
         // product still parallelizes.
+        crate::metrics::fallback_rows().add((a.len() + b.len()) as u64);
         return run_products(vec![(a.iter().collect(), b.iter().collect())]);
     }
     let (keyed_a, partial_a) = bucket(a, &key);
     let (keyed_b, partial_b) = bucket(b, &key);
+    crate::metrics::partition_buckets().add((keyed_a.len() + keyed_b.len()) as u64);
+    crate::metrics::fallback_rows().add((partial_a.len() + partial_b.len()) as u64);
     let mut products: Vec<Product> = Vec::new();
     for (k, rows_a) in &keyed_a {
         if let Some(rows_b) = keyed_b.get(k) {
@@ -472,12 +482,14 @@ fn run_products(products: Vec<Product>) -> Vec<Value> {
         .unwrap_or(1)
         .min(8);
     if work < PAR_JOIN_CUTOFF || workers <= 1 {
+        crate::metrics::products_serial().add(products.len() as u64);
         let mut out = Vec::new();
         for (l, r) in &products {
             join_product(l, r, &mut out);
         }
         return out;
     }
+    crate::metrics::products_parallel().add(products.len() as u64);
     let target = work.div_ceil(workers).max(1);
     let mut pieces: Vec<Product> = Vec::new();
     for (l, r) in products {
@@ -555,6 +567,36 @@ mod tests {
 
     fn rec(pairs: &[(&str, Value)]) -> Value {
         Value::record(pairs.iter().map(|(l, v)| (l.to_string(), v.clone())))
+    }
+
+    #[test]
+    fn join_counters_record_strategy_buckets_and_fallback() {
+        // Other tests in this binary also join concurrently; assert on
+        // deltas with >=, never ==.
+        let g = dbpl_obs::global();
+        let s0 = g.counter("join.strategy.partitioned").get();
+        let b0 = g.counter("join.partitioned.buckets").get();
+        let f0 = g.counter("join.partitioned.fallback_rows").get();
+        let a = GenRelation::from_values([
+            rec(&[("K", Value::Int(1)), ("X", Value::Int(10))]),
+            rec(&[("K", Value::Int(2)), ("X", Value::Int(20))]),
+            rec(&[("X", Value::Int(30))]), // partial on the key: fallback
+        ]);
+        let b = GenRelation::from_values([
+            rec(&[("K", Value::Int(1)), ("Y", Value::Int(100))]),
+            rec(&[("K", Value::Int(2)), ("Y", Value::Int(200))]),
+        ]);
+        let j = a.natural_join_strategy(&b, Reduction::Maximal, JoinStrategy::Partitioned);
+        assert!(!j.is_empty());
+        assert!(g.counter("join.strategy.partitioned").get() - s0 >= 1);
+        assert!(
+            g.counter("join.partitioned.buckets").get() - b0 >= 4,
+            "two keyed buckets per side"
+        );
+        assert!(
+            g.counter("join.partitioned.fallback_rows").get() - f0 >= 1,
+            "the key-partial row is counted as fallback"
+        );
     }
 
     #[test]

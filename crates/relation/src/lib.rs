@@ -27,6 +27,7 @@ pub mod fd;
 pub mod fixtures;
 pub mod flat;
 pub mod generalized;
+mod metrics;
 
 pub use algebra::{Catalog, CmpOp, Pred, RelExpr};
 pub use convert::{to_flat, to_generalized};

@@ -26,11 +26,35 @@
 //! `Get`s over one shared database both benefit from and populate one
 //! table. Hit/miss counters are relaxed atomics; `misses()` counts actual
 //! structural walks, which is what the extent micro-benchmarks assert on.
+//!
+//! ## Per-epoch vs lifetime counters
+//!
+//! The atomics on each cache instance are **per-epoch**: every env
+//! mutation swaps in a fresh cache, so `hits()`/`misses()` restart at
+//! zero. Long-session ratios therefore also accumulate into the global
+//! [`dbpl_obs`] registry (`subtype.cache.hits` / `subtype.cache.misses`)
+//! at lookup time, which survives epoch bumps. Accumulating per lookup —
+//! rather than flushing a cache's totals when it is replaced — is
+//! deliberate: clones of an env share one `Arc`'d cache, so a flush at
+//! replacement time would double-count every shared cache.
 
 use crate::ty::Type;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Cached handle to the lifetime `subtype.cache.hits` counter.
+fn lifetime_hits() -> &'static dbpl_obs::Counter {
+    static C: OnceLock<Arc<dbpl_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| dbpl_obs::global().counter("subtype.cache.hits"))
+}
+
+/// Cached handle to the lifetime `subtype.cache.misses` counter.
+fn lifetime_misses() -> &'static dbpl_obs::Counter {
+    static C: OnceLock<Arc<dbpl_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| dbpl_obs::global().counter("subtype.cache.misses"))
+}
 
 /// Entries beyond this bound trigger a wholesale clear: the memo table is
 /// a cache, not a leak. Real workloads have a few hundred distinct pairs.
@@ -58,8 +82,14 @@ impl SubtypeCache {
             .get(&(sub.clone(), sup.clone()))
             .copied();
         match v {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                lifetime_hits().inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                lifetime_misses().inc();
+            }
         };
         v
     }
@@ -130,6 +160,38 @@ mod tests {
         }
         assert!(c.len() <= MAX_ENTRIES);
         assert_eq!(c.lookup(&Type::named("T7"), &Type::Top), Some(true));
+    }
+
+    #[test]
+    fn lifetime_counters_survive_epoch_bumps() {
+        use crate::subtype::is_subtype;
+        use crate::TypeEnv;
+        // Other tests in this binary also hit the global counters, so
+        // assert on deltas with >=, never ==.
+        let g = dbpl_obs::global();
+        let h0 = g.counter("subtype.cache.hits").get();
+        let m0 = g.counter("subtype.cache.misses").get();
+        let mut env = TypeEnv::new();
+        let sub = Type::record([("a", Type::Int), ("b", Type::Int)]);
+        let sup = Type::record([("a", Type::Int)]);
+        assert!(is_subtype(&sub, &sup, &env)); // miss, then memoized
+        assert!(is_subtype(&sub, &sup, &env)); // hit
+        assert!(env.subtype_cache().hits() >= 1);
+        env.declare("FreshEpochMarker", Type::Int).unwrap();
+        assert_eq!(
+            env.subtype_cache().hits(),
+            0,
+            "per-epoch counters reset on mutation"
+        );
+        assert!(is_subtype(&sub, &sup, &env)); // miss in the new epoch
+        assert!(
+            g.counter("subtype.cache.hits").get() - h0 >= 1,
+            "lifetime hits accumulate in the registry"
+        );
+        assert!(
+            g.counter("subtype.cache.misses").get() - m0 >= 2,
+            "lifetime misses accumulate across epoch bumps"
+        );
     }
 
     #[test]

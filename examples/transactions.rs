@@ -5,14 +5,21 @@
 //! Run with `cargo run --example transactions`.
 
 use dbpl::lang::Session;
+use dbpl::obs::{self, MemorySink};
 use dbpl::types::Type;
 use dbpl::values::Value;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("dbpl-txn-demo-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir)?;
+
+    // Every transaction below also streams structured events into this
+    // sink; the tail of the demo prints the JSONL log it collected.
+    let sink = Arc::new(MemorySink::new());
+    obs::set_sink(sink.clone());
 
     // ---------- 1. every program is a transaction ----------
     println!("== implicit per-program atomicity");
@@ -100,6 +107,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for e in &s.quarantine_report().entries {
         println!("   quarantined: {} ({})", e.handle, e.cause);
     }
+
+    // ---------- 7. the event log the sink collected ----------
+    println!("\n== structured event log (JSONL)");
+    obs::clear_sink();
+    let events = sink.events();
+    for e in &events {
+        println!("   {}", e.to_jsonl());
+    }
+    assert!(
+        events.iter().any(|e| e.kind() == "txn_commit"),
+        "the demo committed, so the sink must have heard about it"
+    );
+    assert!(
+        events.iter().any(|e| e.kind() == "quarantine"),
+        "the corruption above must surface as a quarantine event"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())

@@ -23,7 +23,9 @@
 //!   key constraints, the bill-of-materials memoization;
 //! * [`lang`] — MiniDBPL, a small statically-typed database programming
 //!   language exercising all of it;
-//! * [`models`] — executable models of the five surveyed languages.
+//! * [`models`] — executable models of the five surveyed languages;
+//! * [`obs`] — unified observability: the metrics registry, span timing,
+//!   and structured event sinks every layer above reports into.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@
 pub use dbpl_core as core;
 pub use dbpl_lang as lang;
 pub use dbpl_models as models;
+pub use dbpl_obs as obs;
 pub use dbpl_persist as persist;
 pub use dbpl_relation as relation;
 pub use dbpl_types as types;
