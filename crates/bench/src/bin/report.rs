@@ -257,6 +257,13 @@ fn main() {
         .iter()
         .position(|a| a == "--stats-out")
         .map(|i| args.get(i + 1).expect("--stats-out needs a path").clone());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+    if trace_out.is_some() {
+        dbpl_obs::trace::enable(1 << 16);
+    }
     let mut stats: Option<Vec<String>> = stats_out.as_ref().map(|_| Vec::new());
     let write_stats = |stats: &Option<Vec<String>>| {
         if let (Some(path), Some(lines)) = (&stats_out, stats) {
@@ -266,11 +273,25 @@ fn main() {
             println!("(per-phase metric deltas written to {path})");
         }
     };
+    let write_trace = |trace_out: &Option<String>| {
+        if let Some(path) = trace_out {
+            let spans = dbpl_obs::trace::buffered();
+            let json = dbpl_obs::trace::export_chrome(&spans);
+            dbpl_obs::trace::disable();
+            dbpl_obs::trace::clear();
+            std::fs::write(path, json).expect("write --trace-out");
+            println!(
+                "({} spans written to {path} — open in chrome://tracing or ui.perfetto.dev)",
+                spans.len()
+            );
+        }
+    };
     if smoke {
         println!("# Bench smoke — fast paths vs naive baselines (tiny sizes)\n");
         phase("fast_paths", &mut stats, || fast_paths(true));
         phase("txn_commit", &mut stats, || txn_commit(true));
         write_stats(&stats);
+        write_trace(&trace_out);
         println!("bench-smoke OK: all fast paths agree with their naive baselines");
         return;
     }
@@ -503,5 +524,6 @@ fn main() {
         lines.push(stats_line("experiments", &delta));
     }
     write_stats(&stats);
+    write_trace(&trace_out);
     println!("\n(regenerate with `cargo run -p dbpl-bench --release --bin report`)");
 }

@@ -1,0 +1,147 @@
+//! Structural checker for `report --trace-out` output: parses the Chrome
+//! trace-event JSON and asserts the invariants CI relies on — exits
+//! nonzero with a message on the first violation. Run as
+//! `cargo run -p dbpl-bench --bin trace_check -- target/trace.json`.
+//!
+//! Checks:
+//! * the file is a JSON array of complete events (`"ph":"X"`) with the
+//!   required fields (`name`, `ts`, `dur`, `pid`, `tid`, `args` with
+//!   `trace_id`/`span_id`/`parent_id`);
+//! * `span_id`s are unique and every non-null `parent_id` either resolves
+//!   to an event in the file or its trace has suffered ring eviction
+//!   (parents may be evicted before children — oldest-first drop);
+//! * resolvable children nest inside their parent's `[ts, ts+dur]`;
+//! * the instrumented stages actually fired: at least one `get`, one
+//!   `join`, and one `txn.commit` span each with at least one child.
+
+use dbpl_obs::json::{self, Json};
+use std::collections::{HashMap, HashSet};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check FAILED: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => return fail("usage: trace_check <trace.json>"),
+    };
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match json::parse(&body) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+    };
+    let events = match doc.as_array() {
+        Some(a) => a,
+        None => return fail("top level is not a JSON array"),
+    };
+    if events.is_empty() {
+        return fail("trace contains no events");
+    }
+
+    struct Ev {
+        name: String,
+        ts: u64,
+        dur: u64,
+        span_id: u64,
+        parent_id: Option<u64>,
+    }
+    let mut evs: Vec<Ev> = Vec::with_capacity(events.len());
+    for (i, e) in events.iter().enumerate() {
+        let field = |k: &str| -> Option<&Json> { e.get(k) };
+        let name = match field("name").and_then(Json::as_str) {
+            Some(n) => n.to_string(),
+            None => return fail(&format!("event {i} has no string `name`")),
+        };
+        if field("ph").and_then(Json::as_str) != Some("X") {
+            return fail(&format!("event {i} ({name}) is not a complete event"));
+        }
+        let (Some(ts), Some(dur), Some(_pid), Some(_tid)) = (
+            field("ts").and_then(Json::as_u64),
+            field("dur").and_then(Json::as_u64),
+            field("pid").and_then(Json::as_u64),
+            field("tid").and_then(Json::as_u64),
+        ) else {
+            return fail(&format!("event {i} ({name}) lacks ts/dur/pid/tid"));
+        };
+        let args = match field("args") {
+            Some(a) => a,
+            None => return fail(&format!("event {i} ({name}) has no args")),
+        };
+        let (Some(_trace_id), Some(span_id)) = (
+            args.get("trace_id").and_then(Json::as_u64),
+            args.get("span_id").and_then(Json::as_u64),
+        ) else {
+            return fail(&format!("event {i} ({name}) args lack trace_id/span_id"));
+        };
+        let parent_id = match args.get("parent_id") {
+            Some(p) if p.is_null() => None,
+            Some(p) => match p.as_u64() {
+                Some(v) => Some(v),
+                None => return fail(&format!("event {i} ({name}) parent_id is not a number")),
+            },
+            None => return fail(&format!("event {i} ({name}) args lack parent_id")),
+        };
+        evs.push(Ev {
+            name,
+            ts,
+            dur,
+            span_id,
+            parent_id,
+        });
+    }
+
+    let mut by_id: HashMap<u64, &Ev> = HashMap::new();
+    for e in &evs {
+        if by_id.insert(e.span_id, e).is_some() {
+            return fail(&format!("duplicate span_id {}", e.span_id));
+        }
+    }
+    let mut orphans = 0usize;
+    for e in &evs {
+        if let Some(pid) = e.parent_id {
+            let Some(p) = by_id.get(&pid) else {
+                // The bounded ring drops oldest-first, so a parent can be
+                // evicted while its child survives. Tolerated, but counted.
+                orphans += 1;
+                continue;
+            };
+            if e.ts < p.ts || e.ts + e.dur > p.ts + p.dur {
+                return fail(&format!(
+                    "span {} ({}) [{}..{}] escapes its parent {} ({}) [{}..{}]",
+                    e.span_id,
+                    e.name,
+                    e.ts,
+                    e.ts + e.dur,
+                    p.span_id,
+                    p.name,
+                    p.ts,
+                    p.ts + p.dur,
+                ));
+            }
+        }
+    }
+
+    // The stages the report exercises must be present, with structure.
+    let with_children: HashSet<u64> = evs.iter().filter_map(|e| e.parent_id).collect();
+    for want in ["get", "join", "txn.commit"] {
+        let found = evs
+            .iter()
+            .any(|e| e.name == want && with_children.contains(&e.span_id));
+        if !found {
+            return fail(&format!("no `{want}` span with children in the trace"));
+        }
+    }
+
+    println!(
+        "trace_check OK: {} events, {} orphaned by ring eviction, nesting and required stages verified",
+        evs.len(),
+        orphans
+    );
+    ExitCode::SUCCESS
+}

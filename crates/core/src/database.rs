@@ -47,6 +47,19 @@ pub enum GetStrategy {
     ParScan,
 }
 
+impl GetStrategy {
+    /// The snake_case name used in metrics, span attributes, and
+    /// `explain`/`explainAnalyze` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            GetStrategy::Scan => "scan",
+            GetStrategy::CachedScan => "cached_scan",
+            GetStrategy::TypedLists => "typed_lists",
+            GetStrategy::ParScan => "par_scan",
+        }
+    }
+}
+
 /// A database: types + heterogeneous values + optional extents + keys.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
@@ -203,32 +216,57 @@ impl Database {
     /// costs (measured by E1). Quarantined elements are skipped by every
     /// strategy — a damaged element degrades the result, never the query.
     pub fn get_with(&self, bound: &Type, strategy: GetStrategy) -> Vec<ExistsPkg> {
+        let mut root = dbpl_obs::span!("get");
+        root.set_attr("strategy", strategy.name());
         crate::metrics::strategy_counter(strategy).inc();
         // Fast path: no quarantine, scan the store as-is.
         let filtered;
-        let dynamics: &[DynValue] = if self.quarantined_positions.is_empty() {
-            &self.dynamics
-        } else {
-            filtered = self.healthy_dynamics();
-            &filtered
+        let dynamics: &[DynValue] = {
+            let mut plan = dbpl_obs::span!("get.plan");
+            plan.set_attr("store_rows", self.dynamics.len());
+            plan.set_attr("quarantined", self.quarantined_positions.len());
+            if self.quarantined_positions.is_empty() {
+                &self.dynamics
+            } else {
+                filtered = self.healthy_dynamics();
+                &filtered
+            }
         };
         let out = match strategy {
-            GetStrategy::Scan => scan_get(dynamics, bound, &self.env),
-            GetStrategy::CachedScan => scan_get_cached(dynamics, bound, &self.env),
-            GetStrategy::ParScan => scan_get_par(dynamics, bound, &self.env),
-            GetStrategy::TypedLists => self
-                .index
-                .query(bound, &self.env)
-                .into_iter()
-                .filter(|i| !self.quarantined_positions.contains(i))
-                .map(|i| {
-                    let d = &self.dynamics[i];
-                    // Index membership *is* the `witness ≤ bound`
-                    // judgement, so no per-element re-verification.
-                    ExistsPkg::seal_trusted(d.ty.clone(), d.value.clone(), bound.clone())
-                })
-                .collect(),
+            GetStrategy::Scan | GetStrategy::CachedScan | GetStrategy::ParScan => {
+                let mut scan = dbpl_obs::span!("get.scan");
+                scan.set_attr("rows_in", dynamics.len());
+                let out = match strategy {
+                    GetStrategy::Scan => scan_get(dynamics, bound, &self.env),
+                    GetStrategy::CachedScan => scan_get_cached(dynamics, bound, &self.env),
+                    _ => scan_get_par(dynamics, bound, &self.env),
+                };
+                scan.set_attr("rows_out", out.len());
+                out
+            }
+            GetStrategy::TypedLists => {
+                let candidates = {
+                    let mut index = dbpl_obs::span!("get.index");
+                    let candidates = self.index.query(bound, &self.env);
+                    index.set_attr("candidates", candidates.len());
+                    candidates
+                };
+                let mut seal = dbpl_obs::span!("get.seal");
+                let out: Vec<ExistsPkg> = candidates
+                    .into_iter()
+                    .filter(|i| !self.quarantined_positions.contains(i))
+                    .map(|i| {
+                        let d = &self.dynamics[i];
+                        // Index membership *is* the `witness ≤ bound`
+                        // judgement, so no per-element re-verification.
+                        ExistsPkg::seal_trusted(d.ty.clone(), d.value.clone(), bound.clone())
+                    })
+                    .collect();
+                seal.set_attr("rows_out", out.len());
+                out
+            }
         };
+        root.set_attr("rows_out", out.len());
         crate::metrics::rows_sealed().add(out.len() as u64);
         out
     }

@@ -195,14 +195,37 @@ pub fn scan_get_par(dynamics: &[DynValue], bound: &Type, env: &TypeEnv) -> Vec<E
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8);
+    scan_get_par_workers(dynamics, bound, env, workers)
+}
+
+/// [`scan_get_par`] with an explicit worker count instead of the detected
+/// parallelism — the ablation/testing hook (a single-core machine can
+/// still exercise the fan-out). Falls back to sequential below the cutoff
+/// or with fewer than two workers.
+pub fn scan_get_par_workers(
+    dynamics: &[DynValue],
+    bound: &Type,
+    env: &TypeEnv,
+    workers: usize,
+) -> Vec<ExistsPkg> {
     if dynamics.len() < PAR_SCAN_CUTOFF || workers <= 1 {
         return scan_get_cached(dynamics, bound, env);
     }
     let chunk = dynamics.len().div_ceil(workers);
+    // Capture the tracing context before the fan-out so worker spans hang
+    // off the enclosing `get` tree instead of starting orphan traces.
+    let ctx = dbpl_obs::trace::current();
     std::thread::scope(|s| {
         let handles: Vec<_> = dynamics
             .chunks(chunk)
-            .map(|c| s.spawn(move || scan_get_cached(c, bound, env)))
+            .map(|c| {
+                s.spawn(move || {
+                    let _ctx = dbpl_obs::trace::adopt(ctx);
+                    let mut sp = dbpl_obs::span!("get.scan.worker");
+                    sp.set_attr("rows_in", c.len());
+                    scan_get_cached(c, bound, env)
+                })
+            })
             .collect();
         handles
             .into_iter()

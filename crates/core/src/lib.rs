@@ -35,7 +35,8 @@ pub use database::{Database, GetStrategy};
 pub use error::CoreError;
 pub use extent::{Extent, ExtentManager, TypedListIndex};
 pub use get::{
-    conformance_sweep, get_signature, scan_get, scan_get_cached, scan_get_par, ExistsPkg,
+    conformance_sweep, get_signature, scan_get, scan_get_cached, scan_get_par,
+    scan_get_par_workers, ExistsPkg, PAR_SCAN_CUTOFF,
 };
 pub use hierarchy::ClassHierarchy;
 pub use keys::{KeyConstraint, KeyedSet};

@@ -174,6 +174,24 @@ pub fn builtins() -> Vec<BuiltinSig> {
             ),
             arity: 2,
         },
+        // EXPLAIN ANALYZE: actually execute Get under a dedicated trace
+        // and render the measured plan tree — per-stage wall time, row
+        // counts, strategy, cache hit ratio.
+        BuiltinSig {
+            name: "explainAnalyze",
+            ty: Type::forall("t", None, Type::fun(db(), Type::Str)),
+            arity: 1,
+        },
+        // The same for the generalized natural join of two object lists.
+        BuiltinSig {
+            name: "explainAnalyzeJoin",
+            ty: Type::forall(
+                "a",
+                None,
+                Type::forall("b", None, fun2(list(v("a")), list(v("b")), Type::Str)),
+            ),
+            arity: 2,
+        },
     ]
 }
 

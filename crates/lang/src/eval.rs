@@ -538,17 +538,85 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
                 delta.counter("join.products.parallel"),
             )))
         }
+        "explainAnalyze" => {
+            let bound = tyargs.first().cloned().ok_or_else(|| {
+                LangError::eval(at, "explainAnalyze needs a type argument".to_string())
+            })?;
+            match args.remove(0) {
+                RtValue::DbToken => {
+                    let strategy = s.db.get_strategy();
+                    let before = dbpl_obs::global().snapshot();
+                    let (pkgs, spans) =
+                        dbpl_obs::trace::capture("explain_analyze", || s.db.get(&bound));
+                    let delta = dbpl_obs::global().snapshot().delta_since(&before);
+                    let hits = delta.counter("subtype.cache.hits");
+                    let misses = delta.counter("subtype.cache.misses");
+                    let header = format!(
+                        "get[{bound}]: strategy={} matches={} rows_scanned={} rows_sealed={} \
+                         cache_hit_ratio={}",
+                        strategy_name(strategy),
+                        pkgs.len(),
+                        delta.counter("get.rows_scanned"),
+                        delta.counter("get.rows_sealed"),
+                        cache_hit_ratio(hits, misses),
+                    );
+                    Ok(RtValue::Str(format!(
+                        "{header}\n{}",
+                        dbpl_obs::trace::render_tree(&spans).trim_end()
+                    )))
+                }
+                other => Err(LangError::eval(
+                    at,
+                    format!("explainAnalyze on non-database {other}"),
+                )),
+            }
+        }
+        "explainAnalyzeJoin" => {
+            let rhs = list_arg(&args[1], at)?;
+            let lhs = list_arg(&args[0], at)?;
+            let mut lvals = Vec::with_capacity(lhs.len());
+            for x in &lhs {
+                lvals.push(x.to_value(at)?);
+            }
+            let mut rvals = Vec::with_capacity(rhs.len());
+            for x in &rhs {
+                rvals.push(x.to_value(at)?);
+            }
+            let a = dbpl_relation::GenRelation::from_values(lvals);
+            let b = dbpl_relation::GenRelation::from_values(rvals);
+            let before = dbpl_obs::global().snapshot();
+            let (joined, spans) =
+                dbpl_obs::trace::capture("explain_analyze_join", || a.natural_join(&b));
+            let delta = dbpl_obs::global().snapshot().delta_since(&before);
+            let header = format!(
+                "join: strategy=partitioned left={} right={} out={} buckets={} fallback_rows={}",
+                a.len(),
+                b.len(),
+                joined.len(),
+                delta.counter("join.partitioned.buckets"),
+                delta.counter("join.partitioned.fallback_rows"),
+            );
+            Ok(RtValue::Str(format!(
+                "{header}\n{}",
+                dbpl_obs::trace::render_tree(&spans).trim_end()
+            )))
+        }
         other => Err(LangError::eval(at, format!("unknown builtin `{other}`"))),
     }
 }
 
 /// The surface name of a Get strategy, as reported by `explain`.
 fn strategy_name(s: dbpl_core::GetStrategy) -> &'static str {
-    match s {
-        dbpl_core::GetStrategy::Scan => "scan",
-        dbpl_core::GetStrategy::CachedScan => "cached_scan",
-        dbpl_core::GetStrategy::TypedLists => "typed_lists",
-        dbpl_core::GetStrategy::ParScan => "par_scan",
+    s.name()
+}
+
+/// Hits over (hits + misses), rendered with two decimals; `1.00` when the
+/// operation never consulted the cache.
+fn cache_hit_ratio(hits: u64, misses: u64) -> String {
+    if hits + misses == 0 {
+        "1.00".to_string()
+    } else {
+        format!("{:.2}", hits as f64 / (hits + misses) as f64)
     }
 }
 

@@ -99,6 +99,20 @@ pub struct Session {
     pending_recovery: Option<u64>,
 }
 
+/// The statement kind attached to per-statement trace spans.
+fn item_kind(item: &Item) -> &'static str {
+    match item {
+        Item::TypeDecl { .. } => "type_decl",
+        Item::Include { .. } => "include",
+        Item::Begin { .. } => "begin",
+        Item::Commit { .. } => "commit",
+        Item::Abort { .. } => "abort",
+        Item::Let { .. } => "let",
+        Item::FunDecl { .. } => "fun_decl",
+        Item::Expr(_) => "expr",
+    }
+}
+
 /// Render a caught panic payload for an error message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -280,8 +294,16 @@ impl Session {
     /// statements, so in a program that uses them the abort rolls back
     /// to the most recent commit point rather than the program's start.
     pub fn run(&mut self, src: &str) -> Result<Vec<String>, LangError> {
-        let prog = parse_program(src)?;
-        let checked = check_program(&prog, self.db.env())?;
+        let mut root = dbpl_obs::span!("run");
+        let prog = {
+            let _sp = dbpl_obs::span!("run.parse");
+            parse_program(src)?
+        };
+        root.set_attr("statements", prog.items.len());
+        let checked = {
+            let _sp = dbpl_obs::span!("run.check");
+            check_program(&prog, self.db.env())?
+        };
         if self.txn.is_none() {
             self.begin_frame(false);
         }
@@ -321,7 +343,10 @@ impl Session {
 
     fn exec_items(&mut self, prog: &Program) -> Result<(), LangError> {
         let mut env = Env::empty();
-        for item in &prog.items {
+        for (index, item) in prog.items.iter().enumerate() {
+            let mut stmt = dbpl_obs::span!("stmt");
+            stmt.set_attr("index", index);
+            stmt.set_attr("kind", item_kind(item));
             match item {
                 Item::TypeDecl { .. } | Item::Include { .. } => {}
                 Item::Begin { at } => {
@@ -676,6 +701,54 @@ impl Session {
     /// ([`dbpl_obs::StatsSnapshot::delta_since`]) to isolate a workload.
     pub fn stats(&self) -> dbpl_obs::StatsSnapshot {
         dbpl_obs::global().snapshot()
+    }
+
+    /// Start collecting trace trees from this process's instrumented
+    /// operations into the bounded in-memory ring (`capacity` completed
+    /// spans; the oldest are dropped first). Tracing is process-global
+    /// and reference-counted — pair every call with
+    /// [`Session::disable_tracing`].
+    pub fn enable_tracing(&self, capacity: usize) {
+        dbpl_obs::trace::enable(capacity);
+    }
+
+    /// Drop one reference to process-global tracing (collection stops
+    /// when the last reference is released; buffered spans remain
+    /// readable until [`dbpl_obs::trace::clear`]).
+    pub fn disable_tracing(&self) {
+        dbpl_obs::trace::disable();
+    }
+
+    /// Emit a [`dbpl_obs::Event::SlowOp`] — carrying the whole span
+    /// subtree — whenever a *root* operation (a program run, a top-level
+    /// `Get`, a commit) takes at least `threshold`. `None` turns the
+    /// slow-op log off. Requires tracing to be active for the spans to
+    /// exist; this call manages its own reference, so it composes with
+    /// [`Session::enable_tracing`].
+    pub fn set_slow_threshold(&self, threshold: Option<std::time::Duration>) {
+        dbpl_obs::trace::set_slow_threshold_us(
+            threshold.map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX)),
+        );
+    }
+
+    /// Run one program under its own dedicated trace and return
+    /// `(output lines, rendered trace tree)` — the interactive
+    /// "why was that slow" tool. The capture is detached from any
+    /// enclosing trace, so the returned tree is exactly this program's
+    /// spans: the `run` root, parse/check, per-statement spans, and
+    /// whatever Get/join/commit work the statements performed.
+    pub fn run_profiled(&mut self, src: &str) -> Result<(Vec<String>, String), LangError> {
+        let (result, spans) = dbpl_obs::trace::capture("profile", || self.run(src));
+        result.map(|out| (out, dbpl_obs::trace::render_tree(&spans)))
+    }
+
+    /// Write everything currently buffered in the trace ring as a Chrome
+    /// tracing / Perfetto JSON array to `path` (open it in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn export_trace_chrome(&self, path: &std::path::Path) -> Result<(), LangError> {
+        let json = dbpl_obs::trace::export_chrome(&dbpl_obs::trace::buffered());
+        std::fs::write(path, json)
+            .map_err(|e| LangError::eval(0, format!("trace export failed: {e}")))
     }
 
     /// Record a corrupt unit and announce it: the quarantine event fires
@@ -1146,6 +1219,102 @@ mod obs_tests {
         assert!(out[0].contains("left=2"), "{}", out[0]);
         assert!(out[0].contains("right=1"), "{}", out[0]);
         assert!(out[0].contains("out=1"), "{}", out[0]);
+    }
+
+    #[test]
+    fn explain_analyze_renders_a_measured_plan_tree() {
+        let mut s = Session::new().unwrap();
+        let out = s
+            .run(
+                "type Person = {Name: Str}\n\
+                 put(db, dynamic {Name = 'a'})\n\
+                 put(db, dynamic {Name = 'b'})\n\
+                 put(db, dynamic 42)\n\
+                 explainAnalyze[Person](db)",
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1, "{out:?}");
+        let text = &out[0];
+        // Header: the summary line explain also gives, plus the ratio.
+        assert!(text.contains("strategy=typed_lists"), "{text}");
+        assert!(text.contains("matches=2"), "{text}");
+        assert!(text.contains("cache_hit_ratio="), "{text}");
+        // Tree: the measured stages, indented under the root.
+        assert!(text.contains("\nexplain_analyze dur_us="), "{text}");
+        assert!(text.contains("\n  get dur_us="), "{text}");
+        for stage in ["get.plan", "get.index", "get.seal"] {
+            assert!(text.contains(&format!("\n    {stage} dur_us=")), "{text}");
+        }
+        assert!(text.contains("rows_out=2"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_join_renders_a_measured_plan_tree() {
+        let mut s = Session::new().unwrap();
+        let out = s
+            .run(
+                "explainAnalyzeJoin[{A: Int, B: Int}][{B: Int, C: Int}](\n\
+                   [{A = 1, B = 1}, {A = 2, B = 2}],\n\
+                   [{B = 1, C = 9}])",
+            )
+            .unwrap();
+        let text = &out[0];
+        assert!(text.contains("left=2"), "{text}");
+        assert!(text.contains("out=1"), "{text}");
+        assert!(text.contains("\nexplain_analyze_join dur_us="), "{text}");
+        assert!(text.contains("\n  join dur_us="), "{text}");
+        for stage in ["join.partition", "join.reduce"] {
+            assert!(text.contains(&format!("{stage} dur_us=")), "{text}");
+        }
+    }
+
+    #[test]
+    fn run_profiled_returns_output_and_a_trace_of_the_run() {
+        let mut s = Session::new().unwrap();
+        let (out, tree) = s
+            .run_profiled("put(db, dynamic 1)\nextern('p', dynamic 2)\n'done'")
+            .unwrap();
+        assert_eq!(out, vec!["'done'".to_string()]);
+        // The dedicated capture root, the run root under it, and the
+        // per-statement spans with their kinds.
+        assert!(tree.starts_with("profile dur_us="), "{tree}");
+        assert!(tree.contains("\n  run dur_us="), "{tree}");
+        assert!(tree.contains("statements=3"), "{tree}");
+        assert!(tree.contains("run.parse dur_us="), "{tree}");
+        assert!(tree.contains("run.check dur_us="), "{tree}");
+        assert!(tree.contains("kind=expr"), "{tree}");
+        // The staged extern makes the implicit frame's commit durable, so
+        // the commit protocol runs inside the capture too.
+        assert!(tree.contains("txn.commit dur_us="), "{tree}");
+        assert!(tree.contains("txn.intent dur_us="), "{tree}");
+        assert!(tree.contains("store.extern dur_us="), "{tree}");
+    }
+
+    #[test]
+    fn slow_threshold_emits_slow_op_with_the_subtree() {
+        let sink = std::sync::Arc::new(dbpl_obs::MemorySink::new());
+        dbpl_obs::set_sink(sink.clone());
+        let mut s = Session::new().unwrap();
+        s.enable_tracing(4096);
+        s.set_slow_threshold(Some(std::time::Duration::ZERO));
+        s.run("put(db, dynamic 7)").unwrap();
+        s.set_slow_threshold(None);
+        s.disable_tracing();
+        dbpl_obs::clear_sink();
+        let slow_runs: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                dbpl_obs::Event::SlowOp { name, spans, .. } if name == "run" => Some(spans),
+                _ => None,
+            })
+            .collect();
+        assert!(!slow_runs.is_empty(), "no slow_op for the run");
+        // The event carries the whole subtree: the root plus its stages.
+        let spans = &slow_runs[0];
+        assert_eq!(spans[0].name, "run");
+        assert!(spans.iter().any(|sp| sp.name == "stmt"));
+        dbpl_obs::trace::clear();
     }
 
     #[test]

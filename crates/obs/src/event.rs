@@ -75,6 +75,18 @@ pub enum Event {
         /// The fault kind (`"transient"` or `"crash"`).
         kind: String,
     },
+    /// A root span exceeded the slow-op threshold
+    /// ([`crate::trace::set_slow_threshold_us`]); carries the whole
+    /// subtree so the log alone answers "where did it spend its time".
+    SlowOp {
+        /// The root span's name (e.g. `run`, `get`, `txn.commit`).
+        name: String,
+        /// The root span's duration in microseconds.
+        dur_us: u64,
+        /// The completed spans of the trace, root included, parents
+        /// before children.
+        spans: Vec<crate::trace::SpanRecord>,
+    },
 }
 
 impl Event {
@@ -91,6 +103,7 @@ impl Event {
             Event::Salvage { .. } => "salvage",
             Event::Retry { .. } => "retry",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::SlowOp { .. } => "slow_op",
         }
     }
 
@@ -137,6 +150,19 @@ impl Event {
                 "{{\"event\":\"{kind}\",\"op\":\"{}\",\"kind\":\"{}\"}}",
                 json_escape(op),
                 json_escape(fk)
+            ),
+            Event::SlowOp {
+                name,
+                dur_us,
+                spans,
+            } => format!(
+                "{{\"event\":\"{kind}\",\"name\":\"{}\",\"dur_us\":{dur_us},\"spans\":[{}]}}",
+                json_escape(name),
+                spans
+                    .iter()
+                    .map(|s| s.to_json())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
         }
     }
@@ -284,6 +310,23 @@ mod tests {
                     kind: "transient".into(),
                 },
                 r#"{"event":"fault_injected","op":"sync_file","kind":"transient"}"#,
+            ),
+            (
+                Event::SlowOp {
+                    name: "run".into(),
+                    dur_us: 1500,
+                    spans: vec![crate::trace::SpanRecord {
+                        trace_id: 4,
+                        span_id: 4,
+                        parent_id: None,
+                        name: "run",
+                        start_us: 10,
+                        dur_us: 1500,
+                        tid: 0,
+                        attrs: vec![("statements", "2".to_string())],
+                    }],
+                },
+                r#"{"event":"slow_op","name":"run","dur_us":1500,"spans":[{"name":"run","trace_id":4,"span_id":4,"parent_id":null,"start_us":10,"dur_us":1500,"tid":0,"attrs":{"statements":"2"}}]}"#,
             ),
         ];
         for (event, expected) in cases {

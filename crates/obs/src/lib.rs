@@ -8,7 +8,13 @@
 //!   behind [`global()`]. Hot paths cache their `Arc<Counter>` handle in
 //!   a `OnceLock` so steady-state cost is one relaxed atomic add.
 //! * [`span!`] — lightweight span timing: the returned guard records the
-//!   elapsed wall time into the `span.<name>` histogram when dropped.
+//!   elapsed wall time into the `span.<name>` histogram when dropped
+//!   (through a per-call-site cached handle — no allocation on entry).
+//!   While tracing is active ([`trace`]), the same guards compose into
+//!   hierarchical trace trees: thread-local `trace_id`/`span_id`/
+//!   `parent_id` context, a bounded [`TraceBuffer`] ring of completed
+//!   spans with attributes, a slow-op log, and Chrome-trace /
+//!   EXPLAIN-ANALYZE exporters on top.
 //! * [`Event`] / [`EventSink`] — structured events (transaction
 //!   lifecycle, quarantine, salvage, retries, injected faults) rendered
 //!   as stable JSONL. With no sink attached, [`emit`] costs one relaxed
@@ -22,12 +28,15 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod json;
 mod metrics;
 mod span;
+pub mod trace;
 
 pub use event::{clear_sink, emit, set_sink, sink_attached, Event, EventSink, MemorySink};
 pub use metrics::{global, Counter, Histogram, HistogramSnapshot, MetricsRegistry, StatsSnapshot};
 pub use span::SpanGuard;
+pub use trace::{SpanRecord, TraceBuffer, TraceContext};
 
 /// Escape a string for inclusion in a JSON document (used by the
 /// hand-rolled JSON writers here and in the crates that serialize

@@ -1,0 +1,70 @@
+//! Property tests for the trace tree: for every randomly shaped span
+//! tree, each child's `[start_us, start_us + dur_us]` interval nests
+//! within its parent's, every span belongs to the capture's trace, and
+//! the parent links form one connected tree.
+
+use dbpl_obs::trace::{self, SpanRecord};
+use proptest::prelude::*;
+
+/// Open spans in the shape described by `shape` (a preorder list of
+/// child counts, consumed recursively), with a little work in each so
+/// durations are nonzero-ish.
+fn build(shape: &mut std::vec::IntoIter<usize>, depth: usize) {
+    let Some(children) = shape.next() else {
+        return;
+    };
+    let mut sp = dbpl_obs::span!("prop.node");
+    sp.set_attr("depth", depth);
+    // A touch of busy work so parent/child timestamps can differ.
+    std::hint::black_box((0..50).sum::<u64>());
+    if depth < 6 {
+        for _ in 0..children {
+            build(shape, depth + 1);
+        }
+    }
+}
+
+fn assert_nested(spans: &[SpanRecord]) {
+    let find = |id: u64| spans.iter().find(|s| s.span_id == id);
+    for s in spans {
+        if let Some(pid) = s.parent_id {
+            let p = find(pid).expect("parent span is in the captured trace");
+            assert!(
+                s.start_us >= p.start_us,
+                "child starts before its parent: {s:?} vs {p:?}"
+            );
+            assert!(
+                s.start_us + s.dur_us <= p.start_us + p.dur_us,
+                "child ends after its parent: {s:?} vs {p:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn child_intervals_nest_within_parents(shape in prop::collection::vec(0usize..4, 1..24)) {
+        let ((), spans) = trace::capture("prop.root", || {
+            build(&mut shape.clone().into_iter(), 1);
+        });
+        let root = spans.iter().find(|s| s.name == "prop.root").unwrap();
+        prop_assert!(root.parent_id.is_none());
+        for s in &spans {
+            prop_assert_eq!(s.trace_id, root.trace_id);
+        }
+        assert_nested(&spans);
+        // Connectivity: walking parent links from any span reaches the root.
+        for s in &spans {
+            let mut cur = s.clone();
+            let mut hops = 0;
+            while let Some(pid) = cur.parent_id {
+                cur = spans.iter().find(|x| x.span_id == pid).unwrap().clone();
+                hops += 1;
+                prop_assert!(hops <= spans.len(), "parent chain cycles");
+            }
+            prop_assert_eq!(cur.span_id, root.span_id);
+        }
+    }
+}

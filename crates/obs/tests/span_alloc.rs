@@ -1,0 +1,76 @@
+//! Asserts the satellite guarantee: with no profiler attached (tracing
+//! inactive), entering and exiting a `span!` site allocates nothing.
+//! The first entry may allocate (the per-site `OnceLock` resolves its
+//! histogram handle through the registry); every entry after that must
+//! be allocation-free.
+//!
+//! This is the only test in this binary on purpose: the counting
+//! allocator is process-global, and a lone test keeps the measurement
+//! window free of harness noise.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The instrumented path under test — one fixed `span!` call site, so
+/// the warm-up and the measurement hit the same per-site cache.
+fn enter_site(rows: u64) {
+    let mut sp = dbpl_obs::span!("alloc.test");
+    sp.set_attr("rows", rows); // must not format while inactive
+}
+
+#[test]
+fn span_site_is_allocation_free_when_tracing_is_inactive() {
+    assert!(!dbpl_obs::trace::is_active());
+
+    // Warm the call site: the first entry resolves (and allocates) the
+    // `span.<name>` histogram through the registry, once ever.
+    enter_site(0);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..1_000 {
+        enter_site(i);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state span entry/exit allocated with tracing off"
+    );
+
+    // Sanity: the same site records trace spans once tracing is enabled
+    // (and is then *allowed* to allocate).
+    dbpl_obs::trace::enable(16);
+    {
+        let mut sp = dbpl_obs::span!("alloc.test");
+        sp.set_attr("rows", 7);
+    }
+    dbpl_obs::trace::disable();
+    let spans = dbpl_obs::trace::buffered();
+    assert!(spans
+        .iter()
+        .any(|s| s.name == "alloc.test" && s.attrs.iter().any(|(k, v)| *k == "rows" && v == "7")));
+    dbpl_obs::trace::clear();
+}

@@ -444,7 +444,9 @@ impl IntrinsicStore {
     /// changes and a commit marker, fsync, and promote the working state to
     /// committed.
     pub fn commit(&mut self) -> Result<u64, PersistError> {
+        let mut sp = dbpl_obs::span!("intrinsic.commit");
         let records = self.staged_records();
+        sp.set_attr("records", records.len());
         let log = self
             .log
             .as_mut()

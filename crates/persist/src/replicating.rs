@@ -262,6 +262,9 @@ impl ReplicatingStore {
     /// transaction redo can safely repeat it.
     pub fn install_unit(&self, handle: &str, bytes: &[u8]) -> Result<(), PersistError> {
         self.check_writable("install_unit")?;
+        let mut sp = dbpl_obs::span!("store.extern");
+        sp.set_attr("handle", handle);
+        sp.set_attr("bytes", bytes.len());
         let guard = self.lock_for(handle);
         let _held = guard.lock();
         let tmp = self.handle_path(handle).with_extension("tmp");
@@ -291,6 +294,8 @@ impl ReplicatingStore {
     /// dynamic value. Two interns of the same handle produce two
     /// independent copies.
     pub fn intern(&self, handle: &str, heap: &mut Heap) -> Result<DynValue, PersistError> {
+        let mut sp = dbpl_obs::span!("store.intern");
+        sp.set_attr("handle", handle);
         let guard = self.lock_for(handle);
         let _held = guard.lock();
         let path = self.handle_path(handle);

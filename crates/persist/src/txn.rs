@@ -150,6 +150,7 @@ pub fn commit_multi(
     externs: &BTreeMap<String, Option<Vec<u8>>>,
     policy: &RetryPolicy,
 ) -> Result<u64, PersistError> {
+    let mut root = dbpl_obs::span!("txn.commit");
     if store.is_read_only() {
         return Err(PersistError::ReadOnly("commit_multi".into()));
     }
@@ -172,6 +173,8 @@ pub fn commit_multi(
             .map(|(h, u)| (h.clone(), u.clone()))
             .collect(),
     };
+    root.set_attr("txn_id", intent.txn_id);
+    root.set_attr("externs", externs.len());
     let path = intent_path(store);
     // The intent write runs under the caller's policy: transient faults
     // that survive the VFS-level retries get another bounded round here,
@@ -179,14 +182,18 @@ pub fn commit_multi(
     // cannot stall the commit past its deadline. Once write_intent
     // returns, we are past the durability point and must finish.
     let encoded = intent.encode();
-    match policy.run_named("write_intent", || {
-        log::write_intent(&**store.vfs(), &path, &encoded).map_err(to_io)
-    }) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
-            return Err(PersistError::DeadlineExceeded)
+    {
+        let mut sp = dbpl_obs::span!("txn.intent");
+        sp.set_attr("bytes", encoded.len());
+        match policy.run_named("write_intent", || {
+            log::write_intent(&**store.vfs(), &path, &encoded).map_err(to_io)
+        }) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                return Err(PersistError::DeadlineExceeded)
+            }
+            Err(e) => return Err(e.into()),
         }
-        Err(e) => return Err(e.into()),
     }
     // --- durability point: roll forward from here, no deadline checks ---
     // A failure past this point does NOT abort the transaction — the
@@ -223,6 +230,7 @@ fn apply_intent_effects(
     externs: &BTreeMap<String, Option<Vec<u8>>>,
     path: &Path,
 ) -> Result<u64, PersistError> {
+    let _sp = dbpl_obs::span!("txn.apply");
     let txn = match intrinsic.as_mut() {
         Some(s) if intrinsic_dirty => s.commit()?,
         _ => 0,
@@ -275,6 +283,8 @@ pub fn recover_pending(
         }
     };
     let intent = Intent::decode(&payload)?;
+    let mut redo = dbpl_obs::span!("txn.redo");
+    redo.set_attr("txn_id", intent.txn_id);
     if intrinsic.is_none() && !intent.intrinsic_records.is_empty() {
         // Applying only the extern half and clearing the intent would
         // silently discard the committed intrinsic writes. Leave the

@@ -287,11 +287,14 @@ struct CountingFile(Box<dyn VfsFile>);
 impl VfsFile for CountingFile {
     fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
         crate::metrics::vfs_writes().inc();
+        let mut sp = dbpl_obs::span!("vfs.write");
+        sp.set_attr("bytes", data.len());
         self.0.write_all(data)
     }
 
     fn sync_data(&mut self) -> io::Result<()> {
         crate::metrics::vfs_fsyncs().inc();
+        let _sp = dbpl_obs::span!("vfs.fsync");
         self.0.sync_data()
     }
 }
@@ -303,26 +306,34 @@ impl<V: Vfs> Vfs for CountingVfs<V> {
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         crate::metrics::vfs_reads().inc();
-        self.inner.read(path)
+        let mut sp = dbpl_obs::span!("vfs.read");
+        let data = self.inner.read(path)?;
+        sp.set_attr("bytes", data.len());
+        Ok(data)
     }
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         crate::metrics::vfs_writes().inc();
+        let mut sp = dbpl_obs::span!("vfs.write");
+        sp.set_attr("bytes", data.len());
         self.inner.write(path, data)
     }
 
     fn sync_file(&self, path: &Path) -> io::Result<()> {
         crate::metrics::vfs_fsyncs().inc();
+        let _sp = dbpl_obs::span!("vfs.fsync");
         self.inner.sync_file(path)
     }
 
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
         crate::metrics::vfs_fsyncs().inc();
+        let _sp = dbpl_obs::span!("vfs.fsync");
         self.inner.sync_dir(path)
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         crate::metrics::vfs_renames().inc();
+        let _sp = dbpl_obs::span!("vfs.rename");
         self.inner.rename(from, to)
     }
 

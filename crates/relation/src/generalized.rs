@@ -61,6 +61,17 @@ pub enum JoinStrategy {
     Partitioned,
 }
 
+impl JoinStrategy {
+    /// The snake_case name used in metrics, span attributes, and
+    /// `explainJoin`/`explainAnalyzeJoin` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinStrategy::Nested => "nested",
+            JoinStrategy::Partitioned => "partitioned",
+        }
+    }
+}
+
 /// A generalized relation: an antichain of (usually record) values.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GenRelation {
@@ -185,6 +196,24 @@ impl GenRelation {
         reduction: Reduction,
         strategy: JoinStrategy,
     ) -> GenRelation {
+        self.natural_join_workers(other, reduction, strategy, detected_workers())
+    }
+
+    /// [`GenRelation::natural_join_strategy`] with an explicit worker
+    /// count instead of the detected parallelism — the ablation/testing
+    /// hook (a single-core machine can still exercise the parallel
+    /// product path).
+    pub fn natural_join_workers(
+        &self,
+        other: &GenRelation,
+        reduction: Reduction,
+        strategy: JoinStrategy,
+        workers: usize,
+    ) -> GenRelation {
+        let mut root = dbpl_obs::span!("join");
+        root.set_attr("strategy", strategy.name());
+        root.set_attr("left", self.rows.len());
+        root.set_attr("right", other.rows.len());
         let out = match strategy {
             JoinStrategy::Nested => {
                 crate::metrics::strategy_nested().inc();
@@ -192,13 +221,20 @@ impl GenRelation {
             }
             JoinStrategy::Partitioned => {
                 crate::metrics::strategy_partitioned().inc();
-                join_pairs_partitioned(&self.rows, &other.rows)
+                join_pairs_partitioned(&self.rows, &other.rows, workers)
             }
         };
-        let rows = match reduction {
-            Reduction::Maximal => reduce_maximal(out),
-            Reduction::Minimal => reduce_minimal(out),
+        let rows = {
+            let mut reduce = dbpl_obs::span!("join.reduce");
+            reduce.set_attr("rows_in", out.len());
+            let rows = match reduction {
+                Reduction::Maximal => reduce_maximal(out),
+                Reduction::Minimal => reduce_minimal(out),
+            };
+            reduce.set_attr("rows_out", rows.len());
+            rows
         };
+        root.set_attr("rows_out", rows.len());
         GenRelation { rows }
     }
 
@@ -428,35 +464,51 @@ fn join_pairs_nested(a: &[Value], b: &[Value]) -> Vec<Value> {
 /// partial on the key may join with anything and fall back to full
 /// products: `partial_a × b` plus `keyed_a × partial_b` (the
 /// `partial × partial` pairs are covered exactly once, by the first).
-fn join_pairs_partitioned(a: &[Value], b: &[Value]) -> Vec<Value> {
+fn join_pairs_partitioned(a: &[Value], b: &[Value], workers: usize) -> Vec<Value> {
     let _span = dbpl_obs::span!("join.partition");
-    let key = partition_key(a, b);
+    let key = {
+        let mut hoist = dbpl_obs::span!("join.path_hoist");
+        let key = partition_key(a, b);
+        hoist.set_attr("key_paths", key.len());
+        key
+    };
     if key.is_empty() {
         // No shared ground path: nothing can be pruned, but a large pair
         // product still parallelizes.
         crate::metrics::fallback_rows().add((a.len() + b.len()) as u64);
-        return run_products(vec![(a.iter().collect(), b.iter().collect())]);
+        return run_products(vec![(a.iter().collect(), b.iter().collect())], workers);
     }
-    let (keyed_a, partial_a) = bucket(a, &key);
-    let (keyed_b, partial_b) = bucket(b, &key);
+    let (keyed_a, partial_a, keyed_b, partial_b) = {
+        let mut bucket_span = dbpl_obs::span!("join.bucket");
+        let (keyed_a, partial_a) = bucket(a, &key);
+        let (keyed_b, partial_b) = bucket(b, &key);
+        bucket_span.set_attr("buckets", keyed_a.len() + keyed_b.len());
+        bucket_span.set_attr("fallback_rows", partial_a.len() + partial_b.len());
+        (keyed_a, partial_a, keyed_b, partial_b)
+    };
     crate::metrics::partition_buckets().add((keyed_a.len() + keyed_b.len()) as u64);
     crate::metrics::fallback_rows().add((partial_a.len() + partial_b.len()) as u64);
-    let mut products: Vec<Product> = Vec::new();
-    for (k, rows_a) in &keyed_a {
-        if let Some(rows_b) = keyed_b.get(k) {
-            products.push((rows_a.clone(), rows_b.clone()));
+    let products = {
+        let mut probe = dbpl_obs::span!("join.probe");
+        let mut products: Vec<Product> = Vec::new();
+        for (k, rows_a) in &keyed_a {
+            if let Some(rows_b) = keyed_b.get(k) {
+                products.push((rows_a.clone(), rows_b.clone()));
+            }
         }
-    }
-    if !partial_a.is_empty() {
-        products.push((partial_a, b.iter().collect()));
-    }
-    if !partial_b.is_empty() {
-        let keyed_rows_a: Vec<&Value> = keyed_a.values().flatten().copied().collect();
-        if !keyed_rows_a.is_empty() {
-            products.push((keyed_rows_a, partial_b));
+        if !partial_a.is_empty() {
+            products.push((partial_a, b.iter().collect()));
         }
-    }
-    run_products(products)
+        if !partial_b.is_empty() {
+            let keyed_rows_a: Vec<&Value> = keyed_a.values().flatten().copied().collect();
+            if !keyed_rows_a.is_empty() {
+                products.push((keyed_rows_a, partial_b));
+            }
+        }
+        probe.set_attr("products", products.len());
+        products
+    };
+    run_products(products, workers)
 }
 
 /// All existing object joins of a slice product, appended to `out`.
@@ -475,13 +527,22 @@ fn join_product(l: &[&Value], r: &[&Value], out: &mut Vec<Value>) {
 /// pieces placed longest-first on the least-loaded worker. Output order
 /// varies with scheduling, which is harmless — the caller canonicalizes
 /// through a reduction that sorts first.
-fn run_products(products: Vec<Product>) -> Vec<Value> {
-    let work: usize = products.iter().map(|(l, r)| l.len() * r.len()).sum();
-    let workers = std::thread::available_parallelism()
+/// The worker cap derived from the machine: available parallelism,
+/// clamped to 8 (the fan-out stops paying for itself beyond that on this
+/// workload).
+fn detected_workers() -> usize {
+    std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(8);
+        .min(8)
+}
+
+fn run_products(products: Vec<Product>, workers: usize) -> Vec<Value> {
+    let mut span = dbpl_obs::span!("join.product");
+    let work: usize = products.iter().map(|(l, r)| l.len() * r.len()).sum();
+    span.set_attr("pairs", work);
     if work < PAR_JOIN_CUTOFF || workers <= 1 {
+        span.set_attr("mode", "serial");
         crate::metrics::products_serial().add(products.len() as u64);
         let mut out = Vec::new();
         for (l, r) in &products {
@@ -489,6 +550,7 @@ fn run_products(products: Vec<Product>) -> Vec<Value> {
         }
         return out;
     }
+    span.set_attr("mode", "parallel");
     crate::metrics::products_parallel().add(products.len() as u64);
     let target = work.div_ceil(workers).max(1);
     let mut pieces: Vec<Product> = Vec::new();
@@ -516,12 +578,18 @@ fn run_products(products: Vec<Product>) -> Vec<Value> {
         g.0 += w;
         g.1.push(piece);
     }
+    // Capture the tracing context before the fan-out so worker spans hang
+    // off the enclosing `join` tree instead of starting orphan traces.
+    let ctx = dbpl_obs::trace::current();
     std::thread::scope(|s| {
         let handles: Vec<_> = groups
             .into_iter()
             .filter(|(_, g)| !g.is_empty())
             .map(|(_, g)| {
                 s.spawn(move || {
+                    let _ctx = dbpl_obs::trace::adopt(ctx);
+                    let mut sp = dbpl_obs::span!("join.product.worker");
+                    sp.set_attr("pieces", g.len());
                     let mut out = Vec::new();
                     for (l, r) in &g {
                         join_product(l, r, &mut out);

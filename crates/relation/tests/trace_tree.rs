@@ -1,0 +1,116 @@
+//! Deterministic trace export under a parallel join: when the partitioned
+//! join fans out over scoped threads, the worker spans must adopt the
+//! spawning thread's context so the capture yields ONE connected tree —
+//! not a forest of orphan worker traces.
+
+use dbpl_relation::{GenRelation, JoinStrategy, Reduction};
+use dbpl_values::Value;
+
+fn rec(pairs: &[(&str, Value)]) -> Value {
+    Value::record(pairs.iter().map(|(l, v)| (l.to_string(), v.clone())))
+}
+
+/// A workload that forces the parallel product path (one bucket of
+/// 512×512 = 262_144 candidate pairs, above `PAR_JOIN_CUTOFF = 65_536`)
+/// while keeping the *output* small: both sides are ground on `K` with
+/// the same value, so the `K=1` rows land in one big bucket, but a pair
+/// only joins when its `C` values agree — 512 surviving rows. The lone
+/// `{K:2, D:1}` row keeps `C` off the partition key (it breaks `C`'s
+/// full coverage on the right) without being subsumed away.
+fn parallel_join_workload() -> (GenRelation, GenRelation) {
+    let left: GenRelation = (0..512)
+        .map(|i| rec(&[("K", Value::Int(1)), ("C", Value::Int(i))]))
+        .collect();
+    let right: GenRelation = (0..512)
+        .map(|j| rec(&[("K", Value::Int(1)), ("C", Value::Int(j))]))
+        .chain(std::iter::once(rec(&[
+            ("K", Value::Int(2)),
+            ("D", Value::Int(1)),
+        ])))
+        .collect();
+    (left, right)
+}
+
+#[test]
+fn parallel_join_yields_one_connected_trace_tree() {
+    let (left, right) = parallel_join_workload();
+    // Explicit worker count: the fan-out must happen even on a
+    // single-core machine, or this test would silently test nothing.
+    let ((), spans) = dbpl_obs::trace::capture("test.join", || {
+        let out =
+            left.natural_join_workers(&right, Reduction::Maximal, JoinStrategy::Partitioned, 4);
+        assert!(!out.is_empty());
+    });
+
+    // Exactly one root, and every span belongs to its trace.
+    let roots: Vec<_> = spans.iter().filter(|s| s.parent_id.is_none()).collect();
+    assert_eq!(roots.len(), 1, "expected one root, got {roots:?}");
+    let root = roots[0];
+    assert_eq!(root.name, "test.join");
+    for s in &spans {
+        assert_eq!(s.trace_id, root.trace_id, "span {} left the trace", s.name);
+    }
+
+    // Connectivity: every parent link resolves within the capture — worker
+    // spans did not start orphan traces.
+    for s in &spans {
+        if let Some(pid) = s.parent_id {
+            assert!(
+                spans.iter().any(|p| p.span_id == pid),
+                "span {} has unresolved parent {pid}",
+                s.name
+            );
+        }
+    }
+
+    // The workload is sized to take the parallel path, and the workers
+    // must appear in the same tree, parented under `join.product`.
+    let workers: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "join.product.worker")
+        .collect();
+    assert!(
+        !workers.is_empty(),
+        "workload did not reach the parallel product path; spans: {:?}",
+        spans.iter().map(|s| s.name).collect::<Vec<_>>()
+    );
+    let product = spans
+        .iter()
+        .find(|s| s.name == "join.product")
+        .expect("join.product span");
+    for w in &workers {
+        assert_eq!(w.parent_id, Some(product.span_id));
+        // Worker spans from other threads still nest in the product span.
+        assert!(w.start_us >= product.start_us);
+        assert!(w.start_us + w.dur_us <= product.start_us + product.dur_us);
+    }
+
+    // The stage spans of the partitioned plan are all present.
+    for stage in ["join", "join.partition", "join.bucket", "join.probe"] {
+        assert!(
+            spans.iter().any(|s| s.name == stage),
+            "missing stage span {stage}"
+        );
+    }
+}
+
+#[test]
+fn join_stage_durations_sum_within_the_root() {
+    let (left, right) = parallel_join_workload();
+    let ((), spans) = dbpl_obs::trace::capture("test.join", || {
+        let _ = left.natural_join(&right);
+    });
+    let join = spans.iter().find(|s| s.name == "join").expect("join span");
+    // Direct children of `join` are disjoint sequential stages: their
+    // durations can never exceed the root's.
+    let child_sum: u64 = spans
+        .iter()
+        .filter(|s| s.parent_id == Some(join.span_id))
+        .map(|s| s.dur_us)
+        .sum();
+    assert!(
+        child_sum <= join.dur_us,
+        "children of join ({child_sum}us) exceed the root ({}us)",
+        join.dur_us
+    );
+}
