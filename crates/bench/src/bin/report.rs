@@ -227,6 +227,106 @@ fn txn_commit(smoke: bool) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Integrity differential + scrub throughput. The CI smoke gate: decoding
+/// a CRC-framed v2 unit must (a) agree exactly with decoding the same
+/// payload in the legacy unframed v1 layout, and (b) cost at most 1.05x —
+/// verify-on-read is meant to be effectively free. The full run records
+/// the numbers as the `BENCH_scrub.json` baseline.
+fn scrub_integrity(smoke: bool) {
+    use dbpl_persist::format::{LEGACY_VERSION, MAGIC};
+    use dbpl_persist::{decode_dyn, encode_dyn, unframe_unit};
+
+    println!("## Integrity — verify-on-read overhead and scrub throughput\n");
+
+    // One decode-heavy unit (records force per-row allocations), framed
+    // both ways: v2 (CRC verified on decode) and legacy v1 (no checksum).
+    let rows = if smoke { 2_000 } else { 8_000 };
+    let v = Value::List(
+        (0..rows)
+            .map(|i| {
+                Value::record([
+                    ("id", Value::Int(i as i64)),
+                    ("name", Value::str(format!("row {i:08}"))),
+                ])
+            })
+            .collect(),
+    );
+    let d = DynValue::new(Type::list(Type::Top), v);
+    let v2 = encode_dyn(&d);
+    let (_, payload) = unframe_unit(&v2).expect("freshly framed unit");
+    let mut v1 = MAGIC.to_vec();
+    v1.push(LEGACY_VERSION);
+    v1.extend_from_slice(payload);
+    assert_eq!(
+        decode_dyn(&v2).unwrap(),
+        decode_dyn(&v1).unwrap(),
+        "framed v2 and legacy v1 decodes diverged"
+    );
+
+    // Best-of-N batches: minimum is far less noisy than the mean under CI
+    // scheduling jitter, and the gate compares two minima.
+    let batches = if smoke { 5 } else { 8 };
+    let best = |bytes: &[u8]| -> f64 {
+        (0..batches)
+            .map(|_| time(|| decode_dyn(bytes).unwrap().ty, 3).0)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t_v1 = best(&v1);
+    let t_v2 = best(&v2);
+    let overhead = t_v2 / t_v1.max(1e-9);
+    println!("| decode path ({rows}-row unit) | µs | vs legacy |");
+    println!("|---|---|---|");
+    println!("| legacy v1 (no checksum) | {t_v1:.0} | 1.000x |");
+    println!("| framed v2 (CRC-32C verified) | {t_v2:.0} | {overhead:.3}x |");
+    assert!(
+        overhead <= 1.05,
+        "verify-on-read overhead {overhead:.3}x blows the 1.05x budget \
+         ({t_v2:.1}µs framed vs {t_v1:.1}µs legacy)"
+    );
+    println!("\nverify-on-read gate OK: {overhead:.3}x ≤ 1.05x\n");
+
+    // --- scrub throughput over a populated store ---
+    let dir = std::env::temp_dir().join(format!("dbpl-report-scrub-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = ReplicatingStore::open(dir.join("units")).unwrap();
+    let heap = Heap::new();
+    let units = if smoke { 48usize } else { 256 };
+    for i in 0..units {
+        let d = DynValue::new(Type::Int, Value::Int(i as i64));
+        store.extern_value(&format!("u{i}"), &d, &heap).unwrap();
+    }
+    let (t_scrub, report) = time(|| store.scrub(None), if smoke { 2 } else { 5 });
+    assert!(
+        report.is_clean() && report.verified == units,
+        "scrub over a healthy store found trouble: {report:?}"
+    );
+    let per_sec = units as f64 / (t_scrub / 1e6);
+    println!("| scrub | µs/pass | units/s |");
+    println!("|---|---|---|");
+    println!("| {units} units | {t_scrub:.0} | {per_sec:.0} |");
+    println!();
+
+    // Round-trip one handle so `--trace-out` traces carry a stitched
+    // `store.intern` span (origin_* attrs) for trace_check to verify.
+    let mut h = Heap::new();
+    let got = store.intern("u0", &mut h).unwrap();
+    assert_eq!(got.value, Value::Int(0));
+
+    if !smoke {
+        let json = format!(
+            "{{\n  \"experiment\": \"scrub\",\n  \"unit\": \"us\",\n  \"rows\": {rows},\n  \
+             \"decode_legacy_v1\": {t_v1:.2},\n  \"decode_framed_v2\": {t_v2:.2},\n  \
+             \"verify_overhead\": {overhead:.3},\n  \"verify_overhead_budget\": 1.05,\n  \
+             \"scrub_units\": {units},\n  \"scrub_us_per_pass\": {t_scrub:.2},\n  \
+             \"scrub_units_per_sec\": {per_sec:.0}\n}}\n"
+        );
+        std::fs::write("BENCH_scrub.json", json).expect("write BENCH_scrub.json");
+        println!("(baseline written to BENCH_scrub.json)\n");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// One `--stats-out` JSONL line: the counter/histogram deltas a named
 /// report phase moved in the global metrics registry.
 fn stats_line(phase: &str, delta: &dbpl_obs::StatsSnapshot) -> String {
@@ -276,7 +376,8 @@ fn main() {
     let write_trace = |trace_out: &Option<String>| {
         if let Some(path) = trace_out {
             let spans = dbpl_obs::trace::buffered();
-            let json = dbpl_obs::trace::export_chrome(&spans);
+            let stats = dbpl_obs::global().snapshot();
+            let json = dbpl_obs::trace::export_chrome_with_counters(&spans, &stats);
             dbpl_obs::trace::disable();
             dbpl_obs::trace::clear();
             std::fs::write(path, json).expect("write --trace-out");
@@ -290,6 +391,7 @@ fn main() {
         println!("# Bench smoke — fast paths vs naive baselines (tiny sizes)\n");
         phase("fast_paths", &mut stats, || fast_paths(true));
         phase("txn_commit", &mut stats, || txn_commit(true));
+        phase("scrub_integrity", &mut stats, || scrub_integrity(true));
         write_stats(&stats);
         write_trace(&trace_out);
         println!("bench-smoke OK: all fast paths agree with their naive baselines");
@@ -299,6 +401,7 @@ fn main() {
 
     phase("fast_paths", &mut stats, || fast_paths(false));
     phase("txn_commit", &mut stats, || txn_commit(false));
+    phase("scrub_integrity", &mut stats, || scrub_integrity(false));
     let tail_before = dbpl_obs::global().snapshot();
 
     // ---------- F1 ----------

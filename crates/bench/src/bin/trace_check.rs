@@ -6,13 +6,18 @@
 //! Checks:
 //! * the file is a JSON array of complete events (`"ph":"X"`) with the
 //!   required fields (`name`, `ts`, `dur`, `pid`, `tid`, `args` with
-//!   `trace_id`/`span_id`/`parent_id`);
+//!   `trace_id`/`span_id`/`parent_id`), plus counter events (`"ph":"C"`)
+//!   carrying `span.<name>` histogram snapshots (`count`/`sum_us` args);
 //! * `span_id`s are unique and every non-null `parent_id` either resolves
 //!   to an event in the file or its trace has suffered ring eviction
 //!   (parents may be evicted before children — oldest-first drop);
 //! * resolvable children nest inside their parent's `[ts, ts+dur]`;
 //! * the instrumented stages actually fired: at least one `get`, one
-//!   `join`, and one `txn.commit` span each with at least one child.
+//!   `join`, and one `txn.commit` span each with at least one child;
+//! * cross-process trace stitching works: at least one `store.intern`
+//!   span carries the `origin_trace_id`/`origin_span_id` recorded in the
+//!   unit's frame at extern time, and at least one such origin resolves
+//!   to the very span that externed the unit.
 
 use dbpl_obs::json::{self, Json};
 use std::collections::{HashMap, HashSet};
@@ -48,16 +53,38 @@ fn main() -> ExitCode {
         name: String,
         ts: u64,
         dur: u64,
+        trace_id: u64,
         span_id: u64,
         parent_id: Option<u64>,
+        origin: Option<(u64, u64)>,
     }
     let mut evs: Vec<Ev> = Vec::with_capacity(events.len());
+    let mut counters = 0usize;
+    let mut span_counters = 0usize;
     for (i, e) in events.iter().enumerate() {
         let field = |k: &str| -> Option<&Json> { e.get(k) };
         let name = match field("name").and_then(Json::as_str) {
             Some(n) => n.to_string(),
             None => return fail(&format!("event {i} has no string `name`")),
         };
+        if field("ph").and_then(Json::as_str) == Some("C") {
+            // Histogram snapshot rendered as a Chrome counter track.
+            let (Some(_ts), Some(args)) = (field("ts").and_then(Json::as_u64), field("args"))
+            else {
+                return fail(&format!("counter {i} ({name}) lacks ts/args"));
+            };
+            let (Some(_count), Some(_sum)) = (
+                args.get("count").and_then(Json::as_u64),
+                args.get("sum_us").and_then(Json::as_u64),
+            ) else {
+                return fail(&format!("counter {i} ({name}) args lack count/sum_us"));
+            };
+            counters += 1;
+            if name.starts_with("span.") {
+                span_counters += 1;
+            }
+            continue;
+        }
         if field("ph").and_then(Json::as_str) != Some("X") {
             return fail(&format!("event {i} ({name}) is not a complete event"));
         }
@@ -73,11 +100,23 @@ fn main() -> ExitCode {
             Some(a) => a,
             None => return fail(&format!("event {i} ({name}) has no args")),
         };
-        let (Some(_trace_id), Some(span_id)) = (
+        let (Some(trace_id), Some(span_id)) = (
             args.get("trace_id").and_then(Json::as_u64),
             args.get("span_id").and_then(Json::as_u64),
         ) else {
             return fail(&format!("event {i} ({name}) args lack trace_id/span_id"));
+        };
+        // Span attrs are exported as strings; the origin pair a framed
+        // unit carried is stitched onto the interning span.
+        let origin = match (
+            args.get("origin_trace_id").and_then(Json::as_str),
+            args.get("origin_span_id").and_then(Json::as_str),
+        ) {
+            (Some(t), Some(s)) => match (t.parse::<u64>(), s.parse::<u64>()) {
+                (Ok(t), Ok(s)) => Some((t, s)),
+                _ => return fail(&format!("event {i} ({name}) has non-numeric origin ids")),
+            },
+            _ => None,
         };
         let parent_id = match args.get("parent_id") {
             Some(p) if p.is_null() => None,
@@ -91,9 +130,14 @@ fn main() -> ExitCode {
             name,
             ts,
             dur,
+            trace_id,
             span_id,
             parent_id,
+            origin,
         });
+    }
+    if span_counters == 0 {
+        return fail("no `span.*` counter events (`ph:\"C\"` histogram tracks) in the trace");
     }
 
     let mut by_id: HashMap<u64, &Ev> = HashMap::new();
@@ -138,10 +182,30 @@ fn main() -> ExitCode {
         }
     }
 
+    // Cross-process stitching: some intern must surface the trace context
+    // its unit was externed under, and at least one such origin must
+    // resolve to the externing span itself (same-process round trip).
+    let stitched: Vec<&Ev> = evs
+        .iter()
+        .filter(|e| e.name == "store.intern" && matches!(e.origin, Some((t, _)) if t != 0))
+        .collect();
+    if stitched.is_empty() {
+        return fail("no `store.intern` span carries a stitched origin_trace_id");
+    }
+    let resolved = stitched.iter().any(|e| {
+        let (ot, os) = e.origin.unwrap();
+        by_id.get(&os).is_some_and(|p| p.trace_id == ot)
+    });
+    if !resolved {
+        return fail("no stitched origin_span_id resolves to its externing span");
+    }
+
     println!(
-        "trace_check OK: {} events, {} orphaned by ring eviction, nesting and required stages verified",
+        "trace_check OK: {} span events, {counters} counter tracks ({span_counters} span.*), \
+         {} stitched interns, {orphans} orphaned by ring eviction, \
+         nesting, required stages, and one stitched extern↔intern pair verified",
         evs.len(),
-        orphans
+        stitched.len(),
     );
     ExitCode::SUCCESS
 }

@@ -20,7 +20,7 @@ use crate::error::CoreError;
 use crate::extent::{ExtentManager, TypedListIndex};
 use crate::get::{conformance_sweep, scan_get, scan_get_cached, scan_get_par, ExistsPkg};
 use crate::hierarchy::ClassHierarchy;
-use dbpl_persist::{Image, QuarantineEntry, QuarantineReport};
+use dbpl_persist::{Image, QuarantineEntry, QuarantineReason, QuarantineReport};
 use dbpl_types::{Type, TypeEnv};
 use dbpl_values::{conforms, DynValue, Heap, Mode, Oid, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -287,6 +287,7 @@ impl Database {
         let entry = QuarantineEntry {
             handle: handle.into(),
             cause: cause.into(),
+            reason: QuarantineReason::Undecodable,
         };
         dbpl_obs::emit(dbpl_obs::Event::Quarantine {
             handle: entry.handle.clone(),
@@ -302,6 +303,7 @@ impl Database {
             let entry = QuarantineEntry {
                 handle: format!("dynamics[{pos}]"),
                 cause: cause.into(),
+                reason: QuarantineReason::Undecodable,
             };
             dbpl_obs::emit(dbpl_obs::Event::Quarantine {
                 handle: entry.handle.clone(),

@@ -182,6 +182,14 @@ pub fn builtins() -> Vec<BuiltinSig> {
             ty: Type::forall("t", None, Type::fun(db(), Type::Str)),
             arity: 1,
         },
+        // SCRUB: walk every stored unit, verify checksums, read-repair
+        // corrupt copies from the intrinsic replica, and render the
+        // summary plus the measured scrub span tree.
+        BuiltinSig {
+            name: "scrub",
+            ty: Type::fun(db(), Type::Str),
+            arity: 1,
+        },
         // The same for the generalized natural join of two object lists.
         BuiltinSig {
             name: "explainAnalyzeJoin",

@@ -571,6 +571,20 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
                 )),
             }
         }
+        "scrub" => match args.remove(0) {
+            RtValue::DbToken => {
+                let (report, spans) = dbpl_obs::trace::capture("scrub_cmd", || s.scrub());
+                Ok(RtValue::Str(format!(
+                    "{}\n{}",
+                    report.summary(),
+                    dbpl_obs::trace::render_tree(&spans).trim_end()
+                )))
+            }
+            other => Err(LangError::eval(
+                at,
+                format!("scrub on non-database {other}"),
+            )),
+        },
         "explainAnalyzeJoin" => {
             let rhs = list_arg(&args[1], at)?;
             let lhs = list_arg(&args[0], at)?;

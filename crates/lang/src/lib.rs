@@ -42,4 +42,4 @@ pub use check::{check_program, infer_expr};
 pub use error::{LangError, Phase};
 pub use parser::{parse_expr, parse_program};
 pub use rt::{Env, RtValue};
-pub use session::Session;
+pub use session::{Health, Session};

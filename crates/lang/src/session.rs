@@ -34,7 +34,7 @@ use crate::rt::{Closure, Env, RtValue};
 use dbpl_core::Database;
 use dbpl_persist::{
     commit_multi, pending_intent, recover_pending, IntrinsicStore, PersistError, QuarantineEntry,
-    QuarantineReport, ReplicatingStore, RetryPolicy, SalvageReport,
+    QuarantineReason, QuarantineReport, ReplicatingStore, RetryPolicy, SalvageReport, ScrubReport,
 };
 use dbpl_values::DynValue;
 use std::collections::BTreeMap;
@@ -90,6 +90,11 @@ pub struct Session {
     /// session level, so the record survives the enclosing transaction's
     /// abort. Merged into [`Session::quarantine_report`].
     quarantined: Vec<QuarantineEntry>,
+    /// Why the session is degraded (read-only for durable work), or
+    /// `None` when healthy. Set when the environment fails underneath a
+    /// commit — disk full at the store — and cleared automatically once
+    /// a later commit finds the store writable again.
+    degraded: Option<String>,
     /// A durable pending transaction that could not be recovered yet
     /// (its intent carries intrinsic-store records and no intrinsic store
     /// is attached, or an in-doubt commit's immediate roll-forward
@@ -97,6 +102,29 @@ pub struct Session {
     /// commits and direct store writes are refused — a fresh intent would
     /// overwrite the pending one and lose its writes.
     pending_recovery: Option<u64>,
+}
+
+/// The session's health state, as reported by [`Session::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// Fully operational: durable commits are accepted.
+    Healthy,
+    /// The environment failed underneath the session (e.g. the store's
+    /// disk filled up): durable commits and direct store writes are
+    /// refused — cleanly, with nothing half-written — until the
+    /// condition clears. The session exits degraded mode by itself the
+    /// next time a commit finds the store writable.
+    Degraded {
+        /// What pushed the session into degraded mode.
+        reason: String,
+    },
+}
+
+impl Health {
+    /// Whether the session is degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Health::Degraded { .. })
+    }
 }
 
 /// The statement kind attached to per-statement trace spans.
@@ -173,7 +201,11 @@ impl Session {
     /// intent that also carries intrinsic-store records is left in place
     /// — with commits blocked — until [`Session::attach_intrinsic`] can
     /// recover both halves as a unit.
-    fn from_store(store: ReplicatingStore) -> Result<Session, LangError> {
+    ///
+    /// Public so hosts can inject a store opened over a custom
+    /// [`dbpl_persist::Vfs`] (fault injection, in-memory testing) via
+    /// [`ReplicatingStore::open_with`].
+    pub fn from_store(store: ReplicatingStore) -> Result<Session, LangError> {
         let mut s = Session {
             db: Database::new(),
             store,
@@ -182,6 +214,7 @@ impl Session {
             txn_deadline: None,
             txn: None,
             quarantined: Vec::new(),
+            degraded: None,
             pending_recovery: None,
         };
         if s.store.is_read_only() {
@@ -494,6 +527,31 @@ impl Session {
             // the new state, nothing to make durable.
             return Ok(());
         }
+        if let Some(reason) = self.degraded.clone() {
+            // Degraded (e.g. disk full): probe before touching real
+            // state. If the store is writable again the session heals
+            // itself and the commit proceeds; otherwise refuse cleanly
+            // — roll memory back, nothing durable was attempted.
+            match self.store.probe_writable() {
+                Ok(()) => self.exit_degraded(),
+                Err(e) => {
+                    self.db = *frame.saved_db;
+                    if let Some(s) = self.intrinsic.as_mut() {
+                        s.abort();
+                    }
+                    dbpl_obs::emit(dbpl_obs::Event::TxnAbort {
+                        reason: format!("session degraded: {reason}"),
+                    });
+                    return Err(LangError::eval(
+                        0,
+                        format!(
+                            "commit refused, transaction aborted: session is degraded \
+                             ({reason}) and the store is still unwritable ({e})"
+                        ),
+                    ));
+                }
+            }
+        }
         if let Some(txn_id) = self.pending_recovery {
             // An earlier transaction's intent is still durably pending;
             // publishing a new intent would overwrite it and lose its
@@ -559,6 +617,13 @@ impl Session {
                 dbpl_obs::emit(dbpl_obs::Event::TxnAbort {
                     reason: format!("commit failed: {e}"),
                 });
+                // Disk full is not this transaction's fault: flip the
+                // whole session into degraded mode so later commits are
+                // refused up front instead of failing halfway through
+                // their write path.
+                if is_storage_full(&e) {
+                    self.enter_degraded(format!("storage full during commit: {e}"));
+                }
                 Err(LangError::eval(
                     0,
                     format!("commit failed, transaction aborted: {e}"),
@@ -608,7 +673,13 @@ impl Session {
                 if let Some(txn_id) = self.pending_recovery {
                     return Err(PersistError::RecoveryPending { txn_id });
                 }
-                self.store.install_unit(handle, &bytes)
+                match self.store.install_unit(handle, &bytes) {
+                    Err(e) if is_storage_full(&e) => {
+                        self.enter_degraded(format!("storage full during extern: {e}"));
+                        Err(e)
+                    }
+                    other => other,
+                }
             }
         }
     }
@@ -649,7 +720,7 @@ impl Session {
                 Ok(d) => Ok(d),
                 Err(e) => {
                     if is_corruption(&e) {
-                        self.quarantine(handle, e.to_string());
+                        self.quarantine(handle, e.to_string(), QuarantineReason::of(&e));
                     }
                     Err(e)
                 }
@@ -678,12 +749,68 @@ impl Session {
             ));
         }
         for e in report.entries {
-            self.quarantine(&e.handle, e.cause);
+            self.quarantine(&e.handle, e.cause, e.reason);
         }
         Ok(n)
     }
 
+    /// Walk every unit of the replicating store, verify checksums and
+    /// decodability, and read-repair corrupt units from the attached
+    /// intrinsic store's copy of the same handle (when one is attached
+    /// and holds one). Units that stay corrupt are quarantined at the
+    /// session level, exactly as if `intern` had tripped over them.
+    /// Emits [`dbpl_obs::Event::ScrubReport`] and the `scrub.*` counters.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let report = self.store.scrub(self.intrinsic.as_ref());
+        for e in &report.corrupt {
+            self.quarantine(&e.handle, e.cause.clone(), e.reason);
+        }
+        report
+    }
+
     // ---------- diagnostics ----------
+
+    /// The session's current health: [`Health::Healthy`], or
+    /// [`Health::Degraded`] after an environmental failure (disk full)
+    /// flipped durable commits off. Degraded mode clears itself the next
+    /// time a commit probes the store and finds it writable.
+    pub fn health(&self) -> Health {
+        match &self.degraded {
+            None => Health::Healthy,
+            Some(reason) => Health::Degraded {
+                reason: reason.clone(),
+            },
+        }
+    }
+
+    /// Flip into degraded mode (idempotent), announcing the transition
+    /// through the event stream and the session output.
+    fn enter_degraded(&mut self, reason: String) {
+        if self.degraded.is_some() {
+            return;
+        }
+        dbpl_obs::emit(dbpl_obs::Event::HealthChanged {
+            degraded: true,
+            reason: reason.clone(),
+        });
+        self.out.push(format!(
+            "warning: session degraded ({reason}); durable commits are refused until \
+             the store is writable again"
+        ));
+        self.degraded = Some(reason);
+    }
+
+    /// Leave degraded mode after a successful writability probe.
+    fn exit_degraded(&mut self) {
+        if self.degraded.take().is_some() {
+            dbpl_obs::emit(dbpl_obs::Event::HealthChanged {
+                degraded: false,
+                reason: "store is writable again".to_string(),
+            });
+            self.out
+                .push("note: session healthy again; durable commits resume".to_string());
+        }
+    }
 
     /// Everything this session has quarantined: corrupt store units hit
     /// by `intern`/import plus the database's own quarantined dynamics.
@@ -746,7 +873,12 @@ impl Session {
     /// tracing / Perfetto JSON array to `path` (open it in
     /// `chrome://tracing` or <https://ui.perfetto.dev>).
     pub fn export_trace_chrome(&self, path: &std::path::Path) -> Result<(), LangError> {
-        let json = dbpl_obs::trace::export_chrome(&dbpl_obs::trace::buffered());
+        // Counter tracks for every `span.<name>` histogram ride along, so
+        // the trace file also carries the per-site lifetime totals.
+        let json = dbpl_obs::trace::export_chrome_with_counters(
+            &dbpl_obs::trace::buffered(),
+            &self.stats(),
+        );
         std::fs::write(path, json)
             .map_err(|e| LangError::eval(0, format!("trace export failed: {e}")))
     }
@@ -755,11 +887,12 @@ impl Session {
     /// *at quarantine time*, so an attached [`dbpl_obs::EventSink`] hears
     /// about the corruption when it happens rather than only when someone
     /// pulls [`Session::quarantine_report`].
-    fn quarantine(&mut self, handle: &str, cause: impl Into<String>) {
+    fn quarantine(&mut self, handle: &str, cause: impl Into<String>, reason: QuarantineReason) {
         if !self.quarantined.iter().any(|e| e.handle == handle) {
             let entry = QuarantineEntry {
                 handle: handle.to_string(),
                 cause: cause.into(),
+                reason,
             };
             dbpl_obs::emit(dbpl_obs::Event::Quarantine {
                 handle: entry.handle.clone(),
@@ -767,6 +900,14 @@ impl Session {
             });
             self.quarantined.push(entry);
         }
+    }
+}
+
+/// Does this error bottom out in "the device is out of space"?
+fn is_storage_full(e: &PersistError) -> bool {
+    match e {
+        PersistError::Io(io) => io.kind() == std::io::ErrorKind::StorageFull,
+        _ => false,
     }
 }
 

@@ -75,6 +75,27 @@ pub enum Event {
         /// The fault kind (`"transient"` or `"crash"`).
         kind: String,
     },
+    /// A scrub pass over a replicating store finished (see
+    /// `ReplicatingStore::scrub` in `dbpl-persist`).
+    ScrubReport {
+        /// Units examined.
+        scanned: u64,
+        /// Units whose checksum and decode both passed.
+        verified: u64,
+        /// Units found corrupt and left quarantined (repair failed or no
+        /// replica was available).
+        corrupt: u64,
+        /// Units found corrupt and rewritten from a healthy replica.
+        repaired: u64,
+    },
+    /// A session entered or left degraded (read-only) mode, e.g. on
+    /// disk-full during commit and again when space returns.
+    HealthChanged {
+        /// `true` when entering degraded mode, `false` on recovery.
+        degraded: bool,
+        /// Why the health state changed.
+        reason: String,
+    },
     /// A root span exceeded the slow-op threshold
     /// ([`crate::trace::set_slow_threshold_us`]); carries the whole
     /// subtree so the log alone answers "where did it spend its time".
@@ -103,6 +124,8 @@ impl Event {
             Event::Salvage { .. } => "salvage",
             Event::Retry { .. } => "retry",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::ScrubReport { .. } => "scrub_report",
+            Event::HealthChanged { .. } => "health_changed",
             Event::SlowOp { .. } => "slow_op",
         }
     }
@@ -150,6 +173,18 @@ impl Event {
                 "{{\"event\":\"{kind}\",\"op\":\"{}\",\"kind\":\"{}\"}}",
                 json_escape(op),
                 json_escape(fk)
+            ),
+            Event::ScrubReport {
+                scanned,
+                verified,
+                corrupt,
+                repaired,
+            } => format!(
+                "{{\"event\":\"{kind}\",\"scanned\":{scanned},\"verified\":{verified},\"corrupt\":{corrupt},\"repaired\":{repaired}}}"
+            ),
+            Event::HealthChanged { degraded, reason } => format!(
+                "{{\"event\":\"{kind}\",\"degraded\":{degraded},\"reason\":\"{}\"}}",
+                json_escape(reason)
             ),
             Event::SlowOp {
                 name,
@@ -310,6 +345,22 @@ mod tests {
                     kind: "transient".into(),
                 },
                 r#"{"event":"fault_injected","op":"sync_file","kind":"transient"}"#,
+            ),
+            (
+                Event::ScrubReport {
+                    scanned: 10,
+                    verified: 8,
+                    corrupt: 1,
+                    repaired: 1,
+                },
+                r#"{"event":"scrub_report","scanned":10,"verified":8,"corrupt":1,"repaired":1}"#,
+            ),
+            (
+                Event::HealthChanged {
+                    degraded: true,
+                    reason: "disk full".into(),
+                },
+                r#"{"event":"health_changed","degraded":true,"reason":"disk full"}"#,
             ),
             (
                 Event::SlowOp {

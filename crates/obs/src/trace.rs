@@ -421,6 +421,51 @@ pub fn capture<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, Vec<SpanReco
 /// span/trace ids plus every attribute under `args`.
 pub fn export_chrome(spans: &[SpanRecord]) -> String {
     let mut out = String::from("[");
+    push_span_events(spans, &mut out);
+    out.push_str("\n]\n");
+    out
+}
+
+/// Like [`export_chrome`], but the span events are followed by Chrome
+/// counter events (`"ph":"C"`): one per `span.<name>` histogram in
+/// `stats`, carrying the site's total observation count and summed
+/// duration. Perfetto draws these as counter tracks alongside the
+/// timeline, so a trace file alone shows both *this* capture's spans and
+/// the process-lifetime totals per instrumented site.
+pub fn export_chrome_with_counters(spans: &[SpanRecord], stats: &crate::StatsSnapshot) -> String {
+    let mut out = String::from("[");
+    push_span_events(spans, &mut out);
+    // Counters are point samples; stamp them at the end of the captured
+    // window so they sit after the spans on the timeline.
+    let ts = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(0);
+    let mut first = spans.is_empty();
+    for (name, h) in &stats.histograms {
+        if !name.starts_with("span.") {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  ");
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"dbpl\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"count\":{},\"sum_us\":{}}}}}",
+            crate::json_escape(name),
+            h.count,
+            h.sum_us,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Append the `"ph":"X"` complete events for `spans` (no enclosing
+/// brackets) — shared by both Chrome exporters.
+fn push_span_events(spans: &[SpanRecord], out: &mut String) {
     for (i, s) in spans.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -445,8 +490,6 @@ pub fn export_chrome(spans: &[SpanRecord]) -> String {
         }
         out.push_str("}}");
     }
-    out.push_str("\n]\n");
-    out
 }
 
 /// Render spans as an indented EXPLAIN-ANALYZE-style tree: one line per
@@ -681,6 +724,60 @@ mod tests {
                 .and_then(|a| a.get("parent_id"))
                 .and_then(|v| v.as_u64()),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn chrome_export_with_counters_appends_histogram_tracks() {
+        let spans = vec![SpanRecord {
+            trace_id: 1,
+            span_id: 1,
+            parent_id: None,
+            name: "root",
+            start_us: 5,
+            dur_us: 100,
+            tid: 0,
+            attrs: Vec::new(),
+        }];
+        let mut stats = crate::StatsSnapshot::default();
+        stats.histograms.insert(
+            "span.get".to_string(),
+            crate::HistogramSnapshot {
+                buckets: vec![3],
+                count: 3,
+                sum_us: 120,
+            },
+        );
+        // Non-span histograms stay out of the trace file.
+        stats.histograms.insert(
+            "other.metric".to_string(),
+            crate::HistogramSnapshot {
+                buckets: vec![1],
+                count: 1,
+                sum_us: 1,
+            },
+        );
+        let text = export_chrome_with_counters(&spans, &stats);
+        let json = crate::json::parse(&text).expect("counter export parses as JSON");
+        let arr = json.as_array().expect("top level is an array");
+        assert_eq!(arr.len(), 2, "{text}");
+        assert_eq!(arr[0].get("ph").and_then(|v| v.as_str()), Some("X"));
+        let c = &arr[1];
+        assert_eq!(c.get("ph").and_then(|v| v.as_str()), Some("C"));
+        assert_eq!(c.get("name").and_then(|v| v.as_str()), Some("span.get"));
+        // Counter sample sits at the end of the captured window.
+        assert_eq!(c.get("ts").and_then(|v| v.as_u64()), Some(105));
+        assert_eq!(
+            c.get("args")
+                .and_then(|a| a.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert_eq!(
+            c.get("args")
+                .and_then(|a| a.get("sum_us"))
+                .and_then(|v| v.as_u64()),
+            Some(120)
         );
     }
 

@@ -1,38 +1,103 @@
-//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//! CRC-32C (Castagnoli, reflected polynomial 0x82F63B78), hardware-
+//! accelerated where the CPU allows.
 //!
-//! Used to frame log records so that torn writes and bit rot are detected
-//! during recovery. Implemented locally to keep the storage layer
+//! Used to frame log records and stored units so that torn writes and bit
+//! rot are detected on every read. Because the checksum sits on the hot
+//! read path (verify-on-read), speed matters twice over: the Castagnoli
+//! polynomial is the one x86 implements in silicon (SSE 4.2 `crc32`,
+//! several bytes per cycle), and the software fallback is slice-by-16 —
+//! sixteen lookup tables consume sixteen input bytes per step, so the
+//! serial (carry-dependent) chain advances once per 16 bytes instead of
+//! once per byte. Implemented locally to keep the storage layer
 //! dependency-free.
 
-/// Lazily built 256-entry lookup table.
-fn table() -> &'static [u32; 256] {
+/// The reflected CRC-32C generator polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Lazily built slice-by-16 tables: `t[0]` is the classic byte-at-a-time
+/// table, and `t[k][b]` is the CRC contribution of byte `b` seen `k`
+/// positions earlier in a 16-byte block.
+fn tables() -> &'static [[u32; 256]; 16] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
+    static TABLES: OnceLock<Box<[[u32; 256]; 16]>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 16]);
+        for i in 0..256usize {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             }
-            *e = c;
+            t[0][i] = c;
+        }
+        for i in 0..256usize {
+            let mut c = t[0][i];
+            for k in 1..16 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
         }
         t
     })
 }
 
-/// Compute the CRC-32 of a byte slice.
-pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
+/// Fold one 8-byte word through tables `t[off + 7] .. t[off]`.
+#[inline(always)]
+fn fold8(t: &[[u32; 256]; 16], off: usize, x: u64) -> u32 {
+    t[off + 7][(x & 0xFF) as usize]
+        ^ t[off + 6][((x >> 8) & 0xFF) as usize]
+        ^ t[off + 5][((x >> 16) & 0xFF) as usize]
+        ^ t[off + 4][((x >> 24) & 0xFF) as usize]
+        ^ t[off + 3][((x >> 32) & 0xFF) as usize]
+        ^ t[off + 2][((x >> 40) & 0xFF) as usize]
+        ^ t[off + 1][((x >> 48) & 0xFF) as usize]
+        ^ t[off][(x >> 56) as usize]
+}
+
+/// Portable slice-by-16 implementation (and the reference the hardware
+/// path is tested against).
+fn crc32_sw(data: &[u8]) -> u32 {
+    let t = tables();
     let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut blocks = data.chunks_exact(16);
+    for b in &mut blocks {
+        let lo = u64::from_le_bytes(b[..8].try_into().unwrap()) ^ c as u64;
+        let hi = u64::from_le_bytes(b[8..].try_into().unwrap());
+        c = fold8(t, 8, lo) ^ fold8(t, 0, hi);
+    }
+    for &b in blocks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
+}
+
+/// SSE 4.2 implementation: one `crc32` instruction per 8 input bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32_hw(data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut c = 0xFFFF_FFFFu64;
+    let mut blocks = data.chunks_exact(8);
+    for b in &mut blocks {
+        c = _mm_crc32_u64(c, u64::from_le_bytes(b.try_into().unwrap()));
+    }
+    let mut c = c as u32;
+    for &b in blocks.remainder() {
+        c = _mm_crc32_u8(c, b);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Compute the CRC-32C of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Detection is cached by std behind an atomic; effectively free.
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            // SAFETY: the sse4.2 requirement was just checked.
+            return unsafe { crc32_hw(data) };
+        }
+    }
+    crc32_sw(data)
 }
 
 /// FNV-1a 64-bit hash — used to give sanitized handle file names a
@@ -51,6 +116,18 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
 mod tests {
     use super::*;
 
+    /// Straight-from-the-spec bitwise CRC-32C, no tables, no intrinsics.
+    fn reference(data: &[u8]) -> u32 {
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in data {
+            c ^= b as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+        }
+        c ^ 0xFFFF_FFFF
+    }
+
     #[test]
     fn fnv_known_vectors() {
         assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
@@ -60,10 +137,25 @@ mod tests {
 
     #[test]
     fn known_vectors() {
-        // Standard check value for "123456789".
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // Standard CRC-32C check value for "123456789" (RFC 3720 B.4).
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
         assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"a"), 0xC1D0_4330);
+    }
+
+    #[test]
+    fn all_paths_match_the_bitwise_reference_at_every_length() {
+        // Every length from 0 to several blocks, so the hardware path's
+        // 8-byte loop, the software path's 16-byte loop, both remainder
+        // loops, and their hand-offs all get exercised.
+        let data: Vec<u8> = (0..80u32)
+            .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            let want = reference(&data[..len]);
+            assert_eq!(crc32(&data[..len]), want, "dispatch, len {len}");
+            assert_eq!(crc32_sw(&data[..len]), want, "software, len {len}");
+        }
     }
 
     #[test]

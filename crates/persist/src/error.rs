@@ -16,9 +16,13 @@ pub enum PersistError {
     BadMagic,
     /// A unit was written by an unknown format version.
     UnsupportedVersion(u8),
-    /// A log frame failed its CRC (bit rot / torn write mid-frame).
+    /// Stored bytes failed their CRC — bit rot, a torn write mid-frame,
+    /// or any other silent mutation of data at rest. Raised by log-frame
+    /// replay and by every framed-unit read path (`intern`, salvage,
+    /// scrub, recovery redo).
     ChecksumMismatch {
-        /// Byte offset of the frame.
+        /// Byte offset of the damaged region (the frame offset for log
+        /// records; `0` for whole-unit checksums).
         offset: u64,
     },
     /// The named handle does not exist.
@@ -74,7 +78,10 @@ impl fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not a DBPL unit (bad magic)"),
             PersistError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
             PersistError::ChecksumMismatch { offset } => {
-                write!(f, "checksum mismatch in log frame at offset {offset}")
+                write!(
+                    f,
+                    "checksum mismatch at offset {offset} (bit rot or torn write)"
+                )
             }
             PersistError::UnknownHandle(h) => write!(f, "unknown handle `{h}`"),
             PersistError::SchemaMismatch {

@@ -11,6 +11,15 @@
 //! Encoding: a one-byte tag per constructor; `u64` as LEB128 varints;
 //! `i64` zigzag-ed; strings length-prefixed UTF-8; floats as 8 little-
 //! endian bytes; maps as a count followed by sorted key/value pairs.
+//!
+//! Since version 2 every unit is *framed*: the magic and version byte
+//! are followed by a CRC-32 over everything after the checksum field, a
+//! pair of trace-origin ids (the `(trace_id, span_id)` active when the
+//! unit was encoded — `0` when none), and then the payload. The checksum
+//! means a bit flip anywhere in a stored unit is detected on read
+//! instead of being silently served; the origin ids let a later
+//! process's `intern` stitch its trace back to the externing one.
+//! Version-1 units (no checksum, no origin ids) remain readable.
 
 use crate::error::PersistError;
 use dbpl_types::{Fields, Quant, Type};
@@ -19,8 +28,10 @@ use std::collections::BTreeSet;
 
 /// Magic bytes introducing a self-describing unit.
 pub const MAGIC: &[u8; 4] = b"DBPL";
-/// Current format version.
-pub const VERSION: u8 = 1;
+/// Current format version: checksummed framing with trace-origin ids.
+pub const VERSION: u8 = 2;
+/// The legacy unframed format (no checksum): still readable.
+pub const LEGACY_VERSION: u8 = 1;
 
 // ---------- primitive writers ----------
 
@@ -403,30 +414,98 @@ impl<'a> Reader<'a> {
     }
 }
 
-// ---------- self-describing units ----------
+// ---------- unit framing ----------
 
-/// Encode a dynamic value as a framed, self-describing unit:
-/// `MAGIC ∥ VERSION ∥ type ∥ value`.
-pub fn encode_dyn(d: &DynValue) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
+/// The parsed framing header of a stored unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitHeader {
+    /// The format version the unit was written by.
+    pub version: u8,
+    /// Trace id active when the unit was encoded (`0`: none recorded).
+    pub trace_id: u64,
+    /// Span id active when the unit was encoded (`0`: none recorded).
+    pub span_id: u64,
+}
+
+/// Frame a payload as a version-2 unit:
+/// `MAGIC ∥ VERSION ∥ crc32 ∥ trace_id ∥ span_id ∥ payload`.
+///
+/// The CRC-32 covers everything after the checksum field itself — the
+/// trace-origin varints *and* the payload — so any single-bit flip in
+/// the stored bytes outside the five magic/version bytes fails the
+/// checksum (and a flip inside them fails the magic or version check).
+/// The origin ids are the calling thread's current trace context.
+pub fn frame_unit(payload: &[u8]) -> Vec<u8> {
+    let (trace_id, span_id) = dbpl_obs::trace::current()
+        .map(|c| (c.trace_id, c.span_id))
+        .unwrap_or((0, 0));
+    let mut out = Vec::with_capacity(payload.len() + 29);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
-    put_type(&mut out, &d.ty);
-    put_value(&mut out, &d.value);
+    out.extend_from_slice(&[0u8; 4]); // checksum, patched below
+    put_u64(&mut out, trace_id);
+    put_u64(&mut out, span_id);
+    out.extend_from_slice(payload);
+    let crc = crate::crc::crc32(&out[9..]);
+    out[5..9].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Decode a self-describing unit.
-pub fn decode_dyn(buf: &[u8]) -> Result<DynValue, PersistError> {
+/// Strip and verify a unit's framing, returning the header and payload.
+///
+/// Version-2 units have their checksum verified here — a mismatch is
+/// [`PersistError::ChecksumMismatch`], never a successful decode.
+/// Version-1 (legacy, unframed) units are passed through with zeroed
+/// origin ids; they carry no checksum to verify.
+pub fn unframe_unit(buf: &[u8]) -> Result<(UnitHeader, &[u8]), PersistError> {
     let mut r = Reader::new(buf);
-    let magic = r.bytes(4)?;
-    if magic != MAGIC {
+    if r.bytes(4)? != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    let version = r.byte()?;
-    if version != VERSION {
-        return Err(PersistError::UnsupportedVersion(version));
+    match r.byte()? {
+        LEGACY_VERSION => Ok((
+            UnitHeader {
+                version: LEGACY_VERSION,
+                trace_id: 0,
+                span_id: 0,
+            },
+            &buf[5..],
+        )),
+        VERSION => {
+            let stored = u32::from_le_bytes(r.bytes(4)?.try_into().expect("exactly 4"));
+            if crate::crc::crc32(&buf[r.position()..]) != stored {
+                return Err(PersistError::ChecksumMismatch { offset: 0 });
+            }
+            let trace_id = r.u64()?;
+            let span_id = r.u64()?;
+            Ok((
+                UnitHeader {
+                    version: VERSION,
+                    trace_id,
+                    span_id,
+                },
+                &buf[r.position()..],
+            ))
+        }
+        v => Err(PersistError::UnsupportedVersion(v)),
     }
+}
+
+// ---------- self-describing units ----------
+
+/// Encode a dynamic value as a framed, self-describing unit:
+/// a [`frame_unit`] header over `type ∥ value`.
+pub fn encode_dyn(d: &DynValue) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    put_type(&mut payload, &d.ty);
+    put_value(&mut payload, &d.value);
+    frame_unit(&payload)
+}
+
+/// Decode a self-describing unit (either framed version).
+pub fn decode_dyn(buf: &[u8]) -> Result<DynValue, PersistError> {
+    let (_, payload) = unframe_unit(buf)?;
+    let mut r = Reader::new(payload);
     let ty = r.ty()?;
     let value = r.value()?;
     if r.remaining() != 0 {
@@ -534,6 +613,61 @@ mod tests {
                 "truncation at {cut} accepted"
             );
         }
+    }
+
+    /// Build the version-1 (unframed) encoding of a dynamic value, as a
+    /// pre-checksum store would have written it.
+    fn encode_dyn_legacy(d: &DynValue) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(LEGACY_VERSION);
+        put_type(&mut out, &d.ty);
+        put_value(&mut out, &d.value);
+        out
+    }
+
+    #[test]
+    fn legacy_v1_units_still_decode() {
+        let d = DynValue::new(Type::Str, Value::str("old data"));
+        let old = encode_dyn_legacy(&d);
+        assert_eq!(decode_dyn(&old).unwrap(), d);
+        let (header, _) = unframe_unit(&old).unwrap();
+        assert_eq!(header.version, LEGACY_VERSION);
+        assert_eq!((header.trace_id, header.span_id), (0, 0));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let d = DynValue::new(
+            Type::record([("Name", Type::Str), ("Empno", Type::Int)]),
+            Value::record([("Name", Value::str("J Doe")), ("Empno", Value::Int(7))]),
+        );
+        let bytes = encode_dyn(&d);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 1 << bit;
+                assert!(
+                    decode_dyn(&flipped).is_err(),
+                    "flip of bit {bit} in byte {i} was served"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn framing_records_the_active_trace_context() {
+        let d = DynValue::new(Type::Int, Value::Int(1));
+        // Outside any span: ids are zero.
+        let (h, _) = unframe_unit(&encode_dyn(&d)).unwrap();
+        assert_eq!((h.trace_id, h.span_id), (0, 0));
+        // Inside a traced span: the unit remembers its origin.
+        let (bytes, spans) = dbpl_obs::trace::capture("extern_site", || encode_dyn(&d));
+        let (h, _) = unframe_unit(&bytes).unwrap();
+        assert_eq!(h.trace_id, spans[0].trace_id);
+        assert_eq!(h.span_id, spans[0].span_id);
+        assert_ne!(h.span_id, 0);
+        assert_eq!(decode_dyn(&bytes).unwrap(), d);
     }
 
     #[test]

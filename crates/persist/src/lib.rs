@@ -47,11 +47,13 @@ pub mod vfs;
 
 pub use error::PersistError;
 pub use evolution::{open_handle, project_to_type, OpenOutcome};
-pub use format::{decode_dyn, encode_dyn};
+pub use format::{decode_dyn, encode_dyn, frame_unit, unframe_unit, UnitHeader};
 pub use intrinsic::{IntrinsicStore, RecoveryReport, SalvageReport};
 pub use log::LogFile;
 pub use namespace::{NamespaceManager, Visibility};
-pub use replicating::{QuarantineEntry, QuarantineReport, ReplicatingStore};
+pub use replicating::{
+    QuarantineEntry, QuarantineReason, QuarantineReport, ReplicatingStore, ScrubReport,
+};
 pub use snapshot::Image;
 pub use txn::{commit_multi, pending_intent, recover_pending, Intent};
 pub use vfs::{CountingVfs, FaultPlan, RetryPolicy, SimVfs, StdVfs, Vfs};

@@ -20,3 +20,6 @@ counter_fn!(vfs_fsyncs, "vfs.fsyncs");
 counter_fn!(vfs_renames, "vfs.renames");
 counter_fn!(io_retries, "io.retries");
 counter_fn!(faults_injected, "faults.injected");
+counter_fn!(scrub_verified, "scrub.verified");
+counter_fn!(scrub_corrupt, "scrub.corrupt");
+counter_fn!(scrub_repaired, "scrub.repaired");

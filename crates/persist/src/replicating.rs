@@ -28,6 +28,7 @@
 use crate::crc::fnv1a64;
 use crate::error::PersistError;
 use crate::format;
+use crate::intrinsic::IntrinsicStore;
 use crate::vfs::{retry_io, CountingVfs, StdVfs, Vfs};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -45,6 +46,36 @@ pub struct ReplicatingStore {
     read_only: bool,
 }
 
+/// Why a unit was quarantined instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The unit's framing checksum failed: the bytes at rest changed
+    /// after they were written (bit rot, torn write).
+    ChecksumMismatch,
+    /// The bytes do not decode as a unit at all (truncation, garbage,
+    /// unknown version, I/O failure while reading).
+    Undecodable,
+}
+
+impl QuarantineReason {
+    /// Classify a decode failure.
+    pub fn of(e: &PersistError) -> QuarantineReason {
+        match e {
+            PersistError::ChecksumMismatch { .. } => QuarantineReason::ChecksumMismatch,
+            _ => QuarantineReason::Undecodable,
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::ChecksumMismatch => write!(f, "checksum_mismatch"),
+            QuarantineReason::Undecodable => write!(f, "undecodable"),
+        }
+    }
+}
+
 /// One unit the store refused to serve because its bytes do not decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuarantineEntry {
@@ -52,6 +83,8 @@ pub struct QuarantineEntry {
     pub handle: String,
     /// Human-readable decode failure.
     pub cause: String,
+    /// Machine-readable failure class.
+    pub reason: QuarantineReason,
 }
 
 /// What a salvage open or bulk import skipped instead of failing on:
@@ -134,6 +167,7 @@ impl ReplicatingStore {
                 report.entries.push(QuarantineEntry {
                     handle: stem,
                     cause: e.to_string(),
+                    reason: QuarantineReason::of(&e),
                 });
             }
         }
@@ -211,29 +245,35 @@ impl ReplicatingStore {
         let rewritten = heap.replicate_into(&d.value, &mut closure)?;
         let unit = DynValue::new(d.ty.clone(), rewritten);
 
-        let mut out = format::encode_dyn(&unit);
-        format::put_u64(&mut out, closure.len() as u64);
+        let mut payload = Vec::with_capacity(64);
+        format::put_type(&mut payload, &unit.ty);
+        format::put_value(&mut payload, &unit.value);
+        format::put_u64(&mut payload, closure.len() as u64);
         for (oid, obj) in closure.iter() {
-            format::put_u64(&mut out, oid.0);
-            format::put_type(&mut out, &obj.ty);
-            format::put_value(&mut out, &obj.value);
+            format::put_u64(&mut payload, oid.0);
+            format::put_type(&mut payload, &obj.ty);
+            format::put_value(&mut payload, &obj.value);
         }
-        Ok(out)
+        // One frame over the whole unit — dynamic, closure and all — so
+        // the checksum covers every byte the store will later serve.
+        Ok(format::frame_unit(&payload))
     }
 
     /// Decode one unit's bytes, replicating its object closure into
     /// `heap` under fresh identities. Inverse of
     /// [`ReplicatingStore::encode_unit`].
     pub fn decode_unit(buf: &[u8], heap: &mut Heap) -> Result<DynValue, PersistError> {
-        // The unit is a prefix; objects follow. Parse manually.
-        let mut r = format::Reader::new(buf);
-        if r.bytes(4)? != format::MAGIC {
-            return Err(PersistError::BadMagic);
-        }
-        let version = r.byte()?;
-        if version != format::VERSION {
-            return Err(PersistError::UnsupportedVersion(version));
-        }
+        ReplicatingStore::decode_unit_framed(buf, heap).map(|(_, d)| d)
+    }
+
+    /// [`ReplicatingStore::decode_unit`], also returning the framing
+    /// header (format version and trace-origin ids).
+    pub fn decode_unit_framed(
+        buf: &[u8],
+        heap: &mut Heap,
+    ) -> Result<(format::UnitHeader, DynValue), PersistError> {
+        let (header, payload) = format::unframe_unit(buf)?;
+        let mut r = format::Reader::new(payload);
         let ty = r.ty()?;
         let value = r.value()?;
         let n = r.u64()? as usize;
@@ -250,7 +290,7 @@ impl ReplicatingStore {
             ));
         }
         let fresh = stored.replicate_into(&value, heap)?;
-        Ok(DynValue::new(ty, fresh))
+        Ok((header, DynValue::new(ty, fresh)))
     }
 
     /// Durably install pre-encoded unit bytes under `handle`.
@@ -306,7 +346,14 @@ impl ReplicatingStore {
             }
             Err(e) => return Err(e.into()),
         };
-        ReplicatingStore::decode_unit(&buf, heap)
+        let (header, d) = ReplicatingStore::decode_unit_framed(&buf, heap)?;
+        // Cross-process stitching: the unit remembers the trace that
+        // externed it; surface that origin on this intern's span.
+        if header.trace_id != 0 {
+            sp.set_attr("origin_trace_id", header.trace_id);
+            sp.set_attr("origin_span_id", header.span_id);
+        }
+        Ok(d)
     }
 
     /// Intern every decodable unit in the store, quarantining the rest.
@@ -326,6 +373,7 @@ impl ReplicatingStore {
                 report.entries.push(QuarantineEntry {
                     handle: "<store directory>".to_string(),
                     cause: e.to_string(),
+                    reason: QuarantineReason::Undecodable,
                 });
                 return (good, report);
             }
@@ -345,6 +393,7 @@ impl ReplicatingStore {
                 Err(e) => report.entries.push(QuarantineEntry {
                     handle: stem,
                     cause: e.to_string(),
+                    reason: QuarantineReason::of(&e),
                 }),
             }
         }
@@ -401,6 +450,151 @@ impl ReplicatingStore {
     /// "wasted storage" when shared structures are replicated per handle.
     pub fn stored_bytes(&self, handle: &str) -> Result<u64, PersistError> {
         Ok(retry_io(|| self.vfs.len(&self.handle_path(handle)))?)
+    }
+
+    /// Probe whether the underlying storage currently accepts writes — a
+    /// tiny write-then-remove in the store directory. Used to detect
+    /// recovery from a disk-full condition before re-enabling commits.
+    pub fn probe_writable(&self) -> Result<(), PersistError> {
+        self.check_writable("probe")?;
+        let probe = self.dir.join(".dbpl-probe.tmp");
+        retry_io(|| self.vfs.write(&probe, b"probe"))?;
+        let _ = self.vfs.remove_file(&probe);
+        Ok(())
+    }
+
+    /// Verify every unit in the store in bounded batches, read-repairing
+    /// what it can. See [`ScrubReport`] for what comes back.
+    ///
+    /// Each unit is fully decoded into a scratch heap, which verifies
+    /// the version-2 framing checksum (and structurally validates legacy
+    /// version-1 units, which carry none). A unit that fails is counted
+    /// corrupt; when `replica` holds a handle of the same name — the
+    /// intrinsic↔replicating pairing a [`crate::txn::commit_multi`]
+    /// session maintains — the damaged copy is re-encoded from the
+    /// replica's healthy value and durably reinstalled. Units that are
+    /// corrupt with no repair source end up in
+    /// [`ScrubReport::corrupt`], ready to quarantine. Read-only
+    /// (salvage) stores verify but never repair.
+    ///
+    /// Counters: `scrub.verified`, `scrub.corrupt`, `scrub.repaired`.
+    /// Span tree: `scrub` → one `scrub.batch` per [`SCRUB_BATCH`] units.
+    pub fn scrub(&self, replica: Option<&IntrinsicStore>) -> ScrubReport {
+        let mut sp = dbpl_obs::span!("scrub");
+        let mut report = ScrubReport::default();
+        let paths = match self.unit_paths() {
+            Ok(p) => p,
+            Err(e) => {
+                report.corrupt.push(QuarantineEntry {
+                    handle: "<store directory>".to_string(),
+                    cause: e.to_string(),
+                    reason: QuarantineReason::Undecodable,
+                });
+                return report;
+            }
+        };
+        // Map unit files back to the replica's handle spelling, so
+        // sanitized file names still find their repair source.
+        let repair_map: BTreeMap<PathBuf, &String> = replica
+            .map(|r| {
+                r.handles()
+                    .keys()
+                    .map(|name| (self.handle_path(name), name))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for batch in paths.chunks(SCRUB_BATCH) {
+            let mut bsp = dbpl_obs::span!("scrub.batch");
+            bsp.set_attr("units", batch.len());
+            for path in batch {
+                report.scanned += 1;
+                let stem = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                let mut scratch = Heap::new();
+                let outcome = match retry_io(|| self.vfs.read(path)) {
+                    Ok(bytes) => ReplicatingStore::decode_unit(&bytes, &mut scratch).map(|_| ()),
+                    Err(e) => Err(e.into()),
+                };
+                let e = match outcome {
+                    Ok(()) => {
+                        report.verified += 1;
+                        crate::metrics::scrub_verified().inc();
+                        continue;
+                    }
+                    Err(e) => e,
+                };
+                crate::metrics::scrub_corrupt().inc();
+                if !self.read_only {
+                    if let (Some(r), Some(&name)) = (replica, repair_map.get(path)) {
+                        if let Some((ty, v)) = r.handle(name) {
+                            let healthy = DynValue::new(ty.clone(), v.clone());
+                            let reinstall = ReplicatingStore::encode_unit(&healthy, r.heap())
+                                .and_then(|bytes| self.install_unit(name, &bytes));
+                            if reinstall.is_ok() {
+                                crate::metrics::scrub_repaired().inc();
+                                report.repaired.push(name.clone());
+                                continue;
+                            }
+                        }
+                    }
+                }
+                report.corrupt.push(QuarantineEntry {
+                    handle: stem,
+                    cause: e.to_string(),
+                    reason: QuarantineReason::of(&e),
+                });
+            }
+        }
+        sp.set_attr("scanned", report.scanned);
+        sp.set_attr("verified", report.verified);
+        sp.set_attr("corrupt", report.corrupt.len());
+        sp.set_attr("repaired", report.repaired.len());
+        dbpl_obs::emit(dbpl_obs::Event::ScrubReport {
+            scanned: report.scanned as u64,
+            verified: report.verified as u64,
+            corrupt: report.corrupt.len() as u64,
+            repaired: report.repaired.len() as u64,
+        });
+        report
+    }
+}
+
+/// Units per `scrub.batch` span — bounds how much work (and memory) one
+/// scrub step takes before yielding a progress boundary.
+pub const SCRUB_BATCH: usize = 64;
+
+/// What a [`ReplicatingStore::scrub`] pass found and fixed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Units examined.
+    pub scanned: usize,
+    /// Units whose bytes verified clean.
+    pub verified: usize,
+    /// Units found corrupt and **not** repaired — quarantine these.
+    pub corrupt: Vec<QuarantineEntry>,
+    /// Handles found corrupt and rebuilt from the intrinsic replica.
+    pub repaired: Vec<String>,
+}
+
+impl ScrubReport {
+    /// True when every unit verified clean (nothing corrupt, nothing
+    /// needing repair).
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.repaired.is_empty()
+    }
+
+    /// One-line human summary, `scrub: scanned=… verified=… …`.
+    pub fn summary(&self) -> String {
+        format!(
+            "scrub: scanned={} verified={} corrupt={} repaired={}",
+            self.scanned,
+            self.verified,
+            self.corrupt.len(),
+            self.repaired.len()
+        )
     }
 }
 

@@ -189,6 +189,7 @@ pub fn crash_sweep_intrinsic(seed: u64, txns: usize) -> SweepReport {
             seed,
             crash_at_op: Some(crash_at),
             transient_one_in: None,
+            ..FaultPlan::default()
         });
         let (acked, err) = run_intrinsic(&vfs, &script);
         assert!(
@@ -230,6 +231,7 @@ pub fn transient_storm_intrinsic(seed: u64, txns: usize) {
         seed,
         crash_at_op: None,
         transient_one_in: Some(6),
+        ..FaultPlan::default()
     });
     let (acked, err) = run_intrinsic(&vfs, &script);
     assert!(
@@ -298,6 +300,7 @@ pub fn crash_sweep_replicating(seed: u64, writes: usize) -> SweepReport {
             seed,
             crash_at_op: Some(crash_at),
             transient_one_in: None,
+            ..FaultPlan::default()
         });
         let (acked, in_flight, err) = run_replicating(&vfs, seed, writes);
         assert!(
@@ -366,6 +369,7 @@ pub fn transient_storm_replicating(seed: u64, writes: usize) {
         seed,
         crash_at_op: None,
         transient_one_in: Some(6),
+        ..FaultPlan::default()
     });
     let (acked, _, err) = run_replicating(&vfs, seed, writes);
     assert!(
@@ -603,6 +607,7 @@ pub fn crash_sweep_multi_store(seed: u64, txns: usize) -> SweepReport {
             seed,
             crash_at_op: Some(crash_at),
             transient_one_in: None,
+            ..FaultPlan::default()
         });
         let (acked, err) = run_multi(&vfs, &script);
         assert!(
@@ -768,6 +773,7 @@ pub fn crash_sweep_extern_only(seed: u64, txns: usize) -> SweepReport {
             seed,
             crash_at_op: Some(crash_at),
             transient_one_in: None,
+            ..FaultPlan::default()
         });
         let (acked, err) = run_extern_only(&vfs, &script);
         assert!(
@@ -813,6 +819,7 @@ pub fn transient_storm_multi_store_at(seed: u64, txns: usize, one_in: u64) {
         seed,
         crash_at_op: None,
         transient_one_in: Some(one_in),
+        ..FaultPlan::default()
     });
     let (acked, err) = run_multi(&vfs, &script);
     assert!(
@@ -825,6 +832,240 @@ pub fn transient_storm_multi_store_at(seed: u64, txns: usize, one_in: u64) {
     let repl = ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR)).unwrap();
     let got = multi_canonical(&intr, &repl, &format!("seed {seed}, storm"));
     assert_eq!(got, *states.last().unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Bit rot + scrub (self-healing storage)
+// ---------------------------------------------------------------------------
+
+const ROT_LOG: &str = "rot.log";
+const ROT_DIR: &str = "rotstore";
+
+/// What a bit-rot sweep planted and what scrub did about it.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrubSweepReport {
+    /// Units written — each had exactly one bit flipped at rest.
+    pub planted: usize,
+    /// Corruptions scrub reported with **no** replica attached.
+    pub found: usize,
+    /// Units scrub read-repaired once the intrinsic replica was attached.
+    pub repaired: usize,
+}
+
+/// Deterministic bit-rot sweep: seed a replicating store and an intrinsic
+/// replica with the same handles, flip exactly one (seed-determined) bit
+/// in every `.dyn` unit at rest, then assert the self-healing contract
+/// end to end:
+///
+/// 1. no rotted unit is ever served — every `intern` fails its checksum;
+/// 2. a scrub with no replica **finds** every corruption (and repairs
+///    nothing);
+/// 3. a scrub with the replica attached **repairs** every unit, after
+///    which all units intern to their original values and a final scrub
+///    comes back clean.
+///
+/// Panics (with the seed in the message) on any violation.
+pub fn bit_rot_scrub_sweep(seed: u64, units: usize) -> ScrubSweepReport {
+    let vfs = SimVfs::new();
+    let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let mut intr = IntrinsicStore::open_with(vfs_dyn.clone(), Path::new(ROT_LOG)).unwrap();
+    let repl = ReplicatingStore::open_with(vfs_dyn, Path::new(ROT_DIR)).unwrap();
+    let heap = Heap::new();
+    let value_of = |i: usize| Value::Int((seed as i64).wrapping_add(i as i64 + 1));
+    for i in 0..units {
+        let name = format!("u{i}");
+        intr.set_handle(name.clone(), Type::Int, value_of(i));
+        repl.extern_value(&name, &DynValue::new(Type::Int, value_of(i)), &heap)
+            .unwrap();
+    }
+    intr.commit().unwrap();
+
+    // Plant the rot: with `bit_rot_one_in: 1` armed, every read flips one
+    // seed-determined bit of the file it touches — persistently, in both
+    // the live and the synced copy. One read per unit ⇒ one flipped bit
+    // per unit.
+    vfs.set_plan(FaultPlan {
+        seed,
+        bit_rot_one_in: Some(1),
+        ..FaultPlan::default()
+    });
+    for i in 0..units {
+        let path = format!("{ROT_DIR}/u{i}.dyn");
+        vfs.read(Path::new(&path))
+            .unwrap_or_else(|e| panic!("seed {seed}: planting read of u{i} failed: {e}"));
+    }
+    vfs.set_plan(FaultPlan::default());
+
+    // (1) The checksum fences every rotted unit off the read path.
+    for i in 0..units {
+        let mut h = Heap::new();
+        let got = repl.intern(&format!("u{i}"), &mut h);
+        assert!(
+            got.is_err(),
+            "seed {seed}: rotted unit u{i} was served: {got:?}"
+        );
+    }
+    // (2) Scrub without a replica finds every corruption, repairs none.
+    let found = repl.scrub(None);
+    assert_eq!(
+        found.corrupt.len(),
+        units,
+        "seed {seed}: scrub missed corruption: {found:?}"
+    );
+    assert!(
+        found.repaired.is_empty(),
+        "seed {seed}: scrub 'repaired' without a replica: {found:?}"
+    );
+    // (3) With the replica attached, every unit is read-repaired…
+    let healed = repl.scrub(Some(&intr));
+    assert_eq!(
+        healed.repaired.len(),
+        units,
+        "seed {seed}: scrub failed to repair: {healed:?}"
+    );
+    assert!(
+        healed.corrupt.is_empty(),
+        "seed {seed}: corruption survived repair: {healed:?}"
+    );
+    // …after which the store is fully healthy again.
+    for i in 0..units {
+        let mut h = Heap::new();
+        let d = repl
+            .intern(&format!("u{i}"), &mut h)
+            .unwrap_or_else(|e| panic!("seed {seed}: repaired unit u{i} unreadable: {e}"));
+        assert_eq!(
+            d.value,
+            value_of(i),
+            "seed {seed}: u{i} repaired to wrong value"
+        );
+    }
+    let clean = repl.scrub(Some(&intr));
+    assert!(
+        clean.is_clean() && clean.verified == units,
+        "seed {seed}: store not clean after repair: {clean:?}"
+    );
+    ScrubSweepReport {
+        planted: units,
+        found: found.corrupt.len(),
+        repaired: healed.repaired.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk full (graceful degradation)
+// ---------------------------------------------------------------------------
+
+/// Disk-full sweep over the extern-only workload: the seeded script is
+/// re-run once per I/O operation with the simulated disk filling up at
+/// exactly that point (every write-class operation fails with
+/// `StorageFull` from then on, reads keep working). After each run:
+///
+/// * every handle still reads back a value from the committed prefix (the
+///   last acknowledged state, or the single in-flight transaction a
+///   durable intent may partially apply) — never corruption;
+/// * a write while the disk is full fails **cleanly** with `StorageFull`;
+/// * once space returns, [`recover_pending`] settles any pending intent,
+///   the store lands on the committed-prefix contract, and a fresh commit
+///   succeeds.
+///
+/// Panics (with seed and fill point) on any violation.
+pub fn enospc_sweep_extern_only(seed: u64, txns: usize) -> SweepReport {
+    let script = extern_only_script(seed, txns);
+    let states = multi_states(&script);
+
+    let reference = SimVfs::new();
+    let (acked, err) = run_extern_only(&reference, &script);
+    assert!(err.is_none(), "seed {seed}: fault-free run failed: {err:?}");
+    assert_eq!(acked, txns);
+    let total_ops = reference.ops();
+    assert!(total_ops > 0);
+
+    for full_at in 1..=total_ops {
+        let vfs = SimVfs::with_plan(FaultPlan {
+            seed,
+            enospc_at_op: Some(full_at),
+            ..FaultPlan::default()
+        });
+        let (acked, err) = run_extern_only(&vfs, &script);
+        let context = format!("seed {seed}, disk full at op {full_at}");
+        if err.is_none() {
+            // The budget ran out after the workload's last write-class
+            // operation — nothing degraded, nothing to check.
+            assert_eq!(acked, txns, "{context}: silent partial run");
+            continue;
+        }
+
+        let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let repl = ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR))
+            .unwrap_or_else(|e| panic!("{context}: reopen while full failed: {e}"));
+
+        // Still full: reads serve the committed prefix. A durable intent
+        // may have partially applied the in-flight transaction, so each
+        // handle individually must come from state `acked` or `acked+1`.
+        let next = states.get(acked + 1);
+        for name in MULTI_EXT_HANDLES {
+            let mut h = Heap::new();
+            let prev_v = states[acked].1.get(name);
+            let next_v = next.and_then(|s| s.1.get(name));
+            match repl.intern(name, &mut h) {
+                Ok(d) => {
+                    let v = match d.value {
+                        Value::Int(v) => v,
+                        ref other => {
+                            panic!("{context}: handle {name} interned garbage {other:?}")
+                        }
+                    };
+                    assert!(
+                        prev_v == Some(&v) || next_v == Some(&v),
+                        "{context}: handle {name} reads {v}, expected {prev_v:?} or {next_v:?}"
+                    );
+                }
+                Err(PersistError::UnknownHandle(_)) => {
+                    assert!(
+                        prev_v.is_none() || next_v.is_none(),
+                        "{context}: handle {name} lost ({prev_v:?} / {next_v:?})"
+                    );
+                }
+                Err(e) => {
+                    panic!("{context}: degraded read surfaced corruption: {e}")
+                }
+            }
+        }
+        // Still full: a write fails cleanly with StorageFull — no retry
+        // storm, no torn unit.
+        let probe = repl.extern_value(
+            "degraded-probe",
+            &DynValue::new(Type::Int, Value::Int(-7)),
+            &Heap::new(),
+        );
+        match probe {
+            Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::StorageFull => {}
+            other => panic!("{context}: degraded write was not a clean StorageFull: {other:?}"),
+        }
+
+        // Space returns: settle any pending intent, land on the
+        // committed-prefix contract, and accept new commits.
+        vfs.set_plan(FaultPlan::default());
+        recover_pending(None, &repl)
+            .unwrap_or_else(|e| panic!("{context}: recovery after space returned failed: {e}"));
+        let got = extern_canonical(&repl, &context);
+        let in_flight = states.get(acked + 1).map(|s| &s.1);
+        assert!(
+            got == states[acked].1 || Some(&got) == in_flight,
+            "{context}: recovered {got:?}, expected state {acked} ({:?}) or the \
+             in-flight {in_flight:?}",
+            states[acked].1,
+        );
+        let d = DynValue::new(Type::Int, Value::Int(9_999));
+        let bytes = ReplicatingStore::encode_unit(&d, &Heap::new()).unwrap();
+        let externs = BTreeMap::from([("post-full".to_string(), Some(bytes))]);
+        commit_multi(None, &repl, &externs, &RetryPolicy::default())
+            .unwrap_or_else(|e| panic!("{context}: commit after space returned failed: {e}"));
+    }
+    SweepReport {
+        crash_points: total_ops,
+        committed: txns,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -880,6 +1121,7 @@ pub fn crash_sweep_snapshot(seed: u64, saves: usize) -> SweepReport {
             seed,
             crash_at_op: Some(crash_at),
             transient_one_in: None,
+            ..FaultPlan::default()
         });
         let (acked, err) = run_snapshot(&vfs, &images);
         assert!(
@@ -955,6 +1197,21 @@ mod tests {
     #[test]
     fn extern_only_sweep_smoke() {
         let report = crash_sweep_extern_only(0xD7, 2);
+        assert!(report.crash_points > 5, "got {}", report.crash_points);
+        assert_eq!(report.committed, 2);
+    }
+
+    #[test]
+    fn bit_rot_scrub_smoke() {
+        let report = bit_rot_scrub_sweep(0xDA, 6);
+        assert_eq!(report.planted, 6);
+        assert_eq!(report.found, 6);
+        assert_eq!(report.repaired, 6);
+    }
+
+    #[test]
+    fn enospc_sweep_smoke() {
+        let report = enospc_sweep_extern_only(0xDB, 2);
         assert!(report.crash_points > 5, "got {}", report.crash_points);
         assert_eq!(report.committed, 2);
     }

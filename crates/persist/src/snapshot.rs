@@ -84,11 +84,11 @@ impl Image {
         Ok((env, heap, self.bindings.clone()))
     }
 
-    /// Serialize the image.
+    /// Serialize the image: a [`format::frame_unit`] checksummed frame
+    /// over the image payload, so bit rot in a saved session is detected
+    /// at load instead of restoring silently-damaged state.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(256);
-        out.extend_from_slice(format::MAGIC);
-        out.push(format::VERSION);
         out.push(b'I'); // image discriminator
         out.push(self.declared_policy as u8);
         format::put_u64(&mut out, self.types.len() as u64);
@@ -113,19 +113,14 @@ impl Image {
             format::put_type(&mut out, &d.ty);
             format::put_value(&mut out, &d.value);
         }
-        out
+        format::frame_unit(&out)
     }
 
-    /// Deserialize an image.
+    /// Deserialize an image (either framed version; version-2 images
+    /// have their checksum verified).
     pub fn decode(buf: &[u8]) -> Result<Image, PersistError> {
-        let mut r = Reader::new(buf);
-        if r.bytes(4)? != format::MAGIC {
-            return Err(PersistError::BadMagic);
-        }
-        let version = r.byte()?;
-        if version != format::VERSION {
-            return Err(PersistError::UnsupportedVersion(version));
-        }
+        let (_, payload) = format::unframe_unit(buf)?;
+        let mut r = Reader::new(payload);
         if r.byte()? != b'I' {
             return Err(PersistError::Malformed("not an image unit".into()));
         }

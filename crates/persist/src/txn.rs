@@ -306,7 +306,15 @@ pub fn recover_pending(
     }
     for (handle, unit) in &intent.externs {
         match unit {
-            Some(bytes) => store.install_unit(handle, bytes)?,
+            Some(bytes) => {
+                // Verify the unit's own framing checksum before
+                // reinstalling it: the intent frame's CRC protected the
+                // record as a whole, but the redo must not launder bytes
+                // that rotted inside it into a store file that would
+                // then fail every read.
+                crate::format::unframe_unit(bytes)?;
+                store.install_unit(handle, bytes)?;
+            }
             None => store.remove_quiet(handle)?,
         }
     }
@@ -505,7 +513,7 @@ mod tests {
         let vfs = SimVfs::with_plan(FaultPlan {
             seed: 1,
             crash_at_op: Some(total_ops),
-            transient_one_in: None,
+            ..FaultPlan::default()
         });
         let err = commit_once(&vfs).unwrap_err();
         assert!(

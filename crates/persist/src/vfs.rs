@@ -12,9 +12,11 @@
 //!   directory is `sync_dir`'d — the classic "file vanished after rename"
 //!   crash bug;
 //! * a [`FaultPlan`] injects deterministic faults from a seed: crash at
-//!   the Nth operation (with torn final write), and transient
-//!   `Interrupted` errors that well-behaved callers absorb with
-//!   [`retry_io`].
+//!   the Nth operation (with torn final write), transient `Interrupted`
+//!   errors that well-behaved callers absorb with [`retry_io`], a full
+//!   disk (`StorageFull` on every write-kind operation) from the Nth
+//!   operation until space "returns", and media bit rot that flips a
+//!   seed-chosen bit of a file as it is read.
 //!
 //! The crash-simulation harness in [`crate::sim`] drives scripted
 //! workloads over `SimVfs`, crashing at *every* I/O boundary and checking
@@ -70,8 +72,10 @@ pub trait Vfs: Send + Sync {
 /// bounded by a wall-clock deadline (the per-transaction commit deadline).
 ///
 /// `Interrupted` errors are retried up to `max_attempts` times with
-/// exponential backoff from `base_delay`; anything else is returned
-/// immediately. When a `deadline` is set, the policy stops retrying — and
+/// exponential backoff from `base_delay`; anything else — explicitly
+/// including `StorageFull` (ENOSPC), which no amount of retrying can
+/// clear — is returned immediately, on the first attempt. When a
+/// `deadline` is set, the policy stops retrying — and
 /// [`RetryPolicy::expired`] reports true — once the deadline has passed,
 /// so a commit stuck behind a fault storm fails in bounded time instead
 /// of hanging.
@@ -129,6 +133,12 @@ impl RetryPolicy {
                 ));
             }
             match f() {
+                // A full disk is not transient: retrying burns the
+                // budget (and wall-clock backoff) on a fault that only
+                // an operator or a space-freeing sweep can clear. Fatal,
+                // first attempt. Listed before the transient arm so the
+                // classification is explicit, not incidental.
+                Err(e) if e.kind() == io::ErrorKind::StorageFull => return Err(e),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {
                     crate::metrics::io_retries().inc();
                     dbpl_obs::emit(dbpl_obs::Event::Retry {
@@ -379,6 +389,17 @@ pub struct FaultPlan {
     /// transient `Interrupted` error (before any side effect), modelling
     /// short reads and fsyncs that must be retried.
     pub transient_one_in: Option<u64>,
+    /// If `Some(n)`, the disk is full from the `n`th operation (1-based)
+    /// onward: every write-kind operation (`append`, `write`,
+    /// `set_len`) fails with `StorageFull` before any side effect, until
+    /// the plan is replaced ([`SimVfs::set_plan`] models space coming
+    /// back). Reads keep working — disk-full machines stay readable.
+    pub enospc_at_op: Option<u64>,
+    /// If `Some(n)`, roughly one in `n` `read` operations first flips
+    /// one seed-chosen bit of the file being read — media decay. The
+    /// flip is persistent: it lands in both the live and the synced
+    /// image, so it survives crashes and re-reads until rewritten.
+    pub bit_rot_one_in: Option<u64>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -443,6 +464,22 @@ impl SimState {
             return Err(err_crashed());
         }
         self.ops += 1;
+        if let Some(n) = self.plan.enospc_at_op {
+            let is_write = matches!(op, "append" | "write" | "set_len");
+            if is_write && self.ops >= n {
+                crate::metrics::faults_injected().inc();
+                dbpl_obs::emit(dbpl_obs::Event::FaultInjected {
+                    op: op.to_string(),
+                    kind: "enospc".to_string(),
+                });
+                // Fails before any side effect, like the real ENOSPC on
+                // a whole-file write to a full disk.
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "simulated disk full",
+                ));
+            }
+        }
         if let Some(n) = self.plan.transient_one_in {
             if n > 0 && splitmix64(self.plan.seed ^ self.ops).is_multiple_of(n) {
                 crate::metrics::faults_injected().inc();
@@ -472,6 +509,35 @@ impl SimState {
             return Err(err_crashed());
         }
         Ok(None)
+    }
+
+    /// Planned media decay: maybe flip one seed-chosen bit of `path`'s
+    /// contents, persistently (live *and* synced image — rot is on the
+    /// platter, not in the page cache). Called on the read path, after
+    /// the operation is counted, so decay placement is deterministic.
+    fn maybe_rot(&mut self, path: &Path) {
+        let Some(n) = self.plan.bit_rot_one_in else {
+            return;
+        };
+        if n == 0 || !splitmix64(self.plan.seed ^ self.ops).is_multiple_of(n) {
+            return;
+        }
+        let Some(&i) = self.current.get(path) else {
+            return;
+        };
+        let bits = self.inodes[i].bytes.len() * 8;
+        if bits == 0 {
+            return;
+        }
+        let bit = (splitmix64(self.plan.seed ^ self.ops ^ 0xB17_207) as usize) % bits;
+        self.inodes[i].bytes[bit / 8] ^= 1 << (bit % 8);
+        let rotted = self.inodes[i].bytes.clone();
+        self.inodes[i].synced = rotted;
+        crate::metrics::faults_injected().inc();
+        dbpl_obs::emit(dbpl_obs::Event::FaultInjected {
+            op: "read".to_string(),
+            kind: "bit_rot".to_string(),
+        });
     }
 
     fn inode_for(&mut self, path: &Path) -> usize {
@@ -607,6 +673,7 @@ impl Vfs for SimVfs {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         let mut s = self.state.lock();
         s.enter_op("read", None)?;
+        s.maybe_rot(path);
         match s.current.get(path) {
             Some(&i) => Ok(s.inodes[i].bytes.clone()),
             None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
@@ -802,6 +869,7 @@ mod tests {
             seed: 7,
             crash_at_op: Some(2),
             transient_one_in: None,
+            ..FaultPlan::default()
         });
         let mut f = vfs.open_append(&p("log")).unwrap(); // op 1
         let err = f.write_all(&[b'x'; 64]).unwrap_err(); // op 2: crash
@@ -814,6 +882,7 @@ mod tests {
             seed: 7,
             crash_at_op: Some(4),
             transient_one_in: None,
+            ..FaultPlan::default()
         });
         let mut f = vfs.open_append(&p("log")).unwrap(); // op 1
         f.write_all(b"committed").unwrap(); // op 2
@@ -830,6 +899,7 @@ mod tests {
             seed: 3,
             crash_at_op: None,
             transient_one_in: Some(4), // aggressive, but within retry budget
+            ..FaultPlan::default()
         });
         for i in 0..20 {
             let path = p(&format!("f{i}"));
@@ -874,6 +944,7 @@ mod tests {
                 seed,
                 crash_at_op: Some(5),
                 transient_one_in: None,
+                ..FaultPlan::default()
             });
             let mut ops: Vec<bool> = Vec::new();
             let mut f = vfs.open_append(&p("x")).unwrap();
@@ -889,5 +960,75 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42).1, run(43).1, "different seeds tear differently");
+    }
+
+    #[test]
+    fn storage_full_is_fatal_on_the_first_attempt() {
+        // ENOSPC must not burn the retry budget: one attempt, no
+        // backoff sleeps, the error surfaces as-is.
+        let mut calls = 0;
+        let err = RetryPolicy::default()
+            .run(|| -> io::Result<()> {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(calls, 1, "StorageFull retried");
+    }
+
+    #[test]
+    fn enospc_fails_writes_until_space_returns_and_reads_keep_working() {
+        let vfs = SimVfs::new();
+        vfs.write(&p("d/keep"), b"old").unwrap();
+        vfs.sync_file(&p("d/keep")).unwrap();
+        vfs.sync_dir(&p("d")).unwrap();
+        vfs.set_plan(FaultPlan {
+            enospc_at_op: Some(1),
+            ..FaultPlan::default()
+        });
+        // Every write-kind op fails with StorageFull, before any side
+        // effect; reads are unaffected.
+        let err = vfs.write(&p("d/new"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(!vfs.exists(&p("d/new")), "failed write left a file");
+        let err = vfs.set_len(&p("d/keep"), 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let mut f = vfs.open_append(&p("d/keep")).unwrap();
+        assert_eq!(
+            f.write_all(b"y").unwrap_err().kind(),
+            io::ErrorKind::StorageFull
+        );
+        assert_eq!(vfs.read(&p("d/keep")).unwrap(), b"old");
+        // Space returns: writes work again.
+        vfs.set_plan(FaultPlan::default());
+        vfs.write(&p("d/new"), b"x").unwrap();
+        assert_eq!(vfs.read(&p("d/new")).unwrap(), b"x");
+    }
+
+    #[test]
+    fn bit_rot_flips_exactly_one_bit_persistently_and_deterministically() {
+        let run = |seed| {
+            let vfs = SimVfs::new();
+            vfs.write(&p("d/unit"), &[0u8; 64]).unwrap();
+            vfs.sync_file(&p("d/unit")).unwrap();
+            vfs.sync_dir(&p("d")).unwrap();
+            vfs.set_plan(FaultPlan {
+                seed,
+                bit_rot_one_in: Some(1), // rot on every read
+                ..FaultPlan::default()
+            });
+            let rotted = vfs.read(&p("d/unit")).unwrap();
+            let ones: u32 = rotted.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(ones, 1, "exactly one bit flipped per rot event");
+            // The rot is on the platter: it survives a crash + reboot.
+            vfs.set_plan(FaultPlan::default());
+            vfs.crash_now();
+            vfs.recover();
+            assert_eq!(vfs.read(&p("d/unit")).unwrap(), rotted);
+            rotted
+        };
+        assert_eq!(run(9), run(9), "same seed, same decay");
+        assert_ne!(run(9), run(10), "different seeds decay differently");
     }
 }

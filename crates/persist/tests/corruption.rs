@@ -77,11 +77,13 @@ fn bit_flipped_dyn_unit_never_panics() {
             damaged[i] ^= mask;
             std::fs::write(&path, &damaged).unwrap();
             let mut heap = Heap::new();
-            // A flip may still decode to *some* valid unit (the format has
-            // no per-unit checksum — that is the replicating store's
-            // documented weakness); the contract under test is that intern
-            // returns, Ok or Err, instead of panicking or over-allocating.
-            let _ = store.intern("unit", &mut heap);
+            // Since format v2 every unit carries a CRC-32 over its payload,
+            // so *any* flipped byte must surface as a clean decode error —
+            // never a panic, never a silently-wrong value.
+            assert!(
+                store.intern("unit", &mut heap).is_err(),
+                "byte {i} ^ {mask:#04x}: corrupted unit interned successfully"
+            );
         }
     }
 }
@@ -92,9 +94,11 @@ fn trailing_garbage_after_unit_is_rejected() {
     bytes.extend_from_slice(b"debris");
     std::fs::write(&path, &bytes).unwrap();
     let mut heap = Heap::new();
+    // Appended debris changes the checksummed region, so the frame CRC
+    // catches it before the payload parser ever sees the trailing bytes.
     assert!(matches!(
         store.intern("unit", &mut heap),
-        Err(PersistError::Malformed(_))
+        Err(PersistError::ChecksumMismatch { .. })
     ));
 }
 

@@ -9,9 +9,10 @@
 //! the salvage-mode contract on a log normal `open` rejects.
 
 use dbpl_persist::sim::{
-    crash_sweep_extern_only, crash_sweep_intrinsic, crash_sweep_multi_store,
-    crash_sweep_replicating, crash_sweep_snapshot, transient_storm_intrinsic,
-    transient_storm_multi_store, transient_storm_multi_store_at, transient_storm_replicating,
+    bit_rot_scrub_sweep, crash_sweep_extern_only, crash_sweep_intrinsic, crash_sweep_multi_store,
+    crash_sweep_replicating, crash_sweep_snapshot, enospc_sweep_extern_only,
+    transient_storm_intrinsic, transient_storm_multi_store, transient_storm_multi_store_at,
+    transient_storm_replicating,
 };
 use dbpl_persist::{IntrinsicStore, LogFile, PersistError};
 use dbpl_types::Type;
@@ -117,6 +118,35 @@ fn snapshot_saves_are_atomic_at_every_crash_point() {
 }
 
 #[test]
+fn bit_rot_is_found_and_repaired_at_every_seed() {
+    // The self-healing acceptance criterion: for every seed, a single bit
+    // flipped at rest in any unit is (a) never served, (b) found by
+    // scrub, (c) repaired from the intrinsic replica.
+    for &seed in &SEEDS {
+        let report = bit_rot_scrub_sweep(seed, 8);
+        assert_eq!(report.planted, 8, "seed {seed}");
+        assert_eq!(report.found, 8, "seed {seed}");
+        assert_eq!(report.repaired, 8, "seed {seed}");
+    }
+}
+
+#[test]
+fn disk_full_degrades_cleanly_at_every_fill_point() {
+    // Disk-full degradation: at every point the disk can fill, the
+    // committed prefix stays readable, writes fail cleanly with
+    // StorageFull, and commits resume once space returns.
+    for &seed in &SEEDS {
+        let report = enospc_sweep_extern_only(seed, 3);
+        assert!(
+            report.crash_points >= 12,
+            "seed {seed}: suspiciously few fill points ({})",
+            report.crash_points
+        );
+        assert_eq!(report.committed, 3);
+    }
+}
+
+#[test]
 fn transient_fault_storms_are_absorbed_by_bounded_retry() {
     for &seed in &SEEDS {
         transient_storm_intrinsic(seed, 5);
@@ -149,6 +179,17 @@ fn nightly_single_store_sweeps_expanded_seeds() {
         crash_sweep_intrinsic(seed, 6);
         crash_sweep_replicating(seed, 8);
         crash_sweep_snapshot(seed, 5);
+    }
+}
+
+#[test]
+#[ignore = "expanded nightly sweep; run with --ignored"]
+fn nightly_bit_rot_and_disk_full_sweeps_expanded_seeds() {
+    for &seed in &NIGHTLY_SEEDS {
+        let report = bit_rot_scrub_sweep(seed, 12);
+        assert_eq!(report.repaired, 12, "seed {seed}");
+        let report = enospc_sweep_extern_only(seed, 4);
+        assert_eq!(report.committed, 4, "seed {seed} (disk full)");
     }
 }
 

@@ -143,3 +143,28 @@ proptest! {
         prop_assert_eq!(decoded, img);
     }
 }
+
+proptest! {
+    // Exhaustive over bits but quadratic in unit size, so this block runs
+    // fewer cases than the rest; the deterministic unit test in format.rs
+    // covers one fixed shape every run.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn framed_units_detect_every_single_bit_flip(t in arb_type(), v in arb_value()) {
+        // The self-healing contract's foundation: the CRC-32 frame turns
+        // *any* one-bit change at rest into a clean decode error — there
+        // is no bit whose flip yields Ok.
+        let bytes = encode_dyn(&DynValue::new(t, v));
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 1 << bit;
+                prop_assert!(
+                    decode_dyn(&flipped).is_err(),
+                    "flip of byte {} bit {} went undetected", i, bit
+                );
+            }
+        }
+    }
+}

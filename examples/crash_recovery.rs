@@ -85,6 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         crash_at_op: Some(7),
         transient_one_in: None,
+        ..FaultPlan::default()
     });
     let sim_log = std::path::Path::new("sim.log");
     let mut acked = 0;

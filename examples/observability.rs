@@ -69,6 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 3,
         crash_at_op: None,
         transient_one_in: Some(5),
+        ..FaultPlan::default()
     });
     {
         let mut istore = IntrinsicStore::open_with(Arc::new(vfs), std::path::Path::new("sim.log"))?;
