@@ -327,6 +327,206 @@ fn scrub_integrity(smoke: bool) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The concurrent-engine differential + throughput section: MVCC
+/// snapshot-read scaling over a [`dbpl_lang::Server`], and the
+/// group-commit vs serial-commit fsync differential at 64 sessions on
+/// the simulated VFS with realistic fsync latency injected.
+///
+/// The smoke gates (CI `mvcc-smoke`) fail the build if
+/// * grouped commit is not ≥ 2x serial per-commit-fsync throughput, or
+/// * the grouped run spends ≥ 0.5 fsyncs per committed transaction.
+///
+/// The full run sweeps sessions 1 → 10 000 and writes the
+/// `BENCH_mvcc_throughput.json` baseline.
+fn mvcc_throughput(smoke: bool) {
+    use dbpl_lang::Server;
+    use dbpl_persist::{commit_multi, CountingVfs, FaultPlan, RetryPolicy, SimVfs};
+    use std::sync::Arc;
+
+    println!("## MVCC engine — snapshot-read scaling and group-commit throughput\n");
+
+    // --- Read scaling: S sessions over one server, lock-free snapshots ---
+    let rows = if smoke { 500usize } else { 4_000 };
+    let server = Server::new().unwrap();
+    {
+        let mut setup = server.session();
+        let mut prog = String::from("type R = {X: Int}\n");
+        for i in 0..rows {
+            let _ = writeln!(prog, "put(db, dynamic {{X = {i}}})");
+        }
+        setup.run(&prog).unwrap();
+    }
+    let bound = Type::named("R");
+    let session_counts: &[usize] = if smoke {
+        &[1, 4, 16]
+    } else {
+        &[1, 10, 100, 1_000, 10_000]
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let reads_per_session = if smoke { 16usize } else { 24 };
+    let mut read_json = String::new();
+    println!("| sessions | threads | snapshot reads | ops/sec |");
+    println!("|---|---|---|---|");
+    let mut single_session_ops = 0f64;
+    let mut peak_ops = 0f64;
+    for (ci, &s_count) in session_counts.iter().enumerate() {
+        // Sessions beyond the hardware width round-robin over a capped
+        // thread pool — 10k sessions is a multiplexing test, not a
+        // 10k-OS-thread test.
+        let threads = s_count.min(cores.max(2) * 2).min(32);
+        let per_thread = s_count.div_ceil(threads);
+        let total_reads = std::sync::atomic::AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let server = &server;
+                let bound = &bound;
+                let total_reads = &total_reads;
+                scope.spawn(move || {
+                    let my_sessions = per_thread.min(s_count.saturating_sub(t * per_thread));
+                    let mut done = 0u64;
+                    for _ in 0..my_sessions {
+                        let session = server.session();
+                        for _ in 0..reads_per_session {
+                            let snap = session.snapshot();
+                            let got = snap.db.get_with(bound, GetStrategy::TypedLists);
+                            assert_eq!(got.len(), rows, "snapshot read saw a torn database");
+                            done += 1;
+                        }
+                    }
+                    total_reads.fetch_add(done, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let reads = total_reads.load(std::sync::atomic::Ordering::Relaxed);
+        let ops_per_sec = reads as f64 / elapsed.max(1e-9);
+        if s_count == 1 {
+            single_session_ops = ops_per_sec;
+        }
+        peak_ops = peak_ops.max(ops_per_sec);
+        println!("| {s_count} | {threads} | {reads} | {ops_per_sec:.0} |");
+        let _ = writeln!(
+            read_json,
+            "    {{\"sessions\": {s_count}, \"threads\": {threads}, \"reads\": {reads}, \"ops_per_sec\": {ops_per_sec:.0}}}{}",
+            if ci + 1 == session_counts.len() { "" } else { "," }
+        );
+    }
+    println!();
+    // Readers never block each other or the (idle) applier: adding
+    // sessions must not collapse throughput. The floor is deliberately
+    // loose — CI machines are noisy — but catches a serializing regression
+    // (a lock held across reads) which would pin multi-session throughput
+    // at ~1x single-session.
+    if cores >= 2 {
+        assert!(
+            peak_ops >= single_session_ops * 1.2,
+            "snapshot reads do not scale: peak {peak_ops:.0} ops/s vs \
+             {single_session_ops:.0} single-session — readers are serializing"
+        );
+    }
+
+    // --- Group commit vs serial commit at 64 sessions, fsync latency injected ---
+    let sessions = 64usize;
+    let commits_per_session = 2usize;
+    let total_commits = sessions * commits_per_session;
+    let hot_handles = 4usize;
+    let fsync_delay_us = if smoke { 300u64 } else { 500 };
+    let fsyncs = || dbpl_obs::global().counter("vfs.fsyncs").get();
+
+    // Serial baseline: the same commits, one at a time, each paying the
+    // full write-ahead protocol — intent record + install + fsyncs.
+    let sim_serial = SimVfs::with_plan(FaultPlan {
+        fsync_delay_us: Some(fsync_delay_us),
+        ..FaultPlan::default()
+    });
+    let store = ReplicatingStore::open_with(Arc::new(CountingVfs::new(sim_serial)), "/mvcc-serial")
+        .unwrap();
+    let heap = Heap::new();
+    let fsyncs_before = fsyncs();
+    let start = Instant::now();
+    for c in 0..total_commits {
+        let d = DynValue::new(Type::Int, Value::Int(c as i64));
+        let bytes = ReplicatingStore::encode_unit(&d, &heap).unwrap();
+        let externs = BTreeMap::from([(format!("h{}", c % hot_handles), Some(bytes))]);
+        commit_multi(None, &store, &externs, &RetryPolicy::default()).unwrap();
+    }
+    let serial_secs = start.elapsed().as_secs_f64();
+    let serial_fsyncs = fsyncs() - fsyncs_before;
+    let serial_cps = total_commits as f64 / serial_secs.max(1e-9);
+    let serial_fpc = serial_fsyncs as f64 / total_commits as f64;
+
+    // Grouped: 64 concurrent sessions over one engine; frames coalesce in
+    // the applier and each batch pays ONE intent + one install set for
+    // its merged (last-writer-wins) hot handles.
+    let sim_grouped = SimVfs::with_plan(FaultPlan {
+        fsync_delay_us: Some(fsync_delay_us),
+        ..FaultPlan::default()
+    });
+    let grouped_server =
+        Server::open_with(Arc::new(CountingVfs::new(sim_grouped)), "/mvcc-grouped").unwrap();
+    let fsyncs_before = fsyncs();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..sessions {
+            let grouped_server = &grouped_server;
+            scope.spawn(move || {
+                let mut session = grouped_server.session();
+                for j in 0..commits_per_session {
+                    let c = s * commits_per_session + j;
+                    session
+                        .run(&format!("extern('h{}', dynamic {c})", c % hot_handles))
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let grouped_secs = start.elapsed().as_secs_f64();
+    let grouped_fsyncs = fsyncs() - fsyncs_before;
+    let grouped_cps = total_commits as f64 / grouped_secs.max(1e-9);
+    let grouped_fpc = grouped_fsyncs as f64 / total_commits as f64;
+    let speedup = grouped_cps / serial_cps.max(1e-9);
+
+    println!("| commit path ({sessions} sessions × {commits_per_session}, {fsync_delay_us}µs/fsync) | commits/sec | fsyncs/commit |");
+    println!("|---|---|---|");
+    println!("| serial (one fsync set per commit) | {serial_cps:.0} | {serial_fpc:.2} |");
+    println!("| grouped (coalesced intent per batch) | {grouped_cps:.0} | {grouped_fpc:.2} |");
+    assert!(
+        speedup >= 2.0,
+        "group commit gate: {grouped_cps:.0} grouped vs {serial_cps:.0} serial \
+         commits/sec is only {speedup:.2}x (need ≥ 2x)"
+    );
+    assert!(
+        grouped_fpc < 0.5,
+        "group commit gate: {grouped_fpc:.2} fsyncs per grouped commit (need < 0.5; \
+         batching is not amortizing the durability cost)"
+    );
+    println!(
+        "\nmvcc gate OK: grouped commit {speedup:.1}x serial, {grouped_fpc:.2} fsyncs/commit\n"
+    );
+
+    if !smoke {
+        let json = format!(
+            "{{\n  \"experiment\": \"mvcc_throughput\",\n  \"cores\": {cores},\n  \
+             \"read_scaling\": [\n{read_json}  ],\n  \
+             \"write_64_sessions\": {{\n    \"sessions\": {sessions},\n    \
+             \"commits_per_session\": {commits_per_session},\n    \
+             \"hot_handles\": {hot_handles},\n    \
+             \"fsync_delay_us\": {fsync_delay_us},\n    \
+             \"serial_commits_per_sec\": {serial_cps:.0},\n    \
+             \"grouped_commits_per_sec\": {grouped_cps:.0},\n    \
+             \"grouped_vs_serial\": {speedup:.2},\n    \
+             \"serial_fsyncs_per_commit\": {serial_fpc:.2},\n    \
+             \"grouped_fsyncs_per_commit\": {grouped_fpc:.2}\n  }}\n}}\n"
+        );
+        std::fs::write("BENCH_mvcc_throughput.json", json)
+            .expect("write BENCH_mvcc_throughput.json");
+        println!("(baseline written to BENCH_mvcc_throughput.json)\n");
+    }
+}
+
 /// One `--stats-out` JSONL line: the counter/histogram deltas a named
 /// report phase moved in the global metrics registry.
 fn stats_line(phase: &str, delta: &dbpl_obs::StatsSnapshot) -> String {
@@ -392,6 +592,7 @@ fn main() {
         phase("fast_paths", &mut stats, || fast_paths(true));
         phase("txn_commit", &mut stats, || txn_commit(true));
         phase("scrub_integrity", &mut stats, || scrub_integrity(true));
+        phase("mvcc_throughput", &mut stats, || mvcc_throughput(true));
         write_stats(&stats);
         write_trace(&trace_out);
         println!("bench-smoke OK: all fast paths agree with their naive baselines");
@@ -402,6 +603,7 @@ fn main() {
     phase("fast_paths", &mut stats, || fast_paths(false));
     phase("txn_commit", &mut stats, || txn_commit(false));
     phase("scrub_integrity", &mut stats, || scrub_integrity(false));
+    phase("mvcc_throughput", &mut stats, || mvcc_throughput(false));
     let tail_before = dbpl_obs::global().snapshot();
 
     // ---------- F1 ----------

@@ -24,6 +24,7 @@ use dbpl_persist::{Image, QuarantineEntry, QuarantineReason, QuarantineReport};
 use dbpl_types::{Type, TypeEnv};
 use dbpl_values::{conforms, DynValue, Heap, Mode, Oid, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// How [`Database::get_with`] locates the objects of a type. All
 /// strategies return element-for-element identical results (differentially
@@ -61,14 +62,23 @@ impl GetStrategy {
 }
 
 /// A database: types + heterogeneous values + optional extents + keys.
+///
+/// The bulky components (heap, dynamic store, typed-list index, extents,
+/// bindings) live behind [`Arc`]s with copy-on-write mutation
+/// (`Arc::make_mut`), so [`Database::clone`] is O(1): it shares every
+/// component with the original. This is what makes epoch-stamped MVCC
+/// snapshots cheap — the engine clones the published database per reader
+/// and per writer frame, and only a component a writer actually touches
+/// is copied (once per exclusive lineage, not per clone). The public API
+/// is unchanged: `&mut self` methods transparently un-share first.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     env: TypeEnv,
-    heap: Heap,
-    dynamics: Vec<DynValue>,
-    index: TypedListIndex,
-    extents: ExtentManager,
-    bindings: BTreeMap<String, DynValue>,
+    heap: Arc<Heap>,
+    dynamics: Arc<Vec<DynValue>>,
+    index: Arc<TypedListIndex>,
+    extents: Arc<ExtentManager>,
+    bindings: Arc<BTreeMap<String, DynValue>>,
     /// The strategy [`Database::get`] uses; the naive paths stay
     /// reachable through this flag so benches can measure both.
     get_strategy: GetStrategy,
@@ -116,15 +126,15 @@ impl Database {
         &self.heap
     }
 
-    /// Mutable access to the heap.
+    /// Mutable access to the heap (copy-on-write: un-shares first).
     pub fn heap_mut(&mut self) -> &mut Heap {
-        &mut self.heap
+        Arc::make_mut(&mut self.heap)
     }
 
     /// Allocate an object with identity.
     pub fn alloc(&mut self, ty: Type, value: Value) -> Result<Oid, CoreError> {
         conforms(&value, &ty, &self.env, &self.heap, Mode::Strict)?;
-        Ok(self.heap.alloc(ty, value))
+        Ok(Arc::make_mut(&mut self.heap).alloc(ty, value))
     }
 
     /// The extent manager.
@@ -132,9 +142,9 @@ impl Database {
         &self.extents
     }
 
-    /// Mutable access to the extent manager.
+    /// Mutable access to the extent manager (copy-on-write).
     pub fn extents_mut(&mut self) -> &mut ExtentManager {
-        &mut self.extents
+        Arc::make_mut(&mut self.extents)
     }
 
     /// Switch extent insertion to the cascading (Taxis/Adaplex) semantics.
@@ -158,7 +168,7 @@ impl Database {
                 let _ = fresh.insert(e.name(), m, &self.heap, &self.env);
             }
         }
-        self.extents = fresh;
+        self.extents = Arc::new(fresh);
     }
 
     /// Insert a value into the heterogeneous dynamic store, checked
@@ -167,8 +177,8 @@ impl Database {
     pub fn put(&mut self, ty: Type, value: Value) -> Result<usize, CoreError> {
         conforms(&value, &ty, &self.env, &self.heap, Mode::Strict)?;
         let pos = self.dynamics.len();
-        self.index.add(ty.clone(), pos);
-        self.dynamics.push(DynValue::new(ty, value));
+        Arc::make_mut(&mut self.index).add(ty.clone(), pos);
+        Arc::make_mut(&mut self.dynamics).push(DynValue::new(ty, value));
         Ok(pos)
     }
 
@@ -345,7 +355,7 @@ impl Database {
     /// Bind a top-level name to a dynamic value (session variables; these
     /// are what an all-or-nothing image captures).
     pub fn bind(&mut self, name: impl Into<String>, d: DynValue) {
-        self.bindings.insert(name.into(), d);
+        Arc::make_mut(&mut self.bindings).insert(name.into(), d);
     }
 
     /// Look up a top-level binding.
@@ -357,7 +367,7 @@ impl Database {
     /// extents are excluded (they "are not required to persist"); the
     /// dynamic store rides along as a binding so nothing else is lost.
     pub fn capture_image(&self) -> Image {
-        let mut bindings = self.bindings.clone();
+        let mut bindings = (*self.bindings).clone();
         // The dynamic store itself is a value: a list of dynamics.
         bindings.insert(
             "__dynamics".to_string(),
@@ -446,15 +456,24 @@ impl Database {
         let index = TypedListIndex::build(&dynamics);
         Ok(Database {
             env,
-            heap,
-            dynamics,
-            index,
-            extents: ExtentManager::new(),
-            bindings,
+            heap: Arc::new(heap),
+            dynamics: Arc::new(dynamics),
+            index: Arc::new(index),
+            extents: Arc::new(ExtentManager::new()),
+            bindings: Arc::new(bindings),
             get_strategy: GetStrategy::default(),
             quarantined: Vec::new(),
             quarantined_positions: BTreeSet::new(),
         })
+    }
+
+    /// Do this database and `other` share the same dynamic-store storage?
+    /// True right after a [`Database::clone`] (or [`Database::fork`]),
+    /// false once either side's store has been written — the observable
+    /// face of copy-on-write snapshots, used by tests and the engine to
+    /// assert that snapshot capture is O(1).
+    pub fn shares_storage_with(&self, other: &Database) -> bool {
+        Arc::ptr_eq(&self.dynamics, &other.dynamics)
     }
 }
 

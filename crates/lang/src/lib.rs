@@ -35,6 +35,7 @@ pub mod error;
 pub mod eval;
 pub mod parser;
 pub mod rt;
+pub mod server;
 pub mod session;
 pub mod token;
 
@@ -42,4 +43,5 @@ pub use check::{check_program, infer_expr};
 pub use error::{LangError, Phase};
 pub use parser::{parse_expr, parse_program};
 pub use rt::{Env, RtValue};
+pub use server::{EngineState, Frame, Server, ServerSession, MAX_BATCH};
 pub use session::{Health, Session};

@@ -1,0 +1,1102 @@
+//! The concurrent multi-session engine: MVCC snapshot reads and a
+//! group-commit writer.
+//!
+//! A [`Server`] multiplexes many MiniDBPL sessions over one shared
+//! database. The design (documented in depth in `docs/CONCURRENCY.md`):
+//!
+//! * **Snapshots.** The engine's state is an epoch-stamped, immutable
+//!   [`EngineState`] behind an Arc-swap-style [`SnapshotCell`]. A reader
+//!   clones the `Arc` (two atomic ops under a momentary read lock) and
+//!   then runs entirely against its private snapshot: it never blocks a
+//!   writer and is never blocked by one. [`Database::clone`] is O(1)
+//!   copy-on-write, so the snapshot carries the whole database for free.
+//!   Reclamation is the `Arc` itself: an old epoch's memory is freed when
+//!   the last reader holding it drops it — no epoch lists, no grace
+//!   periods.
+//! * **Frames.** A program that wrote anything is diffed against its base
+//!   snapshot into a [`Frame`]: the dynamics it appended, the types and
+//!   `include` edges it declared, the heap objects it allocated, and the
+//!   extern writes it staged. Programs can only *append* (put, declare,
+//!   extern, intern-allocate), so the diff is exact.
+//! * **Group commit.** Frames from all sessions funnel through one
+//!   applier thread. The applier drains whatever is queued (up to
+//!   [`MAX_BATCH`]), applies the frames in arrival order to a private
+//!   successor of the current snapshot, makes the batch's merged extern
+//!   writes durable with **one** intent record and one fsync pass
+//!   ([`commit_multi`]), publishes **one** new epoch, and wakes every
+//!   committer. The fsync that dominated per-transaction commit cost is
+//!   paid once per batch.
+//! * **Failure semantics** match [`Session`]: a pre-durability failure
+//!   aborts the whole batch (nothing published, disk-full flips the
+//!   engine degraded); a post-durability failure is **in doubt** and is
+//!   attributed to *every* member of the batch, whose effects roll
+//!   forward on recovery.
+
+use crate::error::LangError;
+use crate::session::{Health, Session};
+use dbpl_core::Database;
+use dbpl_persist::{
+    commit_multi, recover_pending, PersistError, QuarantineEntry, ReplicatingStore, RetryPolicy,
+    Vfs,
+};
+use dbpl_types::Type;
+use dbpl_values::{DynValue, Oid, Value};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Most frames coalesced into one group commit. Bounds both the latency
+/// a queued commit can accumulate behind its batch and the size of the
+/// coalesced intent record. Batch formation adds **no artificial delay**:
+/// the applier takes whatever is queued the moment it goes idle, so under
+/// light load every batch has size 1 (pure serial latency) and under
+/// heavy load batches grow naturally toward this cap — the fairness
+/// bound is "at most one in-flight batch ahead of you".
+pub const MAX_BATCH: usize = 128;
+
+static SERVER_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// One immutable, epoch-stamped published state of the engine.
+#[derive(Debug)]
+pub struct EngineState {
+    /// Monotone publication counter: epoch `n+1` is the state after the
+    /// `n+1`th group commit. Epoch 0 is the state at open.
+    pub epoch: u64,
+    /// The database as of this epoch. Cloning it is O(1) (copy-on-write
+    /// components), which is what makes per-program snapshots free.
+    pub db: Database,
+}
+
+/// An Arc-swap-style cell holding the current [`EngineState`].
+///
+/// Readers take the read lock only long enough to clone the `Arc`;
+/// the applier takes the write lock only long enough to store a new one.
+/// Neither ever holds the lock across I/O or evaluation, so readers
+/// never wait on a writer's *work* — only on a pointer swap. (A true
+/// lock-free arc-swap needs deferred reclamation machinery; the
+/// two-atomic-ops critical section here is the standard-library
+/// equivalent, and is invisible next to program execution costs.)
+struct SnapshotCell {
+    inner: RwLock<Arc<EngineState>>,
+}
+
+impl SnapshotCell {
+    fn new(state: EngineState) -> SnapshotCell {
+        SnapshotCell {
+            inner: RwLock::new(Arc::new(state)),
+        }
+    }
+
+    /// The current snapshot — O(1), never blocks on in-flight commits.
+    fn load(&self) -> Arc<EngineState> {
+        Arc::clone(&self.inner.read())
+    }
+
+    /// Publish a new snapshot — O(1) pointer swap.
+    fn store(&self, state: EngineState) {
+        *self.inner.write() = Arc::new(state);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// The effects of one program, as a diff against its base snapshot.
+/// MiniDBPL programs can only *extend* the database — append dynamics,
+/// declare new types/edges, allocate heap objects, stage extern writes —
+/// so a frame is a complete record of a program's database effects.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Epoch of the snapshot the program ran against (observability and
+    /// test assertions; frames validate against the *current* state at
+    /// apply time).
+    pub base_epoch: u64,
+    /// Type definitions the program added: `(name, definition)`.
+    pub decls: Vec<(String, Type)>,
+    /// `include sub in sup` edges the program added.
+    pub includes: Vec<(String, String)>,
+    /// Heap objects the program allocated (ascending by oid). Values may
+    /// reference earlier objects in this same list; at apply time they
+    /// are re-allocated in the master heap and references are remapped.
+    pub heap_news: Vec<(Oid, Type, Value)>,
+    /// Dynamics the program appended, in order.
+    pub puts: Vec<DynValue>,
+    /// Staged extern mutations: `Some(bytes)` installs, `None` removes.
+    pub externs: BTreeMap<String, Option<Vec<u8>>>,
+}
+
+impl Frame {
+    /// A frame with no effects — a pure read.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+            && self.includes.is_empty()
+            && self.heap_news.is_empty()
+            && self.puts.is_empty()
+            && self.externs.is_empty()
+    }
+}
+
+/// Diff the database a program produced against the snapshot it started
+/// from. Exact because programs only append (see [`Frame`]).
+fn diff_frame(
+    base: &Database,
+    worked: &Database,
+    externs: BTreeMap<String, Option<Vec<u8>>>,
+    base_epoch: u64,
+) -> Result<Frame, LangError> {
+    let mut decls = Vec::new();
+    for (name, ty) in worked.env().definitions() {
+        match base.env().lookup(name) {
+            None => decls.push((name.clone(), ty.clone())),
+            Some(t) if t == ty => {}
+            Some(_) => {
+                return Err(LangError::eval(
+                    0,
+                    format!("type '{name}' was redefined mid-program; server sessions do not support schema evolution"),
+                ))
+            }
+        }
+    }
+    let mut includes = Vec::new();
+    for name in worked.env().names() {
+        let base_sups: std::collections::BTreeSet<&String> =
+            base.env().declared_supertypes(name).collect();
+        for sup in worked.env().declared_supertypes(name) {
+            if !base_sups.contains(sup) {
+                includes.push((name.clone(), sup.clone()));
+            }
+        }
+    }
+    let watermark = base.heap().next_oid();
+    let heap_news: Vec<(Oid, Type, Value)> = worked
+        .heap()
+        .iter()
+        .filter(|(oid, _)| *oid >= watermark)
+        .map(|(oid, obj)| (oid, obj.ty.clone(), obj.value.clone()))
+        .collect();
+    let puts = worked.dynamics()[base.len()..].to_vec();
+    Ok(Frame {
+        base_epoch,
+        decls,
+        includes,
+        heap_news,
+        puts,
+        externs,
+    })
+}
+
+/// Rewrite every `Ref` in `value` through `remap`, leaving unmapped
+/// references (objects that predate the frame) untouched.
+fn remap_refs(value: &Value, remap: &BTreeMap<Oid, Oid>) -> Value {
+    match value {
+        Value::Ref(o) => Value::Ref(remap.get(o).copied().unwrap_or(*o)),
+        Value::List(xs) => Value::List(xs.iter().map(|v| remap_refs(v, remap)).collect()),
+        Value::Set(xs) => Value::Set(xs.iter().map(|v| remap_refs(v, remap)).collect()),
+        Value::Record(fs) => Value::Record(
+            fs.iter()
+                .map(|(l, v)| (l.clone(), remap_refs(v, remap)))
+                .collect(),
+        ),
+        Value::Tagged(l, v) => Value::Tagged(l.clone(), Box::new(remap_refs(v, remap))),
+        Value::Dyn(d) => Value::dynamic(d.ty.clone(), remap_refs(&d.value, remap)),
+        other => other.clone(),
+    }
+}
+
+/// Apply one frame to `working` in place. On `Err` the caller restores
+/// its pre-frame backup — `working` must be treated as poisoned.
+fn apply_frame(working: &mut Database, frame: &Frame) -> Result<(), String> {
+    // Schema first, validated against the *current* master env: another
+    // frame may have declared the same name since this program's base
+    // snapshot. An identical definition is idempotent; a different one
+    // is a genuine write-write conflict.
+    let mut env = working.env().clone(); // O(1) copy-on-write
+    for (name, ty) in &frame.decls {
+        match env.lookup(name) {
+            None => env
+                .declare(name.clone(), ty.clone())
+                .map_err(|e| format!("declaring type '{name}': {e}"))?,
+            Some(t) if t == ty => {}
+            Some(_) => {
+                return Err(format!(
+                    "type '{name}' was concurrently declared with a different definition"
+                ))
+            }
+        }
+    }
+    for (sub, sup) in &frame.includes {
+        let already = env.declared_supertypes(sub).any(|s| s == sup);
+        if !already {
+            env.declare_subtype(sub.clone(), sup.clone())
+                .map_err(|e| format!("include {sub} in {sup}: {e}"))?;
+        }
+    }
+    *working.env_mut() = env;
+    // Heap objects re-allocate at master identities; references between
+    // this frame's own objects are remapped (ascending-oid order makes
+    // one forward pass sufficient; cycles cannot form because programs
+    // cannot update an object after allocating it).
+    let mut remap: BTreeMap<Oid, Oid> = BTreeMap::new();
+    for (oid, ty, value) in &frame.heap_news {
+        let v = remap_refs(value, &remap);
+        let new = working.heap_mut().alloc(ty.clone(), v);
+        if new != *oid {
+            remap.insert(*oid, new);
+        }
+    }
+    for d in &frame.puts {
+        let v = remap_refs(&d.value, &remap);
+        working
+            .put_dyn(DynValue::new(d.ty.clone(), v))
+            .map_err(|e| format!("applying put: {e}"))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The applier
+// ---------------------------------------------------------------------------
+
+/// The applier's verdict on one queued frame.
+#[derive(Debug, Clone)]
+enum CommitOutcome {
+    /// Applied and published as part of the given epoch.
+    Applied { epoch: u64 },
+    /// The frame conflicts with a commit serialized ahead of it (e.g. a
+    /// concurrent incompatible type declaration). The frame was not
+    /// applied; the rest of its batch is unaffected.
+    Conflict(String),
+    /// The engine refused to attempt the commit (degraded store,
+    /// unfinished pending recovery). Nothing was staged or written.
+    Refused(String),
+    /// The batch's durable commit failed before the durability point:
+    /// the whole batch aborted, nothing published.
+    Aborted(String),
+    /// The batch's durable commit failed *after* the durability point:
+    /// the coalesced intent is durable and will roll forward on
+    /// recovery. Attributed to every member of the batch.
+    InDoubt { txn_id: u64, detail: String },
+}
+
+struct CommitRequest {
+    frame: Frame,
+    reply: mpsc::Sender<CommitOutcome>,
+}
+
+enum Msg {
+    Commit(Box<CommitRequest>),
+    Shutdown,
+}
+
+/// State shared between the engine facade and the applier thread.
+struct Shared {
+    snap: SnapshotCell,
+    store: Arc<ReplicatingStore>,
+    /// Why the engine refuses durable commits, or `None` when healthy.
+    degraded: Mutex<Option<String>>,
+    /// A durably pending (in-doubt) transaction blocking further durable
+    /// batches until recovery completes.
+    pending_recovery: Mutex<Option<u64>>,
+    /// When enabled, every applied frame in serialization order plus the
+    /// database it started from — the applier's log, replayable
+    /// single-threaded for differential testing.
+    frame_log: Mutex<Option<FrameLog>>,
+}
+
+struct FrameLog {
+    base: Database,
+    frames: Vec<Frame>,
+}
+
+fn is_storage_full(e: &PersistError) -> bool {
+    match e {
+        PersistError::Io(io) => io.kind() == std::io::ErrorKind::StorageFull,
+        _ => false,
+    }
+}
+
+impl Shared {
+    fn enter_degraded(&self, reason: String) {
+        let mut d = self.degraded.lock();
+        if d.is_none() {
+            dbpl_obs::emit(dbpl_obs::Event::HealthChanged {
+                degraded: true,
+                reason: reason.clone(),
+            });
+            *d = Some(reason);
+        }
+    }
+
+    fn exit_degraded(&self) {
+        let mut d = self.degraded.lock();
+        if d.take().is_some() {
+            dbpl_obs::emit(dbpl_obs::Event::HealthChanged {
+                degraded: false,
+                reason: "store is writable again".to_string(),
+            });
+        }
+    }
+
+    /// Probe-first health gate shared by session enqueue and the applier:
+    /// a degraded engine re-probes the store and either heals or reports
+    /// the (still-standing) reason.
+    fn check_writable(&self) -> Result<(), String> {
+        let reason = self.degraded.lock().clone();
+        if let Some(reason) = reason {
+            match self.store.probe_writable() {
+                Ok(()) => self.exit_degraded(),
+                Err(e) => return Err(format!("engine degraded ({reason}): {e}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn applier_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(Msg::Commit(r)) => *r,
+            Ok(Msg::Shutdown) | Err(_) => return,
+        };
+        let mut batch = vec![first];
+        let mut shutdown = false;
+        // Natural batching: coalesce whatever queued while the previous
+        // batch was being made durable, without waiting for more.
+        while batch.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(Msg::Commit(r)) => batch.push(*r),
+                Ok(Msg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        apply_batch(&shared, batch);
+        if shutdown {
+            return;
+        }
+    }
+}
+
+fn apply_batch(shared: &Shared, batch: Vec<CommitRequest>) {
+    let mut span = dbpl_obs::span!("txn.group_commit");
+    span.set_attr("batch_size", batch.len());
+    dbpl_obs::global()
+        .histogram("group_commit.batch_size")
+        .record_us(batch.len() as u64);
+    dbpl_obs::global().counter("group_commit.batches").inc();
+
+    // Refusals: probe-first, nothing staged. (Sessions also gate on
+    // health before enqueueing; this closes the race where the engine
+    // degrades while frames are in flight.)
+    if let Err(msg) = shared.check_writable() {
+        span.set_attr("outcome", "refused");
+        for req in batch {
+            let _ = req.reply.send(CommitOutcome::Refused(msg.clone()));
+        }
+        return;
+    }
+    let pending = *shared.pending_recovery.lock();
+    if let Some(txn_id) = pending {
+        match recover_pending(None, &shared.store) {
+            Ok(_) => *shared.pending_recovery.lock() = None,
+            Err(e) => {
+                span.set_attr("outcome", "refused");
+                let msg =
+                    format!("commit blocked by pending transaction {txn_id} ({e}); nothing staged");
+                for req in batch {
+                    let _ = req.reply.send(CommitOutcome::Refused(msg.clone()));
+                }
+                return;
+            }
+        }
+    }
+
+    let current = shared.snap.load();
+    let mut working = current.db.clone(); // O(1) copy-on-write
+    let mut outcomes: Vec<Option<CommitOutcome>> = vec![None; batch.len()];
+    let mut applied: Vec<usize> = Vec::new();
+    let mut externs: BTreeMap<String, Option<Vec<u8>>> = BTreeMap::new();
+    for (i, req) in batch.iter().enumerate() {
+        let backup = working.clone(); // O(1); pays CoW only if the frame applies partially
+        match apply_frame(&mut working, &req.frame) {
+            Ok(()) => {
+                applied.push(i);
+                // Later frames override earlier ones per handle — the
+                // same last-writer-wins the serial schedule would give.
+                for (h, w) in &req.frame.externs {
+                    externs.insert(h.clone(), w.clone());
+                }
+            }
+            Err(msg) => {
+                working = backup;
+                outcomes[i] = Some(CommitOutcome::Conflict(msg));
+            }
+        }
+    }
+    span.set_attr("applied", applied.len());
+    span.set_attr("externs", externs.len());
+
+    if !applied.is_empty() && !externs.is_empty() {
+        // One intent record + one fsync pass for the whole batch.
+        match commit_multi(None, &shared.store, &externs, &RetryPolicy::default()) {
+            Ok(_) => {}
+            Err(PersistError::InDoubt { txn_id, cause }) => {
+                // Past the durability point: the coalesced intent is
+                // durable; the batch is committed-in-doubt as a unit.
+                match recover_pending(None, &shared.store) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        *shared.pending_recovery.lock() = Some(txn_id);
+                        span.set_attr("outcome", "in_doubt");
+                        let epoch = current.epoch + 1;
+                        publish(shared, epoch, working);
+                        // Every member of the batch is in doubt — not
+                        // just the frame that happened to queue first.
+                        for &i in &applied {
+                            outcomes[i] = Some(CommitOutcome::InDoubt {
+                                txn_id,
+                                detail: format!("{cause}; recovery retry: {e}"),
+                            });
+                        }
+                        finish(batch, outcomes);
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                // Pre-durability: nothing durable happened; the whole
+                // batch aborts and no new epoch is published.
+                span.set_attr("outcome", "aborted");
+                dbpl_obs::emit(dbpl_obs::Event::TxnAbort {
+                    reason: format!("group commit failed: {e}"),
+                });
+                if is_storage_full(&e) {
+                    shared.enter_degraded(format!("storage full during group commit: {e}"));
+                }
+                let msg = format!("group commit failed: {e}");
+                for &i in &applied {
+                    outcomes[i] = Some(CommitOutcome::Aborted(msg.clone()));
+                }
+                finish(batch, outcomes);
+                return;
+            }
+        }
+    }
+
+    let epoch = current.epoch + 1;
+    span.set_attr("epoch", epoch);
+    if let Some(log) = shared.frame_log.lock().as_mut() {
+        for &i in &applied {
+            log.frames.push(batch[i].frame.clone());
+        }
+    }
+    publish(shared, epoch, working);
+    for &i in &applied {
+        outcomes[i] = Some(CommitOutcome::Applied { epoch });
+    }
+    finish(batch, outcomes);
+}
+
+fn publish(shared: &Shared, epoch: u64, db: Database) {
+    shared.snap.store(EngineState { epoch, db });
+    dbpl_obs::global().counter("snapshot.publish").inc();
+}
+
+fn finish(batch: Vec<CommitRequest>, outcomes: Vec<Option<CommitOutcome>>) {
+    for (req, outcome) in batch.into_iter().zip(outcomes) {
+        let outcome =
+            outcome.unwrap_or_else(|| CommitOutcome::Aborted("applier invariant broken".into()));
+        let _ = req.reply.send(outcome);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine and Server
+// ---------------------------------------------------------------------------
+
+/// The shared engine: published snapshots + the group-commit applier.
+struct Engine {
+    shared: Arc<Shared>,
+    tx: mpsc::Sender<Msg>,
+    applier: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Engine {
+    fn open_with(vfs: Arc<dyn Vfs>, dir: impl AsRef<Path>) -> Result<Engine, LangError> {
+        let store = Arc::new(
+            ReplicatingStore::open_with(vfs, dir)
+                .map_err(|e| LangError::eval(0, format!("cannot open store: {e}")))?,
+        );
+        // Same open-time recovery as a standalone session: an extern-only
+        // intent rolls forward now; an intrinsic-bearing one blocks
+        // durable commits until it can be recovered whole.
+        let mut pending = None;
+        match recover_pending(None, &store) {
+            Ok(_) => {}
+            Err(PersistError::RecoveryPending { txn_id }) => pending = Some(txn_id),
+            Err(e) => {
+                return Err(LangError::eval(
+                    0,
+                    format!("cannot recover pending transaction: {e}"),
+                ))
+            }
+        }
+        let shared = Arc::new(Shared {
+            snap: SnapshotCell::new(EngineState {
+                epoch: 0,
+                db: Database::new(),
+            }),
+            store,
+            degraded: Mutex::new(None),
+            pending_recovery: Mutex::new(pending),
+            frame_log: Mutex::new(None),
+        });
+        let (tx, rx) = mpsc::channel();
+        let applier = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dbpl-applier".to_string())
+                .spawn(move || applier_loop(shared, rx))
+                .map_err(|e| LangError::eval(0, format!("cannot start applier: {e}")))?
+        };
+        Ok(Engine {
+            shared,
+            tx,
+            applier: Mutex::new(Some(applier)),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.applier.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A multi-session MiniDBPL server over one shared, snapshot-published
+/// database. Clone-free sharing: hand each connection a
+/// [`Server::session`].
+///
+/// ```
+/// use dbpl_lang::Server;
+/// let server = Server::new().unwrap();
+/// let mut a = server.session();
+/// let mut b = server.session();
+/// a.run("type Person = {Name: Str} put(db, dynamic {Name = 'amy'})")
+///     .unwrap();
+/// let out = b.run("len[Person](get[Person](db))").unwrap();
+/// assert_eq!(out, vec!["1"]);
+/// ```
+pub struct Server {
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// A server whose replicating store lives in a fresh temp directory.
+    pub fn new() -> Result<Server, LangError> {
+        let n = SERVER_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("dbpl-server-{}-{n}", std::process::id()));
+        Server::with_store_dir(dir)
+    }
+
+    /// A server over a specific store directory.
+    pub fn with_store_dir(dir: impl AsRef<Path>) -> Result<Server, LangError> {
+        Server::open_with(
+            Arc::new(dbpl_persist::CountingVfs::new(dbpl_persist::StdVfs)),
+            dir,
+        )
+    }
+
+    /// A server over an explicit [`Vfs`] (fault injection, in-memory
+    /// testing).
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: impl AsRef<Path>) -> Result<Server, LangError> {
+        Ok(Server {
+            engine: Arc::new(Engine::open_with(vfs, dir)?),
+        })
+    }
+
+    /// A new session over the shared engine. Sessions are independent
+    /// (own output, own quarantine record) but read and write the same
+    /// database through snapshots and the group-commit applier. Sessions
+    /// are `Send`: hand one to each connection thread.
+    pub fn session(&self) -> ServerSession {
+        ServerSession {
+            engine: Arc::clone(&self.engine),
+            out: Vec::new(),
+            quarantined: Vec::new(),
+            last_commit_epoch: None,
+        }
+    }
+
+    /// The currently published snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.engine.shared.snap.load().epoch
+    }
+
+    /// The engine's health: [`Health::Degraded`] after an environmental
+    /// failure (disk full) flipped durable commits off. Sessions probe
+    /// before enqueueing, so a degraded engine heals itself the moment
+    /// the store is writable again.
+    pub fn health(&self) -> Health {
+        match &*self.engine.shared.degraded.lock() {
+            None => Health::Healthy,
+            Some(reason) => Health::Degraded {
+                reason: reason.clone(),
+            },
+        }
+    }
+
+    /// Start recording the applier's log: the current database plus every
+    /// subsequently applied frame in serialization order. Differential
+    /// tests replay it with [`Server::check_frame_log_replay`].
+    pub fn start_frame_log(&self) {
+        let base = self.engine.shared.snap.load().db.clone();
+        *self.engine.shared.frame_log.lock() = Some(FrameLog {
+            base,
+            frames: Vec::new(),
+        });
+    }
+
+    /// Replay the recorded applier log single-threaded from its base
+    /// state and check the result is equivalent to the current published
+    /// snapshot. Returns the number of frames replayed.
+    ///
+    /// This is the engine's serializability witness: whatever interleaving
+    /// the sessions produced, the published state must equal a sequential
+    /// execution of the frames in the order the applier chose.
+    pub fn check_frame_log_replay(&self) -> Result<usize, String> {
+        // Hold no locks while replaying: clone the log out.
+        let (base, frames) = {
+            let guard = self.engine.shared.frame_log.lock();
+            let log = guard.as_ref().ok_or("frame log was never started")?;
+            (log.base.clone(), log.frames.clone())
+        };
+        let mut replayed = base;
+        for (i, frame) in frames.iter().enumerate() {
+            apply_frame(&mut replayed, frame).map_err(|e| format!("replaying frame {i}: {e}"))?;
+        }
+        let published = self.engine.shared.snap.load();
+        db_equiv(&replayed, &published.db)?;
+        Ok(frames.len())
+    }
+
+    /// Shut the applier down and wait for it. Queued commits are
+    /// processed first; sessions that enqueue afterwards get an error.
+    /// Dropping the last `Server`/`ServerSession` shuts down implicitly.
+    pub fn shutdown(self) {
+        self.engine.shutdown();
+    }
+}
+
+/// Structural equivalence of two databases: same dynamics, same schema,
+/// same heap. (Used by the replay check; `Database` deliberately does not
+/// implement `PartialEq`.)
+fn db_equiv(a: &Database, b: &Database) -> Result<(), String> {
+    if a.dynamics() != b.dynamics() {
+        return Err(format!(
+            "dynamic stores differ: {} vs {} elements (or content)",
+            a.len(),
+            b.len()
+        ));
+    }
+    let defs_a: Vec<_> = a.env().definitions().collect();
+    let defs_b: Vec<_> = b.env().definitions().collect();
+    if defs_a != defs_b {
+        return Err("schemas differ".to_string());
+    }
+    let heap_a: Vec<_> = a.heap().iter().collect();
+    let heap_b: Vec<_> = b.heap().iter().collect();
+    if heap_a != heap_b {
+        return Err(format!(
+            "heaps differ: {} vs {} objects (or content)",
+            a.heap().len(),
+            b.heap().len()
+        ));
+    }
+    Ok(())
+}
+
+/// One session multiplexed over a [`Server`]'s shared engine.
+///
+/// Each [`ServerSession::run`] executes against a private MVCC snapshot;
+/// a program that wrote anything commits through the engine's
+/// group-commit applier, a pure read never leaves its snapshot. Output
+/// accumulates in [`ServerSession::out`] exactly as in [`Session`].
+pub struct ServerSession {
+    engine: Arc<Engine>,
+    /// Output produced by this session's programs (printing is an
+    /// observable effect; it survives aborted transactions).
+    pub out: Vec<String>,
+    /// Corrupt store units this session's programs tripped over.
+    quarantined: Vec<QuarantineEntry>,
+    /// The epoch published for this session's most recent write commit.
+    last_commit_epoch: Option<u64>,
+}
+
+impl ServerSession {
+    /// The epoch at which this session's most recent writing program was
+    /// published, or `None` if it has not committed a write yet. Any
+    /// snapshot at this epoch or later observes the commit — the handle a
+    /// caller uses to reason about visibility across sessions.
+    pub fn last_commit_epoch(&self) -> Option<u64> {
+        self.last_commit_epoch
+    }
+
+    /// Parse, type-check and run one program against a fresh snapshot,
+    /// committing its effects (if any) through the group-commit applier.
+    /// Returns the lines of output it produced. The program is one
+    /// transaction: explicit `begin`/`commit`/`abort` are rejected.
+    pub fn run(&mut self, src: &str) -> Result<Vec<String>, LangError> {
+        let state = self.engine.shared.snap.load();
+        dbpl_obs::global().counter("snapshot.reads").inc();
+        let mut worker =
+            Session::for_engine(state.db.clone(), Arc::clone(&self.engine.shared.store));
+        let staged = worker.run_staged(src);
+        let out_lines = worker.out.clone();
+        self.out.extend(worker.out.iter().cloned());
+        self.quarantined
+            .extend(worker.session_quarantined().iter().cloned());
+        let externs = staged?;
+
+        let frame = diff_frame(&state.db, &worker.db, externs, state.epoch)?;
+        if frame.is_empty() {
+            // A pure read never touches the applier: this is the
+            // reader-scaling fast path.
+            return Ok(out_lines);
+        }
+
+        // Probe-first health gate (nothing queued behind a known-failing
+        // store): a degraded engine refuses the enqueue outright unless
+        // the probe shows the store healed.
+        if let Err(msg) = self.engine.shared.check_writable() {
+            return Err(LangError::eval(
+                0,
+                format!("commit refused, transaction aborted: {msg}"),
+            ));
+        }
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.engine
+            .tx
+            .send(Msg::Commit(Box::new(CommitRequest {
+                frame,
+                reply: reply_tx,
+            })))
+            .map_err(|_| LangError::eval(0, "engine is shut down".to_string()))?;
+        match reply_rx.recv() {
+            Ok(CommitOutcome::Applied { epoch }) => {
+                self.last_commit_epoch = Some(epoch);
+                Ok(out_lines)
+            }
+            Ok(CommitOutcome::Conflict(msg)) => Err(LangError::eval(
+                0,
+                format!("commit conflict, transaction aborted: {msg}"),
+            )),
+            Ok(CommitOutcome::Refused(msg)) => Err(LangError::eval(
+                0,
+                format!("commit refused, transaction aborted: {msg}"),
+            )),
+            Ok(CommitOutcome::Aborted(msg)) => Err(LangError::eval(
+                0,
+                format!("commit failed, transaction aborted: {msg}"),
+            )),
+            Ok(CommitOutcome::InDoubt { txn_id, detail }) => Err(LangError::eval(
+                0,
+                format!(
+                    "commit is in doubt, not aborted: durably logged as transaction \
+                     {txn_id} but applying it failed ({detail}); it will be completed \
+                     on recovery — commits are blocked until then"
+                ),
+            )),
+            Err(_) => Err(LangError::eval(
+                0,
+                "engine shut down while the commit was queued".to_string(),
+            )),
+        }
+    }
+
+    /// Run a program, rendering any error against the source.
+    pub fn run_pretty(&mut self, src: &str) -> Result<Vec<String>, String> {
+        self.run(src).map_err(|e| e.render(src))
+    }
+
+    /// The snapshot this session would read right now (epoch + database).
+    /// Consistent and immutable: queries against it never see later
+    /// commits.
+    pub fn snapshot(&self) -> Arc<EngineState> {
+        dbpl_obs::global().counter("snapshot.reads").inc();
+        self.engine.shared.snap.load()
+    }
+
+    /// The session's health — **applier-aware**: this reflects the shared
+    /// engine, so one session's disk-full failure is visible to every
+    /// session, and all of them refuse to enqueue (probe-first, nothing
+    /// staged) until the store heals.
+    pub fn health(&self) -> Health {
+        match &*self.engine.shared.degraded.lock() {
+            None => Health::Healthy,
+            Some(reason) => Health::Degraded {
+                reason: reason.clone(),
+            },
+        }
+    }
+
+    /// Corrupt store units this session's programs tripped over.
+    pub fn quarantine_report(&self) -> dbpl_persist::QuarantineReport {
+        dbpl_persist::QuarantineReport {
+            entries: self.quarantined.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbpl_persist::{FaultPlan, SimVfs};
+
+    fn sim_server(plan: Option<FaultPlan>) -> (Server, SimVfs) {
+        let vfs = SimVfs::new();
+        if let Some(p) = plan {
+            vfs.set_plan(p);
+        }
+        let server = Server::open_with(Arc::new(vfs.clone()), "/srv").unwrap();
+        (server, vfs)
+    }
+
+    #[test]
+    fn sessions_share_commits_through_snapshots() {
+        let server = Server::new().unwrap();
+        let mut a = server.session();
+        let mut b = server.session();
+        a.run("type Person = {Name: Str} put(db, dynamic {Name = 'amy'})")
+            .unwrap();
+        let out = b.run("len[Person](get[Person](db))").unwrap();
+        assert_eq!(out, vec!["1"]);
+        assert_eq!(server.epoch(), 1);
+    }
+
+    #[test]
+    fn pure_reads_do_not_publish_epochs() {
+        let server = Server::new().unwrap();
+        let mut s = server.session();
+        s.run("type T = {X: Int} put(db, dynamic {X = 1})").unwrap();
+        let e = server.epoch();
+        s.run("len[T](get[T](db))").unwrap();
+        s.run("print('hello')").unwrap();
+        assert_eq!(server.epoch(), e, "reads must not publish");
+    }
+
+    #[test]
+    fn snapshots_are_immutable_while_writers_commit() {
+        let server = Server::new().unwrap();
+        let mut w = server.session();
+        w.run("type T = {X: Int} put(db, dynamic {X = 1})").unwrap();
+        let r = server.session();
+        let snap = r.snapshot();
+        let before = snap.db.len();
+        w.run("put(db, dynamic {X = 2})").unwrap();
+        assert_eq!(snap.db.len(), before, "held snapshot must not move");
+        assert!(server.epoch() >= 2);
+    }
+
+    #[test]
+    fn conflicting_decl_frames_fail_only_that_frame() {
+        let server = Server::new().unwrap();
+        let s = server.session();
+        // Build two frames against the same base snapshot by hand.
+        let state = s.snapshot();
+        let mk = |ty: &str| {
+            let mut w =
+                Session::for_engine(state.db.clone(), Arc::clone(&server.engine.shared.store));
+            let externs = w
+                .run_staged(&format!("type T = {{X: {ty}}} put(db, dynamic {{X = 1}})"))
+                .unwrap_or_default();
+            diff_frame(&state.db, &w.db, externs, state.epoch).unwrap()
+        };
+        let f1 = mk("Int");
+        let f2 = mk("Int"); // identical: idempotent
+        let f3 = mk("Str"); // structurally different: conflict
+        let send = |frame: Frame| {
+            let (tx, rx) = mpsc::channel();
+            server
+                .engine
+                .tx
+                .send(Msg::Commit(Box::new(CommitRequest { frame, reply: tx })))
+                .unwrap();
+            rx.recv().unwrap()
+        };
+        assert!(matches!(send(f1), CommitOutcome::Applied { .. }));
+        assert!(matches!(send(f2), CommitOutcome::Applied { .. }));
+        assert!(matches!(send(f3), CommitOutcome::Conflict(_)));
+        // The conflicting frame aborted alone; the store still serves T.
+        let mut s2 = server.session();
+        assert_eq!(s2.run("len[T](get[T](db))").unwrap(), vec!["2"]);
+    }
+
+    #[test]
+    fn interned_heap_objects_remap_across_frames() {
+        let server = Server::new().unwrap();
+        let mut a = server.session();
+        // Extern a record, then two sessions intern it concurrently and
+        // put the result — both allocate overlapping oids in their own
+        // snapshots; the applier must remap, not collide.
+        a.run("type P = {Name: Str} extern('p', dynamic {Name = 'x'})")
+            .unwrap();
+        let mut b = server.session();
+        let mut c = server.session();
+        b.run("put(db, intern('p'))").unwrap();
+        c.run("put(db, intern('p'))").unwrap();
+        let mut r = server.session();
+        assert_eq!(r.run("len[P](get[P](db))").unwrap(), vec!["2"]);
+    }
+
+    #[test]
+    fn frame_log_replay_matches_published_state() {
+        let server = Server::new().unwrap();
+        server.start_frame_log();
+        let mut a = server.session();
+        let mut b = server.session();
+        a.run("type T = {X: Int} put(db, dynamic {X = 1})").unwrap();
+        b.run("put(db, dynamic {X = 2})").unwrap();
+        a.run("put(db, dynamic {X = 3})").unwrap();
+        let n = server.check_frame_log_replay().unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn degraded_engine_refuses_enqueue_probe_first() {
+        let (server, vfs) = sim_server(None);
+        let mut s = server.session();
+        s.run("type T = {X: Int} extern('h1', dynamic {X = 1})")
+            .unwrap();
+        // Disk fills: the next durable commit fails pre-durability, the
+        // engine degrades.
+        vfs.set_plan(FaultPlan {
+            enospc_at_op: Some(1),
+            ..Default::default()
+        });
+        let err = s
+            .run("extern('h2', dynamic {X = 2})")
+            .expect_err("commit must fail on a full disk");
+        assert!(err.to_string().contains("commit"), "{err}");
+        assert!(server.health().is_degraded());
+        assert!(s.health().is_degraded(), "health is applier-aware");
+        // While degraded: enqueue is refused probe-first — the failing
+        // op count must not advance past the probe's own writes, and
+        // reads keep flowing.
+        let err = s
+            .run("extern('h3', dynamic {X = 3})")
+            .expect_err("degraded engine must refuse");
+        assert!(err.to_string().contains("refused"), "{err}");
+        assert!(s.run("len[T](get[T](db))").is_ok(), "reads still work");
+        // Space returns: the probe heals the engine and commits resume.
+        vfs.set_plan(FaultPlan::default());
+        s.run("extern('h4', dynamic {X = 4})").unwrap();
+        assert!(!server.health().is_degraded());
+    }
+
+    #[test]
+    fn in_doubt_group_commit_attributes_to_every_batch_member() {
+        // Regression test (satellite): a persistent fsync failure after
+        // the durability point must surface InDoubt to EVERY member of
+        // the coalesced batch, not just the first frame in the queue.
+        // Build three frames against one snapshot, then feed them to the
+        // applier's batch path directly (racing real sessions against the
+        // applier thread cannot force a 3-frame batch deterministically).
+        // A persistent fsync failure armed at increasing op offsets sweeps
+        // the commit across its durability boundary until the in-doubt
+        // window is hit, crash-sweep style.
+        let mut saw_in_doubt = false;
+        'sweep: for fail_at in 1..200u64 {
+            let vfs2 = SimVfs::new();
+            let server2 = Server::open_with(Arc::new(vfs2.clone()), "/srv2").unwrap();
+            let mut setup2 = server2.session();
+            setup2
+                .run("type T = {X: Int} extern('seed', dynamic {X = 0})")
+                .unwrap();
+            let state2 = server2.engine.shared.snap.load();
+            let mut reqs = Vec::new();
+            let mut rxs = Vec::new();
+            for i in 0..3 {
+                let mut w = Session::for_engine(
+                    state2.db.clone(),
+                    Arc::clone(&server2.engine.shared.store),
+                );
+                let externs = w
+                    .run_staged(&format!("extern('h{i}', dynamic {{X = {i}}})"))
+                    .unwrap();
+                let frame = diff_frame(&state2.db, &w.db, externs, state2.epoch).unwrap();
+                let (tx, rx) = mpsc::channel();
+                reqs.push(CommitRequest { frame, reply: tx });
+                rxs.push(rx);
+            }
+            let base_ops = vfs2.ops();
+            vfs2.set_plan(FaultPlan {
+                fail_fsync_at_op: Some(base_ops + fail_at),
+                ..Default::default()
+            });
+            apply_batch(&server2.engine.shared, reqs);
+            let outcomes: Vec<CommitOutcome> =
+                rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
+            let in_doubt = outcomes
+                .iter()
+                .filter(|o| matches!(o, CommitOutcome::InDoubt { .. }))
+                .count();
+            if in_doubt > 0 {
+                // The regression: in-doubt must cover the WHOLE batch.
+                assert_eq!(
+                    in_doubt, 3,
+                    "in-doubt attributed to only {in_doubt}/3 members at fail_at={fail_at}: {outcomes:?}"
+                );
+                // All members share the same coalesced transaction id.
+                let ids: std::collections::BTreeSet<u64> = outcomes
+                    .iter()
+                    .map(|o| match o {
+                        CommitOutcome::InDoubt { txn_id, .. } => *txn_id,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                assert_eq!(ids.len(), 1, "one batch, one txn id");
+                saw_in_doubt = true;
+                break 'sweep;
+            }
+        }
+        assert!(
+            saw_in_doubt,
+            "sweep never produced an in-doubt batch; fault plan is miswired"
+        );
+    }
+
+    #[test]
+    fn explicit_txn_statements_are_rejected() {
+        let server = Server::new().unwrap();
+        let mut s = server.session();
+        let err = s.run("begin put(db, dynamic 1) commit").unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn shutdown_drains_queued_commits() {
+        let server = Server::new().unwrap();
+        let mut s = server.session();
+        s.run("type T = {X: Int} put(db, dynamic {X = 1})").unwrap();
+        server.shutdown();
+    }
+}

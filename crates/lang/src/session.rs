@@ -42,6 +42,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -68,8 +69,9 @@ struct TxnState {
 pub struct Session {
     /// The database shared by all programs of this session.
     pub db: Database,
-    /// The replicating store behind `extern`/`intern`.
-    pub store: ReplicatingStore,
+    /// The replicating store behind `extern`/`intern`. Shared: an engine
+    /// ([`crate::Server`]) hands the same store to many sessions.
+    pub store: Arc<ReplicatingStore>,
     /// An intrinsic (log-structured) store, once one has been attached
     /// with [`Session::attach_intrinsic`]. Mutations staged here (via the
     /// host API) commit atomically with the session's externs.
@@ -206,6 +208,12 @@ impl Session {
     /// [`dbpl_persist::Vfs`] (fault injection, in-memory testing) via
     /// [`ReplicatingStore::open_with`].
     pub fn from_store(store: ReplicatingStore) -> Result<Session, LangError> {
+        Session::from_shared_store(Arc::new(store))
+    }
+
+    /// [`Session::from_store`] over an already-shared store — how an
+    /// engine builds sessions that all read and write the same store.
+    pub fn from_shared_store(store: Arc<ReplicatingStore>) -> Result<Session, LangError> {
         let mut s = Session {
             db: Database::new(),
             store,
@@ -312,6 +320,80 @@ impl Session {
         ));
         self.intrinsic = Some(store);
         Ok(report)
+    }
+
+    /// A lightweight worker session over an existing database snapshot
+    /// and a shared store: no recovery I/O, no temp directory. Used by
+    /// the engine to execute one program against an MVCC snapshot; the
+    /// resulting database is diffed into a frame, not kept.
+    pub(crate) fn for_engine(db: Database, store: Arc<ReplicatingStore>) -> Session {
+        Session {
+            db,
+            store,
+            intrinsic: None,
+            out: Vec::new(),
+            txn_deadline: None,
+            txn: None,
+            quarantined: Vec::new(),
+            degraded: None,
+            pending_recovery: None,
+        }
+    }
+
+    /// Parse, type-check and run one program, leaving the transaction
+    /// frame's effects *staged* instead of committing them: the database
+    /// mutations stay in [`Session::db`] and the staged extern writes are
+    /// returned for the caller to make durable (the engine's group-commit
+    /// applier). Explicit `begin`/`commit`/`abort` statements are
+    /// rejected — under an engine the whole program is the transaction.
+    /// On any failure the frame aborts exactly as in [`Session::run`].
+    pub(crate) fn run_staged(
+        &mut self,
+        src: &str,
+    ) -> Result<BTreeMap<String, Option<Vec<u8>>>, LangError> {
+        let mut root = dbpl_obs::span!("run");
+        let prog = {
+            let _sp = dbpl_obs::span!("run.parse");
+            parse_program(src)?
+        };
+        for item in &prog.items {
+            if let Item::Begin { at } | Item::Commit { at } | Item::Abort { at } = item {
+                return Err(LangError::eval(
+                    *at,
+                    "explicit transaction statements are not supported in server \
+                     sessions: each program is one transaction"
+                        .to_string(),
+                ));
+            }
+        }
+        root.set_attr("statements", prog.items.len());
+        let checked = {
+            let _sp = dbpl_obs::span!("run.check");
+            check_program(&prog, self.db.env())?
+        };
+        debug_assert!(self.txn.is_none(), "engine workers run one frame at a time");
+        self.begin_frame(false);
+        *self.db.env_mut() = checked.env;
+        match catch_unwind(AssertUnwindSafe(|| self.exec_items(&prog))) {
+            Ok(Ok(())) => {
+                let frame = self.txn.take().expect("frame still open");
+                Ok(frame.staged_externs)
+            }
+            Ok(Err(e)) => {
+                self.abort_frame();
+                Err(e)
+            }
+            Err(payload) => {
+                self.abort_frame();
+                Err(LangError::eval(
+                    0,
+                    format!(
+                        "program panicked: {}; transaction aborted",
+                        panic_message(&*payload)
+                    ),
+                ))
+            }
+        }
     }
 
     /// Parse, type-check and run one program. Returns the lines of output
@@ -818,6 +900,13 @@ impl Session {
         let mut r = self.db.quarantine_report();
         r.entries.extend(self.quarantined.iter().cloned());
         r
+    }
+
+    /// Just the session-level quarantine record (excludes the database's
+    /// own entries) — what a [`crate::server::ServerSession`] carries over
+    /// from a worker session after a program runs.
+    pub(crate) fn session_quarantined(&self) -> &[QuarantineEntry] {
+        &self.quarantined
     }
 
     /// A read-only snapshot of every counter and histogram in the global

@@ -802,6 +802,181 @@ pub fn crash_sweep_extern_only(seed: u64, txns: usize) -> SweepReport {
     }
 }
 
+/// Chunk an extern-only script into group-commit batches and merge each
+/// batch's staged externs the way the engine's applier does: frames apply
+/// in arrival order, later writes to a handle override earlier ones.
+fn group_batches(
+    script: &[Vec<MultiAction>],
+    batch_size: usize,
+) -> Vec<BTreeMap<String, Option<i64>>> {
+    script
+        .chunks(batch_size)
+        .map(|batch| {
+            let mut merged: BTreeMap<String, Option<i64>> = BTreeMap::new();
+            for frame in batch {
+                for action in frame {
+                    match action {
+                        MultiAction::SetExt(h, v) => {
+                            merged.insert(MULTI_EXT_HANDLES[*h].to_string(), Some(*v));
+                        }
+                        MultiAction::DelExt(h) => {
+                            merged.insert(MULTI_EXT_HANDLES[*h].to_string(), None);
+                        }
+                        MultiAction::SetIntr(..) => unreachable!("extern-only script"),
+                    }
+                }
+            }
+            merged
+        })
+        .collect()
+}
+
+/// `states[i]` is the extern state after `i` committed **batches**. One
+/// batch = one state step: a recovered state between two batch states
+/// would mean a crash tore a coalesced commit into per-frame pieces.
+fn group_states(batches: &[BTreeMap<String, Option<i64>>]) -> Vec<BTreeMap<String, i64>> {
+    let mut states = vec![BTreeMap::new()];
+    let mut cur: BTreeMap<String, i64> = BTreeMap::new();
+    for batch in batches {
+        for (h, w) in batch {
+            match w {
+                Some(v) => {
+                    cur.insert(h.clone(), *v);
+                }
+                None => {
+                    cur.remove(h);
+                }
+            }
+        }
+        states.push(cur.clone());
+    }
+    states
+}
+
+/// Run the batched script: each batch's merged externs commit through
+/// **one** [`commit_multi`] call — one coalesced intent record, one fsync
+/// pass — exactly the engine's group-commit shape.
+fn run_group_commit(
+    vfs: &SimVfs,
+    batches: &[BTreeMap<String, Option<i64>>],
+) -> (usize, Option<PersistError>) {
+    let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let repl = match ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR)) {
+        Ok(s) => s,
+        Err(e) => return (0, Some(e)),
+    };
+    let heap = Heap::new();
+    let mut acked = 0;
+    for batch in batches {
+        let mut externs: BTreeMap<String, Option<Vec<u8>>> = BTreeMap::new();
+        for (h, w) in batch {
+            match w {
+                Some(v) => {
+                    let d = DynValue::new(Type::Int, Value::Int(*v));
+                    match ReplicatingStore::encode_unit(&d, &heap) {
+                        Ok(bytes) => {
+                            externs.insert(h.clone(), Some(bytes));
+                        }
+                        Err(e) => return (acked, Some(e)),
+                    }
+                }
+                None => {
+                    externs.insert(h.clone(), None);
+                }
+            }
+        }
+        let mut attempts = 0;
+        loop {
+            match commit_multi(None, &repl, &externs, &RetryPolicy::default()) {
+                Ok(_) => {
+                    acked += 1;
+                    break;
+                }
+                Err(PersistError::Io(e))
+                    if e.kind() == std::io::ErrorKind::Interrupted && attempts < 4 =>
+                {
+                    attempts += 1;
+                }
+                Err(PersistError::InDoubt { .. }) => {
+                    let mut rec_attempts = 0;
+                    loop {
+                        match recover_pending(None, &repl) {
+                            Ok(_) => break,
+                            Err(PersistError::Io(e))
+                                if e.kind() == std::io::ErrorKind::Interrupted
+                                    && rec_attempts < 4 =>
+                            {
+                                rec_attempts += 1;
+                            }
+                            Err(e) => return (acked, Some(e)),
+                        }
+                    }
+                    acked += 1;
+                    break;
+                }
+                Err(e) => return (acked, Some(e)),
+            }
+        }
+    }
+    (acked, None)
+}
+
+/// Crash sweep for **group commit**: frames from `batch_size` concurrent
+/// sessions coalesce into one intent record per batch (the engine's
+/// `dbpl-lang` applier shape), and the simulated machine is killed once
+/// at every I/O boundary of every coalesced commit. After each crash the
+/// store reopens with `recover_pending` and the recovered state must be
+/// a whole number of **batches** — all of a coalesced commit's frames or
+/// none of them. A state that splits a batch (some members' externs
+/// installed, others missing, with no pending intent to finish the job)
+/// is exactly the torn group commit this sweep exists to rule out.
+/// Panics (with seed and crash op) on any violation.
+pub fn crash_sweep_group_commit(seed: u64, batches: usize, batch_size: usize) -> SweepReport {
+    let script = extern_only_script(seed ^ 0x006E_07C0_1717, batches * batch_size);
+    let merged = group_batches(&script, batch_size);
+    let states = group_states(&merged);
+
+    let reference = SimVfs::new();
+    let (acked, err) = run_group_commit(&reference, &merged);
+    assert!(err.is_none(), "seed {seed}: fault-free run failed: {err:?}");
+    assert_eq!(acked, batches);
+    let total_ops = reference.ops();
+    assert!(total_ops > 0);
+
+    for crash_at in 1..=total_ops {
+        let vfs = SimVfs::with_plan(FaultPlan {
+            seed,
+            crash_at_op: Some(crash_at),
+            transient_one_in: None,
+            ..FaultPlan::default()
+        });
+        let (acked, err) = run_group_commit(&vfs, &merged);
+        assert!(
+            err.is_some(),
+            "seed {seed}: planned crash at op {crash_at}/{total_ops} never hit"
+        );
+        vfs.recover();
+        let context = format!("seed {seed}, crash at op {crash_at} (group commit)");
+        let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let repl = ReplicatingStore::open_with(vfs_dyn, Path::new(MULTI_DIR))
+            .unwrap_or_else(|e| panic!("{context}: replicating reopen failed: {e}"));
+        recover_pending(None, &repl)
+            .unwrap_or_else(|e| panic!("{context}: coalesced intent recovery failed: {e}"));
+        let got = extern_canonical(&repl, &context);
+        let in_flight = states.get(acked + 1);
+        assert!(
+            got == states[acked] || Some(&got) == in_flight,
+            "{context}: recovered {got:?} — not a whole number of batches; \
+             expected batch state {acked} ({:?}) or the in-flight {in_flight:?}",
+            states[acked],
+        );
+    }
+    SweepReport {
+        crash_points: total_ops,
+        committed: batches,
+    }
+}
+
 /// Transient-fault storm over the multi-store workload: with retryable
 /// faults injected but no crash, every transaction must commit and the
 /// final paired state must match the model exactly.

@@ -400,6 +400,21 @@ pub struct FaultPlan {
     /// flip is persistent: it lands in both the live and the synced
     /// image, so it survives crashes and re-reads until rewritten.
     pub bit_rot_one_in: Option<u64>,
+    /// If `Some(n)`, every fsync-kind operation (`sync_data`,
+    /// `sync_file`, `sync_dir`) fails from the `n`th operation (1-based)
+    /// onward with a *non-transient* error, until the plan is replaced.
+    /// Models a dying disk whose flush path is gone: [`RetryPolicy`]
+    /// must pass the error through (it is not `Interrupted`), so a
+    /// grouped commit whose durability fsync hits this sees the same
+    /// failure on its immediate roll-forward retry and surfaces
+    /// `InDoubt` to every member of the batch.
+    pub fail_fsync_at_op: Option<u64>,
+    /// If `Some(us)`, every *successful* fsync-kind operation sleeps
+    /// `us` microseconds before returning — deterministic flush latency
+    /// for throughput experiments (the fsync a group commit amortizes).
+    /// The sleep happens outside the state lock, so concurrent readers
+    /// are never blocked by a simulated flush.
+    pub fsync_delay_us: Option<u64>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -478,6 +493,19 @@ impl SimState {
                     io::ErrorKind::StorageFull,
                     "simulated disk full",
                 ));
+            }
+        }
+        if let Some(n) = self.plan.fail_fsync_at_op {
+            let is_fsync = matches!(op, "sync_data" | "sync_file" | "sync_dir");
+            if is_fsync && self.ops >= n {
+                crate::metrics::faults_injected().inc();
+                dbpl_obs::emit(dbpl_obs::Event::FaultInjected {
+                    op: op.to_string(),
+                    kind: "fsync_fail".to_string(),
+                });
+                // Deliberately NOT Interrupted: the flush path is gone
+                // for good, so bounded retries must not absorb this.
+                return Err(io::Error::other("simulated persistent fsync failure"));
             }
         }
         if let Some(n) = self.plan.transient_one_in {
@@ -647,11 +675,25 @@ impl VfsFile for SimFile {
     }
 
     fn sync_data(&mut self) -> io::Result<()> {
-        let mut s = self.state.lock();
-        s.enter_op("sync_data", None)?;
-        let inode = self.inode;
-        s.inodes[inode].synced = s.inodes[inode].bytes.clone();
+        let delay = {
+            let mut s = self.state.lock();
+            s.enter_op("sync_data", None)?;
+            let inode = self.inode;
+            s.inodes[inode].synced = s.inodes[inode].bytes.clone();
+            s.plan.fsync_delay_us
+        };
+        sim_flush_delay(delay);
         Ok(())
+    }
+}
+
+/// Simulated flush latency: sleep outside the [`SimState`] lock so a slow
+/// fsync never serializes unrelated reads.
+fn sim_flush_delay(us: Option<u64>) {
+    if let Some(us) = us {
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
     }
 }
 
@@ -700,30 +742,38 @@ impl Vfs for SimVfs {
     }
 
     fn sync_file(&self, path: &Path) -> io::Result<()> {
-        let mut s = self.state.lock();
-        s.enter_op("sync_file", None)?;
-        match s.current.get(path).copied() {
-            Some(i) => {
-                s.inodes[i].synced = s.inodes[i].bytes.clone();
-                Ok(())
+        let delay = {
+            let mut s = self.state.lock();
+            s.enter_op("sync_file", None)?;
+            match s.current.get(path).copied() {
+                Some(i) => {
+                    s.inodes[i].synced = s.inodes[i].bytes.clone();
+                }
+                None => return Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
             }
-            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
-        }
+            s.plan.fsync_delay_us
+        };
+        sim_flush_delay(delay);
+        Ok(())
     }
 
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
-        let mut s = self.state.lock();
-        s.enter_op("sync_dir", None)?;
-        // Promote this directory's slice of the namespace to durable:
-        // creates, renames and removes under it now survive a crash.
-        let in_dir: Vec<(PathBuf, usize)> = s
-            .current
-            .iter()
-            .filter(|(p, _)| parent_of(p) == *path)
-            .map(|(p, &i)| (p.clone(), i))
-            .collect();
-        s.durable.retain(|p, _| parent_of(p) != *path);
-        s.durable.extend(in_dir);
+        let delay = {
+            let mut s = self.state.lock();
+            s.enter_op("sync_dir", None)?;
+            // Promote this directory's slice of the namespace to durable:
+            // creates, renames and removes under it now survive a crash.
+            let in_dir: Vec<(PathBuf, usize)> = s
+                .current
+                .iter()
+                .filter(|(p, _)| parent_of(p) == *path)
+                .map(|(p, &i)| (p.clone(), i))
+                .collect();
+            s.durable.retain(|p, _| parent_of(p) != *path);
+            s.durable.extend(in_dir);
+            s.plan.fsync_delay_us
+        };
+        sim_flush_delay(delay);
         Ok(())
     }
 

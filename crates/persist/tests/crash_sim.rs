@@ -9,10 +9,10 @@
 //! the salvage-mode contract on a log normal `open` rejects.
 
 use dbpl_persist::sim::{
-    bit_rot_scrub_sweep, crash_sweep_extern_only, crash_sweep_intrinsic, crash_sweep_multi_store,
-    crash_sweep_replicating, crash_sweep_snapshot, enospc_sweep_extern_only,
-    transient_storm_intrinsic, transient_storm_multi_store, transient_storm_multi_store_at,
-    transient_storm_replicating,
+    bit_rot_scrub_sweep, crash_sweep_extern_only, crash_sweep_group_commit, crash_sweep_intrinsic,
+    crash_sweep_multi_store, crash_sweep_replicating, crash_sweep_snapshot,
+    enospc_sweep_extern_only, transient_storm_intrinsic, transient_storm_multi_store,
+    transient_storm_multi_store_at, transient_storm_replicating,
 };
 use dbpl_persist::{IntrinsicStore, LogFile, PersistError};
 use dbpl_types::Type;
@@ -103,6 +103,23 @@ fn extern_only_transactions_recover_without_an_intrinsic_store() {
 }
 
 #[test]
+fn group_commits_recover_all_or_none_of_each_batch() {
+    // The group-commit engine coalesces frames from many sessions into
+    // one intent record; a crash at any I/O boundary of that coalesced
+    // commit must recover ALL of the batch's frames or NONE of them —
+    // never a per-frame split.
+    for &seed in &SEEDS {
+        let report = crash_sweep_group_commit(seed, 3, 3);
+        assert!(
+            report.crash_points >= 15,
+            "seed {seed}: suspiciously few crash points ({})",
+            report.crash_points
+        );
+        assert_eq!(report.committed, 3);
+    }
+}
+
+#[test]
 fn snapshot_saves_are_atomic_at_every_crash_point() {
     for &seed in &SEEDS {
         let report = crash_sweep_snapshot(seed, 4);
@@ -169,6 +186,8 @@ fn nightly_multi_store_sweep_expanded_seeds() {
         assert_eq!(report.committed, 5, "seed {seed}");
         let report = crash_sweep_extern_only(seed, 5);
         assert_eq!(report.committed, 5, "seed {seed} (extern-only)");
+        let report = crash_sweep_group_commit(seed, 4, 4);
+        assert_eq!(report.committed, 4, "seed {seed} (group commit)");
     }
 }
 

@@ -32,12 +32,18 @@ pub enum SubtypePolicy {
 }
 
 /// A collection of named type definitions plus a declared subtype graph.
+///
+/// The definition map and the declared-edge graph live behind [`Arc`]s
+/// with copy-on-write mutation, so cloning an env is O(1) regardless of
+/// schema size — a clone shares the maps until either side mutates. This
+/// mirrors the generation-stamped cache sharing below and is what lets
+/// an MVCC snapshot carry the whole schema for free.
 #[derive(Debug, Clone, Default)]
 pub struct TypeEnv {
-    defs: BTreeMap<Name, Type>,
+    defs: Arc<BTreeMap<Name, Type>>,
     /// Direct declared supertypes: `include Employee in Person` puts
     /// `Person` in `declared_sups["Employee"]`.
-    declared_sups: BTreeMap<Name, BTreeSet<Name>>,
+    declared_sups: Arc<BTreeMap<Name, BTreeSet<Name>>>,
     policy: SubtypePolicy,
     /// How many times this env has been mutated. Observability only — see
     /// the invalidation contract in [`crate::cache`].
@@ -109,9 +115,9 @@ impl TypeEnv {
         if self.defs.contains_key(&name) {
             return Err(TypeError::Duplicate(name));
         }
-        self.defs.insert(name.clone(), ty);
+        Arc::make_mut(&mut self.defs).insert(name.clone(), ty);
         if let Err(e) = self.check_contractive(&name) {
-            self.defs.remove(&name);
+            Arc::make_mut(&mut self.defs).remove(&name);
             return Err(e);
         }
         self.touch();
@@ -121,7 +127,7 @@ impl TypeEnv {
     /// Declare `name = ty` replacing any existing definition (used by schema
     /// evolution, where re-declaration at a consistent type is the point).
     pub fn redeclare(&mut self, name: impl Into<Name>, ty: Type) {
-        self.defs.insert(name.into(), ty);
+        Arc::make_mut(&mut self.defs).insert(name.into(), ty);
         self.touch();
     }
 
@@ -187,13 +193,13 @@ impl TypeEnv {
         if !structurally_ok {
             return Err(TypeError::IncompatibleDeclaration { sub, sup });
         }
-        self.declared_sups
+        Arc::make_mut(&mut self.declared_sups)
             .entry(sub.clone())
             .or_default()
             .insert(sup);
         if self.declared_cycle_from(&sub) {
             // Roll back the edge we just added.
-            if let Some(sups) = self.declared_sups.get_mut(&sub) {
+            if let Some(sups) = Arc::make_mut(&mut self.declared_sups).get_mut(&sub) {
                 sups.pop_last();
             }
             return Err(TypeError::CyclicDeclaration(sub));
@@ -300,7 +306,7 @@ impl TypeEnv {
     /// every definition is contractive. Call after a batch of mutually
     /// recursive declarations.
     pub fn validate(&self) -> Result<(), TypeError> {
-        for (name, def) in &self.defs {
+        for (name, def) in self.defs.iter() {
             for r in def.named_refs() {
                 if !self.defs.contains_key(&r) {
                     return Err(TypeError::Unknown(r));

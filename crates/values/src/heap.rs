@@ -90,6 +90,13 @@ impl Heap {
         self.objects.is_empty()
     }
 
+    /// The identity the next [`Heap::alloc`] would hand out — a watermark
+    /// separating pre-existing objects from ones allocated after this
+    /// point (how an MVCC frame finds the objects a program created).
+    pub fn next_oid(&self) -> Oid {
+        Oid(self.next)
+    }
+
     /// Iterate over all objects.
     pub fn iter(&self) -> impl Iterator<Item = (Oid, &HeapObject)> {
         self.objects.iter().map(|(o, h)| (*o, h))
