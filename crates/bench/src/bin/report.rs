@@ -527,6 +527,192 @@ fn mvcc_throughput(smoke: bool) {
     }
 }
 
+/// The overload-resilience section: a `Server` with a deliberately tiny
+/// bounded commit queue under ~4x-capacity offered load across K
+/// sessions, fsync latency + jitter injected via the simulated VFS.
+///
+/// The smoke gates (CI `overload-smoke`) fail the build if
+/// * any commit attempt ends without a definitive outcome (a starved
+///   reply — an outcome other than applied / cleanly-shed `Overloaded`);
+/// * admission control never sheds (the queue is not actually bounding);
+/// * the engine stops making progress (zero applied commits);
+/// * p99 latency of *admitted* commits exceeds the budget — with a
+///   bounded queue the wait of an admitted commit is capped by the queue
+///   depth, not by the offered load, so the budget is a constant;
+/// * p99 latency of *rejected* commits exceeds a much smaller budget —
+///   rejection is probe-first (nothing staged) and must stay fast;
+/// * the applier panicked or the engine left `Ok` health.
+///
+/// The full run writes the `BENCH_overload.json` baseline.
+fn overload(smoke: bool) {
+    use dbpl_lang::{Server, ServerConfig};
+    use dbpl_persist::{FaultPlan, SimVfs};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    println!("## Overload — bounded admission under 4x offered load\n");
+
+    let sessions = if smoke { 8usize } else { 16 };
+    let attempts_per_session = if smoke { 12usize } else { 40 };
+    let fsync_delay_us = if smoke { 400u64 } else { 800 };
+    let fsync_jitter_us = fsync_delay_us / 2;
+    // Budgets in µs. The admitted-commit budget is the whole point: a
+    // bounded queue caps the wait at (queue ahead of you) / (applier
+    // drain rate) — a constant — where an unbounded queue's p99 grows
+    // with everything ever offered. Both budgets are deliberately loose
+    // for noisy CI machines; the regression they catch is an order of
+    // magnitude, not a percent.
+    let applied_p99_budget_us = 1_000_000.0f64;
+    let rejected_p99_budget_us = 50_000.0f64;
+
+    // The queue is far smaller than the session count, so whenever the
+    // applier is mid-batch the backlog of blocked sessions (one frame
+    // each) exceeds capacity several times over.
+    let queue_depth = 2usize;
+    let cfg = ServerConfig {
+        queue_depth,
+        max_inflight_frames: queue_depth + dbpl_lang::MAX_BATCH,
+        max_sessions: sessions + 1,
+        ..ServerConfig::default()
+    };
+    let vfs = SimVfs::with_plan(FaultPlan {
+        seed: 0xB0A7,
+        fsync_delay_us: Some(fsync_delay_us),
+        fsync_jitter_us: Some(fsync_jitter_us),
+        ..FaultPlan::default()
+    });
+    let server = Server::open_with_config(Arc::new(vfs), "/overload", cfg).unwrap();
+
+    let ctr = |name: &str| dbpl_obs::global().counter(name).get();
+    let rejected_before = ctr("server.overload_rejected");
+    let panics_before = ctr("applier.panic") + ctr("applier.frame_panic");
+
+    // Offered load: every session re-offers immediately after each
+    // outcome, pacing rejects at a quarter of the fsync delay — far
+    // faster than a depth-8 queue drains through ~millisecond flushes,
+    // so the engine sees a sustained >4x-capacity offered rate and MUST
+    // shed to survive. No txn_deadline means admission is fail-fast:
+    // a full queue rejects immediately with nothing staged.
+    let reject_pace = Duration::from_micros(fsync_delay_us / 4);
+    let mut applied_lat_us: Vec<f64> = Vec::new();
+    let mut rejected_lat_us: Vec<f64> = Vec::new();
+    let mut other = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut session = server.session();
+                    let mut applied = Vec::new();
+                    let mut rejected = Vec::new();
+                    let mut other = 0u64;
+                    for a in 0..attempts_per_session {
+                        let src = format!("extern('h{}', dynamic {a})", (s * 7 + a) % 4);
+                        let start = Instant::now();
+                        let out = session.run(&src);
+                        let us = start.elapsed().as_secs_f64() * 1e6;
+                        match out {
+                            Ok(_) => applied.push(us),
+                            Err(e) if e.is_overloaded() => {
+                                rejected.push(us);
+                                std::thread::sleep(reject_pace);
+                            }
+                            Err(_) => other += 1,
+                        }
+                    }
+                    (applied, rejected, other)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (a, r, o) = h.join().expect("overload worker panicked");
+            applied_lat_us.extend(a);
+            rejected_lat_us.extend(r);
+            other += o;
+        }
+    });
+
+    let total = (sessions * attempts_per_session) as u64;
+    let applied = applied_lat_us.len() as u64;
+    let rejected = rejected_lat_us.len() as u64;
+    let shed_count = ctr("server.overload_rejected") - rejected_before;
+    let panics = ctr("applier.panic") + ctr("applier.frame_panic") - panics_before;
+
+    let pct = |lat: &mut Vec<f64>, q: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.sort_by(|a, b| a.total_cmp(b));
+        lat[((lat.len() - 1) as f64 * q).round() as usize]
+    };
+    let applied_p50 = pct(&mut applied_lat_us, 0.50);
+    let applied_p99 = pct(&mut applied_lat_us, 0.99);
+    let rejected_p99 = pct(&mut rejected_lat_us, 0.99);
+
+    println!("| outcome ({sessions} sessions × {attempts_per_session}, queue depth {queue_depth}, {fsync_delay_us}µs/fsync ±{fsync_jitter_us}) | count | p50 µs | p99 µs |");
+    println!("|---|---|---|---|");
+    println!("| applied | {applied} | {applied_p50:.0} | {applied_p99:.0} |");
+    println!("| shed (`Overloaded`, nothing staged) | {rejected} | — | {rejected_p99:.0} |");
+    println!("| starved replies (no definitive outcome) | {other} | — | — |");
+
+    // Liveness: every attempt got a definitive answer and both paths
+    // actually fired.
+    assert_eq!(
+        applied + rejected + other,
+        total,
+        "overload gate: attempts went missing"
+    );
+    assert_eq!(other, 0, "overload gate: {other} commit attempts ended without a definitive applied/overloaded outcome");
+    assert!(
+        applied > 0,
+        "overload gate: engine starved — zero commits applied under load"
+    );
+    assert!(
+        rejected > 0 && shed_count >= rejected,
+        "overload gate: admission control never shed \
+         ({rejected} rejects seen, counter moved {shed_count}) — queue is not bounding"
+    );
+    assert!(
+        applied_p99 <= applied_p99_budget_us,
+        "overload gate: admitted-commit p99 {applied_p99:.0}µs blows the \
+         {applied_p99_budget_us:.0}µs budget — the queue bound is not capping waits"
+    );
+    assert!(
+        rejected_p99 <= rejected_p99_budget_us,
+        "overload gate: rejected-commit p99 {rejected_p99:.0}µs blows the \
+         {rejected_p99_budget_us:.0}µs budget — rejection is supposed to be probe-first"
+    );
+    assert_eq!(
+        panics, 0,
+        "overload gate: applier panicked under plain overload"
+    );
+    assert!(
+        matches!(server.health(), dbpl_lang::Health::Healthy),
+        "overload gate: engine degraded under plain overload: {:?}",
+        server.health()
+    );
+    server.shutdown();
+    println!(
+        "\noverload gate OK: {applied} applied (p99 {applied_p99:.0}µs ≤ {applied_p99_budget_us:.0}µs), \
+         {rejected} shed cleanly (p99 {rejected_p99:.0}µs), 0 starved\n"
+    );
+
+    if !smoke {
+        let json = format!(
+            "{{\n  \"experiment\": \"overload\",\n  \"unit\": \"us\",\n  \
+             \"sessions\": {sessions},\n  \"attempts_per_session\": {attempts_per_session},\n  \
+             \"queue_depth\": {queue_depth},\n  \"fsync_delay_us\": {fsync_delay_us},\n  \
+             \"fsync_jitter_us\": {fsync_jitter_us},\n  \"offered\": {total},\n  \
+             \"applied\": {applied},\n  \"overload_rejected\": {rejected},\n  \
+             \"starved_replies\": {other},\n  \"applied_p50_us\": {applied_p50:.0},\n  \
+             \"applied_p99_us\": {applied_p99:.0},\n  \"applied_p99_budget_us\": {applied_p99_budget_us:.0},\n  \
+             \"rejected_p99_us\": {rejected_p99:.0},\n  \"rejected_p99_budget_us\": {rejected_p99_budget_us:.0}\n}}\n"
+        );
+        std::fs::write("BENCH_overload.json", json).expect("write BENCH_overload.json");
+        println!("(baseline written to BENCH_overload.json)\n");
+    }
+}
+
 /// One `--stats-out` JSONL line: the counter/histogram deltas a named
 /// report phase moved in the global metrics registry.
 fn stats_line(phase: &str, delta: &dbpl_obs::StatsSnapshot) -> String {
@@ -593,6 +779,7 @@ fn main() {
         phase("txn_commit", &mut stats, || txn_commit(true));
         phase("scrub_integrity", &mut stats, || scrub_integrity(true));
         phase("mvcc_throughput", &mut stats, || mvcc_throughput(true));
+        phase("overload", &mut stats, || overload(true));
         write_stats(&stats);
         write_trace(&trace_out);
         println!("bench-smoke OK: all fast paths agree with their naive baselines");
@@ -604,6 +791,7 @@ fn main() {
     phase("txn_commit", &mut stats, || txn_commit(false));
     phase("scrub_integrity", &mut stats, || scrub_integrity(false));
     phase("mvcc_throughput", &mut stats, || mvcc_throughput(false));
+    phase("overload", &mut stats, || overload(false));
     let tail_before = dbpl_obs::global().snapshot();
 
     // ---------- F1 ----------

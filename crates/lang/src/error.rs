@@ -15,6 +15,29 @@ pub enum Phase {
     Eval,
 }
 
+/// Machine-checkable classification of a runtime error, beyond the
+/// phase. Most errors are [`ErrorKind::General`]; the engine's admission
+/// and supervision paths tag theirs so callers can branch on *why* a
+/// commit failed (retry later vs. give up vs. reconnect) without string
+/// matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorKind {
+    /// No specific classification.
+    #[default]
+    General,
+    /// The engine shed load: the commit queue (or session table) was at
+    /// capacity and the request could not be admitted within its
+    /// deadline. Nothing was staged; retrying later is safe.
+    Overloaded,
+    /// The transaction's wall-clock deadline expired before its
+    /// durability step started. Nothing durable happened.
+    DeadlineExceeded,
+    /// The engine (applier thread) is shut down or died; the commit was
+    /// definitively not applied durably-and-published. Reconnect or
+    /// restart the server.
+    EngineDown,
+}
+
 /// A language-processing error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LangError {
@@ -24,6 +47,9 @@ pub struct LangError {
     pub at: usize,
     /// Message.
     pub msg: String,
+    /// Machine-checkable classification (admission control, deadlines,
+    /// engine lifecycle). [`ErrorKind::General`] for ordinary errors.
+    pub kind: ErrorKind,
 }
 
 impl LangError {
@@ -33,6 +59,7 @@ impl LangError {
             phase: Phase::Lex,
             at,
             msg: msg.into(),
+            kind: ErrorKind::General,
         }
     }
 
@@ -42,6 +69,7 @@ impl LangError {
             phase: Phase::Parse,
             at,
             msg: msg.into(),
+            kind: ErrorKind::General,
         }
     }
 
@@ -51,6 +79,7 @@ impl LangError {
             phase: Phase::Check,
             at,
             msg: msg.into(),
+            kind: ErrorKind::General,
         }
     }
 
@@ -60,7 +89,48 @@ impl LangError {
             phase: Phase::Eval,
             at,
             msg: msg.into(),
+            kind: ErrorKind::General,
         }
+    }
+
+    /// A runtime error with an explicit [`ErrorKind`].
+    pub fn eval_kind(kind: ErrorKind, msg: impl Into<String>) -> LangError {
+        LangError {
+            phase: Phase::Eval,
+            at: 0,
+            msg: msg.into(),
+            kind,
+        }
+    }
+
+    /// An [`ErrorKind::Overloaded`] admission rejection.
+    pub fn overloaded(msg: impl Into<String>) -> LangError {
+        LangError::eval_kind(ErrorKind::Overloaded, msg)
+    }
+
+    /// An [`ErrorKind::DeadlineExceeded`] expiry.
+    pub fn deadline_exceeded(msg: impl Into<String>) -> LangError {
+        LangError::eval_kind(ErrorKind::DeadlineExceeded, msg)
+    }
+
+    /// An [`ErrorKind::EngineDown`] lifecycle error.
+    pub fn engine_down(msg: impl Into<String>) -> LangError {
+        LangError::eval_kind(ErrorKind::EngineDown, msg)
+    }
+
+    /// Whether this error is an admission-control rejection.
+    pub fn is_overloaded(&self) -> bool {
+        self.kind == ErrorKind::Overloaded
+    }
+
+    /// Whether this error is a transaction-deadline expiry.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        self.kind == ErrorKind::DeadlineExceeded
+    }
+
+    /// Whether this error means the engine is gone.
+    pub fn is_engine_down(&self) -> bool {
+        self.kind == ErrorKind::EngineDown
     }
 
     /// Render with a line/column computed against the source text.

@@ -40,8 +40,8 @@ pub mod session;
 pub mod token;
 
 pub use check::{check_program, infer_expr};
-pub use error::{LangError, Phase};
+pub use error::{ErrorKind, LangError, Phase};
 pub use parser::{parse_expr, parse_program};
 pub use rt::{Env, RtValue};
-pub use server::{EngineState, Frame, Server, ServerSession, MAX_BATCH};
+pub use server::{EngineState, Frame, Server, ServerConfig, ServerSession, MAX_BATCH};
 pub use session::{Health, Session};

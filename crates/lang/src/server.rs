@@ -31,6 +31,19 @@
 //!   engine degraded); a post-durability failure is **in doubt** and is
 //!   attributed to *every* member of the batch, whose effects roll
 //!   forward on recovery.
+//! * **Overload resilience.** The commit queue is **bounded**
+//!   ([`ServerConfig`]): admission past capacity waits within the
+//!   caller's transaction deadline and otherwise fails fast with an
+//!   [`ErrorKind::Overloaded`](crate::ErrorKind::Overloaded) error —
+//!   probe-first, nothing staged. Deadlines are **queue-aware**: time
+//!   spent waiting behind a batch counts, and the applier drops
+//!   already-expired frames before the intent is written. The applier is
+//!   **supervised**: a panicking frame aborts only itself, an
+//!   applier-level panic flips the engine [`Health::Degraded`] instead
+//!   of killing the thread silently, and every enqueued commit is
+//!   guaranteed a definitive reply — committed, conflicted, overloaded,
+//!   expired, aborted, or engine-down — never a hang, including across
+//!   [`Server::shutdown`]'s bounded drain.
 
 use crate::error::LangError;
 use crate::session::{Health, Session};
@@ -41,12 +54,14 @@ use dbpl_persist::{
 };
 use dbpl_types::Type;
 use dbpl_values::{DynValue, Oid, Value};
-use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Most frames coalesced into one group commit. Bounds both the latency
 /// a queued commit can accumulate behind its batch and the size of the
@@ -58,6 +73,239 @@ use std::thread::JoinHandle;
 pub const MAX_BATCH: usize = 128;
 
 static SERVER_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Capacity knobs for a [`Server`]'s write path. All limits are
+/// *admission* limits: a request past a limit is refused (or waits, if
+/// its transaction deadline allows) **before anything is staged**, so a
+/// saturated engine degrades into fast, clean `Overloaded` errors
+/// instead of unbounded queue growth and memory exhaustion.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Most frames that may sit in the commit queue waiting for the
+    /// applier. Enqueue past this either waits (within the session's
+    /// `txn_deadline`) or fails fast with `Overloaded`.
+    pub queue_depth: usize,
+    /// Most frames in flight overall: queued plus taken by the applier
+    /// but not yet replied to. Bounds the memory pinned by staged
+    /// frames even while a slow batch is being made durable.
+    pub max_inflight_frames: usize,
+    /// Most concurrently live [`ServerSession`]s. [`Server::try_session`]
+    /// past this fails with `Overloaded`; a dropped session frees its
+    /// slot.
+    pub max_sessions: usize,
+    /// How long [`Server::shutdown`] waits for the applier to drain
+    /// queued commits before abandoning it: past this, still-queued
+    /// commits are answered `EngineDown` (definitively un-applied) and
+    /// the applier thread is left to die detached.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            queue_depth: 256,
+            max_inflight_frames: 256 + MAX_BATCH,
+            max_sessions: 4096,
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why the admission gate turned a commit away.
+#[derive(Debug)]
+enum AdmissionError {
+    /// At capacity and the caller's deadline did not allow waiting (or
+    /// expired while waiting). Nothing was staged.
+    Overloaded { gate: &'static str, depth: usize },
+    /// The engine is shut down or its applier died.
+    EngineDown,
+}
+
+/// The bounded commit queue between sessions and the applier: a
+/// `VecDeque` under one mutex with three condvars (admission waiters,
+/// the applier, and shutdown). Every request that enters the queue is
+/// guaranteed a terminal outcome: taken by the applier (which replies or
+/// drops the reply sender), or drained with `EngineDown` by shutdown /
+/// the applier's exit guard.
+struct CommitQueue {
+    state: Mutex<QueueState>,
+    /// Signals admission waiters that depth may have dropped.
+    space: Condvar,
+    /// Signals the applier that work arrived (or shutdown began).
+    work: Condvar,
+    /// Signals [`Engine::shutdown`] that the applier exited.
+    exit: Condvar,
+}
+
+struct QueueState {
+    items: VecDeque<CommitRequest>,
+    /// Frames taken by the applier and not yet replied to.
+    inflight: usize,
+    /// Set once by shutdown: no further admissions; the applier drains
+    /// what is queued, then exits.
+    shutdown: bool,
+    /// Set when the queue can no longer promise the applier will ever
+    /// drain it (drain deadline expired, or the applier thread died):
+    /// the applier must take nothing more, and whoever sets it drains
+    /// the remaining items with `EngineDown`.
+    abandoned: bool,
+    /// The applier's exit guard ran (normal return or unwind).
+    applier_exited: bool,
+}
+
+/// What [`CommitQueue::next_batch`] hands the applier.
+enum Take {
+    Batch(Vec<CommitRequest>),
+    Exit,
+}
+
+impl CommitQueue {
+    fn new() -> CommitQueue {
+        CommitQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                inflight: 0,
+                shutdown: false,
+                abandoned: false,
+                applier_exited: false,
+            }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+            exit: Condvar::new(),
+        }
+    }
+
+    fn depth_gauge() -> Arc<dbpl_obs::Gauge> {
+        dbpl_obs::global().gauge("server.queue_depth")
+    }
+
+    /// Admit one commit request, or refuse it with nothing staged. At
+    /// capacity the call waits for space until `admission_deadline` (the
+    /// session's transaction deadline) and gives up `Overloaded` when it
+    /// passes — or immediately, if the caller set no deadline.
+    fn enqueue(
+        &self,
+        req: CommitRequest,
+        admission_deadline: Option<Instant>,
+        cfg: &ServerConfig,
+    ) -> Result<(), AdmissionError> {
+        let mut st = self.state.lock();
+        loop {
+            if st.shutdown || st.abandoned {
+                return Err(AdmissionError::EngineDown);
+            }
+            let gate = if st.items.len() >= cfg.queue_depth {
+                Some("queue_full")
+            } else if st.items.len() + st.inflight >= cfg.max_inflight_frames {
+                Some("inflight_full")
+            } else {
+                None
+            };
+            let Some(gate) = gate else {
+                st.items.push_back(req);
+                Self::depth_gauge().set(st.items.len() as i64);
+                self.work.notify_one();
+                return Ok(());
+            };
+            let depth = st.items.len();
+            let Some(deadline) = admission_deadline else {
+                return Err(Self::rejected(gate, depth));
+            };
+            if Instant::now() >= deadline || self.space.wait_until(&mut st, deadline).timed_out() {
+                return Err(Self::rejected("admission_timeout", st.items.len()));
+            }
+        }
+    }
+
+    fn rejected(gate: &'static str, depth: usize) -> AdmissionError {
+        dbpl_obs::global().counter("server.overload_rejected").inc();
+        dbpl_obs::emit(dbpl_obs::Event::Overload {
+            depth: depth as u64,
+            gate: gate.to_string(),
+        });
+        AdmissionError::Overloaded { gate, depth }
+    }
+
+    /// Block until work or shutdown; take up to `max` queued requests.
+    fn next_batch(&self, max: usize) -> Take {
+        let mut st = self.state.lock();
+        loop {
+            if st.abandoned {
+                return Take::Exit;
+            }
+            if !st.items.is_empty() {
+                let n = st.items.len().min(max);
+                let batch: Vec<CommitRequest> = st.items.drain(..n).collect();
+                st.inflight += n;
+                Self::depth_gauge().set(st.items.len() as i64);
+                let wait = dbpl_obs::global().histogram("server.queue_wait_us");
+                let now = Instant::now();
+                for req in &batch {
+                    wait.record_us(now.duration_since(req.enqueued_at).as_micros() as u64);
+                }
+                self.space.notify_all();
+                return Take::Batch(batch);
+            }
+            if st.shutdown {
+                return Take::Exit;
+            }
+            self.work.wait(&mut st);
+        }
+    }
+
+    /// The applier replied to (or dropped) `n` in-flight requests.
+    fn finish_batch(&self, n: usize) {
+        let mut st = self.state.lock();
+        st.inflight -= n.min(st.inflight);
+        self.space.notify_all();
+    }
+
+    /// Begin shutdown: no further admissions; wake everyone.
+    fn begin_shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Wait up to `deadline` for the applier's exit guard to run.
+    fn wait_applier_exit(&self, deadline: Instant) -> bool {
+        let mut st = self.state.lock();
+        while !st.applier_exited {
+            if self.exit.wait_until(&mut st, deadline).timed_out() {
+                return st.applier_exited;
+            }
+        }
+        true
+    }
+
+    /// Mark the queue dead and hand back everything still queued so the
+    /// caller can answer each request `EngineDown`. Idempotent.
+    fn abandon(&self) -> Vec<CommitRequest> {
+        let mut st = self.state.lock();
+        st.abandoned = true;
+        st.shutdown = true;
+        let leftovers: Vec<CommitRequest> = st.items.drain(..).collect();
+        Self::depth_gauge().set(0);
+        self.work.notify_all();
+        self.space.notify_all();
+        leftovers
+    }
+
+    /// The applier's exit guard: runs on normal return *and* on unwind,
+    /// so no queued request can outlive the applier un-answered.
+    fn applier_exited(&self, dying: bool) -> Vec<CommitRequest> {
+        let leftovers = if dying { self.abandon() } else { Vec::new() };
+        let mut st = self.state.lock();
+        st.applier_exited = true;
+        drop(st);
+        self.exit.notify_all();
+        leftovers
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Snapshots
@@ -72,6 +320,45 @@ pub struct EngineState {
     /// The database as of this epoch. Cloning it is O(1) (copy-on-write
     /// components), which is what makes per-program snapshots free.
     pub db: Database,
+    /// Retention accounting: decrements the engine's live-snapshot count
+    /// (and the `snapshot.live` gauge) when the last `Arc` clone of this
+    /// state drops. `None` for states not owned by an engine.
+    live: Option<LiveTag>,
+}
+
+/// The accounting handle an [`EngineState`] carries so snapshot
+/// retention is observable: one global gauge for dashboards, one
+/// per-engine count for tests (the global gauge is shared by every
+/// engine in the process).
+#[derive(Debug)]
+struct LiveTag {
+    gauge: Arc<dbpl_obs::Gauge>,
+    engine_live: Arc<AtomicI64>,
+}
+
+impl EngineState {
+    fn tracked(epoch: u64, db: Database, engine_live: &Arc<AtomicI64>) -> EngineState {
+        let gauge = dbpl_obs::global().gauge("snapshot.live");
+        gauge.inc();
+        engine_live.fetch_add(1, Ordering::Relaxed);
+        EngineState {
+            epoch,
+            db,
+            live: Some(LiveTag {
+                gauge,
+                engine_live: Arc::clone(engine_live),
+            }),
+        }
+    }
+}
+
+impl Drop for EngineState {
+    fn drop(&mut self) {
+        if let Some(tag) = &self.live {
+            tag.gauge.dec();
+            tag.engine_live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// An Arc-swap-style cell holding the current [`EngineState`].
@@ -277,9 +564,18 @@ enum CommitOutcome {
     /// The engine refused to attempt the commit (degraded store,
     /// unfinished pending recovery). Nothing was staged or written.
     Refused(String),
-    /// The batch's durable commit failed before the durability point:
-    /// the whole batch aborted, nothing published.
+    /// The frame's transaction deadline expired while it waited behind
+    /// its batch: dropped **before the intent was written** — nothing
+    /// durable happened. Queue-aware: wait time counts against the
+    /// deadline.
+    DeadlineExceeded { waited_ms: u64 },
+    /// The batch's durable commit failed before the durability point
+    /// (or this frame's application panicked): aborted, nothing of this
+    /// frame published.
     Aborted(String),
+    /// The engine shut down (or its applier died) before this frame was
+    /// applied. Definitively not committed.
+    EngineDown(String),
     /// The batch's durable commit failed *after* the durability point:
     /// the coalesced intent is durable and will roll forward on
     /// recovery. Attributed to every member of the batch.
@@ -289,17 +585,52 @@ enum CommitOutcome {
 struct CommitRequest {
     frame: Frame,
     reply: mpsc::Sender<CommitOutcome>,
+    /// The session's transaction deadline: admission waits until it,
+    /// and the applier drops the frame (pre-durability) if it has
+    /// passed by the time its batch starts.
+    deadline: Option<Instant>,
+    /// When the request entered the queue (`server.queue_wait_us`).
+    enqueued_at: Instant,
 }
 
-enum Msg {
-    Commit(Box<CommitRequest>),
-    Shutdown,
+impl CommitRequest {
+    /// Answer with a definitive outcome; a dropped receiver is fine.
+    fn answer(self, outcome: CommitOutcome) {
+        let _ = self.reply.send(outcome);
+    }
+}
+
+/// Deterministic panic-injection knobs for the chaos harness: arm a
+/// 1-based frame / batch ordinal (0 = off) and the applier panics when
+/// its running count reaches it — inside the per-frame supervision
+/// boundary (frame) or just before the durable commit (batch, so the
+/// injected failure is always pre-durability).
+struct Chaos {
+    frames_seen: AtomicU64,
+    panic_frame_at: AtomicU64,
+    batches_seen: AtomicU64,
+    panic_batch_at: AtomicU64,
+}
+
+impl Chaos {
+    fn new() -> Chaos {
+        Chaos {
+            frames_seen: AtomicU64::new(0),
+            panic_frame_at: AtomicU64::new(0),
+            batches_seen: AtomicU64::new(0),
+            panic_batch_at: AtomicU64::new(0),
+        }
+    }
 }
 
 /// State shared between the engine facade and the applier thread.
 struct Shared {
     snap: SnapshotCell,
     store: Arc<ReplicatingStore>,
+    /// The bounded commit queue (admission control lives here).
+    queue: CommitQueue,
+    /// Capacity knobs fixed at open.
+    cfg: ServerConfig,
     /// Why the engine refuses durable commits, or `None` when healthy.
     degraded: Mutex<Option<String>>,
     /// A durably pending (in-doubt) transaction blocking further durable
@@ -309,6 +640,13 @@ struct Shared {
     /// database it started from — the applier's log, replayable
     /// single-threaded for differential testing.
     frame_log: Mutex<Option<FrameLog>>,
+    /// Live [`ServerSession`] count, gated by `cfg.max_sessions`.
+    sessions: AtomicU64,
+    /// Live snapshot count for *this* engine (the `snapshot.live` gauge
+    /// aggregates every engine in the process; tests need isolation).
+    engine_live: Arc<AtomicI64>,
+    /// Panic-injection knobs (chaos harness only; all zero in service).
+    chaos: Chaos,
 }
 
 struct FrameLog {
@@ -360,34 +698,77 @@ impl Shared {
     }
 }
 
-fn applier_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Msg>) {
-    loop {
-        let first = match rx.recv() {
-            Ok(Msg::Commit(r)) => *r,
-            Ok(Msg::Shutdown) | Err(_) => return,
-        };
-        let mut batch = vec![first];
-        let mut shutdown = false;
-        // Natural batching: coalesce whatever queued while the previous
-        // batch was being made durable, without waiting for more.
-        while batch.len() < MAX_BATCH {
-            match rx.try_recv() {
-                Ok(Msg::Commit(r)) => batch.push(*r),
-                Ok(Msg::Shutdown) => {
-                    shutdown = true;
-                    break;
-                }
-                Err(_) => break,
-            }
+/// Answers every still-queued request `EngineDown` when the applier
+/// leaves its loop for *any* reason — normal shutdown return or an
+/// unwind that escaped supervision — so no enqueued commit can ever
+/// block forever on a reply that will not come.
+struct ApplierExitGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ApplierExitGuard {
+    fn drop(&mut self) {
+        let dying = std::thread::panicking();
+        for req in self.shared.queue.applier_exited(dying) {
+            req.answer(CommitOutcome::EngineDown(
+                "applier exited with commits still queued; nothing was staged".to_string(),
+            ));
         }
-        apply_batch(&shared, batch);
-        if shutdown {
-            return;
+    }
+}
+
+fn applier_loop(shared: Arc<Shared>) {
+    let _guard = ApplierExitGuard {
+        shared: Arc::clone(&shared),
+    };
+    loop {
+        // Natural batching: take whatever queued while the previous batch
+        // was being made durable, without waiting for more.
+        let batch = match shared.queue.next_batch(MAX_BATCH) {
+            Take::Batch(batch) => batch,
+            Take::Exit => return,
+        };
+        let n = batch.len();
+        // Supervision: a panic that escapes a batch (applier-level bug or
+        // injected chaos) must not silently kill the writer thread. The
+        // unwind drops the batch's reply senders, so every member's
+        // session sees a definitive engine-down error; the engine flips
+        // degraded (probe-first self-heal decides when commits resume)
+        // and the applier keeps serving.
+        let res = catch_unwind(AssertUnwindSafe(|| apply_batch(&shared, batch)));
+        shared.queue.finish_batch(n);
+        if let Err(payload) = res {
+            dbpl_obs::global().counter("applier.panic").inc();
+            shared.enter_degraded(format!(
+                "applier panicked mid-batch: {}",
+                crate::session::panic_message(&payload)
+            ));
         }
     }
 }
 
 fn apply_batch(shared: &Shared, batch: Vec<CommitRequest>) {
+    // Queue-aware deadlines: a frame whose transaction deadline expired
+    // while it waited is dropped HERE, before anything is applied or any
+    // intent is written — strictly pre-durability, so `DeadlineExceeded`
+    // always means "nothing durable happened".
+    let now = Instant::now();
+    let batch: Vec<CommitRequest> = batch
+        .into_iter()
+        .filter_map(|req| match req.deadline {
+            Some(d) if now >= d => {
+                dbpl_obs::global().counter("server.deadline_dropped").inc();
+                let waited_ms = now.duration_since(req.enqueued_at).as_millis() as u64;
+                req.answer(CommitOutcome::DeadlineExceeded { waited_ms });
+                None
+            }
+            _ => Some(req),
+        })
+        .collect();
+    if batch.is_empty() {
+        return;
+    }
+
     let mut span = dbpl_obs::span!("txn.group_commit");
     span.set_attr("batch_size", batch.len());
     dbpl_obs::global()
@@ -426,10 +807,22 @@ fn apply_batch(shared: &Shared, batch: Vec<CommitRequest>) {
     let mut outcomes: Vec<Option<CommitOutcome>> = vec![None; batch.len()];
     let mut applied: Vec<usize> = Vec::new();
     let mut externs: BTreeMap<String, Option<Vec<u8>>> = BTreeMap::new();
+    let panic_frame_at = shared.chaos.panic_frame_at.load(Ordering::Relaxed);
     for (i, req) in batch.iter().enumerate() {
         let backup = working.clone(); // O(1); pays CoW only if the frame applies partially
-        match apply_frame(&mut working, &req.frame) {
-            Ok(()) => {
+                                      // Per-frame supervision: a panic while applying one frame (bad
+                                      // data, applier bug, injected chaos) aborts ONLY that frame —
+                                      // the working database is restored from the backup and the rest
+                                      // of the batch proceeds.
+        let frame_no = shared.chaos.frames_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            if panic_frame_at != 0 && frame_no == panic_frame_at {
+                panic!("chaos: injected panic applying frame {frame_no}");
+            }
+            apply_frame(&mut working, &req.frame)
+        }));
+        match res {
+            Ok(Ok(())) => {
                 applied.push(i);
                 // Later frames override earlier ones per handle — the
                 // same last-writer-wins the serial schedule would give.
@@ -437,14 +830,32 @@ fn apply_batch(shared: &Shared, batch: Vec<CommitRequest>) {
                     externs.insert(h.clone(), w.clone());
                 }
             }
-            Err(msg) => {
+            Ok(Err(msg)) => {
                 working = backup;
                 outcomes[i] = Some(CommitOutcome::Conflict(msg));
+            }
+            Err(payload) => {
+                dbpl_obs::global().counter("applier.frame_panic").inc();
+                working = backup;
+                outcomes[i] = Some(CommitOutcome::Aborted(format!(
+                    "frame application panicked (frame aborted, batch unaffected): {}",
+                    crate::session::panic_message(&payload)
+                )));
             }
         }
     }
     span.set_attr("applied", applied.len());
     span.set_attr("externs", externs.len());
+
+    // Batch-level chaos: fires BEFORE the durable commit, so an injected
+    // applier-level panic is always pre-durability — the whole batch
+    // aborts via the unwind (dropped reply senders → engine-down at the
+    // callers) and nothing is published.
+    let batch_no = shared.chaos.batches_seen.fetch_add(1, Ordering::Relaxed) + 1;
+    let panic_batch_at = shared.chaos.panic_batch_at.load(Ordering::Relaxed);
+    if panic_batch_at != 0 && batch_no == panic_batch_at {
+        panic!("chaos: injected applier panic before batch {batch_no} commit");
+    }
 
     if !applied.is_empty() && !externs.is_empty() {
         // One intent record + one fsync pass for the whole batch.
@@ -459,6 +870,13 @@ fn apply_batch(shared: &Shared, batch: Vec<CommitRequest>) {
                         *shared.pending_recovery.lock() = Some(txn_id);
                         span.set_attr("outcome", "in_doubt");
                         let epoch = current.epoch + 1;
+                        // In-doubt batches publish, so they are part of
+                        // the serialization the frame log witnesses.
+                        if let Some(log) = shared.frame_log.lock().as_mut() {
+                            for &i in &applied {
+                                log.frames.push(batch[i].frame.clone());
+                            }
+                        }
                         publish(shared, epoch, working);
                         // Every member of the batch is in doubt — not
                         // just the frame that happened to queue first.
@@ -508,7 +926,9 @@ fn apply_batch(shared: &Shared, batch: Vec<CommitRequest>) {
 }
 
 fn publish(shared: &Shared, epoch: u64, db: Database) {
-    shared.snap.store(EngineState { epoch, db });
+    shared
+        .snap
+        .store(EngineState::tracked(epoch, db, &shared.engine_live));
     dbpl_obs::global().counter("snapshot.publish").inc();
 }
 
@@ -516,7 +936,7 @@ fn finish(batch: Vec<CommitRequest>, outcomes: Vec<Option<CommitOutcome>>) {
     for (req, outcome) in batch.into_iter().zip(outcomes) {
         let outcome =
             outcome.unwrap_or_else(|| CommitOutcome::Aborted("applier invariant broken".into()));
-        let _ = req.reply.send(outcome);
+        req.answer(outcome);
     }
 }
 
@@ -527,12 +947,15 @@ fn finish(batch: Vec<CommitRequest>, outcomes: Vec<Option<CommitOutcome>>) {
 /// The shared engine: published snapshots + the group-commit applier.
 struct Engine {
     shared: Arc<Shared>,
-    tx: mpsc::Sender<Msg>,
     applier: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Engine {
-    fn open_with(vfs: Arc<dyn Vfs>, dir: impl AsRef<Path>) -> Result<Engine, LangError> {
+    fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        cfg: ServerConfig,
+    ) -> Result<Engine, LangError> {
         let store = Arc::new(
             ReplicatingStore::open_with(vfs, dir)
                 .map_err(|e| LangError::eval(0, format!("cannot open store: {e}")))?,
@@ -551,35 +974,56 @@ impl Engine {
                 ))
             }
         }
+        let engine_live = Arc::new(AtomicI64::new(0));
         let shared = Arc::new(Shared {
-            snap: SnapshotCell::new(EngineState {
-                epoch: 0,
-                db: Database::new(),
-            }),
+            snap: SnapshotCell::new(EngineState::tracked(0, Database::new(), &engine_live)),
             store,
+            queue: CommitQueue::new(),
+            cfg,
             degraded: Mutex::new(None),
             pending_recovery: Mutex::new(pending),
             frame_log: Mutex::new(None),
+            sessions: AtomicU64::new(0),
+            engine_live,
+            chaos: Chaos::new(),
         });
-        let (tx, rx) = mpsc::channel();
         let applier = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("dbpl-applier".to_string())
-                .spawn(move || applier_loop(shared, rx))
+                .spawn(move || applier_loop(shared))
                 .map_err(|e| LangError::eval(0, format!("cannot start applier: {e}")))?
         };
         Ok(Engine {
             shared,
-            tx,
             applier: Mutex::new(Some(applier)),
         })
     }
 
+    /// Bounded-drain shutdown: stop admissions, give the applier
+    /// `cfg.drain_deadline` to finish what is queued, then abandon —
+    /// answering every still-queued commit `EngineDown` and detaching
+    /// the (stuck) applier thread rather than hanging the caller.
     fn shutdown(&self) {
-        let _ = self.tx.send(Msg::Shutdown);
-        if let Some(h) = self.applier.lock().take() {
-            let _ = h.join();
+        self.shared.queue.begin_shutdown();
+        let deadline = Instant::now() + self.shared.cfg.drain_deadline;
+        if self.shared.queue.wait_applier_exit(deadline) {
+            if let Some(h) = self.applier.lock().take() {
+                let _ = h.join();
+            }
+        } else {
+            for req in self.shared.queue.abandon() {
+                req.answer(CommitOutcome::EngineDown(
+                    "engine shut down before this commit was applied (drain deadline \
+                     expired); nothing was staged"
+                        .to_string(),
+                ));
+            }
+            // Leave the applier detached: it is wedged in a batch (or a
+            // hung fsync); when that returns it will observe `abandoned`
+            // and exit. Joining here would trade a bounded shutdown for
+            // an unbounded hang.
+            drop(self.applier.lock().take());
         }
     }
 }
@@ -625,10 +1069,53 @@ impl Server {
     }
 
     /// A server over an explicit [`Vfs`] (fault injection, in-memory
-    /// testing).
+    /// testing) with default capacity knobs.
     pub fn open_with(vfs: Arc<dyn Vfs>, dir: impl AsRef<Path>) -> Result<Server, LangError> {
+        Server::open_with_config(vfs, dir, ServerConfig::default())
+    }
+
+    /// A server over an explicit [`Vfs`] and explicit [`ServerConfig`]
+    /// capacity knobs.
+    pub fn open_with_config(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        cfg: ServerConfig,
+    ) -> Result<Server, LangError> {
         Ok(Server {
-            engine: Arc::new(Engine::open_with(vfs, dir)?),
+            engine: Arc::new(Engine::open_with(vfs, dir, cfg)?),
+        })
+    }
+
+    /// The capacity knobs this server was opened with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.engine.shared.cfg
+    }
+
+    /// A new session over the shared engine, or an
+    /// [`ErrorKind::Overloaded`](crate::ErrorKind::Overloaded) error if
+    /// [`ServerConfig::max_sessions`] are already live. Dropping a
+    /// session frees its slot.
+    pub fn try_session(&self) -> Result<ServerSession, LangError> {
+        let shared = &self.engine.shared;
+        let prev = shared.sessions.fetch_add(1, Ordering::Relaxed);
+        if prev as usize >= shared.cfg.max_sessions {
+            shared.sessions.fetch_sub(1, Ordering::Relaxed);
+            let AdmissionError::Overloaded { gate, depth } =
+                CommitQueue::rejected("session_cap", prev as usize)
+            else {
+                unreachable!()
+            };
+            return Err(LangError::overloaded(format!(
+                "session refused: engine overloaded ({gate}, {depth} sessions live)"
+            )));
+        }
+        dbpl_obs::global().gauge("server.sessions").inc();
+        Ok(ServerSession {
+            engine: Arc::clone(&self.engine),
+            out: Vec::new(),
+            quarantined: Vec::new(),
+            last_commit_epoch: None,
+            txn_deadline: None,
         })
     }
 
@@ -636,13 +1123,46 @@ impl Server {
     /// (own output, own quarantine record) but read and write the same
     /// database through snapshots and the group-commit applier. Sessions
     /// are `Send`: hand one to each connection thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServerConfig::max_sessions`] sessions are already
+    /// live; use [`Server::try_session`] to handle that as an error.
     pub fn session(&self) -> ServerSession {
-        ServerSession {
-            engine: Arc::clone(&self.engine),
-            out: Vec::new(),
-            quarantined: Vec::new(),
-            last_commit_epoch: None,
-        }
+        self.try_session()
+            .expect("session table at capacity; use Server::try_session")
+    }
+
+    /// How many [`EngineState`] snapshots of this engine are currently
+    /// alive (the published one plus every pinned reader copy). The
+    /// per-engine view of the process-wide `snapshot.live` gauge.
+    pub fn live_snapshots(&self) -> i64 {
+        self.engine.shared.engine_live.load(Ordering::Relaxed)
+    }
+
+    /// Chaos knob: panic the applier while applying the `n`th frame it
+    /// sees (1-based; 0 disarms). The panic is caught by per-frame
+    /// supervision — only that frame aborts.
+    #[doc(hidden)]
+    pub fn chaos_panic_at_frame(&self, n: u64) {
+        self.engine
+            .shared
+            .chaos
+            .panic_frame_at
+            .store(n, Ordering::Relaxed);
+    }
+
+    /// Chaos knob: panic the applier just before the `n`th batch's
+    /// durable commit (1-based; 0 disarms). The panic escapes the batch,
+    /// exercising applier-level supervision: the engine degrades and the
+    /// batch's sessions all get definitive errors.
+    #[doc(hidden)]
+    pub fn chaos_panic_at_batch(&self, n: u64) {
+        self.engine
+            .shared
+            .chaos
+            .panic_batch_at
+            .store(n, Ordering::Relaxed);
     }
 
     /// The currently published snapshot epoch.
@@ -748,6 +1268,20 @@ pub struct ServerSession {
     quarantined: Vec<QuarantineEntry>,
     /// The epoch published for this session's most recent write commit.
     last_commit_epoch: Option<u64>,
+    /// Wall-clock budget for each [`ServerSession::run`], measured from
+    /// entry and **queue-aware**: waiting for admission and waiting in
+    /// the commit queue both count. An expired deadline refuses to start
+    /// the durability step — the commit fails `DeadlineExceeded` with
+    /// nothing durable. `None` (the default) also means admission never
+    /// waits: a full queue rejects `Overloaded` immediately.
+    pub txn_deadline: Option<Duration>,
+}
+
+impl Drop for ServerSession {
+    fn drop(&mut self) {
+        self.engine.shared.sessions.fetch_sub(1, Ordering::Relaxed);
+        dbpl_obs::global().gauge("server.sessions").dec();
+    }
 }
 
 impl ServerSession {
@@ -764,6 +1298,9 @@ impl ServerSession {
     /// Returns the lines of output it produced. The program is one
     /// transaction: explicit `begin`/`commit`/`abort` are rejected.
     pub fn run(&mut self, src: &str) -> Result<Vec<String>, LangError> {
+        // The transaction clock starts NOW: evaluation, admission
+        // waiting, and queue waiting all spend the same budget.
+        let deadline = self.txn_deadline.map(|d| Instant::now() + d);
         let state = self.engine.shared.snap.load();
         dbpl_obs::global().counter("snapshot.reads").inc();
         let mut worker =
@@ -792,14 +1329,37 @@ impl ServerSession {
             ));
         }
 
+        // A deadline that expired during evaluation refuses to start the
+        // durability step at all — nothing enqueued, nothing staged.
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(LangError::deadline_exceeded(
+                    "transaction deadline expired before the commit was enqueued; \
+                     nothing durable happened",
+                ));
+            }
+        }
+
         let (reply_tx, reply_rx) = mpsc::channel();
+        let req = CommitRequest {
+            frame,
+            reply: reply_tx,
+            deadline,
+            enqueued_at: Instant::now(),
+        };
         self.engine
-            .tx
-            .send(Msg::Commit(Box::new(CommitRequest {
-                frame,
-                reply: reply_tx,
-            })))
-            .map_err(|_| LangError::eval(0, "engine is shut down".to_string()))?;
+            .shared
+            .queue
+            .enqueue(req, deadline, &self.engine.shared.cfg)
+            .map_err(|e| match e {
+                AdmissionError::Overloaded { gate, depth } => LangError::overloaded(format!(
+                    "commit not admitted, transaction aborted: engine overloaded \
+                     ({gate}, queue depth {depth}); nothing was staged"
+                )),
+                AdmissionError::EngineDown => {
+                    LangError::engine_down("engine is shut down; the commit was not enqueued")
+                }
+            })?;
         match reply_rx.recv() {
             Ok(CommitOutcome::Applied { epoch }) => {
                 self.last_commit_epoch = Some(epoch);
@@ -813,10 +1373,20 @@ impl ServerSession {
                 0,
                 format!("commit refused, transaction aborted: {msg}"),
             )),
+            Ok(CommitOutcome::DeadlineExceeded { waited_ms }) => {
+                Err(LangError::deadline_exceeded(format!(
+                    "transaction deadline expired after {waited_ms} ms in the commit \
+                     queue; dropped before the intent was written — nothing durable \
+                     happened"
+                )))
+            }
             Ok(CommitOutcome::Aborted(msg)) => Err(LangError::eval(
                 0,
                 format!("commit failed, transaction aborted: {msg}"),
             )),
+            Ok(CommitOutcome::EngineDown(msg)) => {
+                Err(LangError::engine_down(format!("commit not applied: {msg}")))
+            }
             Ok(CommitOutcome::InDoubt { txn_id, detail }) => Err(LangError::eval(
                 0,
                 format!(
@@ -825,9 +1395,12 @@ impl ServerSession {
                      on recovery — commits are blocked until then"
                 ),
             )),
-            Err(_) => Err(LangError::eval(
-                0,
-                "engine shut down while the commit was queued".to_string(),
+            // The applier died (or was abandoned) with our reply sender
+            // in hand: the unwound batch dropped it. Definitive: the
+            // commit was not applied-and-published.
+            Err(_) => Err(LangError::engine_down(
+                "engine applier went down while the commit was in flight; \
+                 the commit was not applied",
             )),
         }
     }
@@ -937,8 +1510,18 @@ mod tests {
             let (tx, rx) = mpsc::channel();
             server
                 .engine
-                .tx
-                .send(Msg::Commit(Box::new(CommitRequest { frame, reply: tx })))
+                .shared
+                .queue
+                .enqueue(
+                    CommitRequest {
+                        frame,
+                        reply: tx,
+                        deadline: None,
+                        enqueued_at: Instant::now(),
+                    },
+                    None,
+                    &server.engine.shared.cfg,
+                )
                 .unwrap();
             rx.recv().unwrap()
         };
@@ -1044,7 +1627,12 @@ mod tests {
                     .unwrap();
                 let frame = diff_frame(&state2.db, &w.db, externs, state2.epoch).unwrap();
                 let (tx, rx) = mpsc::channel();
-                reqs.push(CommitRequest { frame, reply: tx });
+                reqs.push(CommitRequest {
+                    frame,
+                    reply: tx,
+                    deadline: None,
+                    enqueued_at: Instant::now(),
+                });
                 rxs.push(rx);
             }
             let base_ops = vfs2.ops();

@@ -88,6 +88,15 @@ pub enum Event {
         /// Units found corrupt and rewritten from a healthy replica.
         repaired: u64,
     },
+    /// An engine shed load: a commit was rejected (or timed out waiting)
+    /// at the admission gate because the write path was at capacity.
+    Overload {
+        /// Commit-queue depth observed at the rejection.
+        depth: u64,
+        /// Which gate rejected: `"queue_full"`, `"inflight_full"`,
+        /// `"session_cap"`, or `"admission_timeout"`.
+        gate: String,
+    },
     /// A session entered or left degraded (read-only) mode, e.g. on
     /// disk-full during commit and again when space returns.
     HealthChanged {
@@ -125,6 +134,7 @@ impl Event {
             Event::Retry { .. } => "retry",
             Event::FaultInjected { .. } => "fault_injected",
             Event::ScrubReport { .. } => "scrub_report",
+            Event::Overload { .. } => "overload",
             Event::HealthChanged { .. } => "health_changed",
             Event::SlowOp { .. } => "slow_op",
         }
@@ -181,6 +191,10 @@ impl Event {
                 repaired,
             } => format!(
                 "{{\"event\":\"{kind}\",\"scanned\":{scanned},\"verified\":{verified},\"corrupt\":{corrupt},\"repaired\":{repaired}}}"
+            ),
+            Event::Overload { depth, gate } => format!(
+                "{{\"event\":\"{kind}\",\"depth\":{depth},\"gate\":\"{}\"}}",
+                json_escape(gate)
             ),
             Event::HealthChanged { degraded, reason } => format!(
                 "{{\"event\":\"{kind}\",\"degraded\":{degraded},\"reason\":\"{}\"}}",
@@ -354,6 +368,13 @@ mod tests {
                     repaired: 1,
                 },
                 r#"{"event":"scrub_report","scanned":10,"verified":8,"corrupt":1,"repaired":1}"#,
+            ),
+            (
+                Event::Overload {
+                    depth: 256,
+                    gate: "queue_full".into(),
+                },
+                r#"{"event":"overload","depth":256,"gate":"queue_full"}"#,
             ),
             (
                 Event::HealthChanged {

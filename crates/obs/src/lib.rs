@@ -34,7 +34,9 @@ mod span;
 pub mod trace;
 
 pub use event::{clear_sink, emit, set_sink, sink_attached, Event, EventSink, MemorySink};
-pub use metrics::{global, Counter, Histogram, HistogramSnapshot, MetricsRegistry, StatsSnapshot};
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, StatsSnapshot,
+};
 pub use span::SpanGuard;
 pub use trace::{SpanRecord, TraceBuffer, TraceContext};
 

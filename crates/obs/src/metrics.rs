@@ -1,8 +1,9 @@
-//! Named relaxed-atomic counters and fixed-bucket latency histograms.
+//! Named relaxed-atomic counters, gauges, and fixed-bucket latency
+//! histograms.
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A monotonically increasing event counter. All operations use relaxed
@@ -40,6 +41,51 @@ impl Counter {
     /// Reset to zero (used by benchmarks and tests that measure deltas).
     pub fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous level — queue depth, live snapshots, open sessions.
+/// Unlike a [`Counter`] it moves both ways; like one, it is pure relaxed
+/// atomics and establishes no ordering.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add `n` (which may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, n: i64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
     }
 }
 
@@ -133,6 +179,7 @@ pub struct HistogramSnapshot {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -148,6 +195,14 @@ impl MetricsRegistry {
             return Arc::clone(c);
         }
         Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
     }
 
     /// The histogram named `name`, created empty on first use.
@@ -167,6 +222,12 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
             histograms: self
                 .histograms
                 .read()
@@ -182,6 +243,9 @@ impl MetricsRegistry {
         for c in self.counters.read().values() {
             c.reset();
         }
+        for g in self.gauges.read().values() {
+            g.set(0);
+        }
         for h in self.histograms.read().values() {
             h.reset();
         }
@@ -193,6 +257,8 @@ impl MetricsRegistry {
 pub struct StatsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name (instantaneous, not monotone).
+    pub gauges: BTreeMap<String, i64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -203,9 +269,16 @@ impl StatsSnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// The level of gauge `name` in this snapshot (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// The difference `self - earlier` as another snapshot: per-counter
-    /// values clamped at zero, histograms diffed bucket-wise. Only names
-    /// present in `self` are reported.
+    /// values clamped at zero, histograms diffed bucket-wise. Gauges are
+    /// instantaneous levels, not monotone totals, so the "delta" carries
+    /// `self`'s current levels unchanged. Only names present in `self`
+    /// are reported.
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let counters = self
             .counters
@@ -235,12 +308,13 @@ impl StatsSnapshot {
             .collect();
         StatsSnapshot {
             counters,
+            gauges: self.gauges.clone(),
             histograms,
         }
     }
 
     /// Render as a single-line JSON object:
-    /// `{"counters":{...},"histograms":{"name":{"count":n,"sum_us":n,"buckets":[...]}}}`.
+    /// `{"counters":{...},"histograms":{"name":{"count":n,"sum_us":n,"buckets":[...]}},"gauges":{...}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -265,6 +339,13 @@ impl StatsSnapshot {
                     .collect::<Vec<_>>()
                     .join(",")
             ));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", crate::json_escape(k), v));
         }
         out.push_str("}}");
         out
@@ -300,6 +381,28 @@ mod tests {
         a.inc();
         assert_eq!(b.get(), 1, "same name returns the same counter");
         assert_eq!(r.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_snapshots() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("depth");
+        g.inc();
+        g.add(4);
+        g.dec();
+        assert_eq!(g.get(), 4);
+        g.add(-10);
+        assert_eq!(g.get(), -6, "gauges may go negative");
+        g.set(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("depth"), 2);
+        assert_eq!(snap.gauge("absent"), 0);
+        // Deltas carry the instantaneous level, not a difference.
+        let later = r.snapshot();
+        assert_eq!(later.delta_since(&snap).gauge("depth"), 2);
+        assert!(later.to_json().contains("\"gauges\":{\"depth\":2}"));
+        r.reset();
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

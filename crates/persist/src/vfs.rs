@@ -415,6 +415,13 @@ pub struct FaultPlan {
     /// The sleep happens outside the state lock, so concurrent readers
     /// are never blocked by a simulated flush.
     pub fsync_delay_us: Option<u64>,
+    /// If `Some(us)`, every successful fsync-kind operation sleeps an
+    /// additional seed-derived duration in `[0, us)` microseconds on top
+    /// of `fsync_delay_us` — deterministic *jittered* flush latency, so
+    /// overload and chaos runs exercise group-commit batches of varying
+    /// shape while two runs with the same seed see the same schedule of
+    /// delays.
+    pub fsync_jitter_us: Option<u64>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -467,6 +474,19 @@ fn err_transient() -> io::Error {
 }
 
 impl SimState {
+    /// Total simulated flush latency for the fsync that just succeeded:
+    /// the fixed `fsync_delay_us` plus a seed-derived jitter in
+    /// `[0, fsync_jitter_us)`. `None` when both knobs are off.
+    fn flush_delay(&self) -> Option<u64> {
+        let base = self.plan.fsync_delay_us.unwrap_or(0);
+        let jitter = match self.plan.fsync_jitter_us {
+            Some(j) if j > 0 => splitmix64(self.plan.seed ^ self.ops ^ 0x71_77E2) % j,
+            _ => 0,
+        };
+        let total = base + jitter;
+        (total > 0).then_some(total)
+    }
+
     /// Account for one operation; inject planned faults. Returns
     /// `Ok(torn_len)` where `torn_len` is `Some(prefix)` if this very
     /// operation is a write that must tear before the crash.
@@ -680,7 +700,7 @@ impl VfsFile for SimFile {
             s.enter_op("sync_data", None)?;
             let inode = self.inode;
             s.inodes[inode].synced = s.inodes[inode].bytes.clone();
-            s.plan.fsync_delay_us
+            s.flush_delay()
         };
         sim_flush_delay(delay);
         Ok(())
@@ -751,7 +771,7 @@ impl Vfs for SimVfs {
                 }
                 None => return Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
             }
-            s.plan.fsync_delay_us
+            s.flush_delay()
         };
         sim_flush_delay(delay);
         Ok(())
@@ -771,7 +791,7 @@ impl Vfs for SimVfs {
                 .collect();
             s.durable.retain(|p, _| parent_of(p) != *path);
             s.durable.extend(in_dir);
-            s.plan.fsync_delay_us
+            s.flush_delay()
         };
         sim_flush_delay(delay);
         Ok(())
