@@ -428,6 +428,62 @@ fn mvcc_throughput(smoke: bool) {
         );
     }
 
+    // --- Flight-recorder overhead gate ---
+    // The background sampler at its default 100ms interval must cost at
+    // most 2% of read throughput. Fixed-duration trials, recorder off
+    // and on interleaved, best-of-5 per mode: the best observed rate is
+    // the least noisy estimator under CI scheduling jitter.
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let trial = || -> f64 {
+            let threads = cores.clamp(2, 4);
+            let window = std::time::Duration::from_millis(250);
+            let done = AtomicU64::new(0);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let server = &server;
+                    let bound = &bound;
+                    let done = &done;
+                    scope.spawn(move || {
+                        let session = server.session();
+                        let stop_at = Instant::now() + window;
+                        let mut ops = 0u64;
+                        while Instant::now() < stop_at {
+                            let snap = session.snapshot();
+                            let got = snap.db.get_with(bound, GetStrategy::TypedLists);
+                            assert_eq!(got.len(), rows, "read saw a torn database");
+                            ops += 1;
+                        }
+                        done.fetch_add(ops, Ordering::Relaxed);
+                    });
+                }
+            });
+            done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+        };
+        let mut best_off = 0f64;
+        let mut best_on = 0f64;
+        for _ in 0..5 {
+            best_off = best_off.max(trial());
+            let rec =
+                dbpl_obs::timeline::Recorder::start(dbpl_obs::timeline::RecorderConfig::default());
+            best_on = best_on.max(trial());
+            drop(rec.stop());
+        }
+        let ratio = best_on / best_off.max(1e-9);
+        println!("| recorder (100ms sampling) | reads/sec | vs off |");
+        println!("|---|---|---|");
+        println!("| off | {best_off:.0} | 1.000x |");
+        println!("| on | {best_on:.0} | {ratio:.3}x |");
+        assert!(
+            ratio >= 0.98,
+            "recorder overhead gate: sampling costs {:.1}% of read throughput \
+             ({best_on:.0} vs {best_off:.0} reads/s; budget 2%)",
+            (1.0 - ratio) * 100.0
+        );
+        println!("\nrecorder overhead gate OK: {ratio:.3}x ≥ 0.98x\n");
+    }
+
     // --- Group commit vs serial commit at 64 sessions, fsync latency injected ---
     let sessions = 64usize;
     let commits_per_session = 2usize;
@@ -543,9 +599,19 @@ fn mvcc_throughput(smoke: bool) {
 ///   rejection is probe-first (nothing staged) and must stay fast;
 /// * the applier panicked or the engine left `Ok` health.
 ///
+/// With `--timeline-out <path>` the whole burst additionally runs under
+/// the flight recorder: a 20ms sampler over the metrics registry with
+/// one declarative SLO (`server.queue_wait_us p99 < 1ms over 200ms`)
+/// armed to fire exactly once, and every session labeled `load-<s>` so
+/// the violation can attribute the offender. The sampled timeline is
+/// written as JSONL to `<path>` (validated in CI by `timeline_check
+/// --expect-overload-burst`) and as Chrome counter tracks to
+/// `<path>.chrome.json`.
+///
 /// The full run writes the `BENCH_overload.json` baseline.
-fn overload(smoke: bool) {
+fn overload(smoke: bool, timeline_out: Option<&str>) {
     use dbpl_lang::{Server, ServerConfig};
+    use dbpl_obs::timeline::{RecorderConfig, Slo};
     use dbpl_persist::{FaultPlan, SimVfs};
     use std::sync::Arc;
     use std::time::Duration;
@@ -583,6 +649,21 @@ fn overload(smoke: bool) {
     });
     let server = Server::open_with_config(Arc::new(vfs), "/overload", cfg).unwrap();
 
+    // Flight recorder over the burst: one SLO, armed to fire at most
+    // once (`clear_after: u32::MAX` never re-arms it), so the exported
+    // timeline carries exactly one non-flapping violation.
+    if timeline_out.is_some() {
+        let slo = Slo {
+            clear_after: u32::MAX,
+            ..Slo::parse("server.queue_wait_us p99 < 1ms over 200ms").expect("SLO grammar")
+        };
+        server.start_recorder(RecorderConfig {
+            interval: Duration::from_millis(20),
+            capacity: 512,
+            slos: vec![slo],
+        });
+    }
+
     let ctr = |name: &str| dbpl_obs::global().counter(name).get();
     let rejected_before = ctr("server.overload_rejected");
     let panics_before = ctr("applier.panic") + ctr("applier.frame_panic");
@@ -603,6 +684,11 @@ fn overload(smoke: bool) {
                 let server = &server;
                 scope.spawn(move || {
                     let mut session = server.session();
+                    if timeline_out.is_some() {
+                        // Attributed load: the SLO violation names the
+                        // busiest label as its offender.
+                        session.set_label(&format!("load-{s}"));
+                    }
                     let mut applied = Vec::new();
                     let mut rejected = Vec::new();
                     let mut other = 0u64;
@@ -631,6 +717,39 @@ fn overload(smoke: bool) {
             other += o;
         }
     });
+
+    // Drain the recorder (final sample included) and export the
+    // timeline before judging the gates: exactly one violation, with
+    // the offending session attributed.
+    if let Some(path) = timeline_out {
+        let timeline = server.stop_recorder().expect("recorder was started");
+        assert!(
+            timeline.samples.len() >= 2,
+            "timeline gate: {} samples is too thin a flight record",
+            timeline.samples.len()
+        );
+        assert_eq!(
+            timeline.violations.len(),
+            1,
+            "timeline gate: want exactly one non-flapping SLO violation, got {:?}",
+            timeline.violations
+        );
+        let dbpl_obs::Event::SloViolation { offender, .. } = &timeline.violations[0].event else {
+            panic!("timeline gate: non-SLO violation in the ring");
+        };
+        assert!(
+            offender.starts_with("load-"),
+            "timeline gate: violation did not attribute a load session, got {offender:?}"
+        );
+        std::fs::write(path, timeline.to_jsonl()).expect("write --timeline-out");
+        let chrome = format!("{path}.chrome.json");
+        std::fs::write(&chrome, timeline.to_chrome()).expect("write chrome timeline");
+        println!(
+            "\n({} timeline samples, 1 SLO violation (offender {offender}) written to {path}; \
+             counter tracks to {chrome})",
+            timeline.samples.len()
+        );
+    }
 
     let total = (sessions * attempts_per_session) as u64;
     let applied = applied_lat_us.len() as u64;
@@ -747,6 +866,11 @@ fn main() {
         .iter()
         .position(|a| a == "--trace-out")
         .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+    let timeline_out = args.iter().position(|a| a == "--timeline-out").map(|i| {
+        args.get(i + 1)
+            .expect("--timeline-out needs a path")
+            .clone()
+    });
     if trace_out.is_some() {
         dbpl_obs::trace::enable(1 << 16);
     }
@@ -779,7 +903,9 @@ fn main() {
         phase("txn_commit", &mut stats, || txn_commit(true));
         phase("scrub_integrity", &mut stats, || scrub_integrity(true));
         phase("mvcc_throughput", &mut stats, || mvcc_throughput(true));
-        phase("overload", &mut stats, || overload(true));
+        phase("overload", &mut stats, || {
+            overload(true, timeline_out.as_deref())
+        });
         write_stats(&stats);
         write_trace(&trace_out);
         println!("bench-smoke OK: all fast paths agree with their naive baselines");
@@ -791,7 +917,9 @@ fn main() {
     phase("txn_commit", &mut stats, || txn_commit(false));
     phase("scrub_integrity", &mut stats, || scrub_integrity(false));
     phase("mvcc_throughput", &mut stats, || mvcc_throughput(false));
-    phase("overload", &mut stats, || overload(false));
+    phase("overload", &mut stats, || {
+        overload(false, timeline_out.as_deref())
+    });
     let tail_before = dbpl_obs::global().snapshot();
 
     // ---------- F1 ----------

@@ -1,0 +1,275 @@
+//! Structural checker for `report --timeline-out` output: parses the
+//! flight recorder's JSONL timeline and asserts the invariants CI
+//! relies on — exits nonzero with a message on the first violation. Run
+//! as `cargo run -p dbpl-bench --bin timeline_check -- target/timeline.jsonl
+//! [--expect-overload-burst]`.
+//!
+//! Checks:
+//! * line 1 is the `dbpl.timeline.v1` header with a positive sampling
+//!   interval and the 12 fixed histogram bucket bounds;
+//! * sample `seq`s are consecutive (the exported ring is the contiguous
+//!   survivor window after drop-oldest eviction) and `t_us` never goes
+//!   backwards;
+//! * **conservation** — for every cumulative counter, the change between
+//!   consecutive samples equals the per-interval delta the same line
+//!   reports (`total[i][c] − total[i−1][c] == counters[i][c]`, with
+//!   absent delta entries meaning zero);
+//! * histogram windows carry a positive count and ordered percentiles
+//!   (`p50 ≤ p95 ≤ p99 ≤` the saturating top bound);
+//! * violation lines reference a sampled `seq` and decode as
+//!   `slo_violation` events with a well-formed window.
+//!
+//! With `--expect-overload-burst` (the CI `timeline-smoke` mode) the
+//! timeline must additionally cover an induced overload: some sample
+//! saw `server.overload_rejected` move, and exactly one SLO violation
+//! fired — on `server.queue_wait_us`, attributing a `load-*` session.
+
+use dbpl_obs::json::{self, Json};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("timeline_check FAILED: {msg}");
+    ExitCode::FAILURE
+}
+
+/// An object member that must be a `u64`-valued number.
+fn need_u64(obj: &Json, key: &str) -> Option<u64> {
+    obj.get(key).and_then(Json::as_u64)
+}
+
+/// Flatten a `{"name": count}` JSON object into a map; `None` if the
+/// member is missing, not an object, or holds non-`u64` values.
+fn counter_map(obj: &Json, key: &str) -> Option<BTreeMap<String, u64>> {
+    let Some(Json::Obj(m)) = obj.get(key) else {
+        return None;
+    };
+    let mut out = BTreeMap::new();
+    for (k, v) in m {
+        out.insert(k.clone(), v.as_u64()?);
+    }
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let expect_burst = args.iter().any(|a| a == "--expect-overload-burst");
+    let path = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
+        None => return fail("usage: timeline_check <timeline.jsonl> [--expect-overload-burst]"),
+    };
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let mut lines = body
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+
+    // --- Header ---
+    let Some((_, header_line)) = lines.next() else {
+        return fail("empty timeline");
+    };
+    let header = match json::parse(header_line) {
+        Ok(h) => h,
+        Err(e) => return fail(&format!("header is not valid JSON: {e}")),
+    };
+    if header.get("schema").and_then(Json::as_str) != Some("dbpl.timeline.v1") {
+        return fail("header schema is not dbpl.timeline.v1");
+    }
+    match need_u64(&header, "interval_us") {
+        Some(i) if i > 0 => {}
+        _ => return fail("header lacks a positive interval_us"),
+    }
+    if need_u64(&header, "dropped").is_none() {
+        return fail("header lacks a dropped count");
+    }
+    let Some(bounds) = header.get("bounds_us").and_then(Json::as_array) else {
+        return fail("header lacks bounds_us");
+    };
+    if bounds.len() != dbpl_obs::BUCKET_BOUNDS_US.len() {
+        return fail(&format!(
+            "header bounds_us has {} entries, want {}",
+            bounds.len(),
+            dbpl_obs::BUCKET_BOUNDS_US.len()
+        ));
+    }
+    let top_bound = *dbpl_obs::BUCKET_BOUNDS_US.last().unwrap();
+    for (i, (b, want)) in bounds.iter().zip(dbpl_obs::BUCKET_BOUNDS_US).enumerate() {
+        if b.as_u64() != Some(want) {
+            return fail(&format!("bounds_us[{i}] is {b:?}, want {want}"));
+        }
+    }
+
+    // --- Samples and violations ---
+    let mut samples = 0usize;
+    let mut prev_seq: Option<u64> = None;
+    let mut prev_t_us = 0u64;
+    let mut prev_total: Option<BTreeMap<String, u64>> = None;
+    let mut seen_overload_delta = false;
+    let mut violations: Vec<Json> = Vec::new();
+    for (lineno, line) in lines {
+        let n = lineno + 1;
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("line {n} is not valid JSON: {e}")),
+        };
+
+        if let Some(at_seq) = need_u64(&v, "at_seq") {
+            // Violation line: `{"at_seq":N,"violation":{...}}`. It may
+            // reference a sample the ring has since evicted, but never
+            // one from the future.
+            if prev_seq.is_none_or(|s| at_seq > s) {
+                return fail(&format!(
+                    "line {n}: violation at_seq {at_seq} not yet sampled"
+                ));
+            }
+            let Some(ev) = v.get("violation") else {
+                return fail(&format!(
+                    "line {n}: violation line lacks a violation object"
+                ));
+            };
+            if ev.get("event").and_then(Json::as_str) != Some("slo_violation") {
+                return fail(&format!(
+                    "line {n}: violation is not an slo_violation event"
+                ));
+            }
+            for key in ["metric", "quantile", "offender"] {
+                if ev.get(key).and_then(Json::as_str).is_none() {
+                    return fail(&format!("line {n}: violation lacks string `{key}`"));
+                }
+            }
+            let (Some(ws), Some(we)) = (
+                need_u64(ev, "window_start_us"),
+                need_u64(ev, "window_end_us"),
+            ) else {
+                return fail(&format!("line {n}: violation lacks its window"));
+            };
+            if ws > we || we > prev_t_us {
+                return fail(&format!(
+                    "line {n}: violation window [{ws}, {we}] escapes the sampled range \
+                     (last t_us {prev_t_us})"
+                ));
+            }
+            for key in ["observed_us", "threshold_us", "burn_rate_pct"] {
+                if need_u64(ev, key).is_none() {
+                    return fail(&format!("line {n}: violation lacks numeric `{key}`"));
+                }
+            }
+            violations.push(ev.clone());
+            continue;
+        }
+
+        // Sample line.
+        let (Some(seq), Some(t_us)) = (need_u64(&v, "seq"), need_u64(&v, "t_us")) else {
+            return fail(&format!("line {n} is neither a sample nor a violation"));
+        };
+        if let Some(p) = prev_seq {
+            if seq != p + 1 {
+                return fail(&format!(
+                    "line {n}: seq {seq} after {p} — the exported ring must be contiguous"
+                ));
+            }
+            if t_us < prev_t_us {
+                return fail(&format!(
+                    "line {n}: t_us went backwards ({t_us} < {prev_t_us})"
+                ));
+            }
+        }
+        let Some(deltas) = counter_map(&v, "counters") else {
+            return fail(&format!("line {n}: sample lacks a counters object"));
+        };
+        let Some(total) = counter_map(&v, "total") else {
+            return fail(&format!("line {n}: sample lacks a total object"));
+        };
+        // Conservation: each cumulative counter moved by exactly the
+        // delta this sample reports (absent delta entry = no movement).
+        if let Some(prev) = &prev_total {
+            for (name, &cum) in &total {
+                let before = prev.get(name).copied().unwrap_or(0);
+                let delta = deltas.get(name).copied().unwrap_or(0);
+                if cum.checked_sub(before) != Some(delta) {
+                    return fail(&format!(
+                        "line {n}: counter `{name}` not conserved: \
+                         total {before} -> {cum} but delta says {delta}"
+                    ));
+                }
+            }
+            for name in deltas.keys() {
+                if !total.contains_key(name) {
+                    return fail(&format!(
+                        "line {n}: delta counter `{name}` missing from total"
+                    ));
+                }
+            }
+        }
+        if deltas.get("server.overload_rejected").copied().unwrap_or(0) > 0 {
+            seen_overload_delta = true;
+        }
+        if let Some(Json::Obj(hists)) = v.get("histograms") {
+            for (name, h) in hists {
+                let (Some(count), Some(_), Some(p50), Some(p95), Some(p99)) = (
+                    need_u64(h, "count"),
+                    need_u64(h, "sum_us"),
+                    need_u64(h, "p50_us"),
+                    need_u64(h, "p95_us"),
+                    need_u64(h, "p99_us"),
+                ) else {
+                    return fail(&format!("line {n}: histogram `{name}` window malformed"));
+                };
+                if count == 0 {
+                    return fail(&format!(
+                        "line {n}: histogram `{name}` exported with an empty window"
+                    ));
+                }
+                if !(p50 <= p95 && p95 <= p99 && p99 <= top_bound) {
+                    return fail(&format!(
+                        "line {n}: histogram `{name}` percentiles disordered: \
+                         p50 {p50}, p95 {p95}, p99 {p99} (top bound {top_bound})"
+                    ));
+                }
+            }
+        }
+        samples += 1;
+        prev_seq = Some(seq);
+        prev_t_us = t_us;
+        prev_total = Some(total);
+    }
+    if samples == 0 {
+        return fail("timeline has a header but no samples");
+    }
+
+    // --- Overload-burst mode: the CI smoke contract ---
+    if expect_burst {
+        if !seen_overload_delta {
+            return fail("no sample saw server.overload_rejected move during the burst");
+        }
+        if violations.len() != 1 {
+            return fail(&format!(
+                "want exactly one SLO violation over the burst, got {}",
+                violations.len()
+            ));
+        }
+        let v = &violations[0];
+        if v.get("metric").and_then(Json::as_str) != Some("server.queue_wait_us") {
+            return fail("the violation is not on server.queue_wait_us");
+        }
+        let offender = v.get("offender").and_then(Json::as_str).unwrap_or("");
+        if offender.is_empty() {
+            return fail("the violation attributed no offending session");
+        }
+    }
+
+    println!(
+        "timeline_check OK: {samples} samples, {} violation(s), header, contiguous seq, \
+         monotone time, counter conservation, and percentile ordering verified{}",
+        violations.len(),
+        if expect_burst {
+            " (overload burst covered, offender attributed)"
+        } else {
+            ""
+        }
+    );
+    ExitCode::SUCCESS
+}

@@ -190,6 +190,14 @@ pub fn builtins() -> Vec<BuiltinSig> {
             ty: Type::fun(db(), Type::Str),
             arity: 1,
         },
+        // TIMELINE: render the recent ring of the flight recorder (the
+        // background sampler over the metrics registry), so an operator
+        // session can ask "what just happened" without leaving MiniDBPL.
+        BuiltinSig {
+            name: "timeline",
+            ty: Type::fun(db(), Type::Str),
+            arity: 1,
+        },
         // The same for the generalized natural join of two object lists.
         BuiltinSig {
             name: "explainAnalyzeJoin",

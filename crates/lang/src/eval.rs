@@ -585,6 +585,16 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
                 format!("scrub on non-database {other}"),
             )),
         },
+        "timeline" => match args.remove(0) {
+            RtValue::DbToken => Ok(RtValue::Str(
+                dbpl_obs::timeline::render_active(10)
+                    .unwrap_or_else(|| "timeline: no recorder active".to_string()),
+            )),
+            other => Err(LangError::eval(
+                at,
+                format!("timeline on non-database {other}"),
+            )),
+        },
         "explainAnalyzeJoin" => {
             let rhs = list_arg(&args[1], at)?;
             let lhs = list_arg(&args[0], at)?;

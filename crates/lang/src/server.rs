@@ -48,6 +48,7 @@
 use crate::error::LangError;
 use crate::session::{Health, Session};
 use dbpl_core::Database;
+use dbpl_obs::timeline::{Recorder, RecorderConfig, Timeline};
 use dbpl_persist::{
     commit_multi, recover_pending, PersistError, QuarantineEntry, ReplicatingStore, RetryPolicy,
     Vfs,
@@ -242,6 +243,14 @@ impl CommitQueue {
                 let batch: Vec<CommitRequest> = st.items.drain(..n).collect();
                 st.inflight += n;
                 Self::depth_gauge().set(st.items.len() as i64);
+                // Conservation pair with `server.queue_wait_us`: every
+                // admitted (taken) frame records exactly one queue-wait
+                // observation, so the counter and the histogram count
+                // move in lockstep — the invariant the chaos harness
+                // and `timeline_check` verify.
+                dbpl_obs::global()
+                    .counter("server.frames_admitted")
+                    .add(n as u64);
                 let wait = dbpl_obs::global().histogram("server.queue_wait_us");
                 let now = Instant::now();
                 for req in &batch {
@@ -948,6 +957,11 @@ fn finish(batch: Vec<CommitRequest>, outcomes: Vec<Option<CommitOutcome>>) {
 struct Engine {
     shared: Arc<Shared>,
     applier: Mutex<Option<JoinHandle<()>>>,
+    /// The flight recorder, when one is running
+    /// ([`Server::start_recorder`]). Shutdown drains it before the
+    /// applier exits so the timeline's last sample still sees the
+    /// final batch's metrics.
+    recorder: Mutex<Option<Recorder>>,
 }
 
 impl Engine {
@@ -997,7 +1011,15 @@ impl Engine {
         Ok(Engine {
             shared,
             applier: Mutex::new(Some(applier)),
+            recorder: Mutex::new(None),
         })
+    }
+
+    /// Stop the flight recorder (if one is running) and drain its ring.
+    /// Called by shutdown *before* the applier is stopped, so the final
+    /// drain sample observes the fully-applied metrics.
+    fn drain_recorder(&self) -> Option<Timeline> {
+        self.recorder.lock().take().map(Recorder::stop)
     }
 
     /// Bounded-drain shutdown: stop admissions, give the applier
@@ -1005,6 +1027,9 @@ impl Engine {
     /// answering every still-queued commit `EngineDown` and detaching
     /// the (stuck) applier thread rather than hanging the caller.
     fn shutdown(&self) {
+        // Recorder first: its final sample drains while the queue and
+        // applier state are still intact.
+        drop(self.drain_recorder());
         self.shared.queue.begin_shutdown();
         let deadline = Instant::now() + self.shared.cfg.drain_deadline;
         if self.shared.queue.wait_applier_exit(deadline) {
@@ -1116,6 +1141,7 @@ impl Server {
             quarantined: Vec::new(),
             last_commit_epoch: None,
             txn_deadline: None,
+            attribution: None,
         })
     }
 
@@ -1217,6 +1243,27 @@ impl Server {
         Ok(frames.len())
     }
 
+    /// Start a flight recorder over this server's lifetime: a background
+    /// sampler snapshots the (process-global) metrics registry per
+    /// `cfg.interval` into a bounded ring, evaluates `cfg.slos`, and
+    /// emits [`dbpl_obs::Event::SloViolation`] when an objective starts
+    /// failing. Replaces (and drains) any recorder already running.
+    /// [`Server::shutdown`] stops it automatically, draining the final
+    /// sample *before* the applier exits.
+    pub fn start_recorder(&self, cfg: RecorderConfig) {
+        let mut slot = self.engine.recorder.lock();
+        if let Some(old) = slot.take() {
+            drop(old.stop());
+        }
+        *slot = Some(Recorder::start(cfg));
+    }
+
+    /// Stop the flight recorder and return its drained [`Timeline`], or
+    /// `None` if none was running.
+    pub fn stop_recorder(&self) -> Option<Timeline> {
+        self.engine.drain_recorder()
+    }
+
     /// Shut the applier down and wait for it. Queued commits are
     /// processed first; sessions that enqueue afterwards get an error.
     /// Dropping the last `Server`/`ServerSession` shuts down implicitly.
@@ -1275,6 +1322,22 @@ pub struct ServerSession {
     /// nothing durable. `None` (the default) also means admission never
     /// waits: a full queue rejects `Overloaded` immediately.
     pub txn_deadline: Option<Duration>,
+    /// Per-session metric attribution ([`ServerSession::set_label`]):
+    /// cached counter handles so the hot path pays one relaxed add, not
+    /// a registry lookup.
+    attribution: Option<SessionTag>,
+}
+
+/// Cached attribution handles for a labeled session.
+struct SessionTag {
+    label: String,
+    /// `server.session.<label>.commits` — durable-commit attempts
+    /// offered to the admission gate (rejected attempts count: this is
+    /// the "who saturated the queue" signal).
+    commits: Arc<dbpl_obs::Counter>,
+    /// `server.session.<label>.reads` — programs answered entirely from
+    /// the session's snapshot (the pure-read fast path).
+    reads: Arc<dbpl_obs::Counter>,
 }
 
 impl Drop for ServerSession {
@@ -1291,6 +1354,29 @@ impl ServerSession {
     /// caller uses to reason about visibility across sessions.
     pub fn last_commit_epoch(&self) -> Option<u64> {
         self.last_commit_epoch
+    }
+
+    /// Attribute this session's activity in the metrics registry:
+    /// subsequent runs bump `server.session.<label>.commits` (durable
+    /// commit attempts offered to the admission gate, rejected ones
+    /// included) and `server.session.<label>.reads` (programs answered
+    /// purely from the snapshot). The flight recorder's SLO engine uses
+    /// these to name the offending session in a violation. Labels are
+    /// opt-in — metric cardinality is the caller's responsibility (use
+    /// a connection or tenant id, not a per-request string).
+    pub fn set_label(&mut self, label: &str) {
+        let reg = dbpl_obs::global();
+        self.attribution = Some(SessionTag {
+            label: label.to_string(),
+            commits: reg.counter(&format!("server.session.{label}.commits")),
+            reads: reg.counter(&format!("server.session.{label}.reads")),
+        });
+    }
+
+    /// The attribution label set via [`ServerSession::set_label`], if
+    /// any.
+    pub fn label(&self) -> Option<&str> {
+        self.attribution.as_ref().map(|t| t.label.as_str())
     }
 
     /// Parse, type-check and run one program against a fresh snapshot,
@@ -1316,7 +1402,16 @@ impl ServerSession {
         if frame.is_empty() {
             // A pure read never touches the applier: this is the
             // reader-scaling fast path.
+            if let Some(tag) = &self.attribution {
+                tag.reads.inc();
+            }
             return Ok(out_lines);
+        }
+        // Attributed *before* admission: a rejected attempt still
+        // pressured the queue, which is exactly what the SLO engine's
+        // offender attribution wants to see.
+        if let Some(tag) = &self.attribution {
+            tag.commits.inc();
         }
 
         // Probe-first health gate (nothing queued behind a known-failing
@@ -1685,6 +1780,78 @@ mod tests {
         let server = Server::new().unwrap();
         let mut s = server.session();
         s.run("type T = {X: Int} put(db, dynamic {X = 1})").unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn recorder_attributes_labeled_sessions_and_drains_on_shutdown() {
+        use dbpl_obs::timeline::RecorderConfig;
+        let server = Server::new().unwrap();
+        server.start_recorder(RecorderConfig {
+            interval: Duration::from_millis(2),
+            capacity: 256,
+            slos: Vec::new(),
+        });
+        let mut s = server.session();
+        s.set_label("rec-test");
+        assert_eq!(s.label(), Some("rec-test"));
+        let commits = dbpl_obs::global().counter("server.session.rec-test.commits");
+        let reads = dbpl_obs::global().counter("server.session.rec-test.reads");
+        let (c0, r0) = (commits.get(), reads.get());
+        s.run("type T = {X: Int} put(db, dynamic {X = 1})").unwrap();
+        s.run("len[T](get[T](db))").unwrap();
+        assert_eq!(commits.get(), c0 + 1, "one attributed commit attempt");
+        assert_eq!(reads.get(), r0 + 1, "one attributed pure read");
+        // The MiniDBPL view of the live ring (a Str value, rendered
+        // quoted by the session).
+        let out = s.run("timeline(db)").unwrap();
+        assert!(
+            out[0].trim_matches('\'').starts_with("timeline: "),
+            "timeline(db) renders the ring: {}",
+            out[0]
+        );
+        // Shutdown stops the recorder before the applier exits; a second
+        // stop finds nothing.
+        drop(s);
+        let timeline = server.stop_recorder().expect("recorder was running");
+        assert!(!timeline.samples.is_empty(), "drain sample always lands");
+        let attributed: u64 = timeline
+            .samples
+            .iter()
+            .map(|smp| smp.delta.counter("server.session.rec-test.commits"))
+            .sum();
+        assert!(attributed >= 1, "the commit shows up in the timeline");
+        assert!(server.stop_recorder().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn timeline_builtin_without_recorder_says_so() {
+        let server = Server::new().unwrap();
+        let mut s = server.session();
+        let out = s.run("timeline(db)").unwrap();
+        // Another test's recorder may be live in this process; accept
+        // either answer but require the builtin to respond coherently.
+        let text = out[0].trim_matches('\'');
+        assert!(
+            text == "timeline: no recorder active" || text.starts_with("timeline: "),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn shutdown_with_running_recorder_is_clean() {
+        use dbpl_obs::timeline::RecorderConfig;
+        let server = Server::new().unwrap();
+        server.start_recorder(RecorderConfig {
+            interval: Duration::from_millis(2),
+            capacity: 16,
+            slos: Vec::new(),
+        });
+        let mut s = server.session();
+        s.run("type T = {X: Int} put(db, dynamic {X = 1})").unwrap();
+        drop(s);
+        // No explicit stop_recorder: shutdown must drain it itself.
         server.shutdown();
     }
 }

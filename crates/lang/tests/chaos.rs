@@ -18,6 +18,12 @@
 //!    ENOSPC) publishes nothing; survivor state stays consistent.
 //! 3. **Serializability survives chaos** — the final published state
 //!    equals a single-threaded replay of the applier's own frame log.
+//! 4. **Metrics conservation** — the overload phase must leave
+//!    `server.overload_rejected` equal to the fleet's Overloaded tally
+//!    (and > 0), and the `server.queue_wait_us` histogram must hold
+//!    exactly one observation per admitted frame
+//!    (`server.frames_admitted`). Tests serialize on [`obs_lock`] so
+//!    the process-global registry deltas are attributable.
 //!
 //! Tier-1 runs 3 seeds; the 16-seed sweep is `#[ignore]`d for nightly.
 
@@ -26,6 +32,17 @@ use dbpl_persist::{FaultPlan, SimVfs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Serializes every test in this binary. The metrics registry is
+/// process-global, so two tests running on sibling threads would bleed
+/// counter increments into each other's windows and break the *exact*
+/// conservation assertions below (`queue_wait` count ≡ admitted
+/// frames). Poisoning is tolerated: a panicked test must not take the
+/// whole binary down with it.
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Outcome tally across every commit attempt of a chaos run.
 #[derive(Default, Debug)]
@@ -80,6 +97,8 @@ fn chaos_run(seed: u64) {
     const SESSIONS: usize = 8;
     const OPS_PER_SESSION: usize = 40;
 
+    let _obs = obs_lock();
+    let obs_before = dbpl_obs::global().snapshot();
     let vfs = SimVfs::new();
     vfs.set_plan(FaultPlan {
         seed,
@@ -174,6 +193,52 @@ fn chaos_run(seed: u64) {
     settle.run("put(db, dynamic {W = 99, Seq = 0})").unwrap();
     assert!(!server.health().is_degraded(), "engine failed to heal");
 
+    // Observability conservation: with the binary's tests serialized by
+    // `obs_lock`, every registry delta across the run is attributable
+    // to this server, so the counters must agree with the tally — not
+    // merely move.
+    let d = dbpl_obs::global().snapshot().delta_since(&obs_before);
+    let rejected = d.counter("server.overload_rejected");
+    let overloaded = tally.overloaded.load(Ordering::Relaxed);
+    assert!(
+        rejected > 0,
+        "4x offered load never tripped admission: {tally:?}"
+    );
+    assert_eq!(
+        rejected, overloaded,
+        "every Overloaded reply bumps server.overload_rejected exactly once: {tally:?}"
+    );
+    // Every admitted (taken) frame records exactly one queue-wait
+    // observation — the histogram count and the admission counter move
+    // in lockstep under the queue lock.
+    let admitted = d.counter("server.frames_admitted");
+    let waits = d
+        .histogram("server.queue_wait_us")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    assert_eq!(
+        waits, admitted,
+        "server.queue_wait_us count must equal admitted frames"
+    );
+    // Bound the admitted count against the tally: everything that got a
+    // post-admission outcome was taken (+1 for the settle commit).
+    // Refusals and engine-down replies land on *either* side of
+    // admission — the session's probe-first health gate refuses before
+    // enqueue, the applier's gate refuses a taken batch — so they only
+    // widen the upper bound.
+    let taken_min = tally.applied.load(Ordering::Relaxed)
+        + tally.deadline.load(Ordering::Relaxed)
+        + tally.aborted.load(Ordering::Relaxed)
+        + tally.in_doubt.load(Ordering::Relaxed)
+        + 1;
+    let taken_max = taken_min
+        + tally.refused.load(Ordering::Relaxed)
+        + tally.engine_down.load(Ordering::Relaxed);
+    assert!(
+        (taken_min..=taken_max).contains(&admitted),
+        "admitted {admitted} outside [{taken_min}, {taken_max}]: {tally:?}"
+    );
+
     // Serializability witness: survivor state ≡ frame-log replay.
     let replayed = server.check_frame_log_replay().expect("replay diverged");
     assert!(replayed > 0);
@@ -213,6 +278,7 @@ fn nightly_chaos_sweep_sixteen_seeds() {
 /// must flip degraded, then heal and serve again.
 #[test]
 fn applier_panic_between_enqueue_and_reply_returns_engine_down() {
+    let _obs = obs_lock();
     let vfs = SimVfs::new();
     let server = Server::open_with(Arc::new(vfs), "/panic").unwrap();
     server.chaos_panic_at_batch(1);
@@ -242,6 +308,7 @@ fn applier_panic_between_enqueue_and_reply_returns_engine_down() {
 /// batch (and every later commit) is unaffected.
 #[test]
 fn frame_panic_aborts_only_that_frame() {
+    let _obs = obs_lock();
     let server = Server::new().unwrap();
     server.chaos_panic_at_frame(1);
     let mut s = server.try_session().unwrap();
@@ -269,6 +336,7 @@ fn frame_panic_aborts_only_that_frame() {
 /// covering both interleavings.
 #[test]
 fn commit_racing_shutdown_never_hangs() {
+    let _obs = obs_lock();
     for lead_commits in 0..12u32 {
         let vfs = SimVfs::new();
         let server = Server::open_with(Arc::new(vfs), "/race").unwrap();
@@ -309,6 +377,7 @@ fn commit_racing_shutdown_never_hangs() {
 /// `DeadlineExceeded`, and the frame's effects never publish.
 #[test]
 fn deadline_expires_in_queue_before_durability() {
+    let _obs = obs_lock();
     let vfs = SimVfs::new();
     vfs.set_plan(FaultPlan {
         // Every fsync stalls 300ms: the first batch wedges the applier
@@ -364,6 +433,8 @@ fn deadline_expires_in_queue_before_durability() {
 /// every admitted commit still lands; the survivor state replays.
 #[test]
 fn saturated_queue_sheds_load_and_survivors_replay() {
+    let _obs = obs_lock();
+    let obs_before = dbpl_obs::global().snapshot();
     let vfs = SimVfs::new();
     vfs.set_plan(FaultPlan {
         fsync_delay_us: Some(2_000),
@@ -406,6 +477,19 @@ fn saturated_queue_sheds_load_and_survivors_replay() {
         "4x offered load over a depth-1 queue never overloaded: {tally:?}"
     );
     assert!(tally.applied.load(Ordering::Relaxed) > 0, "{tally:?}");
+    // The registry saw exactly the overload the fleet reported, and the
+    // queue-wait histogram holds one observation per admitted frame.
+    let d = dbpl_obs::global().snapshot().delta_since(&obs_before);
+    assert_eq!(
+        d.counter("server.overload_rejected"),
+        tally.overloaded.load(Ordering::Relaxed)
+    );
+    assert_eq!(
+        d.histogram("server.queue_wait_us")
+            .map(|h| h.count)
+            .unwrap_or(0),
+        d.counter("server.frames_admitted")
+    );
     server.check_frame_log_replay().expect("replay diverged");
 }
 
@@ -414,6 +498,7 @@ fn saturated_queue_sheds_load_and_survivors_replay() {
 /// its slot.
 #[test]
 fn session_cap_refuses_then_frees() {
+    let _obs = obs_lock();
     let vfs = SimVfs::new();
     let cfg = ServerConfig {
         max_sessions: 2,
@@ -448,6 +533,7 @@ fn wait_for(mut cond: impl FnMut() -> bool) {
 /// snapshot accounting must return to baseline when the pin drops.
 #[test]
 fn pinned_snapshot_never_blocks_writers_and_live_gauge_returns_to_baseline() {
+    let _obs = obs_lock();
     let vfs = SimVfs::new();
     let server = Server::open_with(Arc::new(vfs), "/retain").unwrap();
     let mut w = server.try_session().unwrap();

@@ -105,6 +105,32 @@ pub enum Event {
         /// Why the health state changed.
         reason: String,
     },
+    /// A service-level objective evaluated by the flight recorder
+    /// ([`crate::timeline`]) began failing: the windowed percentile
+    /// estimate crossed its threshold. The SLO engine's hysteresis
+    /// guarantees one event per sustained violation (no flapping).
+    SloViolation {
+        /// The histogram the objective watches (e.g.
+        /// `server.queue_wait_us`).
+        metric: String,
+        /// The objective's quantile label (e.g. `p99`).
+        quantile: String,
+        /// The windowed quantile estimate, in microseconds.
+        observed_us: u64,
+        /// The objective's threshold, in microseconds.
+        threshold_us: u64,
+        /// Burn rate ×100: the share of window observations over the
+        /// threshold relative to the error budget `1 - q`; 100 means
+        /// burning the budget exactly, 1000 means 10x over.
+        burn_rate_pct: u64,
+        /// Window start, microseconds since recorder start.
+        window_start_us: u64,
+        /// Window end, microseconds since recorder start.
+        window_end_us: u64,
+        /// The session label with the most attributed commit attempts
+        /// in the window (`""` when no labeled session was active).
+        offender: String,
+    },
     /// A root span exceeded the slow-op threshold
     /// ([`crate::trace::set_slow_threshold_us`]); carries the whole
     /// subtree so the log alone answers "where did it spend its time".
@@ -136,6 +162,7 @@ impl Event {
             Event::ScrubReport { .. } => "scrub_report",
             Event::Overload { .. } => "overload",
             Event::HealthChanged { .. } => "health_changed",
+            Event::SloViolation { .. } => "slo_violation",
             Event::SlowOp { .. } => "slow_op",
         }
     }
@@ -199,6 +226,21 @@ impl Event {
             Event::HealthChanged { degraded, reason } => format!(
                 "{{\"event\":\"{kind}\",\"degraded\":{degraded},\"reason\":\"{}\"}}",
                 json_escape(reason)
+            ),
+            Event::SloViolation {
+                metric,
+                quantile,
+                observed_us,
+                threshold_us,
+                burn_rate_pct,
+                window_start_us,
+                window_end_us,
+                offender,
+            } => format!(
+                "{{\"event\":\"{kind}\",\"metric\":\"{}\",\"quantile\":\"{}\",\"observed_us\":{observed_us},\"threshold_us\":{threshold_us},\"burn_rate_pct\":{burn_rate_pct},\"window_start_us\":{window_start_us},\"window_end_us\":{window_end_us},\"offender\":\"{}\"}}",
+                json_escape(metric),
+                json_escape(quantile),
+                json_escape(offender)
             ),
             Event::SlowOp {
                 name,
@@ -382,6 +424,19 @@ mod tests {
                     reason: "disk full".into(),
                 },
                 r#"{"event":"health_changed","degraded":true,"reason":"disk full"}"#,
+            ),
+            (
+                Event::SloViolation {
+                    metric: "server.queue_wait_us".into(),
+                    quantile: "p99".into(),
+                    observed_us: 8192,
+                    threshold_us: 1000,
+                    burn_rate_pct: 4200,
+                    window_start_us: 100_000,
+                    window_end_us: 300_000,
+                    offender: "load-3".into(),
+                },
+                r#"{"event":"slo_violation","metric":"server.queue_wait_us","quantile":"p99","observed_us":8192,"threshold_us":1000,"burn_rate_pct":4200,"window_start_us":100000,"window_end_us":300000,"offender":"load-3"}"#,
             ),
             (
                 Event::SlowOp {

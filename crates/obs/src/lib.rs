@@ -15,6 +15,12 @@
 //!   `parent_id` context, a bounded [`TraceBuffer`] ring of completed
 //!   spans with attributes, a slow-op log, and Chrome-trace /
 //!   EXPLAIN-ANALYZE exporters on top.
+//! * [`timeline`] — the flight recorder: a background sampler thread
+//!   snapshots the whole registry at a fixed interval into a bounded
+//!   drop-oldest ring, computes per-interval deltas and p50/p95/p99
+//!   estimates from the fixed buckets, evaluates declarative SLOs with
+//!   burn-rate + hysteresis, and exports JSONL / Chrome `ph:"C"`
+//!   counter tracks.
 //! * [`Event`] / [`EventSink`] — structured events (transaction
 //!   lifecycle, quarantine, salvage, retries, injected faults) rendered
 //!   as stable JSONL. With no sink attached, [`emit`] costs one relaxed
@@ -31,11 +37,13 @@ mod event;
 pub mod json;
 mod metrics;
 mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use event::{clear_sink, emit, set_sink, sink_attached, Event, EventSink, MemorySink};
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, StatsSnapshot,
+    BUCKET_BOUNDS_US,
 };
 pub use span::SpanGuard;
 pub use trace::{SpanRecord, TraceBuffer, TraceContext};

@@ -1,5 +1,21 @@
 //! Named relaxed-atomic counters, gauges, and fixed-bucket latency
 //! histograms.
+//!
+//! # The delta rule
+//!
+//! [`StatsSnapshot::delta_since`] treats the three metric kinds
+//! differently, and every consumer (the `report` bench phases, the
+//! [`crate::timeline`] flight recorder, tests measuring per-run
+//! activity) relies on the distinction:
+//!
+//! * **Counters** are monotone totals: the delta is the subtraction
+//!   `self - earlier`, clamped at zero.
+//! * **Histograms** are diffed bucket-wise (and count/sum-wise), also
+//!   clamped — a histogram delta is the observations of the interval.
+//! * **Gauges** are instantaneous levels (queue depth, live snapshots,
+//!   open sessions). Subtracting two levels yields a meaningless
+//!   number, so the "delta" carries `self`'s current level unchanged:
+//!   a gauge answers "where is it now", never "how much did it move".
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -274,6 +290,11 @@ impl StatsSnapshot {
         self.gauges.get(name).copied().unwrap_or(0)
     }
 
+    /// The state of histogram `name` in this snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
     /// The difference `self - earlier` as another snapshot: per-counter
     /// values clamped at zero, histograms diffed bucket-wise. Gauges are
     /// instantaneous levels, not monotone totals, so the "delta" carries
@@ -403,6 +424,26 @@ mod tests {
         assert!(later.to_json().contains("\"gauges\":{\"depth\":2}"));
         r.reset();
         assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn regression_gauge_delta_is_last_value_not_subtraction() {
+        // The delta rule (module docs): counters subtract, gauges carry
+        // the instantaneous level. A subtracted gauge would report 2-5
+        // = -3 here and poison every timeline sample.
+        let r = MetricsRegistry::new();
+        r.gauge("depth").set(5);
+        r.counter("hits").add(5);
+        let before = r.snapshot();
+        r.gauge("depth").set(2);
+        r.counter("hits").add(2);
+        let d = r.snapshot().delta_since(&before);
+        assert_eq!(d.gauge("depth"), 2, "gauge delta is the current level");
+        assert_eq!(d.counter("hits"), 2, "counter delta is the subtraction");
+        // A gauge that fell below its earlier level must not clamp or
+        // wrap either.
+        r.gauge("depth").set(-4);
+        assert_eq!(r.snapshot().delta_since(&before).gauge("depth"), -4);
     }
 
     #[test]

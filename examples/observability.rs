@@ -1,16 +1,20 @@
 //! Unified observability, end to end: the metrics registry, structured
 //! event sinks, query-plan introspection (`explain` / `explainJoin`),
-//! and how storage faults and recovery surface as counters and events.
+//! how storage faults and recovery surface as counters and events, and
+//! the flight recorder — a background sampler whose timeline answers
+//! "what was the engine doing just now".
 //!
 //! Run with `cargo run --example observability`.
 
 use dbpl::core::GetStrategy;
-use dbpl::lang::Session;
+use dbpl::lang::{Server, Session};
+use dbpl::obs::timeline::{RecorderConfig, Slo};
 use dbpl::obs::{self, MemorySink};
 use dbpl::persist::{FaultPlan, IntrinsicStore, SimVfs};
 use dbpl::types::Type;
 use dbpl::values::Value;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("dbpl-obs-demo-{}", std::process::id()));
@@ -80,8 +84,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("   4 commits survived a fault every ~5th I/O op (see io.retries)");
 
-    // ---------- 5. the numbers and the event log ----------
+    // ---------- 5. the flight recorder ----------
+    // Detach the sink first: the sections above are the event-log demo;
+    // the recorder watches the registry, not the sink.
     obs::clear_sink();
+    println!("\n== the flight recorder: a sampled timeline of the registry");
+    let server = Server::new().map_err(|e| e.msg.clone())?;
+    server.start_recorder(RecorderConfig {
+        interval: Duration::from_millis(2),
+        capacity: 64,
+        // An objective loose enough to stay healthy here; under real
+        // overload it fires an slo_violation naming the busiest label.
+        slos: vec![
+            Slo::parse("server.queue_wait_us p99 < 10s over 100ms").map_err(|e| e.to_string())?
+        ],
+    });
+    let mut operator = server.try_session().map_err(|e| e.msg.clone())?;
+    operator.set_label("demo");
+    for i in 0..20 {
+        operator
+            .run(&format!("extern('h{}', dynamic {i})", i % 4))
+            .map_err(|e| e.msg.clone())?;
+    }
+    // Let the sampler tick a few more times past the burst.
+    std::thread::sleep(Duration::from_millis(10));
+    let out = operator.run("timeline(db)").map_err(|e| e.msg.clone())?;
+    println!("   the `timeline(db)` builtin renders the live ring:");
+    for line in out[0].trim_matches('\'').lines().take(6) {
+        println!("     {line}");
+    }
+    let timeline = server
+        .stop_recorder()
+        .expect("the recorder was started above");
+    println!(
+        "   drained {} samples ({} evicted, {} violation(s)); first JSONL lines:",
+        timeline.samples.len(),
+        timeline.dropped,
+        timeline.violations.len()
+    );
+    for line in timeline.to_jsonl().lines().take(2) {
+        let line = if line.len() > 110 {
+            format!("{}…", &line[..110])
+        } else {
+            line.to_string()
+        };
+        println!("     {line}");
+    }
+    // Smoke assertions: the recorder sampled, and the labeled session's
+    // commits were attributed.
+    assert!(timeline.samples.len() >= 2, "recorder barely sampled");
+    let attributed = timeline
+        .samples
+        .last()
+        .expect("at least the drain sample")
+        .total
+        .counter("server.session.demo.commits");
+    assert!(attributed >= 20, "attributed {attributed} of 20 commits");
+    server.shutdown();
+
+    // ---------- 6. the numbers and the event log ----------
     let delta = obs::global().snapshot().delta_since(&before);
     println!("\n== counter deltas for this whole demo");
     for name in [
