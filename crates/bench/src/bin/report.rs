@@ -832,6 +832,237 @@ fn overload(smoke: bool, timeline_out: Option<&str>) {
     }
 }
 
+/// Workload introspection: the statistics-catalog overhead gates, the
+/// query-log heavy hitters, and the `--workload-out` JSONL artifact.
+///
+/// The smoke gates (CI `workload-smoke`) fail the build if
+/// * incremental catalog maintenance costs more than 1.05x on the
+///   commit path (the same put program run with stats enabled vs
+///   disabled, best-of-N minima), or
+/// * read throughput with the catalog enabled drops below 0.98x of the
+///   disabled path, or
+/// * the incrementally maintained catalog diverges from `analyze`'s
+///   full rebuild after the measured workload.
+///
+/// With `--workload-out <path>` the phase additionally runs a mixed
+/// Get/join window over a cleared query log and writes the
+/// `dbpl.workload.v1` JSONL artifact `workload_check` validates:
+/// per-extent catalog rollups, raw query records, top-K heavy hitters,
+/// the `get.strategy.*` counter deltas over the same window, and the
+/// catalog differential verdict.
+fn workload(smoke: bool, workload_out: Option<&str>) {
+    use dbpl_lang::Session;
+    use dbpl_stats::{extent_json, query_json, query_log, top_json};
+
+    println!("## Workload introspection — catalog overhead and the query log\n");
+
+    let rows = if smoke { 400usize } else { 2_000 };
+    let batches = if smoke { 5 } else { 8 };
+
+    // --- gate A: commit-path overhead of incremental maintenance ---
+    // The same put program, parsed/checked/committed per run; the only
+    // difference is whether the catalog observes the inserts. Best-of-N
+    // minima, like the verify-on-read gate.
+    let mut src = String::from("type W = {A: Int, B: Str}\n");
+    for i in 0..rows {
+        let _ = writeln!(src, "put(db, dynamic {{A = {i}, B = 'r{i}'}})");
+    }
+    let commit_once = |stats_on: bool| -> f64 {
+        time(
+            || {
+                let mut s = Session::new().unwrap();
+                s.db.set_stats_enabled(stats_on);
+                s.run(&src).unwrap();
+                assert_eq!(s.db.len(), rows);
+                assert_eq!(s.db.stats_enabled(), stats_on);
+            },
+            2,
+        )
+        .0
+    };
+    // Check the maintained catalog once, OUTSIDE the timed region —
+    // `stats_consistent` does a full rebuild, which is not commit work.
+    {
+        let mut s = Session::new().unwrap();
+        s.run(&src).unwrap();
+        assert!(s.db.stats_consistent());
+    }
+    // Interleave the two arms so clock drift and background load tax
+    // both equally, and gate on the median of paired per-round ratios —
+    // a host-level stall lands on one round's pair, not on the verdict.
+    let (mut t_off, mut t_on) = (f64::INFINITY, f64::INFINITY);
+    let mut commit_ratios = Vec::new();
+    for round in 0..batches + 3 {
+        // Alternate which arm goes first so a warm-cache (or ramping-
+        // clock) edge for the second slot cancels over the rounds.
+        let (off, on) = if round % 2 == 0 {
+            let off = commit_once(false);
+            (off, commit_once(true))
+        } else {
+            let on = commit_once(true);
+            (commit_once(false), on)
+        };
+        t_off = t_off.min(off);
+        t_on = t_on.min(on);
+        commit_ratios.push(on / off.max(1e-9));
+    }
+    commit_ratios.sort_by(f64::total_cmp);
+    // Two noise-robust estimators: the median paired ratio and the
+    // ratio of best-of minima (noise only ever *inflates* a minimum).
+    // A real regression shows up in both; a host-level stall in at
+    // most one — so the verdict takes the more favorable.
+    let over = commit_ratios[commit_ratios.len() / 2].min(t_on / t_off.max(1e-9));
+    println!("| commit path ({rows} puts) | µs/txn | vs stats off |");
+    println!("|---|---|---|");
+    println!("| stats disabled | {t_off:.0} | 1.000x |");
+    println!("| stats enabled | {t_on:.0} | {over:.3}x |");
+    assert!(
+        over <= 1.05,
+        "catalog maintenance overhead {over:.3}x blows the 1.05x commit budget \
+         ({t_on:.1}µs enabled vs {t_off:.1}µs disabled)"
+    );
+    println!("\ncatalog commit gate OK: {over:.3}x ≤ 1.05x\n");
+
+    // --- gate B: read throughput with the catalog enabled ---
+    // Reads never consult the maintained catalog; carrying it must not
+    // tax them. Same query against the same data, catalog on vs off.
+    let db_on = populated_db(rows, 7);
+    let mut db_off = db_on.clone();
+    db_off.set_stats_enabled(false);
+    let bound = Type::named("Employee");
+    // The two paths run identical read code (reads never touch the
+    // catalog), so generous best-of minima keep scheduler jitter from
+    // tripping a gate that compares a path against itself.
+    let read_once = |db: &dbpl_core::Database| {
+        time(|| db.get_with(&bound, GetStrategy::TypedLists).len(), 20).0
+    };
+    read_once(&db_off); // warmup: fault in caches before the first pair
+    let (mut r_off, mut r_on) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::new();
+    for round in 0..batches * 2 {
+        // Alternate arm order (second slot runs warmer) and gate on the
+        // median of paired per-round ratios: a scheduler spike lands on
+        // one round's pair, not on the verdict.
+        let (off, on) = if round % 2 == 0 {
+            let off = read_once(&db_off);
+            (off, read_once(&db_on))
+        } else {
+            let on = read_once(&db_on);
+            (read_once(&db_off), on)
+        };
+        r_off = r_off.min(off);
+        r_on = r_on.min(on);
+        ratios.push(off / on.max(1e-9));
+    }
+    ratios.sort_by(f64::total_cmp);
+    // Same two-estimator verdict as the commit gate (here the ratio is
+    // a throughput retention, so the *max* is the favorable one).
+    let read_ratio = ratios[ratios.len() / 2].max(r_off / r_on.max(1e-9));
+    println!("| read path ({rows} rows) | µs/get | throughput vs stats off |");
+    println!("|---|---|---|");
+    println!("| stats disabled | {r_off:.1} | 1.000x |");
+    println!("| stats enabled | {r_on:.1} | {read_ratio:.3}x |");
+    assert!(
+        read_ratio >= 0.98,
+        "reads with the catalog enabled retain only {read_ratio:.3}x throughput \
+         ({r_on:.1}µs enabled vs {r_off:.1}µs disabled); budget is 0.98x"
+    );
+    println!("\ncatalog read gate OK: {read_ratio:.3}x ≥ 0.98x\n");
+
+    // --- the measured workload window ---
+    // Clear the log, mark the trace counters, run a mixed Get/join
+    // workload, then join the three views into one artifact.
+    query_log().clear();
+    let before = dbpl_obs::global().snapshot();
+    for _ in 0..5 {
+        db_on.get_with(&bound, GetStrategy::Scan);
+    }
+    for _ in 0..3 {
+        db_on.get_with(&bound, GetStrategy::TypedLists);
+    }
+    db_on.get_with(&Type::named("Person"), GetStrategy::CachedScan);
+    let j1 = keyed_gen_relation(if smoke { 48 } else { 256 }, "L", 1);
+    let j2 = keyed_gen_relation(if smoke { 48 } else { 256 }, "R", 2);
+    let nested = j1.natural_join_strategy(&j2, Reduction::Maximal, JoinStrategy::Nested);
+    let partitioned = j1.natural_join_strategy(&j2, Reduction::Maximal, JoinStrategy::Partitioned);
+    assert_eq!(
+        nested.len(),
+        partitioned.len(),
+        "join strategies diverged inside the workload window"
+    );
+    let delta = dbpl_obs::global().snapshot().delta_since(&before);
+    let recs = query_log().snapshot();
+    let top = query_log().top_k(10);
+    let catalog_ok = db_on.stats_consistent();
+    assert!(
+        catalog_ok,
+        "maintained catalog diverged from analyze's rebuild"
+    );
+
+    println!("| rank | fingerprint | count | rows_in | rows_out | total µs |");
+    println!("|---|---|---|---|---|---|");
+    for (i, a) in top.iter().take(5).enumerate() {
+        println!(
+            "| {} | `{}` | {} | {} | {} | {} |",
+            i + 1,
+            a.fingerprint,
+            a.count,
+            a.rows_in,
+            a.rows_out,
+            a.total_dur_us
+        );
+    }
+    println!("\ncatalog differential OK: incremental ≡ analyze rebuild\n");
+
+    if let Some(path) = workload_out {
+        let mut lines = vec![format!(
+            "{{\"schema\":\"dbpl.workload.v1\",\"top_k\":{},\"query_capacity\":{},\"dropped\":{}}}",
+            top.len(),
+            query_log().capacity(),
+            query_log().dropped()
+        )];
+        for (ty, _) in db_on.stats_catalog().types() {
+            lines.push(extent_json(&ty.to_string(), &db_on.extent_stats(ty)));
+        }
+        for r in &recs {
+            lines.push(query_json(r));
+        }
+        for (i, a) in top.iter().enumerate() {
+            lines.push(top_json(i + 1, a));
+        }
+        let mut tc = String::from("{\"trace_counters\":{");
+        for (i, name) in [
+            "get.strategy.scan",
+            "get.strategy.cached_scan",
+            "get.strategy.typed_lists",
+            "get.strategy.par_scan",
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                tc.push(',');
+            }
+            let _ = write!(tc, "\"{name}\":{}", delta.counter(name));
+        }
+        tc.push_str("}}");
+        lines.push(tc);
+        lines.push(format!(
+            "{{\"catalog_check\":{{\"equal\":{},\"types\":{},\"rows\":{}}}}}",
+            catalog_ok,
+            db_on.stats_catalog().type_count(),
+            db_on.stats_catalog().total_rows()
+        ));
+        let mut body = lines.join("\n");
+        body.push('\n');
+        std::fs::write(path, body).expect("write --workload-out");
+        println!(
+            "({} workload lines written to {path} — validate with workload_check)\n",
+            lines.len()
+        );
+    }
+}
+
 /// One `--stats-out` JSONL line: the counter/histogram deltas a named
 /// report phase moved in the global metrics registry.
 fn stats_line(phase: &str, delta: &dbpl_obs::StatsSnapshot) -> String {
@@ -871,6 +1102,11 @@ fn main() {
             .expect("--timeline-out needs a path")
             .clone()
     });
+    let workload_out = args.iter().position(|a| a == "--workload-out").map(|i| {
+        args.get(i + 1)
+            .expect("--workload-out needs a path")
+            .clone()
+    });
     if trace_out.is_some() {
         dbpl_obs::trace::enable(1 << 16);
     }
@@ -906,6 +1142,9 @@ fn main() {
         phase("overload", &mut stats, || {
             overload(true, timeline_out.as_deref())
         });
+        phase("workload", &mut stats, || {
+            workload(true, workload_out.as_deref())
+        });
         write_stats(&stats);
         write_trace(&trace_out);
         println!("bench-smoke OK: all fast paths agree with their naive baselines");
@@ -919,6 +1158,9 @@ fn main() {
     phase("mvcc_throughput", &mut stats, || mvcc_throughput(false));
     phase("overload", &mut stats, || {
         overload(false, timeline_out.as_deref())
+    });
+    phase("workload", &mut stats, || {
+        workload(false, workload_out.as_deref())
     });
     let tail_before = dbpl_obs::global().snapshot();
 

@@ -7,7 +7,9 @@
 //! * the file is a JSON array of complete events (`"ph":"X"`) with the
 //!   required fields (`name`, `ts`, `dur`, `pid`, `tid`, `args` with
 //!   `trace_id`/`span_id`/`parent_id`), plus counter events (`"ph":"C"`)
-//!   carrying `span.<name>` histogram snapshots (`count`/`sum_us` args);
+//!   carrying `span.<name>` histogram snapshots (`count`/`sum_us` args),
+//!   plus the track-naming metadata (`"ph":"M"`): one `process_name`
+//!   event and a `thread_name` event per distinct `tid`;
 //! * `span_id`s are unique and every non-null `parent_id` either resolves
 //!   to an event in the file or its trace has suffered ring eviction
 //!   (parents may be evicted before children — oldest-first drop);
@@ -61,6 +63,9 @@ fn main() -> ExitCode {
     let mut evs: Vec<Ev> = Vec::with_capacity(events.len());
     let mut counters = 0usize;
     let mut span_counters = 0usize;
+    let mut process_named = false;
+    let mut named_tids: HashSet<u64> = HashSet::new();
+    let mut span_tids: HashSet<u64> = HashSet::new();
     for (i, e) in events.iter().enumerate() {
         let field = |k: &str| -> Option<&Json> { e.get(k) };
         let name = match field("name").and_then(Json::as_str) {
@@ -85,10 +90,35 @@ fn main() -> ExitCode {
             }
             continue;
         }
+        if field("ph").and_then(Json::as_str) == Some("M") {
+            // Track-naming metadata: Perfetto labels the process and each
+            // thread track from these; they precede every span event.
+            if name != "process_name" && name != "thread_name" {
+                return fail(&format!("metadata {i} has unexpected name `{name}`"));
+            }
+            let label = field("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str);
+            match label {
+                Some(l) if !l.is_empty() => {}
+                _ => return fail(&format!("metadata {i} ({name}) lacks args.name")),
+            }
+            if !evs.is_empty() {
+                return fail(&format!("metadata {i} ({name}) follows a span event"));
+            }
+            if name == "process_name" {
+                process_named = true;
+            } else if let Some(tid) = field("tid").and_then(Json::as_u64) {
+                named_tids.insert(tid);
+            } else {
+                return fail(&format!("thread_name metadata {i} lacks a tid"));
+            }
+            continue;
+        }
         if field("ph").and_then(Json::as_str) != Some("X") {
             return fail(&format!("event {i} ({name}) is not a complete event"));
         }
-        let (Some(ts), Some(dur), Some(_pid), Some(_tid)) = (
+        let (Some(ts), Some(dur), Some(_pid), Some(tid)) = (
             field("ts").and_then(Json::as_u64),
             field("dur").and_then(Json::as_u64),
             field("pid").and_then(Json::as_u64),
@@ -96,6 +126,7 @@ fn main() -> ExitCode {
         ) else {
             return fail(&format!("event {i} ({name}) lacks ts/dur/pid/tid"));
         };
+        span_tids.insert(tid);
         let args = match field("args") {
             Some(a) => a,
             None => return fail(&format!("event {i} ({name}) has no args")),
@@ -138,6 +169,14 @@ fn main() -> ExitCode {
     }
     if span_counters == 0 {
         return fail("no `span.*` counter events (`ph:\"C\"` histogram tracks) in the trace");
+    }
+    if !process_named {
+        return fail("no `process_name` metadata event — Perfetto shows a bare pid");
+    }
+    if let Some(tid) = span_tids.iter().find(|t| !named_tids.contains(t)) {
+        return fail(&format!(
+            "tid {tid} carries spans but has no thread_name metadata"
+        ));
     }
 
     let mut by_id: HashMap<u64, &Ev> = HashMap::new();
@@ -202,9 +241,10 @@ fn main() -> ExitCode {
 
     println!(
         "trace_check OK: {} span events, {counters} counter tracks ({span_counters} span.*), \
-         {} stitched interns, {orphans} orphaned by ring eviction, \
+         {} named thread tracks, {} stitched interns, {orphans} orphaned by ring eviction, \
          nesting, required stages, and one stitched extern↔intern pair verified",
         evs.len(),
+        named_tids.len(),
         stitched.len(),
     );
     ExitCode::SUCCESS

@@ -21,10 +21,12 @@ use crate::extent::{ExtentManager, TypedListIndex};
 use crate::get::{conformance_sweep, scan_get, scan_get_cached, scan_get_par, ExistsPkg};
 use crate::hierarchy::ClassHierarchy;
 use dbpl_persist::{Image, QuarantineEntry, QuarantineReason, QuarantineReport};
-use dbpl_types::{Type, TypeEnv};
+use dbpl_stats::StatsCatalog;
+use dbpl_types::{is_subtype, Type, TypeEnv};
 use dbpl_values::{conforms, DynValue, Heap, Mode, Oid, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How [`Database::get_with`] locates the objects of a type. All
 /// strategies return element-for-element identical results (differentially
@@ -89,6 +91,16 @@ pub struct Database {
     /// removals: the typed-list index stores positions, so removing an
     /// element would shift everything after it.
     quarantined_positions: BTreeSet<usize>,
+    /// The maintained statistics catalog: updated in lockstep with the
+    /// dynamic store ([`Database::put`] observes, quarantine removes), so
+    /// every snapshot, fork, and rolled-back frame carries a catalog
+    /// consistent with its own rows — the incremental ≡ recomputed
+    /// invariant [`Database::stats_consistent`] checks.
+    stats: Arc<StatsCatalog>,
+    /// Inverted so `Default` means *enabled*: statistics maintenance is
+    /// on unless [`Database::set_stats_enabled`] turned it off (benches
+    /// measure both sides of that switch).
+    stats_off: bool,
 }
 
 impl Database {
@@ -178,7 +190,12 @@ impl Database {
         conforms(&value, &ty, &self.env, &self.heap, Mode::Strict)?;
         let pos = self.dynamics.len();
         Arc::make_mut(&mut self.index).add(ty.clone(), pos);
-        Arc::make_mut(&mut self.dynamics).push(DynValue::new(ty, value));
+        let d = DynValue::new(ty, value);
+        if !self.stats_off {
+            Arc::make_mut(&mut self.stats).observe_put(&d);
+            crate::metrics::stats_observed_puts().inc();
+        }
+        Arc::make_mut(&mut self.dynamics).push(d);
         Ok(pos)
     }
 
@@ -226,6 +243,7 @@ impl Database {
     /// costs (measured by E1). Quarantined elements are skipped by every
     /// strategy — a damaged element degrades the result, never the query.
     pub fn get_with(&self, bound: &Type, strategy: GetStrategy) -> Vec<ExistsPkg> {
+        let started = Instant::now();
         let mut root = dbpl_obs::span!("get");
         root.set_attr("strategy", strategy.name());
         crate::metrics::strategy_counter(strategy).inc();
@@ -278,6 +296,15 @@ impl Database {
         };
         root.set_attr("rows_out", out.len());
         crate::metrics::rows_sealed().add(out.len() as u64);
+        // One workload-log record per executed query: the fingerprint
+        // matches the `get.strategy.<name>` counter bumped above, the
+        // duration matches what the `span.get` histogram observes.
+        dbpl_stats::query_log().record(dbpl_stats::QueryRecord {
+            fingerprint: dbpl_stats::fingerprint_get(strategy.name()),
+            rows_in: self.dynamics.len() as u64,
+            rows_out: out.len() as u64,
+            dur_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        });
         out
     }
 
@@ -310,6 +337,14 @@ impl Database {
     /// from now on, and the report gains an entry naming it.
     pub fn quarantine_position(&mut self, pos: usize, cause: impl Into<String>) {
         if pos < self.dynamics.len() && self.quarantined_positions.insert(pos) {
+            if !self.stats_off {
+                // The element is still readable here (quarantine excludes,
+                // never erases), so the catalog can retract exactly what
+                // `put` once observed for it.
+                let d = self.dynamics[pos].clone();
+                Arc::make_mut(&mut self.stats).observe_remove(&d);
+                crate::metrics::stats_observed_removes().inc();
+            }
             let entry = QuarantineEntry {
                 handle: format!("dynamics[{pos}]"),
                 cause: cause.into(),
@@ -350,6 +385,63 @@ impl Database {
     /// The class hierarchy — derived from the type hierarchy, on demand.
     pub fn class_hierarchy(&self) -> ClassHierarchy {
         ClassHierarchy::derive(&self.env)
+    }
+
+    /// The maintained statistics catalog (carried-type granularity).
+    pub fn stats_catalog(&self) -> &StatsCatalog {
+        &self.stats
+    }
+
+    /// Is incremental statistics maintenance on?
+    pub fn stats_enabled(&self) -> bool {
+        !self.stats_off
+    }
+
+    /// Switch statistics maintenance. Re-enabling after a disabled
+    /// stretch runs [`Database::analyze`] so the catalog catches up with
+    /// whatever the store did unobserved.
+    pub fn set_stats_enabled(&mut self, on: bool) {
+        if on && self.stats_off {
+            self.stats_off = false;
+            self.analyze();
+        } else {
+            self.stats_off = !on;
+        }
+    }
+
+    /// The healthy rows: the dynamic store minus quarantined positions —
+    /// exactly what queries see and what the catalog describes.
+    fn healthy_rows(&self) -> impl Iterator<Item = &DynValue> {
+        self.dynamics
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.quarantined_positions.contains(i))
+            .map(|(_, d)| d)
+    }
+
+    /// Full statistics rebuild over the healthy store — the `analyze(db)`
+    /// builtin. The maintained catalog is replaced wholesale; afterwards
+    /// [`Database::stats_consistent`] holds by construction.
+    pub fn analyze(&mut self) -> &StatsCatalog {
+        self.stats = Arc::new(StatsCatalog::rebuild(self.healthy_rows()));
+        crate::metrics::stats_rebuilds().inc();
+        &self.stats
+    }
+
+    /// Does the incrementally maintained catalog equal a full rebuild
+    /// over the healthy rows? Always true while maintenance stays
+    /// enabled — the differential invariant `workload_check` and the
+    /// stats proptests assert.
+    pub fn stats_consistent(&self) -> bool {
+        *self.stats == StatsCatalog::rebuild(self.healthy_rows())
+    }
+
+    /// The rolled-up statistics of the extent at `bound` under this
+    /// database's subtype judgement: total rows, fully-ground rows,
+    /// subtype fan-out, and merged per-path sketches.
+    pub fn extent_stats(&self, bound: &Type) -> dbpl_stats::ExtentStats {
+        self.stats
+            .rollup(bound, |ty, b| is_subtype(ty, b, &self.env))
     }
 
     /// Bind a top-level name to a dynamic value (session variables; these
@@ -454,6 +546,10 @@ impl Database {
             }
         }
         let index = TypedListIndex::build(&dynamics);
+        // A restored database re-derives its catalog from the restored
+        // rows — self-description survives the persistence boundary
+        // without the image format having to carry statistics.
+        let stats = StatsCatalog::rebuild(dynamics.iter());
         Ok(Database {
             env,
             heap: Arc::new(heap),
@@ -464,6 +560,8 @@ impl Database {
             get_strategy: GetStrategy::default(),
             quarantined: Vec::new(),
             quarantined_positions: BTreeSet::new(),
+            stats: Arc::new(stats),
+            stats_off: false,
         })
     }
 
@@ -640,6 +738,95 @@ mod tests {
         assert_eq!(d.get(&Type::Int).len(), 1, "healthy Int still found");
         // A second verify finds nothing new.
         assert_eq!(d.verify_dynamics(), 0);
+    }
+
+    #[test]
+    fn catalog_is_maintained_by_put_and_quarantine() {
+        let mut d = db();
+        assert!(d.stats_enabled());
+        assert!(d.stats_consistent());
+        assert_eq!(d.stats_catalog().total_rows(), 3);
+        // Quarantining retracts the row from the catalog...
+        d.quarantine_position(2, "planted damage");
+        assert_eq!(d.stats_catalog().total_rows(), 2);
+        assert!(d.stats_catalog().get(&Type::Int).is_none());
+        assert!(d.stats_consistent());
+        // ...and a full rebuild changes nothing.
+        let maintained = d.stats_catalog().clone();
+        d.analyze();
+        assert_eq!(*d.stats_catalog(), maintained);
+    }
+
+    #[test]
+    fn extent_rollup_follows_the_subtype_hierarchy() {
+        let d = db();
+        let person = d.extent_stats(&Type::named("Person"));
+        assert_eq!(
+            (person.rows, person.fanout),
+            (2, 2),
+            "Employee rows roll up"
+        );
+        assert_eq!(person.ground_rows, 2);
+        let name = person.paths.get(&dbpl_values::Path::parse("Name")).unwrap();
+        assert_eq!((name.present, name.ground), (2, 2));
+        let int = d.extent_stats(&Type::Int);
+        assert_eq!((int.rows, int.fanout), (1, 1));
+        assert_eq!(d.extent_stats(&Type::Top).rows, 3);
+    }
+
+    #[test]
+    fn disabling_stats_skips_maintenance_and_reenabling_catches_up() {
+        let mut d = db();
+        d.set_stats_enabled(false);
+        d.put(
+            Type::named("Person"),
+            Value::record([("Name", Value::str("unseen"))]),
+        )
+        .unwrap();
+        assert_eq!(d.stats_catalog().total_rows(), 3, "maintenance was off");
+        assert!(!d.stats_consistent());
+        d.set_stats_enabled(true);
+        assert!(d.stats_consistent(), "re-enabling re-analyzes");
+        assert_eq!(d.stats_catalog().total_rows(), 4);
+    }
+
+    #[test]
+    fn forks_carry_independent_catalogs() {
+        let mut d = db();
+        let mut f = d.fork();
+        f.put(Type::Int, Value::Int(99)).unwrap();
+        assert_eq!(f.stats_catalog().total_rows(), 4);
+        assert_eq!(d.stats_catalog().total_rows(), 3, "original untouched");
+        assert!(d.stats_consistent() && f.stats_consistent());
+        d.adopt(f);
+        assert_eq!(d.stats_catalog().total_rows(), 4);
+    }
+
+    #[test]
+    fn restored_image_rederives_the_catalog() {
+        let d = db();
+        let img = d.capture_image();
+        let restored = Database::from_image(&img).unwrap();
+        assert!(restored.stats_enabled());
+        assert_eq!(*restored.stats_catalog(), *d.stats_catalog());
+        assert!(restored.stats_consistent());
+    }
+
+    #[test]
+    fn get_records_into_the_query_log() {
+        let d = db();
+        let log = dbpl_stats::query_log();
+        let before = log.snapshot().len();
+        d.get_with(&Type::named("Person"), GetStrategy::Scan);
+        let snap = log.snapshot();
+        assert!(snap.len() > before);
+        // Tests share the process-global log, so look for our record
+        // rather than assuming it is the latest.
+        assert!(
+            snap.iter()
+                .any(|r| r.fingerprint == "get:scan" && r.rows_in == 3 && r.rows_out == 2),
+            "the Get left its record in the query log"
+        );
     }
 
     #[test]

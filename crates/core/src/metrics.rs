@@ -22,6 +22,9 @@ counter_fn!(strategy_typed_lists, "get.strategy.typed_lists");
 counter_fn!(strategy_par_scan, "get.strategy.par_scan");
 counter_fn!(rows_scanned, "get.rows_scanned");
 counter_fn!(rows_sealed, "get.rows_sealed");
+counter_fn!(stats_observed_puts, "stats.observed_puts");
+counter_fn!(stats_observed_removes, "stats.observed_removes");
+counter_fn!(stats_rebuilds, "stats.rebuilds");
 
 /// The selection counter for one `Get` strategy.
 pub(crate) fn strategy_counter(strategy: GetStrategy) -> &'static Counter {

@@ -1,0 +1,169 @@
+//! The statistics differential invariant, property-tested: a catalog
+//! maintained incrementally through an arbitrary mutation sequence —
+//! inserts at several carried types, quarantines (the store's removal
+//! form), schema evolution, forks, and *abandoned* forks (the
+//! database-level shape of an aborted txn frame: mutations applied to a
+//! copy that is then dropped) — always equals `analyze`'s full rebuild
+//! over the surviving healthy rows. This is the correctness pattern the
+//! ROADMAP-1 incremental-view work will reuse.
+
+use dbpl_core::Database;
+use dbpl_stats::StatsCatalog;
+use dbpl_types::{parse_type, Type};
+use dbpl_values::Value;
+use proptest::prelude::*;
+
+fn setup_db() -> Database {
+    let mut db = Database::new();
+    db.declare_type("Person", parse_type("{Name: Str}").unwrap())
+        .unwrap();
+    db.declare_type("Employee", parse_type("{Name: Str, Empno: Int}").unwrap())
+        .unwrap();
+    db
+}
+
+/// One step of a random mutation sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert at one of the populated kinds (see `apply`).
+    Put(u8, String, i64),
+    /// Quarantine the position `seed % len` (no-op on an empty store).
+    Quarantine(usize),
+    /// Declare a fresh named type — schema evolution mid-sequence.
+    Evolve(String),
+    /// Apply the nested ops to a fork, then *drop* the fork: the
+    /// database-level shape of an aborted frame. Nothing it did may
+    /// leak into the surviving catalog.
+    AbortedFork(Vec<(u8, String, i64)>),
+    /// Apply the nested ops to a fork and adopt it — a committed frame.
+    CommittedFork(Vec<(u8, String, i64)>),
+}
+
+fn arb_put() -> impl Strategy<Value = (u8, String, i64)> {
+    (0u8..4, "[a-z]{1,4}", -50i64..50)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_put().prop_map(|(k, s, n)| Op::Put(k, s, n)),
+        2 => (0usize..64).prop_map(Op::Quarantine),
+        1 => "[A-Z][a-z]{1,3}".prop_map(Op::Evolve),
+        1 => prop::collection::vec(arb_put(), 1..5).prop_map(Op::AbortedFork),
+        1 => prop::collection::vec(arb_put(), 1..5).prop_map(Op::CommittedFork),
+    ]
+}
+
+fn put_one(db: &mut Database, kind: u8, s: &str, n: i64) {
+    let name = Value::str(s);
+    match kind {
+        0 => {
+            db.put(Type::named("Person"), Value::record([("Name", name)]))
+                .unwrap();
+        }
+        1 => {
+            db.put(
+                Type::named("Employee"),
+                Value::record([("Name", name), ("Empno", Value::Int(n))]),
+            )
+            .unwrap();
+        }
+        2 => {
+            db.put(Type::Int, Value::Int(n)).unwrap();
+        }
+        _ => {
+            // A non-ground leaf (list) next to a ground one.
+            db.put(
+                Type::record([("Name", Type::Str), ("Tags", Type::list(Type::Int))]),
+                Value::record([("Name", name), ("Tags", Value::List(vec![Value::Int(n)]))]),
+            )
+            .unwrap();
+        }
+    }
+}
+
+fn apply(db: &mut Database, op: &Op) {
+    match op {
+        Op::Put(k, s, n) => put_one(db, *k, s, *n),
+        Op::Quarantine(seed) => {
+            if !db.is_empty() {
+                let pos = seed % db.len();
+                db.quarantine_position(pos, "prop damage");
+            }
+        }
+        Op::Evolve(name) => {
+            // Redeclaration of an existing name fails harmlessly; the
+            // point is that env changes never perturb the catalog.
+            let _ = db.declare_type(name.clone(), parse_type("{Name: Str}").unwrap());
+        }
+        Op::AbortedFork(puts) => {
+            let mut fork = db.fork();
+            for (k, s, n) in puts {
+                put_one(&mut fork, *k, s, *n);
+            }
+            drop(fork);
+        }
+        Op::CommittedFork(puts) => {
+            let mut fork = db.fork();
+            for (k, s, n) in puts {
+                put_one(&mut fork, *k, s, *n);
+            }
+            db.adopt(fork);
+        }
+    }
+}
+
+/// The oracle: rebuild over exactly the healthy rows, independent of
+/// `Database::analyze`'s own iterator.
+fn oracle(db: &Database) -> StatsCatalog {
+    let healthy: Vec<_> = db
+        .dynamics()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            !db.quarantine_report()
+                .entries
+                .iter()
+                .any(|e| e.handle == format!("dynamics[{i}]"))
+        })
+        .map(|(_, d)| d.clone())
+        .collect();
+    StatsCatalog::rebuild(healthy.iter())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_catalog_equals_rebuild(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let mut db = setup_db();
+        for op in &ops {
+            apply(&mut db, op);
+            prop_assert!(db.stats_consistent(), "diverged after {op:?}");
+        }
+        prop_assert_eq!(db.stats_catalog().clone(), oracle(&db));
+        // And analyze() is idempotent on a consistent catalog.
+        let maintained = db.stats_catalog().clone();
+        db.analyze();
+        prop_assert_eq!(db.stats_catalog().clone(), maintained);
+    }
+
+    #[test]
+    fn rollups_conserve_rows(ops in prop::collection::vec(arb_op(), 0..30)) {
+        let mut db = setup_db();
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        // Top admits every carried type, so its rollup counts all rows.
+        let top = db.extent_stats(&Type::Top);
+        prop_assert_eq!(top.rows, db.stats_catalog().total_rows());
+        prop_assert_eq!(top.fanout as usize, db.stats_catalog().type_count());
+        prop_assert!(top.ground_rows <= top.rows);
+        // Person rows include Employee rows, never exceed the total.
+        let person = db.extent_stats(&Type::named("Person"));
+        prop_assert!(person.rows <= top.rows);
+        for ps in person.paths.values() {
+            prop_assert!(ps.ground <= ps.present);
+            prop_assert!(ps.present <= person.rows);
+        }
+    }
+}

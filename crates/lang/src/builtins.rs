@@ -198,6 +198,29 @@ pub fn builtins() -> Vec<BuiltinSig> {
             ty: Type::fun(db(), Type::Str),
             arity: 1,
         },
+        // ANALYZE: full statistics-catalog rebuild over the healthy
+        // store (the maintained catalog is replaced wholesale), and a
+        // one-line summary of what the rebuild saw.
+        BuiltinSig {
+            name: "analyze",
+            ty: Type::fun(db(), Type::Str),
+            arity: 1,
+        },
+        // The maintained per-extent statistics catalog, rendered: rows,
+        // ground-row density and per-path distinct sketches per carried
+        // type — the planner inputs, inspectable from a session.
+        BuiltinSig {
+            name: "extentStats",
+            ty: Type::fun(db(), Type::Str),
+            arity: 1,
+        },
+        // The workload query log: recent per-query records and the
+        // top-K heavy hitters by plan fingerprint.
+        BuiltinSig {
+            name: "workload",
+            ty: Type::fun(db(), Type::Str),
+            arity: 1,
+        },
         // The same for the generalized natural join of two object lists.
         BuiltinSig {
             name: "explainAnalyzeJoin",

@@ -595,6 +595,56 @@ fn exec_builtin(b: Builtin, at: usize, s: &mut Session) -> Result<RtValue, LangE
                 format!("timeline on non-database {other}"),
             )),
         },
+        "analyze" => match args.remove(0) {
+            RtValue::DbToken => {
+                let catalog = s.db.analyze();
+                Ok(RtValue::Str(format!(
+                    "analyze: rebuilt statistics for {} carried type(s), {} row(s)",
+                    catalog.type_count(),
+                    catalog.total_rows()
+                )))
+            }
+            other => Err(LangError::eval(
+                at,
+                format!("analyze on non-database {other}"),
+            )),
+        },
+        "extentStats" => match args.remove(0) {
+            RtValue::DbToken => Ok(RtValue::Str(s.db.stats_catalog().render())),
+            other => Err(LangError::eval(
+                at,
+                format!("extentStats on non-database {other}"),
+            )),
+        },
+        "workload" => match args.remove(0) {
+            RtValue::DbToken => {
+                let log = dbpl_stats::query_log();
+                let records = log.snapshot();
+                let mut out = format!(
+                    "workload: {} recorded query(ies), {} dropped (capacity {})\n",
+                    records.len(),
+                    log.dropped(),
+                    log.capacity()
+                );
+                for (i, agg) in log.top_k(5).iter().enumerate() {
+                    out.push_str(&format!(
+                        "  #{} {} count={} rows_in={} rows_out={} total_dur_us={} max_dur_us={}\n",
+                        i + 1,
+                        agg.fingerprint,
+                        agg.count,
+                        agg.rows_in,
+                        agg.rows_out,
+                        agg.total_dur_us,
+                        agg.max_dur_us
+                    ));
+                }
+                Ok(RtValue::Str(out))
+            }
+            other => Err(LangError::eval(
+                at,
+                format!("workload on non-database {other}"),
+            )),
+        },
         "explainAnalyzeJoin" => {
             let rhs = list_arg(&args[1], at)?;
             let lhs = list_arg(&args[0], at)?;

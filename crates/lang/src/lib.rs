@@ -43,5 +43,7 @@ pub use check::{check_program, infer_expr};
 pub use error::{ErrorKind, LangError, Phase};
 pub use parser::{parse_expr, parse_program};
 pub use rt::{Env, RtValue};
-pub use server::{EngineState, Frame, Server, ServerConfig, ServerSession, MAX_BATCH};
+pub use server::{
+    sanitize_label, EngineState, Frame, Server, ServerConfig, ServerSession, MAX_BATCH,
+};
 pub use session::{Health, Session};

@@ -1340,6 +1340,39 @@ struct SessionTag {
     reads: Arc<dbpl_obs::Counter>,
 }
 
+/// Sanitize a session label into a single metric-name segment:
+/// characters outside `[A-Za-z0-9_-]` become `_` (a dot, in particular,
+/// would splice extra segments into `server.session.<label>.commits`
+/// and confuse the SLO engine's offender attribution). If anything was
+/// replaced — or the label was empty — an 8-hex-digit FNV-1a hash of
+/// the *original* label is appended, so two distinct raw labels that
+/// sanitize alike (`"a b"` and `"a?b"`) still land on distinct metrics,
+/// while already-clean labels pass through byte-for-byte.
+pub fn sanitize_label(raw: &str) -> String {
+    let cleaned: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if !cleaned.is_empty() && cleaned == raw {
+        return cleaned;
+    }
+    use std::hash::Hasher;
+    let mut h = dbpl_stats::Fnv1a::new();
+    h.write(raw.as_bytes());
+    let stem = if cleaned.is_empty() {
+        "session"
+    } else {
+        cleaned.as_str()
+    };
+    format!("{stem}-{:08x}", h.finish() as u32)
+}
+
 impl Drop for ServerSession {
     fn drop(&mut self) {
         self.engine.shared.sessions.fetch_sub(1, Ordering::Relaxed);
@@ -1364,12 +1397,20 @@ impl ServerSession {
     /// these to name the offending session in a violation. Labels are
     /// opt-in — metric cardinality is the caller's responsibility (use
     /// a connection or tenant id, not a per-request string).
+    ///
+    /// The label is sanitized into a valid metric-name segment first
+    /// (see [`sanitize_label`]): characters outside `[A-Za-z0-9_-]` are
+    /// replaced, and any altered label gains an FNV-1a suffix of the
+    /// original so two distinct raw labels can never collide on one
+    /// metric. [`ServerSession::label`] reports the sanitized form —
+    /// the name the registry actually carries.
     pub fn set_label(&mut self, label: &str) {
+        let label = sanitize_label(label);
         let reg = dbpl_obs::global();
         self.attribution = Some(SessionTag {
-            label: label.to_string(),
             commits: reg.counter(&format!("server.session.{label}.commits")),
             reads: reg.counter(&format!("server.session.{label}.reads")),
+            label,
         });
     }
 
@@ -1569,6 +1610,81 @@ mod tests {
         s.run("len[T](get[T](db))").unwrap();
         s.run("print('hello')").unwrap();
         assert_eq!(server.epoch(), e, "reads must not publish");
+    }
+
+    #[test]
+    fn relabeling_mid_session_routes_bumps_to_the_new_label() {
+        let g = dbpl_obs::global();
+        let a_before = g.counter("server.session.tenant-a.commits").get();
+        let b_before = g.counter("server.session.tenant-b.commits").get();
+        let b_reads_before = g.counter("server.session.tenant-b.reads").get();
+        let server = Server::new().unwrap();
+        let mut s = server.session();
+        s.set_label("tenant-a");
+        s.run("type T = {X: Int} put(db, dynamic {X = 1})").unwrap();
+        // Relabel mid-session: subsequent bumps must go to the new
+        // label and only to it.
+        s.set_label("tenant-b");
+        s.run("put(db, dynamic {X = 2})").unwrap();
+        s.run("len[T](get[T](db))").unwrap();
+        assert_eq!(
+            g.counter("server.session.tenant-a.commits").get() - a_before,
+            1,
+            "only the pre-relabel commit is attributed to tenant-a"
+        );
+        assert_eq!(
+            g.counter("server.session.tenant-b.commits").get() - b_before,
+            1,
+            "the post-relabel commit moved to tenant-b"
+        );
+        assert_eq!(
+            g.counter("server.session.tenant-b.reads").get() - b_reads_before,
+            1,
+            "the pure read is attributed to the current label"
+        );
+    }
+
+    #[test]
+    fn labels_are_sanitized_into_valid_metric_names() {
+        let server = Server::new().unwrap();
+        let mut s = server.session();
+        s.set_label("löad 2!.x");
+        let label = s.label().unwrap().to_string();
+        assert!(
+            label
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            "sanitized label `{label}` is a single clean metric segment"
+        );
+        let before = dbpl_obs::global()
+            .counter(&format!("server.session.{label}.commits"))
+            .get();
+        s.run("type S = {Y: Int} put(db, dynamic {Y = 1})").unwrap();
+        assert_eq!(
+            dbpl_obs::global()
+                .counter(&format!("server.session.{label}.commits"))
+                .get()
+                - before,
+            1,
+            "bumps land on the sanitized metric name"
+        );
+    }
+
+    #[test]
+    fn sanitize_label_never_collides_distinct_raw_labels() {
+        // Clean labels pass through untouched — the FNV-suffix scheme
+        // must not perturb the labels the recorder already attributes.
+        assert_eq!(sanitize_label("load-1"), "load-1");
+        assert_eq!(sanitize_label("tenant_7"), "tenant_7");
+        // Two raw labels that sanitize alike get distinct suffixes.
+        let a = sanitize_label("a b");
+        let b = sanitize_label("a?b");
+        assert_ne!(a, b, "`a b` and `a?b` must not share a metric");
+        assert!(a.starts_with("a_b-") && b.starts_with("a_b-"));
+        // Dots are replaced (they would splice metric segments), and the
+        // empty label still produces a usable stem.
+        assert!(!sanitize_label("x.y").contains('.'));
+        assert!(sanitize_label("").starts_with("session-"));
     }
 
     #[test]
@@ -1837,6 +1953,35 @@ mod tests {
             text == "timeline: no recorder active" || text.starts_with("timeline: "),
             "{text}"
         );
+    }
+
+    #[test]
+    fn stats_builtins_render_catalog_and_workload() {
+        let server = Server::new().unwrap();
+        let mut s = server.session();
+        s.run(concat!(
+            "type Person = {Name: Str, Age: Int} ",
+            "put(db, dynamic {Name = 'amy', Age = 30}) ",
+            "put(db, dynamic {Name = 'bob', Age = 41}) ",
+            "len[Person](get[Person](db))",
+        ))
+        .unwrap();
+        let out = s.run("extentStats(db)").unwrap();
+        let text = out[0].trim_matches('\'').to_string();
+        // Dynamics carry their structural record type; both rows share it.
+        assert!(text.contains("Age") && text.contains("Name"), "{text}");
+        assert!(text.contains("rows=2"), "{text}");
+        assert!(text.contains("distinct~2"), "{text}");
+        let out = s.run("analyze(db)").unwrap();
+        let text = out[0].trim_matches('\'').to_string();
+        assert!(text.starts_with("analyze: rebuilt statistics"), "{text}");
+        let out = s.run("workload(db)").unwrap();
+        let text = out[0].trim_matches('\'').to_string();
+        assert!(text.starts_with("workload: "), "{text}");
+        // The Get above went through the query log; its fingerprint is
+        // visible among the heavy hitters (other tests share the global
+        // log, so only membership is stable).
+        assert!(text.contains("get:"), "{text}");
     }
 
     #[test]

@@ -919,6 +919,16 @@ impl Session {
         dbpl_obs::global().snapshot()
     }
 
+    /// The maintained per-extent statistics catalog of this session's
+    /// database snapshot: per carried type, row counts, ground-key
+    /// density, and per-path distinct sketches. Maintained incrementally
+    /// by every insert and quarantine; `analyze(db)` rebuilds it from
+    /// scratch. Unlike [`Session::stats`] this is per-database state,
+    /// not process-global.
+    pub fn stats_catalog(&self) -> &dbpl_stats::StatsCatalog {
+        self.db.stats_catalog()
+    }
+
     /// Start collecting trace trees from this process's instrumented
     /// operations into the bounded in-memory ring (`capacity` completed
     /// spans; the oldest are dropped first). Tracing is process-global

@@ -178,7 +178,7 @@ impl Histogram {
 }
 
 /// A point-in-time copy of one histogram's state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts; the last entry is the overflow
     /// bucket above the final [`BUCKET_BOUNDS_US`] bound.
@@ -187,6 +187,16 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observations in microseconds.
     pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in microseconds, `0` when empty. Exact up to
+    /// integer division — derived from the recorded sum, not from the
+    /// bucket midpoints — so it stays meaningful on `delta_since`
+    /// windows too (windowed sum over windowed count).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
 }
 
 /// A registry of named counters and histograms. Handles are `Arc`s:
@@ -499,6 +509,37 @@ mod tests {
         let json = after.to_json();
         assert!(json.starts_with("{\"counters\":{\"a\":5,\"b\":1}"));
         assert!(json.contains("\"h\":{\"count\":1,\"sum_us\":7,\"buckets\":[0,0,0,1,"));
+    }
+
+    #[test]
+    fn histogram_sum_follows_the_delta_rule() {
+        // Like counters, a histogram's count/sum/buckets subtract in
+        // delta_since — a windowed snapshot must report exactly the
+        // window's observations, so windowed means stay honest.
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h");
+        h.record_us(10);
+        h.record_us(100);
+        let before = r.snapshot();
+        h.record_us(1_000);
+        let after = r.snapshot();
+        let d = after.delta_since(&before);
+        let w = &d.histograms["h"];
+        assert_eq!(w.count, 1);
+        assert_eq!(w.sum_us, 1_000);
+        assert_eq!(
+            w.buckets.iter().sum::<u64>(),
+            w.count,
+            "bucket diffs conserve the windowed count"
+        );
+        assert_eq!(w.mean_us(), 1_000, "windowed mean = windowed sum/count");
+        assert_eq!(after.histograms["h"].mean_us(), 370, "1110/3");
+        assert_eq!(HistogramSnapshot::default().mean_us(), 0, "empty is 0");
+        // The recorded sum — not a bucket-midpoint estimate — is what
+        // both JSON forms carry.
+        assert!(after
+            .to_json()
+            .contains("\"h\":{\"count\":3,\"sum_us\":1110,"));
     }
 
     #[test]

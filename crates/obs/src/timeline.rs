@@ -362,12 +362,20 @@ impl Timeline {
         lines.join("\n")
     }
 
-    /// Render as a Chrome-trace JSON array of `ph:"C"` counter events —
+    /// Render as a Chrome-trace JSON array: `ph:"M"` metadata naming
+    /// the process and recorder track, then `ph:"C"` counter events —
     /// one track per counter (per-interval delta), gauge (level), and
     /// active histogram (windowed p99) — loadable in chrome://tracing
     /// or Perfetto alongside the span export.
     pub fn to_chrome(&self) -> String {
-        let mut parts = Vec::new();
+        // Metadata first, so Perfetto labels the process and the
+        // recorder's counter track instead of showing bare ids.
+        let mut parts = vec![
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"dbpl\"}}"
+                .to_string(),
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"dbpl-recorder\"}}"
+                .to_string(),
+        ];
         let mut track = |name: &str, ts: u64, value: i64| {
             parts.push(format!(
                 "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{value}}}}}",
@@ -982,8 +990,22 @@ mod tests {
         }
         let chrome = crate::json::parse(&timeline.to_chrome()).unwrap();
         let events = chrome.as_array().expect("chrome export is an array");
-        assert!(!events.is_empty());
-        assert!(events.iter().all(|e| {
+        // Leading ph:"M" metadata names the process and recorder track;
+        // everything after is a counter sample.
+        assert_eq!(
+            events[0].get("name").and_then(|n| n.as_str()),
+            Some("process_name")
+        );
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|n| n.as_str()),
+            Some("dbpl-recorder")
+        );
+        let counters = &events[2..];
+        assert!(!counters.is_empty());
+        assert!(counters.iter().all(|e| {
             e.get("ph").and_then(|p| p.as_str()) == Some("C") && e.get("ts").is_some()
         }));
         let rendered = timeline.render(5);

@@ -118,12 +118,32 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 thread_local! {
     /// The innermost open traced span on this thread: (trace_id, span_id).
     static CURRENT: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
-    /// Small stable per-thread id for trace export.
-    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Small stable per-thread id for trace export. Allocation also
+    /// registers the OS thread's name, so exporters can label tracks.
+    static TID: u64 = {
+        let t = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{t}"), str::to_string);
+        thread_name_registry().lock().insert(t, name);
+        t
+    };
 }
 
 fn tid() -> u64 {
     TID.with(|t| *t)
+}
+
+fn thread_name_registry() -> &'static Mutex<std::collections::BTreeMap<u64, String>> {
+    static NAMES: OnceLock<Mutex<std::collections::BTreeMap<u64, String>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(std::collections::BTreeMap::new()))
+}
+
+/// The name registered for an exported `tid`, if that thread has traced
+/// anything yet. Named threads (`dbpl-applier`, recorder, scoped
+/// workers) report their OS name; anonymous ones get `thread-<tid>`.
+pub fn thread_name(tid: u64) -> Option<String> {
+    thread_name_registry().lock().get(&tid).cloned()
 }
 
 fn epoch() -> Instant {
@@ -416,12 +436,16 @@ pub fn capture<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, Vec<SpanReco
 // ---------------------------------------------------------------------------
 
 /// Render spans as a Chrome trace-event JSON array (`chrome://tracing`,
-/// Perfetto): one complete event (`"ph":"X"`) per span with `ts`/`dur`
-/// in microseconds, `pid` fixed at 1, `tid` the span's thread, and the
-/// span/trace ids plus every attribute under `args`.
+/// Perfetto): metadata events (`"ph":"M"`) naming the process and every
+/// participating thread track, then one complete event (`"ph":"X"`) per
+/// span with `ts`/`dur` in microseconds, `pid` fixed at 1, `tid` the
+/// span's thread, and the span/trace ids plus every attribute under
+/// `args`.
 pub fn export_chrome(spans: &[SpanRecord]) -> String {
     let mut out = String::from("[");
-    push_span_events(spans, &mut out);
+    let mut first = true;
+    push_metadata_events(spans, &mut out, &mut first);
+    push_span_events(spans, &mut out, &mut first);
     out.push_str("\n]\n");
     out
 }
@@ -434,7 +458,9 @@ pub fn export_chrome(spans: &[SpanRecord]) -> String {
 /// the process-lifetime totals per instrumented site.
 pub fn export_chrome_with_counters(spans: &[SpanRecord], stats: &crate::StatsSnapshot) -> String {
     let mut out = String::from("[");
-    push_span_events(spans, &mut out);
+    let mut first = true;
+    push_metadata_events(spans, &mut out, &mut first);
+    push_span_events(spans, &mut out, &mut first);
     // Counters are point samples; stamp them at the end of the captured
     // window so they sit after the spans on the timeline.
     let ts = spans
@@ -442,36 +468,64 @@ pub fn export_chrome_with_counters(spans: &[SpanRecord], stats: &crate::StatsSna
         .map(|s| s.start_us + s.dur_us)
         .max()
         .unwrap_or(0);
-    let mut first = spans.is_empty();
     for (name, h) in &stats.histograms {
         if !name.starts_with("span.") {
             continue;
         }
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        out.push_str("\n  ");
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"dbpl\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"count\":{},\"sum_us\":{}}}}}",
-            crate::json_escape(name),
-            h.count,
-            h.sum_us,
-        ));
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"{}\",\"cat\":\"dbpl\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"count\":{},\"sum_us\":{}}}}}",
+                crate::json_escape(name),
+                h.count,
+                h.sum_us,
+            ),
+        );
     }
     out.push_str("\n]\n");
     out
 }
 
+/// Append one comma-separated event line to an in-progress JSON array.
+fn push_event(out: &mut String, first: &mut bool, event: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n  ");
+    out.push_str(event);
+}
+
+/// Append Chrome metadata events (`"ph":"M"`): one `process_name` for
+/// the fixed pid, then one `thread_name` per distinct `tid` in `spans`,
+/// so Perfetto labels the recorder/applier/worker tracks with their OS
+/// thread names instead of bare integers.
+fn push_metadata_events(spans: &[SpanRecord], out: &mut String, first: &mut bool) {
+    push_event(
+        out,
+        first,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"dbpl\"}}",
+    );
+    let tids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.tid).collect();
+    for t in tids {
+        let name = thread_name(t).unwrap_or_else(|| format!("thread-{t}"));
+        push_event(
+            out,
+            first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\"args\":{{\"name\":\"{}\"}}}}",
+                crate::json_escape(&name)
+            ),
+        );
+    }
+}
+
 /// Append the `"ph":"X"` complete events for `spans` (no enclosing
 /// brackets) — shared by both Chrome exporters.
-fn push_span_events(spans: &[SpanRecord], out: &mut String) {
-    for (i, s) in spans.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str("\n  ");
-        out.push_str(&format!(
+fn push_span_events(spans: &[SpanRecord], out: &mut String, first: &mut bool) {
+    for s in spans {
+        let mut ev = format!(
             "{{\"name\":\"{}\",\"cat\":\"dbpl\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":{},\"span_id\":{},\"parent_id\":{}",
             crate::json_escape(s.name),
             s.start_us,
@@ -480,15 +534,16 @@ fn push_span_events(spans: &[SpanRecord], out: &mut String) {
             s.trace_id,
             s.span_id,
             s.parent_id.map_or("null".to_string(), |p| p.to_string()),
-        ));
+        );
         for (k, v) in &s.attrs {
-            out.push_str(&format!(
+            ev.push_str(&format!(
                 ",\"{}\":\"{}\"",
                 crate::json_escape(k),
                 crate::json_escape(v)
             ));
         }
-        out.push_str("}}");
+        ev.push_str("}}");
+        push_event(out, first, &ev);
     }
 }
 
@@ -703,9 +758,12 @@ mod tests {
         let text = export_chrome(&spans);
         let json = crate::json::parse(&text).expect("chrome export parses as JSON");
         let arr = json.as_array().expect("top level is an array");
-        assert_eq!(arr.len(), 2);
-        for ev in arr {
-            assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+        let xs: Vec<_> = arr
+            .iter()
+            .filter(|ev| ev.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        for ev in &xs {
             assert!(ev.get("ts").and_then(|v| v.as_u64()).is_some());
             assert!(ev.get("dur").and_then(|v| v.as_u64()).is_some());
             assert_eq!(ev.get("pid").and_then(|v| v.as_u64()), Some(1));
@@ -715,16 +773,89 @@ mod tests {
         }
         // The escaped name round-trips.
         assert_eq!(
-            arr[1].get("name").and_then(|v| v.as_str()),
+            xs[1].get("name").and_then(|v| v.as_str()),
             Some("child \"q\"")
         );
         assert_eq!(
-            arr[1]
+            xs[1]
                 .get("args")
                 .and_then(|a| a.get("parent_id"))
                 .and_then(|v| v.as_u64()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn chrome_export_labels_process_and_thread_tracks() {
+        let spans = vec![SpanRecord {
+            trace_id: 1,
+            span_id: 1,
+            parent_id: None,
+            name: "root",
+            start_us: 0,
+            dur_us: 10,
+            tid: 7_777_777, // never allocated: falls back to thread-<tid>
+            attrs: Vec::new(),
+        }];
+        let text = export_chrome(&spans);
+        let json = crate::json::parse(&text).expect("parses");
+        let arr = json.as_array().unwrap();
+        let metas: Vec<_> = arr
+            .iter()
+            .filter(|ev| ev.get("ph").and_then(|v| v.as_str()) == Some("M"))
+            .collect();
+        // One process_name plus one thread_name per distinct tid — and
+        // metadata precedes the span events.
+        assert_eq!(metas.len(), 2, "{text}");
+        assert_eq!(
+            arr[0].get("name").and_then(|v| v.as_str()),
+            Some("process_name")
+        );
+        assert_eq!(
+            arr[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str()),
+            Some("dbpl")
+        );
+        let thread = metas
+            .iter()
+            .find(|ev| ev.get("name").and_then(|v| v.as_str()) == Some("thread_name"))
+            .expect("thread_name event");
+        assert_eq!(thread.get("tid").and_then(|v| v.as_u64()), Some(7_777_777));
+        assert_eq!(
+            thread
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str()),
+            Some("thread-7777777")
+        );
+    }
+
+    #[test]
+    fn named_threads_register_their_track_names() {
+        std::thread::Builder::new()
+            .name("dbpl-track-test".to_string())
+            .spawn(|| {
+                // Force TID allocation on this named thread by capturing
+                // a span, then check the registry saw the OS name.
+                let (t, _) = capture("track-test", super::tid);
+                assert_eq!(thread_name(t).as_deref(), Some("dbpl-track-test"));
+                let spans = vec![SpanRecord {
+                    trace_id: 1,
+                    span_id: 1,
+                    parent_id: None,
+                    name: "root",
+                    start_us: 0,
+                    dur_us: 1,
+                    tid: t,
+                    attrs: Vec::new(),
+                }];
+                assert!(export_chrome(&spans).contains("dbpl-track-test"));
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]
@@ -760,9 +891,15 @@ mod tests {
         let text = export_chrome_with_counters(&spans, &stats);
         let json = crate::json::parse(&text).expect("counter export parses as JSON");
         let arr = json.as_array().expect("top level is an array");
-        assert_eq!(arr.len(), 2, "{text}");
-        assert_eq!(arr[0].get("ph").and_then(|v| v.as_str()), Some("X"));
-        let c = &arr[1];
+        let counters: Vec<_> = arr
+            .iter()
+            .filter(|ev| ev.get("ph").and_then(|v| v.as_str()) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 1, "{text}");
+        assert!(arr
+            .iter()
+            .any(|ev| ev.get("ph").and_then(|v| v.as_str()) == Some("X")));
+        let c = counters[0];
         assert_eq!(c.get("ph").and_then(|v| v.as_str()), Some("C"));
         assert_eq!(c.get("name").and_then(|v| v.as_str()), Some("span.get"));
         // Counter sample sits at the end of the captured window.

@@ -210,14 +210,15 @@ impl GenRelation {
         strategy: JoinStrategy,
         workers: usize,
     ) -> GenRelation {
+        let started = std::time::Instant::now();
         let mut root = dbpl_obs::span!("join");
         root.set_attr("strategy", strategy.name());
         root.set_attr("left", self.rows.len());
         root.set_attr("right", other.rows.len());
-        let out = match strategy {
+        let (out, hoisted) = match strategy {
             JoinStrategy::Nested => {
                 crate::metrics::strategy_nested().inc();
-                join_pairs_nested(&self.rows, &other.rows)
+                (join_pairs_nested(&self.rows, &other.rows), Vec::new())
             }
             JoinStrategy::Partitioned => {
                 crate::metrics::strategy_partitioned().inc();
@@ -235,6 +236,16 @@ impl GenRelation {
             rows
         };
         root.set_attr("rows_out", rows.len());
+        // The workload-log record: the fingerprint carries the plan
+        // shape (strategy + hoisted key paths), the duration matches
+        // the `span.join` histogram, and rows_in bounds the pair
+        // product the plan had to consider.
+        dbpl_stats::query_log().record(dbpl_stats::QueryRecord {
+            fingerprint: dbpl_stats::fingerprint_join(strategy.name(), &hoisted),
+            rows_in: (self.rows.len() as u64).saturating_mul(other.rows.len() as u64),
+            rows_out: rows.len() as u64,
+            dur_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        });
         GenRelation { rows }
     }
 
@@ -464,7 +475,10 @@ fn join_pairs_nested(a: &[Value], b: &[Value]) -> Vec<Value> {
 /// partial on the key may join with anything and fall back to full
 /// products: `partial_a × b` plus `keyed_a × partial_b` (the
 /// `partial × partial` pairs are covered exactly once, by the first).
-fn join_pairs_partitioned(a: &[Value], b: &[Value], workers: usize) -> Vec<Value> {
+///
+/// Returns the joined rows together with the hoisted key paths, which
+/// become part of the query's plan fingerprint.
+fn join_pairs_partitioned(a: &[Value], b: &[Value], workers: usize) -> (Vec<Value>, Vec<Path>) {
     let _span = dbpl_obs::span!("join.partition");
     let key = {
         let mut hoist = dbpl_obs::span!("join.path_hoist");
@@ -476,7 +490,8 @@ fn join_pairs_partitioned(a: &[Value], b: &[Value], workers: usize) -> Vec<Value
         // No shared ground path: nothing can be pruned, but a large pair
         // product still parallelizes.
         crate::metrics::fallback_rows().add((a.len() + b.len()) as u64);
-        return run_products(vec![(a.iter().collect(), b.iter().collect())], workers);
+        let out = run_products(vec![(a.iter().collect(), b.iter().collect())], workers);
+        return (out, key);
     }
     let (keyed_a, partial_a, keyed_b, partial_b) = {
         let mut bucket_span = dbpl_obs::span!("join.bucket");
@@ -508,7 +523,7 @@ fn join_pairs_partitioned(a: &[Value], b: &[Value], workers: usize) -> Vec<Value
         probe.set_attr("products", products.len());
         products
     };
-    run_products(products, workers)
+    (run_products(products, workers), key)
 }
 
 /// All existing object joins of a slice product, appended to `out`.
@@ -664,6 +679,34 @@ mod tests {
         assert!(
             g.counter("join.partitioned.fallback_rows").get() - f0 >= 1,
             "the key-partial row is counted as fallback"
+        );
+    }
+
+    #[test]
+    fn joins_record_plan_fingerprints_with_hoisted_paths() {
+        let a = GenRelation::from_values([
+            rec(&[("K", Value::Int(1)), ("X", Value::Int(10))]),
+            rec(&[("K", Value::Int(2)), ("X", Value::Int(20))]),
+        ]);
+        let b = GenRelation::from_values([
+            rec(&[("K", Value::Int(1)), ("Y", Value::Int(100))]),
+            rec(&[("K", Value::Int(2)), ("Y", Value::Int(200))]),
+        ]);
+        a.natural_join_strategy(&b, Reduction::Maximal, JoinStrategy::Partitioned);
+        a.natural_join_strategy(&b, Reduction::Maximal, JoinStrategy::Nested);
+        // The log is process-global and shared with concurrent tests:
+        // look for our records rather than assuming they are latest.
+        let snap = dbpl_stats::query_log().snapshot();
+        assert!(
+            snap.iter().any(|r| {
+                r.fingerprint == "join:partitioned[K]" && r.rows_in == 4 && r.rows_out == 2
+            }),
+            "partitioned join fingerprint carries the hoisted key paths"
+        );
+        assert!(
+            snap.iter()
+                .any(|r| r.fingerprint == "join:nested" && r.rows_in == 4),
+            "nested join fingerprint has no hoisted paths"
         );
     }
 

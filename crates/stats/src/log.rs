@@ -1,0 +1,280 @@
+//! The workload query log: a bounded drop-oldest ring of per-query
+//! records with heavy-hitter aggregation by plan fingerprint.
+//!
+//! Producers (the generic `Get`, the generalized joins) record one
+//! [`QueryRecord`] per executed query into the process-global
+//! [`query_log`]; the ring is bounded and evicts oldest-first, counting
+//! what it dropped, so a hot loop can never grow it without bound. The
+//! `workload(db)` builtin and `report --workload-out` read it back;
+//! `workload_check` cross-checks the per-fingerprint counts against the
+//! `get.strategy.<name>` trace counters recorded over the same window.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::OnceLock;
+
+/// Default ring capacity — enough to hold a whole smoke workload
+/// without drops (the fingerprint↔trace equality check relies on it).
+pub const DEFAULT_QUERY_CAPACITY: usize = 4096;
+
+/// One executed query: its plan fingerprint and measured cost features.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// Plan fingerprint (`get:<strategy>`, `join:partitioned[...]`, …).
+    pub fingerprint: String,
+    /// Rows the plan read (store rows for a `Get`, left·right product
+    /// bound for a join).
+    pub rows_in: u64,
+    /// Rows the query produced.
+    pub rows_out: u64,
+    /// Measured wall-clock duration — the same quantity the `span.get` /
+    /// `span.join` histograms observe.
+    pub dur_us: u64,
+}
+
+/// Aggregated statistics for one fingerprint (a heavy-hitter row).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FingerprintAgg {
+    /// The shared plan fingerprint.
+    pub fingerprint: String,
+    /// How many logged queries carry it.
+    pub count: u64,
+    /// Summed rows in.
+    pub rows_in: u64,
+    /// Summed rows out.
+    pub rows_out: u64,
+    /// Summed duration.
+    pub total_dur_us: u64,
+    /// Worst single duration.
+    pub max_dur_us: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    records: VecDeque<QueryRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A bounded drop-oldest query ring. Usually used through the
+/// process-global [`query_log`]; constructible standalone for tests.
+#[derive(Debug)]
+pub struct QueryLog {
+    inner: Mutex<Inner>,
+}
+
+impl QueryLog {
+    /// A log with the given capacity.
+    pub fn with_capacity(cap: usize) -> QueryLog {
+        QueryLog {
+            inner: Mutex::new(Inner {
+                records: VecDeque::new(),
+                cap: cap.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn record(&self, rec: QueryRecord) {
+        let mut g = self.inner.lock();
+        if g.records.len() >= g.cap {
+            g.records.pop_front();
+            g.dropped += 1;
+        }
+        g.records.push_back(rec);
+    }
+
+    /// The ring's current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<QueryRecord> {
+        self.inner.lock().records.iter().cloned().collect()
+    }
+
+    /// Records evicted since the last [`QueryLog::clear`].
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().cap
+    }
+
+    /// Resize the ring (evicting oldest-first if shrinking below the
+    /// current length; evictions count as drops).
+    pub fn set_capacity(&self, cap: usize) {
+        let mut g = self.inner.lock();
+        g.cap = cap.max(1);
+        while g.records.len() > g.cap {
+            g.records.pop_front();
+            g.dropped += 1;
+        }
+    }
+
+    /// Empty the ring and reset the dropped count — how a measurement
+    /// window starts.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.records.clear();
+        g.dropped = 0;
+    }
+
+    /// The top-K heavy hitters by fingerprint: aggregate the ring by
+    /// fingerprint and rank by count (descending), fingerprint (ascending)
+    /// as the deterministic tiebreak.
+    pub fn top_k(&self, k: usize) -> Vec<FingerprintAgg> {
+        let g = self.inner.lock();
+        let mut by_fp: BTreeMap<&str, FingerprintAgg> = BTreeMap::new();
+        for r in &g.records {
+            let agg = by_fp.entry(&r.fingerprint).or_default();
+            agg.count += 1;
+            agg.rows_in += r.rows_in;
+            agg.rows_out += r.rows_out;
+            agg.total_dur_us += r.dur_us;
+            agg.max_dur_us = agg.max_dur_us.max(r.dur_us);
+        }
+        let mut out: Vec<FingerprintAgg> = by_fp
+            .into_iter()
+            .map(|(fp, mut agg)| {
+                agg.fingerprint = fp.to_string();
+                agg
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.fingerprint.cmp(&b.fingerprint))
+        });
+        out.truncate(k);
+        out
+    }
+}
+
+/// The process-global query log all producers record into.
+pub fn query_log() -> &'static QueryLog {
+    static LOG: OnceLock<QueryLog> = OnceLock::new();
+    LOG.get_or_init(|| QueryLog::with_capacity(DEFAULT_QUERY_CAPACITY))
+}
+
+/// Render a query record as one `dbpl.workload.v1` JSONL line.
+pub fn query_json(r: &QueryRecord) -> String {
+    format!(
+        "{{\"query\":{{\"fingerprint\":\"{}\",\"rows_in\":{},\"rows_out\":{},\"dur_us\":{}}}}}",
+        dbpl_obs::json_escape(&r.fingerprint),
+        r.rows_in,
+        r.rows_out,
+        r.dur_us
+    )
+}
+
+/// Render one heavy-hitter row (1-based rank) as a JSONL line.
+pub fn top_json(rank: usize, a: &FingerprintAgg) -> String {
+    format!(
+        "{{\"top\":{{\"rank\":{rank},\"fingerprint\":\"{}\",\"count\":{},\"rows_in\":{},\
+         \"rows_out\":{},\"total_dur_us\":{},\"max_dur_us\":{}}}}}",
+        dbpl_obs::json_escape(&a.fingerprint),
+        a.count,
+        a.rows_in,
+        a.rows_out,
+        a.total_dur_us,
+        a.max_dur_us
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(fp: &str, dur: u64) -> QueryRecord {
+        QueryRecord {
+            fingerprint: fp.to_string(),
+            rows_in: 10,
+            rows_out: 3,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_it() {
+        let log = QueryLog::with_capacity(2);
+        log.record(rec("a", 1));
+        log.record(rec("b", 2));
+        log.record(rec("c", 3));
+        let snap = log.snapshot();
+        assert_eq!(
+            snap.iter()
+                .map(|r| r.fingerprint.as_str())
+                .collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+        assert_eq!(log.dropped(), 1);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn top_k_ranks_by_count_then_fingerprint() {
+        let log = QueryLog::with_capacity(16);
+        for _ in 0..3 {
+            log.record(rec("get:scan", 5));
+        }
+        for _ in 0..3 {
+            log.record(rec("get:typed_lists", 1));
+        }
+        log.record(rec("join:nested", 100));
+        let top = log.top_k(2);
+        assert_eq!(top.len(), 2);
+        // Equal counts tie-break on fingerprint.
+        assert_eq!(top[0].fingerprint, "get:scan");
+        assert_eq!(top[1].fingerprint, "get:typed_lists");
+        assert_eq!(top[0].count, 3);
+        assert_eq!(top[0].total_dur_us, 15);
+        assert_eq!(top[0].max_dur_us, 5);
+        assert_eq!(top[0].rows_in, 30);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let log = QueryLog::with_capacity(8);
+        for i in 0..5 {
+            log.record(rec("x", i));
+        }
+        log.set_capacity(2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.snapshot()[0].dur_us, 3);
+    }
+
+    #[test]
+    fn json_lines_parse_and_pin_shape() {
+        let r = rec("get:scan", 7);
+        let line = query_json(&r);
+        assert_eq!(
+            line,
+            "{\"query\":{\"fingerprint\":\"get:scan\",\"rows_in\":10,\"rows_out\":3,\"dur_us\":7}}"
+        );
+        dbpl_obs::json::parse(&line).unwrap();
+        let agg = FingerprintAgg {
+            fingerprint: "join:nested".into(),
+            count: 2,
+            rows_in: 20,
+            rows_out: 6,
+            total_dur_us: 9,
+            max_dur_us: 8,
+        };
+        let t = top_json(1, &agg);
+        assert!(t.contains("\"rank\":1") && t.contains("\"count\":2"));
+        dbpl_obs::json::parse(&t).unwrap();
+    }
+}

@@ -1,0 +1,221 @@
+//! Removable distinct-value sketches.
+//!
+//! The catalog needs a per-path distinct-value estimate that is
+//! (a) *incrementally maintainable* — inserts **and** removals, so the
+//! maintained catalog stays equal to a full rebuild after arbitrary
+//! mutation sequences — and (b) bounded in size, so the copy-on-write
+//! clone a writer frame pays is O(1) per path, not O(rows).
+//!
+//! [`DistinctSketch`] is linear (probabilistic) counting over
+//! [`SKETCH_BUCKETS`] buckets, with each bucket holding a *refcount*
+//! instead of a bit: insertion increments `buckets[h mod m]`, removal
+//! decrements it, and the estimate is the classic `-m·ln(empty/m)`
+//! over the occupied-bucket count. Refcounts make removal exact — a
+//! remove always undoes precisely one insert — so sketch equality is
+//! bucket-array equality and the differential invariant is decidable.
+//!
+//! Accuracy: the estimate is unbiased with standard error about
+//! `√m·(e^t − t − 1)/ (t·m)` for load `t = n/m`; with `m = 256` the
+//! error stays under ~5% up to roughly `2m` distinct values and the
+//! sketch saturates (pinning the estimate at `m·ln m ≈ 1419`) beyond
+//! ~`5.5m`. Good enough to pick a join side or an index; never used
+//! for correctness.
+
+use std::hash::{Hash, Hasher};
+
+/// Number of refcounted buckets per sketch (1 KiB at `u32` refcounts).
+pub const SKETCH_BUCKETS: usize = 256;
+
+/// 64-bit FNV-1a, as a [`Hasher`] so any `Hash` value can feed it.
+/// Unlike the std `DefaultHasher` it has no per-process random keys, so
+/// sketch contents are reproducible across runs — which keeps recorded
+/// workload artifacts diffable.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Deterministic 64-bit hash of a value (FNV-1a over its `Hash` feed).
+pub fn value_hash<T: Hash>(v: &T) -> u64 {
+    let mut h = Fnv1a::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// A removable linear-counting sketch: distinct-value estimation that
+/// supports deletion via per-bucket refcounts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctSketch {
+    buckets: Vec<u32>,
+}
+
+impl Default for DistinctSketch {
+    fn default() -> Self {
+        DistinctSketch::new()
+    }
+}
+
+impl DistinctSketch {
+    /// An empty sketch.
+    pub fn new() -> DistinctSketch {
+        DistinctSketch {
+            buckets: vec![0; SKETCH_BUCKETS],
+        }
+    }
+
+    /// Record one occurrence of a hashed value.
+    pub fn insert(&mut self, hash: u64) {
+        self.buckets[(hash % SKETCH_BUCKETS as u64) as usize] += 1;
+    }
+
+    /// Remove one occurrence previously recorded with [`insert`].
+    ///
+    /// [`insert`]: DistinctSketch::insert
+    pub fn remove(&mut self, hash: u64) {
+        let b = &mut self.buckets[(hash % SKETCH_BUCKETS as u64) as usize];
+        *b = b.saturating_sub(1);
+    }
+
+    /// Number of buckets with a nonzero refcount.
+    pub fn occupied(&self) -> usize {
+        self.buckets.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Has the sketch seen nothing (or had everything removed)?
+    pub fn is_empty(&self) -> bool {
+        self.occupied() == 0
+    }
+
+    /// The linear-counting distinct estimate: `-m·ln(1 − b/m)` for `b`
+    /// occupied buckets of `m`, pinned at `m·ln m` when saturated.
+    pub fn estimate(&self) -> u64 {
+        let m = SKETCH_BUCKETS as f64;
+        let b = self.occupied();
+        if b == 0 {
+            0
+        } else if b >= SKETCH_BUCKETS {
+            (m * m.ln()).round() as u64
+        } else {
+            (-m * (1.0 - b as f64 / m).ln()).round() as u64
+        }
+    }
+
+    /// Merge another sketch in (bucket-wise refcount sum) — how an
+    /// extent rollup unions the sketches of its carried subtypes.
+    pub fn merge(&mut self, other: &DistinctSketch) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_exact_for_tiny_cardinalities() {
+        let mut s = DistinctSketch::new();
+        assert_eq!(s.estimate(), 0);
+        for i in 0..4u64 {
+            s.insert(value_hash(&i));
+        }
+        // 4 distinct values in 256 buckets: linear counting rounds to 4.
+        assert_eq!(s.estimate(), 4);
+    }
+
+    #[test]
+    fn estimate_tracks_moderate_cardinalities() {
+        let mut s = DistinctSketch::new();
+        for i in 0..200u64 {
+            s.insert(value_hash(&(i * 7919)));
+        }
+        let e = s.estimate() as f64;
+        assert!(
+            (e - 200.0).abs() / 200.0 < 0.15,
+            "estimate {e} strays >15% from 200"
+        );
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_the_estimate() {
+        let mut s = DistinctSketch::new();
+        for _ in 0..1000 {
+            s.insert(value_hash(&42u64));
+        }
+        assert_eq!(s.estimate(), 1);
+    }
+
+    #[test]
+    fn removal_exactly_undoes_insertion() {
+        let mut s = DistinctSketch::new();
+        let empty = s.clone();
+        let hashes: Vec<u64> = (0..300u64).map(|i| value_hash(&i)).collect();
+        for h in &hashes {
+            s.insert(*h);
+        }
+        for h in &hashes {
+            s.remove(*h);
+        }
+        assert_eq!(s, empty, "refcounts make remove the exact inverse");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_sums_refcounts() {
+        let (mut a, mut b) = (DistinctSketch::new(), DistinctSketch::new());
+        a.insert(value_hash(&1u64));
+        b.insert(value_hash(&1u64));
+        b.insert(value_hash(&2u64));
+        a.merge(&b);
+        let mut want = DistinctSketch::new();
+        want.insert(value_hash(&1u64));
+        want.insert(value_hash(&1u64));
+        want.insert(value_hash(&2u64));
+        assert_eq!(a, want);
+        assert_eq!(a.estimate(), 2);
+    }
+
+    #[test]
+    fn saturated_sketch_pins_at_the_cap() {
+        let mut s = DistinctSketch::new();
+        for i in 0..100_000u64 {
+            s.insert(value_hash(&i));
+        }
+        assert_eq!(s.occupied(), SKETCH_BUCKETS);
+        assert_eq!(s.estimate(), 1420, "m·ln m for m = 256");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the hash of a known value: reproducibility across runs is
+        // the reason FNV is used over the keyed std hasher. Hashing one
+        // zero byte is one XOR-with-0 then one multiply from the basis.
+        let want = 0xcbf2_9ce4_8422_2325_u64.wrapping_mul(0x0000_0100_0000_01b3);
+        assert_eq!(value_hash(&0u8), want);
+    }
+}

@@ -34,6 +34,14 @@ impl Path {
     }
 }
 
+impl std::borrow::Borrow<[Label]> for Path {
+    // Ord on Path derives from Vec<Label>, which orders exactly like
+    // [Label] — so borrowed-slice map lookups agree with owned keys.
+    fn borrow(&self) -> &[Label] {
+        &self.0
+    }
+}
+
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0.join("."))

@@ -25,7 +25,10 @@
 //!   language exercising all of it;
 //! * [`models`] — executable models of the five surveyed languages;
 //! * [`obs`] — unified observability: the metrics registry, span timing,
-//!   and structured event sinks every layer above reports into.
+//!   and structured event sinks every layer above reports into;
+//! * [`stats`] — workload introspection: the per-extent statistics
+//!   catalog (maintained incrementally, `analyze`-rebuildable) and the
+//!   bounded query log with measured cost features.
 //!
 //! ## Quickstart
 //!
@@ -57,5 +60,6 @@ pub use dbpl_models as models;
 pub use dbpl_obs as obs;
 pub use dbpl_persist as persist;
 pub use dbpl_relation as relation;
+pub use dbpl_stats as stats;
 pub use dbpl_types as types;
 pub use dbpl_values as values;
